@@ -1,0 +1,91 @@
+// Ablation A1 — cache management for lazily ingested data.
+//
+// The paper's preliminary design discards mounted data after every query and
+// flags caching as an open question, including the granularity trade-off
+// (§3): file-granular entries serve any later query over the file;
+// tuple-granular entries are smaller but can only serve selections they
+// cover. We replay an exploration session (repeat, zoom-out, shifted window)
+// under each policy/granularity and report mounts, hits and total time.
+
+#include "bench/bench_common.h"
+
+using namespace dex;
+using namespace dex::bench;
+
+namespace {
+
+struct SessionResult {
+  double seconds = 0;
+  uint64_t mounts = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_bytes = 0;
+};
+
+SessionResult RunSession(const std::string& dir, const CacheManager::Options& cache) {
+  DatabaseOptions opts;
+  opts.cache = cache;
+  auto db = MustOpen(dir, opts);
+  const std::vector<std::string> session = {
+      Query1("2010-01-03"),  // look at one channel
+      Query1("2010-01-03"),  // repeat (visualize again)
+      Query2("2010-01-03"),  // zoom out to all channels, same day
+      Query2("2010-01-03"),  // repeat
+      Query1("2010-01-04"),  // move to the next day
+      Query2("2010-01-04"),  // widen again
+      Query1("2010-01-04"),  // zoom back in: its window ⊆ Query 2's window,
+                             // so tuple caches serve it by subsumption
+  };
+  SessionResult result;
+  for (const std::string& sql : session) {
+    const Timing t = TimeQuery(db.get(), sql);
+    result.seconds += t.total();
+    result.mounts += t.stats.mount.mounts;
+  }
+  result.cache_hits = db->cache()->stats().hits;
+  result.cache_bytes = db->cache()->bytes_used();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  const std::string dir = EnsureRepo(config);
+
+  PrintHeader("A1 — Cache policy & granularity over an exploration session");
+  std::printf("%-28s %10s %8s %8s %12s\n", "configuration", "time(s)", "mounts",
+              "hits", "cache bytes");
+
+  struct Config {
+    const char* label;
+    CacheManager::Options options;
+  };
+  const Config configs[] = {
+      {"none (paper default)",
+       {CachePolicy::kNone, CacheGranularity::kFile, 0}},
+      {"all, file-granular",
+       {CachePolicy::kAll, CacheGranularity::kFile, 0}},
+      {"all, tuple-granular",
+       {CachePolicy::kAll, CacheGranularity::kTuple, 0}},
+      {"lru 4MB, file-granular",
+       {CachePolicy::kLru, CacheGranularity::kFile, 4ull << 20}},
+      {"lru 64MB, file-granular",
+       {CachePolicy::kLru, CacheGranularity::kFile, 64ull << 20}},
+  };
+  for (const Config& c : configs) {
+    const SessionResult r = RunSession(dir, c.options);
+    std::printf("%-28s %10.4f %8llu %8llu %12llu\n", c.label, r.seconds,
+                static_cast<unsigned long long>(r.mounts),
+                static_cast<unsigned long long>(r.cache_hits),
+                static_cast<unsigned long long>(r.cache_bytes));
+  }
+  std::printf(
+      "\nreading the table: file-granular caching eliminates re-mounts on\n"
+      "repeats AND on zoom-outs over the same files; tuple-granular caching\n"
+      "holds far fewer bytes and covers exact repeats plus any query whose\n"
+      "time window lies inside a cached one (window subsumption) — but a\n"
+      "widened selection still re-mounts whole files (the paper: 'we need\n"
+      "to mount the whole file even if there is one required tuple missing\n"
+      "in the cache'). LRU trades hits for a memory bound.\n");
+  return 0;
+}

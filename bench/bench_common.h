@@ -1,0 +1,169 @@
+#ifndef DEX_BENCH_BENCH_COMMON_H_
+#define DEX_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "io/file_io.h"
+#include "mseed/generator.h"
+
+namespace dex::bench {
+
+/// Benchmark workload scale; override with environment variables
+/// DEX_BENCH_STATIONS / DEX_BENCH_CHANNELS / DEX_BENCH_DAYS / DEX_BENCH_RATE.
+struct BenchConfig {
+  int stations = 6;
+  int channels = 3;
+  int days = 8;
+  double sample_rate_hz = 1.0;
+  int records_per_file = 4;
+  uint64_t seed = 42;
+
+  static BenchConfig FromEnv() {
+    BenchConfig c;
+    if (const char* v = std::getenv("DEX_BENCH_STATIONS")) c.stations = std::atoi(v);
+    if (const char* v = std::getenv("DEX_BENCH_CHANNELS")) c.channels = std::atoi(v);
+    if (const char* v = std::getenv("DEX_BENCH_DAYS")) c.days = std::atoi(v);
+    if (const char* v = std::getenv("DEX_BENCH_RATE")) c.sample_rate_hz = std::atof(v);
+    return c;
+  }
+
+  mseed::GeneratorOptions ToGeneratorOptions() const {
+    mseed::GeneratorOptions gen;
+    gen.seed = seed;
+    gen.num_stations = stations;
+    gen.channels_per_station = channels;
+    gen.num_days = days;
+    gen.records_per_file = records_per_file;
+    gen.sample_rate_hz = sample_rate_hz;
+    gen.gap_probability = 0.01;
+    gen.start_day = "2010-01-01";
+    return gen;
+  }
+
+  std::string RepoDir() const {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "/tmp/dex_bench_repo_s%d_c%d_d%d_r%g_%llu",
+                  stations, channels, days, sample_rate_hz,
+                  static_cast<unsigned long long>(seed));
+    return buf;
+  }
+};
+
+/// Bumped whenever the on-disk record format changes, so stale bench repos
+/// regenerate instead of failing to parse.
+inline constexpr const char* kRepoStampVersion = "format-v2";
+
+/// Generates the repository unless an identical one already exists on disk
+/// (bench binaries share repos across runs).
+inline std::string EnsureRepo(const BenchConfig& config) {
+  const std::string dir = config.RepoDir();
+  const std::string stamp = dir + "/.complete";
+  std::string stamp_content;
+  if (FileExists(stamp) &&
+      ReadFileToString(stamp, &stamp_content).ok() &&
+      stamp_content == kRepoStampVersion) {
+    return dir;
+  }
+  (void)RemoveDirRecursive(dir);
+  auto repo = mseed::GenerateRepository(dir, config.ToGeneratorOptions());
+  if (!repo.ok()) {
+    std::fprintf(stderr, "repository generation failed: %s\n",
+                 repo.status().ToString().c_str());
+    std::exit(1);
+  }
+  (void)WriteStringToFile(stamp, kRepoStampVersion);
+  return dir;
+}
+
+/// The paper's Query 1 (Figure 2) phrased against the synthetic repository:
+/// short-term average for one station/channel, one day of records, a
+/// two-second sample window (samples are 1 Hz by default, so the strict
+/// bounds select the single 22:15:01 sample of each matching record).
+inline std::string Query1(const std::string& day = "2010-01-05") {
+  return "SELECT AVG(D.sample_value) "
+         "FROM F JOIN R ON F.uri = R.uri "
+         "JOIN D ON R.uri = D.uri AND R.record_id = D.record_id "
+         "WHERE F.station = 'ISK' AND F.channel = 'BHE' "
+         "AND R.start_time > '" + day + "T00:00:00.000' " +
+         "AND R.start_time < '" + day + "T23:59:59.999' " +
+         "AND D.sample_time > '" + day + "T22:15:00.000' " +
+         "AND D.sample_time < '" + day + "T22:15:02.000';";
+}
+
+/// The paper's Query 2: "the same FROM clause as Query 1, but retrieves a
+/// piece of waveform from all channels at a given station" — no channel
+/// restriction, wider sample window for visualization.
+inline std::string Query2(const std::string& day = "2010-01-05") {
+  return "SELECT D.sample_time, D.sample_value "
+         "FROM F JOIN R ON F.uri = R.uri "
+         "JOIN D ON R.uri = D.uri AND R.record_id = D.record_id "
+         "WHERE F.station = 'ISK' "
+         "AND R.start_time > '" + day + "T00:00:00.000' " +
+         "AND R.start_time < '" + day + "T23:59:59.999' " +
+         "AND D.sample_time > '" + day + "T22:00:00.000' " +
+         "AND D.sample_time < '" + day + "T23:00:00.000';";
+}
+
+/// One timed query execution: measured CPU seconds + simulated I/O seconds.
+struct Timing {
+  double cpu_seconds = 0;
+  double sim_io_seconds = 0;
+  QueryStats stats;
+  double total() const { return cpu_seconds + sim_io_seconds; }
+};
+
+inline Timing TimeQuery(Database* db, const std::string& sql) {
+  Timing t;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto r = db->Query(sql);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (!r.ok()) {
+    std::fprintf(stderr, "query failed: %s\n%s\n", r.status().ToString().c_str(),
+                 sql.c_str());
+    std::exit(1);
+  }
+  t.cpu_seconds = std::chrono::duration<double>(t1 - t0).count();
+  t.sim_io_seconds = static_cast<double>(r->stats.sim_io_nanos) / 1e9;
+  t.stats = r->stats;
+  return t;
+}
+
+/// Averages `runs` identical executions (the paper reports the average of
+/// three identical runs).
+inline Timing TimeQueryAvg(Database* db, const std::string& sql, int runs = 3) {
+  Timing sum;
+  for (int i = 0; i < runs; ++i) {
+    const Timing t = TimeQuery(db, sql);
+    sum.cpu_seconds += t.cpu_seconds;
+    sum.sim_io_seconds += t.sim_io_seconds;
+    sum.stats = t.stats;
+  }
+  sum.cpu_seconds /= runs;
+  sum.sim_io_seconds /= runs;
+  return sum;
+}
+
+inline std::unique_ptr<Database> MustOpen(const std::string& dir,
+                                          const DatabaseOptions& options) {
+  auto db = Database::Open(dir, options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", db.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(*db);
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace dex::bench
+
+#endif  // DEX_BENCH_BENCH_COMMON_H_

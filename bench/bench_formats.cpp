@@ -1,0 +1,77 @@
+// A5 — Generalization (paper §5): the cost structure of different file
+// formats behind the same FormatAdapter seam.
+//
+// The same repository content is materialized twice — as binary
+// Steim1-compressed mSEED and as plain-text CSV time series — and both are
+// opened and queried identically. The comparison shows why self-describing
+// binary formats with compact headers matter for ALi: metadata scans are
+// cheap when headers are separable, and mounting costs decompression vs
+// text parsing.
+
+#include "bench/bench_common.h"
+#include "common/string_utils.h"
+#include "csvf/csv_format.h"
+
+using namespace dex;
+using namespace dex::bench;
+
+int main() {
+  BenchConfig config = BenchConfig::FromEnv();
+  config.days = std::min(config.days, 4);  // text format is bulky; cap scale
+  const std::string mseed_dir = EnsureRepo(config);
+  const std::string csv_dir = mseed_dir + "_csv";
+  if (!FileExists(csv_dir + "/.complete")) {
+    (void)RemoveDirRecursive(csv_dir);
+    auto st = csvf::ConvertMseedRepository(mseed_dir, csv_dir);
+    if (!st.ok()) {
+      std::fprintf(stderr, "conversion failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    (void)WriteStringToFile(csv_dir + "/.complete", "ok");
+  }
+
+  PrintHeader("A5 — Format generalization: mSEED (binary) vs tscsv (text)");
+
+  struct FormatRun {
+    const char* label;
+    std::string dir;
+    std::shared_ptr<FormatAdapter> adapter;
+  };
+  FormatRun runs[] = {
+      {"mseed", mseed_dir, std::make_shared<MseedAdapter>()},
+      {"tscsv", csv_dir, std::make_shared<CsvAdapter>()},
+  };
+
+  std::printf("%-8s %12s %12s %12s %12s %12s\n", "format", "repo size",
+              "open (ALi)", "Query1 hot", "stationscan", "mount MB/s");
+  for (FormatRun& run : runs) {
+    DatabaseOptions opts;
+    opts.format = run.adapter;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto db = MustOpen(run.dir, opts);
+    const double open_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count() +
+        db->open_stats().sim_io_nanos / 1e9;
+    (void)TimeQuery(db.get(), Query1("2010-01-02"));  // warm
+    const Timing q1 = TimeQueryAvg(db.get(), Query1("2010-01-02"), 3);
+    const std::string scan_sql =
+        "SELECT AVG(D.sample_value) FROM F JOIN D ON F.uri = D.uri "
+        "WHERE F.station = 'ISK';";
+    const Timing scan = TimeQueryAvg(db.get(), scan_sql, 2);
+    const double mount_mb_s =
+        scan.stats.mount.bytes_read / 1e6 /
+        std::max(1e-9, scan.cpu_seconds);
+    std::printf("%-8s %12s %12.3f %12.4f %12.4f %12.1f\n", run.label,
+                FormatBytes(db->open_stats().repo_bytes).c_str(), open_s,
+                q1.total(), scan.total(), mount_mb_s);
+  }
+  std::printf(
+      "\nreading the table: the text format costs more everywhere — the\n"
+      "repository is larger (no compression), the metadata scan must read\n"
+      "and tokenize whole files (mSEED parses fixed 64-byte headers), and\n"
+      "mounting pays strtol per sample instead of Steim1 frame decoding.\n"
+      "The kernel is identical in both runs; only the FormatAdapter differs\n"
+      "— the paper's 'generalized medium for the scientific developer'.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation A4 — interactive query execution (paper §5):
+//
+//   "we can let the explorer learn expected time and resource consumption of
+//    his query at the breakpoint and let him even change the destiny of his
+//    query" — towards one-minute database kernels.
+//
+// Part 1 quantifies the informativeness estimate's accuracy (estimated vs
+// actual ingested rows / result rows / stage-2 time) across query shapes.
+// Part 2 measures what aborting at the breakpoint saves for a non-
+// informative query (the paper's "millions of rows with arbitrary numbers").
+
+#include "bench/bench_common.h"
+
+using namespace dex;
+using namespace dex::bench;
+
+int main() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  const std::string dir = EnsureRepo(config);
+
+  PrintHeader("A4 — Informativeness at the breakpoint: accuracy and savings");
+
+  auto db = MustOpen(dir, DatabaseOptions{});
+
+  const struct {
+    const char* label;
+    std::string sql;
+  } workloads[] = {
+      {"Query 1", Query1()},
+      {"Query 2", Query2()},
+      {"one station, full span",
+       "SELECT D.sample_time, D.sample_value FROM F JOIN R ON F.uri = R.uri "
+       "JOIN D ON R.uri = D.uri AND R.record_id = D.record_id "
+       "WHERE F.station = 'ANK' "
+       "AND D.sample_time > '2010-01-02T00:00:00.000' "
+       "AND D.sample_time < '2010-01-02T12:00:00.000';"},
+      {"everything (worst case)",
+       "SELECT COUNT(*) FROM F JOIN R ON F.uri = R.uri "
+       "JOIN D ON R.uri = D.uri AND R.record_id = D.record_id;"},
+  };
+
+  std::printf("%-26s %14s %14s %12s %12s %12s\n", "workload", "est rows",
+              "actual rows", "est result", "actual", "est s2(s)");
+  for (const auto& w : workloads) {
+    const Timing t = TimeQuery(db.get(), w.sql);
+    const BreakpointInfo& bp = t.stats.two_stage.breakpoint;
+    std::printf("%-26s %14llu %14llu %12llu %12llu %12.3f\n", w.label,
+                static_cast<unsigned long long>(bp.est_rows_to_ingest),
+                static_cast<unsigned long long>(t.stats.mount.samples_decoded),
+                static_cast<unsigned long long>(bp.est_result_rows),
+                static_cast<unsigned long long>(t.stats.result_rows),
+                bp.est_stage2_seconds);
+  }
+
+  // Part 2: abort a poorly phrased query at the breakpoint.
+  const std::string bad_query =
+      "SELECT D.sample_time, D.sample_value FROM F JOIN R ON F.uri = R.uri "
+      "JOIN D ON R.uri = D.uri AND R.record_id = D.record_id;";
+  const auto t0 = std::chrono::steady_clock::now();
+  auto aborted = db->QueryInteractive(bad_query, [](const BreakpointInfo& info) {
+    // Policy: refuse queries expected to return more than a million rows.
+    return info.est_result_rows > 1000000 ? BreakpointDecision::kAbort
+                                          : BreakpointDecision::kContinue;
+  });
+  const double abort_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  const Timing full = TimeQuery(db.get(), bad_query);
+  std::printf("\nnon-informative full-repository retrieval:\n");
+  std::printf("  run to completion : %9.4f s, %llu rows\n", full.total(),
+              static_cast<unsigned long long>(full.stats.result_rows));
+  std::printf("  abort at breakpoint: %8.4f s (%s) — %.0fx of the time saved\n",
+              abort_s,
+              aborted.status().IsAborted() ? "aborted as expected" : "UNEXPECTED",
+              full.total() / abort_s);
+  return 0;
+}

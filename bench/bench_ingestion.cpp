@@ -1,0 +1,88 @@
+// Reproduces two quantitative claims from the paper's text:
+//
+//  C1 (§1/§6): "up-front ingestion time is reduced by orders of magnitude"
+//      — Ei's eager load+index time vs ALi's metadata-only load, swept over
+//      repository size (data-to-insight time).
+//  C2 (§4): "building the primary and foreign key indexes take four times
+//      longer than actual loading"
+//      — the load-vs-index split of the Ei open.
+//
+// Reported time = measured CPU + simulated disk time.
+
+#include "bench/bench_common.h"
+#include "common/string_utils.h"
+
+using namespace dex;
+using namespace dex::bench;
+
+namespace {
+
+struct OpenCost {
+  double scan_s, load_s, index_s, sim_s;
+  double total() const { return scan_s + load_s + index_s + sim_s; }
+};
+
+OpenCost MeasureOpen(const std::string& dir, IngestionMode mode) {
+  DatabaseOptions opts;
+  opts.mode = mode;
+  auto db = MustOpen(dir, opts);
+  const OpenStats& s = db->open_stats();
+  return {s.metadata_scan_nanos / 1e9, s.load_nanos / 1e9, s.index_nanos / 1e9,
+          s.sim_io_nanos / 1e9};
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("C1 — Up-front ingestion: Ei vs ALi (data-to-insight)");
+  std::printf("%-24s %10s %10s %8s %12s %12s %10s\n", "repository", "Ei open(s)",
+              "ALi open(s)", "time x", "Ei ingested", "ALi ingested", "bytes x");
+
+  BenchConfig base = BenchConfig::FromEnv();
+  for (int days : {2, 4, base.days}) {
+    BenchConfig config = base;
+    config.days = days;
+    const std::string dir = EnsureRepo(config);
+    DatabaseOptions eager;
+    eager.mode = IngestionMode::kEager;
+    auto ei_db = MustOpen(dir, eager);
+    auto ali_db = MustOpen(dir, DatabaseOptions{});
+    const OpenStats& es = ei_db->open_stats();
+    const OpenStats& as = ali_db->open_stats();
+    const double ei_s = es.TotalSeconds();
+    const double ali_s = as.TotalSeconds();
+    const uint64_t ei_bytes = es.db_bytes + es.index_bytes;
+    const uint64_t ali_bytes = as.metadata_bytes;
+    char label[64];
+    std::snprintf(label, sizeof(label), "%d files (%d days)",
+                  config.stations * config.channels * days, days);
+    std::printf("%-24s %10.3f %10.3f %7.0fx %12s %12s %9.0fx\n", label, ei_s,
+                ali_s, ei_s / ali_s, FormatBytes(ei_bytes).c_str(),
+                FormatBytes(ali_bytes).c_str(),
+                static_cast<double>(ei_bytes) / static_cast<double>(ali_bytes));
+  }
+  std::printf(
+      "\nshape check (paper Table 1: 13GB+9GB ingested eagerly vs 10MB of\n"
+      "metadata = 3 orders of magnitude): the *ingested volume* drops by\n"
+      "orders of magnitude; wall time follows sizes minus the per-file seek\n"
+      "floor that both modes share on a spinning disk.\n");
+
+  PrintHeader("C2 — Ei load vs index build split");
+  {
+    const std::string dir = EnsureRepo(base);
+    const OpenCost ei = MeasureOpen(dir, IngestionMode::kEager);
+    // Attribute simulated I/O to the phase that caused it: the load writes
+    // the tables, the index build re-reads keys and writes index pages.
+    std::printf("metadata scan : %8.3f s\n", ei.scan_s);
+    std::printf("actual load   : %8.3f s (CPU)\n", ei.load_s);
+    std::printf("index build   : %8.3f s (CPU)\n", ei.index_s);
+    std::printf("simulated I/O : %8.3f s (load writes + index reads/writes)\n",
+                ei.sim_s);
+    std::printf("index/load CPU ratio = %.2fx (paper: ~4x; our hash index is\n"
+                "  a flat sorted array, cheaper than MonetDB's structures)\n",
+                ei.index_s / ei.load_s);
+    std::printf("indexes do not pay off for a short query sequence: see\n"
+                "  bench_figure3 hot runs vs this one-time cost.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation A2 — the paper's run-time optimization question (§3):
+//
+//   "(a) we should merge the actual data taken from each file ... into
+//    comprehensive table(s) and then apply the higher operators in the plan
+//    in bulk fashion or (b) we should run higher operators on sub-tables and
+//    then merge the results."
+//
+// Strategy (a) is the default (the union of mounts streams into one join);
+// strategy (b) distributes the join with Q_f's result over the union. We
+// also toggle the selection pushdown into the union (σ fused into mounts).
+
+#include "bench/bench_common.h"
+
+using namespace dex;
+using namespace dex::bench;
+
+namespace {
+
+double RunConfig(const std::string& dir, bool distribute, bool push_selection,
+                 const std::string& sql) {
+  DatabaseOptions opts;
+  opts.two_stage.distribute_join_over_union = distribute;
+  opts.two_stage.push_selection_into_union = push_selection;
+  auto db = MustOpen(dir, opts);
+  (void)TimeQuery(db.get(), sql);  // warm buffers
+  return TimeQueryAvg(db.get(), sql, 3).total();
+}
+
+}  // namespace
+
+int main() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  const std::string dir = EnsureRepo(config);
+
+  PrintHeader("A2 — Merge strategy (a) vs (b), selection pushdown on/off");
+
+  const struct {
+    const char* label;
+    std::string sql;
+  } workloads[] = {
+      {"Query 1 (1 file)", Query1()},
+      {"Query 2 (few files)", Query2()},
+      {"station scan (many files)",
+       "SELECT AVG(D.sample_value) FROM F JOIN D ON F.uri = D.uri "
+       "WHERE F.station = 'ISK' AND D.sample_value > 0;"},
+  };
+
+  std::printf("%-28s %14s %14s %14s\n", "workload", "(a) bulk", "(b) per-file",
+              "(a) no-pushdown");
+  for (const auto& w : workloads) {
+    const double bulk = RunConfig(dir, false, true, w.sql);
+    const double per_file = RunConfig(dir, true, true, w.sql);
+    const double no_push = RunConfig(dir, false, false, w.sql);
+    std::printf("%-28s %13.4fs %13.4fs %13.4fs\n", w.label, bulk, per_file,
+                no_push);
+  }
+  std::printf(
+      "\nreading the table: per-file joins (b) pay one join-build per union\n"
+      "branch and win only when per-file results are tiny; bulk merging (a)\n"
+      "amortizes one build across all mounted data. Disabling the selection\n"
+      "pushdown ingests every tuple of every file of interest before\n"
+      "filtering — the cost of skipping the paper's run-time rewrite.\n");
+  return 0;
+}

@@ -1,0 +1,228 @@
+// dex_shell — an interactive SQL shell over a scientific file repository.
+//
+//   dex_shell <repo-dir> [--eager] [--cache=none|lru|all] [--tuple-cache]
+//             [--derived] [--snapshot=<path>] [--batch=<n>]
+//
+// SQL statements execute through the two-stage kernel; dot-commands inspect
+// the system:
+//   .tables            list tables with row counts and kinds
+//   .schema <table>    show a table's columns
+//   .explain <sql>     compile-time plans + the Q_f/Q_s decomposition
+//   .stats             statistics of the last query
+//   .open              open/ingestion statistics
+//   .cache             cache contents summary
+//   .coverage          derive GAPS/OVERLAPS from record metadata
+//   .refresh           rescan the repository for new/changed/removed files
+//   .cold              flush the buffer pool (next query runs cold)
+//   .help / .quit
+//
+// Reads from stdin, so it scripts cleanly:
+//   echo "SELECT COUNT(*) FROM F;" | dex_shell /repo
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/string_utils.h"
+#include "core/database.h"
+#include "core/export.h"
+#include "io/file_io.h"
+
+namespace {
+
+void PrintQueryStats(const dex::QueryStats& stats) {
+  const auto& ts = stats.two_stage;
+  std::printf("-- %llu row(s) in %.4fs",
+              static_cast<unsigned long long>(stats.result_rows),
+              stats.TotalSeconds());
+  if (ts.stage1_only) {
+    std::printf(" [metadata only]");
+  } else if (ts.split) {
+    std::printf(" [stage1 %.4fs | stage2 %.4fs | %zu files of interest, "
+                "%llu mounted, %zu cached, %zu pruned]",
+                ts.stage1_nanos / 1e9, ts.stage2_nanos / 1e9,
+                ts.files_of_interest,
+                static_cast<unsigned long long>(stats.mount.mounts),
+                ts.files_planned_cache, ts.files_pruned);
+  }
+  if (stats.sim_io_nanos > 0) {
+    std::printf(" [sim-I/O %.4fs]", stats.sim_io_nanos / 1e9);
+  }
+  std::printf("\n");
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dex_shell <repo-dir> [--eager] [--cache=none|lru|all] "
+               "[--tuple-cache] [--derived] [--snapshot=<path>] [--batch=<n>]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  dex::DatabaseOptions options;
+  std::string repo;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--eager") {
+      options.mode = dex::IngestionMode::kEager;
+    } else if (arg == "--cache=none") {
+      options.cache.policy = dex::CachePolicy::kNone;
+    } else if (arg == "--cache=lru") {
+      options.cache.policy = dex::CachePolicy::kLru;
+    } else if (arg == "--cache=all") {
+      options.cache.policy = dex::CachePolicy::kAll;
+    } else if (arg == "--tuple-cache") {
+      options.cache.granularity = dex::CacheGranularity::kTuple;
+    } else if (arg == "--derived") {
+      options.collect_derived_metadata = true;
+      options.two_stage.use_derived_pruning = true;
+    } else if (dex::StartsWith(arg, "--snapshot=")) {
+      options.metadata_snapshot_path = arg.substr(11);
+    } else if (dex::StartsWith(arg, "--batch=")) {
+      options.two_stage.mount_batch_size =
+          static_cast<size_t>(std::atoi(arg.c_str() + 8));
+    } else if (arg[0] == '-') {
+      return Usage();
+    } else {
+      repo = arg;
+    }
+  }
+  if (repo.empty()) return Usage();
+
+  auto db_or = dex::Database::Open(repo, options);
+  if (!db_or.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", db_or.status().ToString().c_str());
+    return 1;
+  }
+  auto& db = *db_or;
+  const dex::OpenStats& open = db->open_stats();
+  std::printf("dex shell — %zu files, %zu records, %s of metadata "
+              "(%s mode, format %s)\n",
+              open.num_files, open.num_records,
+              dex::FormatBytes(open.metadata_bytes).c_str(),
+              options.mode == dex::IngestionMode::kLazy ? "lazy" : "eager",
+              db->format()->name().c_str());
+  std::printf("type SQL (terminate with ';') or .help\n");
+
+  dex::QueryStats last_stats;
+  std::string pending;
+  std::string line;
+  while (true) {
+    std::printf(pending.empty() ? "dex> " : "...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    const std::string trimmed = dex::Trim(line);
+    if (trimmed.empty()) continue;
+
+    if (pending.empty() && trimmed[0] == '.') {
+      const auto parts = dex::Split(trimmed, ' ');
+      const std::string& cmd = parts[0];
+      if (cmd == ".quit" || cmd == ".exit") break;
+      if (cmd == ".help") {
+        std::printf(
+            ".tables .schema <t> .explain <sql> .stats .open .cache "
+            ".coverage .refresh .cold .export <path> <sql> .quit\n");
+      } else if (cmd == ".tables") {
+        for (const std::string& name : db->catalog()->TableNames()) {
+          auto table = db->catalog()->GetTable(name);
+          auto kind = db->catalog()->GetKind(name);
+          if (!table.ok() || !kind.ok()) continue;
+          std::printf("%-10s %10zu rows   %s\n", name.c_str(),
+                      (*table)->num_rows(),
+                      *kind == dex::TableKind::kMetadata ? "metadata"
+                                                         : "actual data");
+        }
+      } else if (cmd == ".schema" && parts.size() > 1) {
+        auto table = db->catalog()->GetTable(parts[1]);
+        if (table.ok()) {
+          std::printf("%s %s\n", parts[1].c_str(),
+                      (*table)->schema()->ToString().c_str());
+        } else {
+          std::printf("%s\n", table.status().ToString().c_str());
+        }
+      } else if (cmd == ".explain") {
+        const std::string sql = trimmed.substr(8);
+        auto text = db->Explain(sql);
+        std::printf("%s\n", text.ok() ? text->c_str()
+                                      : text.status().ToString().c_str());
+      } else if (cmd == ".stats") {
+        PrintQueryStats(last_stats);
+      } else if (cmd == ".open") {
+        std::printf("files=%zu records=%zu metadata=%s repo=%s open=%.3fs "
+                    "(snapshot reused %zu)\n",
+                    open.num_files, open.num_records,
+                    dex::FormatBytes(open.metadata_bytes).c_str(),
+                    dex::FormatBytes(open.repo_bytes).c_str(),
+                    open.TotalSeconds(), open.snapshot_files_reused);
+      } else if (cmd == ".cache") {
+        const auto& cs = db->cache()->stats();
+        std::printf("entries=%zu bytes=%s hits=%llu misses=%llu "
+                    "evictions=%llu invalidations=%llu\n",
+                    db->cache()->num_entries(),
+                    dex::FormatBytes(db->cache()->bytes_used()).c_str(),
+                    static_cast<unsigned long long>(cs.hits),
+                    static_cast<unsigned long long>(cs.misses),
+                    static_cast<unsigned long long>(cs.evictions),
+                    static_cast<unsigned long long>(cs.invalidations));
+      } else if (cmd == ".coverage") {
+        auto stats = db->AnalyzeCoverage();
+        if (stats.ok()) {
+          std::printf("%zu streams: %zu gaps (%.1fs), %zu overlaps (%.1fs) — "
+                      "query tables GAPS / OVERLAPS\n",
+                      stats->streams, stats->gaps, stats->total_gap_ms / 1e3,
+                      stats->overlaps, stats->total_overlap_ms / 1e3);
+        } else {
+          std::printf("%s\n", stats.status().ToString().c_str());
+        }
+      } else if (cmd == ".refresh") {
+        auto r = db->Refresh();
+        if (r.ok()) {
+          std::printf("+%zu new, ~%zu changed, -%zu removed\n", r->files_added,
+                      r->files_changed, r->files_removed);
+        } else {
+          std::printf("%s\n", r.status().ToString().c_str());
+        }
+      } else if (cmd == ".export" && parts.size() > 2) {
+        const std::string path = parts[1];
+        const std::string sql = trimmed.substr(trimmed.find(parts[2],
+                                                            8 + path.size()));
+        auto result = db->Query(sql);
+        if (!result.ok()) {
+          std::printf("error: %s\n", result.status().ToString().c_str());
+        } else {
+          const dex::Status st = dex::ExportTableCsv(*result->table, path);
+          std::printf("%s: %llu row(s) %s\n", path.c_str(),
+                      static_cast<unsigned long long>(result->table->num_rows()),
+                      st.ok() ? "written" : st.ToString().c_str());
+        }
+      } else if (cmd == ".cold") {
+        db->FlushBuffers();
+        std::printf("buffers flushed; the next query runs cold\n");
+      } else {
+        std::printf("unknown command %s (try .help)\n", cmd.c_str());
+      }
+      continue;
+    }
+
+    // Accumulate SQL until a ';'.
+    pending += (pending.empty() ? "" : " ") + trimmed;
+    if (pending.find(';') == std::string::npos) continue;
+    const std::string sql = pending;
+    pending.clear();
+
+    auto result = db->Query(sql);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s", result->table->ToString(40).c_str());
+    last_stats = result->stats;
+    PrintQueryStats(last_stats);
+  }
+  std::printf("\n");
+  return 0;
+}

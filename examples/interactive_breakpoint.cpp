@@ -1,0 +1,107 @@
+// Interactive query execution at the stage-1/stage-2 breakpoint (paper §5):
+//
+//   "why can't he have a way to interfere with his own query's destiny
+//    (i.e. execution), when he sees that his query is running longer than
+//    he expected?"
+//
+// Three scenarios:
+//   1. A well-phrased query sails through the breakpoint.
+//   2. A careless full-repository retrieval is refused by a budget policy
+//      before a single file is mounted.
+//   3. Multi-stage execution: ingestion proceeds in batches with a progress
+//      breakpoint after each, and the explorer bails out midway.
+
+#include <cstdio>
+
+#include "common/string_utils.h"
+#include "core/database.h"
+#include "io/file_io.h"
+#include "mseed/generator.h"
+
+namespace {
+
+constexpr const char* kRepoDir = "/tmp/dex_breakpoint_repo";
+
+void Banner(const char* text) { std::printf("\n=== %s ===\n", text); }
+
+void DescribeBreakpoint(const dex::BreakpointInfo& info) {
+  std::printf("  breakpoint: %zu files of interest (%zu cached, %zu pruned)\n",
+              info.files_of_interest.size(),
+              static_cast<size_t>(info.files_cached),
+              static_cast<size_t>(info.files_pruned));
+  std::printf("  estimated : %s to mount, ~%llu rows to ingest, ~%llu result "
+              "rows, ~%.3fs\n",
+              dex::FormatBytes(info.bytes_to_mount).c_str(),
+              static_cast<unsigned long long>(info.est_rows_to_ingest),
+              static_cast<unsigned long long>(info.est_result_rows),
+              info.est_stage2_seconds);
+}
+
+}  // namespace
+
+int main() {
+  dex::mseed::GeneratorOptions gen;
+  gen.num_stations = 4;
+  gen.channels_per_station = 3;
+  gen.num_days = 6;
+  gen.sample_rate_hz = 0.5;
+  (void)dex::RemoveDirRecursive(kRepoDir);
+  if (!dex::mseed::GenerateRepository(kRepoDir, gen).ok()) return 1;
+
+  dex::DatabaseOptions options;
+  options.two_stage.mount_batch_size = 3;  // multi-stage ingestion
+  auto db_or = dex::Database::Open(kRepoDir, options);
+  if (!db_or.ok()) return 1;
+  auto& db = *db_or;
+
+  Banner("1. a well-phrased query passes the budget check");
+  auto ok = db->QueryInteractive(
+      "SELECT AVG(D.sample_value) FROM F JOIN R ON F.uri = R.uri "
+      "JOIN D ON R.uri = D.uri AND R.record_id = D.record_id "
+      "WHERE F.station = 'ISK' AND F.channel = 'BHE' "
+      "AND R.start_time > '2010-01-02T00:00:00.000' "
+      "AND R.start_time < '2010-01-02T23:59:59.999';",
+      [](const dex::BreakpointInfo& info) {
+        if (info.batch_index == 0) DescribeBreakpoint(info);
+        return info.est_result_rows > 1000000
+                   ? dex::BreakpointDecision::kAbort
+                   : dex::BreakpointDecision::kContinue;
+      });
+  if (ok.ok()) {
+    std::printf("  -> answered: %s", ok->table->ToString().c_str());
+  }
+
+  Banner("2. a non-informative query is refused before ingestion");
+  auto refused = db->QueryInteractive(
+      "SELECT D.sample_time, D.sample_value FROM F JOIN D ON F.uri = D.uri;",
+      [](const dex::BreakpointInfo& info) {
+        if (info.batch_index == 0) DescribeBreakpoint(info);
+        if (info.est_result_rows > 1000000) {
+          std::printf("  -> explorer: that would drown me in rows. Abort.\n");
+          return dex::BreakpointDecision::kAbort;
+        }
+        return dex::BreakpointDecision::kContinue;
+      });
+  std::printf("  query status: %s\n", refused.status().ToString().c_str());
+
+  Banner("3. multi-stage ingestion with a mid-flight change of heart");
+  auto midway = db->QueryInteractive(
+      "SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri "
+      "WHERE F.station = 'ISK' OR F.station = 'ANK';",
+      [](const dex::BreakpointInfo& info) {
+        if (info.batch_index == 0) {
+          DescribeBreakpoint(info);
+          return dex::BreakpointDecision::kContinue;
+        }
+        std::printf("  batch %zu/%zu done, %llu rows ingested so far\n",
+                    info.batch_index, info.num_batches,
+                    static_cast<unsigned long long>(info.rows_ingested_so_far));
+        if (info.batch_index == 2) {
+          std::printf("  -> explorer: the first batches look boring. Abort.\n");
+          return dex::BreakpointDecision::kAbort;
+        }
+        return dex::BreakpointDecision::kContinue;
+      });
+  std::printf("  query status: %s\n", midway.status().ToString().c_str());
+  return 0;
+}

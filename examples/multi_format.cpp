@@ -1,0 +1,60 @@
+// Generalization (paper §5): the same exploration over two different file
+// formats through the same kernel. A scientific developer adds a format by
+// implementing FormatAdapter; no query-processing code changes.
+
+#include <cstdio>
+
+#include "common/string_utils.h"
+#include "core/database.h"
+#include "csvf/csv_format.h"
+#include "io/file_io.h"
+#include "mseed/generator.h"
+
+namespace {
+constexpr const char* kMseedDir = "/tmp/dex_multiformat_mseed";
+constexpr const char* kCsvDir = "/tmp/dex_multiformat_csv";
+}
+
+int main() {
+  dex::mseed::GeneratorOptions gen;
+  gen.num_stations = 3;
+  gen.channels_per_station = 2;
+  gen.num_days = 3;
+  gen.sample_rate_hz = 0.2;
+  (void)dex::RemoveDirRecursive(kMseedDir);
+  (void)dex::RemoveDirRecursive(kCsvDir);
+  if (!dex::mseed::GenerateRepository(kMseedDir, gen).ok()) return 1;
+  if (!dex::csvf::ConvertMseedRepository(kMseedDir, kCsvDir).ok()) return 1;
+
+  const char* session[] = {
+      "SELECT F.station, COUNT(*) AS files FROM F GROUP BY F.station "
+      "ORDER BY F.station;",
+      "SELECT COUNT(*) AS samples, AVG(D.sample_value) AS mean "
+      "FROM F JOIN D ON F.uri = D.uri WHERE F.station = 'ISK';",
+      "SELECT F.channel, MAX(D.sample_value) AS peak FROM F "
+      "JOIN D ON F.uri = D.uri GROUP BY F.channel ORDER BY F.channel;",
+  };
+
+  for (const std::string dir : {std::string(kMseedDir), std::string(kCsvDir)}) {
+    // Format auto-detection: no format is named anywhere below.
+    auto db = dex::Database::Open(dir, {});
+    if (!db.ok()) {
+      std::fprintf(stderr, "open: %s\n", db.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\n=== repository %s (format: %s, %s) ===\n", dir.c_str(),
+                (*db)->format()->name().c_str(),
+                dex::FormatBytes((*db)->open_stats().repo_bytes).c_str());
+    for (const char* sql : session) {
+      auto r = (*db)->Query(sql);
+      if (!r.ok()) {
+        std::fprintf(stderr, "query: %s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("%s", r->table->ToString().c_str());
+    }
+  }
+  std::printf("\nidentical answers from both formats — the two-stage kernel\n"
+              "never looked inside a file itself; the adapters did.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "common/logging.h"
+
+#include <atomic>
+
+namespace dex {
+
+namespace {
+std::atomic<int> g_threshold{static_cast<int>(LogLevel::kWarning)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel Logger::threshold() { return static_cast<LogLevel>(g_threshold.load()); }
+
+void Logger::set_threshold(LogLevel level) {
+  g_threshold.store(static_cast<int>(level));
+}
+
+void Logger::Log(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < g_threshold.load() &&
+      level != LogLevel::kFatal) {
+    return;
+  }
+  std::fprintf(stderr, "[dex %s] %s\n", LevelName(level), msg.c_str());
+  if (level == LogLevel::kFatal) {
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  if (level == LogLevel::kFatal) {
+    stream_ << file << ":" << line << " ";
+  }
+}
+
+LogMessage::~LogMessage() { Logger::Log(level_, stream_.str()); }
+
+}  // namespace internal
+}  // namespace dex

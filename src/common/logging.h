@@ -1,0 +1,66 @@
+#ifndef DEX_COMMON_LOGGING_H_
+#define DEX_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dex {
+
+/// \brief Severity levels for the library logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// \brief Minimal leveled logger writing to stderr.
+///
+/// Defaults to kWarning so that library users are not spammed; benchmarks and
+/// examples may lower it to kInfo to narrate stage transitions.
+class Logger {
+ public:
+  static LogLevel threshold();
+  static void set_threshold(LogLevel level);
+  static void Log(LogLevel level, const std::string& msg);
+};
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dex
+
+#define DEX_LOG(level) \
+  ::dex::internal::LogMessage(::dex::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Invariant check: always on (used for internal consistency, not user input).
+#define DEX_CHECK(cond)                                                  \
+  if (!(cond))                                                           \
+  ::dex::internal::LogMessage(::dex::LogLevel::kFatal, __FILE__, __LINE__) \
+      << "Check failed: " #cond " "
+
+#define DEX_CHECK_EQ(a, b) DEX_CHECK((a) == (b))
+#define DEX_CHECK_NE(a, b) DEX_CHECK((a) != (b))
+#define DEX_CHECK_LT(a, b) DEX_CHECK((a) < (b))
+#define DEX_CHECK_LE(a, b) DEX_CHECK((a) <= (b))
+#define DEX_CHECK_GT(a, b) DEX_CHECK((a) > (b))
+#define DEX_CHECK_GE(a, b) DEX_CHECK((a) >= (b))
+
+#endif  // DEX_COMMON_LOGGING_H_

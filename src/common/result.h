@@ -1,0 +1,68 @@
+#ifndef DEX_COMMON_RESULT_H_
+#define DEX_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace dex {
+
+/// \brief Either a value of type T or a non-OK Status.
+///
+/// The counterpart of arrow::Result. A `Result` constructed from an OK
+/// Status is a programming error and asserts.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit by design, mirroring arrow::Result).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs from a non-OK status (implicit by design).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(repr_).ok() && "Result constructed from OK Status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the error status, or OK when a value is held.
+  Status status() const& {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Accessors; must not be called unless ok().
+  const T& ValueUnsafe() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueUnsafe() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T ValueUnsafe() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return ValueUnsafe(); }
+  T& operator*() & { return ValueUnsafe(); }
+  const T* operator->() const { return &ValueUnsafe(); }
+  T* operator->() { return &ValueUnsafe(); }
+
+  /// Returns the value or `alternative` when this holds an error.
+  T ValueOr(T alternative) const& {
+    return ok() ? std::get<T>(repr_) : std::move(alternative);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace dex
+
+#endif  // DEX_COMMON_RESULT_H_

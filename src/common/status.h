@@ -1,0 +1,121 @@
+#ifndef DEX_COMMON_STATUS_H_
+#define DEX_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace dex {
+
+/// \brief Error codes used across the whole library.
+///
+/// `dex` follows the Arrow/RocksDB idiom: fallible functions return a
+/// `Status` (or a `Result<T>`, see result.h) instead of throwing. The OK
+/// status carries no allocation, so returning it is cheap.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kCorruption,
+  kNotImplemented,
+  kAborted,   // e.g. explorer aborted a query at the stage-1 breakpoint
+  kInternal,
+};
+
+/// \brief Returns a human-readable name for a status code ("Invalid argument"...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus a context message.
+///
+/// The OK state is represented by a null internal pointer, making
+/// `Status::OK()` allocation-free and `ok()` a null check.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&& other) noexcept = default;
+  Status& operator=(Status&& other) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const;
+
+  /// \brief "Invalid argument: <message>" or "OK".
+  std::string ToString() const;
+
+  /// \brief Returns a copy with `prefix + ": "` prepended to the message.
+  Status WithContext(const std::string& prefix) const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // Null iff OK.
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace dex
+
+/// Propagates a non-OK Status to the caller.
+#define DEX_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::dex::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+#define DEX_CONCAT_IMPL(x, y) x##y
+#define DEX_CONCAT(x, y) DEX_CONCAT_IMPL(x, y)
+
+/// Evaluates `rexpr` (a Result<T>); on error propagates the Status, otherwise
+/// assigns the value to `lhs` (which may include a declaration).
+#define DEX_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  DEX_ASSIGN_OR_RETURN_IMPL(DEX_CONCAT(_dex_res_, __LINE__), lhs, rexpr)
+
+#define DEX_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueUnsafe();
+
+#endif  // DEX_COMMON_STATUS_H_

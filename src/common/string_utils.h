@@ -1,0 +1,33 @@
+#ifndef DEX_COMMON_STRING_UTILS_H_
+#define DEX_COMMON_STRING_UTILS_H_
+
+#include <string>
+#include <vector>
+
+namespace dex {
+
+/// \brief Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// \brief Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// \brief Returns a copy with leading/trailing ASCII whitespace removed.
+std::string Trim(const std::string& s);
+
+/// \brief ASCII lower/upper-casing (SQL keywords are case-insensitive).
+std::string ToLower(const std::string& s);
+std::string ToUpper(const std::string& s);
+
+bool StartsWith(const std::string& s, const std::string& prefix);
+bool EndsWith(const std::string& s, const std::string& suffix);
+
+/// \brief Human-readable byte counts: "1.3 GB", "10 MB", "512 B".
+std::string FormatBytes(uint64_t bytes);
+
+/// \brief Formats with thousands separators: 660259608 -> "660,259,608".
+std::string FormatCount(uint64_t n);
+
+}  // namespace dex
+
+#endif  // DEX_COMMON_STRING_UTILS_H_

@@ -1,0 +1,121 @@
+#include "common/time_utils.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace dex {
+
+namespace {
+
+constexpr int kDaysInMonth[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDaysInMonth[month - 1];
+}
+
+/// Days since 1970-01-01 for a proleptic Gregorian date (days algorithm from
+/// Howard Hinnant's date library, valid far beyond our needs).
+int64_t DaysFromCivil(int64_t y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const int64_t yoe = y - era * 400;                                   // [0, 399]
+  const int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0,146096]
+  return era * 146097 + doe - 719468;
+}
+
+void CivilFromDays(int64_t z, int* year, int* month, int* day) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const int64_t doe = z - era * 146097;
+  const int64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = yoe + era * 400;
+  const int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const int64_t mp = (5 * doy + 2) / 153;
+  const int64_t d = doy - (153 * mp + 2) / 5 + 1;
+  const int64_t m = mp + (mp < 10 ? 3 : -9);
+  *year = static_cast<int>(y + (m <= 2));
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+bool ParseFixedInt(const std::string& s, size_t pos, size_t len, int* out) {
+  if (pos + len > s.size()) return false;
+  int v = 0;
+  for (size_t i = pos; i < pos + len; ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+    v = v * 10 + (s[i] - '0');
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Result<int64_t> ParseIso8601(const std::string& text) {
+  // Minimal shape: YYYY-MM-DD (10 chars). Optional: THH:MM:SS[.mmm].
+  int year = 0, month = 0, day = 0;
+  if (!ParseFixedInt(text, 0, 4, &year) || text.size() < 10 || text[4] != '-' ||
+      !ParseFixedInt(text, 5, 2, &month) || text[7] != '-' ||
+      !ParseFixedInt(text, 8, 2, &day)) {
+    return Status::InvalidArgument("bad ISO-8601 date: '" + text + "'");
+  }
+  if (month < 1 || month > 12 || day < 1 || day > DaysInMonth(year, month)) {
+    return Status::InvalidArgument("out-of-range date: '" + text + "'");
+  }
+  int hour = 0, minute = 0, second = 0, millis = 0;
+  if (text.size() > 10) {
+    if ((text[10] != 'T' && text[10] != ' ') ||
+        !ParseFixedInt(text, 11, 2, &hour) || text.size() < 19 ||
+        text[13] != ':' || !ParseFixedInt(text, 14, 2, &minute) ||
+        text[16] != ':' || !ParseFixedInt(text, 17, 2, &second)) {
+      return Status::InvalidArgument("bad ISO-8601 time: '" + text + "'");
+    }
+    if (hour > 23 || minute > 59 || second > 59) {
+      return Status::InvalidArgument("out-of-range time: '" + text + "'");
+    }
+    if (text.size() > 19) {
+      if (text[19] != '.' || !ParseFixedInt(text, 20, 3, &millis) ||
+          text.size() != 23) {
+        return Status::InvalidArgument("bad ISO-8601 millis: '" + text + "'");
+      }
+    }
+  }
+  const int64_t days = DaysFromCivil(year, month, day);
+  return days * kMillisPerDay + hour * kMillisPerHour + minute * kMillisPerMinute +
+         second * kMillisPerSecond + millis;
+}
+
+std::string FormatIso8601(int64_t epoch_millis) {
+  int64_t days = epoch_millis / kMillisPerDay;
+  int64_t rem = epoch_millis % kMillisPerDay;
+  if (rem < 0) {
+    rem += kMillisPerDay;
+    days -= 1;
+  }
+  int year, month, day;
+  CivilFromDays(days, &year, &month, &day);
+  const int hour = static_cast<int>(rem / kMillisPerHour);
+  const int minute = static_cast<int>((rem / kMillisPerMinute) % 60);
+  const int second = static_cast<int>((rem / kMillisPerSecond) % 60);
+  const int millis = static_cast<int>(rem % 1000);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03d", year,
+                month, day, hour, minute, second, millis);
+  return buf;
+}
+
+bool LooksLikeIso8601(const std::string& text) {
+  if (text.size() < 10) return false;
+  for (int i : {0, 1, 2, 3, 5, 6, 8, 9}) {
+    if (!std::isdigit(static_cast<unsigned char>(text[i]))) return false;
+  }
+  return text[4] == '-' && text[7] == '-';
+}
+
+}  // namespace dex

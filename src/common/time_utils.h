@@ -1,0 +1,31 @@
+#ifndef DEX_COMMON_TIME_UTILS_H_
+#define DEX_COMMON_TIME_UTILS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace dex {
+
+/// Timestamps across the library are int64 milliseconds since the Unix epoch
+/// (UTC). This matches the paper's SQL literals of the form
+/// '2010-01-12T22:15:00.000'.
+
+/// \brief Parses 'YYYY-MM-DD[THH:MM:SS[.mmm]]' (UTC) into epoch millis.
+Result<int64_t> ParseIso8601(const std::string& text);
+
+/// \brief Formats epoch millis as 'YYYY-MM-DDTHH:MM:SS.mmm'.
+std::string FormatIso8601(int64_t epoch_millis);
+
+/// \brief True if `text` looks like an ISO-8601 date/time literal.
+bool LooksLikeIso8601(const std::string& text);
+
+constexpr int64_t kMillisPerSecond = 1000;
+constexpr int64_t kMillisPerMinute = 60 * kMillisPerSecond;
+constexpr int64_t kMillisPerHour = 60 * kMillisPerMinute;
+constexpr int64_t kMillisPerDay = 24 * kMillisPerHour;
+
+}  // namespace dex
+
+#endif  // DEX_COMMON_TIME_UTILS_H_

@@ -1,0 +1,35 @@
+#include "common/types.h"
+
+namespace dex {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+    case DataType::kTimestamp:
+      return "TIMESTAMP";
+    case DataType::kBool:
+      return "BOOL";
+  }
+  return "UNKNOWN";
+}
+
+bool AreComparable(DataType a, DataType b) {
+  auto numeric = [](DataType t) {
+    return t == DataType::kInt64 || t == DataType::kDouble || t == DataType::kBool;
+  };
+  if (a == b) return true;
+  if (numeric(a) && numeric(b)) return true;
+  // Timestamps compare against integers (raw epoch millis).
+  if ((a == DataType::kTimestamp && b == DataType::kInt64) ||
+      (b == DataType::kTimestamp && a == DataType::kInt64)) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace dex

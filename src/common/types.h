@@ -1,0 +1,37 @@
+#ifndef DEX_COMMON_TYPES_H_
+#define DEX_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dex {
+
+/// \brief Column data types supported by the engine.
+///
+/// kTimestamp is stored as int64 milliseconds since the Unix epoch; SQL
+/// string literals compared against timestamp columns are coerced by the
+/// binder (see sql/binder.h).
+enum class DataType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+  kTimestamp = 3,  // int64 milliseconds since epoch
+  kBool = 4,       // stored as int64 0/1 in columns
+};
+
+/// \brief Returns "INT64", "DOUBLE", ...
+const char* DataTypeToString(DataType type);
+
+/// \brief True for the types physically stored as int64.
+inline bool IsIntegerBacked(DataType type) {
+  return type == DataType::kInt64 || type == DataType::kTimestamp ||
+         type == DataType::kBool;
+}
+
+/// \brief True if values of the two types may be compared without an
+/// explicit cast (numeric with numeric, timestamp with timestamp/int).
+bool AreComparable(DataType a, DataType b);
+
+}  // namespace dex
+
+#endif  // DEX_COMMON_TYPES_H_

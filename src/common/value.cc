@@ -1,0 +1,78 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/time_utils.h"
+
+namespace dex {
+
+Result<double> Value::AsDouble() const {
+  if (is_null()) return Status::InvalidArgument("NULL has no numeric value");
+  switch (type_) {
+    case DataType::kDouble:
+      return dbl();
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+    case DataType::kBool:
+      return static_cast<double>(int64());
+    case DataType::kString:
+      return Status::InvalidArgument("string is not numeric: '" + str() + "'");
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<int64_t> Value::AsInt64() const {
+  if (is_null()) return Status::InvalidArgument("NULL has no integer value");
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+    case DataType::kBool:
+      return int64();
+    case DataType::kDouble:
+      return Status::InvalidArgument("refusing implicit double->int64 cast");
+    case DataType::kString:
+      return Status::InvalidArgument("string is not an integer: '" + str() + "'");
+  }
+  return Status::Internal("unreachable");
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  switch (type_) {
+    case DataType::kInt64:
+      return std::to_string(int64());
+    case DataType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", dbl());
+      return buf;
+    }
+    case DataType::kString:
+      return "'" + str() + "'";
+    case DataType::kTimestamp:
+      return FormatIso8601(int64());
+    case DataType::kBool:
+      return boolean() ? "TRUE" : "FALSE";
+  }
+  return "?";
+}
+
+bool Value::Equals(const Value& other) const {
+  if (is_null() || other.is_null()) return false;
+  if (type_ == DataType::kString || other.type_ == DataType::kString) {
+    return type_ == other.type_ && str() == other.str();
+  }
+  if (type_ == DataType::kDouble || other.type_ == DataType::kDouble) {
+    auto a = AsDouble();
+    auto b = other.AsDouble();
+    return a.ok() && b.ok() && *a == *b;
+  }
+  return int64() == other.int64();
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.is_null() && b.is_null()) return true;
+  return a.Equals(b);
+}
+
+}  // namespace dex

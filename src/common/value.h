@@ -1,0 +1,72 @@
+#ifndef DEX_COMMON_VALUE_H_
+#define DEX_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace dex {
+
+/// \brief A single scalar value flowing through expressions and result rows.
+///
+/// Values are a convenience layer for literals, query results and tests; the
+/// execution engine itself operates on typed column vectors (see
+/// engine/batch.h) and only falls back to Value at the edges.
+class Value {
+ public:
+  /// Constructs a NULL value.
+  Value() : type_(DataType::kInt64), repr_(std::monostate{}) {}
+
+  static Value Int64(int64_t v) { return Value(DataType::kInt64, v); }
+  static Value Double(double v) { return Value(DataType::kDouble, v); }
+  static Value String(std::string v) {
+    return Value(DataType::kString, std::move(v));
+  }
+  static Value Timestamp(int64_t millis) {
+    return Value(DataType::kTimestamp, millis);
+  }
+  static Value Bool(bool v) {
+    return Value(DataType::kBool, static_cast<int64_t>(v));
+  }
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
+  DataType type() const { return type_; }
+
+  /// Raw accessors; the caller must know the physical representation.
+  int64_t int64() const { return std::get<int64_t>(repr_); }
+  double dbl() const { return std::get<double>(repr_); }
+  const std::string& str() const { return std::get<std::string>(repr_); }
+  bool boolean() const { return std::get<int64_t>(repr_) != 0; }
+
+  /// \brief Numeric view of the value (int64/bool/timestamp widen to double).
+  Result<double> AsDouble() const;
+  /// \brief Integer view; doubles are rejected to avoid silent truncation.
+  Result<int64_t> AsInt64() const;
+
+  /// \brief SQL-ish rendering: 123, 4.5, 'text', NULL,
+  /// timestamps as ISO-8601.
+  std::string ToString() const;
+
+  /// Deep equality: same type category and same content. NULL != NULL here
+  /// (SQL semantics are handled by the expression evaluator).
+  bool Equals(const Value& other) const;
+
+ private:
+  Value(DataType type, int64_t v) : type_(type), repr_(v) {}
+  Value(DataType type, double v) : type_(type), repr_(v) {}
+  Value(DataType type, std::string v) : type_(type), repr_(std::move(v)) {}
+
+  DataType type_;
+  std::variant<std::monostate, int64_t, double, std::string> repr_;
+};
+
+bool operator==(const Value& a, const Value& b);
+inline bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+}  // namespace dex
+
+#endif  // DEX_COMMON_VALUE_H_

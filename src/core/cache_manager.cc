@@ -1,0 +1,127 @@
+#include "core/cache_manager.h"
+
+namespace dex {
+
+bool CacheManager::TupleEntryServes(const Entry& entry,
+                                    const std::string& predicate_repr,
+                                    const CachedWindow* window) const {
+  if (entry.predicate_repr == predicate_repr) return true;
+  // Window subsumption: the cached tuples cover [lo, hi]; any query window
+  // inside it can be served (its narrower filter re-applies on top).
+  return window != nullptr && window->pure && entry.window.pure &&
+         entry.window.lo <= window->lo && entry.window.hi >= window->hi;
+}
+
+bool CacheManager::Probe(const std::string& uri,
+                         const std::string& predicate_repr,
+                         int64_t current_mtime_ms, const CachedWindow* window) {
+  if (options_.policy == CachePolicy::kNone) {
+    ++stats_.misses;
+    return false;
+  }
+  auto it = entries_.find(uri);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  Entry& entry = it->second;
+  if (entry.mtime_ms != current_mtime_ms) {
+    // The file changed on disk; cached data is stale. The paper notes the
+    // discard-always design "inherently ensures up-to-date data" — with
+    // caching we must invalidate explicitly.
+    ++stats_.invalidations;
+    ++stats_.misses;
+    Erase(uri);
+    return false;
+  }
+  if (options_.granularity == CacheGranularity::kTuple &&
+      !TupleEntryServes(entry, predicate_repr, window)) {
+    // Tuple-granular entries only cover the selection they were filtered
+    // by (or a window containing the query's); "we need to mount the whole
+    // file even if there is one required tuple missing in the cache".
+    ++stats_.misses;
+    return false;
+  }
+  if (options_.granularity == CacheGranularity::kFile &&
+      !entry.predicate_repr.empty()) {
+    // A tuple-level entry can't serve file-granular expectations.
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, entry.lru_it);
+  return true;
+}
+
+bool CacheManager::WouldHit(const std::string& uri,
+                            const std::string& predicate_repr,
+                            int64_t current_mtime_ms,
+                            const CachedWindow* window) const {
+  if (options_.policy == CachePolicy::kNone) return false;
+  auto it = entries_.find(uri);
+  if (it == entries_.end()) return false;
+  const Entry& entry = it->second;
+  if (entry.mtime_ms != current_mtime_ms) return false;
+  if (options_.granularity == CacheGranularity::kTuple) {
+    return TupleEntryServes(entry, predicate_repr, window);
+  }
+  return entry.predicate_repr.empty();
+}
+
+Result<TablePtr> CacheManager::Lookup(const std::string& uri) {
+  auto it = entries_.find(uri);
+  if (it == entries_.end()) {
+    return Status::NotFound("no cached data for '" + uri + "'");
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.data;
+}
+
+void CacheManager::Insert(const std::string& uri,
+                          const std::string& predicate_repr, int64_t mtime_ms,
+                          TablePtr data, const CachedWindow* window) {
+  if (options_.policy == CachePolicy::kNone || data == nullptr) return;
+  if (options_.granularity == CacheGranularity::kFile && !predicate_repr.empty()) {
+    // File-granular cache stores whole files only; filtered mounts are not
+    // cacheable under this configuration.
+    return;
+  }
+  Erase(uri);
+  Entry entry;
+  entry.bytes = data->ByteSize();
+  entry.data = std::move(data);
+  entry.predicate_repr = predicate_repr;
+  if (window != nullptr) entry.window = *window;
+  entry.mtime_ms = mtime_ms;
+  lru_.push_front(uri);
+  entry.lru_it = lru_.begin();
+  bytes_used_ += entry.bytes;
+  entries_.emplace(uri, std::move(entry));
+  ++stats_.insertions;
+  EvictIfNeeded();
+}
+
+void CacheManager::EvictIfNeeded() {
+  if (options_.policy != CachePolicy::kLru) return;
+  while (bytes_used_ > options_.capacity_bytes && !lru_.empty()) {
+    const std::string victim = lru_.back();
+    Erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+void CacheManager::Erase(const std::string& uri) {
+  auto it = entries_.find(uri);
+  if (it == entries_.end()) return;
+  bytes_used_ -= it->second.bytes;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+void CacheManager::Clear() {
+  entries_.clear();
+  lru_.clear();
+  bytes_used_ = 0;
+}
+
+}  // namespace dex

@@ -1,0 +1,125 @@
+#ifndef DEX_CORE_CACHE_MANAGER_H_
+#define DEX_CORE_CACHE_MANAGER_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace dex {
+
+/// \brief What happens to data ingested by a mount once the query finishes.
+///
+/// The paper's preliminary design discards it ("the data ingested by ALi is
+/// discarded as soon as the query has been evaluated"), noting that caching
+/// "requires a detailed study". CacheManager is that study's apparatus.
+enum class CachePolicy {
+  kNone,  // paper default: discard after the query; always re-mount
+  kLru,   // keep up to capacity_bytes, evicting least-recently-used files
+  kAll,   // keep everything (turns repeated exploration into Ei-like state)
+};
+
+/// \brief Granularity of cached entries (paper §3: "it leaves a question
+/// behind, when and how one cache granularity is better than the other").
+///
+/// kFile caches the file's full ingested data: any later query over the file
+/// hits. kTuple caches only the tuples that survived the selection pushed
+/// into the mount (smaller footprint), so a later query hits only when its
+/// pushed-down selection is covered by the cached one; otherwise the whole
+/// file must be re-mounted — exactly the trade-off the paper describes.
+enum class CacheGranularity { kFile, kTuple };
+
+/// \brief Summary of the selection a tuple-granular entry was filtered by,
+/// when that selection is a pure time window (every conjunct compares
+/// sample_time against a literal). Enables subsumption: a cached superset
+/// window serves any narrower query, with the narrower filter re-applied on
+/// top of the cache-scan.
+struct CachedWindow {
+  bool pure = false;  // predicate constrains only sample_time
+  double lo = 0;
+  double hi = 0;
+};
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;  // dropped because the file changed on disk
+};
+
+/// \brief Keeps ingested file data between queries, keyed by URI.
+class CacheManager {
+ public:
+  struct Options {
+    CachePolicy policy = CachePolicy::kNone;
+    CacheGranularity granularity = CacheGranularity::kFile;
+    uint64_t capacity_bytes = 256ull << 20;
+  };
+
+  CacheManager() : CacheManager(Options{}) {}
+  explicit CacheManager(const Options& options) : options_(options) {}
+
+  /// True if a later query with pushed-down selection `predicate_repr`
+  /// (empty = unrestricted) can be served for `uri`, given the file's
+  /// current mtime. Used by the run-time rewriter to choose cache-scan vs
+  /// mount; counts a hit/miss.
+  /// `window` (optional) summarizes the query's pushed-down selection for
+  /// tuple-granular subsumption checks.
+  bool Probe(const std::string& uri, const std::string& predicate_repr,
+             int64_t current_mtime_ms, const CachedWindow* window = nullptr);
+
+  /// Like Probe but without mutating stats or LRU order (used by the
+  /// informativeness estimator, which must not distort cache accounting).
+  bool WouldHit(const std::string& uri, const std::string& predicate_repr,
+                int64_t current_mtime_ms,
+                const CachedWindow* window = nullptr) const;
+
+  /// Returns the cached partial table (call only after a true Probe; a miss
+  /// here is an internal error surfaced as NotFound).
+  Result<TablePtr> Lookup(const std::string& uri);
+
+  /// Offers freshly mounted data to the cache. `predicate_repr` describes
+  /// the selection applied before insertion (empty = whole file). No-op
+  /// under kNone.
+  void Insert(const std::string& uri, const std::string& predicate_repr,
+              int64_t mtime_ms, TablePtr data,
+              const CachedWindow* window = nullptr);
+
+  /// Drops every entry (e.g. after the repository was regenerated).
+  void Clear();
+
+  const CacheStats& stats() const { return stats_; }
+  uint64_t bytes_used() const { return bytes_used_; }
+  size_t num_entries() const { return entries_.size(); }
+  const Options& options() const { return options_; }
+
+ private:
+  struct Entry {
+    TablePtr data;
+    std::string predicate_repr;
+    CachedWindow window;
+    int64_t mtime_ms = 0;
+    uint64_t bytes = 0;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  bool TupleEntryServes(const Entry& entry, const std::string& predicate_repr,
+                        const CachedWindow* window) const;
+
+  void EvictIfNeeded();
+  void Erase(const std::string& uri);
+
+  Options options_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  uint64_t bytes_used_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace dex
+
+#endif  // DEX_CORE_CACHE_MANAGER_H_

@@ -1,0 +1,131 @@
+#include "core/coverage.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "core/seismic_schema.h"
+
+namespace dex {
+
+namespace {
+
+SchemaPtr MakeCoverageSchema(const char* table, const char* start_name,
+                             const char* end_name) {
+  auto s = std::make_shared<Schema>();
+  const std::string q = table;
+  s->AddField({"station", DataType::kString, q});
+  s->AddField({"channel", DataType::kString, q});
+  s->AddField({start_name, DataType::kTimestamp, q});
+  s->AddField({end_name, DataType::kTimestamp, q});
+  s->AddField({"duration_ms", DataType::kInt64, q});
+  return s;
+}
+
+struct RecordWindow {
+  int64_t start_ms;
+  int64_t end_ms;
+  double sample_rate_hz;
+};
+
+}  // namespace
+
+SchemaPtr MakeGapsSchema() {
+  return MakeCoverageSchema(kGapsTableName, "gap_start", "gap_end");
+}
+
+SchemaPtr MakeOverlapsSchema() {
+  return MakeCoverageSchema(kOverlapsTableName, "overlap_start", "overlap_end");
+}
+
+Result<CoverageStats> AnalyzeCoverage(Catalog* catalog) {
+  DEX_ASSIGN_OR_RETURN(TablePtr f_table, catalog->GetTable(kFileTableName));
+  DEX_ASSIGN_OR_RETURN(TablePtr r_table, catalog->GetTable(kRecordTableName));
+
+  // uri -> (station, channel) from F.
+  const Schema& fs = *f_table->schema();
+  DEX_ASSIGN_OR_RETURN(size_t f_uri, fs.FieldIndex("F.uri"));
+  DEX_ASSIGN_OR_RETURN(size_t f_station, fs.FieldIndex("F.station"));
+  DEX_ASSIGN_OR_RETURN(size_t f_channel, fs.FieldIndex("F.channel"));
+  std::unordered_map<std::string, std::pair<std::string, std::string>> stream_of;
+  for (size_t r = 0; r < f_table->num_rows(); ++r) {
+    stream_of.emplace(f_table->column(f_uri)->GetString(r),
+                      std::make_pair(f_table->column(f_station)->GetString(r),
+                                     f_table->column(f_channel)->GetString(r)));
+  }
+
+  // (station, channel) -> record windows from R.
+  const Schema& rs = *r_table->schema();
+  DEX_ASSIGN_OR_RETURN(size_t r_uri, rs.FieldIndex("R.uri"));
+  DEX_ASSIGN_OR_RETURN(size_t r_start, rs.FieldIndex("R.start_time"));
+  DEX_ASSIGN_OR_RETURN(size_t r_end, rs.FieldIndex("R.end_time"));
+  DEX_ASSIGN_OR_RETURN(size_t r_rate, rs.FieldIndex("R.sample_rate"));
+  std::map<std::pair<std::string, std::string>, std::vector<RecordWindow>> streams;
+  for (size_t r = 0; r < r_table->num_rows(); ++r) {
+    auto it = stream_of.find(r_table->column(r_uri)->GetString(r));
+    if (it == stream_of.end()) continue;  // orphan record; skip
+    streams[it->second].push_back({r_table->column(r_start)->GetInt64(r),
+                                   r_table->column(r_end)->GetInt64(r),
+                                   r_table->column(r_rate)->GetDouble(r)});
+  }
+
+  auto gaps = std::make_shared<Table>(kGapsTableName, MakeGapsSchema());
+  auto overlaps =
+      std::make_shared<Table>(kOverlapsTableName, MakeOverlapsSchema());
+  CoverageStats stats;
+  stats.streams = streams.size();
+  for (auto& [stream, windows] : streams) {
+    std::sort(windows.begin(), windows.end(),
+              [](const RecordWindow& a, const RecordWindow& b) {
+                return a.start_ms < b.start_ms;
+              });
+    int64_t covered_until = windows.front().end_ms;
+    double last_rate = windows.front().sample_rate_hz;
+    for (size_t i = 1; i < windows.size(); ++i) {
+      const RecordWindow& w = windows[i];
+      // One sample interval of slack: consecutive records are contiguous
+      // when the next starts one interval after the previous record's last
+      // sample.
+      const int64_t interval_ms =
+          last_rate > 0 ? static_cast<int64_t>(1000.0 / last_rate) : 0;
+      if (w.start_ms > covered_until + interval_ms) {
+        const int64_t gap_start = covered_until + interval_ms;
+        const int64_t duration = w.start_ms - gap_start;
+        DEX_RETURN_NOT_OK(gaps->AppendRow(
+            {Value::String(stream.first), Value::String(stream.second),
+             Value::Timestamp(gap_start), Value::Timestamp(w.start_ms),
+             Value::Int64(duration)}));
+        ++stats.gaps;
+        stats.total_gap_ms += duration;
+      } else if (w.start_ms <= covered_until && w.end_ms >= w.start_ms) {
+        const int64_t overlap_end = std::min(covered_until, w.end_ms);
+        if (overlap_end >= w.start_ms) {
+          const int64_t duration = overlap_end - w.start_ms;
+          DEX_RETURN_NOT_OK(overlaps->AppendRow(
+              {Value::String(stream.first), Value::String(stream.second),
+               Value::Timestamp(w.start_ms), Value::Timestamp(overlap_end),
+               Value::Int64(duration)}));
+          ++stats.overlaps;
+          stats.total_overlap_ms += duration;
+        }
+      }
+      covered_until = std::max(covered_until, w.end_ms);
+      last_rate = w.sample_rate_hz;
+    }
+  }
+
+  // Register (or refresh) the results as queryable metadata.
+  if (catalog->HasTable(kGapsTableName)) {
+    DEX_RETURN_NOT_OK(catalog->ReplaceTable(gaps));
+    DEX_RETURN_NOT_OK(catalog->ReplaceTable(overlaps));
+  } else {
+    DEX_RETURN_NOT_OK(catalog->AddTable(gaps, TableKind::kMetadata));
+    DEX_RETURN_NOT_OK(catalog->AddTable(overlaps, TableKind::kMetadata));
+    DEX_RETURN_NOT_OK(catalog->SyncStorageSize(kGapsTableName));
+    DEX_RETURN_NOT_OK(catalog->SyncStorageSize(kOverlapsTableName));
+  }
+  return stats;
+}
+
+}  // namespace dex

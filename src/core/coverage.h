@@ -1,0 +1,45 @@
+#ifndef DEX_CORE_COVERAGE_H_
+#define DEX_CORE_COVERAGE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/catalog.h"
+
+namespace dex {
+
+/// Coverage analysis — the paper's other kind of derived metadata (§5):
+/// "derived metadata can be anything ranging from summary data (e.g. sum,
+/// average, max, etc.) to analyzed data (e.g. gaps, overlaps, etc.)".
+///
+/// Unlike the DM value statistics (which require mounting), gaps and
+/// overlaps derive purely from the *given* metadata: R's record windows.
+/// AnalyzeCoverage computes, per (station, channel) stream,
+///  - GAPS(station, channel, gap_start, gap_end, duration_ms): intervals
+///    with no recorded data between consecutive records,
+///  - OVERLAPS(station, channel, overlap_start, overlap_end, duration_ms):
+///    intervals covered by more than one record (duplicate acquisition).
+/// and registers/replaces both as metadata tables in the catalog, so the
+/// explorer can query them in SQL without touching a single file.
+inline constexpr const char* kGapsTableName = "GAPS";
+inline constexpr const char* kOverlapsTableName = "OVERLAPS";
+
+struct CoverageStats {
+  size_t streams = 0;    // distinct (station, channel) pairs
+  size_t gaps = 0;
+  size_t overlaps = 0;
+  int64_t total_gap_ms = 0;
+  int64_t total_overlap_ms = 0;
+};
+
+/// \brief Derives GAPS/OVERLAPS from the metadata tables F and R in
+/// `catalog` and registers them (replacing earlier versions). Tolerance: a
+/// break shorter than one sample interval is not a gap.
+Result<CoverageStats> AnalyzeCoverage(Catalog* catalog);
+
+SchemaPtr MakeGapsSchema();
+SchemaPtr MakeOverlapsSchema();
+
+}  // namespace dex
+
+#endif  // DEX_CORE_COVERAGE_H_

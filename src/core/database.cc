@@ -1,0 +1,242 @@
+#include "core/database.h"
+
+#include <chrono>
+#include <unordered_set>
+
+#include "io/file_io.h"
+
+#include "core/metadata_snapshot.h"
+#include "core/plan_splitter.h"
+#include "core/seismic_schema.h"
+#include "engine/optimizer.h"
+#include "sql/binder.h"
+
+namespace dex {
+
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Database::Database(DatabaseOptions options) : options_(std::move(options)) {}
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& repo_root,
+                                                 const DatabaseOptions& options) {
+  std::unique_ptr<Database> db(new Database(options));
+  db->repo_root_ = repo_root;
+  db->disk_ = std::make_unique<SimDisk>(options.disk);
+  db->catalog_ = std::make_unique<Catalog>(db->disk_.get());
+  db->registry_ = std::make_unique<FileRegistry>(db->disk_.get());
+  db->cache_ = std::make_unique<CacheManager>(options.cache);
+
+  // Resolve the repository's file format.
+  if (options.format != nullptr) {
+    db->format_ = options.format;
+  } else {
+    DEX_ASSIGN_OR_RETURN(db->format_, DetectFormat(repo_root));
+  }
+
+  // Scan the repository: extract file- and record-level metadata. This is
+  // the only up-front data access ALi performs. With a metadata snapshot
+  // ("instant-on"), unchanged files skip the header parse entirely.
+  const uint64_t t0 = NowNanos();
+  mseed::ScanResult scan;
+  bool scanned = false;
+  // Which files' headers were physically parsed (and thus charge simulated
+  // I/O below): everything on a full scan, only changed/new files when a
+  // snapshot is reconciled (unchanged files cost a stat(), assumed served
+  // from the filesystem's cached inodes).
+  std::unordered_set<std::string> parsed_uris;
+  bool parsed_all = true;
+  if (!options.metadata_snapshot_path.empty() &&
+      FileExists(options.metadata_snapshot_path)) {
+    auto baseline = LoadSnapshot(options.metadata_snapshot_path);
+    if (baseline.ok()) {
+      ReconcileStats rstats;
+      auto reconciled =
+          ReconcileScan(repo_root, db->format_.get(), *baseline, &rstats);
+      if (reconciled.ok()) {
+        scan = std::move(*reconciled);
+        db->open_stats_.snapshot_files_reused = rstats.files_reused;
+        parsed_uris.insert(rstats.rescanned_uris.begin(),
+                           rstats.rescanned_uris.end());
+        parsed_all = false;
+        scanned = true;
+      }
+    }
+    // A corrupt or stale snapshot falls back to a full scan below.
+  }
+  if (!scanned) {
+    DEX_ASSIGN_OR_RETURN(scan, db->format_->ScanRepository(repo_root));
+  }
+  if (!options.metadata_snapshot_path.empty()) {
+    DEX_RETURN_NOT_OK(SaveSnapshot(scan, options.metadata_snapshot_path));
+  }
+  db->open_stats_.metadata_scan_nanos = NowNanos() - t0;
+  db->open_stats_.repo_bytes = scan.total_bytes;
+  db->open_stats_.num_files = scan.files.size();
+  db->open_stats_.num_records = scan.records.size();
+
+  for (const mseed::FileMeta& f : scan.files) {
+    DEX_RETURN_NOT_OK(db->registry_->Add(f.uri, f.size_bytes, f.mtime_ms));
+    if (!parsed_all && parsed_uris.count(f.uri) == 0) continue;
+    // Scanning reads each file's header pages on the simulated medium.
+    DEX_ASSIGN_OR_RETURN(FileRegistry::Entry entry, db->registry_->Get(f.uri));
+    DEX_RETURN_NOT_OK(db->disk_->Read(
+        entry.object, 0,
+        std::min<uint64_t>(entry.size_bytes,
+                           static_cast<uint64_t>(f.num_records + 1) * 64)));
+  }
+
+  if (options.mode == IngestionMode::kEager) {
+    DEX_ASSIGN_OR_RETURN(
+        EagerLoadStats load,
+        EagerLoader::LoadAll(scan, db->catalog_.get(), db->registry_.get(),
+                             db->format_.get(), options.build_indexes));
+    db->open_stats_.load_nanos = load.load_nanos;
+    db->open_stats_.index_nanos = load.index_nanos;
+    db->open_stats_.db_bytes = load.db_bytes;
+    db->open_stats_.index_bytes = load.index_bytes;
+    db->open_stats_.num_data_rows = load.rows_loaded;
+  } else {
+    // ALi: load only metadata; D exists but stays empty.
+    DEX_ASSIGN_OR_RETURN(TablePtr f_table, BuildFileTable(scan));
+    DEX_ASSIGN_OR_RETURN(TablePtr r_table, BuildRecordTable(scan));
+    DEX_RETURN_NOT_OK(db->catalog_->AddTable(f_table, TableKind::kMetadata));
+    DEX_RETURN_NOT_OK(db->catalog_->AddTable(r_table, TableKind::kMetadata));
+    DEX_RETURN_NOT_OK(db->catalog_->SyncStorageSize(kFileTableName));
+    DEX_RETURN_NOT_OK(db->catalog_->SyncStorageSize(kRecordTableName));
+    auto d_table = std::make_shared<Table>(kDataTableName, MakeDataSchema());
+    DEX_RETURN_NOT_OK(db->catalog_->AddTable(d_table, TableKind::kActual));
+  }
+  {
+    DEX_ASSIGN_OR_RETURN(TablePtr f_table, db->catalog_->GetTable(kFileTableName));
+    DEX_ASSIGN_OR_RETURN(TablePtr r_table,
+                         db->catalog_->GetTable(kRecordTableName));
+    db->open_stats_.metadata_bytes = f_table->ByteSize() + r_table->ByteSize();
+  }
+
+  if (options.collect_derived_metadata) {
+    DEX_ASSIGN_OR_RETURN(db->derived_, DerivedMetadata::Create(db->catalog_.get()));
+  }
+  db->mounter_ = std::make_unique<Mounter>(db->catalog_.get(), db->registry_.get(),
+                                           db->cache_.get(), db->derived_.get(),
+                                           db->format_.get());
+  db->two_stage_ = std::make_unique<TwoStageExecutor>(
+      db->catalog_.get(), db->registry_.get(), db->cache_.get(),
+      db->mounter_.get(), db->derived_.get(), options.two_stage);
+  db->open_stats_.sim_io_nanos = db->disk_->stats().sim_nanos;
+  return db;
+}
+
+Result<QueryResult> Database::RunQuery(const std::string& sql,
+                                       const BreakpointCallback& callback) {
+  QueryResult out;
+  const uint64_t sim0 = disk_->stats().sim_nanos;
+  const auto mount0 = mounter_->counters();
+
+  const uint64_t t0 = NowNanos();
+  DEX_ASSIGN_OR_RETURN(PlanPtr plan, sql::PlanQuery(sql, *catalog_));
+  DEX_ASSIGN_OR_RETURN(plan, PushDownPredicates(plan, *catalog_));
+  DEX_ASSIGN_OR_RETURN(plan, FuseTopK(plan, *catalog_));
+  out.stats.plan_nanos = NowNanos() - t0;
+
+  const uint64_t t1 = NowNanos();
+  if (options_.mode == IngestionMode::kEager) {
+    ExecContext ctx;
+    ctx.catalog = catalog_.get();
+    ctx.use_index_joins = options_.use_index_joins;
+    DEX_ASSIGN_OR_RETURN(out.table, ExecutePlan(plan, &ctx));
+    out.stats.two_stage.exec = ctx.stats;
+  } else {
+    DEX_ASSIGN_OR_RETURN(
+        out.table, two_stage_->Execute(plan, callback, &out.stats.two_stage));
+  }
+  out.stats.exec_nanos = NowNanos() - t1;
+  out.stats.sim_io_nanos = disk_->stats().sim_nanos - sim0;
+  out.stats.result_rows = out.table->num_rows();
+
+  const auto mount1 = mounter_->counters();
+  out.stats.mount.mounts = mount1.mounts - mount0.mounts;
+  out.stats.mount.records_decoded = mount1.records_decoded - mount0.records_decoded;
+  out.stats.mount.samples_decoded = mount1.samples_decoded - mount0.samples_decoded;
+  out.stats.mount.bytes_read = mount1.bytes_read - mount0.bytes_read;
+  return out;
+}
+
+Result<QueryResult> Database::Query(const std::string& sql) {
+  return RunQuery(sql, nullptr);
+}
+
+Result<QueryResult> Database::QueryInteractive(const std::string& sql,
+                                               const BreakpointCallback& callback) {
+  return RunQuery(sql, callback);
+}
+
+Result<RefreshStats> Database::Refresh() {
+  if (options_.mode == IngestionMode::kEager) {
+    return Status::NotImplemented(
+        "Refresh() requires lazy ingestion; an eager database must reload "
+        "actual data to pick up repository changes");
+  }
+  RefreshStats stats;
+  const uint64_t t0 = NowNanos();
+  DEX_ASSIGN_OR_RETURN(mseed::ScanResult scan,
+                       format_->ScanRepository(
+                           // The registry has no root; rescan what Open saw.
+                           repo_root_));
+  stats.scan_nanos = NowNanos() - t0;
+
+  size_t known_still_present = 0;
+  for (const mseed::FileMeta& f : scan.files) {
+    if (!registry_->Contains(f.uri)) {
+      DEX_RETURN_NOT_OK(registry_->Add(f.uri, f.size_bytes, f.mtime_ms));
+      ++stats.files_added;
+      continue;
+    }
+    ++known_still_present;
+    DEX_ASSIGN_OR_RETURN(FileRegistry::Entry entry, registry_->Get(f.uri));
+    if (entry.mtime_ms != f.mtime_ms || entry.size_bytes != f.size_bytes) {
+      DEX_RETURN_NOT_OK(registry_->Update(f.uri, f.size_bytes, f.mtime_ms));
+      ++stats.files_changed;
+    }
+  }
+  stats.files_removed = registry_->size() - stats.files_added -
+                        known_still_present;
+
+  // Adopt the rescanned metadata wholesale: F and R describe exactly what
+  // is on disk now. (Registry entries for removed files stay registered on
+  // the simulated disk but are unreachable through metadata.)
+  DEX_ASSIGN_OR_RETURN(TablePtr f_table, BuildFileTable(scan));
+  DEX_ASSIGN_OR_RETURN(TablePtr r_table, BuildRecordTable(scan));
+  DEX_RETURN_NOT_OK(catalog_->ReplaceTable(std::move(f_table)));
+  DEX_RETURN_NOT_OK(catalog_->ReplaceTable(std::move(r_table)));
+  open_stats_.num_files = scan.files.size();
+  open_stats_.num_records = scan.records.size();
+  return stats;
+}
+
+Result<std::string> Database::Explain(const std::string& sql) {
+  DEX_ASSIGN_OR_RETURN(PlanPtr plan, sql::PlanQuery(sql, *catalog_));
+  std::string out = "-- initial plan --\n" + plan->ToString();
+  DEX_ASSIGN_OR_RETURN(plan, PushDownPredicates(plan, *catalog_));
+  out += "-- after predicate pushdown --\n" + plan->ToString();
+  if (options_.mode == IngestionMode::kLazy) {
+    DEX_ASSIGN_OR_RETURN(SplitResult split, SplitPlan(plan, *catalog_));
+    if (split.qf != nullptr) {
+      out += "-- after two-stage decomposition (StageBreak marks Q_f) --\n" +
+             split.plan->ToString();
+    } else {
+      out += "-- no Q_f/Q_s split needed --\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace dex

@@ -1,0 +1,195 @@
+#ifndef DEX_CORE_DATABASE_H_
+#define DEX_CORE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/cache_manager.h"
+#include "core/coverage.h"
+#include "core/derived_metadata.h"
+#include "core/eager_loader.h"
+#include "core/file_registry.h"
+#include "core/format_adapter.h"
+#include "core/mounter.h"
+#include "core/two_stage.h"
+#include "io/sim_disk.h"
+#include "storage/catalog.h"
+
+namespace dex {
+
+/// \brief How actual data enters the database.
+enum class IngestionMode {
+  kLazy,   // ALi: two-stage execution, metadata loaded up-front, files of
+           // interest mounted per query
+  kEager,  // Ei: the whole repository is decompressed and loaded at Open(),
+           // PK/FK indexes built, queries run single-stage
+};
+
+/// \brief Everything configurable about a database instance.
+struct DatabaseOptions {
+  IngestionMode mode = IngestionMode::kLazy;
+
+  // Cache policy for lazily ingested data (kLazy only). The paper's
+  // preliminary design is kNone: discard after every query.
+  CacheManager::Options cache;
+
+  // Run-time optimization knobs (kLazy only).
+  TwoStageOptions two_stage;
+
+  // Collect derived metadata as a side effect of mounting (§5).
+  bool collect_derived_metadata = false;
+
+  // Ei knobs.
+  bool build_indexes = true;      // PK/FK indexes after the eager load
+  bool use_index_joins = false;   // index-assisted joins at query time
+
+  // The simulated storage medium.
+  SimDisk::Options disk;
+
+  // Repository file format. nullptr = auto-detect from the files present
+  // (mSEED first, then the text time-series format).
+  std::shared_ptr<FormatAdapter> format;
+
+  // "Instant-on": when non-empty, Open() loads metadata from this snapshot
+  // file (re-scanning only files whose size/mtime changed) and saves the
+  // current metadata back to it. Empty = always scan.
+  std::string metadata_snapshot_path;
+};
+
+/// \brief Timings and sizes of Open() — the paper's data-to-insight costs.
+struct OpenStats {
+  uint64_t metadata_scan_nanos = 0;  // walking the repo, parsing headers
+  uint64_t load_nanos = 0;           // Ei only: actual data load
+  uint64_t index_nanos = 0;          // Ei only: index build
+  uint64_t sim_io_nanos = 0;         // simulated I/O charged during Open
+  uint64_t repo_bytes = 0;
+  uint64_t metadata_bytes = 0;       // size of F + R (the "ALi" column of Table 1)
+  uint64_t db_bytes = 0;             // Ei: loaded table bytes
+  uint64_t index_bytes = 0;          // Ei: "+keys"
+  size_t num_files = 0;
+  size_t num_records = 0;
+  uint64_t num_data_rows = 0;        // Ei: rows materialized in D
+  size_t snapshot_files_reused = 0;  // instant-on: files not re-scanned
+
+  /// Wall-clock-equivalent seconds including simulated I/O.
+  double TotalSeconds() const {
+    return static_cast<double>(metadata_scan_nanos + load_nanos + index_nanos +
+                               sim_io_nanos) /
+           1e9;
+  }
+};
+
+/// \brief Per-query statistics reported alongside every result.
+struct QueryStats {
+  uint64_t plan_nanos = 0;      // parse + bind + compile-time optimization
+  uint64_t exec_nanos = 0;      // both stages, CPU
+  uint64_t sim_io_nanos = 0;    // simulated I/O stalls
+  TwoStageStats two_stage;      // stage split details (kLazy)
+  Mounter::MountCounters mount; // decode work done by ALi
+  uint64_t result_rows = 0;
+
+  /// Reported query time: measured CPU + simulated I/O.
+  double TotalSeconds() const {
+    return static_cast<double>(plan_nanos + exec_nanos + sim_io_nanos) / 1e9;
+  }
+};
+
+/// \brief A query's result table plus its execution statistics.
+struct QueryResult {
+  TablePtr table;
+  QueryStats stats;
+};
+
+/// \brief What a Refresh() found in the repository.
+struct RefreshStats {
+  size_t files_added = 0;    // new since Open()/last refresh
+  size_t files_changed = 0;  // size or mtime differs
+  size_t files_removed = 0;  // gone from disk (metadata rows dropped)
+  uint64_t scan_nanos = 0;
+};
+
+/// \brief The public facade: a scientific file repository, queryable in SQL.
+///
+/// ```
+/// auto db = dex::Database::Open("/repo", {});
+/// auto res = (*db)->Query("SELECT AVG(D.sample_value) FROM F JOIN R ON ...");
+/// std::cout << res->table->ToString();
+/// ```
+class Database {
+ public:
+  /// Opens `repo_root`: scans metadata (always), and under kEager also loads
+  /// all actual data and builds indexes.
+  static Result<std::unique_ptr<Database>> Open(const std::string& repo_root,
+                                                const DatabaseOptions& options);
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Runs one SELECT statement.
+  Result<QueryResult> Query(const std::string& sql);
+
+  /// Runs one SELECT with a breakpoint callback: after stage 1 the callback
+  /// sees the informativeness estimate and may abort; with
+  /// two_stage.mount_batch_size > 0 it is also called between ingestion
+  /// batches (multi-stage execution).
+  Result<QueryResult> QueryInteractive(const std::string& sql,
+                                       const BreakpointCallback& callback);
+
+  /// EXPLAIN: the optimized plan and, in lazy mode, its Q_f/Q_s split.
+  Result<std::string> Explain(const std::string& sql);
+
+  /// Rescans the repository and folds in what changed: new files become
+  /// queryable metadata, changed files get fresh F/R rows (their cached
+  /// data invalidates via mtime on the next probe), removed files drop out
+  /// of F/R so they can never become files of interest again. This is the
+  /// e-science reality the paper opens with — "they automatically receive
+  /// multiple terabytes of data on a daily basis" — and under ALi it is a
+  /// metadata-only operation. Eager mode would need a data reload and
+  /// returns NotImplemented.
+  Result<RefreshStats> Refresh();
+
+  /// Derives GAPS/OVERLAPS tables from the record metadata (paper §5's
+  /// "analyzed data" kind of derived metadata) and registers them as
+  /// queryable metadata tables. Re-run after Refresh() to update them.
+  Result<CoverageStats> AnalyzeCoverage() {
+    return dex::AnalyzeCoverage(catalog_.get());
+  }
+
+  /// Evicts the buffer pool — the next query runs "cold", as after a server
+  /// restart with all buffers flushed.
+  void FlushBuffers() { disk_->FlushAll(); }
+
+  // -- Introspection ------------------------------------------------------
+  const OpenStats& open_stats() const { return open_stats_; }
+  Catalog* catalog() { return catalog_.get(); }
+  SimDisk* disk() { return disk_.get(); }
+  CacheManager* cache() { return cache_.get(); }
+  FileRegistry* registry() { return registry_.get(); }
+  DerivedMetadata* derived_metadata() { return derived_.get(); }
+  FormatAdapter* format() { return format_.get(); }
+  const DatabaseOptions& options() const { return options_; }
+
+ private:
+  explicit Database(DatabaseOptions options);
+
+  Result<QueryResult> RunQuery(const std::string& sql,
+                               const BreakpointCallback& callback);
+
+  DatabaseOptions options_;
+  std::string repo_root_;
+  std::shared_ptr<FormatAdapter> format_;
+  std::unique_ptr<SimDisk> disk_;
+  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<FileRegistry> registry_;
+  std::unique_ptr<CacheManager> cache_;
+  std::unique_ptr<DerivedMetadata> derived_;
+  std::unique_ptr<Mounter> mounter_;
+  std::unique_ptr<TwoStageExecutor> two_stage_;
+  OpenStats open_stats_;
+};
+
+}  // namespace dex
+
+#endif  // DEX_CORE_DATABASE_H_

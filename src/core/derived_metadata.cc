@@ -1,0 +1,65 @@
+#include "core/derived_metadata.h"
+
+#include <algorithm>
+
+#include "core/seismic_schema.h"
+
+namespace dex {
+
+Result<std::unique_ptr<DerivedMetadata>> DerivedMetadata::Create(Catalog* catalog) {
+  auto table = std::make_shared<Table>(kDerivedTableName, MakeDerivedSchema());
+  std::unique_ptr<DerivedMetadata> dm(new DerivedMetadata(table));
+  DEX_RETURN_NOT_OK(catalog->AddTable(std::move(table), TableKind::kMetadata));
+  return dm;
+}
+
+Status DerivedMetadata::RecordMounted(const std::string& uri, int64_t record_id,
+                                      const mseed::DecodedRecord& record,
+                                      uint32_t expected_records) {
+  const std::string key = uri + '\0' + std::to_string(record_id);
+  if (record_stats_.count(key) > 0) return Status::OK();
+  record_stats_.emplace(key, true);
+
+  double min_v = 0, max_v = 0, sum_v = 0;
+  if (!record.samples.empty()) {
+    min_v = max_v = static_cast<double>(record.samples[0]);
+    for (int32_t s : record.samples) {
+      const double v = static_cast<double>(s);
+      min_v = std::min(min_v, v);
+      max_v = std::max(max_v, v);
+      sum_v += v;
+    }
+  }
+  const double n = static_cast<double>(record.samples.size());
+  DEX_RETURN_NOT_OK(table_->AppendRow(
+      {Value::String(uri), Value::Int64(record_id), Value::Double(min_v),
+       Value::Double(max_v), Value::Double(n > 0 ? sum_v / n : 0.0),
+       Value::Double(sum_v), Value::Int64(static_cast<int64_t>(n))}));
+
+  FileStats& fs = file_stats_[uri];
+  if (fs.records_seen == 0) {
+    fs.min_value = min_v;
+    fs.max_value = max_v;
+  } else {
+    fs.min_value = std::min(fs.min_value, min_v);
+    fs.max_value = std::max(fs.max_value, max_v);
+  }
+  fs.records_seen += 1;
+  fs.expected_records = expected_records;
+  return Status::OK();
+}
+
+bool DerivedMetadata::HasCompleteFile(const std::string& uri) const {
+  auto it = file_stats_.find(uri);
+  return it != file_stats_.end() && it->second.expected_records > 0 &&
+         it->second.records_seen >= it->second.expected_records;
+}
+
+bool DerivedMetadata::MayMatchValueRange(const std::string& uri, double lo,
+                                         double hi) const {
+  if (!HasCompleteFile(uri)) return true;
+  const FileStats& fs = file_stats_.at(uri);
+  return fs.max_value >= lo && fs.min_value <= hi;
+}
+
+}  // namespace dex

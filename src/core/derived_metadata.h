@@ -1,0 +1,68 @@
+#ifndef DEX_CORE_DERIVED_METADATA_H_
+#define DEX_CORE_DERIVED_METADATA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "mseed/reader.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace dex {
+
+/// \brief Derived metadata collected "as a side-effect of ALi" (paper §5).
+///
+/// Every mounted record contributes per-record summary statistics
+/// (min/max/mean/sum/count of sample values) to the DM metadata table —
+/// without the explorer noticing and without a separate pass over the data.
+/// Two uses are implemented:
+///  - DM is a regular metadata table in the catalog, so later explorative
+///    queries can SELECT from it (and it can even join into Q_f);
+///  - value-range pruning: when a query's pushed-down selection bounds
+///    D.sample_value, files whose complete per-record stats exclude the
+///    range are skipped before mounting.
+class DerivedMetadata {
+ public:
+  /// Registers the DM table in `catalog` (kind kMetadata).
+  static Result<std::unique_ptr<DerivedMetadata>> Create(Catalog* catalog);
+
+  /// Records stats for one mounted record. Idempotent per (uri, record_id).
+  /// `expected_records` is the file's record count from the repository scan
+  /// (pruning activates only once all records of a file have been seen).
+  Status RecordMounted(const std::string& uri, int64_t record_id,
+                       const mseed::DecodedRecord& record,
+                       uint32_t expected_records);
+
+  /// True when summary stats cover every record of `uri`.
+  bool HasCompleteFile(const std::string& uri) const;
+
+  /// False only when it is *provable* from complete stats that no sample of
+  /// `uri` lies in [lo, hi]. Unknown files return true (must mount).
+  bool MayMatchValueRange(const std::string& uri, double lo, double hi) const;
+
+  /// The queryable DM table.
+  const TablePtr& table() const { return table_; }
+
+  size_t num_records_covered() const { return record_stats_.size(); }
+
+ private:
+  explicit DerivedMetadata(TablePtr table) : table_(std::move(table)) {}
+
+  struct FileStats {
+    uint32_t records_seen = 0;
+    uint32_t expected_records = 0;
+    double min_value = 0;
+    double max_value = 0;
+  };
+
+  TablePtr table_;
+  std::unordered_map<std::string, FileStats> file_stats_;
+  // "uri\0record_id" -> present marker for idempotency.
+  std::unordered_map<std::string, bool> record_stats_;
+};
+
+}  // namespace dex
+
+#endif  // DEX_CORE_DERIVED_METADATA_H_

@@ -1,0 +1,69 @@
+#include "core/export.h"
+
+#include <cstdio>
+
+#include "common/time_utils.h"
+#include "io/file_io.h"
+
+namespace dex {
+
+namespace {
+
+void AppendCsvString(std::string* out, const std::string& s) {
+  const bool needs_quoting = s.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) {
+    *out += s;
+    return;
+  }
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string TableToCsv(const Table& table) {
+  std::string out;
+  const Schema& schema = *table.schema();
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    if (c > 0) out += ',';
+    AppendCsvString(&out, schema.field(c).QualifiedName());
+  }
+  out += '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out += ',';
+      const Column& col = *table.column(c);
+      switch (col.type()) {
+        case DataType::kString:
+          AppendCsvString(&out, col.GetString(r));
+          break;
+        case DataType::kTimestamp:
+          out += FormatIso8601(col.GetInt64(r));
+          break;
+        case DataType::kDouble: {
+          char buf[40];
+          std::snprintf(buf, sizeof(buf), "%.17g", col.GetDouble(r));
+          out += buf;
+          break;
+        }
+        case DataType::kBool:
+          out += col.GetInt64(r) != 0 ? "true" : "false";
+          break;
+        default:
+          out += std::to_string(col.GetInt64(r));
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status ExportTableCsv(const Table& table, const std::string& path) {
+  return WriteStringToFile(path, TableToCsv(table));
+}
+
+}  // namespace dex

@@ -1,0 +1,24 @@
+#ifndef DEX_CORE_EXPORT_H_
+#define DEX_CORE_EXPORT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace dex {
+
+/// Result export — the last step of an exploration: handing data of
+/// interest to the scientist's downstream tools (plotting, MATLAB/Python).
+
+/// \brief Renders a result table as RFC-4180-style CSV: a header row of
+/// column names, then one line per row. Strings are quoted and embedded
+/// quotes doubled; timestamps render as ISO-8601.
+std::string TableToCsv(const Table& table);
+
+/// \brief Writes TableToCsv(table) to `path`, creating parent directories.
+Status ExportTableCsv(const Table& table, const std::string& path);
+
+}  // namespace dex
+
+#endif  // DEX_CORE_EXPORT_H_

@@ -1,0 +1,52 @@
+#include "core/file_registry.h"
+
+namespace dex {
+
+Status FileRegistry::Add(const std::string& uri, uint64_t size_bytes,
+                         int64_t mtime_ms) {
+  if (entries_.count(uri) > 0) {
+    return Status::AlreadyExists("file '" + uri + "' already registered");
+  }
+  Entry e;
+  e.object = disk_->Register("file:" + uri, size_bytes);
+  e.size_bytes = size_bytes;
+  e.mtime_ms = mtime_ms;
+  entries_.emplace(uri, e);
+  total_bytes_ += size_bytes;
+  return Status::OK();
+}
+
+Status FileRegistry::Update(const std::string& uri, uint64_t size_bytes,
+                            int64_t mtime_ms) {
+  auto it = entries_.find(uri);
+  if (it == entries_.end()) {
+    return Status::NotFound("file '" + uri + "' is not registered");
+  }
+  total_bytes_ += size_bytes - it->second.size_bytes;
+  DEX_RETURN_NOT_OK(disk_->Resize(it->second.object, size_bytes));
+  it->second.size_bytes = size_bytes;
+  it->second.mtime_ms = mtime_ms;
+  return Status::OK();
+}
+
+Result<FileRegistry::Entry> FileRegistry::Get(const std::string& uri) const {
+  auto it = entries_.find(uri);
+  if (it == entries_.end()) {
+    return Status::NotFound("file '" + uri + "' is not in the repository");
+  }
+  return it->second;
+}
+
+Status FileRegistry::ChargeFileRead(const std::string& uri) const {
+  DEX_ASSIGN_OR_RETURN(Entry e, Get(uri));
+  return disk_->ReadAll(e.object);
+}
+
+std::vector<std::string> FileRegistry::AllUris() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [uri, entry] : entries_) out.push_back(uri);
+  return out;
+}
+
+}  // namespace dex

@@ -1,0 +1,55 @@
+#ifndef DEX_CORE_FILE_REGISTRY_H_
+#define DEX_CORE_FILE_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "io/sim_disk.h"
+
+namespace dex {
+
+/// \brief Maps repository file URIs to their SimDisk storage objects.
+///
+/// Every repository file is registered at Open() so that mounts charge
+/// simulated I/O for the bytes they pull, and so "all available files"
+/// is a well-defined set when a query references actual data without any
+/// metadata restriction.
+class FileRegistry {
+ public:
+  explicit FileRegistry(SimDisk* disk) : disk_(disk) {}
+
+  struct Entry {
+    ObjectId object = kInvalidObjectId;
+    uint64_t size_bytes = 0;
+    int64_t mtime_ms = 0;
+  };
+
+  Status Add(const std::string& uri, uint64_t size_bytes, int64_t mtime_ms);
+
+  /// Refreshes size/mtime of a known file (it changed on disk).
+  Status Update(const std::string& uri, uint64_t size_bytes, int64_t mtime_ms);
+  Result<Entry> Get(const std::string& uri) const;
+  bool Contains(const std::string& uri) const { return entries_.count(uri) > 0; }
+
+  /// Charges a full sequential read of the file (what a mount costs on the
+  /// simulated medium).
+  Status ChargeFileRead(const std::string& uri) const;
+
+  /// All registered URIs in sorted order.
+  std::vector<std::string> AllUris() const;
+
+  size_t size() const { return entries_.size(); }
+  uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  SimDisk* disk_;
+  std::map<std::string, Entry> entries_;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace dex
+
+#endif  // DEX_CORE_FILE_REGISTRY_H_

@@ -1,0 +1,49 @@
+#include "core/format_adapter.h"
+
+#include "csvf/csv_format.h"
+#include "io/file_io.h"
+
+namespace dex {
+
+Result<mseed::ScanResult> MseedAdapter::ScanRepository(const std::string& root) {
+  return mseed::ScanRepository(root);
+}
+
+Result<mseed::ScanResult> MseedAdapter::ScanFile(const std::string& uri) {
+  return mseed::ScanFile(uri);
+}
+
+Result<std::vector<mseed::DecodedRecord>> MseedAdapter::ReadAllRecords(
+    const std::string& uri) {
+  return mseed::Reader::ReadAllRecords(uri);
+}
+
+std::string CsvAdapter::file_extension() const { return csvf::kCsvExtension; }
+
+Result<mseed::ScanResult> CsvAdapter::ScanRepository(const std::string& root) {
+  return csvf::ScanCsvRepository(root);
+}
+
+Result<mseed::ScanResult> CsvAdapter::ScanFile(const std::string& uri) {
+  return csvf::ScanCsvFile(uri);
+}
+
+Result<std::vector<mseed::DecodedRecord>> CsvAdapter::ReadAllRecords(
+    const std::string& uri) {
+  return csvf::ReadCsvFile(uri);
+}
+
+Result<std::shared_ptr<FormatAdapter>> DetectFormat(const std::string& root) {
+  auto mseed_files = ListFiles(root, ".mseed");
+  if (mseed_files.ok() && !mseed_files->empty()) {
+    return std::shared_ptr<FormatAdapter>(std::make_shared<MseedAdapter>());
+  }
+  auto csv_files = ListFiles(root, csvf::kCsvExtension);
+  if (csv_files.ok() && !csv_files->empty()) {
+    return std::shared_ptr<FormatAdapter>(std::make_shared<CsvAdapter>());
+  }
+  return Status::NotFound("no files of any registered format under '" + root +
+                          "'");
+}
+
+}  // namespace dex

@@ -1,0 +1,80 @@
+#ifndef DEX_CORE_FORMAT_ADAPTER_H_
+#define DEX_CORE_FORMAT_ADAPTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mseed/reader.h"
+#include "mseed/scanner.h"
+
+namespace dex {
+
+/// \brief The "generalized medium for the scientific developer" (paper §5):
+/// everything the kernel needs to know about a file format.
+///
+/// The paper observes that "mapping of data to tables is done only once for
+/// a file format [but] different scientific domains usually have different
+/// formats", and asks for a way to "define domain- and format-specific
+/// mappings and extractions in a simpler way instead of someone writing code
+/// for the database kernel for every other scientific format". A
+/// FormatAdapter is that seam: the two-stage machinery (scanning metadata
+/// up-front, mounting files of interest lazily) is format-agnostic and talks
+/// to repositories only through this interface.
+///
+/// The structs (FileMeta/RecordMeta/ScanResult/DecodedRecord) are the
+/// seismic *domain model*; adapters translate their format into it. They
+/// live in mseed/ for historical reasons — mSEED was the first format.
+class FormatAdapter {
+ public:
+  virtual ~FormatAdapter() = default;
+
+  /// Short format name for diagnostics ("mseed", "tscsv").
+  virtual std::string name() const = 0;
+
+  /// Filename extension identifying this format's files (".mseed").
+  virtual std::string file_extension() const = 0;
+
+  /// Extracts file- and record-level metadata for the whole repository —
+  /// what ALi loads eagerly. Implementations should touch as little of each
+  /// file as the format allows.
+  virtual Result<mseed::ScanResult> ScanRepository(const std::string& root) = 0;
+
+  /// Re-scans one file (cache revalidation after a file changed).
+  virtual Result<mseed::ScanResult> ScanFile(const std::string& uri) = 0;
+
+  /// Fully extracts one file — the expensive step a mount performs.
+  virtual Result<std::vector<mseed::DecodedRecord>> ReadAllRecords(
+      const std::string& uri) = 0;
+};
+
+/// \brief Adapter for the binary mSEED-style format (Steim1-compressed).
+class MseedAdapter : public FormatAdapter {
+ public:
+  std::string name() const override { return "mseed"; }
+  std::string file_extension() const override { return ".mseed"; }
+  Result<mseed::ScanResult> ScanRepository(const std::string& root) override;
+  Result<mseed::ScanResult> ScanFile(const std::string& uri) override;
+  Result<std::vector<mseed::DecodedRecord>> ReadAllRecords(
+      const std::string& uri) override;
+};
+
+/// \brief Adapter for the plain-text time-series CSV format (src/csvf).
+class CsvAdapter : public FormatAdapter {
+ public:
+  std::string name() const override { return "tscsv"; }
+  std::string file_extension() const override;
+  Result<mseed::ScanResult> ScanRepository(const std::string& root) override;
+  Result<mseed::ScanResult> ScanFile(const std::string& uri) override;
+  Result<std::vector<mseed::DecodedRecord>> ReadAllRecords(
+      const std::string& uri) override;
+};
+
+/// \brief Picks an adapter by probing which format's files exist under
+/// `root` (mSEED first). NotFound when neither format matches.
+Result<std::shared_ptr<FormatAdapter>> DetectFormat(const std::string& root);
+
+}  // namespace dex
+
+#endif  // DEX_CORE_FORMAT_ADAPTER_H_

@@ -1,0 +1,237 @@
+#include "core/informativeness.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/time_utils.h"
+#include "io/file_io.h"
+
+namespace dex {
+
+bool ExtractBounds(const ExprPtr& predicate, const std::string& column_name,
+                   double* lo, double* hi) {
+  *lo = -std::numeric_limits<double>::infinity();
+  *hi = std::numeric_limits<double>::infinity();
+  if (predicate == nullptr) return false;
+  std::vector<ExprPtr> conjuncts;
+  Expr::SplitConjuncts(predicate, &conjuncts);
+  bool constrained = false;
+  for (const ExprPtr& c : conjuncts) {
+    if (c->kind() != ExprKind::kComparison) continue;
+    const ExprPtr& a = c->children()[0];
+    const ExprPtr& b = c->children()[1];
+    // Normalize to: column <op> literal.
+    const Expr* col = nullptr;
+    const Expr* lit = nullptr;
+    CompareOp op = c->compare_op();
+    if (a->kind() == ExprKind::kColumnRef && b->kind() == ExprKind::kLiteral) {
+      col = a.get();
+      lit = b.get();
+    } else if (b->kind() == ExprKind::kColumnRef &&
+               a->kind() == ExprKind::kLiteral) {
+      col = b.get();
+      lit = a.get();
+      // Mirror the operator: 5 < x  ≡  x > 5.
+      switch (op) {
+        case CompareOp::kLt:
+          op = CompareOp::kGt;
+          break;
+        case CompareOp::kLe:
+          op = CompareOp::kGe;
+          break;
+        case CompareOp::kGt:
+          op = CompareOp::kLt;
+          break;
+        case CompareOp::kGe:
+          op = CompareOp::kLe;
+          break;
+        default:
+          break;
+      }
+    } else {
+      continue;
+    }
+    // Match by unqualified column name.
+    std::string name = col->column_name();
+    const size_t dot = name.find('.');
+    if (dot != std::string::npos) name = name.substr(dot + 1);
+    if (name != column_name) continue;
+    // Predicates here are unbound: ISO-8601 string literals have not been
+    // coerced to timestamps yet, so parse them explicitly.
+    auto v = lit->literal().AsDouble();
+    if (!v.ok() && lit->literal().type() == DataType::kString &&
+        LooksLikeIso8601(lit->literal().str())) {
+      auto ms = ParseIso8601(lit->literal().str());
+      if (ms.ok()) v = static_cast<double>(*ms);
+    }
+    if (!v.ok()) continue;
+    switch (op) {
+      case CompareOp::kGt:
+      case CompareOp::kGe:
+        *lo = std::max(*lo, *v);
+        constrained = true;
+        break;
+      case CompareOp::kLt:
+      case CompareOp::kLe:
+        *hi = std::min(*hi, *v);
+        constrained = true;
+        break;
+      case CompareOp::kEq:
+        *lo = std::max(*lo, *v);
+        *hi = std::min(*hi, *v);
+        constrained = true;
+        break;
+      default:
+        break;
+    }
+  }
+  return constrained;
+}
+
+CachedWindow SummarizeTimeWindow(const ExprPtr& predicate) {
+  CachedWindow window;
+  if (predicate == nullptr) return window;
+  std::vector<ExprPtr> conjuncts;
+  Expr::SplitConjuncts(predicate, &conjuncts);
+  for (const ExprPtr& c : conjuncts) {
+    if (c->kind() != ExprKind::kComparison) return window;
+    const ExprPtr& a = c->children()[0];
+    const ExprPtr& b = c->children()[1];
+    const Expr* col = nullptr;
+    if (a->kind() == ExprKind::kColumnRef && b->kind() == ExprKind::kLiteral) {
+      col = a.get();
+    } else if (b->kind() == ExprKind::kColumnRef &&
+               a->kind() == ExprKind::kLiteral) {
+      col = b.get();
+    } else {
+      return window;
+    }
+    std::string name = col->column_name();
+    const size_t dot = name.find('.');
+    if (dot != std::string::npos) name = name.substr(dot + 1);
+    if (name != "sample_time") return window;
+    // Equality/range only; <> would make the cached set non-contiguous.
+    if (c->compare_op() == CompareOp::kNe) return window;
+  }
+  double lo, hi;
+  if (!ExtractBounds(predicate, "sample_time", &lo, &hi)) return window;
+  window.pure = true;
+  window.lo = lo;
+  window.hi = hi;
+  return window;
+}
+
+Result<BreakpointInfo> EstimateInformativeness(
+    const TablePtr& qf_result, const std::vector<std::string>& files_of_interest,
+    const FileRegistry& registry, const CacheManager* cache,
+    const ExprPtr& d_predicate, const InformativenessModel& model,
+    const TablePtr& record_metadata) {
+  BreakpointInfo info;
+  info.files_of_interest = files_of_interest;
+
+  const std::string pred_repr =
+      d_predicate == nullptr ? "" : d_predicate->ToString();
+  for (const std::string& uri : files_of_interest) {
+    auto entry = registry.Get(uri);
+    if (!entry.ok()) continue;
+    const int64_t mtime = FileMtimeMillis(uri).ValueOr(entry->mtime_ms);
+    const bool cached =
+        cache != nullptr &&
+        (cache->WouldHit(uri, "", mtime) || cache->WouldHit(uri, pred_repr, mtime));
+    if (cached) {
+      info.files_cached += 1;
+    } else {
+      info.bytes_to_mount += entry->size_bytes;
+    }
+  }
+
+  // Record-level estimates from Q_f's own output: the stage-1 result carries
+  // R.start_time / R.end_time / R.n_samples for every record of interest.
+  double t_lo, t_hi;
+  const bool has_window = ExtractBounds(d_predicate, "sample_time", &t_lo, &t_hi);
+  if (qf_result != nullptr) {
+    const Schema& schema = *qf_result->schema();
+    const int n_samples_idx = schema.FindFieldIndex("n_samples");
+    const int start_idx = schema.FindFieldIndex("start_time");
+    const int end_idx = schema.FindFieldIndex("end_time");
+    const int uri_idx = schema.FindFieldIndex("uri");
+    const int record_idx = schema.FindFieldIndex("record_id");
+    if (n_samples_idx >= 0) {
+      // Q_f output can contain duplicate records when several metadata rows
+      // join to the same record; dedupe on (uri, record_id) when available.
+      std::unordered_set<std::string> seen;
+      for (size_t r = 0; r < qf_result->num_rows(); ++r) {
+        if (uri_idx >= 0 && record_idx >= 0) {
+          std::string key =
+              qf_result->column(static_cast<size_t>(uri_idx))->GetString(r) +
+              '\0' +
+              std::to_string(qf_result->column(static_cast<size_t>(record_idx))
+                                 ->GetInt64(r));
+          if (!seen.insert(std::move(key)).second) continue;
+        }
+        const int64_t n =
+            qf_result->column(static_cast<size_t>(n_samples_idx))->GetInt64(r);
+        info.est_rows_to_ingest += static_cast<uint64_t>(n);
+        double frac = 1.0;
+        if (has_window && start_idx >= 0 && end_idx >= 0) {
+          const double start = static_cast<double>(
+              qf_result->column(static_cast<size_t>(start_idx))->GetInt64(r));
+          const double end = static_cast<double>(
+              qf_result->column(static_cast<size_t>(end_idx))->GetInt64(r));
+          const double span = std::max(1.0, end - start);
+          const double overlap =
+              std::max(0.0, std::min(t_hi, end) - std::max(t_lo, start));
+          frac = std::min(1.0, overlap / span);
+        }
+        info.est_result_rows +=
+            static_cast<uint64_t>(frac * static_cast<double>(n));
+      }
+    }
+  }
+  if (info.est_rows_to_ingest == 0 && record_metadata != nullptr &&
+      !files_of_interest.empty()) {
+    // Q_f carried no record-level columns (the query joined F with D
+    // directly, or skipped metadata altogether). The R table is loaded
+    // anyway — estimate from its records for the files of interest.
+    const Schema& rs = *record_metadata->schema();
+    const int uri_idx = rs.FindFieldIndex("uri");
+    const int n_idx = rs.FindFieldIndex("n_samples");
+    const int start_idx = rs.FindFieldIndex("start_time");
+    const int end_idx = rs.FindFieldIndex("end_time");
+    if (uri_idx >= 0 && n_idx >= 0) {
+      const std::unordered_set<std::string> wanted(files_of_interest.begin(),
+                                                   files_of_interest.end());
+      for (size_t r = 0; r < record_metadata->num_rows(); ++r) {
+        const std::string& uri =
+            record_metadata->column(static_cast<size_t>(uri_idx))->GetString(r);
+        if (wanted.count(uri) == 0) continue;
+        const int64_t n =
+            record_metadata->column(static_cast<size_t>(n_idx))->GetInt64(r);
+        info.est_rows_to_ingest += static_cast<uint64_t>(n);
+        double frac = 1.0;
+        if (has_window && start_idx >= 0 && end_idx >= 0) {
+          const double start = static_cast<double>(
+              record_metadata->column(static_cast<size_t>(start_idx))
+                  ->GetInt64(r));
+          const double end = static_cast<double>(
+              record_metadata->column(static_cast<size_t>(end_idx))->GetInt64(r));
+          const double span = std::max(1.0, end - start);
+          const double overlap =
+              std::max(0.0, std::min(t_hi, end) - std::max(t_lo, start));
+          frac = std::min(1.0, overlap / span);
+        }
+        info.est_result_rows +=
+            static_cast<uint64_t>(frac * static_cast<double>(n));
+      }
+    }
+  }
+
+  info.est_stage2_seconds =
+      static_cast<double>(info.bytes_to_mount) / (model.mount_mb_per_sec * 1e6) +
+      static_cast<double>(info.est_rows_to_ingest) / model.ingest_rows_per_sec;
+  return info;
+}
+
+}  // namespace dex

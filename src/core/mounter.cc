@@ -1,0 +1,98 @@
+#include "core/mounter.h"
+
+#include "core/informativeness.h"
+#include "core/seismic_schema.h"
+#include "engine/batch.h"
+#include "io/file_io.h"
+#include "mseed/reader.h"
+
+namespace dex {
+
+Result<TablePtr> Mounter::Mount(const std::string& table_name,
+                                const std::string& uri,
+                                const ExprPtr& fused_predicate) {
+  if (table_name != kDataTableName) {
+    return Status::NotImplemented("no extraction mapping for actual table '" +
+                                  table_name + "'");
+  }
+  DEX_ASSIGN_OR_RETURN(FileRegistry::Entry entry, registry_->Get(uri));
+  // Charge the simulated medium for pulling the file's bytes.
+  DEX_RETURN_NOT_OK(registry_->ChargeFileRead(uri));
+
+  // Extract: parse headers and decode every record (real work), through
+  // the repository's format adapter.
+  auto records = format_->ReadAllRecords(uri);
+  if (!records.ok()) {
+    return records.status().WithContext("mounting '" + uri + "'");
+  }
+
+  // Transform: comply with the D schema.
+  auto table = std::make_shared<Table>(table_name, MakeDataSchema());
+  for (size_t i = 0; i < records->size(); ++i) {
+    const mseed::DecodedRecord& rec = (*records)[i];
+    DEX_RETURN_NOT_OK(AppendSamplesToDataTable(uri, static_cast<int64_t>(i), rec,
+                                               table.get()));
+    counters_.records_decoded += 1;
+    counters_.samples_decoded += rec.samples.size();
+    if (derived_ != nullptr) {
+      DEX_RETURN_NOT_OK(derived_->RecordMounted(
+          uri, static_cast<int64_t>(i), rec,
+          static_cast<uint32_t>(records->size())));
+    }
+  }
+  counters_.mounts += 1;
+  counters_.bytes_read += entry.size_bytes;
+
+  // Combined select-mount: apply the fused selection before handing the
+  // partial table to the plan.
+  TablePtr out = table;
+  std::string predicate_repr;
+  if (fused_predicate != nullptr) {
+    predicate_repr = fused_predicate->ToString();
+    DEX_ASSIGN_OR_RETURN(ExprPtr bound, fused_predicate->Bind(*table->schema()));
+    Batch all;
+    all.schema = table->schema();
+    for (size_t c = 0; c < table->num_columns(); ++c) {
+      all.columns.push_back(table->column(c));
+    }
+    DEX_ASSIGN_OR_RETURN(ColumnPtr mask, bound->Evaluate(all));
+    std::vector<uint32_t> selected;
+    const int64_t* bits = mask->data_i64();
+    for (size_t i = 0; i < table->num_rows(); ++i) {
+      if (bits[i] != 0) selected.push_back(static_cast<uint32_t>(i));
+    }
+    auto filtered = std::make_shared<Table>(table_name, table->schema());
+    for (size_t c = 0; c < table->num_columns(); ++c) {
+      filtered->mutable_column(c)->AppendGather(*table->column(c), selected);
+    }
+    DEX_RETURN_NOT_OK(filtered->CommitAppendedRows(selected.size()));
+    out = filtered;
+  }
+
+  // Offer the mounted data to the cache. File-granular caches want the whole
+  // file; tuple-granular caches store exactly what the selection kept.
+  if (cache_ != nullptr) {
+    const int64_t mtime = FileMtimeMillis(uri).ValueOr(entry.mtime_ms);
+    if (cache_->options().granularity == CacheGranularity::kFile) {
+      cache_->Insert(uri, "", mtime, table);
+    } else {
+      const CachedWindow window = SummarizeTimeWindow(fused_predicate);
+      cache_->Insert(uri, predicate_repr, mtime, out, &window);
+    }
+  }
+  return out;
+}
+
+Result<TablePtr> Mounter::CacheLookup(const std::string& table_name,
+                                      const std::string& uri) {
+  if (table_name != kDataTableName) {
+    return Status::NotImplemented("no cache mapping for actual table '" +
+                                  table_name + "'");
+  }
+  if (cache_ == nullptr) {
+    return Status::Internal("cache-scan without a cache manager");
+  }
+  return cache_->Lookup(uri);
+}
+
+}  // namespace dex

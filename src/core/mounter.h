@@ -1,0 +1,64 @@
+#ifndef DEX_CORE_MOUNTER_H_
+#define DEX_CORE_MOUNTER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/cache_manager.h"
+#include "core/derived_metadata.h"
+#include "core/file_registry.h"
+#include "core/format_adapter.h"
+#include "engine/expr.h"
+#include "storage/catalog.h"
+
+namespace dex {
+
+/// \brief Implements the mount access path: "extracts, transforms (to comply
+/// with database schema) and ingests actual data from individual external
+/// files" (paper §3).
+///
+/// The resulting tables are *dangling partial tables* — they are never
+/// appended to the catalog's D table; they exist for the duration of the
+/// query (and afterwards only if the cache policy retains them).
+class Mounter {
+ public:
+  struct MountCounters {
+    uint64_t mounts = 0;
+    uint64_t records_decoded = 0;
+    uint64_t samples_decoded = 0;
+    uint64_t bytes_read = 0;
+  };
+
+  Mounter(Catalog* catalog, FileRegistry* registry, CacheManager* cache,
+          DerivedMetadata* derived, FormatAdapter* format)
+      : catalog_(catalog),
+        registry_(registry),
+        cache_(cache),
+        derived_(derived),
+        format_(format) {}
+
+  /// Mounts `uri` as a partial `table_name` table. When `fused_predicate` is
+  /// non-null, only satisfying tuples are returned (combined select-mount);
+  /// the cache is offered the data either way, tagged with the predicate.
+  Result<TablePtr> Mount(const std::string& table_name, const std::string& uri,
+                         const ExprPtr& fused_predicate);
+
+  /// The cache-scan access path: returns previously ingested data.
+  Result<TablePtr> CacheLookup(const std::string& table_name,
+                               const std::string& uri);
+
+  const MountCounters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = MountCounters{}; }
+
+ private:
+  Catalog* catalog_;
+  FileRegistry* registry_;
+  CacheManager* cache_;
+  DerivedMetadata* derived_;  // may be null (collection disabled)
+  FormatAdapter* format_;
+  MountCounters counters_;
+};
+
+}  // namespace dex
+
+#endif  // DEX_CORE_MOUNTER_H_

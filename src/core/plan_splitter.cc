@@ -1,0 +1,178 @@
+#include "core/plan_splitter.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dex {
+
+namespace {
+
+bool IsUnary(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kFilter:
+    case PlanKind::kProject:
+    case PlanKind::kAggregate:
+    case PlanKind::kSort:
+    case PlanKind::kLimit:
+    case PlanKind::kStageBreak:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// A relation unit: one non-join subtree participating in the join zone.
+struct JoinUnit {
+  PlanPtr plan;
+  bool metadata_only = false;
+};
+
+/// Flattens a tree of Join nodes into units plus the pool of join conjuncts.
+void FlattenJoins(const PlanPtr& plan, std::vector<JoinUnit>* units,
+                  std::vector<ExprPtr>* conjuncts, const Catalog& catalog) {
+  if (plan->kind == PlanKind::kJoin) {
+    Expr::SplitConjuncts(plan->predicate, conjuncts);
+    FlattenJoins(plan->children[0], units, conjuncts, catalog);
+    FlattenJoins(plan->children[1], units, conjuncts, catalog);
+    return;
+  }
+  JoinUnit unit;
+  unit.plan = plan;
+  std::vector<std::string> tables;
+  CollectTableNames(plan, &tables);
+  unit.metadata_only = !tables.empty();
+  for (const std::string& t : tables) {
+    auto kind = catalog.GetKind(t);
+    if (!kind.ok() || *kind != TableKind::kMetadata) {
+      unit.metadata_only = false;
+      break;
+    }
+  }
+  units->push_back(std::move(unit));
+}
+
+/// Removes trivially-true literals from a conjunct list.
+bool IsTrueLiteral(const ExprPtr& e) {
+  return e->kind() == ExprKind::kLiteral &&
+         e->literal().type() == DataType::kBool && e->literal().boolean();
+}
+
+/// Builds a right-deep join chain over `units` in order, consuming every
+/// conjunct from `pool` as soon as all of its columns are available.
+/// `accumulated` (may be null) becomes the innermost right side.
+PlanPtr ComposeChain(const std::vector<JoinUnit>& units, PlanPtr accumulated,
+                     SchemaPtr accumulated_schema, std::vector<ExprPtr>* pool,
+                     std::vector<bool>* used) {
+  PlanPtr acc = std::move(accumulated);
+  SchemaPtr acc_schema = std::move(accumulated_schema);
+  // Right-deep: the last unit is innermost, so iterate in reverse.
+  for (auto it = units.rbegin(); it != units.rend(); ++it) {
+    if (acc == nullptr) {
+      acc = it->plan;
+      acc_schema = it->plan->output_schema;
+      continue;
+    }
+    SchemaPtr combined = Schema::Concat(*it->plan->output_schema, *acc_schema);
+    std::vector<ExprPtr> applicable;
+    for (size_t i = 0; i < pool->size(); ++i) {
+      if ((*used)[i]) continue;
+      if ((*pool)[i]->AllColumnsIn(*combined)) {
+        applicable.push_back((*pool)[i]);
+        (*used)[i] = true;
+      }
+    }
+    acc = MakeJoin(Expr::AndAll(applicable), it->plan, std::move(acc));
+    // Later composition steps (and the StageBreak marker) need this node's
+    // schema before the final AnalyzePlan pass runs.
+    acc->output_schema = combined;
+    acc_schema = std::move(combined);
+  }
+  return acc;
+}
+
+}  // namespace
+
+Result<SplitResult> SplitPlan(const PlanPtr& plan, const Catalog& catalog) {
+  SplitResult result;
+
+  // Classify what the query touches.
+  std::vector<std::string> tables;
+  CollectTableNames(plan, &tables);
+  for (const std::string& t : tables) {
+    DEX_ASSIGN_OR_RETURN(TableKind kind, catalog.GetKind(t));
+    if (kind == TableKind::kMetadata) {
+      result.references_metadata = true;
+    } else {
+      result.references_actual = true;
+    }
+  }
+  if (!result.references_actual || !result.references_metadata) {
+    result.plan = plan;  // no split needed
+    return result;
+  }
+
+  // Descend through the unary spine to the join zone.
+  std::vector<PlanPtr> spine;
+  PlanPtr node = plan;
+  while (IsUnary(node->kind)) {
+    spine.push_back(node);
+    node = node->children[0];
+  }
+  if (node->kind != PlanKind::kJoin) {
+    // Mixed tables but no join (e.g. a union) — leave unsplit; the two-stage
+    // executor falls back to mounting all files for the actual scans.
+    result.plan = plan;
+    return result;
+  }
+
+  std::vector<JoinUnit> units;
+  std::vector<ExprPtr> pool;
+  FlattenJoins(node, &units, &pool, catalog);
+  // Drop TRUE fillers so they don't count as unusable conjuncts.
+  pool.erase(std::remove_if(pool.begin(), pool.end(), IsTrueLiteral), pool.end());
+
+  std::vector<JoinUnit> metadata_units, actual_units;
+  for (JoinUnit& u : units) {
+    (u.metadata_only ? metadata_units : actual_units).push_back(u);
+  }
+  if (metadata_units.empty() || actual_units.empty()) {
+    result.plan = plan;
+    return result;
+  }
+
+  std::vector<bool> used(pool.size(), false);
+  // m1 ⋈ (m2 ⋈ (... ⋈ mx)) — the metadata branch.
+  PlanPtr metadata_chain =
+      ComposeChain(metadata_units, nullptr, nullptr, &pool, &used);
+  result.qf = metadata_chain;
+  PlanPtr marked = MakeStageBreak(metadata_chain);
+  marked->output_schema = metadata_chain->output_schema;
+
+  // a1 ⋈ (a2 ⋈ (... (ay ⋈ Q_f))).
+  PlanPtr rebuilt = ComposeChain(actual_units, marked,
+                                 metadata_chain->output_schema, &pool, &used);
+
+  // Any conjunct never placed (should not happen after pushdown) becomes a
+  // final filter so no predicate is silently dropped.
+  std::vector<ExprPtr> leftovers;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    if (!used[i]) leftovers.push_back(pool[i]);
+  }
+  if (!leftovers.empty()) {
+    rebuilt = MakeFilter(Expr::AndAll(leftovers), std::move(rebuilt));
+  }
+
+  // Reattach the unary spine above the rebuilt join zone.
+  PlanPtr top = rebuilt;
+  for (auto it = spine.rbegin(); it != spine.rend(); ++it) {
+    auto copy = std::make_shared<LogicalPlan>(**it);
+    copy->children = {top};
+    top = copy;
+  }
+  DEX_RETURN_NOT_OK(AnalyzePlan(top, catalog));
+  result.plan = top;
+  return result;
+}
+
+}  // namespace dex

@@ -1,0 +1,38 @@
+#ifndef DEX_CORE_PLAN_SPLITTER_H_
+#define DEX_CORE_PLAN_SPLITTER_H_
+
+#include "engine/logical_plan.h"
+#include "storage/catalog.h"
+
+namespace dex {
+
+/// \brief Outcome of decomposing Q into Q_f ⋈ Q_s (paper §3).
+struct SplitResult {
+  /// The full plan. When a split happened, a StageBreak node marks the root
+  /// of Q_f inside it; Q_s is everything else.
+  PlanPtr plan;
+  /// The metadata branch Q_f (the StageBreak's child), or nullptr when the
+  /// query does not need a split.
+  PlanPtr qf;
+  bool references_actual = false;
+  bool references_metadata = false;
+};
+
+/// \brief Decomposes an analyzed query plan for two-stage execution.
+///
+/// Applies the paper's additional plan rewrite rules — e.g.
+///   m1 ⋈ (a1 ⋈ m2) → a1 ⋈ (m1 ⋈ m2)
+/// — using join associativity/commutativity to collect all metadata-table
+/// joins into the highest branch whose leaves are all metadata scans (Q_f),
+/// rewriting any join order into the pattern
+///   a1 ⋈ (a2 ⋈ (... (ay ⋈ (m1 ⋈ (m2 ⋈ (... ⋈ mx))))))
+/// and marking Q_f with a StageBreak node. Queries that reference only
+/// metadata or only actual data are returned unsplit ("it is not needed to
+/// form Q_f and Q_s, unless the query refers to both").
+///
+/// The input must be analyzed; the output is re-analyzed.
+Result<SplitResult> SplitPlan(const PlanPtr& plan, const Catalog& catalog);
+
+}  // namespace dex
+
+#endif  // DEX_CORE_PLAN_SPLITTER_H_

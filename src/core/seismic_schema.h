@@ -1,0 +1,45 @@
+#ifndef DEX_CORE_SEISMIC_SCHEMA_H_
+#define DEX_CORE_SEISMIC_SCHEMA_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "mseed/reader.h"
+#include "mseed/scanner.h"
+#include "storage/table.h"
+
+namespace dex {
+
+/// The paper's normalized schema (§3/§4): two metadata tables and one actual
+/// data table.
+///   F(uri, network, station, channel, location, size_bytes, mtime, n_records)
+///   R(uri, record_id, start_time, end_time, sample_rate, n_samples)
+///   D(uri, record_id, sample_time, sample_value)
+/// M = {F, R}, A = {D}.
+inline constexpr const char* kFileTableName = "F";
+inline constexpr const char* kRecordTableName = "R";
+inline constexpr const char* kDataTableName = "D";
+/// Derived-metadata table (§5 "Extending metadata"); member of M.
+inline constexpr const char* kDerivedTableName = "DM";
+
+SchemaPtr MakeFileSchema();
+SchemaPtr MakeRecordSchema();
+SchemaPtr MakeDataSchema();
+SchemaPtr MakeDerivedSchema();
+
+/// \brief Builds the F table from scanned file metadata.
+Result<TablePtr> BuildFileTable(const mseed::ScanResult& scan);
+
+/// \brief Builds the R table from scanned record metadata.
+Result<TablePtr> BuildRecordTable(const mseed::ScanResult& scan);
+
+/// \brief Appends one decoded record's samples to a D-schema table.
+/// `record_id` is the record's index within its file.
+Status AppendSamplesToDataTable(const std::string& uri, int64_t record_id,
+                                const mseed::DecodedRecord& record,
+                                Table* data_table);
+
+}  // namespace dex
+
+#endif  // DEX_CORE_SEISMIC_SCHEMA_H_

@@ -1,0 +1,365 @@
+#include "core/two_stage.h"
+
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "core/seismic_schema.h"
+#include "io/file_io.h"
+
+namespace dex {
+
+namespace {
+
+constexpr const char* kQfResultId = "__qf";
+constexpr const char* kEmptyResultId = "__empty";
+constexpr const char* kIngestedResultId = "__ingested";
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> TwoStageExecutor::FilesOfInterest(
+    const TablePtr& qf_result) {
+  // Any column named "uri" identifies the file; F.uri and R.uri agree by the
+  // join condition, so the first one found works.
+  int uri_idx = -1;
+  for (size_t i = 0; i < qf_result->schema()->num_fields(); ++i) {
+    if (qf_result->schema()->field(i).name == "uri") {
+      uri_idx = static_cast<int>(i);
+      break;
+    }
+  }
+  if (uri_idx < 0) {
+    return Status::Internal(
+        "stage-1 result carries no 'uri' column; files of interest are "
+        "unidentifiable in schema " +
+        qf_result->schema()->ToString());
+  }
+  const Column& col = *qf_result->column(static_cast<size_t>(uri_idx));
+  std::vector<std::string> files;
+  std::unordered_set<int32_t> seen_codes;
+  for (size_t r = 0; r < qf_result->num_rows(); ++r) {
+    if (seen_codes.insert(col.GetStringCode(r)).second) {
+      files.push_back(col.GetString(r));
+    }
+  }
+  return files;
+}
+
+ExprPtr TwoStageExecutor::FindActualScanPredicate(const PlanPtr& plan,
+                                                  const Catalog& catalog) {
+  if (plan->kind == PlanKind::kFilter &&
+      plan->children[0]->kind == PlanKind::kScan) {
+    auto kind = catalog.GetKind(plan->children[0]->table_name);
+    if (kind.ok() && *kind == TableKind::kActual) return plan->predicate;
+  }
+  for (const PlanPtr& c : plan->children) {
+    ExprPtr found = FindActualScanPredicate(c, catalog);
+    if (found != nullptr) return found;
+  }
+  return nullptr;
+}
+
+Result<std::vector<FileDecision>> TwoStageExecutor::DecideFiles(
+    const std::vector<std::string>& files, const ExprPtr& d_predicate) {
+  const std::string pred_repr =
+      d_predicate == nullptr ? "" : d_predicate->ToString();
+  const CachedWindow query_window = SummarizeTimeWindow(d_predicate);
+  double value_lo = 0, value_hi = 0;
+  const bool value_bounded =
+      options_.use_derived_pruning && derived_ != nullptr &&
+      ExtractBounds(d_predicate, "sample_value", &value_lo, &value_hi);
+
+  std::vector<FileDecision> decisions;
+  decisions.reserve(files.size());
+  for (const std::string& uri : files) {
+    FileDecision d;
+    d.uri = uri;
+    DEX_ASSIGN_OR_RETURN(FileRegistry::Entry entry, registry_->Get(uri));
+    const int64_t mtime = FileMtimeMillis(uri).ValueOr(entry.mtime_ms);
+    if (value_bounded && !derived_->MayMatchValueRange(uri, value_lo, value_hi)) {
+      d.action = FileDecision::Action::kSkip;
+    } else if (cache_ != nullptr &&
+               cache_->Probe(uri,
+                             cache_->options().granularity ==
+                                     CacheGranularity::kTuple
+                                 ? pred_repr
+                                 : "",
+                             mtime, &query_window)) {
+      d.action = FileDecision::Action::kCacheScan;
+    } else {
+      d.action = FileDecision::Action::kMount;
+    }
+    decisions.push_back(std::move(d));
+  }
+  return decisions;
+}
+
+Result<PlanPtr> TwoStageExecutor::RewriteStage2(
+    const PlanPtr& split_plan, const std::string& qf_result_id,
+    const std::vector<FileDecision>& decisions, PlanPtr* union_node_out) {
+  // Builds the union replacing one actual-table scan. `pred` is the
+  // selection that sat on the scan (may be null).
+  auto build_union = [&](const std::string& table_name,
+                         const ExprPtr& pred) -> PlanPtr {
+    std::vector<PlanPtr> branches;
+    for (const FileDecision& d : decisions) {
+      switch (d.action) {
+        case FileDecision::Action::kSkip:
+          break;
+        case FileDecision::Action::kCacheScan: {
+          PlanPtr node = MakeCacheScan(table_name, d.uri);
+          if (pred != nullptr && options_.push_selection_into_union) {
+            node = MakeFilter(pred, std::move(node));  // σ(cache-scan(f))
+          }
+          branches.push_back(std::move(node));
+          break;
+        }
+        case FileDecision::Action::kMount: {
+          PlanPtr node = MakeMount(table_name, d.uri);
+          if (pred != nullptr && options_.push_selection_into_union) {
+            node->predicate = pred;  // combined select-mount access path
+          }
+          branches.push_back(std::move(node));
+          break;
+        }
+      }
+    }
+    PlanPtr result;
+    if (branches.empty()) {
+      // Best case of ALi: an empty set of files of interest means no actual
+      // data is ever ingested.
+      result = MakeResultScan(std::string(kEmptyResultId) + ":" + table_name,
+                              nullptr /* filled by caller context */);
+    } else {
+      result = MakeUnion(std::move(branches));
+    }
+    if (union_node_out != nullptr) *union_node_out = result;
+    if (pred != nullptr && !options_.push_selection_into_union) {
+      result = MakeFilter(pred, std::move(result));
+    }
+    return result;
+  };
+
+  std::function<Result<PlanPtr>(const PlanPtr&)> transform =
+      [&](const PlanPtr& node) -> Result<PlanPtr> {
+    if (node->kind == PlanKind::kStageBreak) {
+      return MakeResultScan(qf_result_id, node->children[0]->output_schema);
+    }
+    // σ_p(scan(a)) and bare scan(a) both expand via rewrite rule (1).
+    if (node->kind == PlanKind::kFilter &&
+        node->children[0]->kind == PlanKind::kScan) {
+      auto kind = catalog_->GetKind(node->children[0]->table_name);
+      if (kind.ok() && *kind == TableKind::kActual) {
+        return build_union(node->children[0]->table_name, node->predicate);
+      }
+    }
+    if (node->kind == PlanKind::kScan) {
+      auto kind = catalog_->GetKind(node->table_name);
+      if (kind.ok() && *kind == TableKind::kActual) {
+        return build_union(node->table_name, nullptr);
+      }
+    }
+    auto copy = std::make_shared<LogicalPlan>(*node);
+    copy->children.clear();
+    for (const PlanPtr& c : node->children) {
+      DEX_ASSIGN_OR_RETURN(PlanPtr t, transform(c));
+      copy->children.push_back(std::move(t));
+    }
+    return copy;
+  };
+
+  DEX_ASSIGN_OR_RETURN(PlanPtr rewritten, transform(split_plan));
+
+  if (options_.distribute_join_over_union) {
+    // Strategy (b): Join(∪ b_i, X) → ∪ Join(b_i, X) — run the join per
+    // mounted sub-table, then merge the results.
+    std::function<PlanPtr(const PlanPtr&)> distribute =
+        [&](const PlanPtr& node) -> PlanPtr {
+      auto copy = std::make_shared<LogicalPlan>(*node);
+      copy->children.clear();
+      for (const PlanPtr& c : node->children) {
+        copy->children.push_back(distribute(c));
+      }
+      if (copy->kind == PlanKind::kJoin &&
+          copy->children[0]->kind == PlanKind::kUnion) {
+        std::vector<PlanPtr> joined;
+        for (const PlanPtr& b : copy->children[0]->children) {
+          joined.push_back(MakeJoin(copy->predicate, b, copy->children[1]));
+        }
+        if (!joined.empty()) return MakeUnion(std::move(joined));
+      }
+      return copy;
+    };
+    rewritten = distribute(rewritten);
+  }
+  return rewritten;
+}
+
+Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
+                                           const BreakpointCallback& callback,
+                                           TwoStageStats* stats) {
+  DEX_CHECK(stats != nullptr);
+  DEX_ASSIGN_OR_RETURN(SplitResult split, SplitPlan(plan, *catalog_));
+
+  ExecContext ctx;
+  ctx.catalog = catalog_;
+  ctx.mount_fn = [this](const std::string& table, const std::string& uri,
+                        const ExprPtr& pred) {
+    return mounter_->Mount(table, uri, pred);
+  };
+  ctx.cache_fn = [this](const std::string& table, const std::string& uri) {
+    return mounter_->CacheLookup(table, uri);
+  };
+
+  // ---- Metadata-only query: the first stage of execution is naturally
+  // enough and the query is answered without any actual data ingestion.
+  if (!split.references_actual) {
+    stats->stage1_only = true;
+    const uint64_t t0 = NowNanos();
+    DEX_ASSIGN_OR_RETURN(TablePtr result, ExecutePlan(split.plan, &ctx));
+    stats->stage1_nanos = NowNanos() - t0;
+    stats->exec = ctx.stats;
+    return result;
+  }
+
+  // ---- Stage 1: execute Q_f (when the query references metadata at all).
+  TablePtr qf_result;
+  std::vector<std::string> files;
+  if (split.qf != nullptr) {
+    stats->split = true;
+    const uint64_t t0 = NowNanos();
+    DEX_ASSIGN_OR_RETURN(qf_result, ExecutePlan(split.qf, &ctx));
+    stats->stage1_nanos = NowNanos() - t0;
+    DEX_ASSIGN_OR_RETURN(files, FilesOfInterest(qf_result));
+  } else {
+    // Without metadata restriction every available file is "relevant".
+    files = registry_->AllUris();
+  }
+  stats->files_of_interest = files.size();
+
+  // ---- Run-time query optimization phase.
+  const uint64_t t_rw = NowNanos();
+  const ExprPtr d_predicate = FindActualScanPredicate(split.plan, *catalog_);
+  DEX_ASSIGN_OR_RETURN(std::vector<FileDecision> decisions,
+                       DecideFiles(files, d_predicate));
+  for (const FileDecision& d : decisions) {
+    switch (d.action) {
+      case FileDecision::Action::kMount:
+        ++stats->files_planned_mount;
+        break;
+      case FileDecision::Action::kCacheScan:
+        ++stats->files_planned_cache;
+        break;
+      case FileDecision::Action::kSkip:
+        ++stats->files_pruned;
+        break;
+    }
+  }
+
+  // Informativeness at the breakpoint. The R table backs the estimate when
+  // Q_f carries no record-level columns.
+  TablePtr record_metadata;
+  if (auto r_table = catalog_->GetTable(kRecordTableName); r_table.ok()) {
+    record_metadata = *r_table;
+  }
+  DEX_ASSIGN_OR_RETURN(
+      stats->breakpoint,
+      EstimateInformativeness(qf_result, files, *registry_, cache_, d_predicate,
+                              options_.model, record_metadata));
+  stats->breakpoint.files_pruned = stats->files_pruned;
+  stats->breakpoint_evaluated = true;
+  if (callback != nullptr &&
+      callback(stats->breakpoint) == BreakpointDecision::kAbort) {
+    return Status::Aborted("query aborted by the explorer at the breakpoint");
+  }
+
+  PlanPtr union_node;
+  DEX_ASSIGN_OR_RETURN(PlanPtr stage2_plan,
+                       RewriteStage2(split.plan, kQfResultId, decisions,
+                                     &union_node));
+
+  // Named results available to stage 2.
+  if (qf_result != nullptr) ctx.named_results[kQfResultId] = qf_result;
+  // Empty-relation placeholders (one per actual table) for the zero-files
+  // case; fix up the result-scan schemas too.
+  std::function<Status(const PlanPtr&)> fix_empties =
+      [&](const PlanPtr& node) -> Status {
+    if (node->kind == PlanKind::kResultScan &&
+        node->result_id.rfind(kEmptyResultId, 0) == 0) {
+      const std::string table = node->result_id.substr(strlen(kEmptyResultId) + 1);
+      DEX_ASSIGN_OR_RETURN(TablePtr base, catalog_->GetTable(table));
+      auto empty = std::make_shared<Table>(table, base->schema());
+      ctx.named_results[node->result_id] = empty;
+      node->output_schema = base->schema();
+    }
+    for (const PlanPtr& c : node->children) {
+      DEX_RETURN_NOT_OK(fix_empties(c));
+    }
+    return Status::OK();
+  };
+  DEX_RETURN_NOT_OK(fix_empties(stage2_plan));
+  DEX_RETURN_NOT_OK(AnalyzePlan(stage2_plan, *catalog_));
+  stats->rewrite_nanos = NowNanos() - t_rw;
+
+  // ---- Stage 2: multi-stage (batched) or single-shot.
+  const uint64_t t2 = NowNanos();
+  if (options_.mount_batch_size > 0 && union_node != nullptr &&
+      union_node->kind == PlanKind::kUnion &&
+      union_node->children.size() > options_.mount_batch_size) {
+    // Ingest the union's branches in batches, with a breakpoint after each.
+    DEX_ASSIGN_OR_RETURN(TablePtr base, catalog_->GetTable(kDataTableName));
+    auto buffer = std::make_shared<Table>(kIngestedResultId, base->schema());
+    const size_t batch = options_.mount_batch_size;
+    const size_t num_batches =
+        (union_node->children.size() + batch - 1) / batch;
+    for (size_t b = 0; b < num_batches; ++b) {
+      std::vector<PlanPtr> group(
+          union_node->children.begin() + static_cast<long>(b * batch),
+          union_node->children.begin() +
+              static_cast<long>(std::min((b + 1) * batch,
+                                         union_node->children.size())));
+      PlanPtr sub = MakeUnion(std::move(group));
+      DEX_RETURN_NOT_OK(AnalyzePlan(sub, *catalog_));
+      DEX_ASSIGN_OR_RETURN(TablePtr part, ExecutePlan(sub, &ctx));
+      DEX_RETURN_NOT_OK(buffer->AppendTable(*part));
+      if (callback != nullptr) {
+        BreakpointInfo progress = stats->breakpoint;
+        progress.batch_index = b + 1;
+        progress.num_batches = num_batches;
+        progress.rows_ingested_so_far = buffer->num_rows();
+        if (callback(progress) == BreakpointDecision::kAbort) {
+          return Status::Aborted("query aborted during multi-stage ingestion");
+        }
+      }
+    }
+    ctx.named_results[kIngestedResultId] = buffer;
+    // Splice the buffer in place of the union and run the rest of the plan.
+    std::function<PlanPtr(const PlanPtr&)> splice =
+        [&](const PlanPtr& node) -> PlanPtr {
+      if (node == union_node) {
+        return MakeResultScan(kIngestedResultId, base->schema());
+      }
+      auto copy = std::make_shared<LogicalPlan>(*node);
+      copy->children.clear();
+      for (const PlanPtr& c : node->children) copy->children.push_back(splice(c));
+      return copy;
+    };
+    stage2_plan = splice(stage2_plan);
+    DEX_RETURN_NOT_OK(AnalyzePlan(stage2_plan, *catalog_));
+  }
+  DEX_ASSIGN_OR_RETURN(TablePtr result, ExecutePlan(stage2_plan, &ctx));
+  stats->stage2_nanos = NowNanos() - t2;
+  stats->exec = ctx.stats;
+  return result;
+}
+
+}  // namespace dex

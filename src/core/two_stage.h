@@ -1,0 +1,120 @@
+#ifndef DEX_CORE_TWO_STAGE_H_
+#define DEX_CORE_TWO_STAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cache_manager.h"
+#include "core/derived_metadata.h"
+#include "core/file_registry.h"
+#include "core/informativeness.h"
+#include "core/mounter.h"
+#include "core/plan_splitter.h"
+#include "engine/executor.h"
+
+namespace dex {
+
+/// \brief Knobs for the run-time optimization phase between the two stages.
+struct TwoStageOptions {
+  /// Apply σ_p(∪ ...) → ∪ σ_p(...) and fuse the selection into mounts
+  /// (combined select-mount / select-cache-scan access paths).
+  bool push_selection_into_union = true;
+
+  /// The paper's strategy question (§3): (a) merge mounted data then run
+  /// higher operators in bulk (false), or (b) run higher operators on
+  /// sub-tables and merge results (true) — implemented by distributing the
+  /// join with Q_f's result over the union of mounts.
+  bool distribute_join_over_union = false;
+
+  /// >0 enables multi-stage execution (§5): files of interest are ingested
+  /// in batches of this size, with a breakpoint callback between batches.
+  size_t mount_batch_size = 0;
+
+  /// Skip mounting files whose derived metadata proves they cannot satisfy
+  /// the query's bounds on sample_value (§5 "Extending metadata").
+  bool use_derived_pruning = false;
+
+  InformativenessModel model;
+};
+
+/// \brief What the run-time rewriter decided for each file of interest.
+struct FileDecision {
+  enum class Action { kMount, kCacheScan, kSkip };
+  std::string uri;
+  Action action = Action::kMount;
+};
+
+/// \brief Statistics of one two-stage execution.
+struct TwoStageStats {
+  bool split = false;          // Q_f / Q_s decomposition happened
+  bool stage1_only = false;    // metadata-only query: stage 1 answered it
+  uint64_t stage1_nanos = 0;
+  uint64_t rewrite_nanos = 0;  // run-time optimization phase
+  uint64_t stage2_nanos = 0;
+  size_t files_of_interest = 0;
+  size_t files_planned_mount = 0;
+  size_t files_planned_cache = 0;
+  size_t files_pruned = 0;
+  ExecStats exec;
+  BreakpointInfo breakpoint;
+  bool breakpoint_evaluated = false;
+};
+
+/// \brief Executes queries under the paper's two-stage paradigm.
+///
+/// The four physical steps of §3: compile-time optimization happened before
+/// (binder + predicate pushdown + SplitPlan); this class runs (1) the partial
+/// execution of Q_f, (2) the run-time query optimization phase (rewrite rule
+/// (1) plus options above), and (3) the second-stage execution with ALi.
+class TwoStageExecutor {
+ public:
+  TwoStageExecutor(Catalog* catalog, FileRegistry* registry, CacheManager* cache,
+                   Mounter* mounter, DerivedMetadata* derived,
+                   TwoStageOptions options)
+      : catalog_(catalog),
+        registry_(registry),
+        cache_(cache),
+        mounter_(mounter),
+        derived_(derived),
+        options_(options) {}
+
+  /// Runs `plan` (analyzed, predicates pushed down). `callback` may be null;
+  /// when set it is invoked at the stage boundary (and, under multi-stage
+  /// execution, after every ingestion batch) and may abort the query.
+  Result<TablePtr> Execute(const PlanPtr& plan, const BreakpointCallback& callback,
+                           TwoStageStats* stats);
+
+  /// Distinct values of the stage-1 result's `uri` column — "the files of
+  /// interest are identified, and collected as a list of file URIs".
+  static Result<std::vector<std::string>> FilesOfInterest(const TablePtr& qf_result);
+
+  /// The pushed-down selection sitting directly on the actual-data scan
+  /// (nullptr when the query has no predicate on actual data).
+  static ExprPtr FindActualScanPredicate(const PlanPtr& plan,
+                                         const Catalog& catalog);
+
+  /// Applies rewrite rule (1): replaces the StageBreak with a result-scan of
+  /// `qf_result_id` and every actual-table scan with a union over per-file
+  /// access paths according to `decisions`. Exposed for tests and benches.
+  Result<PlanPtr> RewriteStage2(const PlanPtr& split_plan,
+                                const std::string& qf_result_id,
+                                const std::vector<FileDecision>& decisions,
+                                PlanPtr* union_node_out);
+
+  const TwoStageOptions& options() const { return options_; }
+
+ private:
+  Result<std::vector<FileDecision>> DecideFiles(
+      const std::vector<std::string>& files, const ExprPtr& d_predicate);
+
+  Catalog* catalog_;
+  FileRegistry* registry_;
+  CacheManager* cache_;
+  Mounter* mounter_;
+  DerivedMetadata* derived_;
+  TwoStageOptions options_;
+};
+
+}  // namespace dex
+
+#endif  // DEX_CORE_TWO_STAGE_H_

@@ -1,0 +1,58 @@
+#ifndef DEX_CSVF_CSV_FORMAT_H_
+#define DEX_CSVF_CSV_FORMAT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mseed/reader.h"
+#include "mseed/scanner.h"
+#include "mseed/writer.h"
+
+namespace dex::csvf {
+
+/// \brief A plain-text time-series format, the second concrete format behind
+/// the FormatAdapter interface (paper §5 "Generalization": different
+/// scientific domains use different formats; mapping them to tables should
+/// not require writing database-kernel code each time).
+///
+/// File layout: one or more records, each introduced by a metadata line
+///
+///   # network=OR station=ISK channel=BHE location=00
+///       start=2010-01-12T00:00:00.000 rate=40 samples=5000   (one line)
+///
+/// followed by one integer sample per line. Unlike mSEED there is no
+/// compact binary header and no compression: scanning metadata costs a full
+/// pass over the text, which the format benchmarks quantify.
+inline constexpr const char* kCsvExtension = ".tscsv";
+
+/// \brief Serializes records into the text format.
+std::string SerializeCsvFile(const std::vector<mseed::RecordData>& records);
+
+/// \brief Writes records to `path`, creating parent directories.
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<mseed::RecordData>& records);
+
+/// \brief Parses every record (headers + samples) of a CSV file image.
+Result<std::vector<mseed::DecodedRecord>> ParseCsvFile(
+    const std::string& file_image);
+
+/// \brief Reads and fully parses one file.
+Result<std::vector<mseed::DecodedRecord>> ReadCsvFile(const std::string& uri);
+
+/// \brief Extracts file- and record-level metadata for one file. The whole
+/// text must be read, but samples are not materialized as doubles.
+Result<mseed::ScanResult> ScanCsvFile(const std::string& uri);
+
+/// \brief Walks `root` and scans every *.tscsv file.
+Result<mseed::ScanResult> ScanCsvRepository(const std::string& root);
+
+/// \brief Converts an mSEED repository into an equivalent CSV repository
+/// (same directory structure, .tscsv extension). Used by tests and benches
+/// to compare formats on identical data.
+Status ConvertMseedRepository(const std::string& mseed_root,
+                              const std::string& csv_root);
+
+}  // namespace dex::csvf
+
+#endif  // DEX_CSVF_CSV_FORMAT_H_

@@ -1,0 +1,42 @@
+#ifndef DEX_ENGINE_BATCH_H_
+#define DEX_ENGINE_BATCH_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/column.h"
+#include "storage/schema.h"
+
+namespace dex {
+
+/// \brief The unit of data flowing between physical operators: a horizontal
+/// chunk of rows, stored column-wise.
+///
+/// Columns are shared pointers so operators that do not touch a column can
+/// pass it through without copying (MonetDB-style column-at-a-time execution,
+/// chunked to bound memory).
+struct Batch {
+  SchemaPtr schema;
+  std::vector<ColumnPtr> columns;
+
+  size_t num_rows() const { return columns.empty() ? 0 : columns[0]->size(); }
+  size_t num_columns() const { return columns.size(); }
+
+  /// An empty batch with fresh, appendable columns matching `schema`.
+  static Batch Empty(const SchemaPtr& schema) {
+    Batch b;
+    b.schema = schema;
+    b.columns.reserve(schema->num_fields());
+    for (const Field& f : schema->fields()) {
+      b.columns.push_back(std::make_shared<Column>(f.type));
+    }
+    return b;
+  }
+};
+
+/// Default number of rows per batch.
+constexpr size_t kBatchSize = 4096;
+
+}  // namespace dex
+
+#endif  // DEX_ENGINE_BATCH_H_

@@ -1,0 +1,494 @@
+#include "engine/expr.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/time_utils.h"
+
+namespace dex {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+const char* ArithOpToString(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+ExprPtr Expr::ColumnRef(std::string name) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kColumnRef;
+  e->column_name_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Lit(Value v) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kLiteral;
+  e->output_type_ = v.type();
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kComparison;
+  e->compare_op_ = op;
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  e->output_type_ = DataType::kBool;
+  return e;
+}
+
+ExprPtr Expr::And(ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kAnd;
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  e->output_type_ = DataType::kBool;
+  return e;
+}
+
+ExprPtr Expr::Or(ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kOr;
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  e->output_type_ = DataType::kBool;
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr operand) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kNot;
+  e->children_ = {std::move(operand)};
+  e->output_type_ = DataType::kBool;
+  return e;
+}
+
+ExprPtr Expr::Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kArithmetic;
+  e->arith_op_ = op;
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::Like(ExprPtr operand, std::string pattern) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kLike;
+  e->children_ = {std::move(operand)};
+  e->like_pattern_ = std::move(pattern);
+  e->output_type_ = DataType::kBool;
+  return e;
+}
+
+namespace {
+
+/// Iterative LIKE matcher ('%' any run, '_' any single char), the classic
+/// two-pointer algorithm with backtracking to the last '%'.
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  size_t t = 0, p = 0;
+  size_t star_p = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+}  // namespace
+
+ExprPtr Expr::AndAll(const std::vector<ExprPtr>& terms) {
+  if (terms.empty()) return Lit(Value::Bool(true));
+  ExprPtr acc = terms[0];
+  for (size_t i = 1; i < terms.size(); ++i) acc = And(acc, terms[i]);
+  return acc;
+}
+
+void Expr::SplitConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e->kind_ == ExprKind::kAnd) {
+    SplitConjuncts(e->children_[0], out);
+    SplitConjuncts(e->children_[1], out);
+  } else {
+    out->push_back(e);
+  }
+}
+
+void Expr::CollectColumnNames(std::vector<std::string>* out) const {
+  if (kind_ == ExprKind::kColumnRef) {
+    out->push_back(column_name_);
+    return;
+  }
+  for (const ExprPtr& c : children_) c->CollectColumnNames(out);
+}
+
+bool Expr::AllColumnsIn(const Schema& schema) const {
+  std::vector<std::string> names;
+  CollectColumnNames(&names);
+  for (const std::string& n : names) {
+    if (schema.FindFieldIndex(n) < 0) return false;
+  }
+  return true;
+}
+
+Result<ExprPtr> Expr::Bind(const Schema& schema) const {
+  switch (kind_) {
+    case ExprKind::kColumnRef: {
+      DEX_ASSIGN_OR_RETURN(size_t idx, schema.FieldIndex(column_name_));
+      auto e = std::shared_ptr<Expr>(new Expr());
+      e->kind_ = ExprKind::kColumnRef;
+      e->column_name_ = column_name_;
+      e->column_index_ = static_cast<int>(idx);
+      e->output_type_ = schema.field(idx).type;
+      return ExprPtr(e);
+    }
+    case ExprKind::kLiteral: {
+      auto e = std::shared_ptr<Expr>(new Expr());
+      e->kind_ = ExprKind::kLiteral;
+      e->literal_ = literal_;
+      e->output_type_ = literal_.type();
+      return ExprPtr(e);
+    }
+    default:
+      break;
+  }
+  std::vector<ExprPtr> bound;
+  for (const ExprPtr& c : children_) {
+    DEX_ASSIGN_OR_RETURN(ExprPtr b, c->Bind(schema));
+    bound.push_back(std::move(b));
+  }
+  // Timestamp coercion: '<iso>' literal compared against a TIMESTAMP column.
+  if (kind_ == ExprKind::kComparison) {
+    for (int side = 0; side < 2; ++side) {
+      const ExprPtr& lit = bound[side];
+      const ExprPtr& other = bound[1 - side];
+      if (lit->kind_ == ExprKind::kLiteral &&
+          lit->literal_.type() == DataType::kString &&
+          other->output_type_ == DataType::kTimestamp &&
+          LooksLikeIso8601(lit->literal_.str())) {
+        DEX_ASSIGN_OR_RETURN(int64_t ms, ParseIso8601(lit->literal_.str()));
+        auto e = std::shared_ptr<Expr>(new Expr());
+        e->kind_ = ExprKind::kLiteral;
+        e->literal_ = Value::Timestamp(ms);
+        e->output_type_ = DataType::kTimestamp;
+        bound[side] = e;
+      }
+    }
+    if (!AreComparable(bound[0]->output_type_, bound[1]->output_type_)) {
+      return Status::InvalidArgument(
+          "cannot compare " + std::string(DataTypeToString(bound[0]->output_type_)) +
+          " with " + DataTypeToString(bound[1]->output_type_) + " in " + ToString());
+    }
+  }
+  if (kind_ == ExprKind::kLike &&
+      bound[0]->output_type() != DataType::kString) {
+    return Status::InvalidArgument("LIKE requires a string operand, got " +
+                                   std::string(DataTypeToString(
+                                       bound[0]->output_type())));
+  }
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = kind_;
+  e->compare_op_ = compare_op_;
+  e->arith_op_ = arith_op_;
+  e->like_pattern_ = like_pattern_;
+  e->children_ = std::move(bound);
+  if (kind_ == ExprKind::kArithmetic) {
+    const DataType lt = e->children_[0]->output_type_;
+    const DataType rt = e->children_[1]->output_type_;
+    e->output_type_ = (lt == DataType::kDouble || rt == DataType::kDouble ||
+                       arith_op_ == ArithOp::kDiv)
+                          ? DataType::kDouble
+                          : DataType::kInt64;
+  } else {
+    e->output_type_ = DataType::kBool;
+  }
+  return ExprPtr(e);
+}
+
+namespace {
+
+/// Comparison kernel over two evaluated operand columns.
+template <typename GetFn, typename Cmp>
+void CompareLoop(size_t n, GetFn get, Cmp cmp, Column* out) {
+  for (size_t i = 0; i < n; ++i) {
+    auto [a, b] = get(i);
+    out->AppendInt64(cmp(a, b) ? 1 : 0);
+  }
+}
+
+template <typename T>
+bool ApplyCmp(CompareOp op, const T& a, const T& b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return a != b;
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLe:
+      return a <= b;
+    case CompareOp::kGt:
+      return a > b;
+    case CompareOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<ColumnPtr> Expr::Evaluate(const Batch& batch) const {
+  const size_t n = batch.num_rows();
+  switch (kind_) {
+    case ExprKind::kColumnRef: {
+      if (column_index_ < 0) {
+        return Status::Internal("evaluating unbound column ref '" + column_name_ +
+                                "'");
+      }
+      return batch.columns[column_index_];
+    }
+    case ExprKind::kLiteral: {
+      auto out = std::make_shared<Column>(output_type_);
+      out->Reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        DEX_RETURN_NOT_OK(out->AppendValue(literal_));
+      }
+      return out;
+    }
+    case ExprKind::kComparison: {
+      DEX_ASSIGN_OR_RETURN(ColumnPtr lhs, children_[0]->Evaluate(batch));
+      DEX_ASSIGN_OR_RETURN(ColumnPtr rhs, children_[1]->Evaluate(batch));
+      auto out = std::make_shared<Column>(DataType::kBool);
+      out->Reserve(n);
+      const CompareOp op = compare_op_;
+      if (lhs->type() == DataType::kString || rhs->type() == DataType::kString) {
+        if (lhs->type() != rhs->type()) {
+          return Status::InvalidArgument("string compared with non-string");
+        }
+        if (lhs->dict() == rhs->dict() &&
+            (op == CompareOp::kEq || op == CompareOp::kNe)) {
+          // Fast path: same dictionary, codes compare directly.
+          CompareLoop(
+              n,
+              [&](size_t i) {
+                return std::pair<int32_t, int32_t>(lhs->GetStringCode(i),
+                                                   rhs->GetStringCode(i));
+              },
+              [&](int32_t a, int32_t b) { return ApplyCmp(op, a, b); }, out.get());
+        } else {
+          CompareLoop(
+              n,
+              [&](size_t i) {
+                return std::pair<const std::string*, const std::string*>(
+                    &lhs->GetString(i), &rhs->GetString(i));
+              },
+              [&](const std::string* a, const std::string* b) {
+                return ApplyCmp(op, *a, *b);
+              },
+              out.get());
+        }
+      } else if (lhs->type() == DataType::kDouble ||
+                 rhs->type() == DataType::kDouble) {
+        CompareLoop(
+            n,
+            [&](size_t i) {
+              return std::pair<double, double>(lhs->GetNumeric(i),
+                                               rhs->GetNumeric(i));
+            },
+            [&](double a, double b) { return ApplyCmp(op, a, b); }, out.get());
+      } else {
+        CompareLoop(
+            n,
+            [&](size_t i) {
+              return std::pair<int64_t, int64_t>(lhs->GetInt64(i),
+                                                 rhs->GetInt64(i));
+            },
+            [&](int64_t a, int64_t b) { return ApplyCmp(op, a, b); }, out.get());
+      }
+      return out;
+    }
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      DEX_ASSIGN_OR_RETURN(ColumnPtr lhs, children_[0]->Evaluate(batch));
+      DEX_ASSIGN_OR_RETURN(ColumnPtr rhs, children_[1]->Evaluate(batch));
+      auto out = std::make_shared<Column>(DataType::kBool);
+      out->Reserve(n);
+      const bool is_and = kind_ == ExprKind::kAnd;
+      for (size_t i = 0; i < n; ++i) {
+        const bool a = lhs->GetInt64(i) != 0;
+        const bool b = rhs->GetInt64(i) != 0;
+        out->AppendInt64((is_and ? (a && b) : (a || b)) ? 1 : 0);
+      }
+      return out;
+    }
+    case ExprKind::kNot: {
+      DEX_ASSIGN_OR_RETURN(ColumnPtr operand, children_[0]->Evaluate(batch));
+      auto out = std::make_shared<Column>(DataType::kBool);
+      out->Reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        out->AppendInt64(operand->GetInt64(i) != 0 ? 0 : 1);
+      }
+      return out;
+    }
+    case ExprKind::kLike: {
+      DEX_ASSIGN_OR_RETURN(ColumnPtr operand, children_[0]->Evaluate(batch));
+      if (operand->type() != DataType::kString) {
+        return Status::InvalidArgument("LIKE on non-string column");
+      }
+      auto out = std::make_shared<Column>(DataType::kBool);
+      out->Reserve(n);
+      // Dictionary fast path: match each distinct string once.
+      std::unordered_map<int32_t, bool> verdicts;
+      for (size_t i = 0; i < n; ++i) {
+        const int32_t code = operand->GetStringCode(i);
+        auto it = verdicts.find(code);
+        if (it == verdicts.end()) {
+          it = verdicts.emplace(code, LikeMatch(operand->GetString(i),
+                                                like_pattern_)).first;
+        }
+        out->AppendInt64(it->second ? 1 : 0);
+      }
+      return out;
+    }
+    case ExprKind::kArithmetic: {
+      DEX_ASSIGN_OR_RETURN(ColumnPtr lhs, children_[0]->Evaluate(batch));
+      DEX_ASSIGN_OR_RETURN(ColumnPtr rhs, children_[1]->Evaluate(batch));
+      if (lhs->type() == DataType::kString || rhs->type() == DataType::kString) {
+        return Status::InvalidArgument("arithmetic on strings");
+      }
+      auto out = std::make_shared<Column>(output_type_);
+      out->Reserve(n);
+      const ArithOp op = arith_op_;
+      if (output_type_ == DataType::kDouble) {
+        for (size_t i = 0; i < n; ++i) {
+          const double a = lhs->GetNumeric(i);
+          const double b = rhs->GetNumeric(i);
+          double v = 0;
+          switch (op) {
+            case ArithOp::kAdd:
+              v = a + b;
+              break;
+            case ArithOp::kSub:
+              v = a - b;
+              break;
+            case ArithOp::kMul:
+              v = a * b;
+              break;
+            case ArithOp::kDiv:
+              if (b == 0) return Status::InvalidArgument("division by zero");
+              v = a / b;
+              break;
+          }
+          out->AppendDouble(v);
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          const int64_t a = lhs->GetInt64(i);
+          const int64_t b = rhs->GetInt64(i);
+          int64_t v = 0;
+          switch (op) {
+            case ArithOp::kAdd:
+              v = a + b;
+              break;
+            case ArithOp::kSub:
+              v = a - b;
+              break;
+            case ArithOp::kMul:
+              v = a * b;
+              break;
+            case ArithOp::kDiv:
+              return Status::Internal("integer division should output double");
+          }
+          out->AppendInt64(v);
+        }
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+Result<Value> Expr::EvaluateRow(const Batch& batch, size_t row) const {
+  // Row-wise path via a single-row evaluation; fine for edge uses.
+  switch (kind_) {
+    case ExprKind::kColumnRef:
+      if (column_index_ < 0) {
+        return Status::Internal("evaluating unbound column ref");
+      }
+      return batch.columns[column_index_]->GetValue(row);
+    case ExprKind::kLiteral:
+      return literal_;
+    default: {
+      // Build a one-row batch and reuse the vectorized path.
+      Batch one = Batch::Empty(batch.schema);
+      for (size_t c = 0; c < batch.columns.size(); ++c) {
+        one.columns[c]->AppendFrom(*batch.columns[c], row);
+      }
+      DEX_ASSIGN_OR_RETURN(ColumnPtr col, Evaluate(one));
+      return col->GetValue(0);
+    }
+  }
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kColumnRef:
+      return column_name_;
+    case ExprKind::kLiteral:
+      return literal_.ToString();
+    case ExprKind::kComparison:
+      return "(" + children_[0]->ToString() + " " +
+             CompareOpToString(compare_op_) + " " + children_[1]->ToString() + ")";
+    case ExprKind::kAnd:
+      return "(" + children_[0]->ToString() + " AND " + children_[1]->ToString() +
+             ")";
+    case ExprKind::kOr:
+      return "(" + children_[0]->ToString() + " OR " + children_[1]->ToString() +
+             ")";
+    case ExprKind::kNot:
+      return "(NOT " + children_[0]->ToString() + ")";
+    case ExprKind::kArithmetic:
+      return "(" + children_[0]->ToString() + " " + ArithOpToString(arith_op_) +
+             " " + children_[1]->ToString() + ")";
+    case ExprKind::kLike:
+      return "(" + children_[0]->ToString() + " LIKE '" + like_pattern_ + "')";
+  }
+  return "?";
+}
+
+}  // namespace dex

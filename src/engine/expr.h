@@ -1,0 +1,109 @@
+#ifndef DEX_ENGINE_EXPR_H_
+#define DEX_ENGINE_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "engine/batch.h"
+#include "storage/schema.h"
+
+namespace dex {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class ExprKind {
+  kColumnRef,
+  kLiteral,
+  kComparison,
+  kAnd,
+  kOr,
+  kNot,
+  kArithmetic,
+  kLike,  // string pattern match: operand LIKE 'pat%' (% = any run, _ = any char)
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+/// \brief An immutable scalar expression tree.
+///
+/// Expressions appear unbound (column refs by name) in logical plans and are
+/// bound (refs resolved to column indices against a concrete input schema)
+/// when physical operators are constructed. `Bind` returns a new tree; the
+/// original stays reusable, which matters because the two-stage rewriter
+/// moves predicates between sub-plans with different schemas.
+class Expr {
+ public:
+  // -- Construction -----------------------------------------------------
+  static ExprPtr ColumnRef(std::string name);
+  static ExprPtr Lit(Value v);
+  static ExprPtr Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr And(ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Or(ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Not(ExprPtr operand);
+  static ExprPtr Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs);
+  /// SQL LIKE with '%' (any run) and '_' (any single char) wildcards.
+  static ExprPtr Like(ExprPtr operand, std::string pattern);
+
+  /// Conjunction of `terms` (returns TRUE literal when empty).
+  static ExprPtr AndAll(const std::vector<ExprPtr>& terms);
+
+  /// Splits nested ANDs into a conjunct list.
+  static void SplitConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out);
+
+  // -- Introspection ------------------------------------------------------
+  ExprKind kind() const { return kind_; }
+  const std::string& column_name() const { return column_name_; }
+  int column_index() const { return column_index_; }
+  const Value& literal() const { return literal_; }
+  CompareOp compare_op() const { return compare_op_; }
+  ArithOp arith_op() const { return arith_op_; }
+  const std::string& like_pattern() const { return like_pattern_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+  bool bound() const { return kind_ != ExprKind::kColumnRef || column_index_ >= 0; }
+
+  /// Output type; only meaningful on bound expressions.
+  DataType output_type() const { return output_type_; }
+
+  /// Collects the (possibly qualified) names of all referenced columns.
+  void CollectColumnNames(std::vector<std::string>* out) const;
+
+  /// True if every referenced column resolves in `schema`.
+  bool AllColumnsIn(const Schema& schema) const;
+
+  /// Resolves column refs against `schema`; coerces ISO-8601 string literals
+  /// compared with TIMESTAMP columns. Returns a bound copy.
+  Result<ExprPtr> Bind(const Schema& schema) const;
+
+  /// Vectorized evaluation over a batch (expression must be bound).
+  Result<ColumnPtr> Evaluate(const Batch& batch) const;
+
+  /// Row-wise evaluation (used at edges, e.g. informativeness estimation).
+  Result<Value> EvaluateRow(const Batch& batch, size_t row) const;
+
+  std::string ToString() const;
+
+ private:
+  Expr() = default;
+
+  ExprKind kind_ = ExprKind::kLiteral;
+  std::string column_name_;
+  int column_index_ = -1;
+  Value literal_;
+  CompareOp compare_op_ = CompareOp::kEq;
+  ArithOp arith_op_ = ArithOp::kAdd;
+  std::string like_pattern_;
+  std::vector<ExprPtr> children_;
+  DataType output_type_ = DataType::kBool;
+};
+
+const char* CompareOpToString(CompareOp op);
+const char* ArithOpToString(ArithOp op);
+
+}  // namespace dex
+
+#endif  // DEX_ENGINE_EXPR_H_

@@ -1,0 +1,334 @@
+#include "engine/logical_plan.h"
+
+#include "common/logging.h"
+
+namespace dex {
+
+const char* AggFuncToString(AggFunc fn) {
+  switch (fn) {
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+PlanPtr MakeScan(std::string table_name) {
+  auto p = std::make_shared<LogicalPlan>();
+  p->kind = PlanKind::kScan;
+  p->table_name = std::move(table_name);
+  return p;
+}
+
+PlanPtr MakeFilter(ExprPtr predicate, PlanPtr child) {
+  auto p = std::make_shared<LogicalPlan>();
+  p->kind = PlanKind::kFilter;
+  p->predicate = std::move(predicate);
+  p->children = {std::move(child)};
+  return p;
+}
+
+PlanPtr MakeProject(std::vector<ExprPtr> exprs, std::vector<std::string> names,
+                    PlanPtr child) {
+  DEX_CHECK_EQ(exprs.size(), names.size());
+  auto p = std::make_shared<LogicalPlan>();
+  p->kind = PlanKind::kProject;
+  p->project_exprs = std::move(exprs);
+  p->project_names = std::move(names);
+  p->children = {std::move(child)};
+  return p;
+}
+
+PlanPtr MakeJoin(ExprPtr condition, PlanPtr left, PlanPtr right) {
+  auto p = std::make_shared<LogicalPlan>();
+  p->kind = PlanKind::kJoin;
+  p->predicate = std::move(condition);
+  p->children = {std::move(left), std::move(right)};
+  return p;
+}
+
+PlanPtr MakeAggregate(std::vector<ExprPtr> group_by, std::vector<AggSpec> aggs,
+                      PlanPtr child) {
+  auto p = std::make_shared<LogicalPlan>();
+  p->kind = PlanKind::kAggregate;
+  p->group_by = std::move(group_by);
+  p->aggregates = std::move(aggs);
+  p->children = {std::move(child)};
+  return p;
+}
+
+PlanPtr MakeSort(std::vector<SortKey> keys, PlanPtr child) {
+  auto p = std::make_shared<LogicalPlan>();
+  p->kind = PlanKind::kSort;
+  p->sort_keys = std::move(keys);
+  p->children = {std::move(child)};
+  return p;
+}
+
+PlanPtr MakeLimit(int64_t limit, PlanPtr child) {
+  auto p = std::make_shared<LogicalPlan>();
+  p->kind = PlanKind::kLimit;
+  p->limit = limit;
+  p->children = {std::move(child)};
+  return p;
+}
+
+PlanPtr MakeUnion(std::vector<PlanPtr> children) {
+  auto p = std::make_shared<LogicalPlan>();
+  p->kind = PlanKind::kUnion;
+  p->children = std::move(children);
+  return p;
+}
+
+PlanPtr MakeResultScan(std::string result_id, SchemaPtr schema) {
+  auto p = std::make_shared<LogicalPlan>();
+  p->kind = PlanKind::kResultScan;
+  p->result_id = std::move(result_id);
+  p->output_schema = std::move(schema);
+  return p;
+}
+
+PlanPtr MakeMount(std::string table_name, std::string uri) {
+  auto p = std::make_shared<LogicalPlan>();
+  p->kind = PlanKind::kMount;
+  p->table_name = std::move(table_name);
+  p->uri = std::move(uri);
+  return p;
+}
+
+PlanPtr MakeCacheScan(std::string table_name, std::string uri) {
+  auto p = std::make_shared<LogicalPlan>();
+  p->kind = PlanKind::kCacheScan;
+  p->table_name = std::move(table_name);
+  p->uri = std::move(uri);
+  return p;
+}
+
+PlanPtr MakeStageBreak(PlanPtr child) {
+  auto p = std::make_shared<LogicalPlan>();
+  p->kind = PlanKind::kStageBreak;
+  p->children = {std::move(child)};
+  return p;
+}
+
+PlanPtr ClonePlan(const PlanPtr& plan) {
+  if (plan == nullptr) return nullptr;
+  auto copy = std::make_shared<LogicalPlan>(*plan);
+  copy->children.clear();
+  for (const PlanPtr& c : plan->children) {
+    copy->children.push_back(ClonePlan(c));
+  }
+  return copy;
+}
+
+namespace {
+
+Status AnalyzeAggregate(LogicalPlan* plan, const Schema& input) {
+  auto schema = std::make_shared<Schema>();
+  for (const ExprPtr& g : plan->group_by) {
+    DEX_ASSIGN_OR_RETURN(ExprPtr bound, g->Bind(input));
+    // Group-by keys keep their source name when they are plain columns.
+    std::string name = g->kind() == ExprKind::kColumnRef
+                           ? g->column_name()
+                           : g->ToString();
+    // Strip any qualifier for the output field; keep it resolvable.
+    std::string qualifier;
+    const size_t dot = name.find('.');
+    if (dot != std::string::npos) {
+      qualifier = name.substr(0, dot);
+      name = name.substr(dot + 1);
+    }
+    schema->AddField({name, bound->output_type(), qualifier});
+  }
+  for (const AggSpec& agg : plan->aggregates) {
+    DataType out_type = DataType::kDouble;
+    if (agg.fn == AggFunc::kCount) {
+      out_type = DataType::kInt64;
+    } else if (agg.arg != nullptr) {
+      DEX_ASSIGN_OR_RETURN(ExprPtr bound, agg.arg->Bind(input));
+      if (agg.fn == AggFunc::kMin || agg.fn == AggFunc::kMax) {
+        out_type = bound->output_type();
+      } else if (agg.fn == AggFunc::kSum &&
+                 bound->output_type() != DataType::kDouble) {
+        out_type = DataType::kInt64;
+      }
+    } else {
+      return Status::InvalidArgument(std::string(AggFuncToString(agg.fn)) +
+                                     " requires an argument");
+    }
+    schema->AddField({agg.name, out_type, ""});
+  }
+  plan->output_schema = std::move(schema);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status AnalyzePlan(const PlanPtr& plan, const Catalog& catalog) {
+  for (const PlanPtr& c : plan->children) {
+    DEX_RETURN_NOT_OK(AnalyzePlan(c, catalog));
+  }
+  switch (plan->kind) {
+    case PlanKind::kScan:
+    case PlanKind::kMount:
+    case PlanKind::kCacheScan: {
+      DEX_ASSIGN_OR_RETURN(TablePtr table, catalog.GetTable(plan->table_name));
+      plan->output_schema = table->schema();
+      return Status::OK();
+    }
+    case PlanKind::kFilter: {
+      const Schema& input = *plan->children[0]->output_schema;
+      // Validate the predicate binds and is boolean.
+      DEX_ASSIGN_OR_RETURN(ExprPtr bound, plan->predicate->Bind(input));
+      if (bound->output_type() != DataType::kBool) {
+        return Status::InvalidArgument("filter predicate is not boolean: " +
+                                       plan->predicate->ToString());
+      }
+      plan->output_schema = plan->children[0]->output_schema;
+      return Status::OK();
+    }
+    case PlanKind::kProject: {
+      const Schema& input = *plan->children[0]->output_schema;
+      auto schema = std::make_shared<Schema>();
+      for (size_t i = 0; i < plan->project_exprs.size(); ++i) {
+        DEX_ASSIGN_OR_RETURN(ExprPtr bound, plan->project_exprs[i]->Bind(input));
+        schema->AddField({plan->project_names[i], bound->output_type(), ""});
+      }
+      plan->output_schema = std::move(schema);
+      return Status::OK();
+    }
+    case PlanKind::kJoin: {
+      plan->output_schema = Schema::Concat(*plan->children[0]->output_schema,
+                                           *plan->children[1]->output_schema);
+      DEX_ASSIGN_OR_RETURN(ExprPtr bound,
+                           plan->predicate->Bind(*plan->output_schema));
+      if (bound->output_type() != DataType::kBool) {
+        return Status::InvalidArgument("join condition is not boolean");
+      }
+      return Status::OK();
+    }
+    case PlanKind::kAggregate:
+      return AnalyzeAggregate(plan.get(), *plan->children[0]->output_schema);
+    case PlanKind::kSort: {
+      const Schema& input = *plan->children[0]->output_schema;
+      for (const SortKey& k : plan->sort_keys) {
+        DEX_RETURN_NOT_OK(k.expr->Bind(input).status());
+      }
+      plan->output_schema = plan->children[0]->output_schema;
+      return Status::OK();
+    }
+    case PlanKind::kLimit:
+    case PlanKind::kStageBreak:
+      plan->output_schema = plan->children[0]->output_schema;
+      return Status::OK();
+    case PlanKind::kUnion: {
+      if (plan->children.empty()) {
+        return Status::InvalidArgument("UNION requires at least one child");
+      }
+      const SchemaPtr& first = plan->children[0]->output_schema;
+      for (const PlanPtr& c : plan->children) {
+        if (c->output_schema->num_fields() != first->num_fields()) {
+          return Status::InvalidArgument("UNION children have different widths");
+        }
+        for (size_t i = 0; i < first->num_fields(); ++i) {
+          if (c->output_schema->field(i).type != first->field(i).type) {
+            return Status::InvalidArgument("UNION children have different types");
+          }
+        }
+      }
+      plan->output_schema = first;
+      return Status::OK();
+    }
+    case PlanKind::kResultScan:
+      if (plan->output_schema == nullptr) {
+        return Status::Internal("result-scan '" + plan->result_id +
+                                "' has no schema");
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unreachable plan kind");
+}
+
+void CollectTableNames(const PlanPtr& plan, std::vector<std::string>* out) {
+  if (plan->kind == PlanKind::kScan || plan->kind == PlanKind::kMount ||
+      plan->kind == PlanKind::kCacheScan) {
+    out->push_back(plan->table_name);
+  }
+  for (const PlanPtr& c : plan->children) CollectTableNames(c, out);
+}
+
+std::string LogicalPlan::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad;
+  switch (kind) {
+    case PlanKind::kScan:
+      out += "Scan(" + table_name + ")";
+      break;
+    case PlanKind::kFilter:
+      out += "Filter[" + predicate->ToString() + "]";
+      break;
+    case PlanKind::kProject: {
+      out += "Project[";
+      for (size_t i = 0; i < project_exprs.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += project_exprs[i]->ToString() + " AS " + project_names[i];
+      }
+      out += "]";
+      break;
+    }
+    case PlanKind::kJoin:
+      out += "Join[" + predicate->ToString() + "]";
+      break;
+    case PlanKind::kAggregate: {
+      out += "Aggregate[";
+      for (size_t i = 0; i < group_by.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += group_by[i]->ToString();
+      }
+      if (!group_by.empty() && !aggregates.empty()) out += "; ";
+      for (size_t i = 0; i < aggregates.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += std::string(AggFuncToString(aggregates[i].fn)) + "(" +
+               (aggregates[i].arg ? aggregates[i].arg->ToString() : "*") + ")";
+      }
+      out += "]";
+      break;
+    }
+    case PlanKind::kSort:
+      out += limit >= 0 ? "TopK[" + std::to_string(limit) + "]" : "Sort";
+      break;
+    case PlanKind::kLimit:
+      out += "Limit[" + std::to_string(limit) + "]";
+      break;
+    case PlanKind::kUnion:
+      out += "Union";
+      break;
+    case PlanKind::kResultScan:
+      out += "ResultScan(" + result_id + ")";
+      break;
+    case PlanKind::kCacheScan:
+      out += "CacheScan(" + table_name + " <- " + uri + ")";
+      break;
+    case PlanKind::kMount:
+      out += "Mount(" + table_name + " <- " + uri + ")";
+      if (predicate != nullptr) out += " σ[" + predicate->ToString() + "]";
+      break;
+    case PlanKind::kStageBreak:
+      out += "StageBreak  -- Q_f below";
+      break;
+  }
+  out += "\n";
+  for (const PlanPtr& c : children) {
+    out += c->ToString(indent + 1);
+  }
+  return out;
+}
+
+}  // namespace dex

@@ -1,0 +1,119 @@
+#ifndef DEX_ENGINE_LOGICAL_PLAN_H_
+#define DEX_ENGINE_LOGICAL_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/expr.h"
+#include "storage/catalog.h"
+#include "storage/schema.h"
+
+namespace dex {
+
+struct LogicalPlan;
+using PlanPtr = std::shared_ptr<LogicalPlan>;
+
+/// Node kinds. The last four are the paper's additions: result-scan,
+/// cache-scan and mount are the new access paths (§3 "Access Paths"), and
+/// stage-break marks the boundary between Q_f and Q_s in a decomposed plan.
+enum class PlanKind {
+  kScan,        // scan(table)
+  kFilter,      // σ_pred(child)
+  kProject,     // π_exprs(child)
+  kJoin,        // child0 ⋈_cond child1 (inner equi-join + residual)
+  kAggregate,   // γ_groups;aggs(child)
+  kSort,        // order by
+  kLimit,
+  kUnion,       // bag union of schema-compatible children
+  kResultScan,  // re-reads the materialized result of a named sub-plan
+  kCacheScan,   // reads one file's ingested data from the cache
+  kMount,       // ALi: extract/transform/ingest one external file
+  kStageBreak,  // marks the root of Q_f (the metadata branch)
+};
+
+enum class AggFunc { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFuncToString(AggFunc fn);
+
+/// \brief One aggregate computation: fn(arg) AS name. arg == nullptr means
+/// COUNT(*).
+struct AggSpec {
+  AggFunc fn;
+  ExprPtr arg;
+  std::string name;
+};
+
+/// \brief One ORDER BY key.
+struct SortKey {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// \brief A node of the relational query plan (logical algebra tree).
+///
+/// Plain aggregate struct by design: the plan splitter and the run-time
+/// rewriter (src/core) restructure these trees heavily, and builder
+/// functions below keep construction safe.
+struct LogicalPlan {
+  PlanKind kind;
+  std::vector<PlanPtr> children;
+
+  // kScan / kMount / kCacheScan: the table being produced.
+  std::string table_name;
+  // kMount / kCacheScan: which file of interest.
+  std::string uri;
+  // kFilter: predicate. kJoin: join condition (conjunction; equalities
+  // between the two sides become hash keys, the rest is residual).
+  ExprPtr predicate;
+  // kProject
+  std::vector<ExprPtr> project_exprs;
+  std::vector<std::string> project_names;
+  // kAggregate
+  std::vector<ExprPtr> group_by;
+  std::vector<AggSpec> aggregates;
+  // kSort
+  std::vector<SortKey> sort_keys;
+  // kLimit
+  int64_t limit = -1;
+  // kResultScan: key into the executor's named-results map.
+  std::string result_id;
+
+  /// Output schema; filled by AnalyzePlan.
+  SchemaPtr output_schema;
+
+  /// Multi-line EXPLAIN-style rendering.
+  std::string ToString(int indent = 0) const;
+};
+
+// -- Builders -------------------------------------------------------------
+PlanPtr MakeScan(std::string table_name);
+PlanPtr MakeFilter(ExprPtr predicate, PlanPtr child);
+PlanPtr MakeProject(std::vector<ExprPtr> exprs, std::vector<std::string> names,
+                    PlanPtr child);
+PlanPtr MakeJoin(ExprPtr condition, PlanPtr left, PlanPtr right);
+PlanPtr MakeAggregate(std::vector<ExprPtr> group_by, std::vector<AggSpec> aggs,
+                      PlanPtr child);
+PlanPtr MakeSort(std::vector<SortKey> keys, PlanPtr child);
+PlanPtr MakeLimit(int64_t limit, PlanPtr child);
+PlanPtr MakeUnion(std::vector<PlanPtr> children);
+PlanPtr MakeResultScan(std::string result_id, SchemaPtr schema);
+PlanPtr MakeMount(std::string table_name, std::string uri);
+PlanPtr MakeCacheScan(std::string table_name, std::string uri);
+PlanPtr MakeStageBreak(PlanPtr child);
+
+/// \brief Deep-copies the plan tree (expressions are shared; they are
+/// immutable).
+PlanPtr ClonePlan(const PlanPtr& plan);
+
+/// \brief Computes and stores output schemas bottom-up. Scans resolve
+/// against `catalog`; mount/cache-scan resolve to their table's schema.
+Status AnalyzePlan(const PlanPtr& plan, const Catalog& catalog);
+
+/// \brief Collects the names of all base tables scanned/mounted in the tree.
+void CollectTableNames(const PlanPtr& plan, std::vector<std::string>* out);
+
+}  // namespace dex
+
+#endif  // DEX_ENGINE_LOGICAL_PLAN_H_

@@ -1,0 +1,140 @@
+#include "engine/optimizer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dex {
+
+namespace {
+
+/// Recursively pushes the pending conjuncts into `plan`. Returns the new
+/// subtree; conjuncts that cannot sink past a node wrap it in a Filter.
+PlanPtr PushDown(const PlanPtr& plan, std::vector<ExprPtr> pending) {
+  auto wrap = [&](PlanPtr p) {
+    return pending.empty() ? p : MakeFilter(Expr::AndAll(pending), std::move(p));
+  };
+
+  switch (plan->kind) {
+    case PlanKind::kFilter: {
+      Expr::SplitConjuncts(plan->predicate, &pending);
+      return PushDown(plan->children[0], std::move(pending));
+    }
+    case PlanKind::kJoin: {
+      const Schema& left_schema = *plan->children[0]->output_schema;
+      const Schema& right_schema = *plan->children[1]->output_schema;
+      std::vector<ExprPtr> left_preds, right_preds, join_preds;
+      for (const ExprPtr& p : pending) {
+        if (p->AllColumnsIn(left_schema)) {
+          left_preds.push_back(p);
+        } else if (p->AllColumnsIn(right_schema)) {
+          right_preds.push_back(p);
+        } else {
+          join_preds.push_back(p);  // references both sides
+        }
+      }
+      // The ON condition's single-side conjuncts sink too.
+      std::vector<ExprPtr> on_conjuncts;
+      Expr::SplitConjuncts(plan->predicate, &on_conjuncts);
+      std::vector<ExprPtr> kept_on;
+      for (const ExprPtr& p : on_conjuncts) {
+        if (p->AllColumnsIn(left_schema)) {
+          left_preds.push_back(p);
+        } else if (p->AllColumnsIn(right_schema)) {
+          right_preds.push_back(p);
+        } else {
+          kept_on.push_back(p);
+        }
+      }
+      kept_on.insert(kept_on.end(), join_preds.begin(), join_preds.end());
+      PlanPtr left = PushDown(plan->children[0], std::move(left_preds));
+      PlanPtr right = PushDown(plan->children[1], std::move(right_preds));
+      return MakeJoin(Expr::AndAll(kept_on), std::move(left), std::move(right));
+    }
+    case PlanKind::kUnion: {
+      std::vector<PlanPtr> children;
+      for (const PlanPtr& c : plan->children) {
+        children.push_back(PushDown(c, pending));
+      }
+      return MakeUnion(std::move(children));
+    }
+    case PlanKind::kStageBreak:
+      return MakeStageBreak(PushDown(plan->children[0], std::move(pending)));
+    case PlanKind::kScan:
+    case PlanKind::kMount:
+    case PlanKind::kCacheScan:
+    case PlanKind::kResultScan:
+      return wrap(ClonePlan(plan));
+    default: {
+      // Project/Aggregate/Sort/Limit: optimize below, keep filters above
+      // (they may reference computed columns).
+      auto copy = std::make_shared<LogicalPlan>(*plan);
+      copy->children.clear();
+      for (const PlanPtr& c : plan->children) {
+        copy->children.push_back(PushDown(c, {}));
+      }
+      return wrap(copy);
+    }
+  }
+}
+
+PlanPtr PushUnions(const PlanPtr& plan) {
+  auto copy = std::make_shared<LogicalPlan>(*plan);
+  copy->children.clear();
+  for (const PlanPtr& c : plan->children) {
+    copy->children.push_back(PushUnions(c));
+  }
+  if (copy->kind == PlanKind::kFilter &&
+      copy->children[0]->kind == PlanKind::kUnion) {
+    std::vector<PlanPtr> branches;
+    for (const PlanPtr& b : copy->children[0]->children) {
+      branches.push_back(MakeFilter(copy->predicate, b));
+    }
+    return MakeUnion(std::move(branches));
+  }
+  return copy;
+}
+
+}  // namespace
+
+Result<PlanPtr> PushDownPredicates(const PlanPtr& plan, const Catalog& catalog) {
+  PlanPtr out = PushDown(plan, {});
+  DEX_RETURN_NOT_OK(AnalyzePlan(out, catalog));
+  return out;
+}
+
+Result<PlanPtr> PushSelectionsIntoUnions(const PlanPtr& plan,
+                                         const Catalog& catalog) {
+  PlanPtr out = PushUnions(plan);
+  DEX_RETURN_NOT_OK(AnalyzePlan(out, catalog));
+  return out;
+}
+
+namespace {
+
+PlanPtr FuseTopKImpl(const PlanPtr& plan) {
+  auto copy = std::make_shared<LogicalPlan>(*plan);
+  copy->children.clear();
+  for (const PlanPtr& c : plan->children) {
+    copy->children.push_back(FuseTopKImpl(c));
+  }
+  if (copy->kind == PlanKind::kLimit && copy->limit >= 0 &&
+      copy->children[0]->kind == PlanKind::kSort) {
+    PlanPtr sort = copy->children[0];
+    // Keep the smaller limit if the sort was already fused.
+    sort->limit = sort->limit < 0 ? copy->limit
+                                  : std::min(sort->limit, copy->limit);
+    return sort;
+  }
+  return copy;
+}
+
+}  // namespace
+
+Result<PlanPtr> FuseTopK(const PlanPtr& plan, const Catalog& catalog) {
+  PlanPtr out = FuseTopKImpl(plan);
+  DEX_RETURN_NOT_OK(AnalyzePlan(out, catalog));
+  return out;
+}
+
+}  // namespace dex

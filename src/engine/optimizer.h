@@ -1,0 +1,31 @@
+#ifndef DEX_ENGINE_OPTIMIZER_H_
+#define DEX_ENGINE_OPTIMIZER_H_
+
+#include "engine/logical_plan.h"
+
+namespace dex {
+
+/// \brief Compile-time logical rewrites shared by both execution modes.
+///
+/// These are the paper's "usual compile-time optimizations (e.g. pushing
+/// down selections and projections)": selection conjuncts are split and
+/// pushed as close to their source scans as possible; predicates referencing
+/// both join sides merge into the join condition. The input plan must have
+/// been analyzed; the returned plan is re-analyzed by the caller.
+Result<PlanPtr> PushDownPredicates(const PlanPtr& plan, const Catalog& catalog);
+
+/// \brief Pushes a selection into every branch of a union —
+/// σ_p(∪ b_i) → ∪ σ_p(b_i) — the paper's run-time rewrite that creates the
+/// combined select-mount and select-cache-scan access paths. Works on any
+/// plan shape; no-op where there is no filter-over-union.
+Result<PlanPtr> PushSelectionsIntoUnions(const PlanPtr& plan,
+                                         const Catalog& catalog);
+
+/// \brief Fuses Limit(n, Sort(keys, child)) into a top-K sort: the sort
+/// operator then partial-sorts and materializes only n rows instead of the
+/// whole input — the common "ORDER BY ... LIMIT n" exploration pattern.
+Result<PlanPtr> FuseTopK(const PlanPtr& plan, const Catalog& catalog);
+
+}  // namespace dex
+
+#endif  // DEX_ENGINE_OPTIMIZER_H_

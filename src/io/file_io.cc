@@ -1,0 +1,105 @@
+#include "io/file_io.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+
+#include "common/string_utils.h"
+
+namespace dex {
+
+namespace fs = std::filesystem;
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  out->resize(static_cast<size_t>(size));
+  if (size > 0 && !in.read(out->data(), size)) {
+    return Status::IOError("short read on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status ReadFileRange(const std::string& path, uint64_t offset, uint64_t length,
+                     std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  in.seekg(static_cast<std::streamoff>(offset), std::ios::beg);
+  out->resize(length);
+  if (length > 0 && !in.read(out->data(), static_cast<std::streamoff>(length))) {
+    return Status::IOError("short range read on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& data) {
+  std::error_code ec;
+  const fs::path p(path);
+  if (p.has_parent_path()) {
+    fs::create_directories(p.parent_path(), ec);
+    if (ec) return Status::IOError("mkdir failed for '" + path + "': " + ec.message());
+  }
+  std::ofstream outf(path, std::ios::binary | std::ios::trunc);
+  if (!outf) return Status::IOError("cannot open '" + path + "' for writing");
+  outf.write(data.data(), static_cast<std::streamoff>(data.size()));
+  if (!outf) return Status::IOError("short write on '" + path + "'");
+  return Status::OK();
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  std::error_code ec;
+  const uint64_t size = fs::file_size(path, ec);
+  if (ec) return Status::IOError("file_size('" + path + "'): " + ec.message());
+  return size;
+}
+
+Result<int64_t> FileMtimeMillis(const std::string& path) {
+  // POSIX stat gives the mtime against the Unix epoch directly and
+  // deterministically (std::filesystem's file_clock has an
+  // implementation-defined epoch and no clock_cast on this toolchain).
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::IOError("stat('" + path + "') failed");
+  }
+  return static_cast<int64_t>(st.st_mtim.tv_sec) * 1000 +
+         st.st_mtim.tv_nsec / 1000000;
+}
+
+Result<std::vector<std::string>> ListFiles(const std::string& dir,
+                                           const std::string& extension) {
+  std::error_code ec;
+  if (!fs::exists(dir, ec) || ec) {
+    return Status::NotFound("directory '" + dir + "' does not exist");
+  }
+  std::vector<std::string> out;
+  for (auto it = fs::recursive_directory_iterator(dir, ec);
+       it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (ec) return Status::IOError("walking '" + dir + "': " + ec.message());
+    if (it->is_regular_file() &&
+        (extension.empty() || EndsWith(it->path().string(), extension))) {
+      out.push_back(it->path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status RemoveDirRecursive(const std::string& dir) {
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  if (ec) return Status::IOError("remove_all('" + dir + "'): " + ec.message());
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec) && !ec;
+}
+
+}  // namespace dex

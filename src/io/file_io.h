@@ -1,0 +1,45 @@
+#ifndef DEX_IO_FILE_IO_H_
+#define DEX_IO_FILE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dex {
+
+/// Real-filesystem helpers used by the mSEED reader/writer and the
+/// repository generator. All paths are plain std::filesystem paths.
+
+/// \brief Reads an entire file into `out`.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+/// \brief Reads `length` bytes at `offset` into `out` (resized to fit).
+Status ReadFileRange(const std::string& path, uint64_t offset, uint64_t length,
+                     std::string* out);
+
+/// \brief Creates/overwrites `path` with `data`, creating parent directories.
+Status WriteStringToFile(const std::string& path, const std::string& data);
+
+/// \brief Size of a regular file in bytes.
+Result<uint64_t> FileSize(const std::string& path);
+
+/// \brief Last-modification time in epoch millis (used for cache
+/// invalidation of mounted files).
+Result<int64_t> FileMtimeMillis(const std::string& path);
+
+/// \brief Recursively lists regular files under `dir` with the given
+/// extension (e.g. ".mseed"), sorted lexicographically.
+Result<std::vector<std::string>> ListFiles(const std::string& dir,
+                                           const std::string& extension);
+
+/// \brief Recursively deletes `dir` if it exists (test/bench scratch areas).
+Status RemoveDirRecursive(const std::string& dir);
+
+bool FileExists(const std::string& path);
+
+}  // namespace dex
+
+#endif  // DEX_IO_FILE_IO_H_

@@ -1,0 +1,46 @@
+#ifndef DEX_IO_IO_STATS_H_
+#define DEX_IO_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dex {
+
+/// \brief Counters accumulated by the simulated storage medium.
+///
+/// `sim_nanos` is the simulated I/O stall time; benchmarks add it to measured
+/// CPU time to obtain the reported query time (see DESIGN.md §2 on the
+/// cold/hot substitution).
+struct IoStats {
+  uint64_t disk_bytes_read = 0;    // bytes that missed the buffer pool
+  uint64_t cached_bytes_read = 0;  // bytes served from the buffer pool
+  uint64_t bytes_written = 0;
+  uint64_t seeks = 0;              // contiguous miss runs
+  uint64_t sim_nanos = 0;          // simulated elapsed I/O time
+
+  IoStats& operator+=(const IoStats& o) {
+    disk_bytes_read += o.disk_bytes_read;
+    cached_bytes_read += o.cached_bytes_read;
+    bytes_written += o.bytes_written;
+    seeks += o.seeks;
+    sim_nanos += o.sim_nanos;
+    return *this;
+  }
+
+  /// Component-wise difference (for snapshot/diff measurement windows).
+  IoStats Since(const IoStats& earlier) const {
+    IoStats d;
+    d.disk_bytes_read = disk_bytes_read - earlier.disk_bytes_read;
+    d.cached_bytes_read = cached_bytes_read - earlier.cached_bytes_read;
+    d.bytes_written = bytes_written - earlier.bytes_written;
+    d.seeks = seeks - earlier.seeks;
+    d.sim_nanos = sim_nanos - earlier.sim_nanos;
+    return d;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace dex
+
+#endif  // DEX_IO_IO_STATS_H_

@@ -1,0 +1,197 @@
+#include "io/sim_disk.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_utils.h"
+
+namespace dex {
+
+std::string IoStats::ToString() const {
+  return "disk_read=" + FormatBytes(disk_bytes_read) +
+         " cached_read=" + FormatBytes(cached_bytes_read) +
+         " written=" + FormatBytes(bytes_written) + " seeks=" +
+         std::to_string(seeks) + " sim_time=" +
+         std::to_string(sim_nanos / 1000000.0) + "ms";
+}
+
+SimDisk::SimDisk(const Options& options) : options_(options) {
+  DEX_CHECK_GT(options_.page_bytes, 0u);
+  objects_.emplace_back();  // slot 0 = kInvalidObjectId
+  max_pages_ = std::max<uint64_t>(1, options_.buffer_pool_bytes / options_.page_bytes);
+}
+
+ObjectId SimDisk::Register(const std::string& name, uint64_t size) {
+  Object obj;
+  obj.name = name;
+  obj.size = size;
+  obj.live = true;
+  objects_.push_back(std::move(obj));
+  return static_cast<ObjectId>(objects_.size() - 1);
+}
+
+Status SimDisk::CheckLive(ObjectId id) const {
+  if (id == kInvalidObjectId || id >= objects_.size() || !objects_[id].live) {
+    return Status::NotFound("unknown storage object id " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status SimDisk::Resize(ObjectId id, uint64_t new_size) {
+  DEX_RETURN_NOT_OK(CheckLive(id));
+  const uint64_t old_pages =
+      (objects_[id].size + options_.page_bytes - 1) / options_.page_bytes;
+  const uint64_t new_pages = (new_size + options_.page_bytes - 1) / options_.page_bytes;
+  // Shrinking: drop now-out-of-range pages.
+  for (uint64_t p = new_pages; p < old_pages; ++p) {
+    auto it = lru_map_.find(PageKey(id, p));
+    if (it != lru_map_.end()) {
+      lru_list_.erase(it->second);
+      lru_map_.erase(it);
+      --resident_pages_;
+    }
+  }
+  objects_[id].size = new_size;
+  return Status::OK();
+}
+
+Status SimDisk::Unregister(ObjectId id) {
+  DEX_RETURN_NOT_OK(CheckLive(id));
+  DEX_RETURN_NOT_OK(Resize(id, 0));
+  objects_[id].live = false;
+  return Status::OK();
+}
+
+void SimDisk::Touch(uint64_t key) {
+  auto it = lru_map_.find(key);
+  DEX_CHECK(it != lru_map_.end());
+  lru_list_.splice(lru_list_.begin(), lru_list_, it->second);
+}
+
+void SimDisk::Insert(uint64_t key) {
+  lru_list_.push_front(key);
+  lru_map_[key] = lru_list_.begin();
+  ++resident_pages_;
+  EvictIfNeeded();
+}
+
+void SimDisk::EvictIfNeeded() {
+  while (resident_pages_ > max_pages_) {
+    const uint64_t victim = lru_list_.back();
+    lru_list_.pop_back();
+    lru_map_.erase(victim);
+    --resident_pages_;
+  }
+}
+
+void SimDisk::ChargeTransfer(uint64_t bytes, double mb_per_sec) {
+  // nanos = bytes / (MB/s * 1e6 B/s) * 1e9.
+  stats_.sim_nanos += static_cast<uint64_t>(
+      static_cast<double>(bytes) / (mb_per_sec * 1e6) * 1e9);
+}
+
+void SimDisk::ChargeSeek() {
+  stats_.seeks += 1;
+  stats_.sim_nanos += static_cast<uint64_t>(options_.seek_millis * 1e6);
+}
+
+Status SimDisk::Read(ObjectId id, uint64_t offset, uint64_t length) {
+  DEX_RETURN_NOT_OK(CheckLive(id));
+  if (length == 0) return Status::OK();
+  const Object& obj = objects_[id];
+  if (offset + length > obj.size) {
+    return Status::InvalidArgument("read past end of '" + obj.name + "' (" +
+                                   std::to_string(offset + length) + " > " +
+                                   std::to_string(obj.size) + ")");
+  }
+  const uint64_t first = offset / options_.page_bytes;
+  const uint64_t last = (offset + length - 1) / options_.page_bytes;
+  bool in_miss_run = false;
+  uint64_t miss_pages = 0;
+  for (uint64_t p = first; p <= last; ++p) {
+    const uint64_t key = PageKey(id, p);
+    if (IsResident(key)) {
+      Touch(key);
+      in_miss_run = false;
+    } else {
+      if (!in_miss_run) {
+        ChargeSeek();
+        in_miss_run = true;
+      }
+      ++miss_pages;
+      Insert(key);
+    }
+  }
+  const uint64_t miss_bytes = miss_pages * options_.page_bytes;
+  const uint64_t total_pages = last - first + 1;
+  stats_.disk_bytes_read += miss_bytes;
+  stats_.cached_bytes_read += (total_pages - miss_pages) * options_.page_bytes;
+  ChargeTransfer(miss_bytes, options_.read_mb_per_sec);
+  return Status::OK();
+}
+
+Status SimDisk::ReadAll(ObjectId id) {
+  DEX_RETURN_NOT_OK(CheckLive(id));
+  return Read(id, 0, objects_[id].size);
+}
+
+Status SimDisk::Write(ObjectId id, uint64_t offset, uint64_t length) {
+  DEX_RETURN_NOT_OK(CheckLive(id));
+  if (length == 0) return Status::OK();
+  Object& obj = objects_[id];
+  obj.size = std::max(obj.size, offset + length);
+  const uint64_t first = offset / options_.page_bytes;
+  const uint64_t last = (offset + length - 1) / options_.page_bytes;
+  for (uint64_t p = first; p <= last; ++p) {
+    const uint64_t key = PageKey(id, p);
+    if (IsResident(key)) {
+      Touch(key);
+    } else {
+      Insert(key);
+    }
+  }
+  stats_.bytes_written += length;
+  ChargeTransfer(length, options_.write_mb_per_sec);
+  return Status::OK();
+}
+
+void SimDisk::FlushAll() {
+  lru_list_.clear();
+  lru_map_.clear();
+  resident_pages_ = 0;
+}
+
+Status SimDisk::Prefault(ObjectId id) {
+  DEX_RETURN_NOT_OK(CheckLive(id));
+  const Object& obj = objects_[id];
+  const uint64_t pages = (obj.size + options_.page_bytes - 1) / options_.page_bytes;
+  for (uint64_t p = 0; p < pages; ++p) {
+    const uint64_t key = PageKey(id, p);
+    if (!IsResident(key)) Insert(key);
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> SimDisk::ObjectSize(ObjectId id) const {
+  DEX_RETURN_NOT_OK(CheckLive(id));
+  return objects_[id].size;
+}
+
+Result<std::string> SimDisk::ObjectName(ObjectId id) const {
+  DEX_RETURN_NOT_OK(CheckLive(id));
+  return objects_[id].name;
+}
+
+Result<double> SimDisk::ResidentFraction(ObjectId id) const {
+  DEX_RETURN_NOT_OK(CheckLive(id));
+  const Object& obj = objects_[id];
+  const uint64_t pages = (obj.size + options_.page_bytes - 1) / options_.page_bytes;
+  if (pages == 0) return 1.0;
+  uint64_t resident = 0;
+  for (uint64_t p = 0; p < pages; ++p) {
+    if (IsResident(PageKey(id, p))) ++resident;
+  }
+  return static_cast<double>(resident) / static_cast<double>(pages);
+}
+
+}  // namespace dex

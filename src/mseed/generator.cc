@@ -1,0 +1,149 @@
+#include "mseed/generator.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/time_utils.h"
+#include "io/file_io.h"
+#include "mseed/writer.h"
+
+namespace dex::mseed {
+
+namespace {
+
+// Plausible European station codes; ISK (Istanbul) first, as in the paper.
+const char* kStations[] = {"ISK", "ANK", "IZM", "ATH", "SOF", "BUC",
+                           "VIE", "AMS", "PAR", "ROM", "MAD", "OSL",
+                           "HEL", "WAR", "PRG", "BER"};
+// SEED channel naming: B=broadband H=high-freq L=long-period; BHE first.
+const char* kChannels[] = {"BHE", "BHN", "BHZ", "HHE", "HHN", "HHZ",
+                           "LHE", "LHN", "LHZ", "EHE", "EHN", "EHZ"};
+
+}  // namespace
+
+std::vector<std::string> GeneratorStationCodes(int n) {
+  std::vector<std::string> out;
+  const int available = static_cast<int>(sizeof(kStations) / sizeof(kStations[0]));
+  for (int i = 0; i < n; ++i) {
+    if (i < available) {
+      out.push_back(kStations[i]);
+    } else {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "S%03d", i);
+      out.push_back(buf);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> GeneratorChannelCodes(int n) {
+  std::vector<std::string> out;
+  const int available = static_cast<int>(sizeof(kChannels) / sizeof(kChannels[0]));
+  for (int i = 0; i < n; ++i) {
+    if (i < available) {
+      out.push_back(kChannels[i]);
+    } else {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "C%02dZ", i);
+      out.push_back(buf);
+    }
+  }
+  return out;
+}
+
+std::vector<int32_t> SynthesizeWaveform(uint64_t seed, size_t num_samples,
+                                        bool with_event) {
+  Random rng(seed);
+  std::vector<int32_t> samples(num_samples);
+  // Microseism background: two slow oscillations plus Gaussian noise. Small
+  // deltas keep Steim1 at ~1 byte/sample, matching the paper's "highly
+  // compressed" time series.
+  const double f1 = 0.05 + rng.NextDouble() * 0.1;
+  const double f2 = 0.2 + rng.NextDouble() * 0.3;
+  const double a1 = 20.0 + rng.NextDouble() * 30.0;
+  const double a2 = 5.0 + rng.NextDouble() * 10.0;
+  const double phase1 = rng.NextDouble() * 6.283185307;
+  const double phase2 = rng.NextDouble() * 6.283185307;
+
+  // Optional event: exponentially decaying high-amplitude oscillation.
+  const size_t event_start = with_event ? rng.Uniform(num_samples) : 0;
+  const double event_amp = 2000.0 + rng.NextDouble() * 6000.0;
+  const double event_freq = 1.5 + rng.NextDouble() * 3.0;
+  const double event_decay = 0.002 + rng.NextDouble() * 0.01;
+
+  for (size_t i = 0; i < num_samples; ++i) {
+    double v = a1 * std::sin(f1 * static_cast<double>(i) + phase1) +
+               a2 * std::sin(f2 * static_cast<double>(i) + phase2) +
+               rng.NextGaussian() * 3.0;
+    if (with_event && i >= event_start) {
+      const double t = static_cast<double>(i - event_start);
+      v += event_amp * std::exp(-event_decay * t) * std::sin(event_freq * t);
+    }
+    samples[i] = static_cast<int32_t>(v);
+  }
+  return samples;
+}
+
+Result<GeneratedRepo> GenerateRepository(const std::string& root,
+                                         const GeneratorOptions& options) {
+  if (options.num_stations < 1 || options.channels_per_station < 1 ||
+      options.num_days < 1 || options.records_per_file < 1 ||
+      options.sample_rate_hz <= 0.0) {
+    return Status::InvalidArgument("generator options out of range");
+  }
+  DEX_ASSIGN_OR_RETURN(int64_t day0_ms, ParseIso8601(options.start_day));
+
+  const auto stations = GeneratorStationCodes(options.num_stations);
+  const auto channels = GeneratorChannelCodes(options.channels_per_station);
+  const int64_t record_span_ms = kMillisPerDay / options.records_per_file;
+  const size_t samples_per_record = static_cast<size_t>(
+      static_cast<double>(record_span_ms) / 1000.0 * options.sample_rate_hz);
+  if (samples_per_record == 0) {
+    return Status::InvalidArgument(
+        "sample_rate_hz too low for records_per_file: empty records");
+  }
+
+  GeneratedRepo repo;
+  repo.root = root;
+  Random rng(options.seed);
+
+  for (int day = 0; day < options.num_days; ++day) {
+    const int64_t day_start = day0_ms + day * kMillisPerDay;
+    for (const std::string& station : stations) {
+      for (const std::string& channel : channels) {
+        std::vector<RecordData> records;
+        for (int r = 0; r < options.records_per_file; ++r) {
+          if (rng.NextBool(options.gap_probability)) continue;  // data gap
+          RecordData rec;
+          rec.network = options.network;
+          rec.station = station;
+          rec.channel = channel;
+          rec.location = "00";
+          rec.start_time_ms = day_start + r * record_span_ms;
+          rec.sample_rate_hz = options.sample_rate_hz;
+          rec.encoding = options.encoding;
+          rec.samples = SynthesizeWaveform(
+              rng.Next(), samples_per_record,
+              rng.NextBool(options.event_probability));
+          repo.total_samples += rec.samples.size();
+          records.push_back(std::move(rec));
+        }
+        // ORFEUS-pond-style layout: <root>/<station>/<NET>.<STA>.<CHA>.<year>.<day>.mseed
+        char name[128];
+        std::snprintf(name, sizeof(name), "%s/%s/%s.%s.%s.%03d.mseed",
+                      root.c_str(), station.c_str(), options.network.c_str(),
+                      station.c_str(), channel.c_str(), day);
+        const std::string image = SerializeFile(records);
+        DEX_RETURN_NOT_OK(WriteStringToFile(name, image));
+        repo.total_bytes += image.size();
+        repo.total_records += records.size();
+        repo.files.push_back(name);
+      }
+    }
+  }
+  return repo;
+}
+
+}  // namespace dex::mseed

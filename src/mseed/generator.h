@@ -1,0 +1,59 @@
+#ifndef DEX_MSEED_GENERATOR_H_
+#define DEX_MSEED_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dex::mseed {
+
+/// \brief Options for the synthetic seismic repository.
+///
+/// The layout mirrors the ORFEUS "pond" the paper sampled: one file per
+/// (station, channel, day), each holding several records of a continuous
+/// waveform. Station "ISK" (Istanbul) and channel "BHE" always exist so the
+/// paper's Query 1 / Query 2 predicates are satisfiable. All randomness is
+/// seeded, so a (seed, options) pair regenerates the identical repository.
+struct GeneratorOptions {
+  uint64_t seed = 42;
+  std::string network = "OR";
+  int num_stations = 8;            // first is always "ISK"
+  int channels_per_station = 3;    // first is always "BHE"
+  int num_days = 16;               // starting at start_day
+  std::string start_day = "2010-01-01";
+  int records_per_file = 4;        // records partition the day evenly
+  double sample_rate_hz = 1.0;     // samples per second
+  double event_probability = 0.15; // chance of a seismic "event" per record
+  double gap_probability = 0.02;   // chance a record is missing (data gap)
+  uint8_t encoding = 1;            // waveform compression: 1=Steim1, 2=Steim2
+};
+
+/// \brief Summary of what was generated.
+struct GeneratedRepo {
+  std::string root;
+  std::vector<std::string> files;
+  uint64_t total_bytes = 0;
+  uint64_t total_records = 0;
+  uint64_t total_samples = 0;
+};
+
+/// \brief Well-known station/channel codes used by the generator, exposed so
+/// tests and benchmarks can phrase selective predicates.
+std::vector<std::string> GeneratorStationCodes(int n);
+std::vector<std::string> GeneratorChannelCodes(int n);
+
+/// \brief Generates the repository under `root` (created if needed).
+Result<GeneratedRepo> GenerateRepository(const std::string& root,
+                                         const GeneratorOptions& options);
+
+/// \brief Synthesizes one record's waveform: low-amplitude microseism noise
+/// plus, optionally, a decaying seismic event. Exposed for codec tests.
+std::vector<int32_t> SynthesizeWaveform(uint64_t seed, size_t num_samples,
+                                        bool with_event);
+
+}  // namespace dex::mseed
+
+#endif  // DEX_MSEED_GENERATOR_H_

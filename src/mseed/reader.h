@@ -1,0 +1,45 @@
+#ifndef DEX_MSEED_READER_H_
+#define DEX_MSEED_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mseed/record.h"
+
+namespace dex::mseed {
+
+/// \brief Decoded record: header plus raw integer samples.
+struct DecodedRecord {
+  RecordHeader header;
+  std::vector<int32_t> samples;
+};
+
+/// \brief Reads mSEED-style files.
+///
+/// Two access granularities mirror the paper's metadata/actual-data split:
+/// `ScanHeaders` touches only the 64-byte headers (record-level metadata,
+/// cheap — what the repository scanner and ALi's first stage rely on), while
+/// `ReadAllRecords`/`ReadRecord` decompress actual data (expensive — what
+/// `mount` pays during the second stage).
+class Reader {
+ public:
+  /// Parses the record headers of `path` without decoding any samples.
+  static Result<std::vector<RecordInfo>> ScanHeaders(const std::string& path);
+
+  /// Same, over an in-memory file image.
+  static Result<std::vector<RecordInfo>> ScanHeadersInMemory(
+      const std::string& file_image);
+
+  /// Reads and decodes every record in the file.
+  static Result<std::vector<DecodedRecord>> ReadAllRecords(const std::string& path);
+
+  /// Reads and decodes one record located by a prior ScanHeaders.
+  static Result<DecodedRecord> ReadRecord(const std::string& path,
+                                          const RecordInfo& info);
+};
+
+}  // namespace dex::mseed
+
+#endif  // DEX_MSEED_READER_H_

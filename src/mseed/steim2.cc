@@ -1,0 +1,224 @@
+#include "mseed/steim2.h"
+
+#include <cstdlib>
+
+namespace dex::mseed {
+
+namespace {
+
+constexpr int kWordsPerFrame = 16;
+
+void PutWordBE(std::string* out, size_t pos, uint32_t w) {
+  (*out)[pos] = static_cast<char>((w >> 24) & 0xff);
+  (*out)[pos + 1] = static_cast<char>((w >> 16) & 0xff);
+  (*out)[pos + 2] = static_cast<char>((w >> 8) & 0xff);
+  (*out)[pos + 3] = static_cast<char>(w & 0xff);
+}
+
+uint32_t GetWordBE(const std::string& data, size_t pos) {
+  return (static_cast<uint32_t>(static_cast<uint8_t>(data[pos])) << 24) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(data[pos + 1])) << 16) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(data[pos + 2])) << 8) |
+         static_cast<uint32_t>(static_cast<uint8_t>(data[pos + 3]));
+}
+
+/// True if d fits a signed `bits`-bit field.
+bool Fits(int64_t d, int bits) {
+  const int64_t lim = 1LL << (bits - 1);
+  return d >= -lim && d < lim;
+}
+
+/// Sign-extends the low `bits` of v.
+int32_t SignExtend(uint32_t v, int bits) {
+  const uint32_t mask = (bits == 32) ? 0xffffffffu : ((1u << bits) - 1);
+  v &= mask;
+  const uint32_t sign = 1u << (bits - 1);
+  if (v & sign) v |= ~mask;
+  return static_cast<int32_t>(v);
+}
+
+/// One packing shape: n diffs of b bits each, selected by (nibble, dnib).
+struct Packing {
+  int count;
+  int bits;
+  uint32_t nibble;
+  uint32_t dnib;     // 0xff = no dnib (nibble 01)
+};
+
+// Ordered densest-first; the encoder greedily picks the first shape whose
+// next `count` differences all fit.
+constexpr Packing kPackings[] = {
+    {7, 4, 3, 2}, {6, 5, 3, 1}, {5, 6, 3, 0}, {4, 8, 1, 0xff},
+    {3, 10, 2, 3}, {2, 15, 2, 2}, {1, 30, 2, 1},
+};
+
+}  // namespace
+
+Result<std::string> Steim2::Encode(const std::vector<int32_t>& samples) {
+  std::string out;
+  if (samples.empty()) return out;
+
+  std::vector<int64_t> diffs(samples.size());
+  diffs[0] = samples[0];  // encoded but unused (X0 is authoritative)
+  for (size_t i = 1; i < samples.size(); ++i) {
+    diffs[i] = static_cast<int64_t>(samples[i]) - samples[i - 1];
+  }
+  // d[0] only needs to be *encodable*; clamp it into range (the decoder
+  // reconstructs sample 0 from X0, never from d[0]).
+  if (!Fits(diffs[0], 30)) diffs[0] = 0;
+  for (size_t i = 1; i < diffs.size(); ++i) {
+    if (!Fits(diffs[i], 30)) {
+      return Status::InvalidArgument(
+          "Steim2 cannot represent a difference of " + std::to_string(diffs[i]) +
+          " at sample " + std::to_string(i) + " (needs 30+ bits)");
+    }
+  }
+
+  size_t next = 0;
+  bool first_frame = true;
+  while (next < diffs.size()) {
+    const size_t frame_pos = out.size();
+    out.append(kFrameBytes, '\0');
+    uint32_t nibbles = 0;
+    int word = first_frame ? 3 : 1;
+    if (first_frame) {
+      PutWordBE(&out, frame_pos + 4, static_cast<uint32_t>(samples.front()));
+      PutWordBE(&out, frame_pos + 8, static_cast<uint32_t>(samples.back()));
+    }
+    for (; word < kWordsPerFrame && next < diffs.size(); ++word) {
+      const size_t remaining = diffs.size() - next;
+      const Packing* chosen = nullptr;
+      for (const Packing& p : kPackings) {
+        if (remaining < static_cast<size_t>(p.count)) continue;
+        bool ok = true;
+        for (int k = 0; k < p.count; ++k) {
+          if (!Fits(diffs[next + k], p.bits)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          chosen = &p;
+          break;
+        }
+      }
+      if (chosen == nullptr) {
+        // Tail shorter than every shape that fits: pad with the widest
+        // shape that can hold a single diff.
+        static constexpr Packing kSingle = {1, 30, 2, 1};
+        chosen = &kSingle;
+      }
+      uint32_t w = 0;
+      const uint32_t mask =
+          chosen->bits == 32 ? 0xffffffffu : ((1u << chosen->bits) - 1);
+      for (int k = 0; k < chosen->count; ++k) {
+        w = (w << chosen->bits) |
+            (static_cast<uint32_t>(diffs[next + k]) & mask);
+      }
+      if (chosen->dnib != 0xff) {
+        w |= chosen->dnib << 30;
+      }
+      nibbles |= chosen->nibble << (2 * (15 - word));
+      PutWordBE(&out, frame_pos + 4 * static_cast<size_t>(word), w);
+      next += static_cast<size_t>(chosen->count);
+    }
+    PutWordBE(&out, frame_pos, nibbles);
+    first_frame = false;
+  }
+  return out;
+}
+
+Result<std::vector<int32_t>> Steim2::Decode(const std::string& data,
+                                            size_t num_samples) {
+  if (num_samples == 0) return std::vector<int32_t>{};
+  if (data.size() < kFrameBytes || data.size() % kFrameBytes != 0) {
+    return Status::Corruption("Steim2 payload is not a multiple of 64 bytes");
+  }
+  const int32_t x0 = static_cast<int32_t>(GetWordBE(data, 4));
+  const int32_t xn = static_cast<int32_t>(GetWordBE(data, 8));
+
+  std::vector<int32_t> diffs;
+  diffs.reserve(num_samples);
+  const size_t num_frames = data.size() / kFrameBytes;
+  for (size_t f = 0; f < num_frames && diffs.size() < num_samples; ++f) {
+    const size_t frame_pos = f * kFrameBytes;
+    const uint32_t nibbles = GetWordBE(data, frame_pos);
+    const int start_word = (f == 0) ? 3 : 1;
+    for (int word = start_word;
+         word < kWordsPerFrame && diffs.size() < num_samples; ++word) {
+      const uint32_t nibble = (nibbles >> (2 * (15 - word))) & 0x3;
+      const uint32_t w = GetWordBE(data, frame_pos + 4 * static_cast<size_t>(word));
+      int count = 0, bits = 0;
+      switch (nibble) {
+        case 0:  // non-data (padding)
+          continue;
+        case 1:
+          count = 4;
+          bits = 8;
+          break;
+        case 2:
+          switch (w >> 30) {
+            case 1:
+              count = 1;
+              bits = 30;
+              break;
+            case 2:
+              count = 2;
+              bits = 15;
+              break;
+            case 3:
+              count = 3;
+              bits = 10;
+              break;
+            default:
+              return Status::Corruption("Steim2: invalid dnib 00 for nibble 10");
+          }
+          break;
+        case 3:
+          switch (w >> 30) {
+            case 0:
+              count = 5;
+              bits = 6;
+              break;
+            case 1:
+              count = 6;
+              bits = 5;
+              break;
+            case 2:
+              count = 7;
+              bits = 4;
+              break;
+            default:
+              return Status::Corruption("Steim2: invalid dnib 11 for nibble 11");
+          }
+          break;
+      }
+      for (int k = count - 1; k >= 0 && diffs.size() < num_samples; --k) {
+        // Diffs are packed left-to-right; extract from the high end down.
+        const int shift = k * bits;
+        diffs.push_back(SignExtend(w >> shift, bits));
+      }
+    }
+  }
+  if (diffs.size() < num_samples) {
+    return Status::Corruption("Steim2 payload ran out of differences (" +
+                              std::to_string(diffs.size()) + " < " +
+                              std::to_string(num_samples) + ")");
+  }
+
+  std::vector<int32_t> samples(num_samples);
+  samples[0] = x0;
+  for (size_t i = 1; i < num_samples; ++i) {
+    samples[i] = static_cast<int32_t>(static_cast<uint32_t>(samples[i - 1]) +
+                                      static_cast<uint32_t>(diffs[i]));
+  }
+  if (samples.back() != xn) {
+    return Status::Corruption(
+        "Steim2 reverse integration constant mismatch (got " +
+        std::to_string(samples.back()) + ", frame says " + std::to_string(xn) +
+        ")");
+  }
+  return samples;
+}
+
+}  // namespace dex::mseed

@@ -1,0 +1,49 @@
+#ifndef DEX_MSEED_STEIM2_H_
+#define DEX_MSEED_STEIM2_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dex::mseed {
+
+/// \brief Steim2 waveform compression, the denser successor of Steim1 and
+/// the dominant encoding in real miniSEED archives.
+///
+/// Same 64-byte frame layout as Steim1 (word 0 = sixteen 2-bit nibbles,
+/// frame 0 carries X0/XN in words 1–2), but data words pack differences at
+/// seven granularities selected by the nibble plus a 2-bit "dnib" stored in
+/// the data word's top bits:
+///
+///   nibble 01            : four  8-bit differences            (as Steim1)
+///   nibble 10, dnib 01   : one  30-bit difference
+///   nibble 10, dnib 10   : two  15-bit differences
+///   nibble 10, dnib 11   : three 10-bit differences
+///   nibble 11, dnib 00   : five  6-bit differences
+///   nibble 11, dnib 01   : six   5-bit differences
+///   nibble 11, dnib 10   : seven 4-bit differences
+///
+/// Differences are two's-complement within their bit width; Steim2 cannot
+/// represent |d| >= 2^29, which practically never occurs in seismic data
+/// (Encode falls back to clamping an impossible diff is NOT done — such
+/// inputs return InvalidArgument from Encode via MaxRepresentable checks).
+class Steim2 {
+ public:
+  static constexpr size_t kFrameBytes = 64;
+
+  /// Compresses `samples`. Fails if any first difference needs 30+ bits
+  /// (out of Steim2's range).
+  static Result<std::string> Encode(const std::vector<int32_t>& samples);
+
+  /// Decompresses exactly `num_samples` samples, verifying the reverse
+  /// integration constant.
+  static Result<std::vector<int32_t>> Decode(const std::string& data,
+                                             size_t num_samples);
+};
+
+}  // namespace dex::mseed
+
+#endif  // DEX_MSEED_STEIM2_H_

@@ -1,0 +1,45 @@
+#include "mseed/writer.h"
+
+#include "io/file_io.h"
+#include "mseed/steim.h"
+#include "mseed/steim2.h"
+
+namespace dex::mseed {
+
+std::string SerializeFile(const std::vector<RecordData>& records) {
+  std::string out;
+  for (const RecordData& rec : records) {
+    uint8_t encoding = rec.encoding;
+    std::string payload;
+    if (encoding == 2) {
+      auto encoded = Steim2::Encode(rec.samples);
+      if (encoded.ok()) {
+        payload = std::move(*encoded);
+      } else {
+        encoding = 1;  // differences out of Steim2 range: fall back
+      }
+    }
+    if (encoding == 1) {
+      payload = Steim1::Encode(rec.samples);
+    }
+    RecordHeader h;
+    h.network = rec.network;
+    h.station = rec.station;
+    h.channel = rec.channel;
+    h.location = rec.location;
+    h.start_time_ms = rec.start_time_ms;
+    h.sample_rate_hz = rec.sample_rate_hz;
+    h.num_samples = static_cast<uint32_t>(rec.samples.size());
+    h.data_bytes = static_cast<uint32_t>(payload.size());
+    h.encoding = encoding;
+    h.AppendTo(&out);
+    out += payload;
+  }
+  return out;
+}
+
+Status WriteFile(const std::string& path, const std::vector<RecordData>& records) {
+  return WriteStringToFile(path, SerializeFile(records));
+}
+
+}  // namespace dex::mseed

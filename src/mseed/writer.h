@@ -1,0 +1,35 @@
+#ifndef DEX_MSEED_WRITER_H_
+#define DEX_MSEED_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mseed/record.h"
+
+namespace dex::mseed {
+
+/// \brief One record to be written: identification plus raw samples.
+struct RecordData {
+  std::string network;
+  std::string station;
+  std::string channel;
+  std::string location;
+  int64_t start_time_ms = 0;
+  double sample_rate_hz = 0.0;
+  uint8_t encoding = 1;  // 1 = Steim1, 2 = Steim2
+  std::vector<int32_t> samples;
+};
+
+/// \brief Serializes records into the in-memory file image, compressing each
+/// record with its chosen encoding. Records whose samples exceed Steim2's
+/// 30-bit difference range fall back to Steim1 transparently.
+std::string SerializeFile(const std::vector<RecordData>& records);
+
+/// \brief Writes records to `path`, creating parent directories.
+Status WriteFile(const std::string& path, const std::vector<RecordData>& records);
+
+}  // namespace dex::mseed
+
+#endif  // DEX_MSEED_WRITER_H_

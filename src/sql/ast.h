@@ -1,0 +1,52 @@
+#ifndef DEX_SQL_AST_H_
+#define DEX_SQL_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/expr.h"
+#include "engine/logical_plan.h"
+
+namespace dex::sql {
+
+/// \brief One SELECT-list entry. Aggregates appear only at the top level of
+/// a select item (the subset the paper's workload needs).
+struct SelectItem {
+  bool is_aggregate = false;
+  AggFunc agg_fn = AggFunc::kCount;
+  bool agg_star = false;  // COUNT(*)
+  ExprPtr expr;           // scalar expr, or the aggregate argument
+  std::string alias;      // from AS, may be empty
+};
+
+struct TableRef {
+  std::string name;
+};
+
+struct JoinClause {
+  TableRef table;
+  ExprPtr on;
+};
+
+/// \brief Parsed SELECT statement.
+struct SelectStmt {
+  bool distinct = false;  // SELECT DISTINCT
+  bool select_star = false;
+  std::vector<SelectItem> items;
+  TableRef from;
+  std::vector<JoinClause> joins;
+  ExprPtr where;  // nullptr when absent
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;  // nullptr when absent; may contain aggregate placeholders
+  // Argument expressions of aggregates that appear inside HAVING, keyed by
+  // their ToString rendering (placeholders reference them by key).
+  std::vector<std::pair<std::string, ExprPtr>> having_aggregate_args;
+  std::vector<std::pair<ExprPtr, bool>> order_by;  // expr, ascending
+  int64_t limit = -1;                              // -1 = no limit
+};
+
+}  // namespace dex::sql
+
+#endif  // DEX_SQL_AST_H_

@@ -1,0 +1,228 @@
+#include "sql/binder.h"
+
+#include <algorithm>
+
+#include "sql/parser.h"
+
+namespace dex::sql {
+
+namespace {
+
+/// Display name for an unaliased select item.
+std::string DisplayName(const SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.is_aggregate) {
+    std::string inner = item.agg_star ? "*" : item.expr->ToString();
+    return std::string(AggFuncToString(item.agg_fn)) + "(" + inner + ")";
+  }
+  if (item.expr->kind() == ExprKind::kColumnRef) {
+    // Unqualified output name for plain column selections.
+    const std::string& name = item.expr->column_name();
+    const size_t dot = name.find('.');
+    return dot == std::string::npos ? name : name.substr(dot + 1);
+  }
+  return item.expr->ToString();
+}
+
+/// Rebuilds `e`, replacing "#AGG#FN#arg" placeholders with references to the
+/// matching aggregate output (adding hidden aggregate specs as needed).
+Result<ExprPtr> ResolveHavingExpr(
+    const ExprPtr& e, const SelectStmt& stmt, std::vector<AggSpec>* aggs,
+    int* agg_ordinal) {
+  if (e->kind() == ExprKind::kColumnRef) {
+    const std::string& name = e->column_name();
+    if (name.rfind("#AGG#", 0) != 0) return e;
+    const size_t fn_end = name.find('#', 5);
+    if (fn_end == std::string::npos) {
+      return Status::Internal("malformed aggregate placeholder " + name);
+    }
+    const std::string fn_name = name.substr(5, fn_end - 5);
+    const std::string arg_repr = name.substr(fn_end + 1);
+    AggFunc fn;
+    if (fn_name == "COUNT") fn = AggFunc::kCount;
+    else if (fn_name == "SUM") fn = AggFunc::kSum;
+    else if (fn_name == "AVG") fn = AggFunc::kAvg;
+    else if (fn_name == "MIN") fn = AggFunc::kMin;
+    else if (fn_name == "MAX") fn = AggFunc::kMax;
+    else return Status::Internal("unknown aggregate in HAVING: " + fn_name);
+    // Reuse an identical aggregate if the select list already computes it.
+    for (const AggSpec& spec : *aggs) {
+      const std::string repr = spec.arg == nullptr ? "*" : spec.arg->ToString();
+      if (spec.fn == fn && repr == arg_repr) {
+        return Expr::ColumnRef(spec.name);
+      }
+    }
+    AggSpec spec;
+    spec.fn = fn;
+    if (arg_repr != "*") {
+      for (const auto& [repr, arg] : stmt.having_aggregate_args) {
+        if (repr == arg_repr) {
+          spec.arg = arg;
+          break;
+        }
+      }
+      if (spec.arg == nullptr) {
+        return Status::Internal("lost aggregate argument for HAVING: " +
+                                arg_repr);
+      }
+    }
+    spec.name = "agg_" + std::to_string((*agg_ordinal)++);
+    const std::string out_name = spec.name;
+    aggs->push_back(std::move(spec));
+    return Expr::ColumnRef(out_name);
+  }
+  if (e->children().empty()) return e;
+  std::vector<ExprPtr> kids;
+  for (const ExprPtr& c : e->children()) {
+    DEX_ASSIGN_OR_RETURN(ExprPtr k, ResolveHavingExpr(c, stmt, aggs, agg_ordinal));
+    kids.push_back(std::move(k));
+  }
+  switch (e->kind()) {
+    case ExprKind::kComparison:
+      return Expr::Compare(e->compare_op(), kids[0], kids[1]);
+    case ExprKind::kAnd:
+      return Expr::And(kids[0], kids[1]);
+    case ExprKind::kOr:
+      return Expr::Or(kids[0], kids[1]);
+    case ExprKind::kNot:
+      return Expr::Not(kids[0]);
+    case ExprKind::kArithmetic:
+      return Expr::Arith(e->arith_op(), kids[0], kids[1]);
+    case ExprKind::kLike:
+      return Expr::Like(kids[0], e->like_pattern());
+    default:
+      return e;
+  }
+}
+
+}  // namespace
+
+Result<PlanPtr> BindSelect(const SelectStmt& stmt, const Catalog& catalog) {
+  if (!catalog.HasTable(stmt.from.name)) {
+    return Status::NotFound("unknown table '" + stmt.from.name + "'");
+  }
+  PlanPtr plan = MakeScan(stmt.from.name);
+  for (const JoinClause& join : stmt.joins) {
+    if (!catalog.HasTable(join.table.name)) {
+      return Status::NotFound("unknown table '" + join.table.name + "'");
+    }
+    plan = MakeJoin(join.on, std::move(plan), MakeScan(join.table.name));
+  }
+  if (stmt.where != nullptr) {
+    plan = MakeFilter(stmt.where, std::move(plan));
+  }
+
+  const bool has_aggregates =
+      !stmt.group_by.empty() ||
+      std::any_of(stmt.items.begin(), stmt.items.end(),
+                  [](const SelectItem& i) { return i.is_aggregate; });
+
+  if (has_aggregates) {
+    if (stmt.select_star) {
+      return Status::InvalidArgument("SELECT * cannot be combined with GROUP BY");
+    }
+    if (stmt.distinct) {
+      return Status::NotImplemented(
+          "SELECT DISTINCT with aggregates is not supported");
+    }
+    // Aggregate output: group keys first, then one field per aggregate item
+    // with a collision-free generated name; a final Project restores the
+    // select-list order and display names.
+    std::vector<AggSpec> aggs;
+    std::vector<ExprPtr> out_exprs;
+    std::vector<std::string> out_names;
+    int agg_ordinal = 0;
+    for (const SelectItem& item : stmt.items) {
+      if (item.is_aggregate) {
+        AggSpec spec;
+        spec.fn = item.agg_fn;
+        spec.arg = item.agg_star ? nullptr : item.expr;
+        if (item.agg_star) spec.fn = AggFunc::kCount;
+        spec.name = "agg_" + std::to_string(agg_ordinal++);
+        out_exprs.push_back(Expr::ColumnRef(spec.name));
+        out_names.push_back(DisplayName(item));
+        aggs.push_back(std::move(spec));
+      } else {
+        // Must match a GROUP BY expression.
+        const std::string repr = item.expr->ToString();
+        bool found = false;
+        for (const ExprPtr& g : stmt.group_by) {
+          if (g->ToString() == repr) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          return Status::InvalidArgument("column " + repr +
+                                         " must appear in GROUP BY");
+        }
+        out_exprs.push_back(item.expr);
+        out_names.push_back(DisplayName(item));
+      }
+    }
+    if (stmt.items.empty()) {
+      return Status::InvalidArgument("empty select list");
+    }
+    ExprPtr having;
+    if (stmt.having != nullptr) {
+      DEX_ASSIGN_OR_RETURN(
+          having, ResolveHavingExpr(stmt.having, stmt, &aggs, &agg_ordinal));
+    }
+    plan = MakeAggregate(stmt.group_by, std::move(aggs), std::move(plan));
+    if (having != nullptr) {
+      plan = MakeFilter(std::move(having), std::move(plan));
+    }
+    plan = MakeProject(std::move(out_exprs), std::move(out_names), std::move(plan));
+  } else if (stmt.having != nullptr) {
+    return Status::InvalidArgument("HAVING requires GROUP BY or aggregates");
+  } else if (!stmt.select_star) {
+    std::vector<ExprPtr> exprs;
+    std::vector<std::string> names;
+    for (const SelectItem& item : stmt.items) {
+      exprs.push_back(item.expr);
+      names.push_back(DisplayName(item));
+    }
+    if (stmt.distinct) {
+      // SELECT DISTINCT a, b ... ≡ group by every select expression.
+      plan = MakeAggregate(exprs, {}, std::move(plan));
+    }
+    plan = MakeProject(std::move(exprs), std::move(names), std::move(plan));
+  } else if (stmt.distinct) {
+    return Status::NotImplemented("SELECT DISTINCT * is not supported");
+  }
+
+  if (!stmt.order_by.empty()) {
+    // ORDER BY refers to the output of the select list, whose fields carry
+    // display names without qualifiers; remap matching expressions.
+    std::vector<SortKey> keys;
+    for (const auto& [expr, asc] : stmt.order_by) {
+      ExprPtr key = expr;
+      if (!stmt.select_star) {
+        const std::string repr = expr->ToString();
+        for (const SelectItem& item : stmt.items) {
+          const bool matches_expr =
+              !item.is_aggregate && item.expr->ToString() == repr;
+          const bool matches_alias = !item.alias.empty() && item.alias == repr;
+          if (matches_expr || matches_alias) {
+            key = Expr::ColumnRef(DisplayName(item));
+            break;
+          }
+        }
+      }
+      keys.push_back({std::move(key), asc});
+    }
+    plan = MakeSort(std::move(keys), std::move(plan));
+  }
+  if (stmt.limit >= 0) {
+    plan = MakeLimit(stmt.limit, std::move(plan));
+  }
+  DEX_RETURN_NOT_OK(AnalyzePlan(plan, catalog));
+  return plan;
+}
+
+Result<PlanPtr> PlanQuery(const std::string& sql, const Catalog& catalog) {
+  DEX_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect(sql));
+  return BindSelect(stmt, catalog);
+}
+
+}  // namespace dex::sql

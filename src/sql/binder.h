@@ -1,0 +1,26 @@
+#ifndef DEX_SQL_BINDER_H_
+#define DEX_SQL_BINDER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "engine/logical_plan.h"
+#include "sql/ast.h"
+#include "storage/catalog.h"
+
+namespace dex::sql {
+
+/// \brief Translates a parsed SELECT into an analyzed logical plan.
+///
+/// Produces the same initial relational plan regardless of ingestion mode —
+/// a cornerstone of the paper's design: "the queries are the same as in the
+/// case where the database is eagerly loaded ... and the same initial
+/// relational query plan is produced for the same query."
+Result<PlanPtr> BindSelect(const SelectStmt& stmt, const Catalog& catalog);
+
+/// \brief Convenience: parse + bind + analyze.
+Result<PlanPtr> PlanQuery(const std::string& sql, const Catalog& catalog);
+
+}  // namespace dex::sql
+
+#endif  // DEX_SQL_BINDER_H_

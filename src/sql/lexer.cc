@@ -1,0 +1,110 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "common/string_utils.h"
+
+namespace dex::sql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      // Line comment.
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(input[i])) ++i;
+      const std::string text = input.substr(start, i - start);
+      out.push_back({TokenType::kIdent, text, ToUpper(text), start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i + 1 < n && input[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      }
+      const std::string text = input.substr(start, i - start);
+      out.push_back({is_float ? TokenType::kFloat : TokenType::kInt, text, text,
+                     start});
+      continue;
+    }
+    if (c == '\'') {
+      std::string value;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // escaped quote
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        value.push_back(input[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(start));
+      }
+      out.push_back({TokenType::kString, value, value, start});
+      continue;
+    }
+    // Multi-char operators first.
+    auto push_symbol = [&](const std::string& sym) {
+      out.push_back({TokenType::kSymbol, sym, sym, start});
+      i += sym.size();
+    };
+    if (c == '<' && i + 1 < n && (input[i + 1] == '=' || input[i + 1] == '>')) {
+      push_symbol(input.substr(i, 2));
+      continue;
+    }
+    if (c == '>' && i + 1 < n && input[i + 1] == '=') {
+      push_symbol(">=");
+      continue;
+    }
+    if (c == '!' && i + 1 < n && input[i + 1] == '=') {
+      push_symbol("!=");
+      continue;
+    }
+    if (std::string("()*,.;=<>+-/").find(c) != std::string::npos) {
+      push_symbol(std::string(1, c));
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" + std::string(1, c) +
+                                   "' at offset " + std::to_string(i));
+  }
+  out.push_back({TokenType::kEnd, "", "", n});
+  return out;
+}
+
+}  // namespace dex::sql

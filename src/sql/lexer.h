@@ -1,0 +1,33 @@
+#ifndef DEX_SQL_LEXER_H_
+#define DEX_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dex::sql {
+
+enum class TokenType {
+  kIdent,    // table/column names and keywords (keywords resolved by parser)
+  kInt,      // 123
+  kFloat,    // 1.5
+  kString,   // 'text'
+  kSymbol,   // ( ) , . ; * = <> < <= > >= + - /
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;   // raw text; idents uppercased copy in `upper`
+  std::string upper;  // uppercase of text for keyword matching
+  size_t position;    // byte offset in the input (for error messages)
+};
+
+/// \brief Tokenizes a SQL string. SQL keywords are case-insensitive; string
+/// literals use single quotes with '' as the escape.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace dex::sql
+
+#endif  // DEX_SQL_LEXER_H_

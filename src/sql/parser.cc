@@ -1,0 +1,373 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+
+namespace dex::sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStmt> Parse() {
+    SelectStmt stmt;
+    DEX_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    if (PeekKeyword("DISTINCT")) {
+      Advance();
+      stmt.distinct = true;
+    }
+    if (PeekSymbol("*")) {
+      Advance();
+      stmt.select_star = true;
+    } else {
+      DEX_RETURN_NOT_OK(ParseSelectItem(&stmt));
+      while (PeekSymbol(",")) {
+        Advance();
+        DEX_RETURN_NOT_OK(ParseSelectItem(&stmt));
+      }
+    }
+    DEX_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    DEX_ASSIGN_OR_RETURN(stmt.from.name, ExpectIdent());
+    while (PeekKeyword("JOIN")) {
+      Advance();
+      JoinClause join;
+      DEX_ASSIGN_OR_RETURN(join.table.name, ExpectIdent());
+      DEX_RETURN_NOT_OK(ExpectKeyword("ON"));
+      DEX_ASSIGN_OR_RETURN(join.on, ParseExpr());
+      stmt.joins.push_back(std::move(join));
+    }
+    if (PeekKeyword("WHERE")) {
+      Advance();
+      DEX_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    if (PeekKeyword("GROUP")) {
+      Advance();
+      DEX_RETURN_NOT_OK(ExpectKeyword("BY"));
+      DEX_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      stmt.group_by.push_back(std::move(e));
+      while (PeekSymbol(",")) {
+        Advance();
+        DEX_ASSIGN_OR_RETURN(ExprPtr next, ParseExpr());
+        stmt.group_by.push_back(std::move(next));
+      }
+    }
+    if (PeekKeyword("HAVING")) {
+      Advance();
+      in_having_ = true;
+      auto having = ParseExpr();
+      in_having_ = false;
+      DEX_RETURN_NOT_OK(having.status());
+      stmt.having = *having;
+    }
+    if (PeekKeyword("ORDER")) {
+      Advance();
+      DEX_RETURN_NOT_OK(ExpectKeyword("BY"));
+      while (true) {
+        DEX_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        bool ascending = true;
+        if (PeekKeyword("ASC")) {
+          Advance();
+        } else if (PeekKeyword("DESC")) {
+          Advance();
+          ascending = false;
+        }
+        stmt.order_by.emplace_back(std::move(e), ascending);
+        if (!PeekSymbol(",")) break;
+        Advance();
+      }
+    }
+    if (PeekKeyword("LIMIT")) {
+      Advance();
+      if (Current().type != TokenType::kInt) {
+        return Error("expected integer after LIMIT");
+      }
+      stmt.limit = std::stoll(Current().text);
+      Advance();
+    }
+    if (PeekSymbol(";")) Advance();
+    if (Current().type != TokenType::kEnd) {
+      return Error("unexpected trailing input '" + Current().text + "'");
+    }
+    stmt.having_aggregate_args = having_aggregate_args_;
+    return stmt;
+  }
+
+ private:
+  const Token& Current() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument("SQL parse error at offset " +
+                                   std::to_string(Current().position) + ": " +
+                                   msg);
+  }
+
+  bool PeekSymbol(const std::string& s) const {
+    return Current().type == TokenType::kSymbol && Current().text == s;
+  }
+  bool PeekKeyword(const std::string& kw) const {
+    return Current().type == TokenType::kIdent && Current().upper == kw;
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (!PeekKeyword(kw)) return Error("expected " + kw);
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (Current().type != TokenType::kIdent) {
+      return Error("expected identifier, got '" + Current().text + "'");
+    }
+    std::string name = Current().text;
+    Advance();
+    return name;
+  }
+
+  Status ExpectSymbol(const std::string& s) {
+    if (!PeekSymbol(s)) return Error("expected '" + s + "'");
+    Advance();
+    return Status::OK();
+  }
+
+  static bool IsAggName(const std::string& upper, AggFunc* fn) {
+    if (upper == "COUNT") *fn = AggFunc::kCount;
+    else if (upper == "SUM") *fn = AggFunc::kSum;
+    else if (upper == "AVG") *fn = AggFunc::kAvg;
+    else if (upper == "MIN") *fn = AggFunc::kMin;
+    else if (upper == "MAX") *fn = AggFunc::kMax;
+    else return false;
+    return true;
+  }
+
+  Status ParseSelectItem(SelectStmt* stmt) {
+    SelectItem item;
+    AggFunc fn;
+    if (Current().type == TokenType::kIdent && IsAggName(Current().upper, &fn) &&
+        tokens_[pos_ + 1].type == TokenType::kSymbol &&
+        tokens_[pos_ + 1].text == "(") {
+      item.is_aggregate = true;
+      item.agg_fn = fn;
+      Advance();  // fn name
+      Advance();  // (
+      if (PeekSymbol("*")) {
+        if (fn != AggFunc::kCount) return Error("only COUNT accepts *");
+        item.agg_star = true;
+        Advance();
+      } else {
+        DEX_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      }
+      DEX_RETURN_NOT_OK(ExpectSymbol(")"));
+    } else {
+      DEX_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    }
+    if (PeekKeyword("AS")) {
+      Advance();
+      DEX_ASSIGN_OR_RETURN(item.alias, ExpectIdent());
+    }
+    stmt->items.push_back(std::move(item));
+    return Status::OK();
+  }
+
+  // expr := or
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    DEX_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (PeekKeyword("OR")) {
+      Advance();
+      DEX_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::Or(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    DEX_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (PeekKeyword("AND")) {
+      Advance();
+      DEX_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = Expr::And(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (PeekKeyword("NOT")) {
+      Advance();
+      DEX_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return Expr::Not(std::move(operand));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    DEX_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    // Postfix predicate forms: [NOT] BETWEEN / IN / LIKE.
+    bool negated = false;
+    if (PeekKeyword("NOT") &&
+        (tokens_[pos_ + 1].upper == "BETWEEN" ||
+         tokens_[pos_ + 1].upper == "IN" || tokens_[pos_ + 1].upper == "LIKE")) {
+      negated = true;
+      Advance();
+    }
+    if (PeekKeyword("BETWEEN")) {
+      Advance();
+      DEX_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+      DEX_RETURN_NOT_OK(ExpectKeyword("AND"));
+      DEX_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+      ExprPtr range = Expr::And(Expr::Compare(CompareOp::kGe, lhs, lo),
+                                Expr::Compare(CompareOp::kLe, lhs, hi));
+      return negated ? Expr::Not(std::move(range)) : range;
+    }
+    if (PeekKeyword("IN")) {
+      Advance();
+      DEX_RETURN_NOT_OK(ExpectSymbol("("));
+      ExprPtr any;
+      while (true) {
+        DEX_ASSIGN_OR_RETURN(ExprPtr v, ParseExpr());
+        ExprPtr eq = Expr::Compare(CompareOp::kEq, lhs, std::move(v));
+        any = any == nullptr ? eq : Expr::Or(std::move(any), std::move(eq));
+        if (!PeekSymbol(",")) break;
+        Advance();
+      }
+      DEX_RETURN_NOT_OK(ExpectSymbol(")"));
+      return negated ? Expr::Not(std::move(any)) : any;
+    }
+    if (PeekKeyword("LIKE")) {
+      Advance();
+      if (Current().type != TokenType::kString) {
+        return Error("LIKE expects a string literal pattern");
+      }
+      ExprPtr like = Expr::Like(lhs, Current().text);
+      Advance();
+      return negated ? Expr::Not(std::move(like)) : like;
+    }
+    if (negated) return Error("dangling NOT before predicate");
+    CompareOp op;
+    if (PeekSymbol("=")) op = CompareOp::kEq;
+    else if (PeekSymbol("<>") || PeekSymbol("!=")) op = CompareOp::kNe;
+    else if (PeekSymbol("<=")) op = CompareOp::kLe;
+    else if (PeekSymbol("<")) op = CompareOp::kLt;
+    else if (PeekSymbol(">=")) op = CompareOp::kGe;
+    else if (PeekSymbol(">")) op = CompareOp::kGt;
+    else return lhs;
+    Advance();
+    DEX_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+    return Expr::Compare(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    DEX_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (PeekSymbol("+") || PeekSymbol("-")) {
+      const ArithOp op = PeekSymbol("+") ? ArithOp::kAdd : ArithOp::kSub;
+      Advance();
+      DEX_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = Expr::Arith(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    DEX_ASSIGN_OR_RETURN(ExprPtr lhs, ParsePrimary());
+    while (PeekSymbol("*") || PeekSymbol("/")) {
+      const ArithOp op = PeekSymbol("*") ? ArithOp::kMul : ArithOp::kDiv;
+      Advance();
+      DEX_ASSIGN_OR_RETURN(ExprPtr rhs, ParsePrimary());
+      lhs = Expr::Arith(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Current();
+    switch (t.type) {
+      case TokenType::kInt: {
+        Advance();
+        return Expr::Lit(Value::Int64(std::stoll(t.text)));
+      }
+      case TokenType::kFloat: {
+        Advance();
+        return Expr::Lit(Value::Double(std::stod(t.text)));
+      }
+      case TokenType::kString: {
+        Advance();
+        return Expr::Lit(Value::String(t.text));
+      }
+      case TokenType::kIdent: {
+        if (t.upper == "TRUE" || t.upper == "FALSE") {
+          Advance();
+          return Expr::Lit(Value::Bool(t.upper == "TRUE"));
+        }
+        AggFunc having_fn;
+        if (in_having_ && IsAggName(t.upper, &having_fn) &&
+            tokens_[pos_ + 1].type == TokenType::kSymbol &&
+            tokens_[pos_ + 1].text == "(") {
+          // Aggregates inside HAVING become placeholders the binder resolves
+          // against (or adds to) the aggregate operator's output.
+          Advance();  // fn
+          Advance();  // (
+          std::string arg_repr = "*";
+          if (PeekSymbol("*")) {
+            if (having_fn != AggFunc::kCount) {
+              return Error("only COUNT accepts *");
+            }
+            Advance();
+          } else {
+            DEX_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+            arg_repr = arg->ToString();
+            having_aggregate_args_.emplace_back(arg_repr, arg);
+          }
+          DEX_RETURN_NOT_OK(ExpectSymbol(")"));
+          return Expr::ColumnRef(std::string("#AGG#") +
+                                 AggFuncToString(having_fn) + "#" + arg_repr);
+        }
+        std::string name = t.text;
+        Advance();
+        if (PeekSymbol(".")) {
+          Advance();
+          DEX_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+          name += "." + col;
+        }
+        return Expr::ColumnRef(std::move(name));
+      }
+      case TokenType::kSymbol:
+        if (t.text == "(") {
+          Advance();
+          DEX_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+          DEX_RETURN_NOT_OK(ExpectSymbol(")"));
+          return inner;
+        }
+        if (t.text == "-") {
+          Advance();
+          DEX_ASSIGN_OR_RETURN(ExprPtr operand, ParsePrimary());
+          return Expr::Arith(ArithOp::kSub, Expr::Lit(Value::Int64(0)),
+                             std::move(operand));
+        }
+        break;
+      default:
+        break;
+    }
+    return Error("unexpected token '" + t.text + "' in expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  bool in_having_ = false;
+
+ public:
+  /// Argument expressions for aggregate placeholders in HAVING, keyed by
+  /// their rendering (consumed by the binder).
+  std::vector<std::pair<std::string, ExprPtr>> having_aggregate_args_;
+};
+
+}  // namespace
+
+Result<SelectStmt> ParseSelect(const std::string& sql) {
+  DEX_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace dex::sql

@@ -1,0 +1,25 @@
+#ifndef DEX_SQL_PARSER_H_
+#define DEX_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace dex::sql {
+
+/// \brief Parses one SELECT statement (optionally ';'-terminated).
+///
+/// Grammar subset:
+///   SELECT (* | item (',' item)*)
+///   FROM ident (JOIN ident ON expr)*
+///   [WHERE expr] [GROUP BY expr (',' expr)*]
+///   [ORDER BY expr [ASC|DESC] (',' ...)*] [LIMIT int]
+/// Expressions: OR/AND/NOT, comparisons (= <> != < <= > >=), + - * /,
+/// parentheses, literals, [table.]column refs. Aggregates (COUNT/SUM/AVG/
+/// MIN/MAX) are allowed as top-level select items only.
+Result<SelectStmt> ParseSelect(const std::string& sql);
+
+}  // namespace dex::sql
+
+#endif  // DEX_SQL_PARSER_H_

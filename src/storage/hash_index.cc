@@ -1,0 +1,120 @@
+#include "storage/hash_index.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace dex {
+
+namespace {
+
+inline uint64_t HashCombine(uint64_t seed, uint64_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+uint64_t HashCell(const Column& col, size_t row) {
+  switch (col.type()) {
+    case DataType::kDouble:
+      return std::hash<double>{}(col.GetDouble(row));
+    case DataType::kString:
+      return std::hash<std::string>{}(col.GetString(row));
+    default:
+      return std::hash<int64_t>{}(col.GetInt64(row));
+  }
+}
+
+uint64_t HashValue(const Value& v) {
+  switch (v.type()) {
+    case DataType::kDouble:
+      return std::hash<double>{}(v.dbl());
+    case DataType::kString:
+      return std::hash<std::string>{}(v.str());
+    default:
+      return std::hash<int64_t>{}(v.int64());
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HashIndex>> HashIndex::Build(
+    const Table* table, std::vector<size_t> key_columns, std::string name) {
+  if (table == nullptr || key_columns.empty()) {
+    return Status::InvalidArgument("HashIndex needs a table and >=1 key column");
+  }
+  for (size_t c : key_columns) {
+    if (c >= table->num_columns()) {
+      return Status::InvalidArgument("key column " + std::to_string(c) +
+                                     " out of range for '" + table->name() + "'");
+    }
+  }
+  std::unique_ptr<HashIndex> index(
+      new HashIndex(table, std::move(key_columns), std::move(name)));
+  const size_t n = table->num_rows();
+  index->hashes_.resize(n);
+  index->rows_.resize(n);
+  for (size_t row = 0; row < n; ++row) {
+    index->hashes_[row] = index->HashRow(*table, row);
+    index->rows_[row] = static_cast<uint32_t>(row);
+  }
+  // Sort both arrays by hash (indirect sort on a permutation, then apply).
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+    return index->hashes_[a] < index->hashes_[b];
+  });
+  std::vector<uint64_t> sorted_hashes(n);
+  std::vector<uint32_t> sorted_rows(n);
+  for (size_t i = 0; i < n; ++i) {
+    sorted_hashes[i] = index->hashes_[perm[i]];
+    sorted_rows[i] = index->rows_[perm[i]];
+  }
+  index->hashes_ = std::move(sorted_hashes);
+  index->rows_ = std::move(sorted_rows);
+  return index;
+}
+
+uint64_t HashIndex::HashRow(const Table& t, size_t row) const {
+  uint64_t h = 0;
+  for (size_t c : key_columns_) {
+    h = HashCombine(h, HashCell(*t.column(c), row));
+  }
+  return h;
+}
+
+uint64_t HashIndex::HashKey(const std::vector<Value>& key) const {
+  uint64_t h = 0;
+  for (const Value& v : key) {
+    h = HashCombine(h, HashValue(v));
+  }
+  return h;
+}
+
+bool HashIndex::RowMatches(uint32_t row, const std::vector<Value>& key) const {
+  for (size_t i = 0; i < key_columns_.size(); ++i) {
+    if (!table_->GetValue(row, key_columns_[i]).Equals(key[i])) return false;
+  }
+  return true;
+}
+
+Status HashIndex::Probe(const std::vector<Value>& key,
+                        std::vector<uint32_t>* out) const {
+  if (key.size() != key_columns_.size()) {
+    return Status::InvalidArgument("probe key arity mismatch for index '" +
+                                   name_ + "'");
+  }
+  const uint64_t h = HashKey(key);
+  auto begin = std::lower_bound(hashes_.begin(), hashes_.end(), h);
+  for (auto it = begin; it != hashes_.end() && *it == h; ++it) {
+    const uint32_t row = rows_[it - hashes_.begin()];
+    if (RowMatches(row, key)) out->push_back(row);
+  }
+  return Status::OK();
+}
+
+uint64_t HashIndex::ByteSize() const {
+  return hashes_.size() * (sizeof(uint64_t) + sizeof(uint32_t));
+}
+
+}  // namespace dex

@@ -1,0 +1,62 @@
+#include "storage/schema.h"
+
+#include "common/string_utils.h"
+
+namespace dex {
+
+Result<size_t> Schema::FieldIndex(const std::string& name) const {
+  const int idx = FindFieldIndex(name);
+  if (idx >= 0) return static_cast<size_t>(idx);
+  // Distinguish "not found" from "ambiguous" for a useful error message.
+  const auto parts = Split(name, '.');
+  if (parts.size() == 1) {
+    int hits = 0;
+    for (const Field& f : fields_) {
+      if (f.name == name) ++hits;
+    }
+    if (hits > 1) {
+      return Status::InvalidArgument("ambiguous column name '" + name + "'");
+    }
+  }
+  return Status::NotFound("no column named '" + name + "' in schema " + ToString());
+}
+
+int Schema::FindFieldIndex(const std::string& name) const {
+  const auto parts = Split(name, '.');
+  if (parts.size() == 2) {
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (fields_[i].qualifier == parts[0] && fields_[i].name == parts[1]) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+  int found = -1;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) {
+      if (found >= 0) return -1;  // ambiguous
+      found = static_cast<int>(i);
+    }
+  }
+  return found;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].QualifiedName();
+    out += " ";
+    out += DataTypeToString(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+std::shared_ptr<Schema> Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Field> fields = left.fields();
+  fields.insert(fields.end(), right.fields().begin(), right.fields().end());
+  return std::make_shared<Schema>(std::move(fields));
+}
+
+}  // namespace dex

@@ -1,0 +1,60 @@
+#ifndef DEX_STORAGE_SCHEMA_H_
+#define DEX_STORAGE_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace dex {
+
+/// \brief A named, typed column slot.
+///
+/// `qualifier` is the owning table (or alias) used for name resolution; join
+/// outputs carry fields from both inputs, each keeping its qualifier.
+struct Field {
+  std::string name;
+  DataType type;
+  std::string qualifier;  // may be empty for computed columns
+
+  std::string QualifiedName() const {
+    return qualifier.empty() ? name : qualifier + "." + name;
+  }
+};
+
+/// \brief An ordered list of fields describing a table or an operator output.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  void AddField(Field f) { fields_.push_back(std::move(f)); }
+
+  /// Resolves `name`, optionally qualified as "table.column". Returns the
+  /// field index. Unqualified names must be unambiguous.
+  Result<size_t> FieldIndex(const std::string& name) const;
+
+  /// Like FieldIndex but returns -1 instead of an error when absent/ambiguous.
+  int FindFieldIndex(const std::string& name) const;
+
+  /// "F(uri STRING, station STRING, ...)"-style rendering.
+  std::string ToString() const;
+
+  /// Concatenation for join outputs (left fields then right fields).
+  static std::shared_ptr<Schema> Concat(const Schema& left, const Schema& right);
+
+ private:
+  std::vector<Field> fields_;
+};
+
+using SchemaPtr = std::shared_ptr<Schema>;
+
+}  // namespace dex
+
+#endif  // DEX_STORAGE_SCHEMA_H_

@@ -1,0 +1,120 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace dex {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, FactoryMethodsSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  const Status s = Status::Corruption("bad frame");
+  EXPECT_EQ(s.ToString(), "Corruption: bad frame");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  const Status s = Status::IOError("disk gone");
+  Status t = s;  // copy ctor
+  EXPECT_TRUE(t.IsIOError());
+  EXPECT_EQ(t.message(), "disk gone");
+  Status u;
+  u = s;  // copy assignment
+  EXPECT_TRUE(u.IsIOError());
+  // Self-consistency after copying over a non-OK value.
+  u = Status::OK();
+  EXPECT_TRUE(u.ok());
+}
+
+TEST(StatusTest, MoveLeavesSourceReusable) {
+  Status s = Status::NotFound("gone");
+  Status t = std::move(s);
+  EXPECT_TRUE(t.IsNotFound());
+}
+
+TEST(StatusTest, WithContextPrefixesMessage) {
+  const Status s = Status::NotFound("row 5").WithContext("loading table F");
+  EXPECT_EQ(s.message(), "loading table F: row 5");
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_TRUE(Status::OK().WithContext("nope").ok());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    DEX_RETURN_NOT_OK(Status::Corruption("inner"));
+    return Status::OK();
+  };
+  auto passes = []() -> Status {
+    DEX_RETURN_NOT_OK(Status::OK());
+    return Status::InvalidArgument("reached end");
+  };
+  EXPECT_TRUE(fails().IsCorruption());
+  EXPECT_TRUE(passes().IsInvalidArgument());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r.ValueOr("fallback"), "hello");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(9);
+  std::unique_ptr<int> v = std::move(r).ValueUnsafe();
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 9);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::IOError("boom");
+    return 7;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    DEX_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  ASSERT_TRUE(outer(false).ok());
+  EXPECT_EQ(*outer(false), 8);
+  EXPECT_TRUE(outer(true).status().IsIOError());
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+}  // namespace
+}  // namespace dex

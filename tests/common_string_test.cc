@@ -1,0 +1,67 @@
+#include "common/string_utils.h"
+
+#include <gtest/gtest.h>
+
+namespace dex {
+namespace {
+
+TEST(StringTest, SplitBasic) {
+  const auto parts = Split("a.b.c", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringTest, SplitKeepsEmptyFields) {
+  const auto parts = Split("a..b", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+  EXPECT_EQ(Split(",", ',').size(), 2u);
+}
+
+TEST(StringTest, JoinInvertsSplit) {
+  EXPECT_EQ(Join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringTest, Trim) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t\nx\r "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("inner space kept"), "inner space kept");
+}
+
+TEST(StringTest, CaseConversion) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToUpper("from"), "FROM");
+  EXPECT_EQ(ToUpper("already UPPER 123"), "ALREADY UPPER 123");
+}
+
+TEST(StringTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("table:F", "table:"));
+  EXPECT_FALSE(StartsWith("F", "table:"));
+  EXPECT_TRUE(EndsWith("file.mseed", ".mseed"));
+  EXPECT_FALSE(EndsWith("file.mseed2", ".mseed"));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1024), "1.0 KB");
+  EXPECT_EQ(FormatBytes(10 * 1024 * 1024), "10.0 MB");
+  EXPECT_EQ(FormatBytes(1395864371ull), "1.3 GB");  // the paper's repo size
+}
+
+TEST(StringTest, FormatCount) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(660259608ull), "660,259,608");  // Table 1's |D|
+}
+
+}  // namespace
+}  // namespace dex

@@ -1,0 +1,108 @@
+#include "common/time_utils.h"
+
+#include <gtest/gtest.h>
+
+namespace dex {
+namespace {
+
+TEST(TimeTest, EpochIsZero) {
+  auto r = ParseIso8601("1970-01-01T00:00:00.000");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 0);
+}
+
+TEST(TimeTest, DateOnlyParses) {
+  auto r = ParseIso8601("1970-01-02");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, kMillisPerDay);
+}
+
+TEST(TimeTest, KnownTimestamp) {
+  // 2010-01-12T22:15:00 UTC == 1263334500 seconds since the epoch.
+  auto r = ParseIso8601("2010-01-12T22:15:00.000");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 1263334500000LL);
+}
+
+TEST(TimeTest, MillisecondsParsed) {
+  auto r = ParseIso8601("1970-01-01T00:00:00.123");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 123);
+}
+
+TEST(TimeTest, SecondsWithoutMillis) {
+  auto r = ParseIso8601("1970-01-01T00:01:05");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 65 * 1000);
+}
+
+TEST(TimeTest, SpaceSeparatorAccepted) {
+  auto r = ParseIso8601("1970-01-01 00:00:01");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 1000);
+}
+
+TEST(TimeTest, LeapYearFebruary29Valid) {
+  EXPECT_TRUE(ParseIso8601("2008-02-29").ok());
+  EXPECT_TRUE(ParseIso8601("2000-02-29").ok());  // divisible by 400
+}
+
+TEST(TimeTest, NonLeapYearFebruary29Invalid) {
+  EXPECT_FALSE(ParseIso8601("2010-02-29").ok());
+  EXPECT_FALSE(ParseIso8601("1900-02-29").ok());  // divisible by 100, not 400
+}
+
+TEST(TimeTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseIso8601("").ok());
+  EXPECT_FALSE(ParseIso8601("2010").ok());
+  EXPECT_FALSE(ParseIso8601("2010-13-01").ok());
+  EXPECT_FALSE(ParseIso8601("2010-00-10").ok());
+  EXPECT_FALSE(ParseIso8601("2010-01-32").ok());
+  EXPECT_FALSE(ParseIso8601("2010-01-12T24:00:00").ok());
+  EXPECT_FALSE(ParseIso8601("2010-01-12T23:60:00").ok());
+  EXPECT_FALSE(ParseIso8601("2010-01-12T23:00:61").ok());
+  EXPECT_FALSE(ParseIso8601("2010/01/12").ok());
+  EXPECT_FALSE(ParseIso8601("2010-01-12T10:00:00.1").ok());   // bad millis width
+  EXPECT_FALSE(ParseIso8601("2010-01-12T10:00:00.1234").ok());
+  EXPECT_FALSE(ParseIso8601("abcd-ef-gh").ok());
+}
+
+TEST(TimeTest, FormatKnownValue) {
+  EXPECT_EQ(FormatIso8601(0), "1970-01-01T00:00:00.000");
+  EXPECT_EQ(FormatIso8601(1263334500000LL), "2010-01-12T22:15:00.000");
+}
+
+TEST(TimeTest, FormatNegativeMillis) {
+  EXPECT_EQ(FormatIso8601(-1000), "1969-12-31T23:59:59.000");
+}
+
+TEST(TimeTest, LooksLikeIso8601) {
+  EXPECT_TRUE(LooksLikeIso8601("2010-01-12"));
+  EXPECT_TRUE(LooksLikeIso8601("2010-01-12T22:15:00.000"));
+  EXPECT_FALSE(LooksLikeIso8601("ISK"));
+  EXPECT_FALSE(LooksLikeIso8601("12345"));
+  EXPECT_FALSE(LooksLikeIso8601("2010-0a-12"));
+}
+
+/// Property: parse(format(t)) == t across a broad sweep of instants.
+class TimeRoundtrip : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(TimeRoundtrip, FormatThenParseIsIdentity) {
+  const int64_t millis = GetParam();
+  const std::string text = FormatIso8601(millis);
+  auto parsed = ParseIso8601(text);
+  ASSERT_TRUE(parsed.ok()) << text;
+  EXPECT_EQ(*parsed, millis) << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TimeRoundtrip,
+    ::testing::Values(0LL, 1LL, 999LL, 1000LL, kMillisPerDay - 1, kMillisPerDay,
+                      1263334500000LL,            // the paper's Query 1 instant
+                      951827696789LL,             // 2000-02-29 leap day
+                      1262304000000LL,            // 2010-01-01
+                      4102444799999LL,            // 2099-12-31T23:59:59.999
+                      253402300799999LL));        // 9999-12-31T23:59:59.999
+
+}  // namespace
+}  // namespace dex

@@ -1,0 +1,88 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace dex {
+namespace {
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, Int64Accessors) {
+  const Value v = Value::Int64(-42);
+  EXPECT_FALSE(v.is_null());
+  EXPECT_EQ(v.type(), DataType::kInt64);
+  EXPECT_EQ(v.int64(), -42);
+  EXPECT_EQ(v.ToString(), "-42");
+}
+
+TEST(ValueTest, DoubleAccessors) {
+  const Value v = Value::Double(2.5);
+  EXPECT_EQ(v.type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(v.dbl(), 2.5);
+}
+
+TEST(ValueTest, StringAccessors) {
+  const Value v = Value::String("ISK");
+  EXPECT_EQ(v.type(), DataType::kString);
+  EXPECT_EQ(v.str(), "ISK");
+  EXPECT_EQ(v.ToString(), "'ISK'");
+}
+
+TEST(ValueTest, BoolAccessors) {
+  EXPECT_TRUE(Value::Bool(true).boolean());
+  EXPECT_FALSE(Value::Bool(false).boolean());
+  EXPECT_EQ(Value::Bool(true).ToString(), "TRUE");
+}
+
+TEST(ValueTest, TimestampRendersIso) {
+  const Value v = Value::Timestamp(0);
+  EXPECT_EQ(v.type(), DataType::kTimestamp);
+  EXPECT_EQ(v.ToString(), "1970-01-01T00:00:00.000");
+}
+
+TEST(ValueTest, AsDoubleWidensIntegers) {
+  ASSERT_TRUE(Value::Int64(3).AsDouble().ok());
+  EXPECT_DOUBLE_EQ(*Value::Int64(3).AsDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(*Value::Timestamp(1000).AsDouble(), 1000.0);
+  EXPECT_DOUBLE_EQ(*Value::Bool(true).AsDouble(), 1.0);
+  EXPECT_FALSE(Value::String("x").AsDouble().ok());
+  EXPECT_FALSE(Value::Null().AsDouble().ok());
+}
+
+TEST(ValueTest, AsInt64RejectsDoubles) {
+  EXPECT_FALSE(Value::Double(1.5).AsInt64().ok());
+  EXPECT_EQ(*Value::Int64(5).AsInt64(), 5);
+}
+
+TEST(ValueTest, EqualsAcrossNumericTypes) {
+  EXPECT_TRUE(Value::Int64(2).Equals(Value::Double(2.0)));
+  EXPECT_FALSE(Value::Int64(2).Equals(Value::Double(2.5)));
+  EXPECT_TRUE(Value::Timestamp(5).Equals(Value::Int64(5)));
+}
+
+TEST(ValueTest, EqualsStrings) {
+  EXPECT_TRUE(Value::String("a").Equals(Value::String("a")));
+  EXPECT_FALSE(Value::String("a").Equals(Value::String("b")));
+  EXPECT_FALSE(Value::String("1").Equals(Value::Int64(1)));
+}
+
+TEST(ValueTest, NullEqualsSemantics) {
+  // Value::Equals treats NULL as unequal to everything (SQL-ish)...
+  EXPECT_FALSE(Value::Null().Equals(Value::Null()));
+  EXPECT_FALSE(Value::Null().Equals(Value::Int64(0)));
+  // ...while operator== treats two NULLs as the same value (container use).
+  EXPECT_TRUE(Value::Null() == Value::Null());
+  EXPECT_FALSE(Value::Null() == Value::Int64(0));
+}
+
+TEST(ValueTest, DoubleToString) {
+  EXPECT_EQ(Value::Double(1.5).ToString(), "1.5");
+  EXPECT_EQ(Value::Double(-0.25).ToString(), "-0.25");
+}
+
+}  // namespace
+}  // namespace dex

@@ -1,0 +1,186 @@
+#include "core/cache_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/schema.h"
+
+namespace dex {
+namespace {
+
+TablePtr MakeData(int rows) {
+  auto schema = std::make_shared<Schema>(
+      Schema({{"v", DataType::kInt64, "D"}}));
+  auto t = std::make_shared<Table>("D", schema);
+  for (int i = 0; i < rows; ++i) {
+    EXPECT_TRUE(t->AppendRow({Value::Int64(i)}).ok());
+  }
+  return t;
+}
+
+CacheManager::Options LruOptions(uint64_t capacity = 1 << 20) {
+  CacheManager::Options o;
+  o.policy = CachePolicy::kLru;
+  o.granularity = CacheGranularity::kFile;
+  o.capacity_bytes = capacity;
+  return o;
+}
+
+TEST(CacheTest, NonePolicyNeverCaches) {
+  CacheManager cache;  // default: kNone (the paper's discard-always design)
+  cache.Insert("u1", "", 100, MakeData(10));
+  EXPECT_EQ(cache.num_entries(), 0u);
+  EXPECT_FALSE(cache.Probe("u1", "", 100));
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(CacheTest, HitAfterInsert) {
+  CacheManager cache(LruOptions());
+  cache.Insert("u1", "", 100, MakeData(10));
+  EXPECT_TRUE(cache.Probe("u1", "", 100));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  auto data = cache.Lookup("u1");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ((*data)->num_rows(), 10u);
+}
+
+TEST(CacheTest, MissOnUnknownUri) {
+  CacheManager cache(LruOptions());
+  EXPECT_FALSE(cache.Probe("ghost", "", 1));
+  EXPECT_FALSE(cache.Lookup("ghost").ok());
+}
+
+TEST(CacheTest, MtimeChangeInvalidates) {
+  CacheManager cache(LruOptions());
+  cache.Insert("u1", "", 100, MakeData(10));
+  EXPECT_FALSE(cache.Probe("u1", "", 101)) << "stale entry must not hit";
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.num_entries(), 0u) << "stale entry must be dropped";
+}
+
+TEST(CacheTest, LruEvictsByCapacity) {
+  // Capacity for roughly one 1000-row table.
+  CacheManager cache(LruOptions(10 * 1024));
+  cache.Insert("u1", "", 1, MakeData(1000));
+  cache.Insert("u2", "", 1, MakeData(1000));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(cache.Probe("u1", "", 1));
+  EXPECT_TRUE(cache.Probe("u2", "", 1));
+}
+
+TEST(CacheTest, LruKeepsRecentlyUsed) {
+  CacheManager cache(LruOptions(20 * 1024));
+  cache.Insert("u1", "", 1, MakeData(1000));  // ~8KB
+  cache.Insert("u2", "", 1, MakeData(1000));
+  EXPECT_TRUE(cache.Probe("u1", "", 1));      // refresh u1
+  cache.Insert("u3", "", 1, MakeData(1000));  // evicts u2
+  EXPECT_TRUE(cache.Probe("u1", "", 1));
+  EXPECT_FALSE(cache.Probe("u2", "", 1));
+  EXPECT_TRUE(cache.Probe("u3", "", 1));
+}
+
+TEST(CacheTest, AllPolicyNeverEvicts) {
+  CacheManager::Options o = LruOptions(1);  // capacity would evict under LRU
+  o.policy = CachePolicy::kAll;
+  CacheManager cache(o);
+  cache.Insert("u1", "", 1, MakeData(1000));
+  cache.Insert("u2", "", 1, MakeData(1000));
+  EXPECT_EQ(cache.num_entries(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(CacheTest, ReinsertReplaces) {
+  CacheManager cache(LruOptions());
+  cache.Insert("u1", "", 1, MakeData(5));
+  cache.Insert("u1", "", 2, MakeData(7));
+  EXPECT_EQ(cache.num_entries(), 1u);
+  EXPECT_TRUE(cache.Probe("u1", "", 2));
+  auto data = cache.Lookup("u1");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ((*data)->num_rows(), 7u);
+}
+
+TEST(CacheTest, FileGranularityIgnoresPredicate) {
+  CacheManager cache(LruOptions());
+  cache.Insert("u1", "", 1, MakeData(10));
+  // File-granular hit regardless of the query's pushed-down selection.
+  EXPECT_TRUE(cache.Probe("u1", "", 1));
+}
+
+TEST(CacheTest, FileGranularityRefusesFilteredInserts) {
+  CacheManager cache(LruOptions());
+  cache.Insert("u1", "(v > 5)", 1, MakeData(4));  // filtered data
+  EXPECT_EQ(cache.num_entries(), 0u)
+      << "file-granular cache must not store partial file contents";
+}
+
+TEST(CacheTest, TupleGranularityMatchesExactPredicate) {
+  CacheManager::Options o = LruOptions();
+  o.granularity = CacheGranularity::kTuple;
+  CacheManager cache(o);
+  cache.Insert("u1", "(v > 5)", 1, MakeData(4));
+  EXPECT_TRUE(cache.Probe("u1", "(v > 5)", 1));
+  // A different selection cannot be served: "we need to mount the whole
+  // file even if there is one required tuple missing in the cache".
+  EXPECT_FALSE(cache.Probe("u1", "(v > 3)", 1));
+  EXPECT_FALSE(cache.Probe("u1", "", 1));
+}
+
+TEST(CacheTest, WouldHitDoesNotMutate) {
+  CacheManager cache(LruOptions());
+  cache.Insert("u1", "", 1, MakeData(10));
+  const CacheStats before = cache.stats();
+  EXPECT_TRUE(cache.WouldHit("u1", "", 1));
+  EXPECT_FALSE(cache.WouldHit("u1", "", 2));
+  EXPECT_FALSE(cache.WouldHit("ghost", "", 1));
+  EXPECT_EQ(cache.stats().hits, before.hits);
+  EXPECT_EQ(cache.stats().misses, before.misses);
+}
+
+TEST(CacheTest, ClearDropsEverything) {
+  CacheManager cache(LruOptions());
+  cache.Insert("u1", "", 1, MakeData(10));
+  cache.Insert("u2", "", 1, MakeData(10));
+  cache.Clear();
+  EXPECT_EQ(cache.num_entries(), 0u);
+  EXPECT_EQ(cache.bytes_used(), 0u);
+  EXPECT_FALSE(cache.Probe("u1", "", 1));
+}
+
+TEST(CacheTest, TupleWindowSubsumptionServesNarrowerQueries) {
+  CacheManager::Options o = LruOptions();
+  o.granularity = CacheGranularity::kTuple;
+  CacheManager cache(o);
+  CachedWindow cached{true, 1000.0, 2000.0};
+  cache.Insert("u1", "(t > 1000 AND t < 2000)", 1, MakeData(10), &cached);
+  // Narrower window, different repr: subsumption hit.
+  CachedWindow narrower{true, 1200.0, 1300.0};
+  EXPECT_TRUE(cache.Probe("u1", "(t > 1200 AND t < 1300)", 1, &narrower));
+  EXPECT_TRUE(cache.WouldHit("u1", "(t > 1200 AND t < 1300)", 1, &narrower));
+  // Wider or shifted windows miss.
+  CachedWindow wider{true, 500.0, 2500.0};
+  EXPECT_FALSE(cache.Probe("u1", "(t > 500 AND t < 2500)", 1, &wider));
+  CachedWindow shifted{true, 1500.0, 2500.0};
+  EXPECT_FALSE(cache.Probe("u1", "x", 1, &shifted));
+  // Non-pure query predicates never subsume.
+  CachedWindow impure{false, 1200.0, 1300.0};
+  EXPECT_FALSE(cache.Probe("u1", "x", 1, &impure));
+  // Non-pure cached entries never serve by window.
+  CachedWindow impure_cached{false, 0, 0};
+  cache.Insert("u2", "(v > 5)", 1, MakeData(10), &impure_cached);
+  EXPECT_FALSE(cache.Probe("u2", "y", 1, &narrower));
+}
+
+TEST(CacheTest, BytesUsedTracksInsertsAndEvictions) {
+  CacheManager cache(LruOptions());
+  EXPECT_EQ(cache.bytes_used(), 0u);
+  cache.Insert("u1", "", 1, MakeData(100));
+  const uint64_t one = cache.bytes_used();
+  EXPECT_GT(one, 0u);
+  cache.Insert("u2", "", 1, MakeData(100));
+  EXPECT_GT(cache.bytes_used(), one);
+  cache.Clear();
+  EXPECT_EQ(cache.bytes_used(), 0u);
+}
+
+}  // namespace
+}  // namespace dex

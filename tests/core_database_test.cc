@@ -1,0 +1,193 @@
+#include "core/database.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dex {
+namespace {
+
+using ::dex::testing::ScopedRepo;
+using ::dex::testing::TinyRepoOptions;
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    repo_ = new ScopedRepo("database", TinyRepoOptions());
+  }
+  static void TearDownTestSuite() {
+    delete repo_;
+    repo_ = nullptr;
+  }
+  static ScopedRepo* repo_;
+};
+
+ScopedRepo* DatabaseTest::repo_ = nullptr;
+
+TEST_F(DatabaseTest, OpenMissingRepoFails) {
+  EXPECT_FALSE(Database::Open("/tmp/definitely_not_a_repo_xyz", {}).ok());
+}
+
+TEST_F(DatabaseTest, LazyOpenLoadsOnlyMetadata) {
+  auto db = Database::Open(repo_->root(), {});
+  ASSERT_TRUE(db.ok());
+  const OpenStats& s = (*db)->open_stats();
+  EXPECT_EQ(s.num_files, 8u);
+  EXPECT_EQ(s.num_records, 8u * 3u);
+  EXPECT_GT(s.metadata_bytes, 0u);
+  EXPECT_EQ(s.db_bytes, 0u) << "lazy open must not materialize D";
+  EXPECT_EQ(s.num_data_rows, 0u);
+  // D exists but is empty.
+  auto d = (*db)->catalog()->GetTable("D");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ((*d)->num_rows(), 0u);
+}
+
+TEST_F(DatabaseTest, EagerOpenLoadsEverythingAndBuildsIndexes) {
+  DatabaseOptions opts;
+  opts.mode = IngestionMode::kEager;
+  auto db = Database::Open(repo_->root(), opts);
+  ASSERT_TRUE(db.ok());
+  const OpenStats& s = (*db)->open_stats();
+  EXPECT_GT(s.num_data_rows, 0u);
+  EXPECT_GT(s.db_bytes, s.metadata_bytes);
+  EXPECT_GT(s.index_bytes, 0u);
+  EXPECT_GT(s.load_nanos, 0u);
+  EXPECT_GT(s.index_nanos, 0u);
+  auto d = (*db)->catalog()->GetTable("D");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ((*d)->num_rows(), s.num_data_rows);
+}
+
+TEST_F(DatabaseTest, EagerWithoutIndexes) {
+  DatabaseOptions opts;
+  opts.mode = IngestionMode::kEager;
+  opts.build_indexes = false;
+  auto db = Database::Open(repo_->root(), opts);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->open_stats().index_bytes, 0u);
+}
+
+TEST_F(DatabaseTest, LazyOpenIsMuchSmallerThanEager) {
+  auto lazy = Database::Open(repo_->root(), {});
+  DatabaseOptions eopts;
+  eopts.mode = IngestionMode::kEager;
+  auto eager = Database::Open(repo_->root(), eopts);
+  ASSERT_TRUE(lazy.ok());
+  ASSERT_TRUE(eager.ok());
+  // The essence of Table 1: metadata is orders of magnitude smaller.
+  EXPECT_LT((*lazy)->open_stats().metadata_bytes * 10,
+            (*eager)->open_stats().db_bytes);
+}
+
+TEST_F(DatabaseTest, ColdRunsCostMoreSimulatedIoThanHotRuns) {
+  DatabaseOptions opts;
+  opts.mode = IngestionMode::kEager;
+  auto db = Database::Open(repo_->root(), opts);
+  ASSERT_TRUE(db.ok());
+  const char* sql = "SELECT COUNT(*) FROM D";
+  (*db)->FlushBuffers();
+  auto cold = (*db)->Query(sql);
+  ASSERT_TRUE(cold.ok());
+  auto hot = (*db)->Query(sql);
+  ASSERT_TRUE(hot.ok());
+  EXPECT_GT(cold->stats.sim_io_nanos, 0u);
+  EXPECT_EQ(hot->stats.sim_io_nanos, 0u);
+}
+
+TEST_F(DatabaseTest, QueryStatsAreFilled) {
+  auto db = Database::Open(repo_->root(), {});
+  ASSERT_TRUE(db.ok());
+  auto r = (*db)->Query(
+      "SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri WHERE F.station = 'ISK'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->stats.plan_nanos, 0u);
+  EXPECT_GT(r->stats.exec_nanos, 0u);
+  EXPECT_EQ(r->stats.result_rows, 1u);
+  EXPECT_GT(r->stats.mount.samples_decoded, 0u);
+  EXPECT_GT(r->stats.two_stage.stage1_nanos, 0u);
+  EXPECT_GT(r->stats.two_stage.stage2_nanos, 0u);
+  EXPECT_GT(r->stats.TotalSeconds(), 0.0);
+}
+
+TEST_F(DatabaseTest, ExplainShowsSplitForMixedQueries) {
+  auto db = Database::Open(repo_->root(), {});
+  ASSERT_TRUE(db.ok());
+  auto text = (*db)->Explain(
+      "SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri WHERE F.station = 'ISK'");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("StageBreak"), std::string::npos);
+  EXPECT_NE(text->find("after predicate pushdown"), std::string::npos);
+}
+
+TEST_F(DatabaseTest, ExplainMetadataOnlyHasNoSplit) {
+  auto db = Database::Open(repo_->root(), {});
+  ASSERT_TRUE(db.ok());
+  auto text = (*db)->Explain("SELECT COUNT(*) FROM F");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->find("StageBreak"), std::string::npos);
+  EXPECT_NE(text->find("no Q_f/Q_s split needed"), std::string::npos);
+}
+
+TEST_F(DatabaseTest, SqlErrorsSurfaceCleanly) {
+  auto db = Database::Open(repo_->root(), {});
+  ASSERT_TRUE(db.ok());
+  EXPECT_FALSE((*db)->Query("SELEC typo").ok());
+  EXPECT_FALSE((*db)->Query("SELECT * FROM NoSuchTable").ok());
+  EXPECT_FALSE((*db)->Query("SELECT no_such_column FROM F").ok());
+}
+
+TEST_F(DatabaseTest, EagerIndexJoinsMatchHashJoins) {
+  DatabaseOptions hash_opts;
+  hash_opts.mode = IngestionMode::kEager;
+  DatabaseOptions index_opts = hash_opts;
+  index_opts.use_index_joins = true;
+  auto hash_db = Database::Open(repo_->root(), hash_opts);
+  auto index_db = Database::Open(repo_->root(), index_opts);
+  ASSERT_TRUE(hash_db.ok());
+  ASSERT_TRUE(index_db.ok());
+  const char* sql =
+      "SELECT COUNT(*) FROM R JOIN D ON R.uri = D.uri "
+      "AND R.record_id = D.record_id WHERE R.record_id = 0";
+  auto a = (*hash_db)->Query(sql);
+  auto b = (*index_db)->Query(sql);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->table->GetValue(0, 0).int64(), b->table->GetValue(0, 0).int64());
+}
+
+TEST_F(DatabaseTest, InformativenessEstimateTracksActualIngestion) {
+  auto db = Database::Open(repo_->root(), {});
+  ASSERT_TRUE(db.ok());
+  auto r = (*db)->Query(
+      "SELECT COUNT(*) FROM F JOIN R ON F.uri = R.uri "
+      "JOIN D ON R.uri = D.uri AND R.record_id = D.record_id "
+      "WHERE F.station = 'ISK'");
+  ASSERT_TRUE(r.ok());
+  const BreakpointInfo& bp = r->stats.two_stage.breakpoint;
+  ASSERT_TRUE(r->stats.two_stage.breakpoint_evaluated);
+  // Estimated rows to ingest equals the actual mounted rows (exact, because
+  // the estimate is driven by R.n_samples).
+  EXPECT_EQ(bp.est_rows_to_ingest, r->stats.mount.samples_decoded);
+}
+
+TEST_F(DatabaseTest, EstimatedResultRowsCloseToActualForTimeWindows) {
+  auto db = Database::Open(repo_->root(), {});
+  ASSERT_TRUE(db.ok());
+  auto r = (*db)->Query(
+      "SELECT D.sample_time, D.sample_value FROM R JOIN D ON R.uri = D.uri "
+      "AND R.record_id = D.record_id "
+      "WHERE R.start_time >= '2010-01-01T00:00:00.000' "
+      "AND D.sample_time > '2010-01-01T06:00:00.000' "
+      "AND D.sample_time < '2010-01-01T18:00:00.000'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const BreakpointInfo& bp = r->stats.two_stage.breakpoint;
+  const double actual = static_cast<double>(r->table->num_rows());
+  const double est = static_cast<double>(bp.est_result_rows);
+  ASSERT_GT(actual, 0.0);
+  EXPECT_NEAR(est / actual, 1.0, 0.25)
+      << "estimate " << est << " vs actual " << actual;
+}
+
+}  // namespace
+}  // namespace dex

@@ -1,0 +1,196 @@
+#include "core/mounter.h"
+
+#include <gtest/gtest.h>
+
+#include "core/seismic_schema.h"
+#include "mseed/reader.h"
+#include "mseed/writer.h"
+#include "test_util.h"
+
+namespace dex {
+namespace {
+
+class MounterTest : public ::testing::Test {
+ protected:
+  MounterTest()
+      : disk_(),
+        catalog_(&disk_),
+        registry_(&disk_),
+        cache_(CacheManager::Options{CachePolicy::kAll,
+                                     CacheGranularity::kFile, 1 << 30}) {
+    dir_ = "/tmp/dex_mounter_test";
+    (void)RemoveDirRecursive(dir_);
+    // One file with two records of known content.
+    mseed::RecordData r0;
+    r0.network = "OR";
+    r0.station = "ISK";
+    r0.channel = "BHE";
+    r0.location = "00";
+    r0.start_time_ms = 0;
+    r0.sample_rate_hz = 1.0;  // 1000 ms spacing
+    r0.samples = {10, 20, 30};
+    mseed::RecordData r1 = r0;
+    r1.start_time_ms = 100000;
+    r1.samples = {-5, 0, 5, 10};
+    uri_ = dir_ + "/test.mseed";
+    EXPECT_TRUE(mseed::WriteFile(uri_, {r0, r1}).ok());
+    EXPECT_TRUE(catalog_
+                    .AddTable(std::make_shared<Table>(kDataTableName,
+                                                      MakeDataSchema()),
+                              TableKind::kActual)
+                    .ok());
+    auto size = FileSize(uri_);
+    auto mtime = FileMtimeMillis(uri_);
+    EXPECT_TRUE(size.ok());
+    EXPECT_TRUE(mtime.ok());
+    EXPECT_TRUE(registry_.Add(uri_, *size, *mtime).ok());
+  }
+  ~MounterTest() override { (void)RemoveDirRecursive(dir_); }
+
+  SimDisk disk_;
+  Catalog catalog_;
+  FileRegistry registry_;
+  CacheManager cache_;
+  MseedAdapter format_;
+  std::string dir_;
+  std::string uri_;
+};
+
+TEST_F(MounterTest, MountExtractsAllSamples) {
+  Mounter mounter(&catalog_, &registry_, &cache_, nullptr, &format_);
+  auto t = mounter.Mount(kDataTableName, uri_, nullptr);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ((*t)->num_rows(), 7u);
+  // Schema: uri, record_id, sample_time, sample_value.
+  EXPECT_EQ((*t)->GetValue(0, 0).str(), uri_);
+  EXPECT_EQ((*t)->GetValue(0, 1).int64(), 0);
+  EXPECT_EQ((*t)->GetValue(0, 2).int64(), 0);
+  EXPECT_DOUBLE_EQ((*t)->GetValue(0, 3).dbl(), 10.0);
+  // Second record starts at record_id 1, t=100000, 1000ms spacing.
+  EXPECT_EQ((*t)->GetValue(3, 1).int64(), 1);
+  EXPECT_EQ((*t)->GetValue(4, 2).int64(), 101000);
+  EXPECT_DOUBLE_EQ((*t)->GetValue(6, 3).dbl(), 10.0);
+  EXPECT_EQ(mounter.counters().mounts, 1u);
+  EXPECT_EQ(mounter.counters().records_decoded, 2u);
+  EXPECT_EQ(mounter.counters().samples_decoded, 7u);
+}
+
+TEST_F(MounterTest, MountChargesSimulatedRead) {
+  Mounter mounter(&catalog_, &registry_, &cache_, nullptr, &format_);
+  const uint64_t t0 = disk_.stats().sim_nanos;
+  ASSERT_TRUE(mounter.Mount(kDataTableName, uri_, nullptr).ok());
+  EXPECT_GT(disk_.stats().sim_nanos, t0);
+}
+
+TEST_F(MounterTest, FusedPredicateFilters) {
+  Mounter mounter(&catalog_, &registry_, &cache_, nullptr, &format_);
+  const ExprPtr pred = Expr::Compare(
+      CompareOp::kGt, Expr::ColumnRef("sample_value"),
+      Expr::Lit(Value::Int64(5)));
+  auto t = mounter.Mount(kDataTableName, uri_, pred);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ((*t)->num_rows(), 4u);  // 10, 20, 30, 10
+}
+
+TEST_F(MounterTest, FileGranularCacheStoresWholeFileDespiteFusedPredicate) {
+  Mounter mounter(&catalog_, &registry_, &cache_, nullptr, &format_);
+  const ExprPtr pred = Expr::Compare(
+      CompareOp::kGt, Expr::ColumnRef("sample_value"),
+      Expr::Lit(Value::Int64(5)));
+  ASSERT_TRUE(mounter.Mount(kDataTableName, uri_, pred).ok());
+  auto mtime = FileMtimeMillis(uri_);
+  ASSERT_TRUE(mtime.ok());
+  ASSERT_TRUE(cache_.Probe(uri_, "", *mtime));
+  auto cached = mounter.CacheLookup(kDataTableName, uri_);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ((*cached)->num_rows(), 7u) << "whole file cached, not the filtered";
+}
+
+TEST_F(MounterTest, TupleGranularCacheStoresFilteredTuples) {
+  CacheManager tuple_cache(CacheManager::Options{
+      CachePolicy::kAll, CacheGranularity::kTuple, 1 << 30});
+  Mounter mounter(&catalog_, &registry_, &tuple_cache, nullptr, &format_);
+  const ExprPtr pred = Expr::Compare(
+      CompareOp::kGt, Expr::ColumnRef("sample_value"),
+      Expr::Lit(Value::Int64(5)));
+  ASSERT_TRUE(mounter.Mount(kDataTableName, uri_, pred).ok());
+  auto mtime = FileMtimeMillis(uri_);
+  ASSERT_TRUE(mtime.ok());
+  ASSERT_TRUE(tuple_cache.Probe(uri_, pred->ToString(), *mtime));
+  auto cached = mounter.CacheLookup(kDataTableName, uri_);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ((*cached)->num_rows(), 4u);
+}
+
+TEST_F(MounterTest, UnknownUriFails) {
+  Mounter mounter(&catalog_, &registry_, &cache_, nullptr, &format_);
+  EXPECT_TRUE(mounter.Mount(kDataTableName, "/nope.mseed", nullptr)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(MounterTest, UnknownTableFails) {
+  Mounter mounter(&catalog_, &registry_, &cache_, nullptr, &format_);
+  EXPECT_TRUE(
+      mounter.Mount("X", uri_, nullptr).status().IsNotImplemented());
+  EXPECT_TRUE(mounter.CacheLookup("X", uri_).status().IsNotImplemented());
+}
+
+TEST_F(MounterTest, VanishedFileSurfacesAsError) {
+  Mounter mounter(&catalog_, &registry_, &cache_, nullptr, &format_);
+  // Registered (stage 1 saw it) but deleted before stage 2 mounts it.
+  ASSERT_TRUE(RemoveDirRecursive(dir_).ok());
+  auto t = mounter.Mount(kDataTableName, uri_, nullptr);
+  ASSERT_FALSE(t.ok());
+  EXPECT_TRUE(t.status().IsIOError()) << t.status().ToString();
+}
+
+TEST_F(MounterTest, CorruptFileSurfacesAsCorruption) {
+  Mounter mounter(&catalog_, &registry_, &cache_, nullptr, &format_);
+  std::string image;
+  ASSERT_TRUE(ReadFileToString(uri_, &image).ok());
+  image[70] = static_cast<char>(image[70] ^ 0x7f);  // damage first payload
+  ASSERT_TRUE(WriteStringToFile(uri_, image).ok());
+  auto t = mounter.Mount(kDataTableName, uri_, nullptr);
+  ASSERT_FALSE(t.ok());
+  EXPECT_TRUE(t.status().IsCorruption()) << t.status().ToString();
+}
+
+TEST_F(MounterTest, DerivedMetadataCollectedAsSideEffect) {
+  auto derived = DerivedMetadata::Create(&catalog_);
+  ASSERT_TRUE(derived.ok());
+  Mounter mounter(&catalog_, &registry_, &cache_, derived->get(), &format_);
+  ASSERT_TRUE(mounter.Mount(kDataTableName, uri_, nullptr).ok());
+  EXPECT_EQ((*derived)->num_records_covered(), 2u);
+  EXPECT_TRUE((*derived)->HasCompleteFile(uri_));
+  // Record 0 has samples 10..30; record 1 has -5..10. File range: [-5, 30].
+  EXPECT_TRUE((*derived)->MayMatchValueRange(uri_, 0, 100));
+  EXPECT_FALSE((*derived)->MayMatchValueRange(uri_, 31, 100));
+  EXPECT_FALSE((*derived)->MayMatchValueRange(uri_, -100, -6));
+  // The DM table is queryable with per-record stats.
+  const TablePtr dm = (*derived)->table();
+  ASSERT_EQ(dm->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(dm->GetValue(0, 2).dbl(), 10.0);  // min of record 0
+  EXPECT_DOUBLE_EQ(dm->GetValue(0, 3).dbl(), 30.0);  // max
+  EXPECT_DOUBLE_EQ(dm->GetValue(0, 4).dbl(), 20.0);  // mean
+}
+
+TEST_F(MounterTest, DerivedMetadataIdempotentPerRecord) {
+  auto derived = DerivedMetadata::Create(&catalog_);
+  ASSERT_TRUE(derived.ok());
+  Mounter mounter(&catalog_, &registry_, &cache_, derived->get(), &format_);
+  ASSERT_TRUE(mounter.Mount(kDataTableName, uri_, nullptr).ok());
+  ASSERT_TRUE(mounter.Mount(kDataTableName, uri_, nullptr).ok());
+  EXPECT_EQ((*derived)->num_records_covered(), 2u);
+  EXPECT_EQ((*derived)->table()->num_rows(), 2u);
+}
+
+TEST_F(MounterTest, UnknownValueRangeFileMustMount) {
+  auto derived = DerivedMetadata::Create(&catalog_);
+  ASSERT_TRUE(derived.ok());
+  EXPECT_TRUE((*derived)->MayMatchValueRange("/never/seen", 0, 1));
+  EXPECT_FALSE((*derived)->HasCompleteFile("/never/seen"));
+}
+
+}  // namespace
+}  // namespace dex

@@ -1,0 +1,157 @@
+// Tests for Database::Refresh(): the repository grows (and churns) while the
+// database is open — the e-science scenario the paper opens with.
+
+#include <fcntl.h>
+#include <sys/stat.h>
+
+#include <ctime>
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "mseed/generator.h"
+#include "mseed/writer.h"
+#include "test_util.h"
+
+namespace dex {
+namespace {
+
+using ::dex::testing::ScopedRepo;
+using ::dex::testing::TinyRepoOptions;
+
+mseed::RecordData NewRecord(const std::string& station, int64_t start_ms,
+                            int samples) {
+  mseed::RecordData rec;
+  rec.network = "OR";
+  rec.station = station;
+  rec.channel = "BHE";
+  rec.location = "00";
+  rec.start_time_ms = start_ms;
+  rec.sample_rate_hz = 1.0;
+  for (int i = 0; i < samples; ++i) rec.samples.push_back(i);
+  return rec;
+}
+
+TEST(RefreshTest, NewFilesBecomeQueryable) {
+  ScopedRepo repo("refresh_new", TinyRepoOptions());
+  auto db = Database::Open(repo.root(), {});
+  ASSERT_TRUE(db.ok());
+  auto before = (*db)->Query("SELECT COUNT(*) FROM F");
+  ASSERT_TRUE(before.ok());
+  const int64_t files_before = before->table->GetValue(0, 0).int64();
+
+  // A new station's data arrives.
+  ASSERT_TRUE(mseed::WriteFile(repo.root() + "/NEW/OR.NEW.BHE.000.mseed",
+                               {NewRecord("NEWSTA", 1262304000000LL, 50)})
+                  .ok());
+  auto refreshed = (*db)->Refresh();
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status().ToString();
+  EXPECT_EQ(refreshed->files_added, 1u);
+  EXPECT_EQ(refreshed->files_removed, 0u);
+
+  auto after = (*db)->Query("SELECT COUNT(*) FROM F");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->table->GetValue(0, 0).int64(), files_before + 1);
+
+  // And its actual data mounts like any other file.
+  auto data = (*db)->Query(
+      "SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri "
+      "WHERE F.station = 'NEWSTA'");
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data->table->GetValue(0, 0).int64(), 50);
+}
+
+TEST(RefreshTest, RemovedFilesDropOutOfMetadata) {
+  ScopedRepo repo("refresh_removed", TinyRepoOptions());
+  auto db = Database::Open(repo.root(), {});
+  ASSERT_TRUE(db.ok());
+  auto files = ListFiles(repo.root(), ".mseed");
+  ASSERT_TRUE(files.ok());
+  ASSERT_TRUE(RemoveDirRecursive((*files)[0]).ok());
+
+  auto refreshed = (*db)->Refresh();
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_EQ(refreshed->files_removed, 1u);
+  auto count = (*db)->Query("SELECT COUNT(*) FROM F");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->table->GetValue(0, 0).int64(),
+            static_cast<int64_t>(files->size()) - 1);
+  // Full scans no longer try to mount the vanished file.
+  EXPECT_TRUE((*db)->Query("SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri").ok());
+}
+
+TEST(RefreshTest, ChangedFilesDetected) {
+  ScopedRepo repo("refresh_changed", TinyRepoOptions());
+  auto db = Database::Open(repo.root(), {});
+  ASSERT_TRUE(db.ok());
+  auto files = ListFiles(repo.root(), ".mseed");
+  ASSERT_TRUE(files.ok());
+  // Overwrite one file with different content and a bumped mtime.
+  ASSERT_TRUE(
+      mseed::WriteFile((*files)[0], {NewRecord("ISK", 1262304000000LL, 9)}).ok());
+  struct timespec times[2] = {{0, 0}, {0, 0}};
+  times[0].tv_sec = times[1].tv_sec = ::time(nullptr) + 60;
+  ASSERT_EQ(::utimensat(AT_FDCWD, (*files)[0].c_str(), times, 0), 0);
+
+  auto refreshed = (*db)->Refresh();
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_EQ(refreshed->files_changed, 1u);
+  EXPECT_EQ(refreshed->files_added, 0u);
+  // The record table reflects the rewritten file.
+  auto r = (*db)->Query(
+      "SELECT R.n_samples FROM R WHERE R.uri LIKE '%" +
+      (*files)[0].substr((*files)[0].rfind('/') + 1) + "'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->table->num_rows(), 1u);
+  EXPECT_EQ(r->table->GetValue(0, 0).int64(), 9);
+}
+
+TEST(RefreshTest, NoChangesIsCleanNoop) {
+  ScopedRepo repo("refresh_noop", TinyRepoOptions());
+  auto db = Database::Open(repo.root(), {});
+  ASSERT_TRUE(db.ok());
+  auto before = (*db)->Query("SELECT COUNT(*) FROM R");
+  auto refreshed = (*db)->Refresh();
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_EQ(refreshed->files_added, 0u);
+  EXPECT_EQ(refreshed->files_changed, 0u);
+  EXPECT_EQ(refreshed->files_removed, 0u);
+  auto after = (*db)->Query("SELECT COUNT(*) FROM R");
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before->table->GetValue(0, 0).int64(),
+            after->table->GetValue(0, 0).int64());
+}
+
+TEST(RefreshTest, EagerModeRefusesRefresh) {
+  ScopedRepo repo("refresh_eager", TinyRepoOptions());
+  DatabaseOptions opts;
+  opts.mode = IngestionMode::kEager;
+  auto db = Database::Open(repo.root(), opts);
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE((*db)->Refresh().status().IsNotImplemented());
+}
+
+TEST(RefreshTest, RepeatedRefreshesAccumulate) {
+  ScopedRepo repo("refresh_repeat", TinyRepoOptions());
+  auto db = Database::Open(repo.root(), {});
+  ASSERT_TRUE(db.ok());
+  for (int day = 0; day < 3; ++day) {
+    ASSERT_TRUE(mseed::WriteFile(
+                    repo.root() + "/NEW/OR.NEW.BHE.10" + std::to_string(day) +
+                        ".mseed",
+                    {NewRecord("NEWSTA", 1262304000000LL + day * 86400000LL, 20)})
+                    .ok());
+    auto refreshed = (*db)->Refresh();
+    ASSERT_TRUE(refreshed.ok());
+    EXPECT_EQ(refreshed->files_added, 1u);
+  }
+  auto data = (*db)->Query(
+      "SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri "
+      "WHERE F.station = 'NEWSTA'");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->table->GetValue(0, 0).int64(), 60);
+}
+
+}  // namespace
+}  // namespace dex

@@ -1,0 +1,245 @@
+#include "engine/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "common/time_utils.h"
+
+namespace dex {
+namespace {
+
+SchemaPtr TestSchema() {
+  return std::make_shared<Schema>(Schema({{"station", DataType::kString, "F"},
+                                          {"n", DataType::kInt64, "F"},
+                                          {"v", DataType::kDouble, "F"},
+                                          {"t", DataType::kTimestamp, "F"}}));
+}
+
+Batch TestBatch() {
+  Batch b = Batch::Empty(TestSchema());
+  const char* stations[] = {"ISK", "ANK", "ISK", "IZM"};
+  const int64_t ns[] = {1, 2, 3, 4};
+  const double vs[] = {0.5, -1.0, 2.5, 0.0};
+  const int64_t ts[] = {0, 1000, 2000, 3000};
+  for (int i = 0; i < 4; ++i) {
+    b.columns[0]->AppendString(stations[i]);
+    b.columns[1]->AppendInt64(ns[i]);
+    b.columns[2]->AppendDouble(vs[i]);
+    b.columns[3]->AppendInt64(ts[i]);
+  }
+  return b;
+}
+
+Result<ColumnPtr> Eval(const ExprPtr& e) {
+  const Batch b = TestBatch();
+  DEX_ASSIGN_OR_RETURN(ExprPtr bound, e->Bind(*b.schema));
+  return bound->Evaluate(b);
+}
+
+std::vector<int64_t> Bools(const ColumnPtr& col) {
+  std::vector<int64_t> out;
+  for (size_t i = 0; i < col->size(); ++i) out.push_back(col->GetInt64(i));
+  return out;
+}
+
+TEST(ExprTest, ColumnRefPassesThrough) {
+  auto r = Eval(Expr::ColumnRef("n"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->GetInt64(2), 3);
+}
+
+TEST(ExprTest, QualifiedColumnRef) {
+  auto r = Eval(Expr::ColumnRef("F.station"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->GetString(0), "ISK");
+}
+
+TEST(ExprTest, UnknownColumnFailsBinding) {
+  EXPECT_FALSE(Expr::ColumnRef("ghost")->Bind(*TestSchema()).ok());
+}
+
+TEST(ExprTest, LiteralBroadcasts) {
+  auto r = Eval(Expr::Lit(Value::Int64(9)));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->size(), 4u);
+  EXPECT_EQ((*r)->GetInt64(3), 9);
+}
+
+TEST(ExprTest, IntComparison) {
+  auto r = Eval(Expr::Compare(CompareOp::kGt, Expr::ColumnRef("n"),
+                              Expr::Lit(Value::Int64(2))));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Bools(*r), (std::vector<int64_t>{0, 0, 1, 1}));
+}
+
+TEST(ExprTest, AllComparisonOps) {
+  auto mk = [](CompareOp op) {
+    return Expr::Compare(op, Expr::ColumnRef("n"), Expr::Lit(Value::Int64(2)));
+  };
+  EXPECT_EQ(Bools(*Eval(mk(CompareOp::kEq))), (std::vector<int64_t>{0, 1, 0, 0}));
+  EXPECT_EQ(Bools(*Eval(mk(CompareOp::kNe))), (std::vector<int64_t>{1, 0, 1, 1}));
+  EXPECT_EQ(Bools(*Eval(mk(CompareOp::kLt))), (std::vector<int64_t>{1, 0, 0, 0}));
+  EXPECT_EQ(Bools(*Eval(mk(CompareOp::kLe))), (std::vector<int64_t>{1, 1, 0, 0}));
+  EXPECT_EQ(Bools(*Eval(mk(CompareOp::kGt))), (std::vector<int64_t>{0, 0, 1, 1}));
+  EXPECT_EQ(Bools(*Eval(mk(CompareOp::kGe))), (std::vector<int64_t>{0, 1, 1, 1}));
+}
+
+TEST(ExprTest, StringEquality) {
+  auto r = Eval(Expr::Compare(CompareOp::kEq, Expr::ColumnRef("station"),
+                              Expr::Lit(Value::String("ISK"))));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Bools(*r), (std::vector<int64_t>{1, 0, 1, 0}));
+}
+
+TEST(ExprTest, StringOrdering) {
+  auto r = Eval(Expr::Compare(CompareOp::kLt, Expr::ColumnRef("station"),
+                              Expr::Lit(Value::String("IS"))));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Bools(*r), (std::vector<int64_t>{0, 1, 0, 0}));  // only ANK < IS
+}
+
+TEST(ExprTest, MixedIntDoubleComparison) {
+  auto r = Eval(Expr::Compare(CompareOp::kGe, Expr::ColumnRef("v"),
+                              Expr::Lit(Value::Int64(0))));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Bools(*r), (std::vector<int64_t>{1, 0, 1, 1}));
+}
+
+TEST(ExprTest, StringVsNumberRejected) {
+  auto r = Eval(Expr::Compare(CompareOp::kEq, Expr::ColumnRef("station"),
+                              Expr::Lit(Value::Int64(1))));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ExprTest, TimestampLiteralCoercion) {
+  // The paper's predicate style: t > '1970-01-01T00:00:01.000'.
+  auto r = Eval(Expr::Compare(CompareOp::kGt, Expr::ColumnRef("t"),
+                              Expr::Lit(Value::String("1970-01-01T00:00:01.000"))));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(Bools(*r), (std::vector<int64_t>{0, 0, 1, 1}));
+}
+
+TEST(ExprTest, NonIsoStringVsTimestampRejected) {
+  auto r = Eval(Expr::Compare(CompareOp::kGt, Expr::ColumnRef("t"),
+                              Expr::Lit(Value::String("yesterday"))));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ExprTest, AndOrNot) {
+  const ExprPtr isk = Expr::Compare(CompareOp::kEq, Expr::ColumnRef("station"),
+                                    Expr::Lit(Value::String("ISK")));
+  const ExprPtr big = Expr::Compare(CompareOp::kGe, Expr::ColumnRef("n"),
+                                    Expr::Lit(Value::Int64(3)));
+  EXPECT_EQ(Bools(*Eval(Expr::And(isk, big))), (std::vector<int64_t>{0, 0, 1, 0}));
+  EXPECT_EQ(Bools(*Eval(Expr::Or(isk, big))), (std::vector<int64_t>{1, 0, 1, 1}));
+  EXPECT_EQ(Bools(*Eval(Expr::Not(isk))), (std::vector<int64_t>{0, 1, 0, 1}));
+}
+
+TEST(ExprTest, ArithmeticIntStaysInt) {
+  auto r = Eval(Expr::Arith(ArithOp::kAdd, Expr::ColumnRef("n"),
+                            Expr::Lit(Value::Int64(10))));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->type(), DataType::kInt64);
+  EXPECT_EQ((*r)->GetInt64(0), 11);
+}
+
+TEST(ExprTest, ArithmeticMixedWidensToDouble) {
+  auto r = Eval(Expr::Arith(ArithOp::kMul, Expr::ColumnRef("n"),
+                            Expr::ColumnRef("v")));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ((*r)->GetDouble(2), 7.5);
+}
+
+TEST(ExprTest, DivisionAlwaysDouble) {
+  auto r = Eval(Expr::Arith(ArithOp::kDiv, Expr::ColumnRef("n"),
+                            Expr::Lit(Value::Int64(2))));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ((*r)->GetDouble(0), 0.5);
+}
+
+TEST(ExprTest, DivisionByZeroFails) {
+  auto r = Eval(Expr::Arith(ArithOp::kDiv, Expr::ColumnRef("n"),
+                            Expr::Lit(Value::Int64(0))));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ExprTest, ArithmeticOnStringsRejected) {
+  auto r = Eval(Expr::Arith(ArithOp::kAdd, Expr::ColumnRef("station"),
+                            Expr::Lit(Value::Int64(1))));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ExprTest, SplitAndRebuildConjuncts) {
+  const ExprPtr a = Expr::Compare(CompareOp::kEq, Expr::ColumnRef("n"),
+                                  Expr::Lit(Value::Int64(1)));
+  const ExprPtr b = Expr::Compare(CompareOp::kGt, Expr::ColumnRef("v"),
+                                  Expr::Lit(Value::Double(0)));
+  const ExprPtr c = Expr::Compare(CompareOp::kLt, Expr::ColumnRef("t"),
+                                  Expr::Lit(Value::Int64(5)));
+  const ExprPtr all = Expr::And(Expr::And(a, b), c);
+  std::vector<ExprPtr> conjuncts;
+  Expr::SplitConjuncts(all, &conjuncts);
+  ASSERT_EQ(conjuncts.size(), 3u);
+  EXPECT_EQ(conjuncts[0]->ToString(), a->ToString());
+  EXPECT_EQ(Expr::AndAll(conjuncts)->ToString(), all->ToString());
+}
+
+TEST(ExprTest, AndAllOfNothingIsTrue) {
+  const ExprPtr t = Expr::AndAll({});
+  EXPECT_EQ(t->kind(), ExprKind::kLiteral);
+  EXPECT_TRUE(t->literal().boolean());
+}
+
+TEST(ExprTest, CollectColumnNames) {
+  const ExprPtr e = Expr::And(
+      Expr::Compare(CompareOp::kEq, Expr::ColumnRef("F.station"),
+                    Expr::Lit(Value::String("ISK"))),
+      Expr::Compare(CompareOp::kGt, Expr::ColumnRef("n"),
+                    Expr::ColumnRef("v")));
+  std::vector<std::string> names;
+  e->CollectColumnNames(&names);
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "F.station");
+}
+
+TEST(ExprTest, AllColumnsIn) {
+  const SchemaPtr s = TestSchema();
+  EXPECT_TRUE(Expr::ColumnRef("n")->AllColumnsIn(*s));
+  EXPECT_TRUE(Expr::ColumnRef("F.v")->AllColumnsIn(*s));
+  EXPECT_FALSE(Expr::ColumnRef("R.uri")->AllColumnsIn(*s));
+  EXPECT_TRUE(Expr::Lit(Value::Int64(1))->AllColumnsIn(*s));
+}
+
+TEST(ExprTest, ToStringRendersSqlish) {
+  const ExprPtr e = Expr::And(
+      Expr::Compare(CompareOp::kEq, Expr::ColumnRef("F.station"),
+                    Expr::Lit(Value::String("ISK"))),
+      Expr::Compare(CompareOp::kGt, Expr::ColumnRef("n"),
+                    Expr::Lit(Value::Int64(5))));
+  EXPECT_EQ(e->ToString(), "((F.station = 'ISK') AND (n > 5))");
+}
+
+TEST(ExprTest, EvaluateRowMatchesVectorized) {
+  const Batch b = TestBatch();
+  const ExprPtr e = Expr::Compare(CompareOp::kGt, Expr::ColumnRef("n"),
+                                  Expr::Lit(Value::Int64(2)));
+  auto bound = e->Bind(*b.schema);
+  ASSERT_TRUE(bound.ok());
+  auto vec = (*bound)->Evaluate(b);
+  ASSERT_TRUE(vec.ok());
+  for (size_t i = 0; i < b.num_rows(); ++i) {
+    auto row = (*bound)->EvaluateRow(b, i);
+    ASSERT_TRUE(row.ok());
+    EXPECT_EQ(row->boolean(), (*vec)->GetInt64(i) != 0) << "row " << i;
+  }
+}
+
+TEST(ExprTest, BindIsNonDestructive) {
+  const ExprPtr e = Expr::ColumnRef("n");
+  ASSERT_TRUE(e->Bind(*TestSchema()).ok());
+  EXPECT_FALSE(e->bound()) << "original expression must stay unbound";
+}
+
+}  // namespace
+}  // namespace dex

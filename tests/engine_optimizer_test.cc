@@ -1,0 +1,169 @@
+#include "engine/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "io/sim_disk.h"
+
+namespace dex {
+namespace {
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  OptimizerTest() : disk_(), catalog_(&disk_) {
+    auto f_schema = std::make_shared<Schema>(
+        Schema({{"uri", DataType::kString, "F"},
+                {"station", DataType::kString, "F"}}));
+    auto f = std::make_shared<Table>("F", f_schema);
+    EXPECT_TRUE(f->AppendRow({Value::String("u1"), Value::String("ISK")}).ok());
+    EXPECT_TRUE(f->AppendRow({Value::String("u2"), Value::String("ANK")}).ok());
+    EXPECT_TRUE(catalog_.AddTable(f, TableKind::kMetadata).ok());
+
+    auto d_schema = std::make_shared<Schema>(
+        Schema({{"uri", DataType::kString, "D"},
+                {"value", DataType::kDouble, "D"}}));
+    auto d = std::make_shared<Table>("D", d_schema);
+    for (int i = 0; i < 6; ++i) {
+      EXPECT_TRUE(d->AppendRow({Value::String(i < 3 ? "u1" : "u2"),
+                                Value::Double(i * 1.0)})
+                      .ok());
+    }
+    EXPECT_TRUE(catalog_.AddTable(d, TableKind::kActual).ok());
+  }
+
+  Result<TablePtr> Run(const PlanPtr& plan) {
+    ExecContext ctx;
+    ctx.catalog = &catalog_;
+    return ExecutePlan(plan, &ctx);
+  }
+
+  static ExprPtr StationIsIsk() {
+    return Expr::Compare(CompareOp::kEq, Expr::ColumnRef("F.station"),
+                         Expr::Lit(Value::String("ISK")));
+  }
+  static ExprPtr ValuePositive() {
+    return Expr::Compare(CompareOp::kGt, Expr::ColumnRef("D.value"),
+                         Expr::Lit(Value::Int64(0)));
+  }
+  static ExprPtr UriMatch() {
+    return Expr::Compare(CompareOp::kEq, Expr::ColumnRef("F.uri"),
+                         Expr::ColumnRef("D.uri"));
+  }
+
+  SimDisk disk_;
+  Catalog catalog_;
+};
+
+TEST_F(OptimizerTest, FilterSinksToitsSide) {
+  // σ_{station ∧ value}(F ⋈ D) → σ_station(F) ⋈ σ_value(D).
+  PlanPtr plan = MakeFilter(Expr::And(StationIsIsk(), ValuePositive()),
+                            MakeJoin(UriMatch(), MakeScan("F"), MakeScan("D")));
+  ASSERT_TRUE(AnalyzePlan(plan, catalog_).ok());
+  auto optimized = PushDownPredicates(plan, catalog_);
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+  const PlanPtr& join = *optimized;
+  ASSERT_EQ(join->kind, PlanKind::kJoin);
+  EXPECT_EQ(join->children[0]->kind, PlanKind::kFilter);
+  EXPECT_EQ(join->children[0]->children[0]->table_name, "F");
+  EXPECT_EQ(join->children[1]->kind, PlanKind::kFilter);
+  EXPECT_EQ(join->children[1]->children[0]->table_name, "D");
+}
+
+TEST_F(OptimizerTest, PushdownPreservesResults) {
+  PlanPtr plan = MakeFilter(Expr::And(StationIsIsk(), ValuePositive()),
+                            MakeJoin(UriMatch(), MakeScan("F"), MakeScan("D")));
+  ASSERT_TRUE(AnalyzePlan(plan, catalog_).ok());
+  auto before = Run(plan);
+  auto optimized = PushDownPredicates(plan, catalog_);
+  ASSERT_TRUE(optimized.ok());
+  auto after = Run(*optimized);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ((*before)->num_rows(), (*after)->num_rows());
+  EXPECT_EQ((*before)->num_rows(), 2u);  // u1 rows with value > 0
+}
+
+TEST_F(OptimizerTest, CrossSidePredicateMergesIntoJoin) {
+  // A filter referencing both sides cannot sink; it joins the ON condition.
+  const ExprPtr cross = Expr::Compare(CompareOp::kNe, Expr::ColumnRef("F.uri"),
+                                      Expr::ColumnRef("D.uri"));
+  PlanPtr plan = MakeFilter(
+      cross, MakeJoin(UriMatch(), MakeScan("F"), MakeScan("D")));
+  ASSERT_TRUE(AnalyzePlan(plan, catalog_).ok());
+  auto optimized = PushDownPredicates(plan, catalog_);
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_EQ((*optimized)->kind, PlanKind::kJoin);
+  EXPECT_NE((*optimized)->predicate->ToString().find("<>"), std::string::npos);
+  auto r = Run(*optimized);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->num_rows(), 0u);  // equal AND not-equal is unsatisfiable
+}
+
+TEST_F(OptimizerTest, AdjacentFiltersCollapse) {
+  PlanPtr plan = MakeFilter(StationIsIsk(),
+                            MakeFilter(StationIsIsk(), MakeScan("F")));
+  ASSERT_TRUE(AnalyzePlan(plan, catalog_).ok());
+  auto optimized = PushDownPredicates(plan, catalog_);
+  ASSERT_TRUE(optimized.ok());
+  // One filter over the scan, not two.
+  EXPECT_EQ((*optimized)->kind, PlanKind::kFilter);
+  EXPECT_EQ((*optimized)->children[0]->kind, PlanKind::kScan);
+}
+
+TEST_F(OptimizerTest, FilterStopsAboveAggregate) {
+  PlanPtr agg = MakeAggregate({Expr::ColumnRef("station")},
+                              {{AggFunc::kCount, nullptr, "n"}}, MakeScan("F"));
+  PlanPtr plan = MakeFilter(
+      Expr::Compare(CompareOp::kGt, Expr::ColumnRef("n"),
+                    Expr::Lit(Value::Int64(0))),
+      agg);
+  ASSERT_TRUE(AnalyzePlan(plan, catalog_).ok());
+  auto optimized = PushDownPredicates(plan, catalog_);
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_EQ((*optimized)->kind, PlanKind::kFilter);
+  EXPECT_EQ((*optimized)->children[0]->kind, PlanKind::kAggregate);
+}
+
+TEST_F(OptimizerTest, FiltersPushThroughUnions) {
+  PlanPtr plan = MakeFilter(ValuePositive(),
+                            MakeUnion({MakeScan("D"), MakeScan("D")}));
+  ASSERT_TRUE(AnalyzePlan(plan, catalog_).ok());
+  auto optimized = PushDownPredicates(plan, catalog_);
+  ASSERT_TRUE(optimized.ok());
+  ASSERT_EQ((*optimized)->kind, PlanKind::kUnion);
+  for (const PlanPtr& child : (*optimized)->children) {
+    EXPECT_EQ(child->kind, PlanKind::kFilter);
+  }
+  auto r = Run(*optimized);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->num_rows(), 10u);  // 5 positive rows, twice
+}
+
+TEST_F(OptimizerTest, PushSelectionsIntoUnionsRule) {
+  // The run-time rewrite: σ_p(∪ b_i) → ∪ σ_p(b_i).
+  PlanPtr plan = MakeFilter(ValuePositive(),
+                            MakeUnion({MakeScan("D"), MakeScan("D")}));
+  ASSERT_TRUE(AnalyzePlan(plan, catalog_).ok());
+  auto rewritten = PushSelectionsIntoUnions(plan, catalog_);
+  ASSERT_TRUE(rewritten.ok());
+  ASSERT_EQ((*rewritten)->kind, PlanKind::kUnion);
+  EXPECT_EQ((*rewritten)->children[0]->kind, PlanKind::kFilter);
+}
+
+TEST_F(OptimizerTest, OnConditionSingleSideConjunctsSink) {
+  // ON (uri match AND station='ISK'): the station conjunct sinks to F.
+  const ExprPtr cond = Expr::And(UriMatch(), StationIsIsk());
+  PlanPtr plan = MakeJoin(cond, MakeScan("F"), MakeScan("D"));
+  ASSERT_TRUE(AnalyzePlan(plan, catalog_).ok());
+  auto optimized = PushDownPredicates(plan, catalog_);
+  ASSERT_TRUE(optimized.ok());
+  ASSERT_EQ((*optimized)->kind, PlanKind::kJoin);
+  EXPECT_EQ((*optimized)->children[0]->kind, PlanKind::kFilter)
+      << (*optimized)->ToString();
+  auto r = Run(*optimized);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->num_rows(), 3u);
+}
+
+}  // namespace
+}  // namespace dex

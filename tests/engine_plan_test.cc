@@ -1,0 +1,185 @@
+#include "engine/logical_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "io/sim_disk.h"
+
+namespace dex {
+namespace {
+
+class PlanTest : public ::testing::Test {
+ protected:
+  PlanTest() : disk_(), catalog_(&disk_) {
+    auto f_schema = std::make_shared<Schema>(
+        Schema({{"uri", DataType::kString, "F"},
+                {"station", DataType::kString, "F"}}));
+    auto d_schema = std::make_shared<Schema>(
+        Schema({{"uri", DataType::kString, "D"},
+                {"value", DataType::kDouble, "D"}}));
+    EXPECT_TRUE(catalog_
+                    .AddTable(std::make_shared<Table>("F", f_schema),
+                              TableKind::kMetadata)
+                    .ok());
+    EXPECT_TRUE(catalog_
+                    .AddTable(std::make_shared<Table>("D", d_schema),
+                              TableKind::kActual)
+                    .ok());
+  }
+  SimDisk disk_;
+  Catalog catalog_;
+};
+
+TEST_F(PlanTest, ScanResolvesSchemaFromCatalog) {
+  PlanPtr p = MakeScan("F");
+  ASSERT_TRUE(AnalyzePlan(p, catalog_).ok());
+  ASSERT_NE(p->output_schema, nullptr);
+  EXPECT_EQ(p->output_schema->num_fields(), 2u);
+}
+
+TEST_F(PlanTest, ScanUnknownTableFails) {
+  PlanPtr p = MakeScan("Z");
+  EXPECT_TRUE(AnalyzePlan(p, catalog_).IsNotFound());
+}
+
+TEST_F(PlanTest, FilterKeepsChildSchema) {
+  PlanPtr p = MakeFilter(
+      Expr::Compare(CompareOp::kEq, Expr::ColumnRef("station"),
+                    Expr::Lit(Value::String("ISK"))),
+      MakeScan("F"));
+  ASSERT_TRUE(AnalyzePlan(p, catalog_).ok());
+  EXPECT_EQ(p->output_schema, p->children[0]->output_schema);
+}
+
+TEST_F(PlanTest, FilterRequiresBooleanPredicate) {
+  PlanPtr p = MakeFilter(Expr::Lit(Value::Int64(1)), MakeScan("F"));
+  EXPECT_FALSE(AnalyzePlan(p, catalog_).ok());
+}
+
+TEST_F(PlanTest, ProjectComputesOutputTypes) {
+  PlanPtr p = MakeProject(
+      {Expr::ColumnRef("value"),
+       Expr::Arith(ArithOp::kMul, Expr::ColumnRef("value"),
+                   Expr::Lit(Value::Int64(2)))},
+      {"v", "v2"}, MakeScan("D"));
+  ASSERT_TRUE(AnalyzePlan(p, catalog_).ok());
+  EXPECT_EQ(p->output_schema->field(0).name, "v");
+  EXPECT_EQ(p->output_schema->field(1).type, DataType::kDouble);
+}
+
+TEST_F(PlanTest, JoinConcatenatesSchemas) {
+  PlanPtr p = MakeJoin(
+      Expr::Compare(CompareOp::kEq, Expr::ColumnRef("F.uri"),
+                    Expr::ColumnRef("D.uri")),
+      MakeScan("F"), MakeScan("D"));
+  ASSERT_TRUE(AnalyzePlan(p, catalog_).ok());
+  EXPECT_EQ(p->output_schema->num_fields(), 4u);
+  EXPECT_TRUE(p->output_schema->FieldIndex("F.uri").ok());
+  EXPECT_TRUE(p->output_schema->FieldIndex("D.uri").ok());
+}
+
+TEST_F(PlanTest, AggregateSchemaHasGroupsThenAggs) {
+  PlanPtr p = MakeAggregate(
+      {Expr::ColumnRef("station")},
+      {{AggFunc::kAvg, Expr::ColumnRef("station"), "a"}}, MakeScan("F"));
+  // AVG of a string must fail... actually binding succeeds; output type for
+  // AVG is double regardless. Use COUNT for the string case.
+  PlanPtr q = MakeAggregate({Expr::ColumnRef("station")},
+                            {{AggFunc::kCount, nullptr, "n"}}, MakeScan("F"));
+  ASSERT_TRUE(AnalyzePlan(q, catalog_).ok());
+  ASSERT_EQ(q->output_schema->num_fields(), 2u);
+  EXPECT_EQ(q->output_schema->field(0).name, "station");
+  EXPECT_EQ(q->output_schema->field(1).name, "n");
+  EXPECT_EQ(q->output_schema->field(1).type, DataType::kInt64);
+  (void)p;
+}
+
+TEST_F(PlanTest, AggregateOutputTypes) {
+  PlanPtr p = MakeAggregate(
+      {},
+      {{AggFunc::kSum, Expr::ColumnRef("value"), "s"},
+       {AggFunc::kAvg, Expr::ColumnRef("value"), "a"},
+       {AggFunc::kMin, Expr::ColumnRef("uri"), "lo"},
+       {AggFunc::kCount, nullptr, "n"}},
+      MakeScan("D"));
+  ASSERT_TRUE(AnalyzePlan(p, catalog_).ok());
+  EXPECT_EQ(p->output_schema->field(0).type, DataType::kDouble);   // SUM(dbl)
+  EXPECT_EQ(p->output_schema->field(1).type, DataType::kDouble);   // AVG
+  EXPECT_EQ(p->output_schema->field(2).type, DataType::kString);   // MIN(str)
+  EXPECT_EQ(p->output_schema->field(3).type, DataType::kInt64);    // COUNT
+}
+
+TEST_F(PlanTest, UnionRequiresCompatibleChildren) {
+  PlanPtr ok = MakeUnion({MakeScan("D"), MakeScan("D")});
+  EXPECT_TRUE(AnalyzePlan(ok, catalog_).ok());
+  PlanPtr bad = MakeUnion({MakeScan("D"), MakeScan("F")});
+  EXPECT_FALSE(AnalyzePlan(bad, catalog_).ok());
+}
+
+TEST_F(PlanTest, StageBreakIsTransparent) {
+  PlanPtr p = MakeStageBreak(MakeScan("F"));
+  ASSERT_TRUE(AnalyzePlan(p, catalog_).ok());
+  EXPECT_EQ(p->output_schema, p->children[0]->output_schema);
+}
+
+TEST_F(PlanTest, MountAndCacheScanUseTableSchema) {
+  PlanPtr m = MakeMount("D", "/repo/f1.mseed");
+  PlanPtr c = MakeCacheScan("D", "/repo/f1.mseed");
+  ASSERT_TRUE(AnalyzePlan(m, catalog_).ok());
+  ASSERT_TRUE(AnalyzePlan(c, catalog_).ok());
+  EXPECT_EQ(m->output_schema->num_fields(), 2u);
+  EXPECT_EQ(c->output_schema->num_fields(), 2u);
+}
+
+TEST_F(PlanTest, ResultScanNeedsSchema) {
+  PlanPtr ok = MakeResultScan("qf", std::make_shared<Schema>());
+  EXPECT_TRUE(AnalyzePlan(ok, catalog_).ok());
+  PlanPtr bad = MakeResultScan("qf", nullptr);
+  EXPECT_FALSE(AnalyzePlan(bad, catalog_).ok());
+}
+
+TEST_F(PlanTest, ClonePlanIsDeep) {
+  PlanPtr p = MakeFilter(
+      Expr::Compare(CompareOp::kEq, Expr::ColumnRef("station"),
+                    Expr::Lit(Value::String("ISK"))),
+      MakeScan("F"));
+  PlanPtr q = ClonePlan(p);
+  ASSERT_NE(q, p);
+  ASSERT_NE(q->children[0], p->children[0]);
+  EXPECT_EQ(q->children[0]->table_name, "F");
+  // Mutating the clone leaves the original intact.
+  q->children[0]->table_name = "D";
+  EXPECT_EQ(p->children[0]->table_name, "F");
+}
+
+TEST_F(PlanTest, CollectTableNamesVisitsAllLeaves) {
+  PlanPtr p = MakeJoin(Expr::Lit(Value::Bool(true)), MakeScan("F"),
+                       MakeUnion({MakeMount("D", "u1"), MakeCacheScan("D", "u2")}));
+  std::vector<std::string> names;
+  CollectTableNames(p, &names);
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "F");
+  EXPECT_EQ(names[1], "D");
+  EXPECT_EQ(names[2], "D");
+}
+
+TEST_F(PlanTest, ToStringShowsStructure) {
+  PlanPtr p = MakeAggregate(
+      {}, {{AggFunc::kAvg, Expr::ColumnRef("value"), "a"}},
+      MakeFilter(Expr::Compare(CompareOp::kGt, Expr::ColumnRef("value"),
+                               Expr::Lit(Value::Int64(0))),
+                 MakeScan("D")));
+  const std::string s = p->ToString();
+  EXPECT_NE(s.find("Aggregate[AVG(value)]"), std::string::npos);
+  EXPECT_NE(s.find("Filter[(value > 0)]"), std::string::npos);
+  EXPECT_NE(s.find("Scan(D)"), std::string::npos);
+}
+
+TEST_F(PlanTest, ToStringShowsFusedMountSelection) {
+  PlanPtr m = MakeMount("D", "u1");
+  m->predicate = Expr::Compare(CompareOp::kGt, Expr::ColumnRef("value"),
+                               Expr::Lit(Value::Int64(0)));
+  EXPECT_NE(m->ToString().find("σ[(value > 0)]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dex

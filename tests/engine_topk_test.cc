@@ -1,0 +1,124 @@
+// Tests for the top-K fusion (Limit over Sort -> partial sort).
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "engine/executor.h"
+#include "engine/optimizer.h"
+#include "io/sim_disk.h"
+
+namespace dex {
+namespace {
+
+class TopKTest : public ::testing::Test {
+ protected:
+  TopKTest() : disk_(), catalog_(&disk_) {
+    auto schema = std::make_shared<Schema>(
+        Schema({{"k", DataType::kInt64, "T"}, {"v", DataType::kDouble, "T"}}));
+    auto t = std::make_shared<Table>("T", schema);
+    Random rng(31);
+    // More rows than one batch, unsorted.
+    for (int i = 0; i < 10000; ++i) {
+      EXPECT_TRUE(t->AppendRow({Value::Int64(rng.UniformRange(-1000, 1000)),
+                                Value::Double(rng.NextDouble())})
+                      .ok());
+    }
+    EXPECT_TRUE(catalog_.AddTable(t, TableKind::kMetadata).ok());
+  }
+
+  Result<TablePtr> Run(const PlanPtr& plan) {
+    DEX_RETURN_NOT_OK(AnalyzePlan(plan, catalog_));
+    ExecContext ctx;
+    ctx.catalog = &catalog_;
+    return ExecutePlan(plan, &ctx);
+  }
+
+  PlanPtr SortLimitPlan(int64_t limit, bool ascending) {
+    return MakeLimit(limit, MakeSort({{Expr::ColumnRef("k"), ascending}},
+                                     MakeScan("T")));
+  }
+
+  SimDisk disk_;
+  Catalog catalog_;
+};
+
+TEST_F(TopKTest, FusionRewritesPlanShape) {
+  PlanPtr plan = SortLimitPlan(10, true);
+  ASSERT_TRUE(AnalyzePlan(plan, catalog_).ok());
+  auto fused = FuseTopK(plan, catalog_);
+  ASSERT_TRUE(fused.ok());
+  EXPECT_EQ((*fused)->kind, PlanKind::kSort);
+  EXPECT_EQ((*fused)->limit, 10);
+  EXPECT_NE((*fused)->ToString().find("TopK[10]"), std::string::npos);
+}
+
+TEST_F(TopKTest, FusedAndUnfusedAgree) {
+  for (int64_t limit : {0, 1, 7, 100, 9999, 20000}) {
+    for (bool ascending : {true, false}) {
+      PlanPtr plain = SortLimitPlan(limit, ascending);
+      ASSERT_TRUE(AnalyzePlan(plain, catalog_).ok());
+      auto fused = FuseTopK(plain, catalog_);
+      ASSERT_TRUE(fused.ok());
+      auto expected = Run(plain);
+      auto got = Run(*fused);
+      ASSERT_TRUE(expected.ok());
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ((*got)->num_rows(), (*expected)->num_rows())
+          << "limit=" << limit;
+      for (size_t r = 0; r < (*got)->num_rows(); ++r) {
+        EXPECT_EQ((*got)->GetValue(r, 0).int64(),
+                  (*expected)->GetValue(r, 0).int64())
+            << "limit=" << limit << " row=" << r;
+      }
+    }
+  }
+}
+
+TEST_F(TopKTest, TopKOutputIsSortedPrefix) {
+  PlanPtr plan = SortLimitPlan(25, true);
+  ASSERT_TRUE(AnalyzePlan(plan, catalog_).ok());
+  auto fused = FuseTopK(plan, catalog_);
+  ASSERT_TRUE(fused.ok());
+  auto got = Run(*fused);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ((*got)->num_rows(), 25u);
+  for (size_t r = 1; r < 25; ++r) {
+    EXPECT_LE((*got)->GetValue(r - 1, 0).int64(),
+              (*got)->GetValue(r, 0).int64());
+  }
+}
+
+TEST_F(TopKTest, NestedLimitsKeepTheSmallest) {
+  // Limit(5, Limit(50, Sort)) -> TopK[5].
+  PlanPtr plan = MakeLimit(
+      5, MakeLimit(50, MakeSort({{Expr::ColumnRef("k"), true}}, MakeScan("T"))));
+  ASSERT_TRUE(AnalyzePlan(plan, catalog_).ok());
+  auto fused = FuseTopK(plan, catalog_);
+  ASSERT_TRUE(fused.ok());
+  auto got = Run(*fused);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->num_rows(), 5u);
+}
+
+TEST_F(TopKTest, LimitWithoutSortUntouched) {
+  PlanPtr plan = MakeLimit(10, MakeScan("T"));
+  ASSERT_TRUE(AnalyzePlan(plan, catalog_).ok());
+  auto fused = FuseTopK(plan, catalog_);
+  ASSERT_TRUE(fused.ok());
+  EXPECT_EQ((*fused)->kind, PlanKind::kLimit);
+}
+
+TEST_F(TopKTest, SortWithoutLimitUntouched) {
+  PlanPtr plan = MakeSort({{Expr::ColumnRef("k"), true}}, MakeScan("T"));
+  ASSERT_TRUE(AnalyzePlan(plan, catalog_).ok());
+  auto fused = FuseTopK(plan, catalog_);
+  ASSERT_TRUE(fused.ok());
+  EXPECT_EQ((*fused)->kind, PlanKind::kSort);
+  EXPECT_EQ((*fused)->limit, -1);
+  auto got = Run(*fused);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->num_rows(), 10000u);
+}
+
+}  // namespace
+}  // namespace dex

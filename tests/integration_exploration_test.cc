@@ -1,0 +1,190 @@
+// Integration tests: full exploration sessions through the public API,
+// including failure injection (files vanishing or corrupted between stage 1
+// and stage 2) and repository change detection.
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+
+#include <ctime>
+
+#include "core/database.h"
+#include "mseed/writer.h"
+#include "test_util.h"
+
+namespace dex {
+namespace {
+
+using ::dex::testing::ScopedRepo;
+using ::dex::testing::TinyRepoOptions;
+
+TEST(ExplorationSession, BrowseThenZoomInThenZoomOut) {
+  ScopedRepo repo("session_zoom", TinyRepoOptions());
+  DatabaseOptions opts;
+  opts.cache.policy = CachePolicy::kLru;
+  opts.cache.capacity_bytes = 64ull << 20;
+  auto db = Database::Open(repo.root(), opts);
+  ASSERT_TRUE(db.ok());
+
+  // 1. Browse: which stations exist, how much data per station? (stage 1)
+  auto stations = (*db)->Query(
+      "SELECT F.station, COUNT(*) AS files FROM F GROUP BY F.station "
+      "ORDER BY F.station");
+  ASSERT_TRUE(stations.ok());
+  EXPECT_TRUE(stations->stats.two_stage.stage1_only);
+  EXPECT_EQ(stations->table->num_rows(), 2u);
+
+  // 2. Zoom in: one channel of one station.
+  auto zoom_in = (*db)->Query(
+      "SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri "
+      "WHERE F.station = 'ISK' AND F.channel = 'BHE'");
+  ASSERT_TRUE(zoom_in.ok());
+  EXPECT_EQ(zoom_in->stats.mount.mounts, 2u);
+
+  // 3. Zoom out to the whole station: previous files come from cache.
+  auto zoom_out = (*db)->Query(
+      "SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri "
+      "WHERE F.station = 'ISK'");
+  ASSERT_TRUE(zoom_out.ok());
+  EXPECT_EQ(zoom_out->stats.two_stage.files_planned_cache, 2u);
+  EXPECT_EQ(zoom_out->stats.mount.mounts, 2u);  // only the other channel
+
+  // 4. Repeat: everything cached now.
+  auto repeat = (*db)->Query(
+      "SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri "
+      "WHERE F.station = 'ISK'");
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_EQ(repeat->stats.mount.mounts, 0u);
+  EXPECT_EQ(repeat->table->GetValue(0, 0).int64(),
+            zoom_out->table->GetValue(0, 0).int64());
+}
+
+TEST(ExplorationSession, FileVanishingBetweenStagesFailsTheQuery) {
+  ScopedRepo repo("session_vanish", TinyRepoOptions());
+  auto db = Database::Open(repo.root(), {});
+  ASSERT_TRUE(db.ok());
+  // Delete one ISK/BHE file after open (stage 1 metadata still lists it).
+  const auto files = ListFiles(repo.root(), ".mseed");
+  ASSERT_TRUE(files.ok());
+  std::string victim;
+  for (const auto& f : *files) {
+    if (f.find("ISK") != std::string::npos &&
+        f.find("BHE") != std::string::npos) {
+      victim = f;
+      break;
+    }
+  }
+  ASSERT_FALSE(victim.empty());
+  ASSERT_TRUE(RemoveDirRecursive(victim).ok());
+  auto r = (*db)->Query(
+      "SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri "
+      "WHERE F.station = 'ISK' AND F.channel = 'BHE'");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError()) << r.status().ToString();
+  // Queries not touching the vanished file still work.
+  EXPECT_TRUE((*db)
+                  ->Query("SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri "
+                          "WHERE F.station = 'ANK'")
+                  .ok());
+}
+
+TEST(ExplorationSession, CorruptedFileSurfacesAsCorruption) {
+  ScopedRepo repo("session_corrupt", TinyRepoOptions());
+  auto db = Database::Open(repo.root(), {});
+  ASSERT_TRUE(db.ok());
+  const auto files = ListFiles(repo.root(), ".mseed");
+  ASSERT_TRUE(files.ok());
+  std::string image;
+  ASSERT_TRUE(ReadFileToString((*files)[0], &image).ok());
+  image[80] = static_cast<char>(image[80] ^ 0x55);  // flip payload bits
+  ASSERT_TRUE(WriteStringToFile((*files)[0], image).ok());
+  auto r = (*db)->Query("SELECT COUNT(*) FROM D");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption()) << r.status().ToString();
+}
+
+TEST(ExplorationSession, FileUpdateInvalidatesCachedData) {
+  ScopedRepo repo("session_update", TinyRepoOptions());
+  DatabaseOptions opts;
+  opts.cache.policy = CachePolicy::kAll;
+  auto db = Database::Open(repo.root(), opts);
+  ASSERT_TRUE(db.ok());
+  const char* sql =
+      "SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri "
+      "WHERE F.station = 'ISK' AND F.channel = 'BHE'";
+  auto first = (*db)->Query(sql);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->stats.mount.mounts, 2u);
+
+  // Overwrite one of the files with new content (different mtime + data).
+  const auto files = ListFiles(repo.root(), ".mseed");
+  ASSERT_TRUE(files.ok());
+  std::string victim;
+  for (const auto& f : *files) {
+    if (f.find("ISK") != std::string::npos && f.find("BHE") != std::string::npos) {
+      victim = f;
+      break;
+    }
+  }
+  ASSERT_FALSE(victim.empty());
+  mseed::RecordData rec;
+  rec.network = "OR";
+  rec.station = "ISK";
+  rec.channel = "BHE";
+  rec.location = "00";
+  rec.start_time_ms = 1262304000000LL;  // 2010-01-01
+  rec.sample_rate_hz = 0.01;
+  rec.samples = std::vector<int32_t>(100, 5);
+  // Ensure the mtime actually changes even on coarse filesystems.
+  ASSERT_TRUE(mseed::WriteFile(victim, {rec}).ok());
+  struct timespec times[2] = {{0, 0}, {0, 0}};
+  times[0].tv_sec = times[1].tv_sec = ::time(nullptr) + 10;
+  ASSERT_EQ(::utimensat(AT_FDCWD, victim.c_str(), times, 0), 0);
+
+  auto second = (*db)->Query(sql);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  // The updated file must be re-mounted, the untouched one served by cache.
+  EXPECT_EQ(second->stats.mount.mounts, 1u);
+  EXPECT_EQ(second->stats.two_stage.files_planned_cache, 1u);
+  EXPECT_GT((*db)->cache()->stats().invalidations, 0u);
+}
+
+TEST(ExplorationSession, EiAndAliAgreeAcrossAWholeSession) {
+  ScopedRepo repo("session_agree", TinyRepoOptions());
+  auto dual = dex::testing::OpenDual(repo.root());
+  ASSERT_NE(dual.ali, nullptr);
+  ASSERT_NE(dual.ei, nullptr);
+  const char* session[] = {
+      "SELECT F.station, F.channel, COUNT(*) AS n FROM F "
+      "GROUP BY F.station, F.channel ORDER BY F.station, F.channel",
+      "SELECT COUNT(*) FROM R WHERE R.start_time >= '2010-01-02T00:00:00.000'",
+      "SELECT AVG(D.sample_value) FROM F JOIN D ON F.uri = D.uri "
+      "WHERE F.station = 'ISK'",
+      "SELECT F.channel, MAX(D.sample_value) AS peak FROM F "
+      "JOIN D ON F.uri = D.uri GROUP BY F.channel ORDER BY F.channel",
+      "SELECT COUNT(*) FROM F JOIN R ON F.uri = R.uri "
+      "JOIN D ON R.uri = D.uri AND R.record_id = D.record_id "
+      "WHERE F.station = 'ISK' AND R.record_id = 2 "
+      "AND D.sample_value > 100",
+  };
+  for (const char* sql : session) {
+    dex::testing::ExpectSameResults(dual.ali.get(), dual.ei.get(), sql);
+  }
+}
+
+TEST(ExplorationSession, LazyOpenIsFasterThanEagerOpen) {
+  ScopedRepo repo("session_open_cost", TinyRepoOptions());
+  auto lazy = Database::Open(repo.root(), {});
+  DatabaseOptions eopts;
+  eopts.mode = IngestionMode::kEager;
+  auto eager = Database::Open(repo.root(), eopts);
+  ASSERT_TRUE(lazy.ok());
+  ASSERT_TRUE(eager.ok());
+  // The headline claim: data-to-insight time shrinks by orders of magnitude.
+  // On the tiny test repo we only assert the direction, benches assert scale.
+  EXPECT_LT((*lazy)->open_stats().TotalSeconds(),
+            (*eager)->open_stats().TotalSeconds());
+}
+
+}  // namespace
+}  // namespace dex

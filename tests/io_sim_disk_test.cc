@@ -1,0 +1,166 @@
+#include "io/sim_disk.h"
+
+#include <gtest/gtest.h>
+
+namespace dex {
+namespace {
+
+SimDisk::Options SmallDisk() {
+  SimDisk::Options o;
+  o.page_bytes = 1024;
+  o.buffer_pool_bytes = 8 * 1024;  // 8 pages
+  o.seek_millis = 10.0;
+  o.read_mb_per_sec = 100.0;
+  o.write_mb_per_sec = 100.0;
+  return o;
+}
+
+TEST(SimDiskTest, RegisterAndQuery) {
+  SimDisk disk(SmallDisk());
+  const ObjectId id = disk.Register("table:F", 4096);
+  ASSERT_NE(id, kInvalidObjectId);
+  ASSERT_TRUE(disk.ObjectSize(id).ok());
+  EXPECT_EQ(*disk.ObjectSize(id), 4096u);
+  EXPECT_EQ(*disk.ObjectName(id), "table:F");
+}
+
+TEST(SimDiskTest, UnknownObjectRejected) {
+  SimDisk disk(SmallDisk());
+  EXPECT_TRUE(disk.Read(99, 0, 1).IsNotFound());
+  EXPECT_TRUE(disk.Read(kInvalidObjectId, 0, 1).IsNotFound());
+  EXPECT_FALSE(disk.ObjectSize(42).ok());
+}
+
+TEST(SimDiskTest, ReadPastEndRejected) {
+  SimDisk disk(SmallDisk());
+  const ObjectId id = disk.Register("x", 100);
+  EXPECT_TRUE(disk.Read(id, 50, 51).IsInvalidArgument());
+  EXPECT_TRUE(disk.Read(id, 0, 100).ok());
+}
+
+TEST(SimDiskTest, ColdReadChargesSeekAndTransfer) {
+  SimDisk disk(SmallDisk());
+  const ObjectId id = disk.Register("x", 4096);
+  ASSERT_TRUE(disk.Read(id, 0, 4096).ok());
+  const IoStats& s = disk.stats();
+  EXPECT_EQ(s.seeks, 1u);                       // one contiguous miss run
+  EXPECT_EQ(s.disk_bytes_read, 4096u);          // 4 pages
+  // 10ms seek + 4096B / 100MB/s ≈ 10.04 ms.
+  EXPECT_GT(s.sim_nanos, 10000000u);
+  EXPECT_LT(s.sim_nanos, 11000000u);
+}
+
+TEST(SimDiskTest, HotReadIsFree) {
+  SimDisk disk(SmallDisk());
+  const ObjectId id = disk.Register("x", 4096);
+  ASSERT_TRUE(disk.Read(id, 0, 4096).ok());
+  const uint64_t cold_nanos = disk.stats().sim_nanos;
+  ASSERT_TRUE(disk.Read(id, 0, 4096).ok());
+  EXPECT_EQ(disk.stats().sim_nanos, cold_nanos);  // fully cached
+  EXPECT_GT(disk.stats().cached_bytes_read, 0u);
+}
+
+TEST(SimDiskTest, FlushAllMakesReadsColdAgain) {
+  SimDisk disk(SmallDisk());
+  const ObjectId id = disk.Register("x", 2048);
+  ASSERT_TRUE(disk.Read(id, 0, 2048).ok());
+  const uint64_t after_cold = disk.stats().sim_nanos;
+  disk.FlushAll();
+  ASSERT_TRUE(disk.Read(id, 0, 2048).ok());
+  EXPECT_GT(disk.stats().sim_nanos, after_cold);  // charged again
+}
+
+TEST(SimDiskTest, WriteMakesPagesResident) {
+  SimDisk disk(SmallDisk());
+  const ObjectId id = disk.Register("x", 0);
+  ASSERT_TRUE(disk.Write(id, 0, 2048).ok());
+  EXPECT_EQ(*disk.ObjectSize(id), 2048u);  // write extends
+  const uint64_t nanos_after_write = disk.stats().sim_nanos;
+  ASSERT_TRUE(disk.Read(id, 0, 2048).ok());
+  EXPECT_EQ(disk.stats().sim_nanos, nanos_after_write);  // write-back cached
+}
+
+TEST(SimDiskTest, LruEvictsLeastRecentPages) {
+  SimDisk disk(SmallDisk());  // pool holds 8 pages
+  const ObjectId a = disk.Register("a", 8 * 1024);
+  const ObjectId b = disk.Register("b", 8 * 1024);
+  ASSERT_TRUE(disk.Read(a, 0, 8 * 1024).ok());   // fills the pool with a
+  ASSERT_TRUE(disk.Read(b, 0, 8 * 1024).ok());   // evicts all of a
+  ASSERT_TRUE(disk.ResidentFraction(a).ok());
+  EXPECT_EQ(*disk.ResidentFraction(a), 0.0);
+  EXPECT_EQ(*disk.ResidentFraction(b), 1.0);
+  // Touching a again now recharges.
+  const uint64_t t = disk.stats().sim_nanos;
+  ASSERT_TRUE(disk.Read(a, 0, 1024).ok());
+  EXPECT_GT(disk.stats().sim_nanos, t);
+}
+
+TEST(SimDiskTest, PartialResidency) {
+  SimDisk disk(SmallDisk());
+  const ObjectId a = disk.Register("a", 4 * 1024);
+  ASSERT_TRUE(disk.Read(a, 0, 1024).ok());  // 1 of 4 pages
+  EXPECT_DOUBLE_EQ(*disk.ResidentFraction(a), 0.25);
+}
+
+TEST(SimDiskTest, SeeksCountMissRuns) {
+  SimDisk disk(SmallDisk());
+  const ObjectId a = disk.Register("a", 8 * 1024);
+  // Fault in pages 0 and 4: two separate runs.
+  ASSERT_TRUE(disk.Read(a, 0, 512).ok());
+  ASSERT_TRUE(disk.Read(a, 4 * 1024, 512).ok());
+  EXPECT_EQ(disk.stats().seeks, 2u);
+  // Reading the whole object now: pages 1-3 and 5-7 are two more runs.
+  ASSERT_TRUE(disk.Read(a, 0, 8 * 1024).ok());
+  EXPECT_EQ(disk.stats().seeks, 4u);
+}
+
+TEST(SimDiskTest, ResizeShrinkDropsPages) {
+  SimDisk disk(SmallDisk());
+  const ObjectId a = disk.Register("a", 4 * 1024);
+  ASSERT_TRUE(disk.Read(a, 0, 4 * 1024).ok());
+  ASSERT_TRUE(disk.Resize(a, 1024).ok());
+  EXPECT_EQ(*disk.ObjectSize(a), 1024u);
+  EXPECT_DOUBLE_EQ(*disk.ResidentFraction(a), 1.0);  // page 0 still cached
+  EXPECT_EQ(disk.buffer_pool_used_bytes(), 1024u);
+}
+
+TEST(SimDiskTest, UnregisterFreesPoolSpace) {
+  SimDisk disk(SmallDisk());
+  const ObjectId a = disk.Register("a", 4 * 1024);
+  ASSERT_TRUE(disk.Read(a, 0, 4 * 1024).ok());
+  EXPECT_GT(disk.buffer_pool_used_bytes(), 0u);
+  ASSERT_TRUE(disk.Unregister(a).ok());
+  EXPECT_EQ(disk.buffer_pool_used_bytes(), 0u);
+  EXPECT_TRUE(disk.Read(a, 0, 1).IsNotFound());
+}
+
+TEST(SimDiskTest, PrefaultMakesHotWithoutCharging) {
+  SimDisk disk(SmallDisk());
+  const ObjectId a = disk.Register("a", 2048);
+  ASSERT_TRUE(disk.Prefault(a).ok());
+  EXPECT_EQ(disk.stats().sim_nanos, 0u);
+  ASSERT_TRUE(disk.Read(a, 0, 2048).ok());
+  EXPECT_EQ(disk.stats().sim_nanos, 0u);
+}
+
+TEST(SimDiskTest, ZeroLengthReadIsNoop) {
+  SimDisk disk(SmallDisk());
+  const ObjectId a = disk.Register("a", 1024);
+  ASSERT_TRUE(disk.Read(a, 0, 0).ok());
+  EXPECT_EQ(disk.stats().sim_nanos, 0u);
+}
+
+TEST(IoStatsTest, SinceComputesDifference) {
+  IoStats a;
+  a.disk_bytes_read = 100;
+  a.sim_nanos = 10;
+  IoStats b = a;
+  b.disk_bytes_read = 250;
+  b.sim_nanos = 35;
+  const IoStats d = b.Since(a);
+  EXPECT_EQ(d.disk_bytes_read, 150u);
+  EXPECT_EQ(d.sim_nanos, 25u);
+}
+
+}  // namespace
+}  // namespace dex

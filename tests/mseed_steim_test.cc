@@ -1,0 +1,136 @@
+#include "mseed/steim.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <tuple>
+
+#include "common/random.h"
+#include "mseed/generator.h"
+
+namespace dex::mseed {
+namespace {
+
+void ExpectRoundtrip(const std::vector<int32_t>& samples) {
+  const std::string encoded = Steim1::Encode(samples);
+  if (samples.empty()) {
+    EXPECT_TRUE(encoded.empty());
+    return;
+  }
+  EXPECT_EQ(encoded.size() % Steim1::kFrameBytes, 0u);
+  EXPECT_LE(encoded.size(), Steim1::MaxEncodedBytes(samples.size()));
+  auto decoded = Steim1::Decode(encoded, samples.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, samples);
+}
+
+TEST(SteimTest, EmptyInput) { ExpectRoundtrip({}); }
+
+TEST(SteimTest, SingleSample) { ExpectRoundtrip({42}); }
+
+TEST(SteimTest, ConstantSeries) {
+  ExpectRoundtrip(std::vector<int32_t>(1000, 7));
+}
+
+TEST(SteimTest, SmallDeltasCompressWell) {
+  std::vector<int32_t> samples;
+  for (int i = 0; i < 10000; ++i) samples.push_back(i % 50);
+  const std::string encoded = Steim1::Encode(samples);
+  // 8-bit diffs: ~4 samples per word, 15 data words per frame.
+  EXPECT_LT(encoded.size(), samples.size() * 2);
+  ExpectRoundtrip(samples);
+}
+
+TEST(SteimTest, LargeJumpsUse32BitDiffs) {
+  ExpectRoundtrip({0, 1000000, -1000000, 2000000000, -2000000000, 0});
+}
+
+TEST(SteimTest, ExtremeValues) {
+  ExpectRoundtrip({std::numeric_limits<int32_t>::max(),
+                   std::numeric_limits<int32_t>::min(),
+                   std::numeric_limits<int32_t>::max(), 0});
+}
+
+TEST(SteimTest, MixedMagnitudeDeltas) {
+  std::vector<int32_t> samples{0};
+  Random rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const int choice = static_cast<int>(rng.Uniform(3));
+    int64_t delta = 0;
+    if (choice == 0) delta = rng.UniformRange(-100, 100);
+    if (choice == 1) delta = rng.UniformRange(-30000, 30000);
+    if (choice == 2) delta = rng.UniformRange(-2000000, 2000000);
+    samples.push_back(static_cast<int32_t>(samples.back() + delta));
+  }
+  ExpectRoundtrip(samples);
+}
+
+TEST(SteimTest, DecodeRejectsTruncatedPayload) {
+  std::vector<int32_t> samples(500, 1);
+  for (size_t i = 0; i < samples.size(); ++i) samples[i] = static_cast<int32_t>(i);
+  std::string encoded = Steim1::Encode(samples);
+  encoded.resize(encoded.size() - Steim1::kFrameBytes);  // drop last frame
+  EXPECT_TRUE(Steim1::Decode(encoded, samples.size()).status().IsCorruption());
+}
+
+TEST(SteimTest, DecodeRejectsNonFrameMultiple) {
+  EXPECT_TRUE(Steim1::Decode(std::string(63, 'x'), 10).status().IsCorruption());
+  EXPECT_TRUE(Steim1::Decode(std::string(65, 'x'), 10).status().IsCorruption());
+}
+
+TEST(SteimTest, DecodeDetectsCorruptedData) {
+  std::vector<int32_t> samples;
+  for (int i = 0; i < 200; ++i) samples.push_back(i * 3);
+  std::string encoded = Steim1::Encode(samples);
+  // Flip a byte in a data word (not the header/X0/XN area of frame 0).
+  encoded[16] = static_cast<char>(encoded[16] ^ 0x40);
+  const auto decoded = Steim1::Decode(encoded, samples.size());
+  // Either the reverse integration constant catches it, or (rarely) the
+  // nibble change starves the stream — both must surface as Corruption.
+  EXPECT_TRUE(decoded.status().IsCorruption());
+}
+
+TEST(SteimTest, MaxEncodedBytesIsUpperBoundAtWorstCase) {
+  // Alternating extremes force one 32-bit diff per word.
+  std::vector<int32_t> samples;
+  for (int i = 0; i < 1000; ++i) {
+    samples.push_back(i % 2 ? 2000000000 : -2000000000);
+  }
+  const std::string encoded = Steim1::Encode(samples);
+  EXPECT_LE(encoded.size(), Steim1::MaxEncodedBytes(samples.size()));
+}
+
+/// Property sweep: synthetic waveform families x sizes all roundtrip.
+class SteimRoundtrip
+    : public ::testing::TestWithParam<std::tuple<uint64_t, size_t, bool>> {};
+
+TEST_P(SteimRoundtrip, EncodeDecodeIsIdentity) {
+  const auto [seed, n, with_event] = GetParam();
+  ExpectRoundtrip(SynthesizeWaveform(seed, n, with_event));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WaveformFamilies, SteimRoundtrip,
+    ::testing::Combine(::testing::Values(1ull, 17ull, 99ull, 12345ull),
+                       ::testing::Values(1u, 2u, 3u, 13u, 14u, 15u, 64u, 1000u,
+                                         4096u),
+                       ::testing::Bool()));
+
+/// Boundary sweep around frame-capacity multiples.
+class SteimBoundary : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SteimBoundary, SizesAroundFrameBoundariesRoundtrip) {
+  std::vector<int32_t> samples;
+  for (size_t i = 0; i < GetParam(); ++i) {
+    samples.push_back(static_cast<int32_t>(i * 7 % 256) - 128);
+  }
+  ExpectRoundtrip(samples);
+}
+
+INSTANTIATE_TEST_SUITE_P(FrameEdges, SteimBoundary,
+                         ::testing::Values(51u, 52u, 53u, 111u, 112u, 113u,
+                                           171u, 172u, 173u));
+
+}  // namespace
+}  // namespace dex::mseed

@@ -1,0 +1,174 @@
+#include "sql/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "core/seismic_schema.h"
+#include "io/sim_disk.h"
+
+namespace dex {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  BinderTest() : disk_(), catalog_(&disk_) {
+    EXPECT_TRUE(catalog_
+                    .AddTable(std::make_shared<Table>("F", MakeFileSchema()),
+                              TableKind::kMetadata)
+                    .ok());
+    EXPECT_TRUE(catalog_
+                    .AddTable(std::make_shared<Table>("R", MakeRecordSchema()),
+                              TableKind::kMetadata)
+                    .ok());
+    EXPECT_TRUE(catalog_
+                    .AddTable(std::make_shared<Table>("D", MakeDataSchema()),
+                              TableKind::kActual)
+                    .ok());
+  }
+
+  PlanPtr MustPlan(const std::string& sql) {
+    auto r = sql::PlanQuery(sql, catalog_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << "\n" << sql;
+    return r.ValueOr(nullptr);
+  }
+
+  SimDisk disk_;
+  Catalog catalog_;
+};
+
+TEST_F(BinderTest, SelectStarIsPlainScan) {
+  const PlanPtr p = MustPlan("SELECT * FROM F");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->kind, PlanKind::kScan);
+  EXPECT_EQ(p->output_schema->num_fields(), 8u);
+}
+
+TEST_F(BinderTest, ProjectionNamesAndTypes) {
+  const PlanPtr p = MustPlan("SELECT station, size_bytes AS sz FROM F");
+  ASSERT_EQ(p->kind, PlanKind::kProject);
+  EXPECT_EQ(p->output_schema->field(0).name, "station");
+  EXPECT_EQ(p->output_schema->field(1).name, "sz");
+  EXPECT_EQ(p->output_schema->field(1).type, DataType::kInt64);
+}
+
+TEST_F(BinderTest, QualifiedColumnNameStripsQualifierInOutput) {
+  const PlanPtr p = MustPlan("SELECT D.sample_time, D.sample_value FROM D");
+  EXPECT_EQ(p->output_schema->field(0).name, "sample_time");
+  EXPECT_EQ(p->output_schema->field(1).name, "sample_value");
+}
+
+TEST_F(BinderTest, WhereBecomesFilter) {
+  const PlanPtr p = MustPlan("SELECT * FROM F WHERE station = 'ISK'");
+  ASSERT_EQ(p->kind, PlanKind::kFilter);
+  EXPECT_EQ(p->children[0]->kind, PlanKind::kScan);
+}
+
+TEST_F(BinderTest, JoinsAreLeftDeepInSqlOrder) {
+  const PlanPtr p = MustPlan(
+      "SELECT * FROM F JOIN R ON F.uri = R.uri "
+      "JOIN D ON R.uri = D.uri AND R.record_id = D.record_id");
+  ASSERT_EQ(p->kind, PlanKind::kJoin);
+  EXPECT_EQ(p->children[1]->table_name, "D");
+  ASSERT_EQ(p->children[0]->kind, PlanKind::kJoin);
+  EXPECT_EQ(p->children[0]->children[0]->table_name, "F");
+  EXPECT_EQ(p->children[0]->children[1]->table_name, "R");
+}
+
+TEST_F(BinderTest, AggregateAddsProjectOnTop) {
+  const PlanPtr p = MustPlan("SELECT AVG(D.sample_value) FROM D");
+  ASSERT_EQ(p->kind, PlanKind::kProject);
+  ASSERT_EQ(p->children[0]->kind, PlanKind::kAggregate);
+  EXPECT_EQ(p->output_schema->field(0).name, "AVG(D.sample_value)");
+  EXPECT_EQ(p->output_schema->field(0).type, DataType::kDouble);
+}
+
+TEST_F(BinderTest, GroupByWithMixedItems) {
+  const PlanPtr p = MustPlan(
+      "SELECT station, COUNT(*) AS n FROM F GROUP BY station");
+  ASSERT_EQ(p->kind, PlanKind::kProject);
+  const PlanPtr& agg = p->children[0];
+  ASSERT_EQ(agg->kind, PlanKind::kAggregate);
+  EXPECT_EQ(agg->group_by.size(), 1u);
+  EXPECT_EQ(agg->aggregates.size(), 1u);
+  EXPECT_EQ(p->output_schema->field(1).name, "n");
+}
+
+TEST_F(BinderTest, NonGroupedColumnRejected) {
+  auto r = sql::PlanQuery("SELECT station, COUNT(*) FROM F GROUP BY channel",
+                          catalog_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("GROUP BY"), std::string::npos);
+}
+
+TEST_F(BinderTest, SelectStarWithGroupByRejected) {
+  EXPECT_FALSE(sql::PlanQuery("SELECT * FROM F GROUP BY station", catalog_).ok());
+}
+
+TEST_F(BinderTest, OrderByMapsToOutputColumns) {
+  const PlanPtr p = MustPlan(
+      "SELECT F.station AS st, COUNT(*) AS n FROM F GROUP BY F.station "
+      "ORDER BY st");
+  ASSERT_EQ(p->kind, PlanKind::kSort);
+}
+
+TEST_F(BinderTest, OrderByQualifiedNameOverProjection) {
+  const PlanPtr p =
+      MustPlan("SELECT F.station FROM F ORDER BY F.station DESC");
+  ASSERT_EQ(p->kind, PlanKind::kSort);
+  EXPECT_FALSE(p->sort_keys[0].ascending);
+}
+
+TEST_F(BinderTest, LimitOnTop) {
+  const PlanPtr p = MustPlan("SELECT * FROM F LIMIT 3");
+  ASSERT_EQ(p->kind, PlanKind::kLimit);
+  EXPECT_EQ(p->limit, 3);
+}
+
+TEST_F(BinderTest, FullClauseStack) {
+  const PlanPtr p = MustPlan(
+      "SELECT station, COUNT(*) AS n FROM F WHERE network = 'OR' "
+      "GROUP BY station ORDER BY n DESC LIMIT 5");
+  ASSERT_EQ(p->kind, PlanKind::kLimit);
+  ASSERT_EQ(p->children[0]->kind, PlanKind::kSort);
+  ASSERT_EQ(p->children[0]->children[0]->kind, PlanKind::kProject);
+}
+
+TEST_F(BinderTest, UnknownTableRejected) {
+  EXPECT_TRUE(sql::PlanQuery("SELECT * FROM Zed", catalog_).status().IsNotFound());
+  EXPECT_TRUE(sql::PlanQuery("SELECT * FROM F JOIN Zed ON F.uri = Zed.uri",
+                             catalog_)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(BinderTest, UnknownColumnRejectedAtAnalysis) {
+  EXPECT_FALSE(sql::PlanQuery("SELECT ghost FROM F", catalog_).ok());
+  EXPECT_FALSE(
+      sql::PlanQuery("SELECT * FROM F WHERE ghost = 1", catalog_).ok());
+}
+
+TEST_F(BinderTest, AmbiguousColumnRejected) {
+  // Both F and R have "uri".
+  EXPECT_FALSE(
+      sql::PlanQuery("SELECT uri FROM F JOIN R ON F.uri = R.uri", catalog_)
+          .ok());
+}
+
+TEST_F(BinderTest, PaperQuery1PlanShape) {
+  const PlanPtr p = MustPlan(R"(
+      SELECT AVG(D.sample_value)
+      FROM F JOIN R ON F.uri = R.uri
+             JOIN D ON R.uri = D.uri AND R.record_id = D.record_id
+      WHERE F.station = 'ISK' AND F.channel = 'BHE'
+        AND R.start_time > '2010-01-12T00:00:00.000'
+        AND R.start_time < '2010-01-12T23:59:59.999'
+        AND D.sample_time > '2010-01-12T22:15:00.000'
+        AND D.sample_time < '2010-01-12T22:15:02.000')");
+  // Project <- Aggregate <- Filter <- Join shape before optimization.
+  ASSERT_EQ(p->kind, PlanKind::kProject);
+  ASSERT_EQ(p->children[0]->kind, PlanKind::kAggregate);
+  ASSERT_EQ(p->children[0]->children[0]->kind, PlanKind::kFilter);
+  ASSERT_EQ(p->children[0]->children[0]->children[0]->kind, PlanKind::kJoin);
+}
+
+}  // namespace
+}  // namespace dex

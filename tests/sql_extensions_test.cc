@@ -1,0 +1,286 @@
+// Tests for the SQL extensions beyond the paper's two queries: BETWEEN, IN,
+// LIKE (with the dictionary fast path), NOT variants, and SELECT DISTINCT —
+// phrased the way an explorer would.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace dex {
+namespace {
+
+using ::dex::testing::ScopedRepo;
+using ::dex::testing::TinyRepoOptions;
+
+// ---------- parser-level ----------
+
+TEST(SqlExtParser, BetweenDesugarsToRange) {
+  auto s = sql::ParseSelect("SELECT * FROM F WHERE n BETWEEN 1 AND 5");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s->where->ToString(), "((n >= 1) AND (n <= 5))");
+}
+
+TEST(SqlExtParser, NotBetween) {
+  auto s = sql::ParseSelect("SELECT * FROM F WHERE n NOT BETWEEN 1 AND 5");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->where->ToString(), "(NOT ((n >= 1) AND (n <= 5)))");
+}
+
+TEST(SqlExtParser, InDesugarsToDisjunction) {
+  auto s = sql::ParseSelect(
+      "SELECT * FROM F WHERE station IN ('ISK', 'ANK', 'IZM')");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->where->ToString(),
+            "(((station = 'ISK') OR (station = 'ANK')) OR (station = 'IZM'))");
+}
+
+TEST(SqlExtParser, NotIn) {
+  auto s = sql::ParseSelect("SELECT * FROM F WHERE n NOT IN (1, 2)");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->where->ToString(), "(NOT ((n = 1) OR (n = 2)))");
+}
+
+TEST(SqlExtParser, LikeParses) {
+  auto s = sql::ParseSelect("SELECT * FROM F WHERE channel LIKE 'BH%'");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->where->kind(), ExprKind::kLike);
+  EXPECT_EQ(s->where->like_pattern(), "BH%");
+}
+
+TEST(SqlExtParser, LikeRequiresStringPattern) {
+  EXPECT_FALSE(sql::ParseSelect("SELECT * FROM F WHERE channel LIKE 42").ok());
+}
+
+TEST(SqlExtParser, DistinctFlagSet) {
+  auto s = sql::ParseSelect("SELECT DISTINCT station FROM F");
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->distinct);
+}
+
+TEST(SqlExtParser, BetweenInsideConjunction) {
+  auto s = sql::ParseSelect(
+      "SELECT * FROM R WHERE start_time BETWEEN 10 AND 20 AND record_id = 1");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->where->kind(), ExprKind::kAnd);
+}
+
+// ---------- LIKE matching semantics ----------
+
+bool Match(const std::string& text, const std::string& pattern) {
+  auto schema = std::make_shared<Schema>(
+      Schema({{"s", DataType::kString, "T"}}));
+  Batch b = Batch::Empty(schema);
+  b.columns[0]->AppendString(text);
+  auto bound = Expr::Like(Expr::ColumnRef("s"), pattern)->Bind(*schema);
+  EXPECT_TRUE(bound.ok());
+  auto mask = (*bound)->Evaluate(b);
+  EXPECT_TRUE(mask.ok());
+  return (*mask)->GetInt64(0) != 0;
+}
+
+TEST(SqlExtLike, ExactMatchNoWildcards) {
+  EXPECT_TRUE(Match("BHE", "BHE"));
+  EXPECT_FALSE(Match("BHE", "BHN"));
+  EXPECT_FALSE(Match("BHE", "BH"));
+  EXPECT_FALSE(Match("BH", "BHE"));
+}
+
+TEST(SqlExtLike, PercentWildcard) {
+  EXPECT_TRUE(Match("BHE", "BH%"));
+  EXPECT_TRUE(Match("BHE", "%E"));
+  EXPECT_TRUE(Match("BHE", "%H%"));
+  EXPECT_TRUE(Match("BHE", "%"));
+  EXPECT_TRUE(Match("", "%"));
+  EXPECT_FALSE(Match("LHE", "BH%"));
+  EXPECT_TRUE(Match("BBHE", "B%HE"));
+}
+
+TEST(SqlExtLike, UnderscoreWildcard) {
+  EXPECT_TRUE(Match("BHE", "B_E"));
+  EXPECT_TRUE(Match("BHE", "___"));
+  EXPECT_FALSE(Match("BHE", "____"));
+  EXPECT_FALSE(Match("BHE", "__"));
+}
+
+TEST(SqlExtLike, CombinedWildcards) {
+  EXPECT_TRUE(Match("OR.ISK.BHE.003.mseed", "%ISK%BHE%"));
+  EXPECT_FALSE(Match("OR.ANK.BHE.003.mseed", "%ISK%BHE%"));
+  EXPECT_TRUE(Match("abcde", "a%_e"));
+  EXPECT_TRUE(Match("ae", "a%e"));
+  EXPECT_FALSE(Match("ae", "a%_e"));  // needs at least one char before e
+}
+
+TEST(SqlExtLike, BacktrackingTorture) {
+  EXPECT_TRUE(Match("aaaaaaaaab", "%a%a%b"));
+  EXPECT_FALSE(Match("aaaaaaaaaa", "%a%a%b"));
+}
+
+TEST(SqlExtLike, RejectsNonStringOperand) {
+  auto schema = std::make_shared<Schema>(
+      Schema({{"n", DataType::kInt64, "T"}}));
+  EXPECT_FALSE(Expr::Like(Expr::ColumnRef("n"), "%")->Bind(*schema).ok());
+}
+
+// ---------- end-to-end through the database ----------
+
+class SqlExtDatabase : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    repo_ = new ScopedRepo("sql_ext", TinyRepoOptions());
+    auto db = Database::Open(repo_->root(), {});
+    ASSERT_TRUE(db.ok());
+    db_ = new std::unique_ptr<Database>(std::move(*db));
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+    delete repo_;
+    repo_ = nullptr;
+  }
+  static ScopedRepo* repo_;
+  static std::unique_ptr<Database>* db_;
+};
+
+ScopedRepo* SqlExtDatabase::repo_ = nullptr;
+std::unique_ptr<Database>* SqlExtDatabase::db_ = nullptr;
+
+TEST_F(SqlExtDatabase, DistinctStations) {
+  auto r = (*db_)->Query("SELECT DISTINCT F.station FROM F ORDER BY F.station");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->table->num_rows(), 2u);
+  EXPECT_EQ(r->table->GetValue(0, 0).str(), "ANK");
+  EXPECT_EQ(r->table->GetValue(1, 0).str(), "ISK");
+}
+
+TEST_F(SqlExtDatabase, DistinctPairs) {
+  auto r = (*db_)->Query(
+      "SELECT DISTINCT F.station, F.channel FROM F "
+      "ORDER BY F.station, F.channel");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->table->num_rows(), 4u);  // 2 stations x 2 channels
+}
+
+TEST_F(SqlExtDatabase, LikeOnUri) {
+  auto all = (*db_)->Query("SELECT COUNT(*) FROM F");
+  auto isk = (*db_)->Query(
+      "SELECT COUNT(*) FROM F WHERE F.uri LIKE '%ISK%'");
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(isk.ok()) << isk.status().ToString();
+  EXPECT_EQ(isk->table->GetValue(0, 0).int64(),
+            all->table->GetValue(0, 0).int64() / 2);
+}
+
+TEST_F(SqlExtDatabase, InOverMetadataDrivesFilesOfInterest) {
+  auto r = (*db_)->Query(
+      "SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri "
+      "WHERE F.channel IN ('BHE') AND F.station IN ('ISK', 'NOPE')");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->stats.two_stage.files_of_interest, 2u);  // ISK/BHE x 2 days
+}
+
+TEST_F(SqlExtDatabase, BetweenOnTimestamps) {
+  auto between = (*db_)->Query(
+      "SELECT COUNT(*) FROM R WHERE R.start_time "
+      "BETWEEN '2010-01-01T00:00:00.000' AND '2010-01-01T23:59:59.999'");
+  auto manual = (*db_)->Query(
+      "SELECT COUNT(*) FROM R WHERE R.start_time >= '2010-01-01T00:00:00.000' "
+      "AND R.start_time <= '2010-01-01T23:59:59.999'");
+  ASSERT_TRUE(between.ok()) << between.status().ToString();
+  ASSERT_TRUE(manual.ok());
+  EXPECT_EQ(between->table->GetValue(0, 0).int64(),
+            manual->table->GetValue(0, 0).int64());
+  EXPECT_GT(between->table->GetValue(0, 0).int64(), 0);
+}
+
+TEST_F(SqlExtDatabase, NotLikeComplements) {
+  auto like = (*db_)->Query("SELECT COUNT(*) FROM F WHERE F.uri LIKE '%ISK%'");
+  auto not_like =
+      (*db_)->Query("SELECT COUNT(*) FROM F WHERE F.uri NOT LIKE '%ISK%'");
+  auto all = (*db_)->Query("SELECT COUNT(*) FROM F");
+  ASSERT_TRUE(like.ok());
+  ASSERT_TRUE(not_like.ok()) << not_like.status().ToString();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(like->table->GetValue(0, 0).int64() +
+                not_like->table->GetValue(0, 0).int64(),
+            all->table->GetValue(0, 0).int64());
+}
+
+TEST_F(SqlExtDatabase, DistinctWithAggregatesRejected) {
+  EXPECT_FALSE((*db_)->Query("SELECT DISTINCT COUNT(*) FROM F").ok());
+  EXPECT_FALSE((*db_)->Query("SELECT DISTINCT * FROM F").ok());
+}
+
+
+// ---------- HAVING ----------
+
+TEST_F(SqlExtDatabase, HavingFiltersGroups) {
+  // Every (station, channel) group has 2 files (2 days) in the tiny repo.
+  auto all = (*db_)->Query(
+      "SELECT F.station, F.channel, COUNT(*) AS n FROM F "
+      "GROUP BY F.station, F.channel HAVING COUNT(*) >= 2");
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  EXPECT_EQ(all->table->num_rows(), 4u);
+  auto none = (*db_)->Query(
+      "SELECT F.station, COUNT(*) AS n FROM F GROUP BY F.station "
+      "HAVING COUNT(*) > 100");
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->table->num_rows(), 0u);
+}
+
+TEST_F(SqlExtDatabase, HavingOnHiddenAggregate) {
+  // The HAVING aggregate (SUM) does not appear in the select list.
+  auto r = (*db_)->Query(
+      "SELECT R.uri FROM R GROUP BY R.uri HAVING SUM(R.n_samples) > 0 "
+      "ORDER BY R.uri LIMIT 3");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->table->num_rows(), 3u);
+  EXPECT_EQ(r->table->num_columns(), 1u) << "hidden aggregate must not leak";
+}
+
+TEST_F(SqlExtDatabase, HavingReusesSelectListAggregate) {
+  auto r = (*db_)->Query(
+      "SELECT F.station, COUNT(*) AS n FROM F GROUP BY F.station "
+      "HAVING COUNT(*) = 4 ORDER BY F.station");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // 2 channels x 2 days = 4 files per station.
+  EXPECT_EQ(r->table->num_rows(), 2u);
+}
+
+TEST_F(SqlExtDatabase, HavingOnGroupColumn) {
+  auto r = (*db_)->Query(
+      "SELECT F.station, COUNT(*) AS n FROM F GROUP BY F.station "
+      "HAVING F.station = 'ISK'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->table->num_rows(), 1u);
+  EXPECT_EQ(r->table->GetValue(0, 0).str(), "ISK");
+}
+
+TEST_F(SqlExtDatabase, HavingOverActualData) {
+  // HAVING works through the two-stage path too.
+  auto r = (*db_)->Query(
+      "SELECT F.channel, MAX(D.sample_value) AS peak FROM F "
+      "JOIN D ON F.uri = D.uri GROUP BY F.channel "
+      "HAVING MAX(D.sample_value) > -99999999 ORDER BY F.channel");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->table->num_rows(), 2u);
+}
+
+TEST_F(SqlExtDatabase, HavingWithoutAggregatesRejected) {
+  EXPECT_FALSE((*db_)->Query("SELECT station FROM F HAVING station = 'ISK'").ok());
+}
+
+TEST(SqlExtHavingParser, PlaceholdersGenerated) {
+  auto s = sql::ParseSelect(
+      "SELECT station FROM F GROUP BY station HAVING AVG(size_bytes) > 10");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  ASSERT_NE(s->having, nullptr);
+  EXPECT_NE(s->having->ToString().find("#AGG#AVG#size_bytes"),
+            std::string::npos);
+  ASSERT_EQ(s->having_aggregate_args.size(), 1u);
+  EXPECT_EQ(s->having_aggregate_args[0].first, "size_bytes");
+}
+
+}  // namespace
+}  // namespace dex

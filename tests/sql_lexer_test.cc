@@ -1,0 +1,106 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace dex::sql {
+namespace {
+
+std::vector<Token> MustTokenize(const std::string& s) {
+  auto r = Tokenize(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ValueOr({});
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  const auto tokens = MustTokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, IdentifiersCarryUppercase) {
+  const auto tokens = MustTokenize("select Station frOm");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].upper, "SELECT");
+  EXPECT_EQ(tokens[1].text, "Station");
+  EXPECT_EQ(tokens[1].upper, "STATION");
+  EXPECT_EQ(tokens[2].upper, "FROM");
+}
+
+TEST(LexerTest, NumbersIntAndFloat) {
+  const auto tokens = MustTokenize("42 3.5 0.001 7");
+  EXPECT_EQ(tokens[0].type, TokenType::kInt);
+  EXPECT_EQ(tokens[1].type, TokenType::kFloat);
+  EXPECT_EQ(tokens[1].text, "3.5");
+  EXPECT_EQ(tokens[2].type, TokenType::kFloat);
+  EXPECT_EQ(tokens[3].type, TokenType::kInt);
+}
+
+TEST(LexerTest, QualifiedNameIsThreeTokens) {
+  const auto tokens = MustTokenize("F.station");
+  ASSERT_EQ(tokens.size(), 4u);  // F . station END
+  EXPECT_EQ(tokens[0].text, "F");
+  EXPECT_EQ(tokens[1].text, ".");
+  EXPECT_EQ(tokens[2].text, "station");
+}
+
+TEST(LexerTest, StringLiteral) {
+  const auto tokens = MustTokenize("'ISK'");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "ISK");
+}
+
+TEST(LexerTest, StringWithEscapedQuote) {
+  const auto tokens = MustTokenize("'it''s'");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(LexerTest, TimestampLiteralKeepsPunctuation) {
+  const auto tokens = MustTokenize("'2010-01-12T22:15:00.000'");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "2010-01-12T22:15:00.000");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  const auto tokens = MustTokenize("<= >= <> != < > =");
+  EXPECT_EQ(tokens[0].text, "<=");
+  EXPECT_EQ(tokens[1].text, ">=");
+  EXPECT_EQ(tokens[2].text, "<>");
+  EXPECT_EQ(tokens[3].text, "!=");
+  EXPECT_EQ(tokens[4].text, "<");
+  EXPECT_EQ(tokens[5].text, ">");
+  EXPECT_EQ(tokens[6].text, "=");
+}
+
+TEST(LexerTest, LineCommentsSkipped) {
+  const auto tokens = MustTokenize("SELECT -- the select list\n *");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "*");
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  EXPECT_FALSE(Tokenize("SELECT @foo").ok());
+  EXPECT_FALSE(Tokenize("#").ok());
+}
+
+TEST(LexerTest, PositionsRecorded) {
+  const auto tokens = MustTokenize("SELECT x");
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[1].position, 7u);
+}
+
+TEST(LexerTest, ArithmeticSymbols) {
+  const auto tokens = MustTokenize("a + b - c * d / e");
+  EXPECT_EQ(tokens[1].text, "+");
+  EXPECT_EQ(tokens[3].text, "-");
+  EXPECT_EQ(tokens[5].text, "*");
+  EXPECT_EQ(tokens[7].text, "/");
+}
+
+}  // namespace
+}  // namespace dex::sql

@@ -1,0 +1,168 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace dex::sql {
+namespace {
+
+SelectStmt MustParse(const std::string& sql) {
+  auto r = ParseSelect(sql);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << "\n" << sql;
+  return r.ok() ? *r : SelectStmt{};
+}
+
+TEST(ParserTest, MinimalSelectStar) {
+  const SelectStmt s = MustParse("SELECT * FROM F");
+  EXPECT_TRUE(s.select_star);
+  EXPECT_EQ(s.from.name, "F");
+  EXPECT_TRUE(s.joins.empty());
+  EXPECT_EQ(s.where, nullptr);
+  EXPECT_EQ(s.limit, -1);
+}
+
+TEST(ParserTest, TrailingSemicolonOk) {
+  EXPECT_TRUE(ParseSelect("SELECT * FROM F;").ok());
+}
+
+TEST(ParserTest, SelectListWithAliases) {
+  const SelectStmt s =
+      MustParse("SELECT station AS st, size_bytes FROM F");
+  ASSERT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[0].alias, "st");
+  EXPECT_FALSE(s.items[0].is_aggregate);
+  EXPECT_EQ(s.items[1].expr->column_name(), "size_bytes");
+}
+
+TEST(ParserTest, Aggregates) {
+  const SelectStmt s = MustParse(
+      "SELECT COUNT(*), AVG(D.sample_value), MIN(n), MAX(n), SUM(n) FROM D");
+  ASSERT_EQ(s.items.size(), 5u);
+  EXPECT_TRUE(s.items[0].is_aggregate);
+  EXPECT_TRUE(s.items[0].agg_star);
+  EXPECT_EQ(s.items[0].agg_fn, AggFunc::kCount);
+  EXPECT_EQ(s.items[1].agg_fn, AggFunc::kAvg);
+  EXPECT_EQ(s.items[1].expr->column_name(), "D.sample_value");
+  EXPECT_EQ(s.items[2].agg_fn, AggFunc::kMin);
+  EXPECT_EQ(s.items[3].agg_fn, AggFunc::kMax);
+  EXPECT_EQ(s.items[4].agg_fn, AggFunc::kSum);
+}
+
+TEST(ParserTest, StarOnlyForCount) {
+  EXPECT_FALSE(ParseSelect("SELECT AVG(*) FROM D").ok());
+}
+
+TEST(ParserTest, JoinChain) {
+  const SelectStmt s = MustParse(
+      "SELECT * FROM F JOIN R ON F.uri = R.uri "
+      "JOIN D ON R.uri = D.uri AND R.record_id = D.record_id");
+  ASSERT_EQ(s.joins.size(), 2u);
+  EXPECT_EQ(s.joins[0].table.name, "R");
+  EXPECT_EQ(s.joins[1].table.name, "D");
+  EXPECT_EQ(s.joins[1].on->kind(), ExprKind::kAnd);
+}
+
+TEST(ParserTest, WhereWithPrecedence) {
+  const SelectStmt s =
+      MustParse("SELECT * FROM F WHERE a = 1 OR b = 2 AND c = 3");
+  // AND binds tighter: a=1 OR (b=2 AND c=3).
+  ASSERT_NE(s.where, nullptr);
+  EXPECT_EQ(s.where->kind(), ExprKind::kOr);
+  EXPECT_EQ(s.where->children()[1]->kind(), ExprKind::kAnd);
+}
+
+TEST(ParserTest, NotAndParentheses) {
+  const SelectStmt s =
+      MustParse("SELECT * FROM F WHERE NOT (a = 1 OR b = 2)");
+  EXPECT_EQ(s.where->kind(), ExprKind::kNot);
+  EXPECT_EQ(s.where->children()[0]->kind(), ExprKind::kOr);
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  const SelectStmt s = MustParse("SELECT a + b * 2 FROM F");
+  const ExprPtr e = s.items[0].expr;
+  ASSERT_EQ(e->kind(), ExprKind::kArithmetic);
+  EXPECT_EQ(e->arith_op(), ArithOp::kAdd);
+  EXPECT_EQ(e->children()[1]->kind(), ExprKind::kArithmetic);
+  EXPECT_EQ(e->children()[1]->arith_op(), ArithOp::kMul);
+}
+
+TEST(ParserTest, UnaryMinus) {
+  const SelectStmt s = MustParse("SELECT * FROM F WHERE v > -5");
+  EXPECT_EQ(s.where->children()[1]->ToString(), "(0 - 5)");
+}
+
+TEST(ParserTest, GroupBy) {
+  const SelectStmt s = MustParse(
+      "SELECT station, COUNT(*) FROM F GROUP BY station, channel");
+  ASSERT_EQ(s.group_by.size(), 2u);
+  EXPECT_EQ(s.group_by[0]->column_name(), "station");
+}
+
+TEST(ParserTest, OrderByWithDirections) {
+  const SelectStmt s = MustParse(
+      "SELECT * FROM F ORDER BY station DESC, uri ASC, mtime");
+  ASSERT_EQ(s.order_by.size(), 3u);
+  EXPECT_FALSE(s.order_by[0].second);
+  EXPECT_TRUE(s.order_by[1].second);
+  EXPECT_TRUE(s.order_by[2].second);
+}
+
+TEST(ParserTest, Limit) {
+  const SelectStmt s = MustParse("SELECT * FROM F LIMIT 10");
+  EXPECT_EQ(s.limit, 10);
+  EXPECT_FALSE(ParseSelect("SELECT * FROM F LIMIT abc").ok());
+}
+
+TEST(ParserTest, ThePaperQuery1Parses) {
+  const SelectStmt s = MustParse(R"(
+      SELECT AVG(D.sample_value)
+      FROM F JOIN R ON F.uri = R.uri
+             JOIN D ON R.uri = D.uri AND R.record_id = D.record_id
+      WHERE F.station = 'ISK' AND F.channel = 'BHE'
+        AND R.start_time > '2010-01-12T00:00:00.000'
+        AND R.start_time < '2010-01-12T23:59:59.999'
+        AND D.sample_time > '2010-01-12T22:15:00.000'
+        AND D.sample_time < '2010-01-12T22:15:02.000';)");
+  EXPECT_EQ(s.items.size(), 1u);
+  EXPECT_TRUE(s.items[0].is_aggregate);
+  EXPECT_EQ(s.joins.size(), 2u);
+  std::vector<ExprPtr> conjuncts;
+  Expr::SplitConjuncts(s.where, &conjuncts);
+  EXPECT_EQ(conjuncts.size(), 6u);
+}
+
+TEST(ParserTest, ThePaperQuery2Parses) {
+  const SelectStmt s = MustParse(R"(
+      SELECT D.sample_time, D.sample_value
+      FROM F JOIN R ON F.uri = R.uri
+             JOIN D ON R.uri = D.uri AND R.record_id = D.record_id
+      WHERE F.station = 'ISK'
+        AND R.start_time > '2010-01-12T00:00:00.000'
+        AND R.start_time < '2010-01-12T23:59:59.999'
+        AND D.sample_time > '2010-01-12T22:15:00.000'
+        AND D.sample_time < '2010-01-12T22:15:02.000';)");
+  EXPECT_EQ(s.items.size(), 2u);
+  EXPECT_FALSE(s.items[0].is_aggregate);
+}
+
+TEST(ParserTest, ErrorsCarryOffsets) {
+  const auto r = ParseSelect("SELECT FROM");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("offset"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsMalformedStatements) {
+  EXPECT_FALSE(ParseSelect("").ok());
+  EXPECT_FALSE(ParseSelect("UPDATE F SET x = 1").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * F").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM F JOIN R").ok());         // no ON
+  EXPECT_FALSE(ParseSelect("SELECT * FROM F WHERE").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM F GROUP station").ok());  // no BY
+  EXPECT_FALSE(ParseSelect("SELECT * FROM F trailing junk").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a, FROM F").ok());
+  EXPECT_FALSE(ParseSelect("SELECT (a FROM F").ok());
+}
+
+}  // namespace
+}  // namespace dex::sql

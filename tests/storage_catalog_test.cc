@@ -1,0 +1,120 @@
+#include "storage/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace dex {
+namespace {
+
+TablePtr MakeNamed(const std::string& name, int rows = 10) {
+  auto schema = std::make_shared<Schema>(Schema(
+      {{"uri", DataType::kString, name}, {"n", DataType::kInt64, name}}));
+  auto t = std::make_shared<Table>(name, schema);
+  for (int i = 0; i < rows; ++i) {
+    EXPECT_TRUE(
+        t->AppendRow({Value::String("u" + std::to_string(i)), Value::Int64(i)})
+            .ok());
+  }
+  return t;
+}
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  CatalogTest() : disk_(), catalog_(&disk_) {}
+  SimDisk disk_;
+  Catalog catalog_;
+};
+
+TEST_F(CatalogTest, AddAndGet) {
+  ASSERT_TRUE(catalog_.AddTable(MakeNamed("F"), TableKind::kMetadata).ok());
+  ASSERT_TRUE(catalog_.HasTable("F"));
+  ASSERT_TRUE(catalog_.GetTable("F").ok());
+  EXPECT_EQ((*catalog_.GetTable("F"))->name(), "F");
+  ASSERT_TRUE(catalog_.GetKind("F").ok());
+  EXPECT_EQ(*catalog_.GetKind("F"), TableKind::kMetadata);
+}
+
+TEST_F(CatalogTest, DuplicateRejected) {
+  ASSERT_TRUE(catalog_.AddTable(MakeNamed("F"), TableKind::kMetadata).ok());
+  EXPECT_TRUE(
+      catalog_.AddTable(MakeNamed("F"), TableKind::kActual).IsAlreadyExists());
+}
+
+TEST_F(CatalogTest, MissingTableIsNotFound) {
+  EXPECT_TRUE(catalog_.GetTable("Z").status().IsNotFound());
+  EXPECT_TRUE(catalog_.GetKind("Z").status().IsNotFound());
+  EXPECT_FALSE(catalog_.HasTable("Z"));
+}
+
+TEST_F(CatalogTest, KindPartitionsTotals) {
+  ASSERT_TRUE(catalog_.AddTable(MakeNamed("F", 5), TableKind::kMetadata).ok());
+  ASSERT_TRUE(catalog_.AddTable(MakeNamed("D", 50), TableKind::kActual).ok());
+  EXPECT_GT(catalog_.TotalTableBytes(TableKind::kActual),
+            catalog_.TotalTableBytes(TableKind::kMetadata));
+}
+
+TEST_F(CatalogTest, BuildAndFindIndex) {
+  ASSERT_TRUE(catalog_.AddTable(MakeNamed("D"), TableKind::kActual).ok());
+  ASSERT_TRUE(catalog_.SyncStorageSize("D").ok());
+  ASSERT_TRUE(catalog_.BuildIndex("D", {"uri"}, "D_by_uri").ok());
+  EXPECT_NE(catalog_.FindIndex("D", {0}), nullptr);
+  EXPECT_EQ(catalog_.FindIndex("D", {1}), nullptr);
+  EXPECT_EQ(catalog_.FindIndex("Z", {0}), nullptr);
+  EXPECT_GT(catalog_.TotalIndexBytes(), 0u);
+}
+
+TEST_F(CatalogTest, BuildIndexUnknownColumnFails) {
+  ASSERT_TRUE(catalog_.AddTable(MakeNamed("D"), TableKind::kActual).ok());
+  EXPECT_FALSE(catalog_.BuildIndex("D", {"ghost"}, "x").ok());
+  EXPECT_FALSE(catalog_.BuildIndex("Zed", {"uri"}, "x").ok());
+}
+
+TEST_F(CatalogTest, ChargeTableScanCostsSimTime) {
+  ASSERT_TRUE(catalog_.AddTable(MakeNamed("D", 100000), TableKind::kActual).ok());
+  ASSERT_TRUE(catalog_.SyncStorageSize("D").ok());
+  disk_.FlushAll();
+  const uint64_t t0 = disk_.stats().sim_nanos;
+  ASSERT_TRUE(catalog_.ChargeTableScan("D").ok());
+  const uint64_t cold = disk_.stats().sim_nanos - t0;
+  EXPECT_GT(cold, 0u);
+  // Hot scan is free.
+  const uint64_t t1 = disk_.stats().sim_nanos;
+  ASSERT_TRUE(catalog_.ChargeTableScan("D").ok());
+  EXPECT_EQ(disk_.stats().sim_nanos - t1, 0u);
+}
+
+TEST_F(CatalogTest, ChargeIndexReadCostsSimTime) {
+  ASSERT_TRUE(catalog_.AddTable(MakeNamed("D", 100000), TableKind::kActual).ok());
+  ASSERT_TRUE(catalog_.SyncStorageSize("D").ok());
+  ASSERT_TRUE(catalog_.BuildIndex("D", {"uri"}, "D_by_uri").ok());
+  disk_.FlushAll();
+  const uint64_t t0 = disk_.stats().sim_nanos;
+  ASSERT_TRUE(catalog_.ChargeIndexRead("D").ok());
+  EXPECT_GT(disk_.stats().sim_nanos - t0, 0u);
+}
+
+TEST_F(CatalogTest, ChargeRowsReadTouchesFewPagesForFewRows) {
+  ASSERT_TRUE(catalog_.AddTable(MakeNamed("D", 200000), TableKind::kActual).ok());
+  ASSERT_TRUE(catalog_.SyncStorageSize("D").ok());
+  disk_.FlushAll();
+  const uint64_t b0 = disk_.stats().disk_bytes_read;
+  ASSERT_TRUE(catalog_.ChargeRowsRead("D", {0, 1, 2, 3}).ok());
+  const uint64_t point = disk_.stats().disk_bytes_read - b0;
+  disk_.FlushAll();
+  const uint64_t b1 = disk_.stats().disk_bytes_read;
+  ASSERT_TRUE(catalog_.ChargeTableScan("D").ok());
+  const uint64_t full = disk_.stats().disk_bytes_read - b1;
+  EXPECT_LT(point, full);
+}
+
+TEST_F(CatalogTest, TableNamesSorted) {
+  ASSERT_TRUE(catalog_.AddTable(MakeNamed("R"), TableKind::kMetadata).ok());
+  ASSERT_TRUE(catalog_.AddTable(MakeNamed("D"), TableKind::kActual).ok());
+  ASSERT_TRUE(catalog_.AddTable(MakeNamed("F"), TableKind::kMetadata).ok());
+  const auto names = catalog_.TableNames();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "D");
+  EXPECT_EQ(names[2], "R");
+}
+
+}  // namespace
+}  // namespace dex

@@ -1,0 +1,152 @@
+#include "storage/column.h"
+
+#include <gtest/gtest.h>
+
+namespace dex {
+namespace {
+
+TEST(StringDictTest, InternDeduplicates) {
+  StringDict dict;
+  EXPECT_EQ(dict.Intern("a"), 0);
+  EXPECT_EQ(dict.Intern("b"), 1);
+  EXPECT_EQ(dict.Intern("a"), 0);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.At(1), "b");
+  EXPECT_EQ(dict.Find("b"), 1);
+  EXPECT_EQ(dict.Find("zzz"), -1);
+}
+
+TEST(ColumnTest, Int64Appends) {
+  Column col(DataType::kInt64);
+  col.AppendInt64(1);
+  col.AppendInt64(-5);
+  ASSERT_EQ(col.size(), 2u);
+  EXPECT_EQ(col.GetInt64(0), 1);
+  EXPECT_EQ(col.GetInt64(1), -5);
+  EXPECT_EQ(col.GetValue(1).int64(), -5);
+}
+
+TEST(ColumnTest, TimestampSharesIntBuffer) {
+  Column col(DataType::kTimestamp);
+  col.AppendInt64(1000);
+  EXPECT_EQ(col.GetValue(0).type(), DataType::kTimestamp);
+  EXPECT_DOUBLE_EQ(col.GetNumeric(0), 1000.0);
+}
+
+TEST(ColumnTest, DoubleAppends) {
+  Column col(DataType::kDouble);
+  col.AppendDouble(2.5);
+  EXPECT_DOUBLE_EQ(col.GetDouble(0), 2.5);
+  EXPECT_DOUBLE_EQ(col.GetNumeric(0), 2.5);
+}
+
+TEST(ColumnTest, StringDictionaryEncoding) {
+  Column col(DataType::kString);
+  col.AppendString("ISK");
+  col.AppendString("ANK");
+  col.AppendString("ISK");
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_EQ(col.GetString(0), "ISK");
+  EXPECT_EQ(col.GetString(2), "ISK");
+  EXPECT_EQ(col.GetStringCode(0), col.GetStringCode(2));
+  EXPECT_NE(col.GetStringCode(0), col.GetStringCode(1));
+  EXPECT_EQ(col.dict()->size(), 2u);
+}
+
+TEST(ColumnTest, AppendValueChecksTypes) {
+  Column col(DataType::kString);
+  EXPECT_TRUE(col.AppendValue(Value::String("x")).ok());
+  EXPECT_FALSE(col.AppendValue(Value::Int64(1)).ok());
+  EXPECT_FALSE(col.AppendValue(Value::Null()).ok());
+
+  Column ints(DataType::kInt64);
+  EXPECT_TRUE(ints.AppendValue(Value::Int64(1)).ok());
+  EXPECT_FALSE(ints.AppendValue(Value::Double(1.5)).ok());
+
+  Column dbls(DataType::kDouble);
+  EXPECT_TRUE(dbls.AppendValue(Value::Int64(2)).ok());  // widening ok
+  EXPECT_DOUBLE_EQ(dbls.GetDouble(0), 2.0);
+}
+
+TEST(ColumnTest, AppendRangeSharesDictionary) {
+  Column src(DataType::kString);
+  for (int i = 0; i < 100; ++i) src.AppendString(i % 2 ? "a" : "b");
+  Column dst(DataType::kString);
+  dst.AppendRange(src, 10, 20);
+  ASSERT_EQ(dst.size(), 20u);
+  EXPECT_EQ(dst.GetString(0), "b");  // row 10
+  EXPECT_EQ(dst.dict(), src.dict()) << "slice should share the dictionary";
+}
+
+TEST(ColumnTest, CopyOnWritePreservesSharedDict) {
+  Column src(DataType::kString);
+  src.AppendString("x");
+  Column dst(DataType::kString);
+  dst.AppendRange(src, 0, 1);
+  ASSERT_EQ(dst.dict(), src.dict());
+  // Appending to dst must not mutate the shared dictionary.
+  dst.AppendString("fresh");
+  EXPECT_NE(dst.dict(), src.dict());
+  EXPECT_EQ(src.dict()->size(), 1u);
+  EXPECT_EQ(dst.GetString(0), "x");
+  EXPECT_EQ(dst.GetString(1), "fresh");
+}
+
+TEST(ColumnTest, AppendGather) {
+  Column src(DataType::kInt64);
+  for (int i = 0; i < 10; ++i) src.AppendInt64(i * 10);
+  Column dst(DataType::kInt64);
+  dst.AppendGather(src, {9, 0, 5});
+  ASSERT_EQ(dst.size(), 3u);
+  EXPECT_EQ(dst.GetInt64(0), 90);
+  EXPECT_EQ(dst.GetInt64(1), 0);
+  EXPECT_EQ(dst.GetInt64(2), 50);
+}
+
+TEST(ColumnTest, AppendGatherStringsAcrossDicts) {
+  Column src(DataType::kString);
+  src.AppendString("p");
+  src.AppendString("q");
+  Column dst(DataType::kString);
+  dst.AppendString("r");  // dst now owns a different dict
+  dst.AppendGather(src, {1, 0});
+  ASSERT_EQ(dst.size(), 3u);
+  EXPECT_EQ(dst.GetString(1), "q");
+  EXPECT_EQ(dst.GetString(2), "p");
+}
+
+TEST(ColumnTest, AppendFromAdoptsDictWhenEmpty) {
+  Column src(DataType::kString);
+  src.AppendString("only");
+  Column dst(DataType::kString);
+  dst.AppendFrom(src, 0);
+  EXPECT_EQ(dst.dict(), src.dict());
+  EXPECT_EQ(dst.GetString(0), "only");
+}
+
+TEST(ColumnTest, ByteSizeScalesWithRows) {
+  Column col(DataType::kInt64);
+  const uint64_t empty = col.ByteSize();
+  for (int i = 0; i < 1000; ++i) col.AppendInt64(i);
+  EXPECT_EQ(col.ByteSize() - empty, 8000u);
+}
+
+TEST(ColumnTest, StringByteSizeCountsCodesAndDict) {
+  Column col(DataType::kString);
+  for (int i = 0; i < 100; ++i) col.AppendString("same");
+  // 100 codes * 4B plus one dictionary entry.
+  EXPECT_GE(col.ByteSize(), 400u);
+  EXPECT_LT(col.ByteSize(), 600u);
+}
+
+TEST(ColumnTest, ClearResets) {
+  Column col(DataType::kString);
+  col.AppendString("a");
+  col.Clear();
+  EXPECT_EQ(col.size(), 0u);
+  col.AppendString("b");
+  EXPECT_EQ(col.GetString(0), "b");
+}
+
+}  // namespace
+}  // namespace dex

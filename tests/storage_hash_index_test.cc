@@ -1,0 +1,95 @@
+#include "storage/hash_index.h"
+
+#include <gtest/gtest.h>
+
+namespace dex {
+namespace {
+
+TablePtr MakeTable() {
+  auto schema = std::make_shared<Schema>(
+      Schema({{"uri", DataType::kString, "D"},
+              {"record_id", DataType::kInt64, "D"},
+              {"value", DataType::kDouble, "D"}}));
+  auto t = std::make_shared<Table>("D", schema);
+  const char* uris[] = {"f1", "f1", "f2", "f2", "f3"};
+  const int64_t recs[] = {0, 1, 0, 0, 2};
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(t->AppendRow({Value::String(uris[i]), Value::Int64(recs[i]),
+                              Value::Double(i * 1.5)})
+                    .ok());
+  }
+  return t;
+}
+
+TEST(HashIndexTest, SingleStringKey) {
+  const TablePtr t = MakeTable();
+  auto index = HashIndex::Build(t.get(), {0}, "by_uri");
+  ASSERT_TRUE(index.ok());
+  std::vector<uint32_t> rows;
+  ASSERT_TRUE((*index)->Probe({Value::String("f1")}, &rows).ok());
+  EXPECT_EQ(rows.size(), 2u);
+  rows.clear();
+  ASSERT_TRUE((*index)->Probe({Value::String("f3")}, &rows).ok());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 4u);
+}
+
+TEST(HashIndexTest, MissingKeyYieldsEmpty) {
+  const TablePtr t = MakeTable();
+  auto index = HashIndex::Build(t.get(), {0}, "by_uri");
+  ASSERT_TRUE(index.ok());
+  std::vector<uint32_t> rows;
+  ASSERT_TRUE((*index)->Probe({Value::String("ghost")}, &rows).ok());
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST(HashIndexTest, CompositeKey) {
+  const TablePtr t = MakeTable();
+  auto index = HashIndex::Build(t.get(), {0, 1}, "pk");
+  ASSERT_TRUE(index.ok());
+  std::vector<uint32_t> rows;
+  ASSERT_TRUE(
+      (*index)->Probe({Value::String("f2"), Value::Int64(0)}, &rows).ok());
+  EXPECT_EQ(rows.size(), 2u);  // duplicate (f2, 0)
+  rows.clear();
+  ASSERT_TRUE(
+      (*index)->Probe({Value::String("f1"), Value::Int64(1)}, &rows).ok());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 1u);
+}
+
+TEST(HashIndexTest, ProbeArityChecked) {
+  const TablePtr t = MakeTable();
+  auto index = HashIndex::Build(t.get(), {0, 1}, "pk");
+  ASSERT_TRUE(index.ok());
+  std::vector<uint32_t> rows;
+  EXPECT_TRUE((*index)->Probe({Value::String("f1")}, &rows).IsInvalidArgument());
+}
+
+TEST(HashIndexTest, BuildValidatesInputs) {
+  const TablePtr t = MakeTable();
+  EXPECT_FALSE(HashIndex::Build(nullptr, {0}, "x").ok());
+  EXPECT_FALSE(HashIndex::Build(t.get(), {}, "x").ok());
+  EXPECT_FALSE(HashIndex::Build(t.get(), {99}, "x").ok());
+}
+
+TEST(HashIndexTest, ByteSizeScalesWithEntries) {
+  const TablePtr t = MakeTable();
+  auto index = HashIndex::Build(t.get(), {0}, "x");
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index)->ByteSize(), 5u * 12u);
+  EXPECT_EQ((*index)->num_entries(), 5u);
+}
+
+TEST(HashIndexTest, DoubleKeyProbesByNumericValue) {
+  const TablePtr t = MakeTable();
+  auto index = HashIndex::Build(t.get(), {2}, "by_value");
+  ASSERT_TRUE(index.ok());
+  std::vector<uint32_t> rows;
+  ASSERT_TRUE((*index)->Probe({Value::Double(3.0)}, &rows).ok());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 2u);
+}
+
+}  // namespace
+}  // namespace dex

@@ -1,0 +1,77 @@
+#include "storage/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace dex {
+namespace {
+
+Schema MakeFR() {
+  return Schema({{"uri", DataType::kString, "F"},
+                 {"station", DataType::kString, "F"},
+                 {"uri", DataType::kString, "R"},
+                 {"record_id", DataType::kInt64, "R"}});
+}
+
+TEST(SchemaTest, QualifiedLookup) {
+  const Schema s = MakeFR();
+  ASSERT_TRUE(s.FieldIndex("F.uri").ok());
+  EXPECT_EQ(*s.FieldIndex("F.uri"), 0u);
+  EXPECT_EQ(*s.FieldIndex("R.uri"), 2u);
+  EXPECT_EQ(*s.FieldIndex("R.record_id"), 3u);
+}
+
+TEST(SchemaTest, UnqualifiedUniqueLookup) {
+  const Schema s = MakeFR();
+  ASSERT_TRUE(s.FieldIndex("station").ok());
+  EXPECT_EQ(*s.FieldIndex("station"), 1u);
+}
+
+TEST(SchemaTest, UnqualifiedAmbiguousRejected) {
+  const Schema s = MakeFR();
+  const auto r = s.FieldIndex("uri");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("ambiguous"), std::string::npos);
+}
+
+TEST(SchemaTest, MissingColumnIsNotFound) {
+  const Schema s = MakeFR();
+  EXPECT_TRUE(s.FieldIndex("nope").status().IsNotFound());
+  EXPECT_TRUE(s.FieldIndex("F.nope").status().IsNotFound());
+  EXPECT_TRUE(s.FieldIndex("Z.uri").status().IsNotFound());
+}
+
+TEST(SchemaTest, FindFieldIndexReturnsMinusOne) {
+  const Schema s = MakeFR();
+  EXPECT_EQ(s.FindFieldIndex("uri"), -1);   // ambiguous
+  EXPECT_EQ(s.FindFieldIndex("none"), -1);  // missing
+  EXPECT_EQ(s.FindFieldIndex("F.station"), 1);
+}
+
+TEST(SchemaTest, ConcatKeepsOrderAndQualifiers) {
+  const Schema left({{"a", DataType::kInt64, "L"}});
+  const Schema right({{"b", DataType::kDouble, "R"}, {"c", DataType::kString, "R"}});
+  const auto joined = Schema::Concat(left, right);
+  ASSERT_EQ(joined->num_fields(), 3u);
+  EXPECT_EQ(joined->field(0).QualifiedName(), "L.a");
+  EXPECT_EQ(joined->field(2).QualifiedName(), "R.c");
+}
+
+TEST(SchemaTest, QualifiedNameWithoutQualifier) {
+  const Field f{"alone", DataType::kInt64, ""};
+  EXPECT_EQ(f.QualifiedName(), "alone");
+}
+
+TEST(SchemaTest, ToStringListsTypes) {
+  const Schema s({{"x", DataType::kTimestamp, "T"}});
+  EXPECT_EQ(s.ToString(), "(T.x TIMESTAMP)");
+}
+
+TEST(SchemaTest, AddFieldGrows) {
+  Schema s;
+  EXPECT_EQ(s.num_fields(), 0u);
+  s.AddField({"n", DataType::kInt64, ""});
+  EXPECT_EQ(s.num_fields(), 1u);
+}
+
+}  // namespace
+}  // namespace dex
