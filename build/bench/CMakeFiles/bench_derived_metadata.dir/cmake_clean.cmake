@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_derived_metadata.dir/bench_derived_metadata.cpp.o"
+  "CMakeFiles/bench_derived_metadata.dir/bench_derived_metadata.cpp.o.d"
+  "bench_derived_metadata"
+  "bench_derived_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_derived_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

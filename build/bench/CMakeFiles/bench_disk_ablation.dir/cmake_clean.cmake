@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_disk_ablation.dir/bench_disk_ablation.cpp.o"
+  "CMakeFiles/bench_disk_ablation.dir/bench_disk_ablation.cpp.o.d"
+  "bench_disk_ablation"
+  "bench_disk_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disk_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

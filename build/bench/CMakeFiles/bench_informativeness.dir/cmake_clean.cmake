@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_informativeness.dir/bench_informativeness.cpp.o"
+  "CMakeFiles/bench_informativeness.dir/bench_informativeness.cpp.o.d"
+  "bench_informativeness"
+  "bench_informativeness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_informativeness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

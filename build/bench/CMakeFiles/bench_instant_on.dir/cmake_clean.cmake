@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_instant_on.dir/bench_instant_on.cpp.o"
+  "CMakeFiles/bench_instant_on.dir/bench_instant_on.cpp.o.d"
+  "bench_instant_on"
+  "bench_instant_on.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_instant_on.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

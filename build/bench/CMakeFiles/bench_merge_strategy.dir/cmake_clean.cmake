@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_merge_strategy.dir/bench_merge_strategy.cpp.o"
+  "CMakeFiles/bench_merge_strategy.dir/bench_merge_strategy.cpp.o.d"
+  "bench_merge_strategy"
+  "bench_merge_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_merge_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

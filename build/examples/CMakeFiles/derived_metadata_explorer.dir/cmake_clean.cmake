@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derived_metadata_explorer.dir/derived_metadata_explorer.cpp.o"
+  "CMakeFiles/derived_metadata_explorer.dir/derived_metadata_explorer.cpp.o.d"
+  "derived_metadata_explorer"
+  "derived_metadata_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derived_metadata_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

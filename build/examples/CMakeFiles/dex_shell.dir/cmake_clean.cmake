@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dex_shell.dir/dex_shell.cpp.o"
+  "CMakeFiles/dex_shell.dir/dex_shell.cpp.o.d"
+  "dex_shell"
+  "dex_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dex_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

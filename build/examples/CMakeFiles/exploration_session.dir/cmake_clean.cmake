@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exploration_session.dir/exploration_session.cpp.o"
+  "CMakeFiles/exploration_session.dir/exploration_session.cpp.o.d"
+  "exploration_session"
+  "exploration_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exploration_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

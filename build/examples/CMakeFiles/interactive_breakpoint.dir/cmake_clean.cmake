@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_breakpoint.dir/interactive_breakpoint.cpp.o"
+  "CMakeFiles/interactive_breakpoint.dir/interactive_breakpoint.cpp.o.d"
+  "interactive_breakpoint"
+  "interactive_breakpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_breakpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

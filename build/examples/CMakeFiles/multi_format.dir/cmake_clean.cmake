@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_format.dir/multi_format.cpp.o"
+  "CMakeFiles/multi_format.dir/multi_format.cpp.o.d"
+  "multi_format"
+  "multi_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/dex_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/dex_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/csvf/CMakeFiles/dex_csvf.dir/DependInfo.cmake"
+  "/root/repo/build/src/mseed/CMakeFiles/dex_mseed.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dex_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dex_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

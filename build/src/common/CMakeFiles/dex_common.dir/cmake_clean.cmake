@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dex_common.dir/logging.cc.o"
+  "CMakeFiles/dex_common.dir/logging.cc.o.d"
+  "CMakeFiles/dex_common.dir/status.cc.o"
+  "CMakeFiles/dex_common.dir/status.cc.o.d"
+  "CMakeFiles/dex_common.dir/string_utils.cc.o"
+  "CMakeFiles/dex_common.dir/string_utils.cc.o.d"
+  "CMakeFiles/dex_common.dir/time_utils.cc.o"
+  "CMakeFiles/dex_common.dir/time_utils.cc.o.d"
+  "CMakeFiles/dex_common.dir/types.cc.o"
+  "CMakeFiles/dex_common.dir/types.cc.o.d"
+  "CMakeFiles/dex_common.dir/value.cc.o"
+  "CMakeFiles/dex_common.dir/value.cc.o.d"
+  "libdex_common.a"
+  "libdex_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dex_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

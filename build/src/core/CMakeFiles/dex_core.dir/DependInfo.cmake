@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache_manager.cc" "src/core/CMakeFiles/dex_core.dir/cache_manager.cc.o" "gcc" "src/core/CMakeFiles/dex_core.dir/cache_manager.cc.o.d"
+  "/root/repo/src/core/coverage.cc" "src/core/CMakeFiles/dex_core.dir/coverage.cc.o" "gcc" "src/core/CMakeFiles/dex_core.dir/coverage.cc.o.d"
+  "/root/repo/src/core/database.cc" "src/core/CMakeFiles/dex_core.dir/database.cc.o" "gcc" "src/core/CMakeFiles/dex_core.dir/database.cc.o.d"
+  "/root/repo/src/core/derived_metadata.cc" "src/core/CMakeFiles/dex_core.dir/derived_metadata.cc.o" "gcc" "src/core/CMakeFiles/dex_core.dir/derived_metadata.cc.o.d"
+  "/root/repo/src/core/eager_loader.cc" "src/core/CMakeFiles/dex_core.dir/eager_loader.cc.o" "gcc" "src/core/CMakeFiles/dex_core.dir/eager_loader.cc.o.d"
+  "/root/repo/src/core/export.cc" "src/core/CMakeFiles/dex_core.dir/export.cc.o" "gcc" "src/core/CMakeFiles/dex_core.dir/export.cc.o.d"
+  "/root/repo/src/core/file_registry.cc" "src/core/CMakeFiles/dex_core.dir/file_registry.cc.o" "gcc" "src/core/CMakeFiles/dex_core.dir/file_registry.cc.o.d"
+  "/root/repo/src/core/format_adapter.cc" "src/core/CMakeFiles/dex_core.dir/format_adapter.cc.o" "gcc" "src/core/CMakeFiles/dex_core.dir/format_adapter.cc.o.d"
+  "/root/repo/src/core/informativeness.cc" "src/core/CMakeFiles/dex_core.dir/informativeness.cc.o" "gcc" "src/core/CMakeFiles/dex_core.dir/informativeness.cc.o.d"
+  "/root/repo/src/core/metadata_snapshot.cc" "src/core/CMakeFiles/dex_core.dir/metadata_snapshot.cc.o" "gcc" "src/core/CMakeFiles/dex_core.dir/metadata_snapshot.cc.o.d"
+  "/root/repo/src/core/mounter.cc" "src/core/CMakeFiles/dex_core.dir/mounter.cc.o" "gcc" "src/core/CMakeFiles/dex_core.dir/mounter.cc.o.d"
+  "/root/repo/src/core/plan_splitter.cc" "src/core/CMakeFiles/dex_core.dir/plan_splitter.cc.o" "gcc" "src/core/CMakeFiles/dex_core.dir/plan_splitter.cc.o.d"
+  "/root/repo/src/core/seismic_schema.cc" "src/core/CMakeFiles/dex_core.dir/seismic_schema.cc.o" "gcc" "src/core/CMakeFiles/dex_core.dir/seismic_schema.cc.o.d"
+  "/root/repo/src/core/two_stage.cc" "src/core/CMakeFiles/dex_core.dir/two_stage.cc.o" "gcc" "src/core/CMakeFiles/dex_core.dir/two_stage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/dex_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/dex_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/mseed/CMakeFiles/dex_mseed.dir/DependInfo.cmake"
+  "/root/repo/build/src/csvf/CMakeFiles/dex_csvf.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dex_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dex_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dex_core.dir/cache_manager.cc.o"
+  "CMakeFiles/dex_core.dir/cache_manager.cc.o.d"
+  "CMakeFiles/dex_core.dir/coverage.cc.o"
+  "CMakeFiles/dex_core.dir/coverage.cc.o.d"
+  "CMakeFiles/dex_core.dir/database.cc.o"
+  "CMakeFiles/dex_core.dir/database.cc.o.d"
+  "CMakeFiles/dex_core.dir/derived_metadata.cc.o"
+  "CMakeFiles/dex_core.dir/derived_metadata.cc.o.d"
+  "CMakeFiles/dex_core.dir/eager_loader.cc.o"
+  "CMakeFiles/dex_core.dir/eager_loader.cc.o.d"
+  "CMakeFiles/dex_core.dir/export.cc.o"
+  "CMakeFiles/dex_core.dir/export.cc.o.d"
+  "CMakeFiles/dex_core.dir/file_registry.cc.o"
+  "CMakeFiles/dex_core.dir/file_registry.cc.o.d"
+  "CMakeFiles/dex_core.dir/format_adapter.cc.o"
+  "CMakeFiles/dex_core.dir/format_adapter.cc.o.d"
+  "CMakeFiles/dex_core.dir/informativeness.cc.o"
+  "CMakeFiles/dex_core.dir/informativeness.cc.o.d"
+  "CMakeFiles/dex_core.dir/metadata_snapshot.cc.o"
+  "CMakeFiles/dex_core.dir/metadata_snapshot.cc.o.d"
+  "CMakeFiles/dex_core.dir/mounter.cc.o"
+  "CMakeFiles/dex_core.dir/mounter.cc.o.d"
+  "CMakeFiles/dex_core.dir/plan_splitter.cc.o"
+  "CMakeFiles/dex_core.dir/plan_splitter.cc.o.d"
+  "CMakeFiles/dex_core.dir/seismic_schema.cc.o"
+  "CMakeFiles/dex_core.dir/seismic_schema.cc.o.d"
+  "CMakeFiles/dex_core.dir/two_stage.cc.o"
+  "CMakeFiles/dex_core.dir/two_stage.cc.o.d"
+  "libdex_core.a"
+  "libdex_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dex_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

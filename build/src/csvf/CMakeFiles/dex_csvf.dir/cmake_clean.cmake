@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dex_csvf.dir/csv_format.cc.o"
+  "CMakeFiles/dex_csvf.dir/csv_format.cc.o.d"
+  "libdex_csvf.a"
+  "libdex_csvf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dex_csvf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dex_engine.dir/executor.cc.o"
+  "CMakeFiles/dex_engine.dir/executor.cc.o.d"
+  "CMakeFiles/dex_engine.dir/expr.cc.o"
+  "CMakeFiles/dex_engine.dir/expr.cc.o.d"
+  "CMakeFiles/dex_engine.dir/logical_plan.cc.o"
+  "CMakeFiles/dex_engine.dir/logical_plan.cc.o.d"
+  "CMakeFiles/dex_engine.dir/optimizer.cc.o"
+  "CMakeFiles/dex_engine.dir/optimizer.cc.o.d"
+  "libdex_engine.a"
+  "libdex_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dex_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

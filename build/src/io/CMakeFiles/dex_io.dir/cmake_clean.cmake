@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dex_io.dir/file_io.cc.o"
+  "CMakeFiles/dex_io.dir/file_io.cc.o.d"
+  "CMakeFiles/dex_io.dir/sim_disk.cc.o"
+  "CMakeFiles/dex_io.dir/sim_disk.cc.o.d"
+  "libdex_io.a"
+  "libdex_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dex_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

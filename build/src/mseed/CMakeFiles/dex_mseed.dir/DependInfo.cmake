@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mseed/generator.cc" "src/mseed/CMakeFiles/dex_mseed.dir/generator.cc.o" "gcc" "src/mseed/CMakeFiles/dex_mseed.dir/generator.cc.o.d"
+  "/root/repo/src/mseed/reader.cc" "src/mseed/CMakeFiles/dex_mseed.dir/reader.cc.o" "gcc" "src/mseed/CMakeFiles/dex_mseed.dir/reader.cc.o.d"
+  "/root/repo/src/mseed/record.cc" "src/mseed/CMakeFiles/dex_mseed.dir/record.cc.o" "gcc" "src/mseed/CMakeFiles/dex_mseed.dir/record.cc.o.d"
+  "/root/repo/src/mseed/scanner.cc" "src/mseed/CMakeFiles/dex_mseed.dir/scanner.cc.o" "gcc" "src/mseed/CMakeFiles/dex_mseed.dir/scanner.cc.o.d"
+  "/root/repo/src/mseed/steim.cc" "src/mseed/CMakeFiles/dex_mseed.dir/steim.cc.o" "gcc" "src/mseed/CMakeFiles/dex_mseed.dir/steim.cc.o.d"
+  "/root/repo/src/mseed/steim2.cc" "src/mseed/CMakeFiles/dex_mseed.dir/steim2.cc.o" "gcc" "src/mseed/CMakeFiles/dex_mseed.dir/steim2.cc.o.d"
+  "/root/repo/src/mseed/writer.cc" "src/mseed/CMakeFiles/dex_mseed.dir/writer.cc.o" "gcc" "src/mseed/CMakeFiles/dex_mseed.dir/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dex_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dex_mseed.dir/generator.cc.o"
+  "CMakeFiles/dex_mseed.dir/generator.cc.o.d"
+  "CMakeFiles/dex_mseed.dir/reader.cc.o"
+  "CMakeFiles/dex_mseed.dir/reader.cc.o.d"
+  "CMakeFiles/dex_mseed.dir/record.cc.o"
+  "CMakeFiles/dex_mseed.dir/record.cc.o.d"
+  "CMakeFiles/dex_mseed.dir/scanner.cc.o"
+  "CMakeFiles/dex_mseed.dir/scanner.cc.o.d"
+  "CMakeFiles/dex_mseed.dir/steim.cc.o"
+  "CMakeFiles/dex_mseed.dir/steim.cc.o.d"
+  "CMakeFiles/dex_mseed.dir/steim2.cc.o"
+  "CMakeFiles/dex_mseed.dir/steim2.cc.o.d"
+  "CMakeFiles/dex_mseed.dir/writer.cc.o"
+  "CMakeFiles/dex_mseed.dir/writer.cc.o.d"
+  "libdex_mseed.a"
+  "libdex_mseed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dex_mseed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dex_sql.dir/binder.cc.o"
+  "CMakeFiles/dex_sql.dir/binder.cc.o.d"
+  "CMakeFiles/dex_sql.dir/lexer.cc.o"
+  "CMakeFiles/dex_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/dex_sql.dir/parser.cc.o"
+  "CMakeFiles/dex_sql.dir/parser.cc.o.d"
+  "libdex_sql.a"
+  "libdex_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dex_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

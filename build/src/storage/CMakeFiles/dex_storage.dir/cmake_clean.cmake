@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dex_storage.dir/catalog.cc.o"
+  "CMakeFiles/dex_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/dex_storage.dir/column.cc.o"
+  "CMakeFiles/dex_storage.dir/column.cc.o.d"
+  "CMakeFiles/dex_storage.dir/hash_index.cc.o"
+  "CMakeFiles/dex_storage.dir/hash_index.cc.o.d"
+  "CMakeFiles/dex_storage.dir/schema.cc.o"
+  "CMakeFiles/dex_storage.dir/schema.cc.o.d"
+  "CMakeFiles/dex_storage.dir/table.cc.o"
+  "CMakeFiles/dex_storage.dir/table.cc.o.d"
+  "libdex_storage.a"
+  "libdex_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dex_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_mounter_test.dir/core_mounter_test.cc.o"
+  "CMakeFiles/core_mounter_test.dir/core_mounter_test.cc.o.d"
+  "core_mounter_test"
+  "core_mounter_test.pdb"
+  "core_mounter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_mounter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_refresh_test.dir/core_refresh_test.cc.o"
+  "CMakeFiles/core_refresh_test.dir/core_refresh_test.cc.o.d"
+  "core_refresh_test"
+  "core_refresh_test.pdb"
+  "core_refresh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_refresh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

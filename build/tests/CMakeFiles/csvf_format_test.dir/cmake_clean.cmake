@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csvf_format_test.dir/csvf_format_test.cc.o"
+  "CMakeFiles/csvf_format_test.dir/csvf_format_test.cc.o.d"
+  "csvf_format_test"
+  "csvf_format_test.pdb"
+  "csvf_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csvf_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_executor_test.dir/engine_executor_test.cc.o"
+  "CMakeFiles/engine_executor_test.dir/engine_executor_test.cc.o.d"
+  "engine_executor_test"
+  "engine_executor_test.pdb"
+  "engine_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_expr_test.dir/engine_expr_test.cc.o"
+  "CMakeFiles/engine_expr_test.dir/engine_expr_test.cc.o.d"
+  "engine_expr_test"
+  "engine_expr_test.pdb"
+  "engine_expr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

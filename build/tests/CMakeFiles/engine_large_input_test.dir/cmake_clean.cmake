@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_large_input_test.dir/engine_large_input_test.cc.o"
+  "CMakeFiles/engine_large_input_test.dir/engine_large_input_test.cc.o.d"
+  "engine_large_input_test"
+  "engine_large_input_test.pdb"
+  "engine_large_input_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_large_input_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

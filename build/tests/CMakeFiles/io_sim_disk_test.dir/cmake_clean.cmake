@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_sim_disk_test.dir/io_sim_disk_test.cc.o"
+  "CMakeFiles/io_sim_disk_test.dir/io_sim_disk_test.cc.o.d"
+  "io_sim_disk_test"
+  "io_sim_disk_test.pdb"
+  "io_sim_disk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_sim_disk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

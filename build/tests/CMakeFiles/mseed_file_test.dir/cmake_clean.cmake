@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mseed_file_test.dir/mseed_file_test.cc.o"
+  "CMakeFiles/mseed_file_test.dir/mseed_file_test.cc.o.d"
+  "mseed_file_test"
+  "mseed_file_test.pdb"
+  "mseed_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mseed_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

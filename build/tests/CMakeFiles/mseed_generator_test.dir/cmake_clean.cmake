@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mseed_generator_test.dir/mseed_generator_test.cc.o"
+  "CMakeFiles/mseed_generator_test.dir/mseed_generator_test.cc.o.d"
+  "mseed_generator_test"
+  "mseed_generator_test.pdb"
+  "mseed_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mseed_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

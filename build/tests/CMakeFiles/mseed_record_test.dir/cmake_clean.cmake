@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mseed_record_test.dir/mseed_record_test.cc.o"
+  "CMakeFiles/mseed_record_test.dir/mseed_record_test.cc.o.d"
+  "mseed_record_test"
+  "mseed_record_test.pdb"
+  "mseed_record_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mseed_record_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mseed_steim2_test.dir/mseed_steim2_test.cc.o"
+  "CMakeFiles/mseed_steim2_test.dir/mseed_steim2_test.cc.o.d"
+  "mseed_steim2_test"
+  "mseed_steim2_test.pdb"
+  "mseed_steim2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mseed_steim2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mseed_steim_test.dir/mseed_steim_test.cc.o"
+  "CMakeFiles/mseed_steim_test.dir/mseed_steim_test.cc.o.d"
+  "mseed_steim_test"
+  "mseed_steim_test.pdb"
+  "mseed_steim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mseed_steim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

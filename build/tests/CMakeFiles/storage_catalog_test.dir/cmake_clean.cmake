@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_catalog_test.dir/storage_catalog_test.cc.o"
+  "CMakeFiles/storage_catalog_test.dir/storage_catalog_test.cc.o.d"
+  "storage_catalog_test"
+  "storage_catalog_test.pdb"
+  "storage_catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_hash_index_test.dir/storage_hash_index_test.cc.o"
+  "CMakeFiles/storage_hash_index_test.dir/storage_hash_index_test.cc.o.d"
+  "storage_hash_index_test"
+  "storage_hash_index_test.pdb"
+  "storage_hash_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_hash_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
