@@ -1,5 +1,6 @@
 #include "core/database.h"
 
+#include <algorithm>
 #include <chrono>
 #include <unordered_set>
 
@@ -21,6 +22,10 @@ uint64_t NowNanos() {
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
+
+// Warnings copied into each QueryStats are bounded so a query over a rotten
+// repository cannot bloat its own result.
+constexpr size_t kMaxQueryWarnings = 32;
 
 }  // namespace
 
@@ -86,12 +91,16 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& repo_root,
   for (const mseed::FileMeta& f : scan.files) {
     DEX_RETURN_NOT_OK(db->registry_->Add(f.uri, f.size_bytes, f.mtime_ms));
     if (!parsed_all && parsed_uris.count(f.uri) == 0) continue;
-    // Scanning reads each file's header pages on the simulated medium.
+    // Scanning reads each file's header pages on the simulated medium. An
+    // injected I/O fault here must not abort Open: the metadata was already
+    // extracted, and the mount path will retry (and, if need be, quarantine)
+    // the file when a query actually wants its data.
     DEX_ASSIGN_OR_RETURN(FileRegistry::Entry entry, db->registry_->Get(f.uri));
-    DEX_RETURN_NOT_OK(db->disk_->Read(
+    Status header_read = db->disk_->Read(
         entry.object, 0,
         std::min<uint64_t>(entry.size_bytes,
-                           static_cast<uint64_t>(f.num_records + 1) * 64)));
+                           static_cast<uint64_t>(f.num_records + 1) * 64));
+    if (!header_read.ok() && !header_read.IsIOError()) return header_read;
   }
 
   if (options.mode == IngestionMode::kEager) {
@@ -114,6 +123,12 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& repo_root,
     DEX_RETURN_NOT_OK(db->catalog_->SyncStorageSize(kRecordTableName));
     auto d_table = std::make_shared<Table>(kDataTableName, MakeDataSchema());
     DEX_RETURN_NOT_OK(db->catalog_->AddTable(d_table, TableKind::kActual));
+    // File health is queryable like GAPS/OVERLAPS: an (initially empty)
+    // QUARANTINE metadata table, refreshed whenever mounting quarantines or
+    // rehabilitates a file.
+    DEX_ASSIGN_OR_RETURN(TablePtr q_table, db->registry_->BuildQuarantineTable());
+    DEX_RETURN_NOT_OK(db->catalog_->AddTable(q_table, TableKind::kMetadata));
+    DEX_RETURN_NOT_OK(db->catalog_->SyncStorageSize(kQuarantineTableName));
   }
   {
     DEX_ASSIGN_OR_RETURN(TablePtr f_table, db->catalog_->GetTable(kFileTableName));
@@ -125,9 +140,10 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& repo_root,
   if (options.collect_derived_metadata) {
     DEX_ASSIGN_OR_RETURN(db->derived_, DerivedMetadata::Create(db->catalog_.get()));
   }
-  db->mounter_ = std::make_unique<Mounter>(db->catalog_.get(), db->registry_.get(),
-                                           db->cache_.get(), db->derived_.get(),
-                                           db->format_.get());
+  db->mounter_ = std::make_unique<Mounter>(
+      db->catalog_.get(), db->registry_.get(), db->cache_.get(),
+      db->derived_.get(), db->format_.get(), options.two_stage.on_mount_error,
+      options.two_stage.retry);
   db->two_stage_ = std::make_unique<TwoStageExecutor>(
       db->catalog_.get(), db->registry_.get(), db->cache_.get(),
       db->mounter_.get(), db->derived_.get(), options.two_stage);
@@ -135,11 +151,27 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& repo_root,
   return db;
 }
 
+Status Database::SyncQuarantineTable() {
+  if (options_.mode != IngestionMode::kLazy ||
+      registry_->health_version() == quarantine_table_version_) {
+    return Status::OK();
+  }
+  DEX_ASSIGN_OR_RETURN(TablePtr q_table, registry_->BuildQuarantineTable());
+  DEX_RETURN_NOT_OK(catalog_->ReplaceTable(std::move(q_table)));
+  quarantine_table_version_ = registry_->health_version();
+  return Status::OK();
+}
+
 Result<QueryResult> Database::RunQuery(const std::string& sql,
                                        const BreakpointCallback& callback) {
+  // Fold any out-of-band health changes (quarantines from a prior query,
+  // rehabilitations via Refresh/Update) into the queryable QUARANTINE table
+  // before this query plans against it.
+  DEX_RETURN_NOT_OK(SyncQuarantineTable());
   QueryResult out;
   const uint64_t sim0 = disk_->stats().sim_nanos;
   const auto mount0 = mounter_->counters();
+  const size_t warn0 = mounter_->warnings().size();
 
   const uint64_t t0 = NowNanos();
   DEX_ASSIGN_OR_RETURN(PlanPtr plan, sql::PlanQuery(sql, *catalog_));
@@ -167,6 +199,32 @@ Result<QueryResult> Database::RunQuery(const std::string& sql,
   out.stats.mount.records_decoded = mount1.records_decoded - mount0.records_decoded;
   out.stats.mount.samples_decoded = mount1.samples_decoded - mount0.samples_decoded;
   out.stats.mount.bytes_read = mount1.bytes_read - mount0.bytes_read;
+  out.stats.mount.read_retries = mount1.read_retries - mount0.read_retries;
+  out.stats.mount.files_failed = mount1.files_failed - mount0.files_failed;
+  out.stats.mount.files_skipped = mount1.files_skipped - mount0.files_skipped;
+  out.stats.mount.records_salvaged =
+      mount1.records_salvaged - mount0.records_salvaged;
+  out.stats.mount.records_skipped =
+      mount1.records_skipped - mount0.records_skipped;
+  out.stats.read_retries = out.stats.mount.read_retries;
+  out.stats.files_failed = out.stats.mount.files_failed;
+  out.stats.files_skipped = out.stats.mount.files_skipped;
+  out.stats.records_salvaged = out.stats.mount.records_salvaged;
+  out.stats.records_skipped = out.stats.mount.records_skipped;
+
+  // This query's slice of the mounter's warning stream, bounded.
+  const std::vector<std::string>& all_warnings = mounter_->warnings();
+  const size_t new_warnings = all_warnings.size() - warn0;
+  const size_t copied = std::min(new_warnings, kMaxQueryWarnings);
+  out.stats.warnings.assign(all_warnings.begin() + warn0,
+                            all_warnings.begin() + warn0 + copied);
+  if (copied < new_warnings) {
+    out.stats.warnings.push_back("(" + std::to_string(new_warnings - copied) +
+                                 " more warnings dropped)");
+  }
+
+  // Quarantines that happened while mounting become visible immediately.
+  DEX_RETURN_NOT_OK(SyncQuarantineTable());
   return out;
 }
 

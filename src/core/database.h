@@ -90,6 +90,19 @@ struct QueryStats {
   Mounter::MountCounters mount; // decode work done by ALi
   uint64_t result_rows = 0;
 
+  // Fault tolerance (kLazy; mirrors the per-query slice of
+  // Mounter::MountCounters for direct access).
+  uint64_t read_retries = 0;      // transient read failures absorbed by backoff
+  uint64_t files_failed = 0;      // permanent read failures → quarantined
+  uint64_t files_skipped = 0;     // corrupt files dropped whole (kSkipFile)
+  uint64_t records_salvaged = 0;  // records recovered past corruption
+  uint64_t records_skipped = 0;   // corrupt records dropped (kSalvage)
+
+  /// Human-readable degradation notices for this query: retries exhausted,
+  /// files quarantined or skipped, records dropped. Bounded; a final entry
+  /// notes how many were dropped when the bound is hit.
+  std::vector<std::string> warnings;
+
   /// Reported query time: measured CPU + simulated I/O.
   double TotalSeconds() const {
     return static_cast<double>(plan_nanos + exec_nanos + sim_io_nanos) / 1e9;
@@ -177,6 +190,9 @@ class Database {
   Result<QueryResult> RunQuery(const std::string& sql,
                                const BreakpointCallback& callback);
 
+  /// Rebuilds the QUARANTINE metadata table if registry health changed.
+  Status SyncQuarantineTable();
+
   DatabaseOptions options_;
   std::string repo_root_;
   std::shared_ptr<FormatAdapter> format_;
@@ -188,6 +204,8 @@ class Database {
   std::unique_ptr<Mounter> mounter_;
   std::unique_ptr<TwoStageExecutor> two_stage_;
   OpenStats open_stats_;
+  // Registry health version the QUARANTINE metadata table last reflected.
+  uint64_t quarantine_table_version_ = 0;
 };
 
 }  // namespace dex

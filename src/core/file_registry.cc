@@ -2,13 +2,23 @@
 
 namespace dex {
 
+SchemaPtr MakeQuarantineSchema() {
+  auto s = std::make_shared<Schema>();
+  const std::string q = kQuarantineTableName;
+  s->AddField({"uri", DataType::kString, q});
+  s->AddField({"reason", DataType::kString, q});
+  s->AddField({"transient_errors", DataType::kInt64, q});
+  s->AddField({"failed_reads", DataType::kInt64, q});
+  return s;
+}
+
 Status FileRegistry::Add(const std::string& uri, uint64_t size_bytes,
                          int64_t mtime_ms) {
   if (entries_.count(uri) > 0) {
     return Status::AlreadyExists("file '" + uri + "' already registered");
   }
   Entry e;
-  e.object = disk_->Register("file:" + uri, size_bytes);
+  e.object = disk_->Register("file:" + uri, size_bytes, /*fault_injectable=*/true);
   e.size_bytes = size_bytes;
   e.mtime_ms = mtime_ms;
   entries_.emplace(uri, e);
@@ -26,6 +36,9 @@ Status FileRegistry::Update(const std::string& uri, uint64_t size_bytes,
   DEX_RETURN_NOT_OK(disk_->Resize(it->second.object, size_bytes));
   it->second.size_bytes = size_bytes;
   it->second.mtime_ms = mtime_ms;
+  // The file changed on disk: give it a fresh chance (the operator may have
+  // replaced a broken file with a repaired copy).
+  Unquarantine(uri);
   return Status::OK();
 }
 
@@ -42,10 +55,58 @@ Status FileRegistry::ChargeFileRead(const std::string& uri) const {
   return disk_->ReadAll(e.object);
 }
 
+void FileRegistry::RecordTransientError(const std::string& uri,
+                                        const std::string& error) {
+  Health& h = health_[uri];
+  ++h.transient_errors;
+  h.last_error = error;
+  ++health_version_;
+}
+
+void FileRegistry::Quarantine(const std::string& uri, const std::string& reason) {
+  Health& h = health_[uri];
+  ++h.failed_reads;
+  h.last_error = reason;
+  if (!h.quarantined) {
+    h.quarantined = true;
+    ++num_quarantined_;
+  }
+  ++health_version_;
+}
+
+void FileRegistry::Unquarantine(const std::string& uri) {
+  auto it = health_.find(uri);
+  if (it == health_.end() || !it->second.quarantined) return;
+  it->second.quarantined = false;
+  it->second.failed_reads = 0;
+  --num_quarantined_;
+  ++health_version_;
+}
+
+bool FileRegistry::IsQuarantined(const std::string& uri) const {
+  auto it = health_.find(uri);
+  return it != health_.end() && it->second.quarantined;
+}
+
+Result<TablePtr> FileRegistry::BuildQuarantineTable() const {
+  auto table = std::make_shared<Table>(kQuarantineTableName,
+                                       MakeQuarantineSchema());
+  for (const auto& [uri, h] : health_) {
+    if (!h.quarantined) continue;
+    DEX_RETURN_NOT_OK(table->AppendRow(
+        {Value::String(uri), Value::String(h.last_error),
+         Value::Int64(static_cast<int64_t>(h.transient_errors)),
+         Value::Int64(static_cast<int64_t>(h.failed_reads))}));
+  }
+  return table;
+}
+
 std::vector<std::string> FileRegistry::AllUris() const {
   std::vector<std::string> out;
   out.reserve(entries_.size());
-  for (const auto& [uri, entry] : entries_) out.push_back(uri);
+  for (const auto& [uri, entry] : entries_) {
+    if (!IsQuarantined(uri)) out.push_back(uri);
+  }
   return out;
 }
 

@@ -8,8 +8,17 @@
 
 #include "common/result.h"
 #include "io/sim_disk.h"
+#include "storage/table.h"
 
 namespace dex {
+
+/// Derived metadata table listing quarantined repository files (one row per
+/// file), registered in the catalog alongside GAPS/OVERLAPS so the explorer
+/// can inspect failures in SQL:
+///   QUARANTINE(uri, reason, transient_errors, failed_reads)
+inline constexpr const char* kQuarantineTableName = "QUARANTINE";
+
+SchemaPtr MakeQuarantineSchema();
 
 /// \brief Maps repository file URIs to their SimDisk storage objects.
 ///
@@ -17,6 +26,13 @@ namespace dex {
 /// simulated I/O for the bytes they pull, and so "all available files"
 /// is a well-defined set when a query references actual data without any
 /// metadata restriction.
+///
+/// The registry also tracks per-file health: reads that failed transiently
+/// (and were absorbed by retry) and files that failed permanently. A
+/// permanently failing file is *quarantined* — removed from every future
+/// files-of-interest set until the repository operator repairs it — so one
+/// bad disk sector cannot keep failing queries over the other thousand
+/// files.
 class FileRegistry {
  public:
   explicit FileRegistry(SimDisk* disk) : disk_(disk) {}
@@ -25,6 +41,13 @@ class FileRegistry {
     ObjectId object = kInvalidObjectId;
     uint64_t size_bytes = 0;
     int64_t mtime_ms = 0;
+  };
+
+  struct Health {
+    uint64_t transient_errors = 0;  // failed reads later absorbed by retry
+    uint64_t failed_reads = 0;      // reads still failing after retry
+    bool quarantined = false;
+    std::string last_error;
   };
 
   Status Add(const std::string& uri, uint64_t size_bytes, int64_t mtime_ms);
@@ -38,16 +61,42 @@ class FileRegistry {
   /// simulated medium).
   Status ChargeFileRead(const std::string& uri) const;
 
-  /// All registered URIs in sorted order.
+  // -- Per-file health ----------------------------------------------------
+
+  /// Notes a read of `uri` that failed but will be (or was) retried.
+  void RecordTransientError(const std::string& uri, const std::string& error);
+
+  /// Quarantines `uri`: it is dropped from AllUris() and callers are
+  /// expected to exclude it from files-of-interest sets. Idempotent.
+  void Quarantine(const std::string& uri, const std::string& reason);
+
+  /// Lifts a quarantine (e.g. after Refresh() observed the file change).
+  void Unquarantine(const std::string& uri);
+
+  bool IsQuarantined(const std::string& uri) const;
+  size_t num_quarantined() const { return num_quarantined_; }
+
+  /// Monotonic counter bumped on every health change; lets the database
+  /// refresh the QUARANTINE metadata table only when something happened.
+  uint64_t health_version() const { return health_version_; }
+
+  /// Builds the QUARANTINE table (one row per quarantined file).
+  Result<TablePtr> BuildQuarantineTable() const;
+
+  /// All registered, non-quarantined URIs in sorted order.
   std::vector<std::string> AllUris() const;
 
   size_t size() const { return entries_.size(); }
   uint64_t total_bytes() const { return total_bytes_; }
+  SimDisk* disk() const { return disk_; }
 
  private:
   SimDisk* disk_;
   std::map<std::string, Entry> entries_;
+  std::map<std::string, Health> health_;
   uint64_t total_bytes_ = 0;
+  size_t num_quarantined_ = 0;
+  uint64_t health_version_ = 0;
 };
 
 }  // namespace dex

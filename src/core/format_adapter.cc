@@ -18,6 +18,11 @@ Result<std::vector<mseed::DecodedRecord>> MseedAdapter::ReadAllRecords(
   return mseed::Reader::ReadAllRecords(uri);
 }
 
+Result<std::vector<mseed::DecodedRecord>> MseedAdapter::ReadAllRecordsSalvage(
+    const std::string& uri, mseed::SalvageReport* report) {
+  return mseed::Reader::ReadAllRecordsSalvage(uri, report);
+}
+
 std::string CsvAdapter::file_extension() const { return csvf::kCsvExtension; }
 
 Result<mseed::ScanResult> CsvAdapter::ScanRepository(const std::string& root) {

@@ -47,6 +47,17 @@ class FormatAdapter {
   /// Fully extracts one file — the expensive step a mount performs.
   virtual Result<std::vector<mseed::DecodedRecord>> ReadAllRecords(
       const std::string& uri) = 0;
+
+  /// Fault-tolerant extraction: recover every decodable record from a
+  /// damaged file, describing losses in `report` instead of failing. The
+  /// default falls back to the strict reader (all-or-nothing), so formats
+  /// without record-level resynchronization still work under the kSalvage
+  /// mount policy — they just degrade at file granularity.
+  virtual Result<std::vector<mseed::DecodedRecord>> ReadAllRecordsSalvage(
+      const std::string& uri, mseed::SalvageReport* report) {
+    if (report != nullptr) *report = mseed::SalvageReport{};
+    return ReadAllRecords(uri);
+  }
 };
 
 /// \brief Adapter for the binary mSEED-style format (Steim1-compressed).
@@ -58,6 +69,8 @@ class MseedAdapter : public FormatAdapter {
   Result<mseed::ScanResult> ScanFile(const std::string& uri) override;
   Result<std::vector<mseed::DecodedRecord>> ReadAllRecords(
       const std::string& uri) override;
+  Result<std::vector<mseed::DecodedRecord>> ReadAllRecordsSalvage(
+      const std::string& uri, mseed::SalvageReport* report) override;
 };
 
 /// \brief Adapter for the plain-text time-series CSV format (src/csvf).

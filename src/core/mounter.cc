@@ -1,5 +1,7 @@
 #include "core/mounter.h"
 
+#include <cmath>
+
 #include "core/informativeness.h"
 #include "core/seismic_schema.h"
 #include "engine/batch.h"
@@ -7,6 +9,37 @@
 #include "mseed/reader.h"
 
 namespace dex {
+
+namespace {
+
+// Warnings surface in QueryStats; keep the mounter-lifetime buffer bounded
+// so a pathological repository cannot grow it without limit.
+constexpr size_t kMaxMounterWarnings = 256;
+
+}  // namespace
+
+void Mounter::AddWarning(std::string msg) {
+  if (warnings_.size() < kMaxMounterWarnings) {
+    warnings_.push_back(std::move(msg));
+  } else {
+    ++warnings_dropped_;
+  }
+}
+
+Status Mounter::ChargeReadWithRetry(const std::string& uri) {
+  Status io = registry_->ChargeFileRead(uri);
+  double backoff_ms = retry_.backoff_base_millis;
+  for (int attempt = 0; !io.ok() && io.IsIOError() && attempt < retry_.max_retries;
+       ++attempt) {
+    registry_->RecordTransientError(uri, io.message());
+    // Backoff is simulated wall time the query spends waiting on the medium.
+    registry_->disk()->ChargeDelay(static_cast<uint64_t>(backoff_ms * 1e6));
+    backoff_ms *= retry_.backoff_multiplier;
+    ++counters_.read_retries;
+    io = registry_->ChargeFileRead(uri);
+  }
+  return io;
+}
 
 Result<TablePtr> Mounter::Mount(const std::string& table_name,
                                 const std::string& uri,
@@ -16,20 +49,64 @@ Result<TablePtr> Mounter::Mount(const std::string& table_name,
                                   table_name + "'");
   }
   DEX_ASSIGN_OR_RETURN(FileRegistry::Entry entry, registry_->Get(uri));
-  // Charge the simulated medium for pulling the file's bytes.
-  DEX_RETURN_NOT_OK(registry_->ChargeFileRead(uri));
+
+  // Charge the simulated medium for pulling the file's bytes, absorbing
+  // transient faults with exponential backoff.
+  Status io = ChargeReadWithRetry(uri);
+  if (!io.ok()) {
+    if (!io.IsIOError() || on_error_ == OnMountError::kFail) {
+      return io.WithContext("mounting '" + uri + "'");
+    }
+    // Permanent read failure: quarantine the file so it never re-enters a
+    // files-of-interest set, and degrade to an empty partial table so the
+    // query still returns every healthy file's rows.
+    ++counters_.files_failed;
+    registry_->Quarantine(uri, io.message());
+    AddWarning("mount of '" + uri + "' failed after " +
+               std::to_string(retry_.max_retries) + " retries: " + io.message() +
+               " (file quarantined)");
+    return std::make_shared<Table>(table_name, MakeDataSchema());
+  }
 
   // Extract: parse headers and decode every record (real work), through
   // the repository's format adapter.
-  auto records = format_->ReadAllRecords(uri);
-  if (!records.ok()) {
-    return records.status().WithContext("mounting '" + uri + "'");
+  std::vector<mseed::DecodedRecord> decoded;
+  mseed::SalvageReport salvage;
+  if (on_error_ == OnMountError::kSalvage) {
+    auto records = format_->ReadAllRecordsSalvage(uri, &salvage);
+    if (!records.ok()) {
+      // Even the salvaging reader could not deliver the file's bytes.
+      ++counters_.files_failed;
+      registry_->Quarantine(uri, records.status().message());
+      AddWarning("salvage of '" + uri +
+                 "' failed: " + records.status().ToString() +
+                 " (file quarantined)");
+      return std::make_shared<Table>(table_name, MakeDataSchema());
+    }
+    decoded = std::move(*records);
+    counters_.records_salvaged += salvage.records_salvaged;
+    counters_.records_skipped += salvage.records_skipped;
+    for (const std::string& w : salvage.warnings) AddWarning(w);
+  } else {
+    auto records = format_->ReadAllRecords(uri);
+    if (!records.ok()) {
+      if (on_error_ == OnMountError::kFail) {
+        return records.status().WithContext("mounting '" + uri + "'");
+      }
+      // kSkipFile: drop the corrupt file whole. Not quarantined — the bytes
+      // are still deliverable, the kSalvage policy could recover from them.
+      ++counters_.files_skipped;
+      AddWarning("skipping corrupt file '" + uri +
+                 "': " + records.status().ToString());
+      return std::make_shared<Table>(table_name, MakeDataSchema());
+    }
+    decoded = std::move(*records);
   }
 
   // Transform: comply with the D schema.
   auto table = std::make_shared<Table>(table_name, MakeDataSchema());
-  for (size_t i = 0; i < records->size(); ++i) {
-    const mseed::DecodedRecord& rec = (*records)[i];
+  for (size_t i = 0; i < decoded.size(); ++i) {
+    const mseed::DecodedRecord& rec = decoded[i];
     DEX_RETURN_NOT_OK(AppendSamplesToDataTable(uri, static_cast<int64_t>(i), rec,
                                                table.get()));
     counters_.records_decoded += 1;
@@ -37,7 +114,7 @@ Result<TablePtr> Mounter::Mount(const std::string& table_name,
     if (derived_ != nullptr) {
       DEX_RETURN_NOT_OK(derived_->RecordMounted(
           uri, static_cast<int64_t>(i), rec,
-          static_cast<uint32_t>(records->size())));
+          static_cast<uint32_t>(decoded.size())));
     }
   }
   counters_.mounts += 1;
@@ -70,8 +147,10 @@ Result<TablePtr> Mounter::Mount(const std::string& table_name,
   }
 
   // Offer the mounted data to the cache. File-granular caches want the whole
-  // file; tuple-granular caches store exactly what the selection kept.
-  if (cache_ != nullptr) {
+  // file; tuple-granular caches store exactly what the selection kept. A
+  // salvaged file with losses is never cached: its mounted content is not
+  // the file's full content, and the file may yet be repaired.
+  if (cache_ != nullptr && salvage.records_skipped == 0) {
     const int64_t mtime = FileMtimeMillis(uri).ValueOr(entry.mtime_ms);
     if (cache_->options().granularity == CacheGranularity::kFile) {
       cache_->Insert(uri, "", mtime, table);

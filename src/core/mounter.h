@@ -2,6 +2,7 @@
 #define DEX_CORE_MOUNTER_H_
 
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "core/cache_manager.h"
@@ -12,6 +13,27 @@
 #include "storage/catalog.h"
 
 namespace dex {
+
+/// \brief What to do when a file of interest cannot be mounted cleanly.
+///
+/// The repository is a real-world file dump: reads fail, records rot. A
+/// production system serving a 1000-file query cannot drop 997 good files
+/// because 3 are bad, so the default degrades gracefully.
+enum class OnMountError {
+  kFail,      // strict: the first bad file fails the whole query
+  kSkipFile,  // drop unreadable/corrupt files, keep the rest of the result
+  kSalvage,   // like kSkipFile, but additionally recover every decodable
+              // record from corrupt files (record-level resynchronization)
+};
+
+/// \brief Retry policy for transiently failing file reads. Backoff time is
+/// charged to the simulated medium, so retry overhead shows up in
+/// QueryStats::sim_io_nanos like any other I/O stall.
+struct MountRetryPolicy {
+  int max_retries = 3;               // retry attempts after the first failure
+  double backoff_base_millis = 2.0;  // first backoff; doubles per retry
+  double backoff_multiplier = 2.0;
+};
 
 /// \brief Implements the mount access path: "extracts, transforms (to comply
 /// with database schema) and ingests actual data from individual external
@@ -27,19 +49,34 @@ class Mounter {
     uint64_t records_decoded = 0;
     uint64_t samples_decoded = 0;
     uint64_t bytes_read = 0;
+    // Fault tolerance.
+    uint64_t read_retries = 0;      // transient read failures retried
+    uint64_t files_failed = 0;      // reads failing after all retries (quarantined)
+    uint64_t files_skipped = 0;     // corrupt files dropped whole (kSkipFile)
+    uint64_t records_salvaged = 0;  // records recovered past corruption
+    uint64_t records_skipped = 0;   // corrupt records dropped (kSalvage)
   };
 
   Mounter(Catalog* catalog, FileRegistry* registry, CacheManager* cache,
-          DerivedMetadata* derived, FormatAdapter* format)
+          DerivedMetadata* derived, FormatAdapter* format,
+          OnMountError on_error = OnMountError::kSalvage,
+          MountRetryPolicy retry = MountRetryPolicy{})
       : catalog_(catalog),
         registry_(registry),
         cache_(cache),
         derived_(derived),
-        format_(format) {}
+        format_(format),
+        on_error_(on_error),
+        retry_(retry) {}
 
   /// Mounts `uri` as a partial `table_name` table. When `fused_predicate` is
   /// non-null, only satisfying tuples are returned (combined select-mount);
   /// the cache is offered the data either way, tagged with the predicate.
+  ///
+  /// Under kSkipFile/kSalvage a permanently failing or unsalvageable file
+  /// yields an *empty* partial table (plus health bookkeeping and a warning)
+  /// instead of an error, so the enclosing union still returns every healthy
+  /// file's rows.
   Result<TablePtr> Mount(const std::string& table_name, const std::string& uri,
                          const ExprPtr& fused_predicate);
 
@@ -50,13 +87,30 @@ class Mounter {
   const MountCounters& counters() const { return counters_; }
   void ResetCounters() { counters_ = MountCounters{}; }
 
+  /// Warnings accumulated across mounts (bounded; per-query slices are
+  /// carved out by the database layer via warnings().size() snapshots).
+  const std::vector<std::string>& warnings() const { return warnings_; }
+
+  OnMountError on_mount_error() const { return on_error_; }
+
  private:
+  /// Reads the file's bytes off the simulated medium, absorbing transient
+  /// faults with exponential backoff. Non-OK only when the failure survived
+  /// every retry (a permanent fault) or is not an I/O fault at all.
+  Status ChargeReadWithRetry(const std::string& uri);
+
+  void AddWarning(std::string msg);
+
   Catalog* catalog_;
   FileRegistry* registry_;
   CacheManager* cache_;
   DerivedMetadata* derived_;  // may be null (collection disabled)
   FormatAdapter* format_;
+  OnMountError on_error_;
+  MountRetryPolicy retry_;
   MountCounters counters_;
+  std::vector<std::string> warnings_;
+  uint64_t warnings_dropped_ = 0;
 };
 
 }  // namespace dex

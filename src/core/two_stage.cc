@@ -1,5 +1,6 @@
 #include "core/two_stage.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <functional>
@@ -242,7 +243,20 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
     DEX_ASSIGN_OR_RETURN(files, FilesOfInterest(qf_result));
   } else {
     // Without metadata restriction every available file is "relevant".
+    // (AllUris already excludes quarantined files.)
     files = registry_->AllUris();
+  }
+  // Quarantined files can never be mounted; drop them from the files of
+  // interest before planning so a permanently bad file is skipped for free
+  // instead of failing (or stalling) every query that touches its stream.
+  {
+    const size_t before = files.size();
+    files.erase(std::remove_if(files.begin(), files.end(),
+                               [this](const std::string& uri) {
+                                 return registry_->IsQuarantined(uri);
+                               }),
+                files.end());
+    stats->files_quarantined = before - files.size();
   }
   stats->files_of_interest = files.size();
 

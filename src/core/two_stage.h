@@ -34,6 +34,15 @@ struct TwoStageOptions {
   /// the query's bounds on sample_value (§5 "Extending metadata").
   bool use_derived_pruning = false;
 
+  /// What to do when a file of interest cannot be mounted cleanly: fail the
+  /// query (the strict pre-fault-tolerance behavior), skip the file, or
+  /// salvage every decodable record from it (default). See OnMountError.
+  OnMountError on_mount_error = OnMountError::kSalvage;
+
+  /// Retry/backoff for transiently failing file reads; backoff is charged
+  /// as simulated I/O time.
+  MountRetryPolicy retry;
+
   InformativenessModel model;
 };
 
@@ -55,6 +64,7 @@ struct TwoStageStats {
   size_t files_planned_mount = 0;
   size_t files_planned_cache = 0;
   size_t files_pruned = 0;
+  size_t files_quarantined = 0;  // files of interest dropped as quarantined
   ExecStats exec;
   BreakpointInfo breakpoint;
   bool breakpoint_evaluated = false;

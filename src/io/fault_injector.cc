@@ -1,0 +1,34 @@
+#include "io/fault_injector.h"
+
+#include <cmath>
+
+namespace dex {
+
+FaultInjector::ReadFault FaultInjector::OnDiskRead(uint32_t object) {
+  ReadFault out;
+  ++stats_.reads_seen;
+  if (permanent_.count(object) > 0) {
+    out.fail = true;
+    out.permanent = true;
+    ++stats_.permanent_faults;
+    return out;
+  }
+  if (options_.transient_error_rate > 0.0 &&
+      rng_.NextBool(options_.transient_error_rate)) {
+    out.fail = true;
+    ++stats_.transient_faults;
+  }
+  if (options_.latency_spike_rate > 0.0 &&
+      rng_.NextBool(options_.latency_spike_rate)) {
+    // Exponentially distributed spike around the configured mean; clamp the
+    // uniform draw away from 1.0 so the log stays finite.
+    const double u = std::min(rng_.NextDouble(), 0.999999);
+    const double spike_ms = -options_.latency_spike_millis * std::log(1.0 - u);
+    out.extra_latency_nanos = static_cast<uint64_t>(spike_ms * 1e6);
+    ++stats_.latency_spikes;
+    stats_.spike_nanos += out.extra_latency_nanos;
+  }
+  return out;
+}
+
+}  // namespace dex

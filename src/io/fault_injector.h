@@ -1,0 +1,95 @@
+#ifndef DEX_IO_FAULT_INJECTOR_H_
+#define DEX_IO_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+
+#include "common/random.h"
+
+namespace dex {
+
+/// \brief Deterministic, seed-driven I/O fault injection for the simulated
+/// storage medium.
+///
+/// Real scientific repositories sit on flaky spinning disks and NFS mounts:
+/// reads fail transiently, individual files go permanently bad, and latency
+/// spikes dwarf the average seek. `SimDisk` consults an injector on every
+/// read of a fault-injectable object (repository files; catalog storage is
+/// exempt) so every failure scenario in tests and benchmarks is reproducible
+/// from a seed:
+///
+///  - *transient* faults: each disk-touching read fails with probability
+///    `transient_error_rate`; an immediate retry draws a fresh outcome —
+///    this is what the Mounter's retry/backoff loop absorbs;
+///  - *permanent* faults: objects in the failure set fail every read until
+///    healed — this is what drives file quarantine;
+///  - *latency spikes*: with probability `latency_spike_rate` a read is
+///    charged an extra exponentially distributed simulated delay.
+///
+/// All randomness flows through one seeded PRNG, so a fixed (seed, call
+/// sequence) pair replays the identical fault schedule.
+class FaultInjector {
+ public:
+  struct Options {
+    uint64_t seed = 0;
+    /// Probability that a read which touches the disk fails with kIOError.
+    double transient_error_rate = 0.0;
+    /// Probability of an injected latency spike on a disk-touching read.
+    double latency_spike_rate = 0.0;
+    /// Mean of the exponentially distributed spike duration.
+    double latency_spike_millis = 50.0;
+
+    bool active() const {
+      return transient_error_rate > 0.0 || latency_spike_rate > 0.0;
+    }
+  };
+
+  struct Stats {
+    uint64_t reads_seen = 0;        // injectable disk reads evaluated
+    uint64_t transient_faults = 0;  // reads failed transiently
+    uint64_t permanent_faults = 0;  // reads failed against the failure set
+    uint64_t latency_spikes = 0;
+    uint64_t spike_nanos = 0;       // total injected delay
+  };
+
+  /// Outcome of one read attempt. `extra_latency_nanos` is charged by the
+  /// caller whether or not the read also fails.
+  struct ReadFault {
+    bool fail = false;
+    bool permanent = false;
+    uint64_t extra_latency_nanos = 0;
+  };
+
+  FaultInjector() : FaultInjector(Options{}) {}
+  explicit FaultInjector(const Options& options)
+      : options_(options), rng_(options.seed) {}
+
+  /// Adds `object` (a SimDisk ObjectId) to the permanent failure set.
+  void FailObject(uint32_t object) { permanent_.insert(object); }
+
+  /// Removes `object` from the permanent failure set (the file was repaired
+  /// or the medium recovered).
+  void HealObject(uint32_t object) { permanent_.erase(object); }
+
+  bool IsFailed(uint32_t object) const { return permanent_.count(object) > 0; }
+
+  bool has_permanent_faults() const { return !permanent_.empty(); }
+
+  /// Draws the fate of one disk-touching read of `object`. Deterministic in
+  /// the injector's call sequence.
+  ReadFault OnDiskRead(uint32_t object);
+
+  const Options& options() const { return options_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Options options_;
+  Random rng_;
+  std::unordered_set<uint32_t> permanent_;
+  Stats stats_;
+};
+
+}  // namespace dex
+
+#endif  // DEX_IO_FAULT_INJECTOR_H_

@@ -17,6 +17,7 @@ struct IoStats {
   uint64_t bytes_written = 0;
   uint64_t seeks = 0;              // contiguous miss runs
   uint64_t sim_nanos = 0;          // simulated elapsed I/O time
+  uint64_t read_faults = 0;        // injected read failures (see FaultInjector)
 
   IoStats& operator+=(const IoStats& o) {
     disk_bytes_read += o.disk_bytes_read;
@@ -24,6 +25,7 @@ struct IoStats {
     bytes_written += o.bytes_written;
     seeks += o.seeks;
     sim_nanos += o.sim_nanos;
+    read_faults += o.read_faults;
     return *this;
   }
 
@@ -35,6 +37,7 @@ struct IoStats {
     d.bytes_written = bytes_written - earlier.bytes_written;
     d.seeks = seeks - earlier.seeks;
     d.sim_nanos = sim_nanos - earlier.sim_nanos;
+    d.read_faults = read_faults - earlier.read_faults;
     return d;
   }
 

@@ -8,24 +8,29 @@
 namespace dex {
 
 std::string IoStats::ToString() const {
-  return "disk_read=" + FormatBytes(disk_bytes_read) +
-         " cached_read=" + FormatBytes(cached_bytes_read) +
-         " written=" + FormatBytes(bytes_written) + " seeks=" +
-         std::to_string(seeks) + " sim_time=" +
-         std::to_string(sim_nanos / 1000000.0) + "ms";
+  std::string out = "disk_read=" + FormatBytes(disk_bytes_read) +
+                    " cached_read=" + FormatBytes(cached_bytes_read) +
+                    " written=" + FormatBytes(bytes_written) + " seeks=" +
+                    std::to_string(seeks) + " sim_time=" +
+                    std::to_string(sim_nanos / 1000000.0) + "ms";
+  if (read_faults > 0) out += " faults=" + std::to_string(read_faults);
+  return out;
 }
 
-SimDisk::SimDisk(const Options& options) : options_(options) {
+SimDisk::SimDisk(const Options& options)
+    : options_(options), injector_(options.faults) {
   DEX_CHECK_GT(options_.page_bytes, 0u);
   objects_.emplace_back();  // slot 0 = kInvalidObjectId
   max_pages_ = std::max<uint64_t>(1, options_.buffer_pool_bytes / options_.page_bytes);
 }
 
-ObjectId SimDisk::Register(const std::string& name, uint64_t size) {
+ObjectId SimDisk::Register(const std::string& name, uint64_t size,
+                           bool fault_injectable) {
   Object obj;
   obj.name = name;
   obj.size = size;
   obj.live = true;
+  obj.fault_injectable = fault_injectable;
   objects_.push_back(std::move(obj));
   return static_cast<ObjectId>(objects_.size() - 1);
 }
@@ -106,6 +111,34 @@ Status SimDisk::Read(ObjectId id, uint64_t offset, uint64_t length) {
   }
   const uint64_t first = offset / options_.page_bytes;
   const uint64_t last = (offset + length - 1) / options_.page_bytes;
+
+  // Fault injection point: a read that would touch the physical medium (at
+  // least one page miss) may fail or stall. Permanently failed objects fail
+  // every read — their bytes cannot be delivered regardless of caching.
+  if (obj.fault_injectable) {
+    const bool permanently_failed = injector_.IsFailed(id);
+    bool would_miss = permanently_failed;
+    for (uint64_t p = first; p <= last && !would_miss; ++p) {
+      would_miss = !IsResident(PageKey(id, p));
+    }
+    if (would_miss &&
+        (injector_.options().active() || injector_.has_permanent_faults())) {
+      const FaultInjector::ReadFault fault = injector_.OnDiskRead(id);
+      stats_.sim_nanos += fault.extra_latency_nanos;
+      if (fault.fail) {
+        // The failed attempt still paid for positioning the head; no pages
+        // become resident.
+        ChargeSeek();
+        ++stats_.read_faults;
+        if (fault.permanent) {
+          return Status::IOError("permanent I/O failure reading '" + obj.name +
+                                 "'");
+        }
+        return Status::IOError("transient read error on '" + obj.name + "'");
+      }
+    }
+  }
+
   bool in_miss_run = false;
   uint64_t miss_pages = 0;
   for (uint64_t p = first; p <= last; ++p) {

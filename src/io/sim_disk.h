@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "io/fault_injector.h"
 #include "io/io_stats.h"
 
 namespace dex {
@@ -40,6 +41,9 @@ class SimDisk {
     double write_mb_per_sec = 100.0;   // sequential write bandwidth
     uint64_t buffer_pool_bytes = 4ull << 30;  // RAM available for caching
     uint64_t page_bytes = 256 * 1024;  // buffer pool page size
+    /// I/O fault injection (seeded, deterministic). Only objects registered
+    /// as fault-injectable (repository files) are affected.
+    FaultInjector::Options faults;
   };
 
   SimDisk() : SimDisk(Options{}) {}
@@ -50,7 +54,11 @@ class SimDisk {
 
   /// Registers a new object of `size` bytes. Registration itself does not
   /// charge I/O (use Write for that). `name` is for diagnostics only.
-  ObjectId Register(const std::string& name, uint64_t size);
+  /// `fault_injectable` marks objects the fault injector may fail — the
+  /// repository's files, as opposed to catalog tables and indexes whose
+  /// durability is the database's own responsibility.
+  ObjectId Register(const std::string& name, uint64_t size,
+                    bool fault_injectable = false);
 
   /// Grows/shrinks an object (e.g. a column being appended to).
   Status Resize(ObjectId id, uint64_t new_size);
@@ -77,6 +85,10 @@ class SimDisk {
   /// for constructing a hot state directly).
   Status Prefault(ObjectId id);
 
+  /// Charges `nanos` of simulated wall time without moving any bytes (e.g.
+  /// retry backoff in the fault-tolerant mount path).
+  void ChargeDelay(uint64_t nanos) { stats_.sim_nanos += nanos; }
+
   Result<uint64_t> ObjectSize(ObjectId id) const;
   Result<std::string> ObjectName(ObjectId id) const;
 
@@ -87,11 +99,17 @@ class SimDisk {
   uint64_t buffer_pool_used_bytes() const { return resident_pages_ * options_.page_bytes; }
   const Options& options() const { return options_; }
 
+  /// The disk's fault injector (always present; inert unless configured via
+  /// Options::faults or FailObject).
+  FaultInjector* fault_injector() { return &injector_; }
+  const FaultInjector& fault_injector() const { return injector_; }
+
  private:
   struct Object {
     std::string name;
     uint64_t size = 0;
     bool live = false;
+    bool fault_injectable = false;
   };
 
   // Page key: object id in the high bits, page number in the low 40 bits.
@@ -115,6 +133,7 @@ class SimDisk {
   uint64_t resident_pages_ = 0;
   uint64_t max_pages_ = 0;
   IoStats stats_;
+  FaultInjector injector_;
 };
 
 }  // namespace dex

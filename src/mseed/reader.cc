@@ -1,10 +1,41 @@
 #include "mseed/reader.h"
 
+#include <cstring>
+
 #include "io/file_io.h"
 #include "mseed/steim.h"
 #include "mseed/steim2.h"
 
 namespace dex::mseed {
+
+namespace {
+
+// Record boundaries are 64-byte aligned: the header is 64 bytes and Steim
+// payloads are whole 64-byte frames. Resynchronization only needs to probe
+// aligned offsets.
+constexpr size_t kBoundaryBytes = 64;
+
+// Keep heavily damaged files from flooding the report; the skip counters
+// stay exact even when warnings are suppressed.
+constexpr size_t kMaxSalvageWarnings = 16;
+
+Result<std::vector<int32_t>> DecodePayload(const RecordHeader& header,
+                                           const std::string& payload) {
+  if (header.encoding == 2) return Steim2::Decode(payload, header.num_samples);
+  return Steim1::Decode(payload, header.num_samples);
+}
+
+// Corruption messages must be actionable from a quarantine warning: qualify
+// the codec's payload-relative message with the source URI and the record's
+// byte offset in that file.
+Status WithRecordContext(const Status& st, const std::string& uri,
+                         size_t record_index, uint64_t header_offset) {
+  return st.WithContext("record " + std::to_string(record_index) +
+                        " at offset " + std::to_string(header_offset) +
+                        " of '" + uri + "'");
+}
+
+}  // namespace
 
 Result<std::vector<RecordInfo>> Reader::ScanHeadersInMemory(
     const std::string& file_image) {
@@ -33,30 +64,138 @@ Result<std::vector<RecordInfo>> Reader::ScanHeaders(const std::string& path) {
   // the corruption checks exhaustive.
   std::string image;
   DEX_RETURN_NOT_OK(ReadFileToString(path, &image));
-  return ScanHeadersInMemory(image);
+  auto infos = ScanHeadersInMemory(image);
+  if (!infos.ok()) return infos.status().WithContext("scanning '" + path + "'");
+  return infos;
 }
 
 Result<std::vector<DecodedRecord>> Reader::ReadAllRecords(const std::string& path) {
   std::string image;
   DEX_RETURN_NOT_OK(ReadFileToString(path, &image));
-  DEX_ASSIGN_OR_RETURN(std::vector<RecordInfo> infos, ScanHeadersInMemory(image));
+  auto scan = ScanHeadersInMemory(image);
+  if (!scan.ok()) return scan.status().WithContext("scanning '" + path + "'");
+  const std::vector<RecordInfo>& infos = *scan;
   std::vector<DecodedRecord> out;
   out.reserve(infos.size());
-  for (const RecordInfo& info : infos) {
+  for (size_t i = 0; i < infos.size(); ++i) {
+    const RecordInfo& info = infos[i];
     DecodedRecord rec;
     rec.header = info.header;
     const std::string payload =
         image.substr(info.data_offset, info.header.data_bytes);
-    if (info.header.encoding == 2) {
-      DEX_ASSIGN_OR_RETURN(rec.samples,
-                           Steim2::Decode(payload, info.header.num_samples));
-    } else {
-      DEX_ASSIGN_OR_RETURN(rec.samples,
-                           Steim1::Decode(payload, info.header.num_samples));
+    auto samples = DecodePayload(info.header, payload);
+    if (!samples.ok()) {
+      return WithRecordContext(samples.status(), path, i, info.header_offset);
     }
+    rec.samples = std::move(*samples);
     out.push_back(std::move(rec));
   }
   return out;
+}
+
+std::vector<DecodedRecord> Reader::SalvageInMemory(const std::string& file_image,
+                                                   const std::string& uri,
+                                                   SalvageReport* report) {
+  SalvageReport scratch;
+  SalvageReport& rep = report != nullptr ? *report : scratch;
+  rep = SalvageReport{};
+
+  std::vector<DecodedRecord> out;
+  const size_t n = file_image.size();
+  size_t offset = 0;
+  bool corruption_seen = false;
+
+  auto warn = [&rep](std::string msg) {
+    if (rep.warnings.size() < kMaxSalvageWarnings) {
+      rep.warnings.push_back(std::move(msg));
+    }
+  };
+
+  // Next plausible record boundary strictly after `from`: a 64-byte aligned
+  // offset whose bytes carry the header magic, parse as a header, and whose
+  // payload fits in the file.
+  auto resync = [&](size_t from) -> size_t {
+    size_t o = (from / kBoundaryBytes + 1) * kBoundaryBytes;
+    for (; o + RecordHeader::kSerializedBytes <= n; o += kBoundaryBytes) {
+      if (std::memcmp(file_image.data() + o, RecordHeader::kMagic, 4) != 0) {
+        continue;
+      }
+      auto h = RecordHeader::Parse(file_image, o);
+      if (!h.ok()) continue;
+      if (o + RecordHeader::kSerializedBytes + h->data_bytes > n) continue;
+      return o;
+    }
+    return std::string::npos;
+  };
+
+  while (offset + RecordHeader::kSerializedBytes <= n) {
+    auto header = RecordHeader::Parse(file_image, offset);
+    const bool payload_fits =
+        header.ok() &&
+        offset + RecordHeader::kSerializedBytes + header->data_bytes <= n;
+    if (payload_fits) {
+      const std::string payload = file_image.substr(
+          offset + RecordHeader::kSerializedBytes, header->data_bytes);
+      auto samples = DecodePayload(*header, payload);
+      if (samples.ok()) {
+        DecodedRecord rec;
+        rec.header = *header;
+        rec.samples = std::move(*samples);
+        out.push_back(std::move(rec));
+        if (corruption_seen) {
+          ++rep.records_salvaged;
+        } else {
+          ++rep.records_ok;
+        }
+        offset += RecordHeader::kSerializedBytes + header->data_bytes;
+        continue;
+      }
+      // The header is intact, so the next record boundary is still known:
+      // drop only this record's payload and keep going.
+      corruption_seen = true;
+      ++rep.records_skipped;
+      rep.bytes_skipped += RecordHeader::kSerializedBytes + header->data_bytes;
+      warn(WithRecordContext(samples.status(), uri, out.size(), offset)
+               .ToString());
+      offset += RecordHeader::kSerializedBytes + header->data_bytes;
+      continue;
+    }
+    // Corrupt header — or a header whose declared payload runs past EOF
+    // (possibly a mangled length field): scan forward for the next boundary.
+    corruption_seen = true;
+    ++rep.records_skipped;
+    const Status why =
+        header.ok() ? Status::Corruption("record payload runs past end of file")
+                    : header.status();
+    const size_t next = resync(offset);
+    if (next == std::string::npos) {
+      rep.bytes_skipped += n - offset;
+      warn(WithRecordContext(why, uri, out.size(), offset).ToString() +
+           "; no further record boundary found, dropping " +
+           std::to_string(n - offset) + " bytes");
+      return out;
+    }
+    rep.bytes_skipped += next - offset;
+    warn(WithRecordContext(why, uri, out.size(), offset).ToString() +
+         "; resynchronized at offset " + std::to_string(next));
+    offset = next;
+  }
+  if (offset < n) {
+    // Trailing fragment shorter than a header: a truncated tail.
+    ++rep.records_skipped;
+    rep.bytes_skipped += n - offset;
+    warn("truncated record header at offset " + std::to_string(offset) +
+         " of '" + uri + "' (" + std::to_string(n - offset) +
+         " trailing bytes)");
+  }
+  return out;
+}
+
+Result<std::vector<DecodedRecord>> Reader::ReadAllRecordsSalvage(
+    const std::string& path, SalvageReport* report) {
+  std::string image;
+  DEX_RETURN_NOT_OK(ReadFileToString(path, &image));
+  return SalvageInMemory(image, path, report);
 }
 
 Result<DecodedRecord> Reader::ReadRecord(const std::string& path,
@@ -66,13 +205,13 @@ Result<DecodedRecord> Reader::ReadRecord(const std::string& path,
       ReadFileRange(path, info.data_offset, info.header.data_bytes, &payload));
   DecodedRecord rec;
   rec.header = info.header;
-  if (info.header.encoding == 2) {
-    DEX_ASSIGN_OR_RETURN(rec.samples,
-                         Steim2::Decode(payload, info.header.num_samples));
-  } else {
-    DEX_ASSIGN_OR_RETURN(rec.samples,
-                         Steim1::Decode(payload, info.header.num_samples));
+  auto samples = DecodePayload(info.header, payload);
+  if (!samples.ok()) {
+    return samples.status().WithContext(
+        "record at offset " + std::to_string(info.header_offset) + " of '" +
+        path + "'");
   }
+  rec.samples = std::move(*samples);
   return rec;
 }
 

@@ -16,6 +16,22 @@ struct DecodedRecord {
   std::vector<int32_t> samples;
 };
 
+/// \brief What a salvaging read recovered from (and lost to) a damaged file.
+///
+/// `records_salvaged` counts records decoded *after* the first corruption
+/// event in the file — data a strict reader would have thrown away.
+/// `records_skipped` counts corrupt regions that had to be dropped (an
+/// undecodable payload, or a run of bytes skipped while resynchronizing).
+struct SalvageReport {
+  uint64_t records_ok = 0;
+  uint64_t records_salvaged = 0;
+  uint64_t records_skipped = 0;
+  uint64_t bytes_skipped = 0;
+  std::vector<std::string> warnings;  // one per corruption event
+
+  bool clean() const { return records_skipped == 0 && records_salvaged == 0; }
+};
+
 /// \brief Reads mSEED-style files.
 ///
 /// Two access granularities mirror the paper's metadata/actual-data split:
@@ -32,8 +48,24 @@ class Reader {
   static Result<std::vector<RecordInfo>> ScanHeadersInMemory(
       const std::string& file_image);
 
-  /// Reads and decodes every record in the file.
+  /// Reads and decodes every record in the file. Strict: the first corrupt
+  /// byte fails the whole file.
   static Result<std::vector<DecodedRecord>> ReadAllRecords(const std::string& path);
+
+  /// Fault-tolerant variant: on a corrupt record, resynchronizes to the next
+  /// plausible record boundary and keeps decoding. Record boundaries are
+  /// 64-byte aligned (the header is 64 bytes and Steim payloads are whole
+  /// 64-byte frames), so resynchronization scans forward over aligned
+  /// offsets for a valid header magic + parseable header. Returns an error
+  /// only when the file's bytes cannot be read at all; a fully corrupt file
+  /// yields an empty record list plus a report describing what was lost.
+  static Result<std::vector<DecodedRecord>> ReadAllRecordsSalvage(
+      const std::string& path, SalvageReport* report);
+
+  /// Same, over an in-memory file image. `uri` labels warnings.
+  static std::vector<DecodedRecord> SalvageInMemory(const std::string& file_image,
+                                                    const std::string& uri,
+                                                    SalvageReport* report);
 
   /// Reads and decodes one record located by a prior ScanHeaders.
   static Result<DecodedRecord> ReadRecord(const std::string& path,

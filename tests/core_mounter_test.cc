@@ -137,7 +137,9 @@ TEST_F(MounterTest, UnknownTableFails) {
 }
 
 TEST_F(MounterTest, VanishedFileSurfacesAsError) {
-  Mounter mounter(&catalog_, &registry_, &cache_, nullptr, &format_);
+  // Under the strict policy errors propagate instead of degrading.
+  Mounter mounter(&catalog_, &registry_, &cache_, nullptr, &format_,
+                  OnMountError::kFail);
   // Registered (stage 1 saw it) but deleted before stage 2 mounts it.
   ASSERT_TRUE(RemoveDirRecursive(dir_).ok());
   auto t = mounter.Mount(kDataTableName, uri_, nullptr);
@@ -146,7 +148,8 @@ TEST_F(MounterTest, VanishedFileSurfacesAsError) {
 }
 
 TEST_F(MounterTest, CorruptFileSurfacesAsCorruption) {
-  Mounter mounter(&catalog_, &registry_, &cache_, nullptr, &format_);
+  Mounter mounter(&catalog_, &registry_, &cache_, nullptr, &format_,
+                  OnMountError::kFail);
   std::string image;
   ASSERT_TRUE(ReadFileToString(uri_, &image).ok());
   image[70] = static_cast<char>(image[70] ^ 0x7f);  // damage first payload

@@ -61,7 +61,9 @@ TEST(ExplorationSession, BrowseThenZoomInThenZoomOut) {
 
 TEST(ExplorationSession, FileVanishingBetweenStagesFailsTheQuery) {
   ScopedRepo repo("session_vanish", TinyRepoOptions());
-  auto db = Database::Open(repo.root(), {});
+  DatabaseOptions strict;
+  strict.two_stage.on_mount_error = OnMountError::kFail;
+  auto db = Database::Open(repo.root(), strict);
   ASSERT_TRUE(db.ok());
   // Delete one ISK/BHE file after open (stage 1 metadata still lists it).
   const auto files = ListFiles(repo.root(), ".mseed");
@@ -90,7 +92,9 @@ TEST(ExplorationSession, FileVanishingBetweenStagesFailsTheQuery) {
 
 TEST(ExplorationSession, CorruptedFileSurfacesAsCorruption) {
   ScopedRepo repo("session_corrupt", TinyRepoOptions());
-  auto db = Database::Open(repo.root(), {});
+  DatabaseOptions strict;
+  strict.two_stage.on_mount_error = OnMountError::kFail;
+  auto db = Database::Open(repo.root(), strict);
   ASSERT_TRUE(db.ok());
   const auto files = ListFiles(repo.root(), ".mseed");
   ASSERT_TRUE(files.ok());
