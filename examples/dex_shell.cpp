@@ -1,7 +1,7 @@
 // dex_shell — an interactive SQL shell over a scientific file repository.
 //
 //   dex_shell <repo-dir> [--eager] [--cache=none|lru|all] [--tuple-cache]
-//             [--derived] [--snapshot=<path>] [--batch=<n>]
+//             [--derived] [--snapshot=<path>] [--batch=<n>] [--threads=<n>]
 //
 // SQL statements execute through the two-stage kernel; dot-commands inspect
 // the system:
@@ -49,13 +49,22 @@ void PrintQueryStats(const dex::QueryStats& stats) {
   if (stats.sim_io_nanos > 0) {
     std::printf(" [sim-I/O %.4fs]", stats.sim_io_nanos / 1e9);
   }
+  if (ts.mount_tasks > 0) {
+    std::printf(" [%zu mount tasks on %zu workers, sim speedup %.2fx]",
+                ts.mount_tasks, ts.workers,
+                ts.parallel_sim_nanos > 0
+                    ? static_cast<double>(ts.serial_sim_nanos) /
+                          static_cast<double>(ts.parallel_sim_nanos)
+                    : 1.0);
+  }
   std::printf("\n");
 }
 
 int Usage() {
   std::fprintf(stderr,
                "usage: dex_shell <repo-dir> [--eager] [--cache=none|lru|all] "
-               "[--tuple-cache] [--derived] [--snapshot=<path>] [--batch=<n>]\n");
+               "[--tuple-cache] [--derived] [--snapshot=<path>] [--batch=<n>] "
+               "[--threads=<n>]\n");
   return 2;
 }
 
@@ -85,6 +94,9 @@ int main(int argc, char** argv) {
     } else if (dex::StartsWith(arg, "--batch=")) {
       options.two_stage.mount_batch_size =
           static_cast<size_t>(std::atoi(arg.c_str() + 8));
+    } else if (dex::StartsWith(arg, "--threads=")) {
+      options.two_stage.num_threads =
+          static_cast<size_t>(std::atoi(arg.c_str() + 10));
     } else if (arg[0] == '-') {
       return Usage();
     } else {

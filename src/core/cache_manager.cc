@@ -15,6 +15,7 @@ bool CacheManager::TupleEntryServes(const Entry& entry,
 bool CacheManager::Probe(const std::string& uri,
                          const std::string& predicate_repr,
                          int64_t current_mtime_ms, const CachedWindow* window) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (options_.policy == CachePolicy::kNone) {
     ++stats_.misses;
     return false;
@@ -57,6 +58,7 @@ bool CacheManager::WouldHit(const std::string& uri,
                             const std::string& predicate_repr,
                             int64_t current_mtime_ms,
                             const CachedWindow* window) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (options_.policy == CachePolicy::kNone) return false;
   auto it = entries_.find(uri);
   if (it == entries_.end()) return false;
@@ -69,6 +71,7 @@ bool CacheManager::WouldHit(const std::string& uri,
 }
 
 Result<TablePtr> CacheManager::Lookup(const std::string& uri) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(uri);
   if (it == entries_.end()) {
     return Status::NotFound("no cached data for '" + uri + "'");
@@ -80,6 +83,7 @@ Result<TablePtr> CacheManager::Lookup(const std::string& uri) {
 void CacheManager::Insert(const std::string& uri,
                           const std::string& predicate_repr, int64_t mtime_ms,
                           TablePtr data, const CachedWindow* window) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (options_.policy == CachePolicy::kNone || data == nullptr) return;
   if (options_.granularity == CacheGranularity::kFile && !predicate_repr.empty()) {
     // File-granular cache stores whole files only; filtered mounts are not
@@ -119,6 +123,7 @@ void CacheManager::Erase(const std::string& uri) {
 }
 
 void CacheManager::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   lru_.clear();
   bytes_used_ = 0;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -52,6 +53,9 @@ struct CacheStats {
 };
 
 /// \brief Keeps ingested file data between queries, keyed by URI.
+///
+/// Thread-safe: admission, lookup, and eviction take one internal mutex, so
+/// concurrent mount tasks can insert their partial tables directly.
 class CacheManager {
  public:
   struct Options {
@@ -92,9 +96,18 @@ class CacheManager {
   /// Drops every entry (e.g. after the repository was regenerated).
   void Clear();
 
-  const CacheStats& stats() const { return stats_; }
-  uint64_t bytes_used() const { return bytes_used_; }
-  size_t num_entries() const { return entries_.size(); }
+  CacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  uint64_t bytes_used() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_used_;
+  }
+  size_t num_entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
   const Options& options() const { return options_; }
 
  private:
@@ -107,13 +120,15 @@ class CacheManager {
     std::list<std::string>::iterator lru_it;
   };
 
+  // Helpers below require mu_ to be held.
   bool TupleEntryServes(const Entry& entry, const std::string& predicate_repr,
                         const CachedWindow* window) const;
 
   void EvictIfNeeded();
   void Erase(const std::string& uri);
 
-  Options options_;
+  const Options options_;
+  mutable std::mutex mu_;
   std::unordered_map<std::string, Entry> entries_;
   std::list<std::string> lru_;  // front = most recent
   uint64_t bytes_used_ = 0;

@@ -170,8 +170,6 @@ Result<QueryResult> Database::RunQuery(const std::string& sql,
   DEX_RETURN_NOT_OK(SyncQuarantineTable());
   QueryResult out;
   const uint64_t sim0 = disk_->stats().sim_nanos;
-  const auto mount0 = mounter_->counters();
-  const size_t warn0 = mounter_->warnings().size();
 
   const uint64_t t0 = NowNanos();
   DEX_ASSIGN_OR_RETURN(PlanPtr plan, sql::PlanQuery(sql, *catalog_));
@@ -194,32 +192,25 @@ Result<QueryResult> Database::RunQuery(const std::string& sql,
   out.stats.sim_io_nanos = disk_->stats().sim_nanos - sim0;
   out.stats.result_rows = out.table->num_rows();
 
-  const auto mount1 = mounter_->counters();
-  out.stats.mount.mounts = mount1.mounts - mount0.mounts;
-  out.stats.mount.records_decoded = mount1.records_decoded - mount0.records_decoded;
-  out.stats.mount.samples_decoded = mount1.samples_decoded - mount0.samples_decoded;
-  out.stats.mount.bytes_read = mount1.bytes_read - mount0.bytes_read;
-  out.stats.mount.read_retries = mount1.read_retries - mount0.read_retries;
-  out.stats.mount.files_failed = mount1.files_failed - mount0.files_failed;
-  out.stats.mount.files_skipped = mount1.files_skipped - mount0.files_skipped;
-  out.stats.mount.records_salvaged =
-      mount1.records_salvaged - mount0.records_salvaged;
-  out.stats.mount.records_skipped =
-      mount1.records_skipped - mount0.records_skipped;
+  // Mount work is accounted per query by the two-stage executor (inline
+  // mounts and parallel mount tasks alike), so no singleton counter diffing
+  // — concurrent tasks and interleaved queries each see their own numbers.
+  const Mounter::MountOutcome& outcome = out.stats.two_stage.mount;
+  out.stats.mount = outcome.counters;
   out.stats.read_retries = out.stats.mount.read_retries;
   out.stats.files_failed = out.stats.mount.files_failed;
   out.stats.files_skipped = out.stats.mount.files_skipped;
   out.stats.records_salvaged = out.stats.mount.records_salvaged;
   out.stats.records_skipped = out.stats.mount.records_skipped;
 
-  // This query's slice of the mounter's warning stream, bounded.
-  const std::vector<std::string>& all_warnings = mounter_->warnings();
-  const size_t new_warnings = all_warnings.size() - warn0;
-  const size_t copied = std::min(new_warnings, kMaxQueryWarnings);
-  out.stats.warnings.assign(all_warnings.begin() + warn0,
-                            all_warnings.begin() + warn0 + copied);
-  if (copied < new_warnings) {
-    out.stats.warnings.push_back("(" + std::to_string(new_warnings - copied) +
+  // This query's warnings, bounded.
+  const size_t copied = std::min(outcome.warnings.size(), kMaxQueryWarnings);
+  out.stats.warnings.assign(outcome.warnings.begin(),
+                            outcome.warnings.begin() + copied);
+  const uint64_t dropped =
+      outcome.warnings_dropped + (outcome.warnings.size() - copied);
+  if (dropped > 0) {
+    out.stats.warnings.push_back("(" + std::to_string(dropped) +
                                  " more warnings dropped)");
   }
 

@@ -16,6 +16,7 @@ Result<std::unique_ptr<DerivedMetadata>> DerivedMetadata::Create(Catalog* catalo
 Status DerivedMetadata::RecordMounted(const std::string& uri, int64_t record_id,
                                       const mseed::DecodedRecord& record,
                                       uint32_t expected_records) {
+  std::lock_guard<std::mutex> lock(mu_);
   const std::string key = uri + '\0' + std::to_string(record_id);
   if (record_stats_.count(key) > 0) return Status::OK();
   record_stats_.emplace(key, true);
@@ -50,6 +51,11 @@ Status DerivedMetadata::RecordMounted(const std::string& uri, int64_t record_id,
 }
 
 bool DerivedMetadata::HasCompleteFile(const std::string& uri) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return HasCompleteFileLocked(uri);
+}
+
+bool DerivedMetadata::HasCompleteFileLocked(const std::string& uri) const {
   auto it = file_stats_.find(uri);
   return it != file_stats_.end() && it->second.expected_records > 0 &&
          it->second.records_seen >= it->second.expected_records;
@@ -57,7 +63,8 @@ bool DerivedMetadata::HasCompleteFile(const std::string& uri) const {
 
 bool DerivedMetadata::MayMatchValueRange(const std::string& uri, double lo,
                                          double hi) const {
-  if (!HasCompleteFile(uri)) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!HasCompleteFileLocked(uri)) return true;
   const FileStats& fs = file_stats_.at(uri);
   return fs.max_value >= lo && fs.min_value <= hi;
 }

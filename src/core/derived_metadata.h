@@ -2,6 +2,7 @@
 #define DEX_CORE_DERIVED_METADATA_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -23,6 +24,12 @@ namespace dex {
 ///  - value-range pruning: when a query's pushed-down selection bounds
 ///    D.sample_value, files whose complete per-record stats exclude the
 ///    range are skipped before mounting.
+///
+/// Thread-safe: concurrent mount tasks may RecordMounted simultaneously.
+/// Under parallel mounting the *row order* of the DM table depends on task
+/// interleaving; the per-file min/max aggregates (what pruning reads) and
+/// the row *set* do not. Queries over DM never run concurrently with mount
+/// tasks — the parallel premount completes before the plan executes.
 class DerivedMetadata {
  public:
   /// Registers the DM table in `catalog` (kind kMetadata).
@@ -45,10 +52,15 @@ class DerivedMetadata {
   /// The queryable DM table.
   const TablePtr& table() const { return table_; }
 
-  size_t num_records_covered() const { return record_stats_.size(); }
+  size_t num_records_covered() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return record_stats_.size();
+  }
 
  private:
   explicit DerivedMetadata(TablePtr table) : table_(std::move(table)) {}
+
+  bool HasCompleteFileLocked(const std::string& uri) const;
 
   struct FileStats {
     uint32_t records_seen = 0;
@@ -57,6 +69,7 @@ class DerivedMetadata {
     double max_value = 0;
   };
 
+  mutable std::mutex mu_;
   TablePtr table_;
   std::unordered_map<std::string, FileStats> file_stats_;
   // "uri\0record_id" -> present marker for idempotency.

@@ -57,6 +57,7 @@ Status FileRegistry::ChargeFileRead(const std::string& uri) const {
 
 void FileRegistry::RecordTransientError(const std::string& uri,
                                         const std::string& error) {
+  std::lock_guard<std::mutex> lock(health_mu_);
   Health& h = health_[uri];
   ++h.transient_errors;
   h.last_error = error;
@@ -64,6 +65,7 @@ void FileRegistry::RecordTransientError(const std::string& uri,
 }
 
 void FileRegistry::Quarantine(const std::string& uri, const std::string& reason) {
+  std::lock_guard<std::mutex> lock(health_mu_);
   Health& h = health_[uri];
   ++h.failed_reads;
   h.last_error = reason;
@@ -75,6 +77,7 @@ void FileRegistry::Quarantine(const std::string& uri, const std::string& reason)
 }
 
 void FileRegistry::Unquarantine(const std::string& uri) {
+  std::lock_guard<std::mutex> lock(health_mu_);
   auto it = health_.find(uri);
   if (it == health_.end() || !it->second.quarantined) return;
   it->second.quarantined = false;
@@ -84,11 +87,13 @@ void FileRegistry::Unquarantine(const std::string& uri) {
 }
 
 bool FileRegistry::IsQuarantined(const std::string& uri) const {
+  std::lock_guard<std::mutex> lock(health_mu_);
   auto it = health_.find(uri);
   return it != health_.end() && it->second.quarantined;
 }
 
 Result<TablePtr> FileRegistry::BuildQuarantineTable() const {
+  std::lock_guard<std::mutex> lock(health_mu_);
   auto table = std::make_shared<Table>(kQuarantineTableName,
                                        MakeQuarantineSchema());
   for (const auto& [uri, h] : health_) {
@@ -104,8 +109,11 @@ Result<TablePtr> FileRegistry::BuildQuarantineTable() const {
 std::vector<std::string> FileRegistry::AllUris() const {
   std::vector<std::string> out;
   out.reserve(entries_.size());
+  std::lock_guard<std::mutex> lock(health_mu_);
   for (const auto& [uri, entry] : entries_) {
-    if (!IsQuarantined(uri)) out.push_back(uri);
+    auto it = health_.find(uri);
+    const bool quarantined = it != health_.end() && it->second.quarantined;
+    if (!quarantined) out.push_back(uri);
   }
   return out;
 }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,11 @@ SchemaPtr MakeQuarantineSchema();
 /// files-of-interest set until the repository operator repairs it — so one
 /// bad disk sector cannot keep failing queries over the other thousand
 /// files.
+///
+/// Thread-safety: the entry map is only mutated by Open()/Refresh() on the
+/// coordinating thread, never during query execution, so lookups are
+/// lock-free. The *health* state is mutated by mount tasks (quarantine,
+/// transient-error bookkeeping) and is guarded by its own mutex.
 class FileRegistry {
  public:
   explicit FileRegistry(SimDisk* disk) : disk_(disk) {}
@@ -74,11 +80,17 @@ class FileRegistry {
   void Unquarantine(const std::string& uri);
 
   bool IsQuarantined(const std::string& uri) const;
-  size_t num_quarantined() const { return num_quarantined_; }
+  size_t num_quarantined() const {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    return num_quarantined_;
+  }
 
   /// Monotonic counter bumped on every health change; lets the database
   /// refresh the QUARANTINE metadata table only when something happened.
-  uint64_t health_version() const { return health_version_; }
+  uint64_t health_version() const {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    return health_version_;
+  }
 
   /// Builds the QUARANTINE table (one row per quarantined file).
   Result<TablePtr> BuildQuarantineTable() const;
@@ -92,9 +104,11 @@ class FileRegistry {
 
  private:
   SimDisk* disk_;
-  std::map<std::string, Entry> entries_;
-  std::map<std::string, Health> health_;
+  std::map<std::string, Entry> entries_;  // mutated only between queries
   uint64_t total_bytes_ = 0;
+  // Health state below is shared with concurrent mount tasks.
+  mutable std::mutex health_mu_;
+  std::map<std::string, Health> health_;
   size_t num_quarantined_ = 0;
   uint64_t health_version_ = 0;
 };

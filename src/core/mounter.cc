@@ -12,21 +12,35 @@ namespace dex {
 
 namespace {
 
-// Warnings surface in QueryStats; keep the mounter-lifetime buffer bounded
-// so a pathological repository cannot grow it without limit.
-constexpr size_t kMaxMounterWarnings = 256;
+// Warnings surface in QueryStats; keep each outcome's buffer bounded so a
+// pathological repository cannot grow it without limit.
+constexpr size_t kMaxMountWarnings = 256;
 
 }  // namespace
 
-void Mounter::AddWarning(std::string msg) {
-  if (warnings_.size() < kMaxMounterWarnings) {
-    warnings_.push_back(std::move(msg));
-  } else {
-    ++warnings_dropped_;
+void Mounter::MountOutcome::MergeFrom(const MountOutcome& o) {
+  counters += o.counters;
+  warnings_dropped += o.warnings_dropped;
+  for (const std::string& w : o.warnings) {
+    if (warnings.size() < kMaxMountWarnings) {
+      warnings.push_back(w);
+    } else {
+      ++warnings_dropped;
+    }
   }
 }
 
-Status Mounter::ChargeReadWithRetry(const std::string& uri) {
+void Mounter::AddWarning(MountOutcome* outcome, std::string msg) {
+  if (outcome == nullptr) return;
+  if (outcome->warnings.size() < kMaxMountWarnings) {
+    outcome->warnings.push_back(std::move(msg));
+  } else {
+    ++outcome->warnings_dropped;
+  }
+}
+
+Status Mounter::ChargeReadWithRetry(const std::string& uri,
+                                    MountOutcome* outcome) {
   Status io = registry_->ChargeFileRead(uri);
   double backoff_ms = retry_.backoff_base_millis;
   for (int attempt = 0; !io.ok() && io.IsIOError() && attempt < retry_.max_retries;
@@ -35,7 +49,7 @@ Status Mounter::ChargeReadWithRetry(const std::string& uri) {
     // Backoff is simulated wall time the query spends waiting on the medium.
     registry_->disk()->ChargeDelay(static_cast<uint64_t>(backoff_ms * 1e6));
     backoff_ms *= retry_.backoff_multiplier;
-    ++counters_.read_retries;
+    if (outcome != nullptr) ++outcome->counters.read_retries;
     io = registry_->ChargeFileRead(uri);
   }
   return io;
@@ -43,7 +57,8 @@ Status Mounter::ChargeReadWithRetry(const std::string& uri) {
 
 Result<TablePtr> Mounter::Mount(const std::string& table_name,
                                 const std::string& uri,
-                                const ExprPtr& fused_predicate) {
+                                const ExprPtr& fused_predicate,
+                                MountOutcome* outcome) {
   if (table_name != kDataTableName) {
     return Status::NotImplemented("no extraction mapping for actual table '" +
                                   table_name + "'");
@@ -52,7 +67,7 @@ Result<TablePtr> Mounter::Mount(const std::string& table_name,
 
   // Charge the simulated medium for pulling the file's bytes, absorbing
   // transient faults with exponential backoff.
-  Status io = ChargeReadWithRetry(uri);
+  Status io = ChargeReadWithRetry(uri, outcome);
   if (!io.ok()) {
     if (!io.IsIOError() || on_error_ == OnMountError::kFail) {
       return io.WithContext("mounting '" + uri + "'");
@@ -60,11 +75,11 @@ Result<TablePtr> Mounter::Mount(const std::string& table_name,
     // Permanent read failure: quarantine the file so it never re-enters a
     // files-of-interest set, and degrade to an empty partial table so the
     // query still returns every healthy file's rows.
-    ++counters_.files_failed;
+    if (outcome != nullptr) ++outcome->counters.files_failed;
     registry_->Quarantine(uri, io.message());
-    AddWarning("mount of '" + uri + "' failed after " +
-               std::to_string(retry_.max_retries) + " retries: " + io.message() +
-               " (file quarantined)");
+    AddWarning(outcome, "mount of '" + uri + "' failed after " +
+                            std::to_string(retry_.max_retries) +
+                            " retries: " + io.message() + " (file quarantined)");
     return std::make_shared<Table>(table_name, MakeDataSchema());
   }
 
@@ -76,17 +91,19 @@ Result<TablePtr> Mounter::Mount(const std::string& table_name,
     auto records = format_->ReadAllRecordsSalvage(uri, &salvage);
     if (!records.ok()) {
       // Even the salvaging reader could not deliver the file's bytes.
-      ++counters_.files_failed;
+      if (outcome != nullptr) ++outcome->counters.files_failed;
       registry_->Quarantine(uri, records.status().message());
-      AddWarning("salvage of '" + uri +
-                 "' failed: " + records.status().ToString() +
-                 " (file quarantined)");
+      AddWarning(outcome, "salvage of '" + uri +
+                              "' failed: " + records.status().ToString() +
+                              " (file quarantined)");
       return std::make_shared<Table>(table_name, MakeDataSchema());
     }
     decoded = std::move(*records);
-    counters_.records_salvaged += salvage.records_salvaged;
-    counters_.records_skipped += salvage.records_skipped;
-    for (const std::string& w : salvage.warnings) AddWarning(w);
+    if (outcome != nullptr) {
+      outcome->counters.records_salvaged += salvage.records_salvaged;
+      outcome->counters.records_skipped += salvage.records_skipped;
+    }
+    for (const std::string& w : salvage.warnings) AddWarning(outcome, w);
   } else {
     auto records = format_->ReadAllRecords(uri);
     if (!records.ok()) {
@@ -95,9 +112,9 @@ Result<TablePtr> Mounter::Mount(const std::string& table_name,
       }
       // kSkipFile: drop the corrupt file whole. Not quarantined — the bytes
       // are still deliverable, the kSalvage policy could recover from them.
-      ++counters_.files_skipped;
-      AddWarning("skipping corrupt file '" + uri +
-                 "': " + records.status().ToString());
+      if (outcome != nullptr) ++outcome->counters.files_skipped;
+      AddWarning(outcome, "skipping corrupt file '" + uri +
+                              "': " + records.status().ToString());
       return std::make_shared<Table>(table_name, MakeDataSchema());
     }
     decoded = std::move(*records);
@@ -109,16 +126,20 @@ Result<TablePtr> Mounter::Mount(const std::string& table_name,
     const mseed::DecodedRecord& rec = decoded[i];
     DEX_RETURN_NOT_OK(AppendSamplesToDataTable(uri, static_cast<int64_t>(i), rec,
                                                table.get()));
-    counters_.records_decoded += 1;
-    counters_.samples_decoded += rec.samples.size();
+    if (outcome != nullptr) {
+      outcome->counters.records_decoded += 1;
+      outcome->counters.samples_decoded += rec.samples.size();
+    }
     if (derived_ != nullptr) {
       DEX_RETURN_NOT_OK(derived_->RecordMounted(
           uri, static_cast<int64_t>(i), rec,
           static_cast<uint32_t>(decoded.size())));
     }
   }
-  counters_.mounts += 1;
-  counters_.bytes_read += entry.size_bytes;
+  if (outcome != nullptr) {
+    outcome->counters.mounts += 1;
+    outcome->counters.bytes_read += entry.size_bytes;
+  }
 
   // Combined select-mount: apply the fused selection before handing the
   // partial table to the plan.

@@ -42,6 +42,13 @@ struct MountRetryPolicy {
 /// The resulting tables are *dangling partial tables* — they are never
 /// appended to the catalog's D table; they exist for the duration of the
 /// query (and afterwards only if the cache policy retains them).
+///
+/// The mounter holds no mutable state of its own: every call reports what it
+/// did through a caller-supplied MountOutcome, so concurrent mount tasks (and
+/// interleaved queries) each account their own work without races. Thread
+/// safety of a concurrent Mount reduces to that of the shared collaborators
+/// (registry health, cache, derived metadata, simulated disk), which all
+/// synchronize internally.
 class Mounter {
  public:
   struct MountCounters {
@@ -55,6 +62,32 @@ class Mounter {
     uint64_t files_skipped = 0;     // corrupt files dropped whole (kSkipFile)
     uint64_t records_salvaged = 0;  // records recovered past corruption
     uint64_t records_skipped = 0;   // corrupt records dropped (kSalvage)
+
+    MountCounters& operator+=(const MountCounters& o) {
+      mounts += o.mounts;
+      records_decoded += o.records_decoded;
+      samples_decoded += o.samples_decoded;
+      bytes_read += o.bytes_read;
+      read_retries += o.read_retries;
+      files_failed += o.files_failed;
+      files_skipped += o.files_skipped;
+      records_salvaged += o.records_salvaged;
+      records_skipped += o.records_skipped;
+      return *this;
+    }
+  };
+
+  /// What one (or, accumulated, several) Mount call(s) did. Warnings are
+  /// bounded; overflow is counted in `warnings_dropped`.
+  struct MountOutcome {
+    MountCounters counters;
+    std::vector<std::string> warnings;
+    uint64_t warnings_dropped = 0;
+
+    /// Folds another outcome in (bounded warnings). The parallel mount path
+    /// merges per-task outcomes in task order at the barrier, so merged
+    /// warning order is deterministic.
+    void MergeFrom(const MountOutcome& o);
   };
 
   Mounter(Catalog* catalog, FileRegistry* registry, CacheManager* cache,
@@ -77,19 +110,17 @@ class Mounter {
   /// yields an *empty* partial table (plus health bookkeeping and a warning)
   /// instead of an error, so the enclosing union still returns every healthy
   /// file's rows.
+  ///
+  /// When `outcome` is non-null, counters and warnings for this call are
+  /// *accumulated* into it (never reset), so a caller may thread one
+  /// accumulator through a whole query's mounts.
   Result<TablePtr> Mount(const std::string& table_name, const std::string& uri,
-                         const ExprPtr& fused_predicate);
+                         const ExprPtr& fused_predicate,
+                         MountOutcome* outcome = nullptr);
 
   /// The cache-scan access path: returns previously ingested data.
   Result<TablePtr> CacheLookup(const std::string& table_name,
                                const std::string& uri);
-
-  const MountCounters& counters() const { return counters_; }
-  void ResetCounters() { counters_ = MountCounters{}; }
-
-  /// Warnings accumulated across mounts (bounded; per-query slices are
-  /// carved out by the database layer via warnings().size() snapshots).
-  const std::vector<std::string>& warnings() const { return warnings_; }
 
   OnMountError on_mount_error() const { return on_error_; }
 
@@ -97,20 +128,17 @@ class Mounter {
   /// Reads the file's bytes off the simulated medium, absorbing transient
   /// faults with exponential backoff. Non-OK only when the failure survived
   /// every retry (a permanent fault) or is not an I/O fault at all.
-  Status ChargeReadWithRetry(const std::string& uri);
+  Status ChargeReadWithRetry(const std::string& uri, MountOutcome* outcome);
 
-  void AddWarning(std::string msg);
+  static void AddWarning(MountOutcome* outcome, std::string msg);
 
   Catalog* catalog_;
   FileRegistry* registry_;
   CacheManager* cache_;
   DerivedMetadata* derived_;  // may be null (collection disabled)
   FormatAdapter* format_;
-  OnMountError on_error_;
-  MountRetryPolicy retry_;
-  MountCounters counters_;
-  std::vector<std::string> warnings_;
-  uint64_t warnings_dropped_ = 0;
+  const OnMountError on_error_;
+  const MountRetryPolicy retry_;
 };
 
 }  // namespace dex

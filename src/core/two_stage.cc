@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "core/seismic_schema.h"
+#include "exec/task_group.h"
 #include "io/file_io.h"
 
 namespace dex {
@@ -205,17 +206,101 @@ Result<PlanPtr> TwoStageExecutor::RewriteStage2(
   return rewritten;
 }
 
+ThreadPool* TwoStageExecutor::Pool(size_t workers) {
+  if (pool_ == nullptr || pool_->num_threads() != workers) {
+    pool_ = std::make_unique<ThreadPool>(workers);
+  }
+  return pool_.get();
+}
+
+Status TwoStageExecutor::PremountUnion(const PlanPtr& union_node, size_t workers,
+                                       TwoStageStats* stats,
+                                       PremountMap* premounted) {
+  if (workers <= 1 || union_node == nullptr ||
+      union_node->kind != PlanKind::kUnion) {
+    return Status::OK();  // legacy path: mounts open inline, one at a time
+  }
+  // The union's branch order is the files-of-interest order (URIs,
+  // deterministic), so task index doubles as the deterministic tiebreak for
+  // error reporting and time aggregation.
+  std::vector<const LogicalPlan*> mounts;
+  for (const PlanPtr& child : union_node->children) {
+    if (child->kind == PlanKind::kMount) mounts.push_back(child.get());
+  }
+  if (mounts.size() < 2) return Status::OK();  // nothing to overlap
+
+  struct TaskResult {
+    TablePtr table;
+    Mounter::MountOutcome outcome;
+    uint64_t sim_nanos = 0;
+  };
+  std::vector<TaskResult> results(mounts.size());
+  TaskGroup group(Pool(workers));
+  for (size_t i = 0; i < mounts.size(); ++i) {
+    const LogicalPlan* node = mounts[i];
+    TaskResult* slot = &results[i];
+    group.Spawn([this, node, slot]() -> Status {
+      // Route this task's simulated stall time into its own bucket so the
+      // wave's cost can be aggregated as a critical path afterwards,
+      // independent of real thread interleaving.
+      SimDisk::TaskTimeScope scope(&slot->sim_nanos);
+      DEX_ASSIGN_OR_RETURN(slot->table,
+                           mounter_->Mount(node->table_name, node->uri,
+                                           node->predicate, &slot->outcome));
+      return Status::OK();
+    });
+  }
+  DEX_RETURN_NOT_OK(group.Wait());
+
+  // Deterministic time model: greedy list scheduling of the per-task stall
+  // times onto `workers` lanes, in task order. The makespan (longest lane)
+  // is what a machine with `workers` disks-worth of overlap would have
+  // stalled; it is charged to the medium as this wave's elapsed time.
+  std::vector<uint64_t> lanes(std::max<size_t>(1, workers), 0);
+  uint64_t serial_sum = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    serial_sum += results[i].sim_nanos;
+    *std::min_element(lanes.begin(), lanes.end()) += results[i].sim_nanos;
+    stats->mount.MergeFrom(results[i].outcome);
+    (*premounted)[mounts[i]->uri] =
+        PremountEntry{mounts[i]->predicate, std::move(results[i].table)};
+  }
+  const uint64_t makespan = *std::max_element(lanes.begin(), lanes.end());
+  registry_->disk()->ChargeDelay(makespan);
+  stats->parallel_sim_nanos += makespan;
+  stats->serial_sim_nanos += serial_sum;
+  stats->mount_tasks += mounts.size();
+  return Status::OK();
+}
+
 Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
                                            const BreakpointCallback& callback,
                                            TwoStageStats* stats) {
   DEX_CHECK(stats != nullptr);
   DEX_ASSIGN_OR_RETURN(SplitResult split, SplitPlan(plan, *catalog_));
 
+  const size_t workers = options_.num_threads == 0
+                             ? ThreadPool::DefaultConcurrency()
+                             : options_.num_threads;
+  stats->workers = workers;
+
+  // Mounts completed ahead of plan execution by worker tasks. The mount_fn
+  // serves them on URI + exact-predicate match; anything else (cache-scan
+  // fallbacks, re-opened branches) takes the real serial mount path.
+  auto premounted = std::make_shared<PremountMap>();
+
   ExecContext ctx;
   ctx.catalog = catalog_;
-  ctx.mount_fn = [this](const std::string& table, const std::string& uri,
-                        const ExprPtr& pred) {
-    return mounter_->Mount(table, uri, pred);
+  ctx.mount_fn = [this, stats, premounted](const std::string& table,
+                                           const std::string& uri,
+                                           const ExprPtr& pred) {
+    auto it = premounted->find(uri);
+    if (it != premounted->end() && it->second.predicate.get() == pred.get()) {
+      TablePtr t = std::move(it->second.table);
+      premounted->erase(it);  // each union branch opens once
+      return Result<TablePtr>(std::move(t));
+    }
+    return mounter_->Mount(table, uri, pred, &stats->mount);
   };
   ctx.cache_fn = [this](const std::string& table, const std::string& uri) {
     return mounter_->CacheLookup(table, uri);
@@ -326,9 +411,10 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
 
   // ---- Stage 2: multi-stage (batched) or single-shot.
   const uint64_t t2 = NowNanos();
-  if (options_.mount_batch_size > 0 && union_node != nullptr &&
-      union_node->kind == PlanKind::kUnion &&
-      union_node->children.size() > options_.mount_batch_size) {
+  const bool batched = options_.mount_batch_size > 0 && union_node != nullptr &&
+                       union_node->kind == PlanKind::kUnion &&
+                       union_node->children.size() > options_.mount_batch_size;
+  if (batched) {
     // Ingest the union's branches in batches, with a breakpoint after each.
     DEX_ASSIGN_OR_RETURN(TablePtr base, catalog_->GetTable(kDataTableName));
     auto buffer = std::make_shared<Table>(kIngestedResultId, base->schema());
@@ -343,6 +429,9 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
                                          union_node->children.size())));
       PlanPtr sub = MakeUnion(std::move(group));
       DEX_RETURN_NOT_OK(AnalyzePlan(sub, *catalog_));
+      // Parallelism is per ingestion wave: each batch's mounts overlap, the
+      // breakpoint between batches stays a clean barrier.
+      DEX_RETURN_NOT_OK(PremountUnion(sub, workers, stats, premounted.get()));
       DEX_ASSIGN_OR_RETURN(TablePtr part, ExecutePlan(sub, &ctx));
       DEX_RETURN_NOT_OK(buffer->AppendTable(*part));
       if (callback != nullptr) {
@@ -369,6 +458,9 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
     };
     stage2_plan = splice(stage2_plan);
     DEX_RETURN_NOT_OK(AnalyzePlan(stage2_plan, *catalog_));
+  } else {
+    DEX_RETURN_NOT_OK(
+        PremountUnion(union_node, workers, stats, premounted.get()));
   }
   DEX_ASSIGN_OR_RETURN(TablePtr result, ExecutePlan(stage2_plan, &ctx));
   stats->stage2_nanos = NowNanos() - t2;

@@ -1,7 +1,10 @@
 #ifndef DEX_CORE_TWO_STAGE_H_
 #define DEX_CORE_TWO_STAGE_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/cache_manager.h"
@@ -11,6 +14,7 @@
 #include "core/mounter.h"
 #include "core/plan_splitter.h"
 #include "engine/executor.h"
+#include "exec/thread_pool.h"
 
 namespace dex {
 
@@ -33,6 +37,15 @@ struct TwoStageOptions {
   /// Skip mounting files whose derived metadata proves they cannot satisfy
   /// the query's bounds on sample_value (§5 "Extending metadata").
   bool use_derived_pruning = false;
+
+  /// Worker threads for stage-2 ingestion: the files of interest planned as
+  /// mounts are read/salvaged/decoded as parallel tasks before the union
+  /// scan. 0 = hardware concurrency; 1 = the exact legacy serial behavior
+  /// (mounts happen inline as the union's branches open). Simulated I/O time
+  /// stays deterministic for any value: per-task stall time is accumulated
+  /// separately and aggregated as a critical path over `num_threads` lanes,
+  /// independent of how the OS schedules the real threads.
+  size_t num_threads = 0;
 
   /// What to do when a file of interest cannot be mounted cleanly: fail the
   /// query (the strict pre-fault-tolerance behavior), skip the file, or
@@ -65,6 +78,22 @@ struct TwoStageStats {
   size_t files_planned_cache = 0;
   size_t files_pruned = 0;
   size_t files_quarantined = 0;  // files of interest dropped as quarantined
+
+  // -- Parallel ingestion -------------------------------------------------
+  size_t workers = 1;        // resolved worker-lane count for this execution
+  size_t mount_tasks = 0;    // mounts dispatched as parallel tasks
+  /// Simulated stall time charged for parallel mount waves: the critical
+  /// path (longest worker lane under deterministic list scheduling).
+  uint64_t parallel_sim_nanos = 0;
+  /// What the same waves would have cost serially (sum over tasks) — the
+  /// parallel speedup in simulated time is serial/parallel.
+  uint64_t serial_sim_nanos = 0;
+
+  /// Everything the query's mounts did (counters + bounded warnings),
+  /// accumulated per query — inline mounts directly, parallel tasks merged
+  /// in task order at the wave barrier.
+  Mounter::MountOutcome mount;
+
   ExecStats exec;
   BreakpointInfo breakpoint;
   bool breakpoint_evaluated = false;
@@ -75,7 +104,9 @@ struct TwoStageStats {
 /// The four physical steps of §3: compile-time optimization happened before
 /// (binder + predicate pushdown + SplitPlan); this class runs (1) the partial
 /// execution of Q_f, (2) the run-time query optimization phase (rewrite rule
-/// (1) plus options above), and (3) the second-stage execution with ALi.
+/// (1) plus options above), and (3) the second-stage execution with ALi —
+/// optionally ingesting the files of interest on a worker pool (see
+/// TwoStageOptions::num_threads).
 class TwoStageExecutor {
  public:
   TwoStageExecutor(Catalog* catalog, FileRegistry* registry, CacheManager* cache,
@@ -114,8 +145,28 @@ class TwoStageExecutor {
   const TwoStageOptions& options() const { return options_; }
 
  private:
+  /// A mount completed ahead of plan execution by a worker task, keyed by
+  /// URI. `predicate` is the exact fused-predicate instance the plan's mount
+  /// node carries — the mount_fn serves the premounted table only on pointer
+  /// match, falling back to a real mount otherwise.
+  struct PremountEntry {
+    ExprPtr predicate;
+    TablePtr table;
+  };
+  using PremountMap = std::unordered_map<std::string, PremountEntry>;
+
   Result<std::vector<FileDecision>> DecideFiles(
       const std::vector<std::string>& files, const ExprPtr& d_predicate);
+
+  /// Mounts `union_node`'s kMount branches as parallel tasks on `workers`
+  /// lanes, filling `premounted` and accumulating counters/warnings and the
+  /// deterministic critical-path time into `stats`. No-op when the union has
+  /// fewer than two mounts.
+  Status PremountUnion(const PlanPtr& union_node, size_t workers,
+                       TwoStageStats* stats, PremountMap* premounted);
+
+  /// The cached worker pool, (re)built to `workers` threads when needed.
+  ThreadPool* Pool(size_t workers);
 
   Catalog* catalog_;
   FileRegistry* registry_;
@@ -123,6 +174,7 @@ class TwoStageExecutor {
   Mounter* mounter_;
   DerivedMetadata* derived_;
   TwoStageOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace dex

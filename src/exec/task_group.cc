@@ -1,0 +1,86 @@
+#include "exec/task_group.h"
+
+#include <algorithm>
+
+namespace dex {
+
+TaskGroup::~TaskGroup() {
+  try {
+    (void)Wait();
+  } catch (...) {
+    // A destructor must not throw; the exception was already the caller's
+    // to collect via an explicit Wait().
+  }
+}
+
+void TaskGroup::Spawn(std::function<Status()> fn) {
+  const size_t index = spawned_++;
+  auto run = [this, index, fn = std::move(fn)] {
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      Finish(index, Status::OK(), nullptr, /*skipped=*/true);
+      return;
+    }
+    Status status;
+    std::exception_ptr exception;
+    try {
+      status = fn();
+    } catch (...) {
+      exception = std::current_exception();
+    }
+    if (exception != nullptr || !status.ok()) {
+      // First failure cancels the rest of the group (cooperatively).
+      cancelled_.store(true, std::memory_order_relaxed);
+    }
+    Finish(index, std::move(status), exception, /*skipped=*/false);
+  };
+  if (pool_ != nullptr) {
+    // The future is intentionally discarded: completion is tracked by the
+    // group's own barrier, and `run` never throws.
+    (void)pool_->Submit(std::move(run));
+  } else {
+    run();
+  }
+}
+
+void TaskGroup::Finish(size_t index, Status status,
+                       std::exception_ptr exception, bool skipped) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++finished_;
+  if (skipped) {
+    ++skipped_;
+  } else if (exception != nullptr) {
+    exceptions_.emplace_back(index, exception);
+  } else if (!status.ok()) {
+    errors_.emplace_back(index, std::move(status));
+  }
+  // Notify while holding mu_: once Wait() observes completion the group may
+  // be destroyed immediately, so the notify must not outlive the lock —
+  // otherwise a straggler could broadcast on a dead condition variable.
+  cv_.notify_all();
+}
+
+Status TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return finished_ == spawned_; });
+  if (!exceptions_.empty()) {
+    auto first = std::min_element(
+        exceptions_.begin(), exceptions_.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::exception_ptr e = first->second;
+    exceptions_.clear();  // rethrow once; a repeat Wait reports the rest
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+  if (!errors_.empty()) {
+    auto first = std::min_element(
+        errors_.begin(), errors_.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    return first->second;
+  }
+  if (user_cancelled_.load(std::memory_order_relaxed)) {
+    return Status::Aborted("task group cancelled");
+  }
+  return Status::OK();
+}
+
+}  // namespace dex

@@ -1,0 +1,96 @@
+#ifndef DEX_EXEC_TASK_GROUP_H_
+#define DEX_EXEC_TASK_GROUP_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/thread_pool.h"
+
+namespace dex {
+
+/// \brief A batch of Status-returning tasks with a completion barrier,
+/// deterministic error aggregation, and cancellation.
+///
+/// Usage:
+/// ```
+///   TaskGroup group(pool);              // pool == nullptr runs inline
+///   for (auto& work : tasks) group.Spawn([&] { return DoWork(work); });
+///   DEX_RETURN_NOT_OK(group.Wait());    // barrier
+/// ```
+///
+/// Semantics:
+///  - Wait() blocks until every spawned task finished or was skipped, then
+///    reports the error of the *lowest spawn index* that failed — so the
+///    reported status does not depend on thread interleaving.
+///  - The first failing task cancels the group: tasks that have not started
+///    yet are skipped (their Status is never produced). Tasks already
+///    running are not interrupted — cooperative cancellation only.
+///  - Exceptions thrown by a task are captured and rethrown from Wait()
+///    (again lowest-index-first), after the barrier.
+///  - Cancel() may also be called externally; Wait() then returns
+///    Status::Aborted unless some task already failed with a real error.
+///
+/// A TaskGroup is single-use: spawn, wait, discard.
+class TaskGroup {
+ public:
+  /// `pool` may be null: tasks then run inline during Spawn (the degenerate
+  /// sequential mode used for num_threads == 1).
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+  /// Waits for stragglers; errors surfaced by this implicit wait are lost,
+  /// so call Wait() explicitly on every success path.
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Schedules `fn`. If the group is already cancelled the task is skipped.
+  void Spawn(std::function<Status()> fn);
+
+  /// Barrier: blocks until all tasks finished/skipped. Rethrows the first
+  /// (by spawn index) captured exception, else returns the first error
+  /// status, else Aborted if the group was cancelled externally, else OK.
+  Status Wait();
+
+  /// Requests cancellation: tasks not yet started are skipped.
+  void Cancel() {
+    user_cancelled_.store(true, std::memory_order_relaxed);
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+  size_t tasks_spawned() const { return spawned_; }
+
+  /// Tasks skipped because cancellation happened before they started.
+  size_t tasks_skipped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return skipped_;
+  }
+
+ private:
+  void Finish(size_t index, Status status, std::exception_ptr exception,
+              bool skipped);
+
+  ThreadPool* pool_;
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> user_cancelled_{false};
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t spawned_ = 0;   // only mutated by the spawning thread
+  size_t finished_ = 0;  // guarded by mu_
+  size_t skipped_ = 0;   // guarded by mu_
+  std::vector<std::pair<size_t, Status>> errors_;                  // guarded by mu_
+  std::vector<std::pair<size_t, std::exception_ptr>> exceptions_;  // guarded by mu_
+};
+
+}  // namespace dex
+
+#endif  // DEX_EXEC_TASK_GROUP_H_

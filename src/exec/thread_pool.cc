@@ -1,0 +1,65 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+
+namespace dex {
+
+size_t ThreadPool::DefaultConcurrency() {
+  return std::max<size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Enqueue(std::function<void()> fn) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!shutdown_) {
+      queue_.push_back(std::move(fn));
+      lock.unlock();
+      cv_.notify_one();
+      return;
+    }
+  }
+  // The pool is shutting down: run inline so the caller's future still
+  // completes instead of dangling forever.
+  fn();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown and drained
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    fn();
+  }
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      // Idempotent; a second caller must not try to join again.
+      return;
+    }
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace dex

@@ -1,0 +1,73 @@
+#ifndef DEX_EXEC_THREAD_POOL_H_
+#define DEX_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace dex {
+
+/// \brief A fixed-size worker pool executing submitted tasks FIFO.
+///
+/// This is the substrate of the stage-2 parallel-mount subsystem: the
+/// two-stage executor turns each file of interest into one task (read →
+/// salvage/decode → partial-table build) and runs them on a pool sized by
+/// `TwoStageOptions::num_threads`. The pool itself is workload-agnostic —
+/// tasks are plain callables, completion is future-based, and higher-level
+/// semantics (error aggregation, cancellation, barriers) live in TaskGroup.
+///
+/// Lifetime: the destructor drains the queue (already-submitted work still
+/// runs) and joins every worker. Submitting to a pool that is shutting down
+/// degrades gracefully by running the task inline on the caller's thread.
+class ThreadPool {
+ public:
+  /// The hardware's concurrency, never less than 1 (the standard permits
+  /// hardware_concurrency() to return 0 when unknown).
+  static size_t DefaultConcurrency();
+
+  /// Creates `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues `fn` and returns a future that completes with its result.
+  /// Exceptions thrown by `fn` are captured in the future (std::future
+  /// semantics) — they never escape a worker thread.
+  template <typename Fn, typename R = std::invoke_result_t<std::decay_t<Fn>>>
+  std::future<R> Submit(Fn&& fn) {
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// Stops accepting queued work, finishes what was already submitted, and
+  /// joins every worker. Idempotent; also called by the destructor.
+  void Shutdown();
+
+ private:
+  void Enqueue(std::function<void()> fn);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace dex
+
+#endif  // DEX_EXEC_THREAD_POOL_H_

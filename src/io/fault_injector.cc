@@ -4,7 +4,19 @@
 
 namespace dex {
 
+namespace {
+
+// Derives a well-mixed per-object stream seed from the injector seed. The
+// golden-ratio multiplier keeps adjacent ObjectIds from producing correlated
+// streams (Random's own SplitMix init then finishes the scrambling).
+uint64_t StreamSeed(uint64_t seed, uint32_t object) {
+  return seed ^ (0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(object) + 1));
+}
+
+}  // namespace
+
 FaultInjector::ReadFault FaultInjector::OnDiskRead(uint32_t object) {
+  std::lock_guard<std::mutex> lock(mu_);
   ReadFault out;
   ++stats_.reads_seen;
   if (permanent_.count(object) > 0) {
@@ -13,16 +25,22 @@ FaultInjector::ReadFault FaultInjector::OnDiskRead(uint32_t object) {
     ++stats_.permanent_faults;
     return out;
   }
+  auto it = streams_.find(object);
+  if (it == streams_.end()) {
+    it = streams_.emplace(object, Random(StreamSeed(options_.seed, object)))
+             .first;
+  }
+  Random& rng = it->second;
   if (options_.transient_error_rate > 0.0 &&
-      rng_.NextBool(options_.transient_error_rate)) {
+      rng.NextBool(options_.transient_error_rate)) {
     out.fail = true;
     ++stats_.transient_faults;
   }
   if (options_.latency_spike_rate > 0.0 &&
-      rng_.NextBool(options_.latency_spike_rate)) {
+      rng.NextBool(options_.latency_spike_rate)) {
     // Exponentially distributed spike around the configured mean; clamp the
     // uniform draw away from 1.0 so the log stays finite.
-    const double u = std::min(rng_.NextDouble(), 0.999999);
+    const double u = std::min(rng.NextDouble(), 0.999999);
     const double spike_ms = -options_.latency_spike_millis * std::log(1.0 - u);
     out.extra_latency_nanos = static_cast<uint64_t>(spike_ms * 1e6);
     ++stats_.latency_spikes;

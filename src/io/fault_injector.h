@@ -2,7 +2,9 @@
 #define DEX_IO_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/random.h"
@@ -27,8 +29,13 @@ namespace dex {
 ///  - *latency spikes*: with probability `latency_spike_rate` a read is
 ///    charged an extra exponentially distributed simulated delay.
 ///
-/// All randomness flows through one seeded PRNG, so a fixed (seed, call
-/// sequence) pair replays the identical fault schedule.
+/// Each object draws from its own PRNG stream, derived from (seed, object).
+/// The fate of the k-th read of an object therefore depends only on the
+/// seed, the object, and k — not on reads of *other* objects. This is what
+/// keeps fault schedules replayable when the parallel mount path interleaves
+/// reads of many files in a thread-dependent order.
+///
+/// All methods are thread-safe.
 class FaultInjector {
  public:
   struct Options {
@@ -62,30 +69,46 @@ class FaultInjector {
   };
 
   FaultInjector() : FaultInjector(Options{}) {}
-  explicit FaultInjector(const Options& options)
-      : options_(options), rng_(options.seed) {}
+  explicit FaultInjector(const Options& options) : options_(options) {}
 
   /// Adds `object` (a SimDisk ObjectId) to the permanent failure set.
-  void FailObject(uint32_t object) { permanent_.insert(object); }
+  void FailObject(uint32_t object) {
+    std::lock_guard<std::mutex> lock(mu_);
+    permanent_.insert(object);
+  }
 
   /// Removes `object` from the permanent failure set (the file was repaired
   /// or the medium recovered).
-  void HealObject(uint32_t object) { permanent_.erase(object); }
+  void HealObject(uint32_t object) {
+    std::lock_guard<std::mutex> lock(mu_);
+    permanent_.erase(object);
+  }
 
-  bool IsFailed(uint32_t object) const { return permanent_.count(object) > 0; }
+  bool IsFailed(uint32_t object) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return permanent_.count(object) > 0;
+  }
 
-  bool has_permanent_faults() const { return !permanent_.empty(); }
+  bool has_permanent_faults() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return !permanent_.empty();
+  }
 
   /// Draws the fate of one disk-touching read of `object`. Deterministic in
-  /// the injector's call sequence.
+  /// (seed, object, number of prior OnDiskRead calls for `object`).
   ReadFault OnDiskRead(uint32_t object);
 
   const Options& options() const { return options_; }
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
 
  private:
-  Options options_;
-  Random rng_;
+  const Options options_;
+  mutable std::mutex mu_;
+  // Lazily created per-object PRNG streams; guarded by mu_.
+  std::unordered_map<uint32_t, Random> streams_;
   std::unordered_set<uint32_t> permanent_;
   Stats stats_;
 };

@@ -17,6 +17,8 @@ std::string IoStats::ToString() const {
   return out;
 }
 
+thread_local uint64_t* SimDisk::tls_sim_nanos_sink_ = nullptr;
+
 SimDisk::SimDisk(const Options& options)
     : options_(options), injector_(options.faults) {
   DEX_CHECK_GT(options_.page_bytes, 0u);
@@ -26,6 +28,7 @@ SimDisk::SimDisk(const Options& options)
 
 ObjectId SimDisk::Register(const std::string& name, uint64_t size,
                            bool fault_injectable) {
+  std::lock_guard<std::mutex> lock(mu_);
   Object obj;
   obj.name = name;
   obj.size = size;
@@ -42,7 +45,7 @@ Status SimDisk::CheckLive(ObjectId id) const {
   return Status::OK();
 }
 
-Status SimDisk::Resize(ObjectId id, uint64_t new_size) {
+Status SimDisk::ResizeLocked(ObjectId id, uint64_t new_size) {
   DEX_RETURN_NOT_OK(CheckLive(id));
   const uint64_t old_pages =
       (objects_[id].size + options_.page_bytes - 1) / options_.page_bytes;
@@ -60,9 +63,14 @@ Status SimDisk::Resize(ObjectId id, uint64_t new_size) {
   return Status::OK();
 }
 
+Status SimDisk::Resize(ObjectId id, uint64_t new_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ResizeLocked(id, new_size);
+}
+
 Status SimDisk::Unregister(ObjectId id) {
-  DEX_RETURN_NOT_OK(CheckLive(id));
-  DEX_RETURN_NOT_OK(Resize(id, 0));
+  std::lock_guard<std::mutex> lock(mu_);
+  DEX_RETURN_NOT_OK(ResizeLocked(id, 0));
   objects_[id].live = false;
   return Status::OK();
 }
@@ -89,18 +97,34 @@ void SimDisk::EvictIfNeeded() {
   }
 }
 
+void SimDisk::ChargeTime(uint64_t nanos) {
+  // A task scope routes this thread's stall time to the task's own bucket;
+  // the parallel mount path later charges the aggregated critical path back
+  // through ChargeDelay on the coordinating thread.
+  if (tls_sim_nanos_sink_ != nullptr) {
+    *tls_sim_nanos_sink_ += nanos;
+  } else {
+    stats_.sim_nanos += nanos;
+  }
+}
+
 void SimDisk::ChargeTransfer(uint64_t bytes, double mb_per_sec) {
   // nanos = bytes / (MB/s * 1e6 B/s) * 1e9.
-  stats_.sim_nanos += static_cast<uint64_t>(
-      static_cast<double>(bytes) / (mb_per_sec * 1e6) * 1e9);
+  ChargeTime(static_cast<uint64_t>(
+      static_cast<double>(bytes) / (mb_per_sec * 1e6) * 1e9));
 }
 
 void SimDisk::ChargeSeek() {
   stats_.seeks += 1;
-  stats_.sim_nanos += static_cast<uint64_t>(options_.seek_millis * 1e6);
+  ChargeTime(static_cast<uint64_t>(options_.seek_millis * 1e6));
 }
 
-Status SimDisk::Read(ObjectId id, uint64_t offset, uint64_t length) {
+void SimDisk::ChargeDelay(uint64_t nanos) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ChargeTime(nanos);
+}
+
+Status SimDisk::ReadLocked(ObjectId id, uint64_t offset, uint64_t length) {
   DEX_RETURN_NOT_OK(CheckLive(id));
   if (length == 0) return Status::OK();
   const Object& obj = objects_[id];
@@ -124,7 +148,7 @@ Status SimDisk::Read(ObjectId id, uint64_t offset, uint64_t length) {
     if (would_miss &&
         (injector_.options().active() || injector_.has_permanent_faults())) {
       const FaultInjector::ReadFault fault = injector_.OnDiskRead(id);
-      stats_.sim_nanos += fault.extra_latency_nanos;
+      ChargeTime(fault.extra_latency_nanos);
       if (fault.fail) {
         // The failed attempt still paid for positioning the head; no pages
         // become resident.
@@ -163,12 +187,19 @@ Status SimDisk::Read(ObjectId id, uint64_t offset, uint64_t length) {
   return Status::OK();
 }
 
+Status SimDisk::Read(ObjectId id, uint64_t offset, uint64_t length) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ReadLocked(id, offset, length);
+}
+
 Status SimDisk::ReadAll(ObjectId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   DEX_RETURN_NOT_OK(CheckLive(id));
-  return Read(id, 0, objects_[id].size);
+  return ReadLocked(id, 0, objects_[id].size);
 }
 
 Status SimDisk::Write(ObjectId id, uint64_t offset, uint64_t length) {
+  std::lock_guard<std::mutex> lock(mu_);
   DEX_RETURN_NOT_OK(CheckLive(id));
   if (length == 0) return Status::OK();
   Object& obj = objects_[id];
@@ -189,12 +220,14 @@ Status SimDisk::Write(ObjectId id, uint64_t offset, uint64_t length) {
 }
 
 void SimDisk::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_list_.clear();
   lru_map_.clear();
   resident_pages_ = 0;
 }
 
 Status SimDisk::Prefault(ObjectId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   DEX_RETURN_NOT_OK(CheckLive(id));
   const Object& obj = objects_[id];
   const uint64_t pages = (obj.size + options_.page_bytes - 1) / options_.page_bytes;
@@ -206,16 +239,19 @@ Status SimDisk::Prefault(ObjectId id) {
 }
 
 Result<uint64_t> SimDisk::ObjectSize(ObjectId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   DEX_RETURN_NOT_OK(CheckLive(id));
   return objects_[id].size;
 }
 
 Result<std::string> SimDisk::ObjectName(ObjectId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   DEX_RETURN_NOT_OK(CheckLive(id));
   return objects_[id].name;
 }
 
 Result<double> SimDisk::ResidentFraction(ObjectId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   DEX_RETURN_NOT_OK(CheckLive(id));
   const Object& obj = objects_[id];
   const uint64_t pages = (obj.size + options_.page_bytes - 1) / options_.page_bytes;

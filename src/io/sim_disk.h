@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -33,6 +34,15 @@ constexpr ObjectId kInvalidObjectId = 0;
 /// The class does not hold data — contents live in the real structures that
 /// own them (std::vector columns, real files). It accounts only for *where
 /// the bytes would have been* and what moving them would cost.
+///
+/// All methods are thread-safe (one internal mutex). Concurrent *time*
+/// accounting additionally supports per-task attribution: a worker thread
+/// that installs a `TaskTimeScope` has all simulated stall time it incurs
+/// accumulated into its own sink instead of the global `stats().sim_nanos`.
+/// The parallel mount path uses this to compute a deterministic critical
+/// path (makespan over worker lanes) that it then charges back via
+/// `ChargeDelay` — simulated elapsed time stays independent of how the OS
+/// actually interleaved the worker threads.
 class SimDisk {
  public:
   struct Options {
@@ -44,6 +54,28 @@ class SimDisk {
     /// I/O fault injection (seeded, deterministic). Only objects registered
     /// as fault-injectable (repository files) are affected.
     FaultInjector::Options faults;
+  };
+
+  /// \brief RAII redirection of this thread's simulated-time charges.
+  ///
+  /// While alive, any `sim_nanos` the current thread would add to the global
+  /// stats goes to `*sink` instead (byte/seek/fault counters still go to the
+  /// shared stats — those are order-independent sums). Scopes nest; the
+  /// previous sink is restored on destruction. The sink must outlive the
+  /// scope and is only written by this thread, so no synchronisation is
+  /// needed to read it after the owning task finished.
+  class TaskTimeScope {
+   public:
+    explicit TaskTimeScope(uint64_t* sink) : prev_(tls_sim_nanos_sink_) {
+      tls_sim_nanos_sink_ = sink;
+    }
+    ~TaskTimeScope() { tls_sim_nanos_sink_ = prev_; }
+
+    TaskTimeScope(const TaskTimeScope&) = delete;
+    TaskTimeScope& operator=(const TaskTimeScope&) = delete;
+
+   private:
+    uint64_t* prev_;
   };
 
   SimDisk() : SimDisk(Options{}) {}
@@ -86,8 +118,9 @@ class SimDisk {
   Status Prefault(ObjectId id);
 
   /// Charges `nanos` of simulated wall time without moving any bytes (e.g.
-  /// retry backoff in the fault-tolerant mount path).
-  void ChargeDelay(uint64_t nanos) { stats_.sim_nanos += nanos; }
+  /// retry backoff in the fault-tolerant mount path, or the aggregated
+  /// critical path of a parallel mount wave).
+  void ChargeDelay(uint64_t nanos);
 
   Result<uint64_t> ObjectSize(ObjectId id) const;
   Result<std::string> ObjectName(ObjectId id) const;
@@ -95,8 +128,14 @@ class SimDisk {
   /// Fraction of the object's pages currently resident, in [0, 1].
   Result<double> ResidentFraction(ObjectId id) const;
 
-  const IoStats& stats() const { return stats_; }
-  uint64_t buffer_pool_used_bytes() const { return resident_pages_ * options_.page_bytes; }
+  IoStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  uint64_t buffer_pool_used_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return resident_pages_ * options_.page_bytes;
+  }
   const Options& options() const { return options_; }
 
   /// The disk's fault injector (always present; inert unless configured via
@@ -117,15 +156,23 @@ class SimDisk {
     return (static_cast<uint64_t>(id) << 40) | page;
   }
 
+  // All helpers below require mu_ to be held.
   bool IsResident(uint64_t key) const { return lru_map_.count(key) > 0; }
   void Touch(uint64_t key);
   void Insert(uint64_t key);
   void EvictIfNeeded();
+  void ChargeTime(uint64_t nanos);
   void ChargeTransfer(uint64_t bytes, double mb_per_sec);
   void ChargeSeek();
   Status CheckLive(ObjectId id) const;
+  Status ResizeLocked(ObjectId id, uint64_t new_size);
+  Status ReadLocked(ObjectId id, uint64_t offset, uint64_t length);
 
-  Options options_;
+  // Where this thread's sim-time charges land (null = global stats).
+  static thread_local uint64_t* tls_sim_nanos_sink_;
+
+  const Options options_;
+  mutable std::mutex mu_;
   std::vector<Object> objects_;  // index = ObjectId (0 unused)
   // LRU: front = most recent.
   std::list<uint64_t> lru_list_;

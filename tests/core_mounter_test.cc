@@ -58,7 +58,8 @@ class MounterTest : public ::testing::Test {
 
 TEST_F(MounterTest, MountExtractsAllSamples) {
   Mounter mounter(&catalog_, &registry_, &cache_, nullptr, &format_);
-  auto t = mounter.Mount(kDataTableName, uri_, nullptr);
+  Mounter::MountOutcome outcome;
+  auto t = mounter.Mount(kDataTableName, uri_, nullptr, &outcome);
   ASSERT_TRUE(t.ok()) << t.status().ToString();
   ASSERT_EQ((*t)->num_rows(), 7u);
   // Schema: uri, record_id, sample_time, sample_value.
@@ -70,9 +71,9 @@ TEST_F(MounterTest, MountExtractsAllSamples) {
   EXPECT_EQ((*t)->GetValue(3, 1).int64(), 1);
   EXPECT_EQ((*t)->GetValue(4, 2).int64(), 101000);
   EXPECT_DOUBLE_EQ((*t)->GetValue(6, 3).dbl(), 10.0);
-  EXPECT_EQ(mounter.counters().mounts, 1u);
-  EXPECT_EQ(mounter.counters().records_decoded, 2u);
-  EXPECT_EQ(mounter.counters().samples_decoded, 7u);
+  EXPECT_EQ(outcome.counters.mounts, 1u);
+  EXPECT_EQ(outcome.counters.records_decoded, 2u);
+  EXPECT_EQ(outcome.counters.samples_decoded, 7u);
 }
 
 TEST_F(MounterTest, MountChargesSimulatedRead) {

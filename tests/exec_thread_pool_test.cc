@@ -1,0 +1,228 @@
+// The stage-2 ingestion substrate: worker pool + task groups.
+
+#include "exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/task_group.h"
+
+namespace dex {
+namespace {
+
+TEST(ThreadPool, DefaultConcurrencyIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultConcurrency(), 1u);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  auto f = pool.Submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitReturnsResultsThroughFutures) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  int sum = 0;
+  for (auto& f : futures) sum += f.get();
+  int expected = 0;
+  for (int i = 0; i < 100; ++i) expected += i * i;
+  EXPECT_EQ(sum, expected);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The worker survives the throwing task and keeps serving.
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedWorkAndIsIdempotent) {
+  std::atomic<int> ran{0};
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.Submit([&ran] { ++ran; }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 50);
+  for (auto& f : futures) f.get();  // all futures are complete
+  pool.Shutdown();                  // second call is a no-op
+}
+
+TEST(ThreadPool, SubmitAfterShutdownRunsInline) {
+  ThreadPool pool(1);
+  pool.Shutdown();
+  std::atomic<bool> ran{false};
+  auto f = pool.Submit([&ran] { ran = true; });
+  f.get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, DestructorJoinsOutstandingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 30; ++i) {
+      (void)pool.Submit([&ran] { ++ran; });
+    }
+  }  // ~ThreadPool drains + joins
+  EXPECT_EQ(ran.load(), 30);
+}
+
+TEST(TaskGroup, AllTasksSucceed) {
+  ThreadPool pool(4);
+  TaskGroup group(&pool);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 32; ++i) {
+    group.Spawn([&ran] {
+      ++ran;
+      return Status::OK();
+    });
+  }
+  EXPECT_TRUE(group.Wait().ok());
+  EXPECT_EQ(ran.load(), 32);
+  EXPECT_EQ(group.tasks_spawned(), 32u);
+  EXPECT_EQ(group.tasks_skipped(), 0u);
+  EXPECT_FALSE(group.cancelled());
+}
+
+TEST(TaskGroup, ReportsLowestIndexError) {
+  // Inline mode (null pool) makes every task run, deterministically: the
+  // aggregated status must be the lowest spawn index that failed, not the
+  // last or the first to *finish*.
+  TaskGroup group(nullptr);
+  group.Spawn([] { return Status::OK(); });
+  group.Spawn([] { return Status::InvalidArgument("first failure"); });
+  group.Spawn([] { return Status::IOError("second failure"); });
+  Status s = group.Wait();
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find("first failure"), std::string::npos);
+}
+
+TEST(TaskGroup, NullPoolRunsInlineDuringSpawn) {
+  TaskGroup group(nullptr);
+  int ran = 0;
+  group.Spawn([&ran] {
+    ++ran;
+    return Status::OK();
+  });
+  EXPECT_EQ(ran, 1) << "inline mode executes during Spawn, before Wait";
+  EXPECT_TRUE(group.Wait().ok());
+}
+
+TEST(TaskGroup, FirstFailureCancelsUnstartedTasks) {
+  // Inline mode: the failure cancels the group synchronously, so every
+  // later Spawn is skipped — exactly 1 executed, 9 skipped.
+  TaskGroup group(nullptr);
+  int ran = 0;
+  group.Spawn([&ran] {
+    ++ran;
+    return Status::IOError("disk gone");
+  });
+  for (int i = 0; i < 9; ++i) {
+    group.Spawn([&ran] {
+      ++ran;
+      return Status::OK();
+    });
+  }
+  Status s = group.Wait();
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(group.tasks_skipped(), 9u);
+  EXPECT_TRUE(group.cancelled());
+}
+
+TEST(TaskGroup, ExternalCancelSkipsQueuedTasksAndReportsAborted) {
+  ThreadPool pool(1);
+  TaskGroup group(&pool);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> started;
+  // The single worker parks on the gate; everything behind it queues.
+  group.Spawn([&started, gate] {
+    started.set_value();
+    gate.wait();
+    return Status::OK();
+  });
+  for (int i = 0; i < 8; ++i) {
+    group.Spawn([] { return Status::OK(); });
+  }
+  // Only cancel once task 0 is running, so exactly the 8 queued tasks skip.
+  started.get_future().wait();
+  group.Cancel();
+  release.set_value();
+  Status s = group.Wait();
+  EXPECT_TRUE(s.IsAborted()) << s.ToString();
+  EXPECT_EQ(group.tasks_skipped(), 8u);
+}
+
+TEST(TaskGroup, SpawnAfterCancelIsSkipped) {
+  TaskGroup group(nullptr);
+  group.Cancel();
+  int ran = 0;
+  group.Spawn([&ran] {
+    ++ran;
+    return Status::OK();
+  });
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(group.tasks_skipped(), 1u);
+  EXPECT_TRUE(group.Wait().IsAborted());
+}
+
+TEST(TaskGroup, ExceptionRethrownFromWait) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  group.Spawn([]() -> Status { throw std::runtime_error("task blew up"); });
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+  // The rethrow consumed the exception; a repeat Wait reports cleanly.
+  EXPECT_TRUE(group.Wait().ok());
+}
+
+TEST(TaskGroup, ErrorWinsOverExternalCancel) {
+  TaskGroup group(nullptr);
+  group.Spawn([] { return Status::Corruption("bad bytes"); });
+  group.Cancel();
+  Status s = group.Wait();
+  EXPECT_TRUE(s.IsCorruption()) << "real errors outrank the Aborted marker";
+}
+
+TEST(TaskGroup, ParallelFailuresStillReportLowestIndex) {
+  // Under a real pool the finish order is nondeterministic, but the reported
+  // error must be the lowest spawn index among those that failed. Park every
+  // task on a gate until all have started, so cancellation cannot skip any
+  // of them and all four failures are recorded.
+  constexpr int kTasks = 4;
+  ThreadPool pool(kTasks);
+  TaskGroup group(&pool);
+  std::atomic<int> started{0};
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  for (int i = 0; i < kTasks; ++i) {
+    group.Spawn([i, &started, gate] {
+      ++started;
+      gate.wait();
+      return Status::IOError("index " + std::to_string(i));
+    });
+  }
+  while (started.load() < kTasks) std::this_thread::yield();
+  release.set_value();
+  Status s = group.Wait();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("index 0"), std::string::npos) << s.ToString();
+}
+
+}  // namespace
+}  // namespace dex
