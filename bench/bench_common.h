@@ -10,8 +10,50 @@
 #include "core/database.h"
 #include "io/file_io.h"
 #include "mseed/generator.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dex::bench {
+
+/// Env-driven observability for benchmarks. Declare one at the top of main():
+/// with `DEX_TRACE_OUT=<file>` set, span tracing is enabled and a Chrome
+/// trace-event JSON is written on scope exit; with `DEX_METRICS_OUT=<file>`
+/// set, the metrics registry is dumped as flat text on scope exit. Neither
+/// variable set = zero effect on the benchmark.
+class ObservabilityScope {
+ public:
+  ObservabilityScope() {
+    if (const char* v = std::getenv("DEX_TRACE_OUT")) {
+      trace_out_ = v;
+      obs::Tracer::Global().set_enabled(true);
+    }
+    if (const char* v = std::getenv("DEX_METRICS_OUT")) metrics_out_ = v;
+  }
+
+  ~ObservabilityScope() {
+    if (!trace_out_.empty()) {
+      const auto spans = obs::Tracer::Global().Drain();
+      const Status st = obs::WriteChromeTrace(trace_out_, spans);
+      std::fprintf(stderr, "trace: %zu span(s) -> %s%s\n", spans.size(),
+                   trace_out_.c_str(),
+                   st.ok() ? "" : (" (" + st.ToString() + ")").c_str());
+    }
+    if (!metrics_out_.empty()) {
+      const Status st = WriteStringToFile(
+          metrics_out_, obs::MetricsRegistry::Global().ToText());
+      std::fprintf(stderr, "metrics -> %s%s\n", metrics_out_.c_str(),
+                   st.ok() ? "" : (" (" + st.ToString() + ")").c_str());
+    }
+  }
+
+  ObservabilityScope(const ObservabilityScope&) = delete;
+  ObservabilityScope& operator=(const ObservabilityScope&) = delete;
+
+ private:
+  std::string trace_out_;
+  std::string metrics_out_;
+};
 
 /// Benchmark workload scale; override with environment variables
 /// DEX_BENCH_STATIONS / DEX_BENCH_CHANNELS / DEX_BENCH_DAYS / DEX_BENCH_RATE.

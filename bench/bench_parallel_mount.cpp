@@ -12,6 +12,7 @@ using namespace dex;
 using namespace dex::bench;
 
 int main() {
+  ObservabilityScope obs_scope;  // DEX_TRACE_OUT / DEX_METRICS_OUT
   BenchConfig config = BenchConfig::FromEnv();
   // Default to the 64-file workload (4 x 4 x 4) unless the environment
   // asked for a specific scale.

@@ -2,19 +2,29 @@
 //
 //   dex_shell <repo-dir> [--eager] [--cache=none|lru|all] [--tuple-cache]
 //             [--derived] [--snapshot=<path>] [--batch=<n>] [--threads=<n>]
+//             [--trace=<file>] [--log-level=debug|info|warning|error]
 //
 // SQL statements execute through the two-stage kernel; dot-commands inspect
 // the system:
 //   .tables            list tables with row counts and kinds
 //   .schema <table>    show a table's columns
 //   .explain <sql>     compile-time plans + the Q_f/Q_s decomposition
-//   .stats             statistics of the last query
+//   .explain analyze <sql>  execute and annotate every operator with
+//                      measured rows / batches / wall time
+//   .stats             statistics of the last query (incl. fault counters)
+//   .metrics           dump the process-wide metrics registry
 //   .open              open/ingestion statistics
 //   .cache             cache contents summary
 //   .coverage          derive GAPS/OVERLAPS from record metadata
 //   .refresh           rescan the repository for new/changed/removed files
 //   .cold              flush the buffer pool (next query runs cold)
 //   .help / .quit
+//
+// With --trace=FILE every query records lifecycle spans (stage 1, rewrite,
+// per-file mounts, stage 2) and the shell writes a Chrome trace-event JSON
+// on exit — load it in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing. `DEX_LOG_LEVEL` sets the log threshold from the
+// environment; --log-level= overrides it.
 //
 // Reads from stdin, so it scripts cleanly:
 //   echo "SELECT COUNT(*) FROM F;" | dex_shell /repo
@@ -24,14 +34,18 @@
 #include <sstream>
 #include <string>
 
+#include "common/logging.h"
 #include "common/string_utils.h"
 #include "core/database.h"
 #include "core/export.h"
 #include "io/file_io.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
-void PrintQueryStats(const dex::QueryStats& stats) {
+void PrintQueryStats(const dex::QueryStats& stats, bool verbose) {
   const auto& ts = stats.two_stage;
   std::printf("-- %llu row(s) in %.4fs",
               static_cast<unsigned long long>(stats.result_rows),
@@ -49,7 +63,7 @@ void PrintQueryStats(const dex::QueryStats& stats) {
   if (stats.sim_io_nanos > 0) {
     std::printf(" [sim-I/O %.4fs]", stats.sim_io_nanos / 1e9);
   }
-  if (ts.mount_tasks > 0) {
+  if (ts.workers > 1 && ts.mount_tasks > 0) {
     std::printf(" [%zu mount tasks on %zu workers, sim speedup %.2fx]",
                 ts.mount_tasks, ts.workers,
                 ts.parallel_sim_nanos > 0
@@ -57,14 +71,32 @@ void PrintQueryStats(const dex::QueryStats& stats) {
                           static_cast<double>(ts.parallel_sim_nanos)
                     : 1.0);
   }
+  const bool any_faults = stats.read_retries > 0 || stats.records_salvaged > 0 ||
+                          stats.files_failed > 0 || stats.files_skipped > 0 ||
+                          stats.records_skipped > 0;
+  if (verbose || any_faults) {
+    std::printf("\n   faults: %llu read retries, %llu records salvaged "
+                "(%llu skipped), %llu files failed, %llu files skipped",
+                static_cast<unsigned long long>(stats.read_retries),
+                static_cast<unsigned long long>(stats.records_salvaged),
+                static_cast<unsigned long long>(stats.records_skipped),
+                static_cast<unsigned long long>(stats.files_failed),
+                static_cast<unsigned long long>(stats.files_skipped));
+  }
   std::printf("\n");
+  if (verbose) {
+    for (const std::string& w : stats.warnings) {
+      std::printf("   warning: %s\n", w.c_str());
+    }
+  }
 }
 
 int Usage() {
   std::fprintf(stderr,
                "usage: dex_shell <repo-dir> [--eager] [--cache=none|lru|all] "
                "[--tuple-cache] [--derived] [--snapshot=<path>] [--batch=<n>] "
-               "[--threads=<n>]\n");
+               "[--threads=<n>] [--trace=<file>] "
+               "[--log-level=debug|info|warning|error]\n");
   return 2;
 }
 
@@ -72,8 +104,10 @@ int Usage() {
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
+  dex::Logger::InitFromEnv();  // DEX_LOG_LEVEL; --log-level= overrides below
   dex::DatabaseOptions options;
   std::string repo;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--eager") {
@@ -97,6 +131,16 @@ int main(int argc, char** argv) {
     } else if (dex::StartsWith(arg, "--threads=")) {
       options.two_stage.num_threads =
           static_cast<size_t>(std::atoi(arg.c_str() + 10));
+    } else if (dex::StartsWith(arg, "--trace=")) {
+      trace_path = arg.substr(8);
+      if (trace_path.empty()) return Usage();
+    } else if (dex::StartsWith(arg, "--log-level=")) {
+      dex::LogLevel level;
+      if (!dex::ParseLogLevel(arg.substr(12), &level)) {
+        std::fprintf(stderr, "unknown log level %s\n", arg.c_str() + 12);
+        return Usage();
+      }
+      dex::Logger::set_threshold(level);
     } else if (arg[0] == '-') {
       return Usage();
     } else {
@@ -104,6 +148,9 @@ int main(int argc, char** argv) {
     }
   }
   if (repo.empty()) return Usage();
+  if (!trace_path.empty()) {
+    dex::obs::Tracer::Global().set_enabled(true);
+  }
 
   auto db_or = dex::Database::Open(repo, options);
   if (!db_or.ok()) {
@@ -136,8 +183,9 @@ int main(int argc, char** argv) {
       if (cmd == ".quit" || cmd == ".exit") break;
       if (cmd == ".help") {
         std::printf(
-            ".tables .schema <t> .explain <sql> .stats .open .cache "
-            ".coverage .refresh .cold .export <path> <sql> .quit\n");
+            ".tables .schema <t> .explain [analyze] <sql> .stats .metrics "
+            ".open .cache .coverage .refresh .cold .export <path> <sql> "
+            ".quit\n");
       } else if (cmd == ".tables") {
         for (const std::string& name : db->catalog()->TableNames()) {
           auto table = db->catalog()->GetTable(name);
@@ -158,11 +206,27 @@ int main(int argc, char** argv) {
         }
       } else if (cmd == ".explain") {
         const std::string sql = trimmed.substr(8);
-        auto text = db->Explain(sql);
-        std::printf("%s\n", text.ok() ? text->c_str()
-                                      : text.status().ToString().c_str());
+        if (parts.size() > 1 && dex::ToLower(parts[1]) == "analyze") {
+          // Database::Query understands the EXPLAIN ANALYZE prefix; the
+          // result is a one-column QUERY PLAN table.
+          auto result = db->Query("EXPLAIN" + sql);
+          if (!result.ok()) {
+            std::printf("error: %s\n", result.status().ToString().c_str());
+          } else {
+            const auto& col = *result->table->column(0);
+            for (size_t r = 0; r < result->table->num_rows(); ++r) {
+              std::printf("%s\n", col.GetString(r).c_str());
+            }
+          }
+        } else {
+          auto text = db->Explain(sql);
+          std::printf("%s\n", text.ok() ? text->c_str()
+                                        : text.status().ToString().c_str());
+        }
       } else if (cmd == ".stats") {
-        PrintQueryStats(last_stats);
+        PrintQueryStats(last_stats, /*verbose=*/true);
+      } else if (cmd == ".metrics") {
+        std::printf("%s", dex::obs::MetricsRegistry::Global().ToText().c_str());
       } else if (cmd == ".open") {
         std::printf("files=%zu records=%zu metadata=%s repo=%s open=%.3fs "
                     "(snapshot reused %zu)\n",
@@ -233,8 +297,18 @@ int main(int argc, char** argv) {
     }
     std::printf("%s", result->table->ToString(40).c_str());
     last_stats = result->stats;
-    PrintQueryStats(last_stats);
+    PrintQueryStats(last_stats, /*verbose=*/false);
   }
   std::printf("\n");
+  if (!trace_path.empty()) {
+    const auto spans = dex::obs::Tracer::Global().Drain();
+    const dex::Status st = dex::obs::WriteChromeTrace(trace_path, spans);
+    if (st.ok()) {
+      std::fprintf(stderr, "trace: %zu span(s) written to %s\n", spans.size(),
+                   trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace write failed: %s\n", st.ToString().c_str());
+    }
+  }
   return 0;
 }

@@ -1,11 +1,16 @@
 #include "common/logging.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
 
 namespace dex {
 
 namespace {
 std::atomic<int> g_threshold{static_cast<int>(LogLevel::kWarning)};
+
+// Test-only capture sink; nullptr = write to stderr.
+std::string* g_test_sink = nullptr;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -35,11 +40,49 @@ void Logger::Log(LogLevel level, const std::string& msg) {
       level != LogLevel::kFatal) {
     return;
   }
+  if (g_test_sink != nullptr) {
+    g_test_sink->append("[dex ");
+    g_test_sink->append(LevelName(level));
+    g_test_sink->append("] ");
+    g_test_sink->append(msg);
+    g_test_sink->push_back('\n');
+    if (level != LogLevel::kFatal) return;
+  }
   std::fprintf(stderr, "[dex %s] %s\n", LevelName(level), msg.c_str());
   if (level == LogLevel::kFatal) {
     std::fflush(stderr);
     std::abort();
   }
+}
+
+bool Logger::InitFromEnv() {
+  const char* env = std::getenv("DEX_LOG_LEVEL");
+  if (env == nullptr) return false;
+  LogLevel level;
+  if (!ParseLogLevel(env, &level)) return false;
+  set_threshold(level);
+  return true;
+}
+
+void Logger::set_test_sink(std::string* sink) { g_test_sink = sink; }
+
+bool ParseLogLevel(const std::string& name, LogLevel* out) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 namespace internal {

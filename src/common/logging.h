@@ -14,13 +14,30 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 
 /// \brief Minimal leveled logger writing to stderr.
 ///
 /// Defaults to kWarning so that library users are not spammed; benchmarks and
-/// examples may lower it to kInfo to narrate stage transitions.
+/// examples may lower it to kInfo to narrate stage transitions. The
+/// `DEX_LOG_LEVEL` environment variable (debug|info|warning|error), applied
+/// via InitFromEnv(), overrides the default; `dex_shell --log-level=` maps to
+/// set_threshold directly.
 class Logger {
  public:
   static LogLevel threshold();
   static void set_threshold(LogLevel level);
   static void Log(LogLevel level, const std::string& msg);
+
+  /// Applies `DEX_LOG_LEVEL` when set to a recognized name; unknown or unset
+  /// values leave the threshold unchanged. Returns true if it applied.
+  static bool InitFromEnv();
+
+  /// Redirects Log() output (all levels that pass the threshold) to a test
+  /// sink instead of stderr; nullptr restores stderr. Fatal still aborts.
+  /// Not thread-safe against concurrent Log calls — tests install the sink
+  /// before exercising the code under test.
+  static void set_test_sink(std::string* sink);
 };
+
+/// Parses "debug"/"info"/"warning"/"warn"/"error" (case-insensitive) into a
+/// LogLevel. Returns false (leaving `out` untouched) for anything else.
+bool ParseLogLevel(const std::string& name, LogLevel* out);
 
 namespace internal {
 

@@ -1,5 +1,7 @@
 #include "core/cache_manager.h"
 
+#include "obs/trace.h"
+
 namespace dex {
 
 bool CacheManager::TupleEntryServes(const Entry& entry,
@@ -51,6 +53,7 @@ bool CacheManager::Probe(const std::string& uri,
   }
   ++stats_.hits;
   lru_.splice(lru_.begin(), lru_, entry.lru_it);
+  obs::Tracer::Instant("cache_hit", "cache", {{"uri", uri}});
   return true;
 }
 
@@ -109,6 +112,7 @@ void CacheManager::EvictIfNeeded() {
   if (options_.policy != CachePolicy::kLru) return;
   while (bytes_used_ > options_.capacity_bytes && !lru_.empty()) {
     const std::string victim = lru_.back();
+    obs::Tracer::Instant("cache_evict", "cache", {{"uri", victim}});
     Erase(victim);
     ++stats_.evictions;
   }

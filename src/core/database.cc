@@ -1,15 +1,20 @@
 #include "core/database.h"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
+#include <cstdio>
 #include <unordered_set>
 
 #include "io/file_io.h"
 
 #include "core/metadata_snapshot.h"
+#include "core/metrics_publish.h"
 #include "core/plan_splitter.h"
 #include "core/seismic_schema.h"
 #include "engine/optimizer.h"
+#include "engine/plan_profile.h"
+#include "obs/trace.h"
 #include "sql/binder.h"
 
 namespace dex {
@@ -27,6 +32,46 @@ uint64_t NowNanos() {
 // repository cannot bloat its own result.
 constexpr size_t kMaxQueryWarnings = 32;
 
+/// Case-insensitively consumes leading whitespace plus `kw` at *pos; the
+/// keyword must end at a word boundary. Advances *pos past it on match.
+bool ConsumeKeyword(const std::string& sql, size_t* pos, const char* kw) {
+  size_t p = *pos;
+  while (p < sql.size() && std::isspace(static_cast<unsigned char>(sql[p]))) ++p;
+  size_t k = 0;
+  while (kw[k] != '\0') {
+    if (p + k >= sql.size() ||
+        std::toupper(static_cast<unsigned char>(sql[p + k])) != kw[k]) {
+      return false;
+    }
+    ++k;
+  }
+  if (p + k < sql.size() &&
+      !std::isspace(static_cast<unsigned char>(sql[p + k]))) {
+    return false;
+  }
+  *pos = p + k;
+  return true;
+}
+
+/// Renders multi-line plan text as a one-column "QUERY PLAN" result table —
+/// how EXPLAIN [ANALYZE] returns through the SQL front end.
+Result<TablePtr> PlanTextTable(const std::string& text) {
+  auto schema = std::make_shared<Schema>();
+  schema->AddField({"QUERY PLAN", DataType::kString, ""});
+  auto table = std::make_shared<Table>("explain", schema);
+  size_t rows = 0;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    table->mutable_column(0)->AppendString(text.substr(start, end - start));
+    ++rows;
+    start = end + 1;
+  }
+  DEX_RETURN_NOT_OK(table->CommitAppendedRows(rows));
+  return table;
+}
+
 }  // namespace
 
 Database::Database(DatabaseOptions options) : options_(std::move(options)) {}
@@ -34,6 +79,8 @@ Database::Database(DatabaseOptions options) : options_(std::move(options)) {}
 Result<std::unique_ptr<Database>> Database::Open(const std::string& repo_root,
                                                  const DatabaseOptions& options) {
   std::unique_ptr<Database> db(new Database(options));
+  obs::TraceSpan span("open", "lifecycle");
+  span.AddArg("repo", repo_root);
   db->repo_root_ = repo_root;
   db->disk_ = std::make_unique<SimDisk>(options.disk);
   db->catalog_ = std::make_unique<Catalog>(db->disk_.get());
@@ -148,6 +195,8 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& repo_root,
       db->catalog_.get(), db->registry_.get(), db->cache_.get(),
       db->mounter_.get(), db->derived_.get(), options.two_stage);
   db->open_stats_.sim_io_nanos = db->disk_->stats().sim_nanos;
+  PublishOpenMetrics(db->open_stats_);
+  PublishIoMetrics(db->disk_->stats());
   return db;
 }
 
@@ -163,18 +212,44 @@ Status Database::SyncQuarantineTable() {
 }
 
 Result<QueryResult> Database::RunQuery(const std::string& sql,
-                                       const BreakpointCallback& callback) {
+                                       const BreakpointCallback& callback,
+                                       PlanProfiler* profiler) {
+  // EXPLAIN [ANALYZE] enters through the same front door as a SELECT and
+  // returns through it too, as a one-column "QUERY PLAN" table.
+  {
+    size_t pos = 0;
+    if (ConsumeKeyword(sql, &pos, "EXPLAIN")) {
+      const bool analyze = ConsumeKeyword(sql, &pos, "ANALYZE");
+      const std::string inner = sql.substr(pos);
+      if (analyze) return RunExplainAnalyze(inner, callback);
+      DEX_ASSIGN_OR_RETURN(std::string text, Explain(inner));
+      QueryResult out;
+      DEX_ASSIGN_OR_RETURN(out.table, PlanTextTable(text));
+      out.stats.result_rows = out.table->num_rows();
+      return out;
+    }
+  }
+
   // Fold any out-of-band health changes (quarantines from a prior query,
   // rehabilitations via Refresh/Update) into the queryable QUARANTINE table
   // before this query plans against it.
   DEX_RETURN_NOT_OK(SyncQuarantineTable());
   QueryResult out;
   const uint64_t sim0 = disk_->stats().sim_nanos;
+  obs::TraceSpan query_span("query", "query");
+  query_span.AddArg("sql", sql);
 
   const uint64_t t0 = NowNanos();
-  DEX_ASSIGN_OR_RETURN(PlanPtr plan, sql::PlanQuery(sql, *catalog_));
-  DEX_ASSIGN_OR_RETURN(plan, PushDownPredicates(plan, *catalog_));
-  DEX_ASSIGN_OR_RETURN(plan, FuseTopK(plan, *catalog_));
+  PlanPtr plan;
+  {
+    obs::TraceSpan span("parse_bind", "query");
+    DEX_ASSIGN_OR_RETURN(plan, sql::PlanQuery(sql, *catalog_));
+  }
+  {
+    obs::TraceSpan span("optimize", "query");
+    DEX_ASSIGN_OR_RETURN(plan, PushDownPredicates(plan, *catalog_));
+    DEX_ASSIGN_OR_RETURN(plan, FuseTopK(plan, *catalog_));
+  }
   out.stats.plan_nanos = NowNanos() - t0;
 
   const uint64_t t1 = NowNanos();
@@ -182,15 +257,20 @@ Result<QueryResult> Database::RunQuery(const std::string& sql,
     ExecContext ctx;
     ctx.catalog = catalog_.get();
     ctx.use_index_joins = options_.use_index_joins;
+    ctx.profiler = profiler;
     DEX_ASSIGN_OR_RETURN(out.table, ExecutePlan(plan, &ctx));
+    if (profiler != nullptr) profiler->AddRoot("plan", plan);
     out.stats.two_stage.exec = ctx.stats;
   } else {
     DEX_ASSIGN_OR_RETURN(
-        out.table, two_stage_->Execute(plan, callback, &out.stats.two_stage));
+        out.table,
+        two_stage_->Execute(plan, callback, &out.stats.two_stage, profiler));
   }
   out.stats.exec_nanos = NowNanos() - t1;
   out.stats.sim_io_nanos = disk_->stats().sim_nanos - sim0;
   out.stats.result_rows = out.table->num_rows();
+  query_span.AddArg("result_rows", out.stats.result_rows);
+  query_span.AddArg("sim_io_nanos", out.stats.sim_io_nanos);
 
   // Mount work is accounted per query by the two-stage executor (inline
   // mounts and parallel mount tasks alike), so no singleton counter diffing
@@ -216,6 +296,30 @@ Result<QueryResult> Database::RunQuery(const std::string& sql,
 
   // Quarantines that happened while mounting become visible immediately.
   DEX_RETURN_NOT_OK(SyncQuarantineTable());
+
+  // Publish into the unified metrics registry: per-query counters, plus the
+  // disk's and cache's cumulative totals as gauges.
+  PublishQueryMetrics(out.stats);
+  PublishIoMetrics(disk_->stats());
+  if (cache_ != nullptr) PublishCacheMetrics(cache_->stats());
+  return out;
+}
+
+Result<QueryResult> Database::RunExplainAnalyze(
+    const std::string& sql, const BreakpointCallback& callback) {
+  PlanProfiler profiler;
+  DEX_ASSIGN_OR_RETURN(QueryResult out, RunQuery(sql, callback, &profiler));
+  std::string text = profiler.Render();
+  text += "-- execution --\n";
+  text += "result rows: " + std::to_string(out.stats.result_rows) + "\n";
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "plan %.3fms, exec %.3fms, simulated I/O %.3fms",
+                static_cast<double>(out.stats.plan_nanos) / 1e6,
+                static_cast<double>(out.stats.exec_nanos) / 1e6,
+                static_cast<double>(out.stats.sim_io_nanos) / 1e6);
+  text += line;
+  DEX_ASSIGN_OR_RETURN(out.table, PlanTextTable(text));
   return out;
 }
 

@@ -140,7 +140,10 @@ class Database {
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
-  /// Runs one SELECT statement.
+  /// Runs one SELECT statement. `EXPLAIN SELECT ...` and
+  /// `EXPLAIN ANALYZE SELECT ...` are handled here too: both return the plan
+  /// as a one-column "QUERY PLAN" table; ANALYZE actually executes the query
+  /// and annotates every operator with its measured rows/batches/wall time.
   Result<QueryResult> Query(const std::string& sql);
 
   /// Runs one SELECT with a breakpoint callback: after stage 1 the callback
@@ -188,7 +191,13 @@ class Database {
   explicit Database(DatabaseOptions options);
 
   Result<QueryResult> RunQuery(const std::string& sql,
-                               const BreakpointCallback& callback);
+                               const BreakpointCallback& callback,
+                               PlanProfiler* profiler = nullptr);
+
+  /// EXPLAIN ANALYZE body: runs `sql` under a profiler and replaces the
+  /// result table with the annotated plan rendering.
+  Result<QueryResult> RunExplainAnalyze(const std::string& sql,
+                                        const BreakpointCallback& callback);
 
   /// Rebuilds the QUARANTINE metadata table if registry health changed.
   Status SyncQuarantineTable();

@@ -1,0 +1,92 @@
+#include "core/metrics_publish.h"
+
+#include "obs/metrics.h"
+
+namespace dex {
+
+using obs::MetricsRegistry;
+
+void PublishQueryMetrics(const QueryStats& stats) {
+  MetricsRegistry& m = MetricsRegistry::Global();
+  m.AddCounter("query.count", 1);
+  m.AddCounter("query.result_rows", stats.result_rows);
+  m.AddCounter("query.plan_nanos", stats.plan_nanos);
+  m.AddCounter("query.exec_nanos", stats.exec_nanos);
+  m.AddCounter("query.sim_io_nanos", stats.sim_io_nanos);
+  m.Observe("query.total_seconds", stats.TotalSeconds());
+
+  const TwoStageStats& ts = stats.two_stage;
+  if (ts.split) m.AddCounter("stage.split_queries", 1);
+  if (ts.stage1_only) m.AddCounter("stage.stage1_only_queries", 1);
+  m.AddCounter("stage.stage1_nanos", ts.stage1_nanos);
+  m.AddCounter("stage.rewrite_nanos", ts.rewrite_nanos);
+  m.AddCounter("stage.stage2_nanos", ts.stage2_nanos);
+  m.AddCounter("stage.files_of_interest", ts.files_of_interest);
+  m.AddCounter("stage.files_planned_mount", ts.files_planned_mount);
+  m.AddCounter("stage.files_planned_cache", ts.files_planned_cache);
+  m.AddCounter("stage.files_pruned", ts.files_pruned);
+  m.AddCounter("stage.files_quarantined", ts.files_quarantined);
+  m.AddCounter("stage.mount_tasks", ts.mount_tasks);
+  m.AddCounter("stage.parallel_sim_nanos", ts.parallel_sim_nanos);
+  m.AddCounter("stage.serial_sim_nanos", ts.serial_sim_nanos);
+  if (ts.files_of_interest > 0) {
+    m.Observe("stage.files_of_interest_per_query",
+              static_cast<double>(ts.files_of_interest));
+  }
+
+  const Mounter::MountCounters& mc = stats.mount;
+  m.AddCounter("mount.mounts", mc.mounts);
+  m.AddCounter("mount.records_decoded", mc.records_decoded);
+  m.AddCounter("mount.samples_decoded", mc.samples_decoded);
+  m.AddCounter("mount.bytes_read", mc.bytes_read);
+  m.AddCounter("fault.read_retries", mc.read_retries);
+  m.AddCounter("fault.files_failed", mc.files_failed);
+  m.AddCounter("fault.files_skipped", mc.files_skipped);
+  m.AddCounter("fault.records_salvaged", mc.records_salvaged);
+  m.AddCounter("fault.records_skipped", mc.records_skipped);
+  m.AddCounter("fault.warnings", stats.warnings.size());
+
+  const ExecStats& ex = ts.exec;
+  m.AddCounter("exec.rows_scanned", ex.rows_scanned);
+  m.AddCounter("exec.rows_output", ex.rows_output);
+  m.AddCounter("exec.files_mounted", ex.files_mounted);
+  m.AddCounter("exec.mounted_rows", ex.mounted_rows);
+  m.AddCounter("exec.cache_scans", ex.cache_scans);
+  m.AddCounter("exec.index_probes", ex.index_probes);
+}
+
+void PublishOpenMetrics(const OpenStats& stats) {
+  MetricsRegistry& m = MetricsRegistry::Global();
+  m.SetGauge("open.metadata_scan_nanos",
+             static_cast<double>(stats.metadata_scan_nanos));
+  m.SetGauge("open.load_nanos", static_cast<double>(stats.load_nanos));
+  m.SetGauge("open.index_nanos", static_cast<double>(stats.index_nanos));
+  m.SetGauge("open.sim_io_nanos", static_cast<double>(stats.sim_io_nanos));
+  m.SetGauge("open.repo_bytes", static_cast<double>(stats.repo_bytes));
+  m.SetGauge("open.metadata_bytes", static_cast<double>(stats.metadata_bytes));
+  m.SetGauge("open.num_files", static_cast<double>(stats.num_files));
+  m.SetGauge("open.num_records", static_cast<double>(stats.num_records));
+  m.SetGauge("open.snapshot_files_reused",
+             static_cast<double>(stats.snapshot_files_reused));
+}
+
+void PublishIoMetrics(const IoStats& io) {
+  MetricsRegistry& m = MetricsRegistry::Global();
+  m.SetGauge("io.disk_bytes_read", static_cast<double>(io.disk_bytes_read));
+  m.SetGauge("io.cached_bytes_read", static_cast<double>(io.cached_bytes_read));
+  m.SetGauge("io.bytes_written", static_cast<double>(io.bytes_written));
+  m.SetGauge("io.seeks", static_cast<double>(io.seeks));
+  m.SetGauge("io.sim_nanos", static_cast<double>(io.sim_nanos));
+  m.SetGauge("io.read_faults", static_cast<double>(io.read_faults));
+}
+
+void PublishCacheMetrics(const CacheStats& cache) {
+  MetricsRegistry& m = MetricsRegistry::Global();
+  m.SetGauge("cache.hits", static_cast<double>(cache.hits));
+  m.SetGauge("cache.misses", static_cast<double>(cache.misses));
+  m.SetGauge("cache.insertions", static_cast<double>(cache.insertions));
+  m.SetGauge("cache.evictions", static_cast<double>(cache.evictions));
+  m.SetGauge("cache.invalidations", static_cast<double>(cache.invalidations));
+}
+
+}  // namespace dex

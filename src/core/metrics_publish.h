@@ -1,0 +1,30 @@
+#ifndef DEX_CORE_METRICS_PUBLISH_H_
+#define DEX_CORE_METRICS_PUBLISH_H_
+
+#include "core/cache_manager.h"
+#include "core/database.h"
+#include "io/io_stats.h"
+
+namespace dex {
+
+/// Publishers folding the system's stat structs into the global
+/// obs::MetricsRegistry under stable dot-separated names. One-way: metrics
+/// are observability output only and never feed back into execution.
+
+/// Per-query counters/histograms (`query.*`, `stage.*`, `mount.*`,
+/// `fault.*`, `exec.*`). Called once per completed query.
+void PublishQueryMetrics(const QueryStats& stats);
+
+/// Open()-time gauges (`open.*`). Called once after Database::Open.
+void PublishOpenMetrics(const OpenStats& stats);
+
+/// Cumulative simulated-disk gauges (`io.*`) — last write wins, so publish
+/// with the disk's current totals.
+void PublishIoMetrics(const IoStats& io);
+
+/// Cumulative cache gauges (`cache.*`).
+void PublishCacheMetrics(const CacheStats& cache);
+
+}  // namespace dex
+
+#endif  // DEX_CORE_METRICS_PUBLISH_H_

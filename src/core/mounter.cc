@@ -7,6 +7,7 @@
 #include "engine/batch.h"
 #include "io/file_io.h"
 #include "mseed/reader.h"
+#include "obs/trace.h"
 
 namespace dex {
 
@@ -46,6 +47,10 @@ Status Mounter::ChargeReadWithRetry(const std::string& uri,
   for (int attempt = 0; !io.ok() && io.IsIOError() && attempt < retry_.max_retries;
        ++attempt) {
     registry_->RecordTransientError(uri, io.message());
+    obs::Tracer::Instant("read_retry", "fault",
+                         {{"uri", uri},
+                          {"attempt", std::to_string(attempt + 1)},
+                          {"backoff_ms", std::to_string(backoff_ms)}});
     // Backoff is simulated wall time the query spends waiting on the medium.
     registry_->disk()->ChargeDelay(static_cast<uint64_t>(backoff_ms * 1e6));
     backoff_ms *= retry_.backoff_multiplier;
@@ -63,6 +68,11 @@ Result<TablePtr> Mounter::Mount(const std::string& table_name,
     return Status::NotImplemented("no extraction mapping for actual table '" +
                                   table_name + "'");
   }
+  // The per-file ingestion span: present whether this mount runs inline
+  // inside stage-2 plan execution or as a parallel premount task.
+  obs::TraceSpan span("mount", "mount");
+  span.AddArg("uri", uri);
+  span.AddArg("lane", static_cast<uint64_t>(obs::CurrentThreadLane()));
   DEX_ASSIGN_OR_RETURN(FileRegistry::Entry entry, registry_->Get(uri));
 
   // Charge the simulated medium for pulling the file's bytes, absorbing
@@ -76,6 +86,8 @@ Result<TablePtr> Mounter::Mount(const std::string& table_name,
     // files-of-interest set, and degrade to an empty partial table so the
     // query still returns every healthy file's rows.
     if (outcome != nullptr) ++outcome->counters.files_failed;
+    obs::Tracer::Instant("quarantine", "fault",
+                         {{"uri", uri}, {"reason", io.message()}});
     registry_->Quarantine(uri, io.message());
     AddWarning(outcome, "mount of '" + uri + "' failed after " +
                             std::to_string(retry_.max_retries) +
@@ -92,6 +104,8 @@ Result<TablePtr> Mounter::Mount(const std::string& table_name,
     if (!records.ok()) {
       // Even the salvaging reader could not deliver the file's bytes.
       if (outcome != nullptr) ++outcome->counters.files_failed;
+      obs::Tracer::Instant("quarantine", "fault",
+                           {{"uri", uri}, {"reason", records.status().message()}});
       registry_->Quarantine(uri, records.status().message());
       AddWarning(outcome, "salvage of '" + uri +
                               "' failed: " + records.status().ToString() +
@@ -103,6 +117,13 @@ Result<TablePtr> Mounter::Mount(const std::string& table_name,
       outcome->counters.records_salvaged += salvage.records_salvaged;
       outcome->counters.records_skipped += salvage.records_skipped;
     }
+    if (salvage.records_salvaged > 0 || salvage.records_skipped > 0) {
+      obs::Tracer::Instant(
+          "salvage", "fault",
+          {{"uri", uri},
+           {"salvaged", std::to_string(salvage.records_salvaged)},
+           {"skipped", std::to_string(salvage.records_skipped)}});
+    }
     for (const std::string& w : salvage.warnings) AddWarning(outcome, w);
   } else {
     auto records = format_->ReadAllRecords(uri);
@@ -113,6 +134,7 @@ Result<TablePtr> Mounter::Mount(const std::string& table_name,
       // kSkipFile: drop the corrupt file whole. Not quarantined — the bytes
       // are still deliverable, the kSalvage policy could recover from them.
       if (outcome != nullptr) ++outcome->counters.files_skipped;
+      obs::Tracer::Instant("skip_file", "fault", {{"uri", uri}});
       AddWarning(outcome, "skipping corrupt file '" + uri +
                               "': " + records.status().ToString());
       return std::make_shared<Table>(table_name, MakeDataSchema());
@@ -140,6 +162,8 @@ Result<TablePtr> Mounter::Mount(const std::string& table_name,
     outcome->counters.mounts += 1;
     outcome->counters.bytes_read += entry.size_bytes;
   }
+  span.AddArg("records", static_cast<uint64_t>(decoded.size()));
+  span.AddArg("bytes", entry.size_bytes);
 
   // Combined select-mount: apply the fused selection before handing the
   // partial table to the plan.

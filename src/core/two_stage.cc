@@ -4,12 +4,15 @@
 #include <chrono>
 #include <cstring>
 #include <functional>
+#include <optional>
 #include <unordered_set>
 
 #include "common/logging.h"
 #include "core/seismic_schema.h"
+#include "engine/plan_profile.h"
 #include "exec/task_group.h"
 #include "io/file_io.h"
+#include "obs/trace.h"
 
 namespace dex {
 
@@ -239,7 +242,17 @@ Status TwoStageExecutor::PremountUnion(const PlanPtr& union_node, size_t workers
   for (size_t i = 0; i < mounts.size(); ++i) {
     const LogicalPlan* node = mounts[i];
     TaskResult* slot = &results[i];
-    group.Spawn([this, node, slot]() -> Status {
+    // Trace bookkeeping happens at *spawn* time on the coordinator: the
+    // order key fixes the task's position in the drained span stream (spawn
+    // order, not completion order) and the current span becomes the parent
+    // of everything the task records on its worker thread.
+    const uint64_t trace_parent = obs::Tracer::CurrentSpanId();
+    const uint64_t trace_order = obs::Tracer::AllocOrder();
+    group.Spawn([this, node, slot, trace_parent, trace_order]() -> Status {
+      obs::TaskTraceScope order_scope(trace_order);
+      obs::TraceSpan span("mount_task", "mount", trace_parent);
+      span.AddArg("uri", node->uri);
+      span.AddArg("lane", static_cast<uint64_t>(obs::CurrentThreadLane()));
       // Route this task's simulated stall time into its own bucket so the
       // wave's cost can be aggregated as a critical path afterwards,
       // independent of real thread interleaving.
@@ -275,7 +288,8 @@ Status TwoStageExecutor::PremountUnion(const PlanPtr& union_node, size_t workers
 
 Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
                                            const BreakpointCallback& callback,
-                                           TwoStageStats* stats) {
+                                           TwoStageStats* stats,
+                                           PlanProfiler* profiler) {
   DEX_CHECK(stats != nullptr);
   DEX_ASSIGN_OR_RETURN(SplitResult split, SplitPlan(plan, *catalog_));
 
@@ -291,6 +305,7 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
 
   ExecContext ctx;
   ctx.catalog = catalog_;
+  ctx.profiler = profiler;
   ctx.mount_fn = [this, stats, premounted](const std::string& table,
                                            const std::string& uri,
                                            const ExprPtr& pred) {
@@ -311,9 +326,16 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
   if (!split.references_actual) {
     stats->stage1_only = true;
     const uint64_t t0 = NowNanos();
-    DEX_ASSIGN_OR_RETURN(TablePtr result, ExecutePlan(split.plan, &ctx));
+    TablePtr result;
+    {
+      obs::TraceSpan span("stage1", "query");
+      span.AddArg("stage1_only", uint64_t{1});
+      DEX_ASSIGN_OR_RETURN(result, ExecutePlan(split.plan, &ctx));
+      span.AddArg("rows", result->num_rows());
+    }
     stats->stage1_nanos = NowNanos() - t0;
     stats->exec = ctx.stats;
+    if (profiler != nullptr) profiler->AddRoot("stage 1 (metadata only)", split.plan);
     return result;
   }
 
@@ -323,8 +345,13 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
   if (split.qf != nullptr) {
     stats->split = true;
     const uint64_t t0 = NowNanos();
-    DEX_ASSIGN_OR_RETURN(qf_result, ExecutePlan(split.qf, &ctx));
+    {
+      obs::TraceSpan span("stage1", "query");
+      DEX_ASSIGN_OR_RETURN(qf_result, ExecutePlan(split.qf, &ctx));
+      span.AddArg("rows", qf_result->num_rows());
+    }
     stats->stage1_nanos = NowNanos() - t0;
+    if (profiler != nullptr) profiler->AddRoot("stage 1 (Q_f)", split.qf);
     DEX_ASSIGN_OR_RETURN(files, FilesOfInterest(qf_result));
   } else {
     // Without metadata restriction every available file is "relevant".
@@ -345,8 +372,12 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
   }
   stats->files_of_interest = files.size();
 
-  // ---- Run-time query optimization phase.
+  // ---- Run-time query optimization phase. The span closes where
+  // rewrite_nanos stops counting (or at any early return on abort/error).
   const uint64_t t_rw = NowNanos();
+  std::optional<obs::TraceSpan> rewrite_span;
+  rewrite_span.emplace("rewrite", "query");
+  rewrite_span->AddArg("files_of_interest", static_cast<uint64_t>(files.size()));
   const ExprPtr d_predicate = FindActualScanPredicate(split.plan, *catalog_);
   DEX_ASSIGN_OR_RETURN(std::vector<FileDecision> decisions,
                        DecideFiles(files, d_predicate));
@@ -407,10 +438,20 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
   };
   DEX_RETURN_NOT_OK(fix_empties(stage2_plan));
   DEX_RETURN_NOT_OK(AnalyzePlan(stage2_plan, *catalog_));
+  if (rewrite_span.has_value()) {
+    rewrite_span->AddArg("planned_mount",
+                         static_cast<uint64_t>(stats->files_planned_mount));
+    rewrite_span->AddArg("planned_cache",
+                         static_cast<uint64_t>(stats->files_planned_cache));
+    rewrite_span->AddArg("pruned", static_cast<uint64_t>(stats->files_pruned));
+    rewrite_span.reset();
+  }
   stats->rewrite_nanos = NowNanos() - t_rw;
 
   // ---- Stage 2: multi-stage (batched) or single-shot.
   const uint64_t t2 = NowNanos();
+  std::optional<obs::TraceSpan> stage2_span;
+  stage2_span.emplace("stage2", "query");
   const bool batched = options_.mount_batch_size > 0 && union_node != nullptr &&
                        union_node->kind == PlanKind::kUnion &&
                        union_node->children.size() > options_.mount_batch_size;
@@ -429,10 +470,17 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
                                          union_node->children.size())));
       PlanPtr sub = MakeUnion(std::move(group));
       DEX_RETURN_NOT_OK(AnalyzePlan(sub, *catalog_));
+      obs::TraceSpan batch_span("ingest_batch", "query");
+      batch_span.AddArg("batch", static_cast<uint64_t>(b + 1));
       // Parallelism is per ingestion wave: each batch's mounts overlap, the
       // breakpoint between batches stays a clean barrier.
       DEX_RETURN_NOT_OK(PremountUnion(sub, workers, stats, premounted.get()));
       DEX_ASSIGN_OR_RETURN(TablePtr part, ExecutePlan(sub, &ctx));
+      if (profiler != nullptr) {
+        profiler->AddRoot("stage 2 ingestion (batch " + std::to_string(b + 1) +
+                              ")",
+                          sub);
+      }
       DEX_RETURN_NOT_OK(buffer->AppendTable(*part));
       if (callback != nullptr) {
         BreakpointInfo progress = stats->breakpoint;
@@ -463,6 +511,11 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
         PremountUnion(union_node, workers, stats, premounted.get()));
   }
   DEX_ASSIGN_OR_RETURN(TablePtr result, ExecutePlan(stage2_plan, &ctx));
+  if (profiler != nullptr) profiler->AddRoot("stage 2", stage2_plan);
+  if (stage2_span.has_value()) {
+    stage2_span->AddArg("rows", result->num_rows());
+    stage2_span.reset();
+  }
   stats->stage2_nanos = NowNanos() - t2;
   stats->exec = ctx.stats;
   return result;

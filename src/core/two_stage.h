@@ -122,8 +122,10 @@ class TwoStageExecutor {
   /// Runs `plan` (analyzed, predicates pushed down). `callback` may be null;
   /// when set it is invoked at the stage boundary (and, under multi-stage
   /// execution, after every ingestion batch) and may abort the query.
+  /// `profiler`, when set (EXPLAIN ANALYZE), receives per-operator counters
+  /// for every executed plan (stage 1, per-batch ingestion, stage 2).
   Result<TablePtr> Execute(const PlanPtr& plan, const BreakpointCallback& callback,
-                           TwoStageStats* stats);
+                           TwoStageStats* stats, PlanProfiler* profiler = nullptr);
 
   /// Distinct values of the stage-1 result's `uri` column — "the files of
   /// interest are identified, and collected as a list of file URIs".

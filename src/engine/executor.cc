@@ -1,12 +1,14 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <functional>
 #include <unordered_map>
 
 #include "common/logging.h"
 #include "engine/batch.h"
+#include "engine/plan_profile.h"
 
 namespace dex {
 
@@ -909,6 +911,50 @@ class UnionOp : public PhysOp {
 };
 
 // ---------------------------------------------------------------------------
+// Profiling decorator (EXPLAIN ANALYZE)
+// ---------------------------------------------------------------------------
+
+/// Wraps any operator and attributes its Open/Next wall time plus emitted
+/// rows/batches to the logical node that produced it. Times are inclusive of
+/// children — the child's decorator subtracts nothing; readers interpret the
+/// tree Postgres-style ("actual time" at a node covers its subtree).
+class ProfiledOp : public PhysOp {
+ public:
+  ProfiledOp(PhysOpPtr inner, OpProfile* profile)
+      : PhysOp(inner->schema()), inner_(std::move(inner)), profile_(profile) {}
+
+  Status Open() override {
+    const auto t0 = std::chrono::steady_clock::now();
+    Status s = inner_->Open();
+    profile_->open_nanos += Elapsed(t0);
+    profile_->opens += 1;
+    return s;
+  }
+
+  Result<bool> Next(Batch* out) override {
+    const auto t0 = std::chrono::steady_clock::now();
+    Result<bool> r = inner_->Next(out);
+    profile_->next_nanos += Elapsed(t0);
+    if (r.ok() && r.ValueUnsafe()) {
+      profile_->batches += 1;
+      profile_->rows_out += out->num_rows();
+    }
+    return r;
+  }
+
+ private:
+  static uint64_t Elapsed(std::chrono::steady_clock::time_point t0) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+
+  PhysOpPtr inner_;
+  OpProfile* profile_;
+};
+
+// ---------------------------------------------------------------------------
 // Physical planner
 // ---------------------------------------------------------------------------
 
@@ -946,7 +992,7 @@ Result<PhysOpPtr> TryBuildIndexJoin(const PlanPtr& plan, const JoinKeys& keys,
                                    right_filter, ctx));
 }
 
-Result<PhysOpPtr> BuildOp(const PlanPtr& plan, ExecContext* ctx) {
+Result<PhysOpPtr> BuildOpInner(const PlanPtr& plan, ExecContext* ctx) {
   switch (plan->kind) {
     case PlanKind::kScan: {
       DEX_ASSIGN_OR_RETURN(TablePtr table, ctx->catalog->GetTable(plan->table_name));
@@ -1042,6 +1088,17 @@ Result<PhysOpPtr> BuildOp(const PlanPtr& plan, ExecContext* ctx) {
       return BuildOp(plan->children[0], ctx);
   }
   return Status::Internal("unreachable plan kind in BuildOp");
+}
+
+Result<PhysOpPtr> BuildOp(const PlanPtr& plan, ExecContext* ctx) {
+  DEX_ASSIGN_OR_RETURN(PhysOpPtr op, BuildOpInner(plan, ctx));
+  // StageBreak is transparent (its child is already wrapped); profiling it
+  // again would only double the decorator overhead on the same pull path.
+  if (ctx->profiler != nullptr && plan->kind != PlanKind::kStageBreak) {
+    op = PhysOpPtr(
+        new ProfiledOp(std::move(op), ctx->profiler->ProfileFor(plan.get())));
+  }
+  return op;
 }
 
 }  // namespace

@@ -11,6 +11,8 @@
 
 namespace dex {
 
+class PlanProfiler;
+
 /// \brief Counters filled during plan execution.
 struct ExecStats {
   uint64_t rows_scanned = 0;    // rows streamed out of base-table scans
@@ -61,6 +63,10 @@ struct ExecContext {
   /// Charge SimDisk I/O for base-table scans / index reads (disabled in
   /// pure-logic tests).
   bool charge_io = true;
+
+  /// When set (EXPLAIN ANALYZE), every built operator is wrapped in a
+  /// profiling decorator that records rows/batches/wall time per plan node.
+  PlanProfiler* profiler = nullptr;
 
   ExecStats stats;
 };

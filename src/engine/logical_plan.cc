@@ -264,9 +264,8 @@ void CollectTableNames(const PlanPtr& plan, std::vector<std::string>* out) {
   for (const PlanPtr& c : plan->children) CollectTableNames(c, out);
 }
 
-std::string LogicalPlan::ToString(int indent) const {
-  std::string pad(static_cast<size_t>(indent) * 2, ' ');
-  std::string out = pad;
+std::string LogicalPlan::LabelString() const {
+  std::string out;
   switch (kind) {
     case PlanKind::kScan:
       out += "Scan(" + table_name + ")";
@@ -324,6 +323,12 @@ std::string LogicalPlan::ToString(int indent) const {
       out += "StageBreak  -- Q_f below";
       break;
   }
+  return out;
+}
+
+std::string LogicalPlan::ToString(int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += LabelString();
   out += "\n";
   for (const PlanPtr& c : children) {
     out += c->ToString(indent + 1);

@@ -83,6 +83,10 @@ struct LogicalPlan {
   /// Output schema; filled by AnalyzePlan.
   SchemaPtr output_schema;
 
+  /// One-line label of this node alone (no indentation, no children) —
+  /// the building block of ToString and of EXPLAIN ANALYZE rendering.
+  std::string LabelString() const;
+
   /// Multi-line EXPLAIN-style rendering.
   std::string ToString(int indent = 0) const;
 };

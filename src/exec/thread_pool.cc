@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace dex {
 
 size_t ThreadPool::DefaultConcurrency() {
@@ -12,7 +14,12 @@ ThreadPool::ThreadPool(size_t num_threads) {
   const size_t n = std::max<size_t>(1, num_threads);
   threads_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    // Lane ids are 1-based; 0 is the coordinating (main) thread. Traces use
+    // them to give each worker its own timeline row.
+    threads_.emplace_back([this, i] {
+      obs::SetCurrentThreadLane(static_cast<int>(i) + 1);
+      WorkerLoop();
+    });
   }
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/string_utils.h"
+#include "obs/trace.h"
 
 namespace dex {
 
@@ -106,6 +107,9 @@ void SimDisk::ChargeTime(uint64_t nanos) {
   } else {
     stats_.sim_nanos += nanos;
   }
+  // Observability mirror (thread-local; never feeds back into accounting):
+  // lets open trace spans attribute this stall to their sim clock.
+  obs::AddSimCharge(nanos);
 }
 
 void SimDisk::ChargeTransfer(uint64_t bytes, double mb_per_sec) {

@@ -1,0 +1,139 @@
+#include "obs/chrome_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+namespace dex::obs {
+
+namespace {
+
+// The synthetic lane carrying the simulated-I/O timeline.
+constexpr int kSimDiskLane = 999;
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Micros(uint64_t nanos) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(nanos) / 1e3);
+  return buf;
+}
+
+void AppendArgs(const Span& span, std::string* out) {
+  *out += "\"args\":{";
+  *out += "\"span_id\":" + std::to_string(span.id);
+  if (span.parent_id != 0) {
+    *out += ",\"parent_id\":" + std::to_string(span.parent_id);
+  }
+  *out += ",\"sim_ms\":" +
+          std::to_string(static_cast<double>(span.sim_dur_nanos) / 1e6);
+  for (const SpanArg& arg : span.args) {
+    *out += ",\"" + JsonEscape(arg.key) + "\":\"" + JsonEscape(arg.value) + "\"";
+  }
+  *out += "}";
+}
+
+void AppendThreadName(int tid, const std::string& name, bool* first,
+                      std::string* out) {
+  *out += *first ? "\n" : ",\n";
+  *first = false;
+  *out += "  {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+          std::to_string(tid) + ",\"args\":{\"name\":\"" + JsonEscape(name) +
+          "\"}}";
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<Span>& spans) {
+  uint64_t wall_base = 0;
+  bool have_base = false;
+  std::set<int> lanes;
+  for (const Span& span : spans) {
+    if (!have_base || span.wall_start_nanos < wall_base) {
+      wall_base = span.wall_start_nanos;
+      have_base = true;
+    }
+    lanes.insert(span.lane);
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+
+  AppendThreadName(0, "main", &first, &out);
+  for (int lane : lanes) {
+    if (lane != 0) {
+      AppendThreadName(lane, "worker-" + std::to_string(lane), &first, &out);
+    }
+  }
+  AppendThreadName(kSimDiskLane, "simulated disk", &first, &out);
+
+  for (const Span& span : spans) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    const uint64_t rebased = span.wall_start_nanos - wall_base;
+    out += "  {\"name\":\"" + JsonEscape(span.name) + "\",\"cat\":\"" +
+           JsonEscape(span.category) + "\",\"ph\":\"" +
+           (span.instant ? "i" : "X") + "\",\"pid\":1,\"tid\":" +
+           std::to_string(span.lane) + ",\"ts\":" + Micros(rebased);
+    if (span.instant) {
+      out += ",\"s\":\"t\"";
+    } else {
+      out += ",\"dur\":" + Micros(span.wall_dur_nanos);
+    }
+    out += ",";
+    AppendArgs(span, &out);
+    out += "}";
+
+    // Mirror simulated-I/O stalls onto the "simulated disk" lane, laid out
+    // on the simulated timeline: ts = cumulative sim nanos at span open.
+    if (span.sim_dur_nanos > 0) {
+      out += ",\n  {\"name\":\"" + JsonEscape(span.name) +
+             "\",\"cat\":\"sim-io\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+             std::to_string(kSimDiskLane) +
+             ",\"ts\":" + Micros(span.sim_start_nanos) +
+             ",\"dur\":" + Micros(span.sim_dur_nanos) + ",";
+      AppendArgs(span, &out);
+      out += "}";
+    }
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<Span>& spans) {
+  const std::string json = ChromeTraceJson(spans);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace output file '" + path + "'");
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IOError("short write to trace output file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace dex::obs

@@ -1,0 +1,28 @@
+#ifndef DEX_OBS_CHROME_TRACE_H_
+#define DEX_OBS_CHROME_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace dex::obs {
+
+/// \brief Renders spans as Chrome trace-event JSON (the object form with a
+/// "traceEvents" array), loadable in Perfetto or chrome://tracing.
+///
+/// Layout: pid 1, one lane (tid) per thread — 0 = the coordinating thread,
+/// 1..N = worker lanes — plus a dedicated "simulated disk" lane where every
+/// span that stalled on the simulated medium appears again, positioned on
+/// the *simulated* timeline (cumulative sim-I/O nanos) instead of the wall
+/// clock. Wall timestamps are rebased to the earliest span so traces start
+/// at t=0.
+std::string ChromeTraceJson(const std::vector<Span>& spans);
+
+/// Writes ChromeTraceJson(spans) to `path`.
+Status WriteChromeTrace(const std::string& path, const std::vector<Span>& spans);
+
+}  // namespace dex::obs
+
+#endif  // DEX_OBS_CHROME_TRACE_H_

@@ -1,0 +1,156 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dex::obs {
+
+namespace {
+
+int BucketIndex(double value) {
+  if (value < 1.0) return 0;
+  const int idx = static_cast<int>(std::floor(std::log2(value)));
+  return idx < 0 ? 0 : (idx > 63 ? 63 : idx);
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  // %.17g round-trips but is noisy; %.9g is plenty for metrics output and
+  // renders integers without a trailing ".000000".
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+void MetricsRegistry::AddCounter(const std::string& name, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::Observe(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Histogram& h = histograms_[name];
+  if (h.count == 0 || value < h.min) h.min = value;
+  if (h.count == 0 || value > h.max) h.max = value;
+  h.count += 1;
+  h.sum += value;
+  h.buckets[BucketIndex(value)] += 1;
+}
+
+uint64_t MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+HistogramSnapshot MetricsRegistry::histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramSnapshot snap;
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    snap.count = it->second.count;
+    snap.sum = it->second.sum;
+    snap.min = it->second.min;
+    snap.max = it->second.max;
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::ToText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, value] : counters_) {
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges_) {
+    out += name + " " + FormatDouble(value) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += name + " count=" + std::to_string(h.count) +
+           " sum=" + FormatDouble(h.sum) + " min=" + FormatDouble(h.min) +
+           " max=" + FormatDouble(h.max) + " avg=" +
+           FormatDouble(h.count == 0 ? 0
+                                     : h.sum / static_cast<double>(h.count)) +
+           "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(name) + "\": " + std::to_string(value);
+    first = false;
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(name) + "\": " + FormatDouble(value);
+    first = false;
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(name) + "\": {\"count\": " +
+           std::to_string(h.count) + ", \"sum\": " + FormatDouble(h.sum) +
+           ", \"min\": " + FormatDouble(h.min) +
+           ", \"max\": " + FormatDouble(h.max) + "}";
+    first = false;
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace dex::obs

@@ -1,0 +1,80 @@
+#ifndef DEX_OBS_METRICS_H_
+#define DEX_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dex::obs {
+
+/// \brief Aggregated distribution of observed values (log2 buckets).
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  double avg() const { return count == 0 ? 0 : sum / static_cast<double>(count); }
+};
+
+/// \brief A process-wide registry of named counters, gauges and histograms.
+///
+/// This is the single sink the system's stat structs (QueryStats,
+/// TwoStageStats, Mounter::MountCounters, IoStats, ExecStats, CacheStats)
+/// publish into, replacing ad-hoc hand-merging at every call site. Names are
+/// dot-separated (`query.count`, `mount.records_decoded`, `io.sim_nanos`);
+/// output is sorted by name so dumps are diffable.
+///
+/// Thread-safe; all operations take one internal mutex. Metric updates are
+/// observability only — they never feed back into execution decisions, so
+/// they cannot perturb determinism.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Adds `delta` to a monotonically increasing counter.
+  void AddCounter(const std::string& name, uint64_t delta);
+
+  /// Sets a point-in-time value (last write wins).
+  void SetGauge(const std::string& name, double value);
+
+  /// Records one observation into a histogram.
+  void Observe(const std::string& name, double value);
+
+  uint64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+  HistogramSnapshot histogram(const std::string& name) const;
+
+  /// Flat `name value` lines, sorted by name (histograms render their
+  /// count/sum/min/max/avg).
+  std::string ToText() const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string ToJson() const;
+
+  void Clear();
+
+ private:
+  struct Histogram {
+    uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    // bucket[i] counts observations with floor(log2(v)) == i (v >= 1).
+    uint64_t buckets[64] = {};
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace dex::obs
+
+#endif  // DEX_OBS_METRICS_H_

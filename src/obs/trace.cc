@@ -1,0 +1,215 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace dex::obs {
+
+namespace {
+
+// Per-thread ring capacity. A query opens a handful of spans per file of
+// interest, so 64k spans covers repositories four orders of magnitude larger
+// than the test workloads; beyond that we drop (and count) rather than grow.
+constexpr size_t kRingCapacity = 1 << 16;
+
+uint64_t WallNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::atomic<uint64_t> g_next_span_id{1};
+std::atomic<uint64_t> g_next_order{1};
+// Cumulative simulated nanos charged process-wide: the "simulated disk"
+// timeline position. Only advanced while tracing is enabled.
+std::atomic<uint64_t> g_sim_position{0};
+
+thread_local uint64_t tls_sim_charged = 0;
+thread_local int tls_lane = 0;
+thread_local uint64_t tls_task_order = 0;  // 0 = not inside a task scope
+thread_local uint64_t tls_task_sub = 0;
+thread_local std::vector<uint64_t> tls_span_stack;
+
+}  // namespace
+
+/// One thread's bounded span sink. The owning thread appends; Drain (another
+/// thread) swaps the vector out — both under the buffer's own mutex.
+struct ThreadSpanBuffer {
+  std::mutex mu;
+  std::vector<Span> spans;
+};
+
+namespace {
+
+struct BufferRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadSpanBuffer>> buffers;
+};
+
+BufferRegistry& Registry() {
+  static BufferRegistry* registry = new BufferRegistry();
+  return *registry;
+}
+
+ThreadSpanBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadSpanBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadSpanBuffer>();
+    BufferRegistry& reg = Registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Record(Span&& span) {
+  ThreadSpanBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (buffer.spans.size() >= kRingCapacity) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer.spans.push_back(std::move(span));
+}
+
+std::vector<Span> Tracer::Drain() {
+  std::vector<Span> all;
+  BufferRegistry& reg = Registry();
+  std::lock_guard<std::mutex> reg_lock(reg.mu);
+  for (const auto& buffer : reg.buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    all.insert(all.end(), std::make_move_iterator(buffer->spans.begin()),
+               std::make_move_iterator(buffer->spans.end()));
+    buffer->spans.clear();
+  }
+  std::sort(all.begin(), all.end(), [](const Span& a, const Span& b) {
+    if (a.order != b.order) return a.order < b.order;
+    if (a.sub != b.sub) return a.sub < b.sub;
+    return a.id < b.id;
+  });
+  return all;
+}
+
+void Tracer::Clear() {
+  (void)Drain();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t Tracer::AllocOrder() {
+  return g_next_order.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t Tracer::CurrentSpanId() {
+  return tls_span_stack.empty() ? 0 : tls_span_stack.back();
+}
+
+void Tracer::Instant(const char* name, const char* category,
+                     std::vector<SpanArg> args) {
+  Tracer& tracer = Global();
+  if (!tracer.enabled()) return;
+  Span span;
+  span.id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  span.parent_id = CurrentSpanId();
+  span.name = name;
+  span.category = category;
+  span.lane = tls_lane;
+  if (tls_task_order != 0) {
+    span.order = tls_task_order;
+    span.sub = ++tls_task_sub;
+  } else {
+    span.order = AllocOrder();
+  }
+  span.instant = true;
+  span.wall_start_nanos = WallNanos();
+  span.sim_start_nanos = g_sim_position.load(std::memory_order_relaxed);
+  span.args = std::move(args);
+  tracer.Record(std::move(span));
+}
+
+TraceSpan::TraceSpan(const char* name, const char* category) {
+  Begin(name, category, 0, /*explicit_parent=*/false);
+}
+
+TraceSpan::TraceSpan(const char* name, const char* category,
+                     uint64_t parent_id) {
+  Begin(name, category, parent_id, /*explicit_parent=*/true);
+}
+
+void TraceSpan::Begin(const char* name, const char* category,
+                      uint64_t parent_id, bool explicit_parent) {
+  if (!Tracer::Global().enabled()) return;  // single relaxed load when off
+  active_ = true;
+  span_.id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  span_.parent_id = explicit_parent ? parent_id : Tracer::CurrentSpanId();
+  span_.name = name;
+  span_.category = category;
+  span_.lane = tls_lane;
+  if (tls_task_order != 0) {
+    span_.order = tls_task_order;
+    span_.sub = ++tls_task_sub;
+  } else {
+    span_.order = Tracer::AllocOrder();
+  }
+  span_.wall_start_nanos = WallNanos();
+  span_.sim_start_nanos = g_sim_position.load(std::memory_order_relaxed);
+  tls_sim_at_open_ = tls_sim_charged;
+  tls_span_stack.push_back(span_.id);
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  span_.wall_dur_nanos = WallNanos() - span_.wall_start_nanos;
+  span_.sim_dur_nanos = tls_sim_charged - tls_sim_at_open_;
+  if (!tls_span_stack.empty() && tls_span_stack.back() == span_.id) {
+    tls_span_stack.pop_back();
+  }
+  Tracer::Global().Record(std::move(span_));
+}
+
+void TraceSpan::AddArg(const char* key, std::string value) {
+  if (!active_) return;
+  span_.args.push_back(SpanArg{key, std::move(value)});
+}
+
+void TraceSpan::AddArg(const char* key, uint64_t value) {
+  if (!active_) return;
+  span_.args.push_back(SpanArg{key, std::to_string(value)});
+}
+
+TaskTraceScope::TaskTraceScope(uint64_t order)
+    : prev_order_(tls_task_order), prev_sub_(tls_task_sub) {
+  tls_task_order = order;
+  tls_task_sub = 0;
+}
+
+TaskTraceScope::~TaskTraceScope() {
+  tls_task_order = prev_order_;
+  tls_task_sub = prev_sub_;
+}
+
+void AddSimCharge(uint64_t nanos) {
+  tls_sim_charged += nanos;
+  // The shared timeline position is only needed while a trace is being
+  // collected; keep the disabled path free of shared-cacheline traffic.
+  if (Tracer::Global().enabled()) {
+    g_sim_position.fetch_add(nanos, std::memory_order_relaxed);
+  }
+}
+
+uint64_t ThreadSimCharged() { return tls_sim_charged; }
+
+void SetCurrentThreadLane(int lane) { tls_lane = lane; }
+
+int CurrentThreadLane() { return tls_lane; }
+
+}  // namespace dex::obs

@@ -1,0 +1,171 @@
+#ifndef DEX_OBS_TRACE_H_
+#define DEX_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dex::obs {
+
+/// \brief One key/value annotation attached to a span.
+struct SpanArg {
+  std::string key;
+  std::string value;
+};
+
+/// \brief A completed span of the query lifecycle.
+///
+/// Every span carries **two clocks**:
+///  - `wall_*`: real CPU/wall time measured with the steady clock, and
+///  - `sim_*`: simulated I/O time, i.e. the stall time the simulated storage
+///    medium charged *on this thread* while the span was open (the same
+///    charges that `SimDisk::TaskTimeScope` routes into per-task buckets).
+///
+/// Wall timestamps vary run to run; the simulated clock and the span
+/// structure (ids, names, parentage, drain order) are deterministic for a
+/// deterministic workload.
+struct Span {
+  uint64_t id = 0;         // 1-based; 0 = none
+  uint64_t parent_id = 0;  // 0 = root
+  std::string name;
+  std::string category;
+  /// Worker lane the span ran on: 0 = the coordinating (main) thread,
+  /// 1..N = thread-pool worker lanes (see SetCurrentThreadLane).
+  int lane = 0;
+  /// Deterministic drain order: `order` is allocated in program order on the
+  /// coordinating thread (task roots receive theirs at *spawn* time, before
+  /// the task is handed to a worker), `sub` sequences the spans a task opens
+  /// internally. Sorting by (order, sub) therefore reproduces task-spawn
+  /// order no matter how the OS interleaved the worker threads.
+  uint64_t order = 0;
+  uint64_t sub = 0;
+  bool instant = false;  // zero-duration event (annotation)
+  uint64_t wall_start_nanos = 0;
+  uint64_t wall_dur_nanos = 0;
+  /// Position on the simulated-I/O timeline when the span opened
+  /// (cumulative sim nanos charged process-wide), and the sim time charged
+  /// by this thread while the span was open.
+  uint64_t sim_start_nanos = 0;
+  uint64_t sim_dur_nanos = 0;
+  std::vector<SpanArg> args;
+};
+
+/// \brief Process-wide span collector.
+///
+/// Completed spans land in per-thread ring buffers (bounded; overflow is
+/// counted, never blocks) and are drained in deterministic task-spawn order.
+/// Tracing is compiled in but near-zero-cost when disabled: an inactive
+/// TraceSpan costs one relaxed atomic load.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Moves every buffered span out, sorted by (order, sub). Thread-safe,
+  /// but expects no spans to be concurrently open during the drain.
+  std::vector<Span> Drain();
+
+  /// Drops all buffered spans and resets the drop counter (the id/order
+  /// counters keep running; span identity stays unique per process).
+  void Clear();
+
+  /// Spans discarded because a thread's ring buffer was full.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Allocates a deterministic drain-order key. Called on the coordinating
+  /// thread — in particular at task-*spawn* time, so the key order is the
+  /// spawn order, not the completion order.
+  static uint64_t AllocOrder();
+
+  /// The span id currently open on this thread (0 = none). Capture before
+  /// spawning a task to parent the task's spans across threads.
+  static uint64_t CurrentSpanId();
+
+  /// Records a zero-duration annotation (cache hit, retry, quarantine, ...)
+  /// parented to the current span. No-op when disabled.
+  static void Instant(const char* name, const char* category,
+                      std::vector<SpanArg> args = {});
+
+ private:
+  friend class TraceSpan;
+  friend class TaskTraceScope;
+  friend struct ThreadSpanBuffer;
+  Tracer() = default;
+
+  void Record(Span&& span);  // pushes into this thread's ring buffer
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+/// \brief RAII scoped span. Inactive (and nearly free) when tracing is off.
+///
+/// Parent linkage is automatic through a thread-local span stack; a task
+/// running on a worker thread passes the spawning span's id explicitly.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "query");
+  /// Explicit parent (cross-thread linkage) and deterministic order key —
+  /// the form task bodies use together with TaskTraceScope.
+  TraceSpan(const char* name, const char* category, uint64_t parent_id);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool active() const { return active_; }
+  uint64_t id() const { return span_.id; }
+
+  void AddArg(const char* key, std::string value);
+  void AddArg(const char* key, uint64_t value);
+
+ private:
+  void Begin(const char* name, const char* category, uint64_t parent_id,
+             bool explicit_parent);
+
+  bool active_ = false;
+  uint64_t tls_sim_at_open_ = 0;  // thread-local sim charge at open
+  Span span_;
+};
+
+/// \brief RAII deterministic-order scope for a task running on a worker.
+///
+/// The spawner allocates `order = Tracer::AllocOrder()` at spawn time; the
+/// task body installs this scope so every span it opens carries that order
+/// key (with a task-local sub-sequence). This is what makes the drained
+/// span stream identical whether the pool had 1 worker or 8.
+class TaskTraceScope {
+ public:
+  explicit TaskTraceScope(uint64_t order);
+  ~TaskTraceScope();
+
+  TaskTraceScope(const TaskTraceScope&) = delete;
+  TaskTraceScope& operator=(const TaskTraceScope&) = delete;
+
+ private:
+  uint64_t prev_order_;
+  uint64_t prev_sub_;
+};
+
+/// \brief Called by the simulated storage medium for every sim-time charge.
+///
+/// Always updates a thread-local cumulative counter (plain add) so spans can
+/// compute their sim-clock durations; bumps the shared sim-timeline position
+/// only while tracing is enabled.
+void AddSimCharge(uint64_t nanos);
+
+/// Cumulative simulated nanos charged by the *current thread* (monotone).
+uint64_t ThreadSimCharged();
+
+/// Tags the current thread with a worker-lane id for trace attribution
+/// (0 = main/coordinator, 1..N = pool workers). Thread pools call this once
+/// per worker at startup.
+void SetCurrentThreadLane(int lane);
+int CurrentThreadLane();
+
+}  // namespace dex::obs
+
+#endif  // DEX_OBS_TRACE_H_

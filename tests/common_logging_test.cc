@@ -1,0 +1,97 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace dex {
+namespace {
+
+/// Saves and restores the global logger state so tests compose.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_threshold_ = Logger::threshold(); }
+  void TearDown() override {
+    Logger::set_test_sink(nullptr);
+    Logger::set_threshold(saved_threshold_);
+    ::unsetenv("DEX_LOG_LEVEL");
+  }
+
+  LogLevel saved_threshold_ = LogLevel::kWarning;
+};
+
+TEST_F(LoggingTest, ParseLogLevelRecognizedNames) {
+  LogLevel level = LogLevel::kFatal;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("info", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+}
+
+TEST_F(LoggingTest, ParseLogLevelIsCaseInsensitive) {
+  LogLevel level = LogLevel::kFatal;
+  EXPECT_TRUE(ParseLogLevel("DEBUG", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("Warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+}
+
+TEST_F(LoggingTest, ParseLogLevelRejectsUnknownAndLeavesOutputUntouched) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel("fatal", &level));  // not settable from outside
+  EXPECT_EQ(level, LogLevel::kError);
+}
+
+TEST_F(LoggingTest, ThresholdFiltersLowerSeverities) {
+  std::string captured;
+  Logger::set_test_sink(&captured);
+  Logger::set_threshold(LogLevel::kWarning);
+
+  Logger::Log(LogLevel::kDebug, "below threshold");
+  Logger::Log(LogLevel::kInfo, "also below");
+  Logger::Log(LogLevel::kWarning, "at threshold");
+  Logger::Log(LogLevel::kError, "above threshold");
+
+  EXPECT_EQ(captured.find("below threshold"), std::string::npos);
+  EXPECT_EQ(captured.find("also below"), std::string::npos);
+  EXPECT_NE(captured.find("[dex WARN] at threshold"), std::string::npos);
+  EXPECT_NE(captured.find("[dex ERROR] above threshold"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LoweringThresholdAdmitsDebug) {
+  std::string captured;
+  Logger::set_test_sink(&captured);
+  Logger::set_threshold(LogLevel::kDebug);
+
+  DEX_LOG(Debug) << "stage " << 1 << " done";
+  EXPECT_NE(captured.find("[dex DEBUG] stage 1 done"), std::string::npos);
+}
+
+TEST_F(LoggingTest, InitFromEnvAppliesRecognizedLevel) {
+  ::setenv("DEX_LOG_LEVEL", "debug", /*overwrite=*/1);
+  EXPECT_TRUE(Logger::InitFromEnv());
+  EXPECT_EQ(Logger::threshold(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, InitFromEnvIgnoresUnknownOrUnset) {
+  Logger::set_threshold(LogLevel::kError);
+  ::setenv("DEX_LOG_LEVEL", "chatty", /*overwrite=*/1);
+  EXPECT_FALSE(Logger::InitFromEnv());
+  EXPECT_EQ(Logger::threshold(), LogLevel::kError);
+
+  ::unsetenv("DEX_LOG_LEVEL");
+  EXPECT_FALSE(Logger::InitFromEnv());
+  EXPECT_EQ(Logger::threshold(), LogLevel::kError);
+}
+
+}  // namespace
+}  // namespace dex

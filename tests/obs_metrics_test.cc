@@ -1,0 +1,89 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dex::obs {
+namespace {
+
+TEST(MetricsRegistryTest, CountersAccumulate) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.counter("query.count"), 0u);
+  reg.AddCounter("query.count", 1);
+  reg.AddCounter("query.count", 2);
+  EXPECT_EQ(reg.counter("query.count"), 3u);
+}
+
+TEST(MetricsRegistryTest, GaugesLastWriteWins) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.gauge("io.sim_nanos"), 0.0);
+  reg.SetGauge("io.sim_nanos", 10.0);
+  reg.SetGauge("io.sim_nanos", 7.5);
+  EXPECT_EQ(reg.gauge("io.sim_nanos"), 7.5);
+}
+
+TEST(MetricsRegistryTest, HistogramSnapshotSummarizes) {
+  MetricsRegistry reg;
+  reg.Observe("query.total_seconds", 1.0);
+  reg.Observe("query.total_seconds", 3.0);
+  reg.Observe("query.total_seconds", 8.0);
+  const HistogramSnapshot snap = reg.histogram("query.total_seconds");
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 12.0);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 8.0);
+  EXPECT_DOUBLE_EQ(snap.avg(), 4.0);
+
+  const HistogramSnapshot empty = reg.histogram("missing");
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.avg(), 0.0);
+}
+
+TEST(MetricsRegistryTest, ToTextIsSortedByName) {
+  MetricsRegistry reg;
+  reg.AddCounter("b.second", 2);
+  reg.AddCounter("a.first", 1);
+  const std::string text = reg.ToText();
+  const size_t a = text.find("a.first 1");
+  const size_t b = text.find("b.second 2");
+  ASSERT_NE(a, std::string::npos) << text;
+  ASSERT_NE(b, std::string::npos) << text;
+  EXPECT_LT(a, b);
+}
+
+TEST(MetricsRegistryTest, ToJsonHasAllThreeSections) {
+  MetricsRegistry reg;
+  reg.AddCounter("mount.mounts", 4);
+  reg.SetGauge("cache.hits", 2);
+  reg.Observe("stage.files_of_interest_per_query", 8.0);
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mount.mounts\": 4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cache.hits\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"stage.files_of_interest_per_query\""),
+            std::string::npos)
+      << json;
+}
+
+TEST(MetricsRegistryTest, ClearResetsEverything) {
+  MetricsRegistry reg;
+  reg.AddCounter("c", 1);
+  reg.SetGauge("g", 1);
+  reg.Observe("h", 1);
+  reg.Clear();
+  EXPECT_EQ(reg.counter("c"), 0u);
+  EXPECT_EQ(reg.gauge("g"), 0.0);
+  EXPECT_EQ(reg.histogram("h").count, 0u);
+}
+
+TEST(MetricsRegistryTest, GlobalIsASingleton) {
+  MetricsRegistry& a = MetricsRegistry::Global();
+  MetricsRegistry& b = MetricsRegistry::Global();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace dex::obs

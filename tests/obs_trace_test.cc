@@ -1,0 +1,163 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace.h"
+
+namespace dex::obs {
+namespace {
+
+/// Enables tracing for one test and leaves the global tracer clean.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().Clear();
+    Tracer::Global().set_enabled(true);
+  }
+  void TearDown() override {
+    Tracer::Global().set_enabled(false);
+    Tracer::Global().Clear();
+  }
+};
+
+const Span* FindByName(const std::vector<Span>& spans, const std::string& name) {
+  for (const Span& s : spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST_F(TraceTest, DisabledSpansAreInactiveAndRecordNothing) {
+  Tracer::Global().set_enabled(false);
+  {
+    TraceSpan span("ignored", "test");
+    EXPECT_FALSE(span.active());
+    EXPECT_EQ(span.id(), 0u);
+    span.AddArg("key", std::string("value"));  // must be a safe no-op
+    Tracer::Instant("ignored_instant", "test");
+  }
+  EXPECT_TRUE(Tracer::Global().Drain().empty());
+}
+
+TEST_F(TraceTest, NestedSpansLinkParentAutomatically) {
+  {
+    TraceSpan outer("outer", "test");
+    ASSERT_TRUE(outer.active());
+    EXPECT_EQ(Tracer::CurrentSpanId(), outer.id());
+    {
+      TraceSpan inner("inner", "test");
+      ASSERT_TRUE(inner.active());
+      EXPECT_EQ(Tracer::CurrentSpanId(), inner.id());
+    }
+    EXPECT_EQ(Tracer::CurrentSpanId(), outer.id());
+  }
+  EXPECT_EQ(Tracer::CurrentSpanId(), 0u);
+
+  const auto spans = Tracer::Global().Drain();
+  ASSERT_EQ(spans.size(), 2u);
+  const Span* outer = FindByName(spans, "outer");
+  const Span* inner = FindByName(spans, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->parent_id, 0u);
+  EXPECT_EQ(inner->parent_id, outer->id);
+  // Order keys are allocated at open, so the outer span drains first even
+  // though it closed last.
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[1].name, "inner");
+}
+
+TEST_F(TraceTest, ArgsAndInstantsAreRecorded) {
+  {
+    TraceSpan span("op", "test");
+    span.AddArg("uri", std::string("repo/file.mseed"));
+    span.AddArg("rows", static_cast<uint64_t>(42));
+    Tracer::Instant("retry", "test", {{"attempt", "2"}});
+  }
+  const auto spans = Tracer::Global().Drain();
+  ASSERT_EQ(spans.size(), 2u);
+  const Span* op = FindByName(spans, "op");
+  const Span* retry = FindByName(spans, "retry");
+  ASSERT_NE(op, nullptr);
+  ASSERT_NE(retry, nullptr);
+  ASSERT_EQ(op->args.size(), 2u);
+  EXPECT_EQ(op->args[0].key, "uri");
+  EXPECT_EQ(op->args[0].value, "repo/file.mseed");
+  EXPECT_EQ(op->args[1].value, "42");
+  EXPECT_TRUE(retry->instant);
+  EXPECT_EQ(retry->parent_id, op->id);  // parented while `op` was open
+  ASSERT_EQ(retry->args.size(), 1u);
+  EXPECT_EQ(retry->args[0].value, "2");
+}
+
+TEST_F(TraceTest, TaskScopeImposesSpawnOrderOnDrain) {
+  // Simulate a coordinator spawning two tasks: orders are allocated at
+  // spawn time, but the "tasks" here run in the opposite order. The drain
+  // must still come back in spawn order.
+  const uint64_t order_a = Tracer::AllocOrder();
+  const uint64_t order_b = Tracer::AllocOrder();
+  ASSERT_LT(order_a, order_b);
+
+  {
+    TaskTraceScope scope(order_b);
+    TraceSpan span("task_b", "test");
+  }
+  {
+    TaskTraceScope scope(order_a);
+    { TraceSpan first("task_a_first", "test"); }
+    { TraceSpan second("task_a_second", "test"); }
+  }
+
+  const auto spans = Tracer::Global().Drain();
+  ASSERT_EQ(spans.size(), 3u);
+  // Task A's spans (earlier order) first, in their sub-sequence; then task B.
+  EXPECT_EQ(spans[0].name, "task_a_first");
+  EXPECT_EQ(spans[1].name, "task_a_second");
+  EXPECT_EQ(spans[2].name, "task_b");
+  EXPECT_LT(spans[0].sub, spans[1].sub);
+}
+
+TEST_F(TraceTest, SimChargeAccruesToOpenSpan) {
+  const uint64_t before = ThreadSimCharged();
+  {
+    TraceSpan span("io", "test");
+    AddSimCharge(1500);
+    AddSimCharge(500);
+  }
+  EXPECT_EQ(ThreadSimCharged(), before + 2000);
+  const auto spans = Tracer::Global().Drain();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].sim_dur_nanos, 2000u);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonIsWellFormedAndNamesLanes) {
+  {
+    TraceSpan span("query", "query");
+    span.AddArg("sql", std::string("SELECT \"x\" FROM t"));
+    AddSimCharge(1000);
+    Tracer::Instant("cache_hit", "cache");
+  }
+  const auto spans = Tracer::Global().Drain();
+  const std::string json = ChromeTraceJson(spans);
+  // Spot-check structure: the traceEvents array, a complete event, an
+  // instant, thread-name metadata, and escaped quotes in args.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("simulated disk"), std::string::npos);
+  EXPECT_NE(json.find("SELECT \\\"x\\\" FROM t"), std::string::npos);
+}
+
+TEST_F(TraceTest, DrainIsDestructiveAndDroppedStartsAtZero) {
+  { TraceSpan span("once", "test"); }
+  EXPECT_EQ(Tracer::Global().Drain().size(), 1u);
+  EXPECT_TRUE(Tracer::Global().Drain().empty());
+  EXPECT_EQ(Tracer::Global().dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace dex::obs
