@@ -2,6 +2,7 @@
 //
 //   dex_shell <repo-dir> [--eager] [--cache=none|lru|all] [--tuple-cache]
 //             [--derived] [--snapshot=<path>] [--batch=<n>] [--threads=<n>]
+//             [--timeout=<ms>] [--memlimit=<mb>]
 //             [--trace=<file>] [--log-level=debug|info|warning|error]
 //
 // SQL statements execute through the two-stage kernel; dot-commands inspect
@@ -18,6 +19,12 @@
 //   .coverage          derive GAPS/OVERLAPS from record metadata
 //   .refresh           rescan the repository for new/changed/removed files
 //   .cold              flush the buffer pool (next query runs cold)
+//   .timeout <ms|off>  simulated-time deadline per query; at the deadline
+//                      ingestion stops admitting files and the query returns
+//                      a deterministic partial result (marked PARTIAL)
+//   .memlimit <mb|off> memory budget over mounted data + cache; on pressure
+//                      unpinned cache entries are evicted, then files are
+//                      skipped (partial result)
 //   .help / .quit
 //
 // With --trace=FILE every query records lifecycle spans (stage 1, rewrite,
@@ -71,6 +78,12 @@ void PrintQueryStats(const dex::QueryStats& stats, bool verbose) {
                           static_cast<double>(ts.parallel_sim_nanos)
                     : 1.0);
   }
+  if (ts.is_partial) {
+    std::printf(" [PARTIAL: %zu skipped by deadline, %zu by memory, "
+                "cutoff at %.4fs sim]",
+                ts.files_skipped_deadline, ts.files_skipped_memory,
+                ts.cutoff_sim_nanos / 1e9);
+  }
   const bool any_faults = stats.read_retries > 0 || stats.records_salvaged > 0 ||
                           stats.files_failed > 0 || stats.files_skipped > 0 ||
                           stats.records_skipped > 0;
@@ -95,8 +108,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: dex_shell <repo-dir> [--eager] [--cache=none|lru|all] "
                "[--tuple-cache] [--derived] [--snapshot=<path>] [--batch=<n>] "
-               "[--threads=<n>] [--trace=<file>] "
-               "[--log-level=debug|info|warning|error]\n");
+               "[--threads=<n>] [--timeout=<ms>] [--memlimit=<mb>] "
+               "[--trace=<file>] [--log-level=debug|info|warning|error]\n");
   return 2;
 }
 
@@ -131,6 +144,12 @@ int main(int argc, char** argv) {
     } else if (dex::StartsWith(arg, "--threads=")) {
       options.two_stage.num_threads =
           static_cast<size_t>(std::atoi(arg.c_str() + 10));
+    } else if (dex::StartsWith(arg, "--timeout=")) {
+      options.two_stage.sim_deadline_nanos =
+          static_cast<uint64_t>(std::atoll(arg.c_str() + 10)) * 1000000ull;
+    } else if (dex::StartsWith(arg, "--memlimit=")) {
+      options.two_stage.memory_budget_bytes =
+          static_cast<uint64_t>(std::atoll(arg.c_str() + 11)) << 20;
     } else if (dex::StartsWith(arg, "--trace=")) {
       trace_path = arg.substr(8);
       if (trace_path.empty()) return Usage();
@@ -184,8 +203,8 @@ int main(int argc, char** argv) {
       if (cmd == ".help") {
         std::printf(
             ".tables .schema <t> .explain [analyze] <sql> .stats .metrics "
-            ".open .cache .coverage .refresh .cold .export <path> <sql> "
-            ".quit\n");
+            ".open .cache .coverage .refresh .cold .timeout <ms|off> "
+            ".memlimit <mb|off> .export <path> <sql> .quit\n");
       } else if (cmd == ".tables") {
         for (const std::string& name : db->catalog()->TableNames()) {
           auto table = db->catalog()->GetTable(name);
@@ -278,6 +297,27 @@ int main(int argc, char** argv) {
       } else if (cmd == ".cold") {
         db->FlushBuffers();
         std::printf("buffers flushed; the next query runs cold\n");
+      } else if (cmd == ".timeout" && parts.size() > 1) {
+        if (dex::ToLower(parts[1]) == "off") {
+          db->set_sim_deadline_nanos(0);
+          std::printf("query deadline off\n");
+        } else {
+          const long long ms = std::atoll(parts[1].c_str());
+          db->set_sim_deadline_nanos(static_cast<uint64_t>(ms) * 1000000ull);
+          std::printf("query deadline: %lldms simulated time "
+                      "(partial results past it)\n", ms);
+        }
+      } else if (cmd == ".memlimit" && parts.size() > 1) {
+        if (dex::ToLower(parts[1]) == "off") {
+          db->set_memory_budget_bytes(0);
+          std::printf("memory budget off\n");
+        } else {
+          const long long mb = std::atoll(parts[1].c_str());
+          db->set_memory_budget_bytes(static_cast<uint64_t>(mb) << 20);
+          std::printf("memory budget: %lldMB over mounted data + cache "
+                      "(currently %s reserved)\n", mb,
+                      dex::FormatBytes(db->memory_budget()->used()).c_str());
+        }
       } else {
         std::printf("unknown command %s (try .help)\n", cmd.c_str());
       }

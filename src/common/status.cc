@@ -26,6 +26,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Aborted";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
   }
   return "Unknown";
 }

@@ -22,6 +22,8 @@ enum class StatusCode {
   kNotImplemented,
   kAborted,   // e.g. explorer aborted a query at the stage-1 breakpoint
   kInternal,
+  kDeadlineExceeded,   // query ran past its wall/sim deadline
+  kResourceExhausted,  // memory budget (or another governed resource) ran out
 };
 
 /// \brief Returns a human-readable name for a status code ("Invalid argument"...).
@@ -67,6 +69,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
@@ -77,6 +85,8 @@ class Status {
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsAborted() const { return code() == StatusCode::kAborted; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const { return code() == StatusCode::kDeadlineExceeded; }
+  bool IsResourceExhausted() const { return code() == StatusCode::kResourceExhausted; }
 
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
   const std::string& message() const;

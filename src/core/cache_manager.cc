@@ -1,5 +1,7 @@
 #include "core/cache_manager.h"
 
+#include <vector>
+
 #include "obs/trace.h"
 
 namespace dex {
@@ -96,6 +98,16 @@ void CacheManager::Insert(const std::string& uri,
   Erase(uri);
   Entry entry;
   entry.bytes = data->ByteSize();
+  if (budget_ != nullptr && !budget_->TryReserve(entry.bytes)) {
+    // Make room at the expense of colder entries before giving up; the
+    // cache is best-effort, so a refused insertion never fails the query.
+    (void)EvictUnpinnedLocked(entry.bytes);
+    if (!budget_->TryReserve(entry.bytes)) {
+      ++stats_.budget_rejections;
+      obs::Tracer::Instant("cache_reject", "cache", {{"uri", uri}});
+      return;
+    }
+  }
   entry.data = std::move(data);
   entry.predicate_repr = predicate_repr;
   if (window != nullptr) entry.window = *window;
@@ -110,17 +122,65 @@ void CacheManager::Insert(const std::string& uri,
 
 void CacheManager::EvictIfNeeded() {
   if (options_.policy != CachePolicy::kLru) return;
-  while (bytes_used_ > options_.capacity_bytes && !lru_.empty()) {
-    const std::string victim = lru_.back();
+  // Collect victims tail-first, skipping pinned entries (their data is
+  // planned into a running query's cache-scan branches).
+  std::vector<std::string> victims;
+  uint64_t would_free = 0;
+  for (auto it = lru_.rbegin();
+       it != lru_.rend() && bytes_used_ - would_free > options_.capacity_bytes;
+       ++it) {
+    const Entry& entry = entries_.at(*it);
+    if (entry.pins > 0) continue;
+    victims.push_back(*it);
+    would_free += entry.bytes;
+  }
+  for (const std::string& victim : victims) {
     obs::Tracer::Instant("cache_evict", "cache", {{"uri", victim}});
     Erase(victim);
     ++stats_.evictions;
   }
 }
 
+size_t CacheManager::EvictUnpinnedLocked(uint64_t min_bytes) {
+  std::vector<std::string> victims;
+  uint64_t would_free = 0;
+  for (auto it = lru_.rbegin(); it != lru_.rend() && would_free < min_bytes;
+       ++it) {
+    const Entry& entry = entries_.at(*it);
+    if (entry.pins > 0) continue;
+    victims.push_back(*it);
+    would_free += entry.bytes;
+  }
+  for (const std::string& victim : victims) {
+    obs::Tracer::Instant("cache_evict", "cache",
+                         {{"uri", victim}, {"reason", "memory_budget"}});
+    Erase(victim);
+    ++stats_.evictions;
+  }
+  return victims.size();
+}
+
+size_t CacheManager::EvictUnpinned(uint64_t min_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EvictUnpinnedLocked(min_bytes);
+}
+
+void CacheManager::Pin(const std::string& uri) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(uri);
+  if (it != entries_.end()) ++it->second.pins;
+}
+
+void CacheManager::Unpin(const std::string& uri) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(uri);
+  if (it != entries_.end() && it->second.pins > 0) --it->second.pins;
+}
+
 void CacheManager::Erase(const std::string& uri) {
   auto it = entries_.find(uri);
   if (it == entries_.end()) return;
+  if (budget_ != nullptr) budget_->Release(it->second.bytes);
   bytes_used_ -= it->second.bytes;
   lru_.erase(it->second.lru_it);
   entries_.erase(it);
@@ -128,6 +188,7 @@ void CacheManager::Erase(const std::string& uri) {
 
 void CacheManager::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (budget_ != nullptr) budget_->Release(bytes_used_);
   entries_.clear();
   lru_.clear();
   bytes_used_ = 0;

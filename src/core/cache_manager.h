@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "common/result.h"
+#include "exec/query_context.h"
 #include "storage/table.h"
 
 namespace dex {
@@ -49,7 +50,8 @@ struct CacheStats {
   uint64_t misses = 0;
   uint64_t insertions = 0;
   uint64_t evictions = 0;
-  uint64_t invalidations = 0;  // dropped because the file changed on disk
+  uint64_t invalidations = 0;      // dropped because the file changed on disk
+  uint64_t budget_rejections = 0;  // insertions refused by the memory budget
 };
 
 /// \brief Keeps ingested file data between queries, keyed by URI.
@@ -66,6 +68,13 @@ class CacheManager {
 
   CacheManager() : CacheManager(Options{}) {}
   explicit CacheManager(const Options& options) : options_(options) {}
+
+  /// Unifies the cache with the database-wide memory budget: every insertion
+  /// reserves its bytes, every eviction/invalidation releases them, and a
+  /// reservation failure first evicts unpinned entries, then refuses the
+  /// insertion (best-effort cache — never fails the query). Call once,
+  /// before any query runs; `budget` is not owned and must outlive this.
+  void AttachBudget(MemoryBudget* budget) { budget_ = budget; }
 
   /// True if a later query with pushed-down selection `predicate_repr`
   /// (empty = unrestricted) can be served for `uri`, given the file's
@@ -93,6 +102,20 @@ class CacheManager {
               int64_t mtime_ms, TablePtr data,
               const CachedWindow* window = nullptr);
 
+  /// Pins `uri` against eviction (both LRU-capacity and budget-pressure
+  /// eviction). The two-stage executor pins the URIs its rewritten plan
+  /// cache-scans, so freeing budget for new mounts cannot invalidate
+  /// branches of the very plan being executed. No-op for unknown URIs;
+  /// pins nest (Pin twice needs Unpin twice).
+  void Pin(const std::string& uri);
+  void Unpin(const std::string& uri);
+
+  /// Evicts unpinned entries in LRU order until at least `min_bytes` were
+  /// freed (or none are left). Called by the two-stage executor when a
+  /// mount's budget reservation fails, before declaring memory exhaustion.
+  /// Returns the number of entries evicted.
+  size_t EvictUnpinned(uint64_t min_bytes);
+
   /// Drops every entry (e.g. after the repository was regenerated).
   void Clear();
 
@@ -117,6 +140,7 @@ class CacheManager {
     CachedWindow window;
     int64_t mtime_ms = 0;
     uint64_t bytes = 0;
+    uint32_t pins = 0;
     std::list<std::string>::iterator lru_it;
   };
 
@@ -125,9 +149,11 @@ class CacheManager {
                         const CachedWindow* window) const;
 
   void EvictIfNeeded();
+  size_t EvictUnpinnedLocked(uint64_t min_bytes);
   void Erase(const std::string& uri);
 
   const Options options_;
+  MemoryBudget* budget_ = nullptr;  // set once before use; not owned
   mutable std::mutex mu_;
   std::unordered_map<std::string, Entry> entries_;
   std::list<std::string> lru_;  // front = most recent

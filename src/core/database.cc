@@ -86,6 +86,11 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& repo_root,
   db->catalog_ = std::make_unique<Catalog>(db->disk_.get());
   db->registry_ = std::make_unique<FileRegistry>(db->disk_.get());
   db->cache_ = std::make_unique<CacheManager>(options.cache);
+  // The global memory budget covers mounted partial tables and cache entries
+  // alike; the cache reserves/releases through it from here on.
+  db->memory_budget_ =
+      std::make_unique<MemoryBudget>(options.two_stage.memory_budget_bytes);
+  db->cache_->AttachBudget(db->memory_budget_.get());
 
   // Resolve the repository's file format.
   if (options.format != nullptr) {
@@ -213,7 +218,8 @@ Status Database::SyncQuarantineTable() {
 
 Result<QueryResult> Database::RunQuery(const std::string& sql,
                                        const BreakpointCallback& callback,
-                                       PlanProfiler* profiler) {
+                                       PlanProfiler* profiler,
+                                       CancelToken* cancel) {
   // EXPLAIN [ANALYZE] enters through the same front door as a SELECT and
   // returns through it too, as a one-column "QUERY PLAN" table.
   {
@@ -221,7 +227,7 @@ Result<QueryResult> Database::RunQuery(const std::string& sql,
     if (ConsumeKeyword(sql, &pos, "EXPLAIN")) {
       const bool analyze = ConsumeKeyword(sql, &pos, "ANALYZE");
       const std::string inner = sql.substr(pos);
-      if (analyze) return RunExplainAnalyze(inner, callback);
+      if (analyze) return RunExplainAnalyze(inner, callback, cancel);
       DEX_ASSIGN_OR_RETURN(std::string text, Explain(inner));
       QueryResult out;
       DEX_ASSIGN_OR_RETURN(out.table, PlanTextTable(text));
@@ -252,19 +258,33 @@ Result<QueryResult> Database::RunQuery(const std::string& sql,
   }
   out.stats.plan_nanos = NowNanos() - t0;
 
+  // Resource governance: deadlines come from the *current* two-stage options
+  // (the runtime setters mutate those); the memory budget is the database-wide
+  // one the cache also reserves against. Armed at the same simulated-clock
+  // anchor as sim_io_nanos accounting, so "deadline" and "reported I/O time"
+  // measure the same timeline.
+  const TwoStageOptions& ts_opts = two_stage_->options();
+  QueryContext qctx(
+      {ts_opts.sim_deadline_nanos, ts_opts.wall_deadline_nanos},
+      memory_budget_.get(), cancel);
+  qctx.Start(sim0);
+
   const uint64_t t1 = NowNanos();
   if (options_.mode == IngestionMode::kEager) {
     ExecContext ctx;
     ctx.catalog = catalog_.get();
     ctx.use_index_joins = options_.use_index_joins;
     ctx.profiler = profiler;
+    if (cancel != nullptr) {
+      ctx.interrupt_fn = [&qctx] { return qctx.CheckInterrupt(); };
+    }
     DEX_ASSIGN_OR_RETURN(out.table, ExecutePlan(plan, &ctx));
     if (profiler != nullptr) profiler->AddRoot("plan", plan);
     out.stats.two_stage.exec = ctx.stats;
   } else {
     DEX_ASSIGN_OR_RETURN(
-        out.table,
-        two_stage_->Execute(plan, callback, &out.stats.two_stage, profiler));
+        out.table, two_stage_->Execute(plan, callback, &out.stats.two_stage,
+                                       profiler, &qctx));
   }
   out.stats.exec_nanos = NowNanos() - t1;
   out.stats.sim_io_nanos = disk_->stats().sim_nanos - sim0;
@@ -306,9 +326,11 @@ Result<QueryResult> Database::RunQuery(const std::string& sql,
 }
 
 Result<QueryResult> Database::RunExplainAnalyze(
-    const std::string& sql, const BreakpointCallback& callback) {
+    const std::string& sql, const BreakpointCallback& callback,
+    CancelToken* cancel) {
   PlanProfiler profiler;
-  DEX_ASSIGN_OR_RETURN(QueryResult out, RunQuery(sql, callback, &profiler));
+  DEX_ASSIGN_OR_RETURN(QueryResult out,
+                       RunQuery(sql, callback, &profiler, cancel));
   std::string text = profiler.Render();
   text += "-- execution --\n";
   text += "result rows: " + std::to_string(out.stats.result_rows) + "\n";
@@ -319,6 +341,21 @@ Result<QueryResult> Database::RunExplainAnalyze(
                 static_cast<double>(out.stats.exec_nanos) / 1e6,
                 static_cast<double>(out.stats.sim_io_nanos) / 1e6);
   text += line;
+  const TwoStageStats& ts = out.stats.two_stage;
+  if (ts.is_partial) {
+    std::snprintf(
+        line, sizeof(line),
+        "\npartial result: %llu files mounted, %zu skipped by deadline, "
+        "%zu skipped by memory",
+        static_cast<unsigned long long>(ts.mount.counters.mounts),
+        ts.files_skipped_deadline, ts.files_skipped_memory);
+    text += line;
+    std::snprintf(line, sizeof(line),
+                  "\ncutoff at %.3fms simulated, %.3fms wall",
+                  static_cast<double>(ts.cutoff_sim_nanos) / 1e6,
+                  static_cast<double>(ts.cutoff_wall_nanos) / 1e6);
+    text += line;
+  }
   DEX_ASSIGN_OR_RETURN(out.table, PlanTextTable(text));
   return out;
 }
@@ -330,6 +367,29 @@ Result<QueryResult> Database::Query(const std::string& sql) {
 Result<QueryResult> Database::QueryInteractive(const std::string& sql,
                                                const BreakpointCallback& callback) {
   return RunQuery(sql, callback);
+}
+
+Result<QueryResult> Database::QueryCancellable(const std::string& sql,
+                                               CancelToken* cancel,
+                                               const BreakpointCallback& callback) {
+  return RunQuery(sql, callback, /*profiler=*/nullptr, cancel);
+}
+
+void Database::set_sim_deadline_nanos(uint64_t nanos) {
+  two_stage_->mutable_options()->sim_deadline_nanos = nanos;
+}
+
+void Database::set_wall_deadline_nanos(uint64_t nanos) {
+  two_stage_->mutable_options()->wall_deadline_nanos = nanos;
+}
+
+void Database::set_memory_budget_bytes(uint64_t bytes) {
+  two_stage_->mutable_options()->memory_budget_bytes = bytes;
+  memory_budget_->set_limit(bytes);
+}
+
+void Database::set_on_resource_exhausted(OnResourceExhausted policy) {
+  two_stage_->mutable_options()->on_resource_exhausted = policy;
 }
 
 Result<RefreshStats> Database::Refresh() {

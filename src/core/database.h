@@ -153,6 +153,17 @@ class Database {
   Result<QueryResult> QueryInteractive(const std::string& sql,
                                        const BreakpointCallback& callback);
 
+  /// Runs one SELECT under an external cancel token (e.g. wired to a ^C
+  /// handler or a watchdog). Cancellation is cooperative: the volcano
+  /// operators poll the token per batch, mount tasks check it before
+  /// starting and between read retries, and the query returns the token's
+  /// cancel reason. Cancelling leaves the database consistent — partial
+  /// tables never reach the catalog, and cache/quarantine entries already
+  /// committed are valid on their own.
+  Result<QueryResult> QueryCancellable(const std::string& sql,
+                                       CancelToken* cancel,
+                                       const BreakpointCallback& callback = nullptr);
+
   /// EXPLAIN: the optimized plan and, in lazy mode, its Q_f/Q_s split.
   Result<std::string> Explain(const std::string& sql);
 
@@ -177,8 +188,21 @@ class Database {
   /// restart with all buffers flushed.
   void FlushBuffers() { disk_->FlushAll(); }
 
+  // -- Resource governance (runtime knobs; see TwoStageOptions) -----------
+  /// Per-query simulated-time deadline (0 = off). Shell: `.timeout`.
+  void set_sim_deadline_nanos(uint64_t nanos);
+  /// Per-query wall-clock deadline (0 = off).
+  void set_wall_deadline_nanos(uint64_t nanos);
+  /// Database-wide memory budget in bytes (0 = unlimited). Shell: `.memlimit`.
+  void set_memory_budget_bytes(uint64_t bytes);
+  /// Deadline/budget exhaustion policy (default kPartialResults).
+  void set_on_resource_exhausted(OnResourceExhausted policy);
+
   // -- Introspection ------------------------------------------------------
   const OpenStats& open_stats() const { return open_stats_; }
+  /// The database-wide budget mounted partial tables and cache entries
+  /// reserve against (tracks usage even when unlimited).
+  MemoryBudget* memory_budget() { return memory_budget_.get(); }
   Catalog* catalog() { return catalog_.get(); }
   SimDisk* disk() { return disk_.get(); }
   CacheManager* cache() { return cache_.get(); }
@@ -192,12 +216,14 @@ class Database {
 
   Result<QueryResult> RunQuery(const std::string& sql,
                                const BreakpointCallback& callback,
-                               PlanProfiler* profiler = nullptr);
+                               PlanProfiler* profiler = nullptr,
+                               CancelToken* cancel = nullptr);
 
   /// EXPLAIN ANALYZE body: runs `sql` under a profiler and replaces the
   /// result table with the annotated plan rendering.
   Result<QueryResult> RunExplainAnalyze(const std::string& sql,
-                                        const BreakpointCallback& callback);
+                                        const BreakpointCallback& callback,
+                                        CancelToken* cancel = nullptr);
 
   /// Rebuilds the QUARANTINE metadata table if registry health changed.
   Status SyncQuarantineTable();
@@ -209,6 +235,9 @@ class Database {
   std::unique_ptr<Catalog> catalog_;
   std::unique_ptr<FileRegistry> registry_;
   std::unique_ptr<CacheManager> cache_;
+  // Database-wide: outlives any one query because cache entries keep their
+  // reservations between queries. Created before cache_ is used.
+  std::unique_ptr<MemoryBudget> memory_budget_;
   std::unique_ptr<DerivedMetadata> derived_;
   std::unique_ptr<Mounter> mounter_;
   std::unique_ptr<TwoStageExecutor> two_stage_;

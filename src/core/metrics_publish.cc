@@ -34,6 +34,14 @@ void PublishQueryMetrics(const QueryStats& stats) {
               static_cast<double>(ts.files_of_interest));
   }
 
+  // Resource governance: how often queries degrade, and why.
+  if (ts.is_partial) m.AddCounter("governance.partial_queries", 1);
+  m.AddCounter("governance.files_skipped_deadline", ts.files_skipped_deadline);
+  m.AddCounter("governance.files_skipped_memory", ts.files_skipped_memory);
+  m.AddCounter("governance.mem_budget_evictions", ts.mem_budget_evictions);
+  m.SetGauge("governance.mem_reserved_peak_bytes",
+             static_cast<double>(ts.mem_reserved_peak));
+
   const Mounter::MountCounters& mc = stats.mount;
   m.AddCounter("mount.mounts", mc.mounts);
   m.AddCounter("mount.records_decoded", mc.records_decoded);
@@ -87,6 +95,8 @@ void PublishCacheMetrics(const CacheStats& cache) {
   m.SetGauge("cache.insertions", static_cast<double>(cache.insertions));
   m.SetGauge("cache.evictions", static_cast<double>(cache.evictions));
   m.SetGauge("cache.invalidations", static_cast<double>(cache.invalidations));
+  m.SetGauge("cache.budget_rejections",
+             static_cast<double>(cache.budget_rejections));
 }
 
 }  // namespace dex

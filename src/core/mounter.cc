@@ -41,11 +41,16 @@ void Mounter::AddWarning(MountOutcome* outcome, std::string msg) {
 }
 
 Status Mounter::ChargeReadWithRetry(const std::string& uri,
-                                    MountOutcome* outcome) {
+                                    MountOutcome* outcome,
+                                    const QueryContext* qctx) {
   Status io = registry_->ChargeFileRead(uri);
   double backoff_ms = retry_.backoff_base_millis;
   for (int attempt = 0; !io.ok() && io.IsIOError() && attempt < retry_.max_retries;
        ++attempt) {
+    // A cancelled query must not ride out the remaining backoff schedule.
+    // The cancel reason is not an IOError, so Mount propagates it as a
+    // query failure instead of quarantining the file.
+    if (qctx != nullptr) DEX_RETURN_NOT_OK(qctx->CheckInterrupt());
     registry_->RecordTransientError(uri, io.message());
     obs::Tracer::Instant("read_retry", "fault",
                          {{"uri", uri},
@@ -63,7 +68,8 @@ Status Mounter::ChargeReadWithRetry(const std::string& uri,
 Result<TablePtr> Mounter::Mount(const std::string& table_name,
                                 const std::string& uri,
                                 const ExprPtr& fused_predicate,
-                                MountOutcome* outcome) {
+                                MountOutcome* outcome,
+                                const QueryContext* qctx) {
   if (table_name != kDataTableName) {
     return Status::NotImplemented("no extraction mapping for actual table '" +
                                   table_name + "'");
@@ -77,7 +83,7 @@ Result<TablePtr> Mounter::Mount(const std::string& table_name,
 
   // Charge the simulated medium for pulling the file's bytes, absorbing
   // transient faults with exponential backoff.
-  Status io = ChargeReadWithRetry(uri, outcome);
+  Status io = ChargeReadWithRetry(uri, outcome, qctx);
   if (!io.ok()) {
     if (!io.IsIOError() || on_error_ == OnMountError::kFail) {
       return io.WithContext("mounting '" + uri + "'");

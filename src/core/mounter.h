@@ -10,6 +10,7 @@
 #include "core/file_registry.h"
 #include "core/format_adapter.h"
 #include "engine/expr.h"
+#include "exec/query_context.h"
 #include "storage/catalog.h"
 
 namespace dex {
@@ -114,9 +115,14 @@ class Mounter {
   /// When `outcome` is non-null, counters and warnings for this call are
   /// *accumulated* into it (never reset), so a caller may thread one
   /// accumulator through a whole query's mounts.
+  ///
+  /// When `qctx` is non-null, its cancel token is checked between retry
+  /// attempts in the read path, so a cancelled query stops backing off
+  /// instead of riding out the full retry schedule.
   Result<TablePtr> Mount(const std::string& table_name, const std::string& uri,
                          const ExprPtr& fused_predicate,
-                         MountOutcome* outcome = nullptr);
+                         MountOutcome* outcome = nullptr,
+                         const QueryContext* qctx = nullptr);
 
   /// The cache-scan access path: returns previously ingested data.
   Result<TablePtr> CacheLookup(const std::string& table_name,
@@ -127,8 +133,10 @@ class Mounter {
  private:
   /// Reads the file's bytes off the simulated medium, absorbing transient
   /// faults with exponential backoff. Non-OK only when the failure survived
-  /// every retry (a permanent fault) or is not an I/O fault at all.
-  Status ChargeReadWithRetry(const std::string& uri, MountOutcome* outcome);
+  /// every retry (a permanent fault), the query was cancelled between
+  /// attempts, or the failure is not an I/O fault at all.
+  Status ChargeReadWithRetry(const std::string& uri, MountOutcome* outcome,
+                             const QueryContext* qctx);
 
   static void AddWarning(MountOutcome* outcome, std::string msg);
 

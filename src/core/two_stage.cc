@@ -29,6 +29,27 @@ uint64_t NowNanos() {
           .count());
 }
 
+/// Runs `fn` at scope exit — used for the cleanup Execute owes on every
+/// return path (budget reservations, cache pins).
+template <typename F>
+struct ScopeExit {
+  F fn;
+  ~ScopeExit() { fn(); }
+};
+template <typename F>
+ScopeExit(F) -> ScopeExit<F>;
+
+/// Book-keeping for stage-2 memory reservations and (when governed)
+/// admission, shared with the mount_fn closure. Only touched from the
+/// coordinator thread: the mount_fn runs inline as union branches open, and
+/// governed queries additionally skip PremountUnion, so access is serial.
+struct AdmissionState {
+  bool stopped = false;           // no further mounts are admitted
+  bool stopped_by_memory = false; // why: budget (true) vs deadline (false)
+  Status reason;                  // DeadlineExceeded / ResourceExhausted
+  uint64_t reserved_bytes = 0;    // partial-table reservations to release
+};
+
 }  // namespace
 
 Result<std::vector<std::string>> TwoStageExecutor::FilesOfInterest(
@@ -218,7 +239,16 @@ ThreadPool* TwoStageExecutor::Pool(size_t workers) {
 
 Status TwoStageExecutor::PremountUnion(const PlanPtr& union_node, size_t workers,
                                        TwoStageStats* stats,
-                                       PremountMap* premounted) {
+                                       PremountMap* premounted,
+                                       QueryContext* qctx) {
+  if (qctx != nullptr && qctx->has_limits()) {
+    // Governed queries serialize admission: every mount opens inline in
+    // union-branch order, so the deadline/budget cutoff is a function of the
+    // deterministic simulated timeline instead of worker scheduling. The
+    // trade (documented in DESIGN.md §8.8): no parallel mount overlap while
+    // a deadline or memory budget is armed.
+    return Status::OK();
+  }
   if (workers <= 1 || union_node == nullptr ||
       union_node->kind != PlanKind::kUnion) {
     return Status::OK();  // legacy path: mounts open inline, one at a time
@@ -248,7 +278,10 @@ Status TwoStageExecutor::PremountUnion(const PlanPtr& union_node, size_t workers
     // of everything the task records on its worker thread.
     const uint64_t trace_parent = obs::Tracer::CurrentSpanId();
     const uint64_t trace_order = obs::Tracer::AllocOrder();
-    group.Spawn([this, node, slot, trace_parent, trace_order]() -> Status {
+    group.Spawn([this, node, slot, trace_parent, trace_order, qctx]() -> Status {
+      // A cancelled query skips tasks that have not started yet; the cancel
+      // reason propagates through the group's lowest-index error rule.
+      if (qctx != nullptr) DEX_RETURN_NOT_OK(qctx->CheckInterrupt());
       obs::TaskTraceScope order_scope(trace_order);
       obs::TraceSpan span("mount_task", "mount", trace_parent);
       span.AddArg("uri", node->uri);
@@ -259,7 +292,8 @@ Status TwoStageExecutor::PremountUnion(const PlanPtr& union_node, size_t workers
       SimDisk::TaskTimeScope scope(&slot->sim_nanos);
       DEX_ASSIGN_OR_RETURN(slot->table,
                            mounter_->Mount(node->table_name, node->uri,
-                                           node->predicate, &slot->outcome));
+                                           node->predicate, &slot->outcome,
+                                           qctx));
       return Status::OK();
     });
   }
@@ -289,33 +323,158 @@ Status TwoStageExecutor::PremountUnion(const PlanPtr& union_node, size_t workers
 Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
                                            const BreakpointCallback& callback,
                                            TwoStageStats* stats,
-                                           PlanProfiler* profiler) {
+                                           PlanProfiler* profiler,
+                                           QueryContext* qctx) {
   DEX_CHECK(stats != nullptr);
   DEX_ASSIGN_OR_RETURN(SplitResult split, SplitPlan(plan, *catalog_));
 
+  const bool governed = qctx != nullptr && qctx->has_limits();
   const size_t workers = options_.num_threads == 0
                              ? ThreadPool::DefaultConcurrency()
                              : options_.num_threads;
-  stats->workers = workers;
+  // Governed queries serialize stage-2 admission (PremountUnion is a no-op),
+  // so report the effective lane count.
+  stats->workers = governed ? 1 : workers;
 
   // Mounts completed ahead of plan execution by worker tasks. The mount_fn
   // serves them on URI + exact-predicate match; anything else (cache-scan
   // fallbacks, re-opened branches) takes the real serial mount path.
   auto premounted = std::make_shared<PremountMap>();
+  // Reservation/admission book-keeping, shared with the mount_fn closure.
+  // Present for every governed *or merely tracked* query (any qctx): an
+  // ungoverned run still reserves against the unlimited budget, so its
+  // `mem_reserved_peak` reports what a governed run would have needed.
+  auto admission = qctx != nullptr ? std::make_shared<AdmissionState>() : nullptr;
+  // URIs pinned in the cache for this query's cache-scan branches.
+  std::vector<std::string> pinned_uris;
+  ScopeExit cleanup{[&] {
+    // All return paths: partial tables never outlive the query, so their
+    // budget reservations don't either (the tables themselves are dangling
+    // shared_ptrs that die with the plan — nothing reaches the catalog).
+    if (admission != nullptr && admission->reserved_bytes > 0) {
+      qctx->memory()->Release(admission->reserved_bytes);
+    }
+    if (cache_ != nullptr) {
+      for (const std::string& uri : pinned_uris) cache_->Unpin(uri);
+    }
+    if (qctx != nullptr) stats->mem_reserved_peak = qctx->memory()->peak();
+  }};
+
+  // Flips the admission gate shut and records the cutoff (once).
+  auto stop_admission = [this, stats, qctx](AdmissionState* adm, Status reason,
+                                            bool by_memory, uint64_t sim_now) {
+    adm->stopped = true;
+    adm->stopped_by_memory = by_memory;
+    adm->reason = std::move(reason);
+    stats->cutoff_sim_nanos = sim_now - qctx->sim_start_nanos();
+    stats->cutoff_wall_nanos = qctx->wall_elapsed_nanos();
+    obs::Tracer::Instant(
+        by_memory ? "memory_cutoff" : "deadline_cutoff", "governance",
+        {{"cutoff_sim_nanos", std::to_string(stats->cutoff_sim_nanos)}});
+  };
 
   ExecContext ctx;
   ctx.catalog = catalog_;
   ctx.profiler = profiler;
-  ctx.mount_fn = [this, stats, premounted](const std::string& table,
-                                           const std::string& uri,
-                                           const ExprPtr& pred) {
+  if (qctx != nullptr) {
+    // Per-batch cooperative cancellation in the volcano operators. Under
+    // kFailQuery a deadline behaves like a cancellation (the whole plan
+    // aborts); under kPartialResults it only gates mount admission, so the
+    // plan runs to completion over whatever was admitted.
+    SimDisk* disk = registry_->disk();
+    const bool fail_on_deadline =
+        qctx->has_deadline() &&
+        options_.on_resource_exhausted == OnResourceExhausted::kFailQuery;
+    ctx.interrupt_fn = [qctx, disk, fail_on_deadline]() -> Status {
+      DEX_RETURN_NOT_OK(qctx->CheckInterrupt());
+      if (fail_on_deadline) {
+        const uint64_t sim_now = disk->stats().sim_nanos;
+        if (qctx->DeadlineExpired(sim_now)) return qctx->DeadlineStatus(sim_now);
+      }
+      return Status::OK();
+    };
+  }
+  ctx.mount_fn = [this, stats, premounted, qctx, admission, stop_admission,
+                  governed](const std::string& table, const std::string& uri,
+                            const ExprPtr& pred) -> Result<TablePtr> {
     auto it = premounted->find(uri);
     if (it != premounted->end() && it->second.predicate.get() == pred.get()) {
       TablePtr t = std::move(it->second.table);
       premounted->erase(it);  // each union branch opens once
+      if (admission != nullptr && qctx->memory()->TryReserve(t->ByteSize())) {
+        admission->reserved_bytes += t->ByteSize();
+      }
       return Result<TablePtr>(std::move(t));
     }
-    return mounter_->Mount(table, uri, pred, &stats->mount);
+    if (admission == nullptr) {
+      return mounter_->Mount(table, uri, pred, &stats->mount, qctx);
+    }
+    if (!governed) {
+      // Tracked but not limited: reservations against the unlimited budget
+      // always succeed and only maintain the high-water mark.
+      auto mounted = mounter_->Mount(table, uri, pred, &stats->mount, qctx);
+      if (!mounted.ok()) return mounted;
+      if (qctx->memory()->TryReserve((*mounted)->ByteSize())) {
+        admission->reserved_bytes += (*mounted)->ByteSize();
+      }
+      return mounted;
+    }
+    // Governed admission, decided serially in union-branch order against
+    // the global simulated clock: the set of admitted files is the same at
+    // any worker count.
+    if (!admission->stopped) {
+      const uint64_t sim_now = registry_->disk()->stats().sim_nanos;
+      if (qctx->DeadlineExpired(sim_now)) {
+        stop_admission(admission.get(), qctx->DeadlineStatus(sim_now),
+                       /*by_memory=*/false, sim_now);
+      }
+    }
+    if (admission->stopped) {
+      if (options_.on_resource_exhausted == OnResourceExhausted::kFailQuery) {
+        return admission->reason;
+      }
+      stats->is_partial = true;
+      if (admission->stopped_by_memory) {
+        ++stats->files_skipped_memory;
+      } else {
+        ++stats->files_skipped_deadline;
+      }
+      // Degrade like a quarantined file: the branch contributes no rows.
+      return Result<TablePtr>(std::make_shared<Table>(table, MakeDataSchema()));
+    }
+    auto mounted = mounter_->Mount(table, uri, pred, &stats->mount, qctx);
+    if (!mounted.ok()) return mounted;
+    // Memory admission: the partial table must fit in the budget. Evict
+    // unpinned cache entries before declaring exhaustion.
+    const uint64_t bytes = (*mounted)->ByteSize();
+    MemoryBudget* budget = qctx->memory();
+    bool reserved = budget->TryReserve(bytes);
+    if (!reserved && cache_ != nullptr) {
+      stats->mem_budget_evictions += cache_->EvictUnpinned(bytes);
+      reserved = budget->TryReserve(bytes);
+    }
+    if (!reserved) {
+      const uint64_t sim_now = registry_->disk()->stats().sim_nanos;
+      stop_admission(
+          admission.get(),
+          Status::ResourceExhausted(
+              "memory budget of " + std::to_string(budget->limit()) +
+              " bytes exhausted mounting '" + uri + "' (" +
+              std::to_string(bytes) + " bytes needed, " +
+              std::to_string(budget->used()) + " in use)"),
+          /*by_memory=*/true, sim_now);
+      if (options_.on_resource_exhausted == OnResourceExhausted::kFailQuery) {
+        return admission->reason;
+      }
+      // The triggering file's simulated I/O is already charged (the same
+      // file triggers exhaustion at any worker count, so this stays
+      // deterministic); its data cannot be admitted and is discarded.
+      stats->is_partial = true;
+      ++stats->files_skipped_memory;
+      return Result<TablePtr>(std::make_shared<Table>(table, MakeDataSchema()));
+    }
+    admission->reserved_bytes += bytes;
+    return mounted;
   };
   ctx.cache_fn = [this](const std::string& table, const std::string& uri) {
     return mounter_->CacheLookup(table, uri);
@@ -394,6 +553,17 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
         break;
     }
   }
+  // Pin the cache entries the rewritten plan will scan: budget-pressure
+  // eviction while the query runs must not invalidate branches of the very
+  // plan being executed. Unpinned by `cleanup` on every return path.
+  if (cache_ != nullptr) {
+    for (const FileDecision& d : decisions) {
+      if (d.action == FileDecision::Action::kCacheScan) {
+        cache_->Pin(d.uri);
+        pinned_uris.push_back(d.uri);
+      }
+    }
+  }
 
   // Informativeness at the breakpoint. The R table backs the estimate when
   // Q_f carries no record-level columns.
@@ -463,6 +633,10 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
     const size_t num_batches =
         (union_node->children.size() + batch - 1) / batch;
     for (size_t b = 0; b < num_batches; ++b) {
+      // Clean cancellation point between ingestion batches: nothing of the
+      // aborted query survives except cache/quarantine entries already
+      // committed, which are consistent on their own.
+      if (qctx != nullptr) DEX_RETURN_NOT_OK(qctx->CheckInterrupt());
       std::vector<PlanPtr> group(
           union_node->children.begin() + static_cast<long>(b * batch),
           union_node->children.begin() +
@@ -474,7 +648,8 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
       batch_span.AddArg("batch", static_cast<uint64_t>(b + 1));
       // Parallelism is per ingestion wave: each batch's mounts overlap, the
       // breakpoint between batches stays a clean barrier.
-      DEX_RETURN_NOT_OK(PremountUnion(sub, workers, stats, premounted.get()));
+      DEX_RETURN_NOT_OK(
+          PremountUnion(sub, workers, stats, premounted.get(), qctx));
       DEX_ASSIGN_OR_RETURN(TablePtr part, ExecutePlan(sub, &ctx));
       if (profiler != nullptr) {
         profiler->AddRoot("stage 2 ingestion (batch " + std::to_string(b + 1) +
@@ -508,7 +683,7 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
     DEX_RETURN_NOT_OK(AnalyzePlan(stage2_plan, *catalog_));
   } else {
     DEX_RETURN_NOT_OK(
-        PremountUnion(union_node, workers, stats, premounted.get()));
+        PremountUnion(union_node, workers, stats, premounted.get(), qctx));
   }
   DEX_ASSIGN_OR_RETURN(TablePtr result, ExecutePlan(stage2_plan, &ctx));
   if (profiler != nullptr) profiler->AddRoot("stage 2", stage2_plan);

@@ -14,6 +14,7 @@
 #include "core/mounter.h"
 #include "core/plan_splitter.h"
 #include "engine/executor.h"
+#include "exec/query_context.h"
 #include "exec/thread_pool.h"
 
 namespace dex {
@@ -56,6 +57,33 @@ struct TwoStageOptions {
   /// as simulated I/O time.
   MountRetryPolicy retry;
 
+  // -- Resource governance --------------------------------------------------
+  // When any of the three limits below is set, stage-2 mount admission is
+  // *governed*: mounts open inline in union-branch order and each admission
+  // is decided against the global simulated clock, so the cutoff — and the
+  // partial result — is bit-identical at any num_threads (at the price of no
+  // parallel mount overlap for that query). See DESIGN.md §8.8.
+
+  /// Simulated-time deadline per query (0 = none): the query may charge this
+  /// many nanoseconds to the SimDisk clock before admission stops /
+  /// the query fails, per `on_resource_exhausted`. Deterministic.
+  uint64_t sim_deadline_nanos = 0;
+
+  /// Wall-clock deadline per query (0 = none). Inherently nondeterministic —
+  /// meant for real interactive sessions, not reproducible experiments.
+  uint64_t wall_deadline_nanos = 0;
+
+  /// Database-wide memory budget (0 = unlimited) covering every mounted
+  /// partial table of the running query plus all cache entries. On
+  /// exhaustion, unpinned cache entries are evicted first; what happens then
+  /// is `on_resource_exhausted`.
+  uint64_t memory_budget_bytes = 0;
+
+  /// Deadline/budget exhaustion policy: fail the query with
+  /// DeadlineExceeded/ResourceExhausted, or degrade to a partial result with
+  /// completeness accounting (default). Mirrors OnMountError.
+  OnResourceExhausted on_resource_exhausted = OnResourceExhausted::kPartialResults;
+
   InformativenessModel model;
 };
 
@@ -88,6 +116,21 @@ struct TwoStageStats {
   /// What the same waves would have cost serially (sum over tasks) — the
   /// parallel speedup in simulated time is serial/parallel.
   uint64_t serial_sim_nanos = 0;
+
+  // -- Resource governance ------------------------------------------------
+  /// True when the result is incomplete: the deadline or memory budget
+  /// stopped mount admission and some files of interest were never ingested.
+  bool is_partial = false;
+  size_t files_skipped_deadline = 0;  // admission refused: deadline passed
+  size_t files_skipped_memory = 0;    // admission refused: budget exhausted
+  /// Simulated / wall nanoseconds into the query when admission stopped
+  /// (0 when it never did).
+  uint64_t cutoff_sim_nanos = 0;
+  uint64_t cutoff_wall_nanos = 0;
+  /// High-water mark of the memory budget during this query (bytes), and
+  /// cache entries evicted under budget pressure to admit new mounts.
+  uint64_t mem_reserved_peak = 0;
+  uint64_t mem_budget_evictions = 0;
 
   /// Everything the query's mounts did (counters + bounded warnings),
   /// accumulated per query — inline mounts directly, parallel tasks merged
@@ -124,8 +167,12 @@ class TwoStageExecutor {
   /// execution, after every ingestion batch) and may abort the query.
   /// `profiler`, when set (EXPLAIN ANALYZE), receives per-operator counters
   /// for every executed plan (stage 1, per-batch ingestion, stage 2).
+  /// `qctx`, when set, governs the execution: its cancel token is polled per
+  /// batch and between ingestion batches, its deadline/budget gate mount
+  /// admission (see TwoStageOptions' governance knobs).
   Result<TablePtr> Execute(const PlanPtr& plan, const BreakpointCallback& callback,
-                           TwoStageStats* stats, PlanProfiler* profiler = nullptr);
+                           TwoStageStats* stats, PlanProfiler* profiler = nullptr,
+                           QueryContext* qctx = nullptr);
 
   /// Distinct values of the stage-1 result's `uri` column — "the files of
   /// interest are identified, and collected as a list of file URIs".
@@ -146,6 +193,11 @@ class TwoStageExecutor {
 
   const TwoStageOptions& options() const { return options_; }
 
+  /// Runtime adjustment of the governance knobs (shell `.timeout` /
+  /// `.memlimit`). Safe between queries; not synchronized against a query
+  /// in flight.
+  TwoStageOptions* mutable_options() { return &options_; }
+
  private:
   /// A mount completed ahead of plan execution by a worker task, keyed by
   /// URI. `predicate` is the exact fused-predicate instance the plan's mount
@@ -163,9 +215,11 @@ class TwoStageExecutor {
   /// Mounts `union_node`'s kMount branches as parallel tasks on `workers`
   /// lanes, filling `premounted` and accumulating counters/warnings and the
   /// deterministic critical-path time into `stats`. No-op when the union has
-  /// fewer than two mounts.
+  /// fewer than two mounts, and no-op for governed queries (`qctx` with
+  /// limits): governed admission is serialized for determinism.
   Status PremountUnion(const PlanPtr& union_node, size_t workers,
-                       TwoStageStats* stats, PremountMap* premounted);
+                       TwoStageStats* stats, PremountMap* premounted,
+                       QueryContext* qctx);
 
   /// The cached worker pool, (re)built to `workers` threads when needed.
   ThreadPool* Pool(size_t workers);

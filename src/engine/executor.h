@@ -68,6 +68,12 @@ struct ExecContext {
   /// profiling decorator that records rows/batches/wall time per plan node.
   PlanProfiler* profiler = nullptr;
 
+  /// When set, every built operator polls this before producing a batch and
+  /// aborts the plan on a non-OK return — the cooperative-cancellation seam
+  /// for query deadlines and CancelToken (injected by the core library, like
+  /// mount_fn, so the engine stays decoupled from QueryContext).
+  std::function<Status()> interrupt_fn;
+
   ExecStats stats;
 };
 

@@ -1,0 +1,102 @@
+#include "exec/query_context.h"
+
+#include <chrono>
+
+namespace dex {
+
+namespace {
+
+uint64_t WallNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void CancelToken::Cancel(Status reason) {
+  if (reason.ok()) reason = Status::Aborted("query cancelled");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cancelled_.load(std::memory_order_relaxed)) return;  // first wins
+    reason_ = std::move(reason);
+  }
+  cancelled_.store(true, std::memory_order_release);
+}
+
+Status CancelToken::status() const {
+  if (!cancelled()) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  return reason_;
+}
+
+bool MemoryBudget::TryReserve(uint64_t bytes) {
+  const uint64_t limit = limit_.load(std::memory_order_relaxed);
+  uint64_t used = used_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (limit != 0 && used + bytes > limit) {
+      rejections_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (used_.compare_exchange_weak(used, used + bytes,
+                                    std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  // Best-effort peak: racy double-update is harmless (monotone max).
+  const uint64_t now = used + bytes;
+  uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+void MemoryBudget::Release(uint64_t bytes) {
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+QueryContext::QueryContext(Limits limits, MemoryBudget* budget,
+                           CancelToken* external)
+    : limits_(limits),
+      token_(external != nullptr ? external : &own_token_),
+      memory_(budget != nullptr ? budget : &own_budget_) {}
+
+void QueryContext::Start(uint64_t sim_now_nanos) {
+  sim_start_ = sim_now_nanos;
+  wall_start_ = WallNowNanos();
+}
+
+uint64_t QueryContext::wall_elapsed_nanos() const {
+  return WallNowNanos() - wall_start_;
+}
+
+bool QueryContext::DeadlineExpired(uint64_t sim_now_nanos) const {
+  if (limits_.sim_deadline_nanos != 0 &&
+      sim_now_nanos - sim_start_ >= limits_.sim_deadline_nanos) {
+    return true;
+  }
+  if (limits_.wall_deadline_nanos != 0 &&
+      wall_elapsed_nanos() >= limits_.wall_deadline_nanos) {
+    return true;
+  }
+  return false;
+}
+
+Status QueryContext::DeadlineStatus(uint64_t sim_now_nanos) const {
+  const uint64_t sim_elapsed = sim_now_nanos - sim_start_;
+  if (limits_.sim_deadline_nanos != 0 &&
+      sim_elapsed >= limits_.sim_deadline_nanos) {
+    return Status::DeadlineExceeded(
+        "query exceeded its simulated-time deadline of " +
+        std::to_string(limits_.sim_deadline_nanos) + " ns (elapsed " +
+        std::to_string(sim_elapsed) + " ns)");
+  }
+  return Status::DeadlineExceeded(
+      "query exceeded its wall-clock deadline of " +
+      std::to_string(limits_.wall_deadline_nanos) + " ns (elapsed " +
+      std::to_string(wall_elapsed_nanos()) + " ns)");
+}
+
+}  // namespace dex

@@ -2,15 +2,42 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+#include "obs/metrics.h"
+
 namespace dex {
 
 TaskGroup::~TaskGroup() {
-  try {
-    (void)Wait();
-  } catch (...) {
-    // A destructor must not throw; the exception was already the caller's
-    // to collect via an explicit Wait().
+  // Barrier without Wait(): a destructor must not throw, and Wait() rethrows
+  // captured exceptions. Failures nobody observed through an explicit Wait()
+  // would otherwise vanish here — log them and count them so cancellation
+  // bugs do not hide behind an early-return caller.
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return finished_ == spawned_; });
+  if (waited_ || (errors_.empty() && exceptions_.empty())) return;
+  for (const auto& [index, status] : errors_) {
+    DEX_LOG(Warning) << "TaskGroup destroyed without Wait(); dropping error "
+                        "from task #"
+                     << index << ": " << status.ToString();
   }
+  for (const auto& [index, exception] : exceptions_) {
+    (void)exception;
+    DEX_LOG(Warning) << "TaskGroup destroyed without Wait(); dropping "
+                        "exception from task #"
+                     << index;
+  }
+  obs::MetricsRegistry::Global().AddCounter(
+      "task_group.errors_dropped", errors_.size() + exceptions_.size());
+}
+
+void TaskGroup::Cancel(Status reason) {
+  if (reason.ok()) reason = Status::Aborted("task group cancelled");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cancel_reason_.ok()) cancel_reason_ = std::move(reason);
+  }
+  user_cancelled_.store(true, std::memory_order_relaxed);
+  cancelled_.store(true, std::memory_order_relaxed);
 }
 
 void TaskGroup::Spawn(std::function<Status()> fn) {
@@ -62,6 +89,7 @@ void TaskGroup::Finish(size_t index, Status status,
 Status TaskGroup::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [this] { return finished_ == spawned_; });
+  waited_ = true;
   if (!exceptions_.empty()) {
     auto first = std::min_element(
         exceptions_.begin(), exceptions_.end(),
@@ -78,7 +106,8 @@ Status TaskGroup::Wait() {
     return first->second;
   }
   if (user_cancelled_.load(std::memory_order_relaxed)) {
-    return Status::Aborted("task group cancelled");
+    return cancel_reason_.ok() ? Status::Aborted("task group cancelled")
+                               : cancel_reason_;
   }
   return Status::OK();
 }

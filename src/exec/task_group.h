@@ -33,8 +33,10 @@ namespace dex {
 ///    running are not interrupted — cooperative cancellation only.
 ///  - Exceptions thrown by a task are captured and rethrown from Wait()
 ///    (again lowest-index-first), after the barrier.
-///  - Cancel() may also be called externally; Wait() then returns
-///    Status::Aborted unless some task already failed with a real error.
+///  - Cancel() may also be called externally, optionally with a reason
+///    (e.g. Status::DeadlineExceeded from a query deadline vs the default
+///    Status::Aborted); Wait() then returns that reason unless some task
+///    already failed with a real error. The first reason wins.
 ///
 /// A TaskGroup is single-use: spawn, wait, discard.
 class TaskGroup {
@@ -43,8 +45,10 @@ class TaskGroup {
   /// sequential mode used for num_threads == 1).
   explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
 
-  /// Waits for stragglers; errors surfaced by this implicit wait are lost,
-  /// so call Wait() explicitly on every success path.
+  /// Waits for stragglers. Errors nobody collected via an explicit Wait()
+  /// cannot be propagated from a destructor; they are logged at Warning
+  /// level and counted in the `task_group.errors_dropped` metric instead of
+  /// vanishing silently. Still: call Wait() explicitly on every success path.
   ~TaskGroup();
 
   TaskGroup(const TaskGroup&) = delete;
@@ -55,14 +59,16 @@ class TaskGroup {
 
   /// Barrier: blocks until all tasks finished/skipped. Rethrows the first
   /// (by spawn index) captured exception, else returns the first error
-  /// status, else Aborted if the group was cancelled externally, else OK.
+  /// status, else the Cancel() reason if the group was cancelled
+  /// externally, else OK.
   Status Wait();
 
-  /// Requests cancellation: tasks not yet started are skipped.
-  void Cancel() {
-    user_cancelled_.store(true, std::memory_order_relaxed);
-    cancelled_.store(true, std::memory_order_relaxed);
-  }
+  /// Requests cancellation: tasks not yet started are skipped. `reason`
+  /// (non-OK) is what Wait() reports when no task failed on its own —
+  /// pass Status::DeadlineExceeded / Status::ResourceExhausted so callers
+  /// learn *why* the group stopped. The first reason wins.
+  void Cancel(Status reason);
+  void Cancel() { Cancel(Status::Aborted("task group cancelled")); }
 
   bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
 
@@ -87,6 +93,8 @@ class TaskGroup {
   size_t spawned_ = 0;   // only mutated by the spawning thread
   size_t finished_ = 0;  // guarded by mu_
   size_t skipped_ = 0;   // guarded by mu_
+  bool waited_ = false;  // guarded by mu_; true once an explicit Wait ran
+  Status cancel_reason_;            // guarded by mu_; first Cancel() reason
   std::vector<std::pair<size_t, Status>> errors_;                  // guarded by mu_
   std::vector<std::pair<size_t, std::exception_ptr>> exceptions_;  // guarded by mu_
 };

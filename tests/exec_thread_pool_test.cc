@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "exec/task_group.h"
+#include "obs/metrics.h"
 
 namespace dex {
 namespace {
@@ -222,6 +223,42 @@ TEST(TaskGroup, ParallelFailuresStillReportLowestIndex) {
   Status s = group.Wait();
   ASSERT_FALSE(s.ok());
   EXPECT_NE(s.message().find("index 0"), std::string::npos) << s.ToString();
+}
+
+TEST(TaskGroup, CancelReasonIsReportedByWait) {
+  // Reason-aware cancellation: a watchdog cancelling for a deadline must not
+  // be indistinguishable from a user abort.
+  TaskGroup group(nullptr);
+  group.Cancel(Status::DeadlineExceeded("watchdog fired"));
+  group.Spawn([] { return Status::OK(); });  // skipped
+  Status s = group.Wait();
+  EXPECT_TRUE(s.IsDeadlineExceeded()) << s.ToString();
+  EXPECT_NE(s.message().find("watchdog fired"), std::string::npos);
+  EXPECT_EQ(group.tasks_skipped(), 1u);
+}
+
+TEST(TaskGroup, ReasonlessCancelStaysAborted) {
+  TaskGroup group(nullptr);
+  group.Cancel();
+  EXPECT_TRUE(group.Wait().IsAborted());
+}
+
+TEST(TaskGroup, DestroyedWithoutWaitCountsDroppedErrors) {
+  auto& metrics = obs::MetricsRegistry::Global();
+  const uint64_t before = metrics.counter("task_group.errors_dropped");
+  {
+    TaskGroup group(nullptr);
+    group.Spawn([] { return Status::IOError("lost to the void"); });
+    // No Wait(): the destructor must log the loss and count it.
+  }
+  EXPECT_EQ(metrics.counter("task_group.errors_dropped"), before + 1);
+  {
+    // A waited group surfaced its error; nothing is dropped.
+    TaskGroup group(nullptr);
+    group.Spawn([] { return Status::IOError("surfaced"); });
+    EXPECT_TRUE(group.Wait().IsIOError());
+  }
+  EXPECT_EQ(metrics.counter("task_group.errors_dropped"), before + 1);
 }
 
 }  // namespace
