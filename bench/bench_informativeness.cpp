@@ -57,11 +57,13 @@ int main() {
       "SELECT D.sample_time, D.sample_value FROM F JOIN R ON F.uri = R.uri "
       "JOIN D ON R.uri = D.uri AND R.record_id = D.record_id;";
   const auto t0 = std::chrono::steady_clock::now();
-  auto aborted = db->QueryInteractive(bad_query, [](const BreakpointInfo& info) {
+  QueryOptions abort_policy;
+  abort_policy.breakpoint = [](const BreakpointInfo& info) {
     // Policy: refuse queries expected to return more than a million rows.
     return info.est_result_rows > 1000000 ? BreakpointDecision::kAbort
                                           : BreakpointDecision::kContinue;
-  });
+  };
+  auto aborted = db->Query(bad_query, abort_policy);
   const double abort_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   const Timing full = TimeQuery(db.get(), bad_query);

@@ -2,7 +2,7 @@
 //
 //   dex_shell <repo-dir> [--eager] [--cache=none|lru|all] [--tuple-cache]
 //             [--derived] [--snapshot=<path>] [--batch=<n>] [--threads=<n>]
-//             [--timeout=<ms>] [--memlimit=<mb>]
+//             [--refresh-threads=<n>] [--timeout=<ms>] [--memlimit=<mb>]
 //             [--trace=<file>] [--log-level=debug|info|warning|error]
 //
 // SQL statements execute through the two-stage kernel; dot-commands inspect
@@ -17,7 +17,9 @@
 //   .open              open/ingestion statistics
 //   .cache             cache contents summary
 //   .coverage          derive GAPS/OVERLAPS from record metadata
-//   .refresh           rescan the repository for new/changed/removed files
+//   .refresh           rescan the repository for new/changed/removed files;
+//                      only changed/new headers are parsed (parallel on
+//                      --refresh-threads workers), the rest reuse their rows
 //   .cold              flush the buffer pool (next query runs cold)
 //   .timeout <ms|off>  simulated-time deadline per query; at the deadline
 //                      ingestion stops admitting files and the query returns
@@ -108,8 +110,9 @@ int Usage() {
   std::fprintf(stderr,
                "usage: dex_shell <repo-dir> [--eager] [--cache=none|lru|all] "
                "[--tuple-cache] [--derived] [--snapshot=<path>] [--batch=<n>] "
-               "[--threads=<n>] [--timeout=<ms>] [--memlimit=<mb>] "
-               "[--trace=<file>] [--log-level=debug|info|warning|error]\n");
+               "[--threads=<n>] [--refresh-threads=<n>] [--timeout=<ms>] "
+               "[--memlimit=<mb>] [--trace=<file>] "
+               "[--log-level=debug|info|warning|error]\n");
   return 2;
 }
 
@@ -144,6 +147,9 @@ int main(int argc, char** argv) {
     } else if (dex::StartsWith(arg, "--threads=")) {
       options.two_stage.num_threads =
           static_cast<size_t>(std::atoi(arg.c_str() + 10));
+    } else if (dex::StartsWith(arg, "--refresh-threads=")) {
+      options.stage1_threads =
+          static_cast<size_t>(std::atoi(arg.c_str() + 18));
     } else if (dex::StartsWith(arg, "--timeout=")) {
       options.two_stage.sim_deadline_nanos =
           static_cast<uint64_t>(std::atoll(arg.c_str() + 10)) * 1000000ull;
@@ -276,8 +282,33 @@ int main(int argc, char** argv) {
       } else if (cmd == ".refresh") {
         auto r = db->Refresh();
         if (r.ok()) {
-          std::printf("+%zu new, ~%zu changed, -%zu removed\n", r->files_added,
-                      r->files_changed, r->files_removed);
+          std::printf("+%zu new, ~%zu changed, -%zu removed "
+                      "(%zu scanned, %zu reused",
+                      r->files_added, r->files_changed, r->files_removed,
+                      r->files_scanned, r->files_reused);
+          if (r->files_quarantined > 0) {
+            std::printf(", %zu quarantined", r->files_quarantined);
+          }
+          std::printf(") in %.4fs", (r->scan_nanos + r->sim_io_nanos) / 1e9);
+          if (r->sim_io_nanos > 0) {
+            std::printf(" [sim-I/O %.4fs]", r->sim_io_nanos / 1e9);
+          }
+          if (r->workers > 1 && r->files_scanned > 0) {
+            std::printf(" [%zu scan tasks on %zu workers, sim speedup %.2fx]",
+                        r->files_scanned, r->workers,
+                        r->parallel_sim_nanos > 0
+                            ? static_cast<double>(r->serial_sim_nanos) /
+                                  static_cast<double>(r->parallel_sim_nanos)
+                            : 1.0);
+          }
+          if (r->is_partial) {
+            std::printf(" [PARTIAL: %zu skipped by deadline]",
+                        r->files_skipped_deadline);
+          }
+          std::printf("\n");
+          for (const std::string& w : r->warnings) {
+            std::printf("   warning: %s\n", w.c_str());
+          }
         } else {
           std::printf("%s\n", r.status().ToString().c_str());
         }

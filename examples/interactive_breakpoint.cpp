@@ -55,53 +55,58 @@ int main() {
   auto& db = *db_or;
 
   Banner("1. a well-phrased query passes the budget check");
-  auto ok = db->QueryInteractive(
+  dex::QueryOptions budget_check;
+  budget_check.breakpoint = [](const dex::BreakpointInfo& info) {
+    if (info.batch_index == 0) DescribeBreakpoint(info);
+    return info.est_result_rows > 1000000 ? dex::BreakpointDecision::kAbort
+                                          : dex::BreakpointDecision::kContinue;
+  };
+  auto ok = db->Query(
       "SELECT AVG(D.sample_value) FROM F JOIN R ON F.uri = R.uri "
       "JOIN D ON R.uri = D.uri AND R.record_id = D.record_id "
       "WHERE F.station = 'ISK' AND F.channel = 'BHE' "
       "AND R.start_time > '2010-01-02T00:00:00.000' "
       "AND R.start_time < '2010-01-02T23:59:59.999';",
-      [](const dex::BreakpointInfo& info) {
-        if (info.batch_index == 0) DescribeBreakpoint(info);
-        return info.est_result_rows > 1000000
-                   ? dex::BreakpointDecision::kAbort
-                   : dex::BreakpointDecision::kContinue;
-      });
+      budget_check);
   if (ok.ok()) {
     std::printf("  -> answered: %s", ok->table->ToString().c_str());
   }
 
   Banner("2. a non-informative query is refused before ingestion");
-  auto refused = db->QueryInteractive(
+  dex::QueryOptions refuse_big;
+  refuse_big.breakpoint = [](const dex::BreakpointInfo& info) {
+    if (info.batch_index == 0) DescribeBreakpoint(info);
+    if (info.est_result_rows > 1000000) {
+      std::printf("  -> explorer: that would drown me in rows. Abort.\n");
+      return dex::BreakpointDecision::kAbort;
+    }
+    return dex::BreakpointDecision::kContinue;
+  };
+  auto refused = db->Query(
       "SELECT D.sample_time, D.sample_value FROM F JOIN D ON F.uri = D.uri;",
-      [](const dex::BreakpointInfo& info) {
-        if (info.batch_index == 0) DescribeBreakpoint(info);
-        if (info.est_result_rows > 1000000) {
-          std::printf("  -> explorer: that would drown me in rows. Abort.\n");
-          return dex::BreakpointDecision::kAbort;
-        }
-        return dex::BreakpointDecision::kContinue;
-      });
+      refuse_big);
   std::printf("  query status: %s\n", refused.status().ToString().c_str());
 
   Banner("3. multi-stage ingestion with a mid-flight change of heart");
-  auto midway = db->QueryInteractive(
+  dex::QueryOptions midway_opts;
+  midway_opts.breakpoint = [](const dex::BreakpointInfo& info) {
+    if (info.batch_index == 0) {
+      DescribeBreakpoint(info);
+      return dex::BreakpointDecision::kContinue;
+    }
+    std::printf("  batch %zu/%zu done, %llu rows ingested so far\n",
+                info.batch_index, info.num_batches,
+                static_cast<unsigned long long>(info.rows_ingested_so_far));
+    if (info.batch_index == 2) {
+      std::printf("  -> explorer: the first batches look boring. Abort.\n");
+      return dex::BreakpointDecision::kAbort;
+    }
+    return dex::BreakpointDecision::kContinue;
+  };
+  auto midway = db->Query(
       "SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri "
       "WHERE F.station = 'ISK' OR F.station = 'ANK';",
-      [](const dex::BreakpointInfo& info) {
-        if (info.batch_index == 0) {
-          DescribeBreakpoint(info);
-          return dex::BreakpointDecision::kContinue;
-        }
-        std::printf("  batch %zu/%zu done, %llu rows ingested so far\n",
-                    info.batch_index, info.num_batches,
-                    static_cast<unsigned long long>(info.rows_ingested_so_far));
-        if (info.batch_index == 2) {
-          std::printf("  -> explorer: the first batches look boring. Abort.\n");
-          return dex::BreakpointDecision::kAbort;
-        }
-        return dex::BreakpointDecision::kContinue;
-      });
+      midway_opts);
   std::printf("  query status: %s\n", midway.status().ToString().c_str());
   return 0;
 }

@@ -4,7 +4,6 @@
 #include <cctype>
 #include <chrono>
 #include <cstdio>
-#include <unordered_set>
 
 #include "io/file_io.h"
 
@@ -100,60 +99,44 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& repo_root,
   }
 
   // Scan the repository: extract file- and record-level metadata. This is
-  // the only up-front data access ALi performs. With a metadata snapshot
-  // ("instant-on"), unchanged files skip the header parse entirely.
+  // the only up-front data access ALi performs, driven by the parallel
+  // stage-1 scanner (per-file ScanFile tasks, bit-identical results at any
+  // stage1_threads). With a metadata snapshot ("instant-on"), unchanged
+  // files skip the header parse entirely — the snapshot is the baseline.
   const uint64_t t0 = NowNanos();
-  mseed::ScanResult scan;
-  bool scanned = false;
-  // Which files' headers were physically parsed (and thus charge simulated
-  // I/O below): everything on a full scan, only changed/new files when a
-  // snapshot is reconciled (unchanged files cost a stat(), assumed served
-  // from the filesystem's cached inodes).
-  std::unordered_set<std::string> parsed_uris;
-  bool parsed_all = true;
+  db->stage1_ =
+      std::make_unique<Stage1Scanner>(db->format_.get(), db->registry_.get());
+  mseed::ScanResult baseline;
+  bool have_baseline = false;
   if (!options.metadata_snapshot_path.empty() &&
       FileExists(options.metadata_snapshot_path)) {
-    auto baseline = LoadSnapshot(options.metadata_snapshot_path);
-    if (baseline.ok()) {
-      ReconcileStats rstats;
-      auto reconciled =
-          ReconcileScan(repo_root, db->format_.get(), *baseline, &rstats);
-      if (reconciled.ok()) {
-        scan = std::move(*reconciled);
-        db->open_stats_.snapshot_files_reused = rstats.files_reused;
-        parsed_uris.insert(rstats.rescanned_uris.begin(),
-                           rstats.rescanned_uris.end());
-        parsed_all = false;
-        scanned = true;
-      }
+    auto loaded = LoadSnapshot(options.metadata_snapshot_path);
+    if (loaded.ok()) {
+      baseline = std::move(*loaded);
+      have_baseline = true;
     }
-    // A corrupt or stale snapshot falls back to a full scan below.
+    // A corrupt or stale snapshot falls back to a full scan.
   }
-  if (!scanned) {
-    DEX_ASSIGN_OR_RETURN(scan, db->format_->ScanRepository(repo_root));
-  }
+  Stage1Options sopts;
+  sopts.num_threads = options.stage1_threads;
+  sopts.on_error = options.two_stage.on_mount_error;
+  sopts.retry = options.two_stage.retry;
+  Stage1Stats sstats;
+  DEX_ASSIGN_OR_RETURN(
+      mseed::ScanResult scan,
+      db->stage1_->Scan(repo_root, have_baseline ? &baseline : nullptr, sopts,
+                        &sstats));
   if (!options.metadata_snapshot_path.empty()) {
     DEX_RETURN_NOT_OK(SaveSnapshot(scan, options.metadata_snapshot_path));
   }
   db->open_stats_.metadata_scan_nanos = NowNanos() - t0;
+  db->open_stats_.snapshot_files_reused = sstats.files_reused;
+  db->open_stats_.scan_workers = sstats.workers;
+  db->open_stats_.scan_serial_sim_nanos = sstats.serial_sim_nanos;
+  db->open_stats_.scan_parallel_sim_nanos = sstats.parallel_sim_nanos;
   db->open_stats_.repo_bytes = scan.total_bytes;
   db->open_stats_.num_files = scan.files.size();
   db->open_stats_.num_records = scan.records.size();
-
-  for (const mseed::FileMeta& f : scan.files) {
-    DEX_RETURN_NOT_OK(db->registry_->Add(f.uri, f.size_bytes, f.mtime_ms));
-    if (!parsed_all && parsed_uris.count(f.uri) == 0) continue;
-    // Scanning reads each file's header pages on the simulated medium. An
-    // injected I/O fault here must not abort Open: the metadata was already
-    // extracted, and the mount path will retry (and, if need be, quarantine)
-    // the file when a query actually wants its data.
-    DEX_ASSIGN_OR_RETURN(FileRegistry::Entry entry, db->registry_->Get(f.uri));
-    Status header_read = db->disk_->Read(
-        entry.object, 0,
-        std::min<uint64_t>(entry.size_bytes,
-                           static_cast<uint64_t>(f.num_records + 1) * 64));
-    if (!header_read.ok() && !header_read.IsIOError()) return header_read;
-  }
 
   if (options.mode == IngestionMode::kEager) {
     DEX_ASSIGN_OR_RETURN(
@@ -216,10 +199,59 @@ Status Database::SyncQuarantineTable() {
   return Status::OK();
 }
 
+namespace {
+
+/// Applies one query's QueryOptions on top of the database-wide defaults and
+/// restores those defaults when the query finishes, success or error. The
+/// database runs one query at a time, so save/apply/restore around RunQuery
+/// is exact; EXPLAIN ANALYZE re-enters RunQuery with the same options, which
+/// re-applies the same values (idempotent).
+class ScopedQueryOptions {
+ public:
+  ScopedQueryOptions(const QueryOptions& opts, TwoStageOptions* ts,
+                     MemoryBudget* budget)
+      : ts_(ts),
+        budget_(budget),
+        saved_(*ts),
+        saved_limit_(budget->limit()),
+        saved_trace_(obs::Tracer::Global().enabled()) {
+    if (opts.sim_deadline_nanos) ts->sim_deadline_nanos = *opts.sim_deadline_nanos;
+    if (opts.wall_deadline_nanos) {
+      ts->wall_deadline_nanos = *opts.wall_deadline_nanos;
+    }
+    if (opts.memory_budget_bytes) {
+      ts->memory_budget_bytes = *opts.memory_budget_bytes;
+      budget->set_limit(*opts.memory_budget_bytes);
+    }
+    if (opts.on_resource_exhausted) {
+      ts->on_resource_exhausted = *opts.on_resource_exhausted;
+    }
+    if (opts.num_threads) ts->num_threads = *opts.num_threads;
+    if (opts.trace) obs::Tracer::Global().set_enabled(true);
+  }
+
+  ~ScopedQueryOptions() {
+    *ts_ = saved_;
+    budget_->set_limit(saved_limit_);
+    obs::Tracer::Global().set_enabled(saved_trace_);
+  }
+
+  ScopedQueryOptions(const ScopedQueryOptions&) = delete;
+  ScopedQueryOptions& operator=(const ScopedQueryOptions&) = delete;
+
+ private:
+  TwoStageOptions* ts_;
+  MemoryBudget* budget_;
+  TwoStageOptions saved_;
+  uint64_t saved_limit_;
+  bool saved_trace_;
+};
+
+}  // namespace
+
 Result<QueryResult> Database::RunQuery(const std::string& sql,
-                                       const BreakpointCallback& callback,
-                                       PlanProfiler* profiler,
-                                       CancelToken* cancel) {
+                                       const QueryOptions& options,
+                                       PlanProfiler* profiler) {
   // EXPLAIN [ANALYZE] enters through the same front door as a SELECT and
   // returns through it too, as a one-column "QUERY PLAN" table.
   {
@@ -227,7 +259,7 @@ Result<QueryResult> Database::RunQuery(const std::string& sql,
     if (ConsumeKeyword(sql, &pos, "EXPLAIN")) {
       const bool analyze = ConsumeKeyword(sql, &pos, "ANALYZE");
       const std::string inner = sql.substr(pos);
-      if (analyze) return RunExplainAnalyze(inner, callback, cancel);
+      if (analyze) return RunExplainAnalyze(inner, options);
       DEX_ASSIGN_OR_RETURN(std::string text, Explain(inner));
       QueryResult out;
       DEX_ASSIGN_OR_RETURN(out.table, PlanTextTable(text));
@@ -235,6 +267,9 @@ Result<QueryResult> Database::RunQuery(const std::string& sql,
       return out;
     }
   }
+
+  ScopedQueryOptions scoped(options, two_stage_->mutable_options(),
+                            memory_budget_.get());
 
   // Fold any out-of-band health changes (quarantines from a prior query,
   // rehabilitations via Refresh/Update) into the queryable QUARANTINE table
@@ -266,7 +301,7 @@ Result<QueryResult> Database::RunQuery(const std::string& sql,
   const TwoStageOptions& ts_opts = two_stage_->options();
   QueryContext qctx(
       {ts_opts.sim_deadline_nanos, ts_opts.wall_deadline_nanos},
-      memory_budget_.get(), cancel);
+      memory_budget_.get(), options.cancel);
   qctx.Start(sim0);
 
   const uint64_t t1 = NowNanos();
@@ -275,7 +310,7 @@ Result<QueryResult> Database::RunQuery(const std::string& sql,
     ctx.catalog = catalog_.get();
     ctx.use_index_joins = options_.use_index_joins;
     ctx.profiler = profiler;
-    if (cancel != nullptr) {
+    if (options.cancel != nullptr) {
       ctx.interrupt_fn = [&qctx] { return qctx.CheckInterrupt(); };
     }
     DEX_ASSIGN_OR_RETURN(out.table, ExecutePlan(plan, &ctx));
@@ -283,8 +318,9 @@ Result<QueryResult> Database::RunQuery(const std::string& sql,
     out.stats.two_stage.exec = ctx.stats;
   } else {
     DEX_ASSIGN_OR_RETURN(
-        out.table, two_stage_->Execute(plan, callback, &out.stats.two_stage,
-                                       profiler, &qctx));
+        out.table,
+        two_stage_->Execute(plan, options.breakpoint, &out.stats.two_stage,
+                            profiler, &qctx));
   }
   out.stats.exec_nanos = NowNanos() - t1;
   out.stats.sim_io_nanos = disk_->stats().sim_nanos - sim0;
@@ -325,12 +361,10 @@ Result<QueryResult> Database::RunQuery(const std::string& sql,
   return out;
 }
 
-Result<QueryResult> Database::RunExplainAnalyze(
-    const std::string& sql, const BreakpointCallback& callback,
-    CancelToken* cancel) {
+Result<QueryResult> Database::RunExplainAnalyze(const std::string& sql,
+                                                const QueryOptions& options) {
   PlanProfiler profiler;
-  DEX_ASSIGN_OR_RETURN(QueryResult out,
-                       RunQuery(sql, callback, &profiler, cancel));
+  DEX_ASSIGN_OR_RETURN(QueryResult out, RunQuery(sql, options, &profiler));
   std::string text = profiler.Render();
   text += "-- execution --\n";
   text += "result rows: " + std::to_string(out.stats.result_rows) + "\n";
@@ -360,19 +394,27 @@ Result<QueryResult> Database::RunExplainAnalyze(
   return out;
 }
 
-Result<QueryResult> Database::Query(const std::string& sql) {
-  return RunQuery(sql, nullptr);
+Result<QueryResult> Database::Query(const std::string& sql,
+                                    const QueryOptions& options) {
+  return RunQuery(sql, options);
 }
 
+// The deprecated shims call RunQuery directly (not Query) so building this
+// translation unit does not warn about its own compatibility surface.
 Result<QueryResult> Database::QueryInteractive(const std::string& sql,
                                                const BreakpointCallback& callback) {
-  return RunQuery(sql, callback);
+  QueryOptions options;
+  options.breakpoint = callback;
+  return RunQuery(sql, options);
 }
 
 Result<QueryResult> Database::QueryCancellable(const std::string& sql,
                                                CancelToken* cancel,
                                                const BreakpointCallback& callback) {
-  return RunQuery(sql, callback, /*profiler=*/nullptr, cancel);
+  QueryOptions options;
+  options.breakpoint = callback;
+  options.cancel = cancel;
+  return RunQuery(sql, options);
 }
 
 void Database::set_sim_deadline_nanos(uint64_t nanos) {
@@ -399,39 +441,70 @@ Result<RefreshStats> Database::Refresh() {
         "actual data to pick up repository changes");
   }
   RefreshStats stats;
+  obs::TraceSpan span("refresh", "lifecycle");
   const uint64_t t0 = NowNanos();
-  DEX_ASSIGN_OR_RETURN(mseed::ScanResult scan,
-                       format_->ScanRepository(
-                           // The registry has no root; rescan what Open saw.
-                           repo_root_));
-  stats.scan_nanos = NowNanos() - t0;
+  const uint64_t sim0 = disk_->stats().sim_nanos;
 
-  size_t known_still_present = 0;
-  for (const mseed::FileMeta& f : scan.files) {
-    if (!registry_->Contains(f.uri)) {
-      DEX_RETURN_NOT_OK(registry_->Add(f.uri, f.size_bytes, f.mtime_ms));
-      ++stats.files_added;
-      continue;
-    }
-    ++known_still_present;
-    DEX_ASSIGN_OR_RETURN(FileRegistry::Entry entry, registry_->Get(f.uri));
-    if (entry.mtime_ms != f.mtime_ms || entry.size_bytes != f.size_bytes) {
-      DEX_RETURN_NOT_OK(registry_->Update(f.uri, f.size_bytes, f.mtime_ms));
-      ++stats.files_changed;
-    }
+  // The current catalog is the baseline: files whose size/mtime still match
+  // keep their F/R rows without a header parse — a delta refresh, the same
+  // reconciliation the instant-on snapshot gives Open().
+  DEX_ASSIGN_OR_RETURN(TablePtr f_table, catalog_->GetTable(kFileTableName));
+  DEX_ASSIGN_OR_RETURN(TablePtr r_table, catalog_->GetTable(kRecordTableName));
+  const mseed::ScanResult baseline = ScanResultFromTables(*f_table, *r_table);
+
+  // The scan shares the session's governance and fault policy: a deadline
+  // armed via the runtime setters (`.timeout`) also bounds the refresh.
+  const TwoStageOptions& ts = two_stage_->options();
+  Stage1Options sopts;
+  sopts.num_threads = options_.stage1_threads;
+  sopts.on_error = ts.on_mount_error;
+  sopts.retry = ts.retry;
+  QueryContext qctx({ts.sim_deadline_nanos, ts.wall_deadline_nanos},
+                    memory_budget_.get(), nullptr);
+  if (ts.sim_deadline_nanos != 0 || ts.wall_deadline_nanos != 0) {
+    qctx.Start(sim0);
+    sopts.qctx = &qctx;
   }
-  stats.files_removed = registry_->size() - stats.files_added -
-                        known_still_present;
 
-  // Adopt the rescanned metadata wholesale: F and R describe exactly what
-  // is on disk now. (Registry entries for removed files stay registered on
-  // the simulated disk but are unreachable through metadata.)
-  DEX_ASSIGN_OR_RETURN(TablePtr f_table, BuildFileTable(scan));
-  DEX_ASSIGN_OR_RETURN(TablePtr r_table, BuildRecordTable(scan));
-  DEX_RETURN_NOT_OK(catalog_->ReplaceTable(std::move(f_table)));
-  DEX_RETURN_NOT_OK(catalog_->ReplaceTable(std::move(r_table)));
+  Stage1Stats sstats;
+  DEX_ASSIGN_OR_RETURN(mseed::ScanResult scan,
+                       stage1_->Scan(repo_root_, &baseline, sopts, &sstats));
+  stats.scan_nanos = NowNanos() - t0;
+  stats.files_added = sstats.files_added;
+  stats.files_changed = sstats.files_changed;
+  stats.files_removed = sstats.files_removed;
+  stats.files_scanned = sstats.files_scanned;
+  stats.files_reused = sstats.files_reused;
+  stats.files_quarantined = sstats.files_quarantined;
+  stats.workers = sstats.workers;
+  stats.read_retries = sstats.read_retries;
+  stats.serial_sim_nanos = sstats.serial_sim_nanos;
+  stats.parallel_sim_nanos = sstats.parallel_sim_nanos;
+  stats.is_partial = sstats.is_partial;
+  stats.files_skipped_deadline = sstats.files_skipped_deadline;
+  stats.warnings = std::move(sstats.warnings);
+  if (sstats.warnings_dropped > 0) {
+    stats.warnings.push_back("(" + std::to_string(sstats.warnings_dropped) +
+                             " more warnings dropped)");
+  }
+  stats.sim_io_nanos = disk_->stats().sim_nanos - sim0;
+
+  // Adopt the merged metadata wholesale: F and R describe exactly what is on
+  // disk now (modulo deadline-skipped files held at their stale rows).
+  // Registry entries for removed files stay registered on the simulated disk
+  // but are unreachable through metadata.
+  DEX_ASSIGN_OR_RETURN(TablePtr new_f, BuildFileTable(scan));
+  DEX_ASSIGN_OR_RETURN(TablePtr new_r, BuildRecordTable(scan));
+  DEX_RETURN_NOT_OK(catalog_->ReplaceTable(std::move(new_f)));
+  DEX_RETURN_NOT_OK(catalog_->ReplaceTable(std::move(new_r)));
+  // Quarantine decisions made by the scan become queryable immediately.
+  DEX_RETURN_NOT_OK(SyncQuarantineTable());
   open_stats_.num_files = scan.files.size();
   open_stats_.num_records = scan.records.size();
+  span.AddArg("files_scanned", static_cast<uint64_t>(stats.files_scanned));
+  span.AddArg("files_reused", static_cast<uint64_t>(stats.files_reused));
+  PublishRefreshMetrics(stats);
+  PublishIoMetrics(disk_->stats());
   return stats;
 }
 

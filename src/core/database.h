@@ -2,6 +2,7 @@
 #define DEX_CORE_DATABASE_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "core/file_registry.h"
 #include "core/format_adapter.h"
 #include "core/mounter.h"
+#include "core/stage1_scan.h"
 #include "core/two_stage.h"
 #include "io/sim_disk.h"
 #include "storage/catalog.h"
@@ -37,6 +39,13 @@ struct DatabaseOptions {
 
   // Run-time optimization knobs (kLazy only).
   TwoStageOptions two_stage;
+
+  // Worker threads for the stage-1 metadata scan (Open() and Refresh()):
+  // per-file header parses run as parallel tasks. 0 = hardware concurrency,
+  // 1 = serial. The catalog, RefreshStats, quarantine decisions, and charged
+  // simulated I/O are bit-identical at any value (DESIGN.md §8.9); only
+  // wall time and the reported critical path change.
+  size_t stage1_threads = 0;
 
   // Collect derived metadata as a side effect of mounting (§5).
   bool collect_derived_metadata = false;
@@ -72,6 +81,14 @@ struct OpenStats {
   size_t num_records = 0;
   uint64_t num_data_rows = 0;        // Ei: rows materialized in D
   size_t snapshot_files_reused = 0;  // instant-on: files not re-scanned
+
+  // Parallel stage-1 scan: resolved worker-lane count, the scan's charged
+  // (serial-sum, worker-invariant) simulated stall time, and its critical
+  // path over `scan_workers` lanes (what a medium with that much overlap
+  // would have stalled). See DESIGN.md §8.9.
+  size_t scan_workers = 1;
+  uint64_t scan_serial_sim_nanos = 0;
+  uint64_t scan_parallel_sim_nanos = 0;
 
   /// Wall-clock-equivalent seconds including simulated I/O.
   double TotalSeconds() const {
@@ -115,12 +132,59 @@ struct QueryResult {
   QueryStats stats;
 };
 
-/// \brief What a Refresh() found in the repository.
+/// \brief What a Refresh() found in the repository. Every field except the
+/// wall-clock `scan_nanos` is bit-identical at any stage1_threads value.
 struct RefreshStats {
   size_t files_added = 0;    // new since Open()/last refresh
-  size_t files_changed = 0;  // size or mtime differs
+  size_t files_changed = 0;  // size or mtime differs (header re-parsed)
   size_t files_removed = 0;  // gone from disk (metadata rows dropped)
-  uint64_t scan_nanos = 0;
+  uint64_t scan_nanos = 0;   // wall clock, including the parallel scan
+
+  // -- Parallel stage-1 scan ----------------------------------------------
+  size_t files_scanned = 0;      // headers physically parsed
+  size_t files_reused = 0;       // unchanged: catalog rows kept, no parse
+  size_t files_quarantined = 0;  // corrupt header / permanent read failure
+  size_t workers = 1;            // resolved worker-lane count
+  uint64_t read_retries = 0;     // transient header-read faults absorbed
+  uint64_t sim_io_nanos = 0;     // simulated I/O charged by this refresh
+  uint64_t serial_sim_nanos = 0;    // scan stall time, summed over tasks
+  uint64_t parallel_sim_nanos = 0;  // critical path over `workers` lanes
+
+  // -- Governance (a deadline armed during Refresh) -----------------------
+  bool is_partial = false;            // the deadline stopped the scan early
+  size_t files_skipped_deadline = 0;  // files left at their stale rows
+
+  /// Degradation notices (quarantines), bounded, deterministic order.
+  std::vector<std::string> warnings;
+};
+
+/// \brief Per-query knobs for Database::Query — the single query entry
+/// point. Each optional overrides the database-wide TwoStageOptions value
+/// for this query only (the database defaults are restored afterwards);
+/// nullopt inherits the current default. See the shell's `.timeout` /
+/// `.memlimit` / `--threads` for the session-wide equivalents.
+struct QueryOptions {
+  /// Simulated-time deadline in nanoseconds (0 = off). Deterministic.
+  std::optional<uint64_t> sim_deadline_nanos;
+  /// Wall-clock deadline in nanoseconds (0 = off). Nondeterministic.
+  std::optional<uint64_t> wall_deadline_nanos;
+  /// Memory budget in bytes (0 = unlimited) for this query's admissions.
+  std::optional<uint64_t> memory_budget_bytes;
+  /// Deadline/budget exhaustion policy (default kPartialResults).
+  std::optional<OnResourceExhausted> on_resource_exhausted;
+  /// Stage-2 ingestion worker lanes (0 = hardware concurrency, 1 = serial).
+  std::optional<size_t> num_threads;
+  /// Stage-boundary callback: sees the informativeness estimate after stage
+  /// 1 and may abort; with two_stage.mount_batch_size > 0 it is also called
+  /// between ingestion batches (multi-stage execution).
+  BreakpointCallback breakpoint;
+  /// External cooperative cancellation (e.g. wired to a ^C handler or a
+  /// watchdog): operators poll it per batch, mount tasks check it before
+  /// starting and between read retries. Cancelling leaves the database
+  /// consistent — partial tables never reach the catalog.
+  CancelToken* cancel = nullptr;
+  /// Force span tracing on for this query (restored afterwards).
+  bool trace = false;
 };
 
 /// \brief The public facade: a scientific file repository, queryable in SQL.
@@ -140,26 +204,27 @@ class Database {
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
-  /// Runs one SELECT statement. `EXPLAIN SELECT ...` and
-  /// `EXPLAIN ANALYZE SELECT ...` are handled here too: both return the plan
-  /// as a one-column "QUERY PLAN" table; ANALYZE actually executes the query
-  /// and annotates every operator with its measured rows/batches/wall time.
-  Result<QueryResult> Query(const std::string& sql);
+  /// Runs one SELECT statement — the single query entry point. `options`
+  /// carries every per-query knob (deadlines, memory budget, worker lanes,
+  /// breakpoint callback, cancel token, tracing); the defaults inherit the
+  /// database-wide settings. `EXPLAIN SELECT ...` and `EXPLAIN ANALYZE
+  /// SELECT ...` are handled here too: both return the plan as a one-column
+  /// "QUERY PLAN" table; ANALYZE actually executes the query and annotates
+  /// every operator with its measured rows/batches/wall time.
+  Result<QueryResult> Query(const std::string& sql,
+                            const QueryOptions& options = QueryOptions{});
 
-  /// Runs one SELECT with a breakpoint callback: after stage 1 the callback
-  /// sees the informativeness estimate and may abort; with
-  /// two_stage.mount_batch_size > 0 it is also called between ingestion
-  /// batches (multi-stage execution).
+  /// \deprecated Shim over Query(sql, {.breakpoint = callback}).
+  [[deprecated(
+      "use Query(sql, QueryOptions) with the `breakpoint` field; QueryOptions "
+      "is the single per-query knob surface")]]
   Result<QueryResult> QueryInteractive(const std::string& sql,
                                        const BreakpointCallback& callback);
 
-  /// Runs one SELECT under an external cancel token (e.g. wired to a ^C
-  /// handler or a watchdog). Cancellation is cooperative: the volcano
-  /// operators poll the token per batch, mount tasks check it before
-  /// starting and between read retries, and the query returns the token's
-  /// cancel reason. Cancelling leaves the database consistent — partial
-  /// tables never reach the catalog, and cache/quarantine entries already
-  /// committed are valid on their own.
+  /// \deprecated Shim over Query(sql, {.cancel = cancel, .breakpoint = cb}).
+  [[deprecated(
+      "use Query(sql, QueryOptions) with the `cancel` field; QueryOptions is "
+      "the single per-query knob surface")]]
   Result<QueryResult> QueryCancellable(const std::string& sql,
                                        CancelToken* cancel,
                                        const BreakpointCallback& callback = nullptr);
@@ -173,7 +238,13 @@ class Database {
   /// of F/R so they can never become files of interest again. This is the
   /// e-science reality the paper opens with — "they automatically receive
   /// multiple terabytes of data on a daily basis" — and under ALi it is a
-  /// metadata-only operation. Eager mode would need a data reload and
+  /// metadata-only operation: only changed/new files get a header parse
+  /// (unchanged files keep their catalog rows), dispatched as parallel
+  /// tasks on `stage1_threads` workers with bit-identical results at any
+  /// worker count. A sim/wall deadline set via `.timeout`/the runtime
+  /// setters governs the scan too: it stops admitting header parses on
+  /// expiry and returns a deterministic partial refresh (`is_partial`,
+  /// `files_skipped_deadline`). Eager mode would need a data reload and
   /// returns NotImplemented.
   Result<RefreshStats> Refresh();
 
@@ -215,15 +286,13 @@ class Database {
   explicit Database(DatabaseOptions options);
 
   Result<QueryResult> RunQuery(const std::string& sql,
-                               const BreakpointCallback& callback,
-                               PlanProfiler* profiler = nullptr,
-                               CancelToken* cancel = nullptr);
+                               const QueryOptions& options,
+                               PlanProfiler* profiler = nullptr);
 
   /// EXPLAIN ANALYZE body: runs `sql` under a profiler and replaces the
   /// result table with the annotated plan rendering.
   Result<QueryResult> RunExplainAnalyze(const std::string& sql,
-                                        const BreakpointCallback& callback,
-                                        CancelToken* cancel = nullptr);
+                                        const QueryOptions& options);
 
   /// Rebuilds the QUARANTINE metadata table if registry health changed.
   Status SyncQuarantineTable();
@@ -241,6 +310,9 @@ class Database {
   std::unique_ptr<DerivedMetadata> derived_;
   std::unique_ptr<Mounter> mounter_;
   std::unique_ptr<TwoStageExecutor> two_stage_;
+  // Stage-1 scan driver, shared by Open() and every Refresh() (keeps its
+  // worker pool warm between refreshes).
+  std::unique_ptr<Stage1Scanner> stage1_;
   OpenStats open_stats_;
   // Registry health version the QUARANTINE metadata table last reflected.
   uint64_t quarantine_table_version_ = 0;

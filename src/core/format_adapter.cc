@@ -5,8 +5,22 @@
 
 namespace dex {
 
-Result<mseed::ScanResult> MseedAdapter::ScanRepository(const std::string& root) {
-  return mseed::ScanRepository(root);
+Result<std::vector<std::string>> FormatAdapter::EnumerateFiles(
+    const std::string& root) {
+  return ListFiles(root, file_extension());
+}
+
+Result<mseed::ScanResult> FormatAdapter::ScanRepository(const std::string& root) {
+  DEX_ASSIGN_OR_RETURN(std::vector<std::string> paths, EnumerateFiles(root));
+  mseed::ScanResult out;
+  for (const std::string& path : paths) {
+    DEX_ASSIGN_OR_RETURN(mseed::ScanResult one, ScanFile(path));
+    out.files.insert(out.files.end(), one.files.begin(), one.files.end());
+    out.records.insert(out.records.end(), one.records.begin(),
+                       one.records.end());
+    out.total_bytes += one.total_bytes;
+  }
+  return out;
 }
 
 Result<mseed::ScanResult> MseedAdapter::ScanFile(const std::string& uri) {
@@ -24,10 +38,6 @@ Result<std::vector<mseed::DecodedRecord>> MseedAdapter::ReadAllRecordsSalvage(
 }
 
 std::string CsvAdapter::file_extension() const { return csvf::kCsvExtension; }
-
-Result<mseed::ScanResult> CsvAdapter::ScanRepository(const std::string& root) {
-  return csvf::ScanCsvRepository(root);
-}
 
 Result<mseed::ScanResult> CsvAdapter::ScanFile(const std::string& uri) {
   return csvf::ScanCsvFile(uri);

@@ -36,13 +36,26 @@ class FormatAdapter {
   /// Filename extension identifying this format's files (".mseed").
   virtual std::string file_extension() const = 0;
 
-  /// Extracts file- and record-level metadata for the whole repository —
-  /// what ALi loads eagerly. Implementations should touch as little of each
-  /// file as the format allows.
-  virtual Result<mseed::ScanResult> ScanRepository(const std::string& root) = 0;
+  /// Lists this format's files under `root` in deterministic (sorted) order.
+  /// This order is load-bearing: it is the enumeration order the parallel
+  /// stage-1 scanner merges per-file results in, so catalogs and fault
+  /// streams are reproducible at any worker count. The default walks the
+  /// tree for `file_extension()` files; override only for formats whose
+  /// membership is not extension-based.
+  virtual Result<std::vector<std::string>> EnumerateFiles(
+      const std::string& root);
 
-  /// Re-scans one file (cache revalidation after a file changed).
+  /// Scans one file: extracts its file- and record-level metadata — the unit
+  /// of work the parallel stage-1 scanner dispatches per task. Must be safe
+  /// to call concurrently for distinct files.
   virtual Result<mseed::ScanResult> ScanFile(const std::string& uri) = 0;
+
+  /// Extracts metadata for the whole repository — what ALi loads eagerly.
+  /// Final convenience wrapper: EnumerateFiles() + a serial ScanFile() per
+  /// file. Adapters only implement the per-file virtuals and automatically
+  /// inherit parallelism, fault salvage, and governance from the stage-1
+  /// scanner (core/stage1_scan), which drives the same two virtuals.
+  Result<mseed::ScanResult> ScanRepository(const std::string& root);
 
   /// Fully extracts one file — the expensive step a mount performs.
   virtual Result<std::vector<mseed::DecodedRecord>> ReadAllRecords(
@@ -65,7 +78,6 @@ class MseedAdapter : public FormatAdapter {
  public:
   std::string name() const override { return "mseed"; }
   std::string file_extension() const override { return ".mseed"; }
-  Result<mseed::ScanResult> ScanRepository(const std::string& root) override;
   Result<mseed::ScanResult> ScanFile(const std::string& uri) override;
   Result<std::vector<mseed::DecodedRecord>> ReadAllRecords(
       const std::string& uri) override;
@@ -78,7 +90,6 @@ class CsvAdapter : public FormatAdapter {
  public:
   std::string name() const override { return "tscsv"; }
   std::string file_extension() const override;
-  Result<mseed::ScanResult> ScanRepository(const std::string& root) override;
   Result<mseed::ScanResult> ScanFile(const std::string& uri) override;
   Result<std::vector<mseed::DecodedRecord>> ReadAllRecords(
       const std::string& uri) override;

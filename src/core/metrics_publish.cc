@@ -76,6 +76,30 @@ void PublishOpenMetrics(const OpenStats& stats) {
   m.SetGauge("open.num_records", static_cast<double>(stats.num_records));
   m.SetGauge("open.snapshot_files_reused",
              static_cast<double>(stats.snapshot_files_reused));
+  m.SetGauge("open.scan_workers", static_cast<double>(stats.scan_workers));
+  m.SetGauge("open.scan_serial_sim_nanos",
+             static_cast<double>(stats.scan_serial_sim_nanos));
+  m.SetGauge("open.scan_parallel_sim_nanos",
+             static_cast<double>(stats.scan_parallel_sim_nanos));
+}
+
+void PublishRefreshMetrics(const RefreshStats& stats) {
+  MetricsRegistry& m = MetricsRegistry::Global();
+  m.AddCounter("refresh.count", 1);
+  m.AddCounter("refresh.files_added", stats.files_added);
+  m.AddCounter("refresh.files_changed", stats.files_changed);
+  m.AddCounter("refresh.files_removed", stats.files_removed);
+  m.AddCounter("refresh.files_scanned", stats.files_scanned);
+  m.AddCounter("refresh.files_reused", stats.files_reused);
+  m.AddCounter("refresh.files_quarantined", stats.files_quarantined);
+  m.AddCounter("refresh.read_retries", stats.read_retries);
+  m.AddCounter("refresh.scan_nanos", stats.scan_nanos);
+  m.AddCounter("refresh.sim_io_nanos", stats.sim_io_nanos);
+  m.AddCounter("refresh.serial_sim_nanos", stats.serial_sim_nanos);
+  m.AddCounter("refresh.parallel_sim_nanos", stats.parallel_sim_nanos);
+  if (stats.is_partial) m.AddCounter("governance.partial_refreshes", 1);
+  m.AddCounter("governance.files_skipped_deadline",
+               stats.files_skipped_deadline);
 }
 
 void PublishIoMetrics(const IoStats& io) {

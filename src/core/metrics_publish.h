@@ -18,6 +18,11 @@ void PublishQueryMetrics(const QueryStats& stats);
 /// Open()-time gauges (`open.*`). Called once after Database::Open.
 void PublishOpenMetrics(const OpenStats& stats);
 
+/// Per-refresh counters (`refresh.*`, plus the `governance.*` counters a
+/// deadline-bounded refresh shares with governed queries). Called once per
+/// completed Database::Refresh.
+void PublishRefreshMetrics(const RefreshStats& stats);
+
 /// Cumulative simulated-disk gauges (`io.*`) — last write wins, so publish
 /// with the disk's current totals.
 void PublishIoMetrics(const IoStats& io);

@@ -77,6 +77,37 @@ Result<TablePtr> BuildRecordTable(const mseed::ScanResult& scan) {
   return table;
 }
 
+mseed::ScanResult ScanResultFromTables(const Table& f_table,
+                                       const Table& r_table) {
+  mseed::ScanResult out;
+  out.files.reserve(f_table.num_rows());
+  for (size_t i = 0; i < f_table.num_rows(); ++i) {
+    mseed::FileMeta fm;
+    fm.uri = f_table.GetValue(i, 0).str();
+    fm.network = f_table.GetValue(i, 1).str();
+    fm.station = f_table.GetValue(i, 2).str();
+    fm.channel = f_table.GetValue(i, 3).str();
+    fm.location = f_table.GetValue(i, 4).str();
+    fm.size_bytes = static_cast<uint64_t>(f_table.GetValue(i, 5).int64());
+    fm.mtime_ms = f_table.GetValue(i, 6).int64();
+    fm.num_records = static_cast<uint32_t>(f_table.GetValue(i, 7).int64());
+    out.total_bytes += fm.size_bytes;
+    out.files.push_back(std::move(fm));
+  }
+  out.records.reserve(r_table.num_rows());
+  for (size_t i = 0; i < r_table.num_rows(); ++i) {
+    mseed::RecordMeta rm;
+    rm.uri = r_table.GetValue(i, 0).str();
+    rm.record_id = r_table.GetValue(i, 1).int64();
+    rm.start_time_ms = r_table.GetValue(i, 2).int64();
+    rm.end_time_ms = r_table.GetValue(i, 3).int64();
+    rm.sample_rate_hz = r_table.GetValue(i, 4).dbl();
+    rm.num_samples = static_cast<uint32_t>(r_table.GetValue(i, 5).int64());
+    out.records.push_back(std::move(rm));
+  }
+  return out;
+}
+
 Status AppendSamplesToDataTable(const std::string& uri, int64_t record_id,
                                 const mseed::DecodedRecord& record,
                                 Table* data_table) {

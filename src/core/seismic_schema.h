@@ -34,6 +34,15 @@ Result<TablePtr> BuildFileTable(const mseed::ScanResult& scan);
 /// \brief Builds the R table from scanned record metadata.
 Result<TablePtr> BuildRecordTable(const mseed::ScanResult& scan);
 
+/// \brief Inverse of BuildFileTable/BuildRecordTable: reconstructs a
+/// ScanResult from the catalog's current F and R tables — the baseline a
+/// delta Refresh() reuses for unchanged files. Record payload positions
+/// (data_offset/data_bytes) are not part of the schema and come back as 0;
+/// nothing downstream of Open() consumes them (mounts re-read files through
+/// the format adapter).
+mseed::ScanResult ScanResultFromTables(const Table& f_table,
+                                       const Table& r_table);
+
 /// \brief Appends one decoded record's samples to a D-schema table.
 /// `record_id` is the record's index within its file.
 Status AppendSamplesToDataTable(const std::string& uri, int64_t record_id,

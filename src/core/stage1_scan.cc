@@ -1,0 +1,371 @@
+#include "core/stage1_scan.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "exec/sim_schedule.h"
+#include "exec/task_group.h"
+#include "io/file_io.h"
+#include "obs/trace.h"
+
+namespace dex {
+
+namespace {
+
+// Warnings kept per scan are bounded so a rotten repository cannot bloat
+// the stats of its own refresh (mirrors the query-warning bound).
+constexpr size_t kMaxScanWarnings = 32;
+
+/// The coordinator's per-file decision, made in enumeration order.
+struct FilePlan {
+  const std::string* uri = nullptr;
+  uint64_t size_bytes = 0;
+  int64_t mtime_ms = 0;
+  bool stat_ok = false;
+  bool known = false;      // registry had the uri before this scan
+  bool changed = false;    // known, and size/mtime differ from the registry
+  bool reuse = false;      // metadata served from the baseline
+  size_t task = SIZE_MAX;  // slot index when a scan task was dispatched
+};
+
+/// One scan task's output, merged on the coordinator in enumeration order.
+struct TaskSlot {
+  mseed::ScanResult result;
+  bool parse_failed = false;
+  bool read_failed = false;  // header read still failing after retries
+  std::string error;
+  uint64_t retries = 0;
+  uint64_t sim_nanos = 0;
+};
+
+void AddWarning(Stage1Stats* stats, std::string msg) {
+  if (stats->warnings.size() < kMaxScanWarnings) {
+    stats->warnings.push_back(std::move(msg));
+  } else {
+    ++stats->warnings_dropped;
+  }
+}
+
+/// Charges the file's header pages ((num_records + 1) * 64 bytes, capped at
+/// the file size) to the simulated medium, absorbing transient faults with
+/// exponential backoff exactly like the stage-2 mount read path. All charges
+/// (reads and backoff) land in the caller's TaskTimeScope bucket when one is
+/// installed, or directly on the global clock when the scan is governed.
+Status ChargeHeaderReadWithRetry(FileRegistry* registry, const std::string& uri,
+                                 const MountRetryPolicy& retry,
+                                 const QueryContext* qctx, TaskSlot* slot) {
+  DEX_ASSIGN_OR_RETURN(FileRegistry::Entry entry, registry->Get(uri));
+  const uint32_t num_records =
+      slot->result.files.empty() ? 0 : slot->result.files[0].num_records;
+  const uint64_t length = std::min<uint64_t>(
+      entry.size_bytes, (static_cast<uint64_t>(num_records) + 1) * 64);
+  SimDisk* disk = registry->disk();
+  Status io = disk->Read(entry.object, 0, length);
+  double backoff_ms = retry.backoff_base_millis;
+  for (int attempt = 0;
+       !io.ok() && io.IsIOError() && attempt < retry.max_retries; ++attempt) {
+    if (qctx != nullptr) DEX_RETURN_NOT_OK(qctx->CheckInterrupt());
+    registry->RecordTransientError(uri, io.message());
+    obs::Tracer::Instant("scan_retry", "fault",
+                         {{"uri", uri},
+                          {"attempt", std::to_string(attempt + 1)},
+                          {"backoff_ms", std::to_string(backoff_ms)}});
+    disk->ChargeDelay(static_cast<uint64_t>(backoff_ms * 1e6));
+    backoff_ms *= retry.backoff_multiplier;
+    ++slot->retries;
+    io = disk->Read(entry.object, 0, length);
+  }
+  return io;
+}
+
+/// The per-file unit of work (one task in the parallel path, one inline
+/// admission in the governed path). Degradation is *recorded*, not applied:
+/// quarantines happen at merge time on the coordinator so the health
+/// sequence is deterministic.
+Status ScanOne(FormatAdapter* format, FileRegistry* registry,
+               const FilePlan& plan, const Stage1Options& options,
+               TaskSlot* slot) {
+  Result<mseed::ScanResult> parsed = format->ScanFile(*plan.uri);
+  if (!parsed.ok()) {
+    if (options.on_error == OnMountError::kFail) return parsed.status();
+    slot->parse_failed = true;
+    slot->error = parsed.status().message();
+    return Status::OK();
+  }
+  slot->result = std::move(*parsed);
+  if (!plan.known && !plan.stat_ok) {
+    // The file appeared between the coordinator's stat and this parse, so it
+    // was never registered with the simulated disk. Sit this round out; the
+    // next scan picks it up cleanly.
+    slot->parse_failed = true;
+    slot->error = "file appeared mid-scan";
+    return Status::OK();
+  }
+  Status io =
+      ChargeHeaderReadWithRetry(registry, *plan.uri, options.retry,
+                                options.qctx, slot);
+  if (!io.ok()) {
+    if (!io.IsIOError()) return io;  // cancellation or bookkeeping errors
+    if (options.on_error == OnMountError::kFail) return io;
+    slot->read_failed = true;
+    slot->error = io.message();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ThreadPool* Stage1Scanner::Pool(size_t workers) {
+  if (pool_ == nullptr || pool_->num_threads() != workers) {
+    pool_ = std::make_unique<ThreadPool>(workers);
+  }
+  return pool_.get();
+}
+
+Result<mseed::ScanResult> Stage1Scanner::Scan(const std::string& root,
+                                              const mseed::ScanResult* baseline,
+                                              const Stage1Options& options,
+                                              Stage1Stats* stats) {
+  DEX_CHECK(stats != nullptr);
+  obs::TraceSpan span("stage1_scan", "stage1.scan");
+  span.AddArg("root", root);
+
+  DEX_ASSIGN_OR_RETURN(std::vector<std::string> uris,
+                       format_->EnumerateFiles(root));
+  stats->files_enumerated = uris.size();
+
+  // Index the baseline by URI (metadata snapshot at Open, catalog at
+  // Refresh).
+  std::unordered_map<std::string, const mseed::FileMeta*> base_files;
+  std::unordered_map<std::string, std::vector<const mseed::RecordMeta*>>
+      base_records;
+  if (baseline != nullptr) {
+    base_files.reserve(baseline->files.size());
+    for (const mseed::FileMeta& f : baseline->files) base_files[f.uri] = &f;
+    for (const mseed::RecordMeta& r : baseline->records) {
+      base_records[r.uri].push_back(&r);
+    }
+  }
+
+  // Coordinator pre-pass, in enumeration order: stat each file and decide
+  // reuse-vs-scan. Reused files are registered here when new (the instant-on
+  // snapshot path), so later mounts charge them correctly.
+  std::vector<FilePlan> plans(uris.size());
+  std::vector<size_t> work;
+  for (size_t i = 0; i < uris.size(); ++i) {
+    FilePlan& plan = plans[i];
+    plan.uri = &uris[i];
+    Result<uint64_t> size = FileSize(uris[i]);
+    Result<int64_t> mtime = FileMtimeMillis(uris[i]);
+    if (size.ok() && mtime.ok()) {
+      plan.stat_ok = true;
+      plan.size_bytes = *size;
+      plan.mtime_ms = *mtime;
+    }
+    plan.known = registry_->Contains(uris[i]);
+    if (plan.known && plan.stat_ok) {
+      DEX_ASSIGN_OR_RETURN(FileRegistry::Entry entry, registry_->Get(uris[i]));
+      plan.changed = entry.size_bytes != plan.size_bytes ||
+                     entry.mtime_ms != plan.mtime_ms;
+    }
+    auto it = plan.stat_ok ? base_files.find(uris[i]) : base_files.end();
+    if (it != base_files.end() && it->second->size_bytes == plan.size_bytes &&
+        it->second->mtime_ms == plan.mtime_ms && !plan.changed) {
+      plan.reuse = true;
+      if (!plan.known) {
+        DEX_RETURN_NOT_OK(
+            registry_->Add(uris[i], plan.size_bytes, plan.mtime_ms));
+      }
+      continue;
+    }
+    work.push_back(i);
+  }
+  span.AddArg("files", static_cast<uint64_t>(uris.size()));
+  span.AddArg("scan_tasks", static_cast<uint64_t>(work.size()));
+
+  // Baseline files no longer on disk drop out of the merged metadata.
+  if (baseline != nullptr) {
+    std::unordered_set<std::string> enumerated;
+    enumerated.reserve(uris.size());
+    for (const FilePlan& plan : plans) {
+      if (plan.stat_ok) enumerated.insert(*plan.uri);
+    }
+    for (const auto& [uri, meta] : base_files) {
+      (void)meta;
+      if (enumerated.count(uri) == 0) ++stats->files_removed;
+    }
+  }
+
+  const bool governed =
+      options.qctx != nullptr && options.qctx->has_deadline();
+  SimDisk* disk = registry_->disk();
+  std::vector<TaskSlot> slots(work.size());
+
+  if (governed) {
+    // Governed scans serialize admission on the simulated clock — the same
+    // trade governed stage-2 mounts make (DESIGN.md §8.8): each header parse
+    // is admitted against the global clock, so the cutoff is bit-identical
+    // at any num_threads. Registration is deferred to admission time so a
+    // new file skipped by the deadline stays unknown and is picked up by the
+    // next refresh.
+    stats->workers = 1;
+    for (size_t w = 0; w < work.size(); ++w) {
+      FilePlan& plan = plans[work[w]];
+      DEX_RETURN_NOT_OK(options.qctx->CheckInterrupt());
+      if (options.qctx->DeadlineExpired(disk->stats().sim_nanos)) {
+        stats->is_partial = true;
+        for (size_t rest = w; rest < work.size(); ++rest) {
+          FilePlan& skipped = plans[work[rest]];
+          ++stats->files_skipped_deadline;
+          // Not-yet-admitted files fall back to their stale baseline rows
+          // when they have one; new files stay out of this round's catalog.
+          // The registry was not touched for either, so the next refresh
+          // re-detects them.
+          skipped.reuse = base_files.count(*skipped.uri) > 0;
+        }
+        break;
+      }
+      if (plan.stat_ok && !plan.known) {
+        DEX_RETURN_NOT_OK(
+            registry_->Add(*plan.uri, plan.size_bytes, plan.mtime_ms));
+      }
+      plan.task = w;
+      const uint64_t sim_before = disk->stats().sim_nanos;
+      DEX_RETURN_NOT_OK(ScanOne(format_, registry_, plan, options, &slots[w]));
+      slots[w].sim_nanos = disk->stats().sim_nanos - sim_before;
+      stats->serial_sim_nanos += slots[w].sim_nanos;
+    }
+    stats->parallel_sim_nanos = stats->serial_sim_nanos;
+  } else {
+    size_t workers = options.num_threads == 0 ? ThreadPool::DefaultConcurrency()
+                                              : options.num_threads;
+    workers = std::max<size_t>(
+        1, std::min(workers, std::max<size_t>(work.size(), 1)));
+    stats->workers = workers;
+
+    // Register every scan candidate with the simulated disk *before* any
+    // task runs: object ids — and with them the per-object PRNG fault
+    // streams — are a pure function of the enumeration order, not of worker
+    // interleaving.
+    for (size_t w = 0; w < work.size(); ++w) {
+      FilePlan& plan = plans[work[w]];
+      plan.task = w;
+      if (plan.stat_ok && !plan.known) {
+        DEX_RETURN_NOT_OK(
+            registry_->Add(*plan.uri, plan.size_bytes, plan.mtime_ms));
+      }
+    }
+    TaskGroup group(workers > 1 ? Pool(workers) : nullptr);
+    for (size_t w = 0; w < work.size(); ++w) {
+      const FilePlan* plan = &plans[work[w]];
+      TaskSlot* slot = &slots[w];
+      // Trace bookkeeping happens at *spawn* time on the coordinator, so the
+      // drained span stream reproduces spawn order at any worker count.
+      const uint64_t trace_parent = obs::Tracer::CurrentSpanId();
+      const uint64_t trace_order = obs::Tracer::AllocOrder();
+      group.Spawn([this, plan, slot, &options, trace_parent,
+                   trace_order]() -> Status {
+        if (options.qctx != nullptr) {
+          DEX_RETURN_NOT_OK(options.qctx->CheckInterrupt());
+        }
+        obs::TaskTraceScope order_scope(trace_order);
+        obs::TraceSpan task_span("scan_task", "stage1.scan", trace_parent);
+        task_span.AddArg("uri", *plan->uri);
+        task_span.AddArg("lane",
+                         static_cast<uint64_t>(obs::CurrentThreadLane()));
+        // Route this task's simulated stall time into its own bucket so the
+        // wave can be aggregated deterministically afterwards.
+        SimDisk::TaskTimeScope scope(&slot->sim_nanos);
+        return ScanOne(format_, registry_, *plan, options, slot);
+      });
+    }
+    DEX_RETURN_NOT_OK(group.Wait());
+
+    std::vector<uint64_t> task_nanos;
+    task_nanos.reserve(slots.size());
+    for (const TaskSlot& slot : slots) task_nanos.push_back(slot.sim_nanos);
+    const SimSchedule sched = ListScheduleSimTimes(task_nanos, workers);
+    // Charge the *serial sum*: the scan's charged simulated cost stays
+    // invariant in the worker count (and equal to the legacy serial scan's
+    // charge), while the critical path over `workers` lanes is reported as
+    // what a medium with that much overlap would have stalled — the
+    // speedup bench_refresh measures. Contrast with stage-2 mounts, which
+    // charge the makespan (a query's reported latency *should* drop with
+    // workers); Open/Refresh cost feeds experiments that compare ingestion
+    // strategies and must not drift with the machine's core count.
+    if (sched.serial_sum > 0) disk->ChargeDelay(sched.serial_sum);
+    stats->serial_sim_nanos = sched.serial_sum;
+    stats->parallel_sim_nanos = sched.makespan;
+  }
+
+  // Merge in enumeration order: catalog row order, stat counters, warning
+  // order, and quarantine decisions are independent of completion order.
+  mseed::ScanResult out;
+  out.files.reserve(uris.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    FilePlan& plan = plans[i];
+    if (plan.reuse) {
+      auto it = base_files.find(*plan.uri);
+      DEX_CHECK(it != base_files.end());
+      out.files.push_back(*it->second);
+      auto rit = base_records.find(*plan.uri);
+      if (rit != base_records.end()) {
+        for (const mseed::RecordMeta* r : rit->second) out.records.push_back(*r);
+      }
+      out.total_bytes += it->second->size_bytes;
+      ++stats->files_reused;
+      continue;
+    }
+    if (plan.task == SIZE_MAX) continue;  // deadline-skipped, no baseline row
+    TaskSlot& slot = slots[plan.task];
+    stats->read_retries += slot.retries;
+    if (slot.parse_failed) {
+      // Corrupt header: quarantine and keep the file out of the catalog. The
+      // registry keeps its pre-change identity, so a repaired copy is
+      // re-detected as changed and rescanned (which lifts the quarantine).
+      registry_->Quarantine(*plan.uri, slot.error);
+      obs::Tracer::Instant("scan_quarantine", "fault", {{"uri", *plan.uri}});
+      AddWarning(stats, "stage-1 scan of '" + *plan.uri +
+                            "' failed: " + slot.error + " (file quarantined)");
+      ++stats->files_quarantined;
+      continue;
+    }
+    ++stats->files_scanned;
+    if (plan.known) {
+      if (plan.changed) {
+        // Adopt the file's new identity. Update also lifts any quarantine —
+        // the operator may have replaced a broken file with a repaired one.
+        DEX_RETURN_NOT_OK(
+            registry_->Update(*plan.uri, plan.size_bytes, plan.mtime_ms));
+        ++stats->files_changed;
+      }
+    } else if (plan.stat_ok) {
+      ++stats->files_added;
+    }
+    if (slot.read_failed) {
+      // The parse succeeded off the real filesystem but the simulated medium
+      // kept failing the header pages: keep the metadata (queryable) but
+      // quarantine the file so it cannot become a file of interest until
+      // repaired.
+      registry_->Quarantine(*plan.uri, slot.error);
+      obs::Tracer::Instant("scan_quarantine", "fault", {{"uri", *plan.uri}});
+      AddWarning(stats, "header read of '" + *plan.uri + "' failed after " +
+                            std::to_string(options.retry.max_retries) +
+                            " retries: " + slot.error +
+                            " (file quarantined; metadata kept)");
+      ++stats->files_quarantined;
+    }
+    out.files.insert(out.files.end(), slot.result.files.begin(),
+                     slot.result.files.end());
+    out.records.insert(out.records.end(), slot.result.records.begin(),
+                       slot.result.records.end());
+    out.total_bytes += slot.result.total_bytes;
+  }
+  span.AddArg("files_scanned", static_cast<uint64_t>(stats->files_scanned));
+  span.AddArg("files_reused", static_cast<uint64_t>(stats->files_reused));
+  return out;
+}
+
+}  // namespace dex

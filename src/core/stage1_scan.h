@@ -1,0 +1,110 @@
+#ifndef DEX_CORE_STAGE1_SCAN_H_
+#define DEX_CORE_STAGE1_SCAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/file_registry.h"
+#include "core/format_adapter.h"
+#include "core/mounter.h"
+#include "exec/query_context.h"
+#include "exec/thread_pool.h"
+
+namespace dex {
+
+/// \brief Knobs for one stage-1 metadata scan (Open()/Refresh()).
+struct Stage1Options {
+  /// Worker threads for per-file header parses. 0 = hardware concurrency;
+  /// 1 = serial. Any value yields bit-identical catalogs, quarantine
+  /// decisions, and simulated time (see DESIGN.md §8.9).
+  size_t num_threads = 1;
+
+  /// What to do with a file whose header parse fails (corrupt): kFail aborts
+  /// the whole scan; kSkipFile/kSalvage quarantine the file and keep going —
+  /// at metadata granularity the two degrade identically, there is nothing
+  /// record-level to salvage from an unparseable header.
+  OnMountError on_error = OnMountError::kSalvage;
+
+  /// Retry/backoff for transiently failing header reads; backoff is charged
+  /// as simulated I/O, mirroring the stage-2 mount path.
+  MountRetryPolicy retry;
+
+  /// Optional governance. With a deadline armed the scan serializes on the
+  /// simulated clock (same trade as governed stage-2 admission) and stops
+  /// admitting header parses on expiry: files not yet scanned keep their
+  /// stale baseline metadata when they have one, and are counted in
+  /// `files_skipped_deadline` either way. A cancel token is honored in both
+  /// modes.
+  QueryContext* qctx = nullptr;
+};
+
+/// \brief What one stage-1 scan did. Every field is a pure function of the
+/// repository state and the options — not of the worker count.
+struct Stage1Stats {
+  size_t files_enumerated = 0;  // files the format adapter listed
+  size_t files_scanned = 0;     // headers physically parsed this scan
+  size_t files_reused = 0;      // metadata served from the baseline
+  size_t files_added = 0;       // scanned files the registry did not know
+  size_t files_changed = 0;     // scanned files whose size/mtime differed
+  size_t files_removed = 0;     // baseline files gone from disk
+  size_t files_quarantined = 0; // corrupt header or permanent read failure
+  size_t files_skipped_deadline = 0;
+  bool is_partial = false;      // a deadline stopped the scan early
+  size_t workers = 1;           // resolved worker-lane count
+  uint64_t read_retries = 0;    // transient header-read failures absorbed
+
+  /// Simulated stall time of the scan's header reads. The *serial sum* is
+  /// what is charged to the global clock — worker-count-invariant, equal to
+  /// the legacy serial scan's charge — while the critical path over
+  /// `workers` lanes is reported here as what a medium with that much
+  /// overlap would have stalled (bench_refresh's speedup = serial/parallel).
+  uint64_t serial_sim_nanos = 0;
+  uint64_t parallel_sim_nanos = 0;
+
+  /// Degradation notices (quarantines), bounded; merged in enumeration
+  /// order so the list is deterministic at any worker count.
+  std::vector<std::string> warnings;
+  uint64_t warnings_dropped = 0;
+};
+
+/// \brief Parallel stage-1 metadata scan: the enumerate-then-ScanFile driver
+/// behind Database::Open and Database::Refresh.
+///
+/// The coordinator enumerates files (sorted), stats each one against an
+/// optional baseline (metadata snapshot at Open, the current catalog at
+/// Refresh), registers new files with the simulated disk *before* any task
+/// runs — so object ids, and with them the per-object PRNG fault streams,
+/// are a pure function of the enumeration — and dispatches one ScanFile task
+/// per changed/new file on a worker pool. Per-task simulated stall time goes
+/// into `SimDisk::TaskTimeScope` buckets and is aggregated by deterministic
+/// list scheduling (exec/sim_schedule.h); results are merged in enumeration
+/// order. The catalog, RefreshStats, quarantine decisions, and sim_io_nanos
+/// are therefore bit-identical at any worker count.
+class Stage1Scanner {
+ public:
+  Stage1Scanner(FormatAdapter* format, FileRegistry* registry)
+      : format_(format), registry_(registry) {}
+
+  /// Scans `root`. `baseline`, when non-null, lets unchanged files (same
+  /// size and mtime) skip the header parse and reuse their old metadata.
+  /// Returns the merged repository metadata in enumeration order.
+  Result<mseed::ScanResult> Scan(const std::string& root,
+                                 const mseed::ScanResult* baseline,
+                                 const Stage1Options& options,
+                                 Stage1Stats* stats);
+
+ private:
+  /// The cached worker pool, (re)built to `workers` threads when needed.
+  ThreadPool* Pool(size_t workers);
+
+  FormatAdapter* format_;
+  FileRegistry* registry_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace dex
+
+#endif  // DEX_CORE_STAGE1_SCAN_H_

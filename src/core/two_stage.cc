@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "core/seismic_schema.h"
 #include "engine/plan_profile.h"
+#include "exec/sim_schedule.h"
 #include "exec/task_group.h"
 #include "io/file_io.h"
 #include "obs/trace.h"
@@ -303,19 +304,21 @@ Status TwoStageExecutor::PremountUnion(const PlanPtr& union_node, size_t workers
   // times onto `workers` lanes, in task order. The makespan (longest lane)
   // is what a machine with `workers` disks-worth of overlap would have
   // stalled; it is charged to the medium as this wave's elapsed time.
-  std::vector<uint64_t> lanes(std::max<size_t>(1, workers), 0);
-  uint64_t serial_sum = 0;
+  // (Contrast with the stage-1 scan, which charges the serial sum and only
+  // *reports* the makespan: a query's latency should drop with workers,
+  // Open/Refresh cost must not drift with the core count.)
+  std::vector<uint64_t> task_nanos;
+  task_nanos.reserve(results.size());
   for (size_t i = 0; i < results.size(); ++i) {
-    serial_sum += results[i].sim_nanos;
-    *std::min_element(lanes.begin(), lanes.end()) += results[i].sim_nanos;
+    task_nanos.push_back(results[i].sim_nanos);
     stats->mount.MergeFrom(results[i].outcome);
     (*premounted)[mounts[i]->uri] =
         PremountEntry{mounts[i]->predicate, std::move(results[i].table)};
   }
-  const uint64_t makespan = *std::max_element(lanes.begin(), lanes.end());
-  registry_->disk()->ChargeDelay(makespan);
-  stats->parallel_sim_nanos += makespan;
-  stats->serial_sim_nanos += serial_sum;
+  const SimSchedule sched = ListScheduleSimTimes(task_nanos, workers);
+  registry_->disk()->ChargeDelay(sched.makespan);
+  stats->parallel_sim_nanos += sched.makespan;
+  stats->serial_sim_nanos += sched.serial_sum;
   stats->mount_tasks += mounts.size();
   return Status::OK();
 }

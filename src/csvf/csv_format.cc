@@ -208,19 +208,6 @@ Result<mseed::ScanResult> ScanCsvFile(const std::string& uri) {
   return out;
 }
 
-Result<mseed::ScanResult> ScanCsvRepository(const std::string& root) {
-  DEX_ASSIGN_OR_RETURN(std::vector<std::string> paths,
-                       ListFiles(root, kCsvExtension));
-  mseed::ScanResult out;
-  for (const std::string& path : paths) {
-    DEX_ASSIGN_OR_RETURN(mseed::ScanResult one, ScanCsvFile(path));
-    out.files.insert(out.files.end(), one.files.begin(), one.files.end());
-    out.records.insert(out.records.end(), one.records.begin(), one.records.end());
-    out.total_bytes += one.total_bytes;
-  }
-  return out;
-}
-
 Status ConvertMseedRepository(const std::string& mseed_root,
                               const std::string& csv_root) {
   DEX_ASSIGN_OR_RETURN(std::vector<std::string> paths,

@@ -42,10 +42,8 @@ Result<std::vector<mseed::DecodedRecord>> ReadCsvFile(const std::string& uri);
 
 /// \brief Extracts file- and record-level metadata for one file. The whole
 /// text must be read, but samples are not materialized as doubles.
+/// Repository walks live behind FormatAdapter::ScanRepository.
 Result<mseed::ScanResult> ScanCsvFile(const std::string& uri);
-
-/// \brief Walks `root` and scans every *.tscsv file.
-Result<mseed::ScanResult> ScanCsvRepository(const std::string& root);
 
 /// \brief Converts an mSEED repository into an equivalent CSV repository
 /// (same directory structure, .tscsv extension). Used by tests and benches

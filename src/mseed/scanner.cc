@@ -41,16 +41,4 @@ Result<ScanResult> ScanFile(const std::string& uri) {
   return out;
 }
 
-Result<ScanResult> ScanRepository(const std::string& root) {
-  DEX_ASSIGN_OR_RETURN(std::vector<std::string> paths, ListFiles(root, ".mseed"));
-  ScanResult out;
-  for (const std::string& path : paths) {
-    DEX_ASSIGN_OR_RETURN(ScanResult one, ScanFile(path));
-    out.files.insert(out.files.end(), one.files.begin(), one.files.end());
-    out.records.insert(out.records.end(), one.records.begin(), one.records.end());
-    out.total_bytes += one.total_bytes;
-  }
-  return out;
-}
-
 }  // namespace dex::mseed

@@ -41,16 +41,13 @@ struct ScanResult {
   uint64_t total_bytes = 0;
 };
 
-/// \brief Walks a repository directory and extracts (meta)data from every
-/// .mseed file — the "load only metadata up-front" step of ALi.
+/// \brief Scans a single file — the "load only metadata up-front" step of
+/// ALi, at the granularity the parallel stage-1 scanner dispatches.
 ///
 /// Only headers are parsed; no waveform is decompressed. Files whose station
 /// differs between records keep the first record's identification at file
-/// level (matching how a file-per-channel repository behaves).
-Result<ScanResult> ScanRepository(const std::string& root);
-
-/// \brief Scans a single file (used when mounting and for cache
-/// re-validation after a file changed).
+/// level (matching how a file-per-channel repository behaves). Repository
+/// walks live behind FormatAdapter::ScanRepository (core/format_adapter).
 Result<ScanResult> ScanFile(const std::string& uri);
 
 }  // namespace dex::mseed

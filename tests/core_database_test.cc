@@ -156,6 +156,52 @@ TEST_F(DatabaseTest, EagerIndexJoinsMatchHashJoins) {
   EXPECT_EQ(a->table->GetValue(0, 0).int64(), b->table->GetValue(0, 0).int64());
 }
 
+TEST_F(DatabaseTest, QueryOptionsOverridesAreScopedToTheQuery) {
+  auto db = Database::Open(repo_->root(), {});
+  ASSERT_TRUE(db.ok());
+  const char* sql = "SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri";
+
+  // A 1ns simulated deadline lets the first mount through and then cuts the
+  // rest off — a partial result under the default kPartialResults policy.
+  (*db)->FlushBuffers();
+  QueryOptions tight_deadline;
+  tight_deadline.sim_deadline_nanos = 1;
+  auto partial = (*db)->Query(sql, tight_deadline);
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  EXPECT_TRUE(partial->stats.two_stage.is_partial);
+
+  // The override dies with the query: the database-wide default (no
+  // deadline) is back for the next one.
+  (*db)->FlushBuffers();
+  auto full = (*db)->Query(sql);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_FALSE(full->stats.two_stage.is_partial);
+  EXPECT_EQ(full->stats.two_stage.files_skipped_deadline, 0u);
+}
+
+// The deprecated overloads must keep working until their removal.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST_F(DatabaseTest, DeprecatedQueryShimsStillWork) {
+  auto db = Database::Open(repo_->root(), {});
+  ASSERT_TRUE(db.ok());
+  size_t breakpoints_seen = 0;
+  auto r = (*db)->QueryInteractive(
+      "SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri",
+      [&](const BreakpointInfo&) {
+        ++breakpoints_seen;
+        return BreakpointDecision::kContinue;
+      });
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(breakpoints_seen, 0u);
+
+  CancelToken token;
+  auto c = (*db)->QueryCancellable("SELECT COUNT(*) FROM F", &token);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_EQ(c->stats.result_rows, 1u);
+}
+#pragma GCC diagnostic pop
+
 TEST_F(DatabaseTest, InformativenessEstimateTracksActualIngestion) {
   auto db = Database::Open(repo_->root(), {});
   ASSERT_TRUE(db.ok());

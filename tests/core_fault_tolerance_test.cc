@@ -68,6 +68,9 @@ TEST(FaultTolerance, RetriesAreCountedAndChargedAsSimulatedTime) {
   opts.disk.faults.transient_error_rate = 0.10;
   auto db = Database::Open(repo.root(), opts);
   ASSERT_TRUE(db.ok()) << db.status().ToString();
+  // The stage-1 scan retried its header reads to success and left the files'
+  // pages resident; flush so the mounts face the faulty medium cold.
+  (*db)->FlushBuffers();
 
   auto r = (*db)->Query(kCountAll);
   ASSERT_TRUE(r.ok()) << r.status().ToString();

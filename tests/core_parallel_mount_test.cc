@@ -89,6 +89,10 @@ TEST(ParallelMount, TransientFaultOutcomesMatchAcrossThreadCounts) {
 
   auto serial = OpenWithThreads(repo.root(), 1, opts);
   auto parallel = OpenWithThreads(repo.root(), 8, opts);
+  // The stage-1 scan retried its header reads to success and left every
+  // file's pages resident; flush so the mounts face the faulty medium cold.
+  serial->FlushBuffers();
+  parallel->FlushBuffers();
 
   auto s = serial->Query(kCountAll);
   auto p = parallel->Query(kCountAll);

@@ -32,6 +32,47 @@ mseed::RecordData NewRecord(const std::string& station, int64_t start_ms,
   return rec;
 }
 
+/// Moves a file's mtime into the future so the registry sees it as changed.
+void BumpMtime(const std::string& path, int64_t seconds_ahead) {
+  struct timespec times[2] = {{0, 0}, {0, 0}};
+  times[0].tv_sec = times[1].tv_sec = ::time(nullptr) + seconds_ahead;
+  ASSERT_EQ(::utimensat(AT_FDCWD, path.c_str(), times, 0), 0) << path;
+}
+
+/// Full textual dump of every metadata table a refresh touches — the
+/// bit-identity witness for the worker-count invariance tests.
+std::string DumpCatalog(Database* db) {
+  std::string out;
+  for (const char* name : {"F", "R", "QUARANTINE"}) {
+    auto t = db->catalog()->GetTable(name);
+    if (t.ok()) {
+      out += name;
+      out += ":\n";
+      out += (*t)->ToString(1u << 20);
+    }
+  }
+  return out;
+}
+
+/// Every RefreshStats field that must be bit-identical at any worker count.
+/// Excluded by design: scan_nanos (wall clock), workers (the knob itself)
+/// and parallel_sim_nanos (the critical path over `workers` lanes — it is
+/// *supposed* to shrink with more lanes).
+void ExpectSameRefresh(const RefreshStats& a, const RefreshStats& b) {
+  EXPECT_EQ(a.files_added, b.files_added);
+  EXPECT_EQ(a.files_changed, b.files_changed);
+  EXPECT_EQ(a.files_removed, b.files_removed);
+  EXPECT_EQ(a.files_scanned, b.files_scanned);
+  EXPECT_EQ(a.files_reused, b.files_reused);
+  EXPECT_EQ(a.files_quarantined, b.files_quarantined);
+  EXPECT_EQ(a.read_retries, b.read_retries);
+  EXPECT_EQ(a.sim_io_nanos, b.sim_io_nanos);
+  EXPECT_EQ(a.serial_sim_nanos, b.serial_sim_nanos);
+  EXPECT_EQ(a.is_partial, b.is_partial);
+  EXPECT_EQ(a.files_skipped_deadline, b.files_skipped_deadline);
+  EXPECT_EQ(a.warnings, b.warnings);
+}
+
 TEST(RefreshTest, NewFilesBecomeQueryable) {
   ScopedRepo repo("refresh_new", TinyRepoOptions());
   auto db = Database::Open(repo.root(), {});
@@ -151,6 +192,211 @@ TEST(RefreshTest, RepeatedRefreshesAccumulate) {
       "WHERE F.station = 'NEWSTA'");
   ASSERT_TRUE(data.ok());
   EXPECT_EQ(data->table->GetValue(0, 0).int64(), 60);
+}
+
+TEST(RefreshTest, WorkerCountInvarianceUnderFaults) {
+  mseed::GeneratorOptions gen = TinyRepoOptions();
+  gen.num_stations = 4;
+  gen.channels_per_station = 4;
+  gen.num_days = 2;  // 32 files
+  ScopedRepo repo("refresh_invariance", gen);
+
+  DatabaseOptions opts;
+  opts.disk.faults.seed = 42;
+  opts.disk.faults.transient_error_rate = 0.15;
+  DatabaseOptions serial_opts = opts;
+  serial_opts.stage1_threads = 1;
+  DatabaseOptions parallel_opts = opts;
+  parallel_opts.stage1_threads = 8;
+  auto serial = Database::Open(repo.root(), serial_opts);
+  auto parallel = Database::Open(repo.root(), parallel_opts);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  // Churn the repository under both open databases: rewrite two files, add
+  // one, remove one.
+  auto files = ListFiles(repo.root(), ".mseed");
+  ASSERT_TRUE(files.ok());
+  ASSERT_GE(files->size(), 4u);
+  for (size_t i = 0; i < 2; ++i) {
+    ASSERT_TRUE(mseed::WriteFile((*files)[i],
+                                 {NewRecord("CHG", 1262304000000LL,
+                                            static_cast<int>(7 + i))})
+                    .ok());
+    BumpMtime((*files)[i], 60);
+  }
+  ASSERT_TRUE(mseed::WriteFile(repo.root() + "/NEW/OR.NEW.BHE.000.mseed",
+                               {NewRecord("NEWSTA", 1262304000000LL, 11)})
+                  .ok());
+  ASSERT_TRUE(RemoveDirRecursive((*files)[3]).ok());
+
+  // One of the changed files' medium goes permanently bad in both databases:
+  // its header parse (off the real filesystem) succeeds but the simulated
+  // read fails after all retries, so it must end up quarantined.
+  for (Database* db : {serial->get(), parallel->get()}) {
+    auto entry = db->registry()->Get((*files)[0]);
+    ASSERT_TRUE(entry.ok()) << entry.status().ToString();
+    db->disk()->fault_injector()->FailObject(entry->object);
+    db->FlushBuffers();  // scans must face the faulty medium cold
+  }
+
+  auto rs = (*serial)->Refresh();
+  auto rp = (*parallel)->Refresh();
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_TRUE(rp.ok()) << rp.status().ToString();
+
+  EXPECT_EQ(rs->files_added, 1u);
+  EXPECT_EQ(rs->files_changed, 2u);
+  EXPECT_EQ(rs->files_removed, 1u);
+  EXPECT_EQ(rs->files_scanned, 3u);
+  EXPECT_EQ(rs->files_reused, files->size() - 3);
+  EXPECT_EQ(rs->files_quarantined, 1u);
+  EXPECT_GT(rs->read_retries, 0u);
+  EXPECT_GT(rs->sim_io_nanos, 0u);
+  EXPECT_EQ(rs->workers, 1u);
+  EXPECT_EQ(rp->workers, 3u);  // 8 requested, capped at the 3 scan tasks
+
+  ExpectSameRefresh(*rs, *rp);
+  EXPECT_EQ(DumpCatalog(serial->get()), DumpCatalog(parallel->get()));
+  EXPECT_TRUE((*serial)->registry()->IsQuarantined((*files)[0]));
+  EXPECT_TRUE((*parallel)->registry()->IsQuarantined((*files)[0]));
+}
+
+TEST(RefreshTest, OnlyChangedFilesAreRescanned) {
+  ScopedRepo repo("refresh_delta", TinyRepoOptions());
+  auto db = Database::Open(repo.root(), {});
+  ASSERT_TRUE(db.ok());
+  auto files = ListFiles(repo.root(), ".mseed");
+  ASSERT_TRUE(files.ok());
+  ASSERT_TRUE(
+      mseed::WriteFile((*files)[0], {NewRecord("ISK", 1262304000000LL, 5)}).ok());
+  BumpMtime((*files)[0], 60);
+
+  auto first = (*db)->Refresh();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->files_scanned, 1u);
+  EXPECT_EQ(first->files_changed, 1u);
+  EXPECT_EQ(first->files_reused, files->size() - 1);
+
+  // Nothing moved since: a refresh is a pure stat sweep, zero header parses.
+  auto second = (*db)->Refresh();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->files_scanned, 0u);
+  EXPECT_EQ(second->files_reused, files->size());
+  EXPECT_EQ(second->sim_io_nanos, 0u);
+}
+
+TEST(RefreshTest, SnapshotDeltaReopenIsWorkerCountInvariant) {
+  ScopedRepo repo("refresh_snapdelta", TinyRepoOptions());
+  const std::string snap_a = repo.root() + "/.metadata.snap.a";
+  const std::string snap_b = repo.root() + "/.metadata.snap.b";
+  {
+    DatabaseOptions o;
+    o.metadata_snapshot_path = snap_a;
+    auto db = Database::Open(repo.root(), o);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+  }
+  std::string image;
+  ASSERT_TRUE(ReadFileToString(snap_a, &image).ok());
+  ASSERT_TRUE(WriteStringToFile(snap_b, image).ok());
+
+  // Churn between sessions: one file rewritten, one new station arrives.
+  auto files = ListFiles(repo.root(), ".mseed");
+  ASSERT_TRUE(files.ok());
+  ASSERT_TRUE(
+      mseed::WriteFile((*files)[0], {NewRecord("ISK", 1262304000000LL, 6)}).ok());
+  BumpMtime((*files)[0], 60);
+  ASSERT_TRUE(mseed::WriteFile(repo.root() + "/NEW/OR.NEW.BHE.000.mseed",
+                               {NewRecord("NEWSTA", 1262304000000LL, 9)})
+                  .ok());
+
+  DatabaseOptions oa;
+  oa.metadata_snapshot_path = snap_a;
+  oa.stage1_threads = 1;
+  DatabaseOptions ob;
+  ob.metadata_snapshot_path = snap_b;
+  ob.stage1_threads = 8;
+  auto a = Database::Open(repo.root(), oa);
+  auto b = Database::Open(repo.root(), ob);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+  // Instant-on delta: everything but the changed + new file comes from the
+  // snapshot, and the parallel reopen is bit-identical to the serial one.
+  EXPECT_EQ((*a)->open_stats().snapshot_files_reused, files->size() - 1);
+  EXPECT_EQ((*b)->open_stats().snapshot_files_reused, files->size() - 1);
+  EXPECT_GT((*a)->open_stats().sim_io_nanos, 0u);
+  EXPECT_EQ((*a)->open_stats().sim_io_nanos, (*b)->open_stats().sim_io_nanos);
+  EXPECT_EQ((*a)->open_stats().scan_serial_sim_nanos,
+            (*b)->open_stats().scan_serial_sim_nanos);
+  EXPECT_EQ(DumpCatalog(a->get()), DumpCatalog(b->get()));
+}
+
+TEST(RefreshTest, DeadlineYieldsDeterministicPartialRefresh) {
+  mseed::GeneratorOptions gen = TinyRepoOptions();
+  gen.num_stations = 4;  // 16 files
+  ScopedRepo repo("refresh_deadline", gen);
+
+  DatabaseOptions o1;
+  o1.stage1_threads = 1;
+  DatabaseOptions o8;
+  o8.stage1_threads = 8;
+  auto a = Database::Open(repo.root(), o1);
+  auto b = Database::Open(repo.root(), o8);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+  auto files = ListFiles(repo.root(), ".mseed");
+  ASSERT_TRUE(files.ok());
+  for (const std::string& f : *files) BumpMtime(f, 60);
+  (*a)->FlushBuffers();
+  (*b)->FlushBuffers();
+
+  // Probe what rescanning every header costs on this medium: a fresh open
+  // does exactly the reads the refresh is about to do.
+  uint64_t full_sim = 0;
+  {
+    auto probe = Database::Open(repo.root(), o1);
+    ASSERT_TRUE(probe.ok());
+    full_sim = (*probe)->open_stats().sim_io_nanos;
+  }
+  ASSERT_GT(full_sim, 0u);
+
+  // Half the budget: the scan must stop admitting header parses partway
+  // through, identically at any worker count (governed scans serialize).
+  (*a)->set_sim_deadline_nanos(full_sim / 2);
+  (*b)->set_sim_deadline_nanos(full_sim / 2);
+  auto ra = (*a)->Refresh();
+  auto rb = (*b)->Refresh();
+  ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+  ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+  EXPECT_TRUE(ra->is_partial);
+  EXPECT_GT(ra->files_scanned, 0u);
+  EXPECT_GT(ra->files_skipped_deadline, 0u);
+  EXPECT_EQ(ra->files_scanned + ra->files_skipped_deadline, files->size());
+  // Skipped files fall back to their stale catalog rows — nothing vanishes.
+  EXPECT_EQ(ra->files_reused, ra->files_skipped_deadline);
+  ExpectSameRefresh(*ra, *rb);
+  EXPECT_EQ(DumpCatalog(a->get()), DumpCatalog(b->get()));
+
+  (*a)->set_sim_deadline_nanos(0);
+  (*b)->set_sim_deadline_nanos(0);
+  auto count = (*a)->Query("SELECT COUNT(*) FROM F");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->table->GetValue(0, 0).int64(),
+            static_cast<int64_t>(files->size()));
+
+  // With the deadline lifted, the next refresh picks up exactly the files
+  // the partial one left at their stale rows.
+  auto fa = (*a)->Refresh();
+  auto fb = (*b)->Refresh();
+  ASSERT_TRUE(fa.ok()) << fa.status().ToString();
+  ASSERT_TRUE(fb.ok()) << fb.status().ToString();
+  EXPECT_FALSE(fa->is_partial);
+  EXPECT_EQ(fa->files_scanned, ra->files_skipped_deadline);
+  EXPECT_EQ(fa->files_changed, ra->files_skipped_deadline);
+  ExpectSameRefresh(*fa, *fb);
+  EXPECT_EQ(DumpCatalog(a->get()), DumpCatalog(b->get()));
 }
 
 }  // namespace

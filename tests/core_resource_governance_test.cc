@@ -202,14 +202,16 @@ TEST(ResourceGovernance, CancellationLeavesDatabaseConsistent) {
 
   CancelToken token;
   size_t batches_seen = 0;
-  auto r = db->QueryCancellable(
-      kCountAll, &token, [&](const BreakpointInfo& info) {
-        ++batches_seen;
-        if (info.batch_index >= 1) {
-          token.Cancel(Status::Aborted("user hit ^C"));
-        }
-        return BreakpointDecision::kContinue;
-      });
+  QueryOptions qopts;
+  qopts.breakpoint = [&](const BreakpointInfo& info) {
+    ++batches_seen;
+    if (info.batch_index >= 1) {
+      token.Cancel(Status::Aborted("user hit ^C"));
+    }
+    return BreakpointDecision::kContinue;
+  };
+  qopts.cancel = &token;
+  auto r = db->Query(kCountAll, qopts);
   ASSERT_FALSE(r.ok());
   EXPECT_TRUE(r.status().IsAborted()) << r.status().ToString();
   EXPECT_NE(r.status().message().find("user hit ^C"), std::string::npos)

@@ -17,7 +17,7 @@ using ::dex::testing::ScopedRepo;
 using ::dex::testing::TinyRepoOptions;
 
 mseed::ScanResult ScanOf(const std::string& root) {
-  auto scan = mseed::ScanRepository(root);
+  auto scan = MseedAdapter().ScanRepository(root);
   EXPECT_TRUE(scan.ok());
   return scan.ValueOr({});
 }

@@ -149,15 +149,17 @@ TEST_F(TwoStageBehavior, BreakpointCallbackSeesInformativeness) {
   ASSERT_TRUE(db.ok());
   BreakpointInfo seen;
   int calls = 0;
-  auto r = (*db)->QueryInteractive(
+  QueryOptions qopts;
+  qopts.breakpoint = [&](const BreakpointInfo& info) {
+    seen = info;
+    ++calls;
+    return BreakpointDecision::kContinue;
+  };
+  auto r = (*db)->Query(
       "SELECT AVG(D.sample_value) FROM F JOIN R ON F.uri = R.uri "
       "JOIN D ON R.uri = D.uri AND R.record_id = D.record_id "
       "WHERE F.station = 'ISK'",
-      [&](const BreakpointInfo& info) {
-        seen = info;
-        ++calls;
-        return BreakpointDecision::kContinue;
-      });
+      qopts);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(calls, 1);
   EXPECT_EQ(seen.files_of_interest.size(), 4u);  // 2 channels x 2 days
@@ -169,9 +171,12 @@ TEST_F(TwoStageBehavior, BreakpointCallbackSeesInformativeness) {
 TEST_F(TwoStageBehavior, AbortAtBreakpointStopsBeforeIngestion) {
   auto db = Database::Open(repo_->root(), {});
   ASSERT_TRUE(db.ok());
-  auto r = (*db)->QueryInteractive(
-      "SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri",
-      [](const BreakpointInfo&) { return BreakpointDecision::kAbort; });
+  QueryOptions qopts;
+  qopts.breakpoint = [](const BreakpointInfo&) {
+    return BreakpointDecision::kAbort;
+  };
+  auto r = (*db)->Query("SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri",
+                        qopts);
   ASSERT_FALSE(r.ok());
   EXPECT_TRUE(r.status().IsAborted());
   EXPECT_EQ((*db)->Query("SELECT COUNT(*) FROM F")->stats.mount.mounts, 0u);
@@ -183,12 +188,14 @@ TEST_F(TwoStageBehavior, MultiStageIngestionBatchesAndReportsProgress) {
   auto db = Database::Open(repo_->root(), opts);
   ASSERT_TRUE(db.ok());
   std::vector<size_t> batches;
-  auto r = (*db)->QueryInteractive(
+  QueryOptions qopts;
+  qopts.breakpoint = [&](const BreakpointInfo& info) {
+    batches.push_back(info.batch_index);
+    return BreakpointDecision::kContinue;
+  };
+  auto r = (*db)->Query(
       "SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri",  // all 8 files
-      [&](const BreakpointInfo& info) {
-        batches.push_back(info.batch_index);
-        return BreakpointDecision::kContinue;
-      });
+      qopts);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   // Callback at the stage boundary (batch 0) plus after each of 4 batches.
   ASSERT_EQ(batches.size(), 5u);
@@ -208,12 +215,13 @@ TEST_F(TwoStageBehavior, MultiStageAbortMidIngestion) {
   opts.two_stage.mount_batch_size = 2;
   auto db = Database::Open(repo_->root(), opts);
   ASSERT_TRUE(db.ok());
-  auto r = (*db)->QueryInteractive(
-      "SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri",
-      [&](const BreakpointInfo& info) {
-        return info.batch_index >= 2 ? BreakpointDecision::kAbort
-                                     : BreakpointDecision::kContinue;
-      });
+  QueryOptions qopts;
+  qopts.breakpoint = [&](const BreakpointInfo& info) {
+    return info.batch_index >= 2 ? BreakpointDecision::kAbort
+                                 : BreakpointDecision::kContinue;
+  };
+  auto r = (*db)->Query("SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri",
+                        qopts);
   ASSERT_FALSE(r.ok());
   EXPECT_TRUE(r.status().IsAborted());
 }

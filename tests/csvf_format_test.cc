@@ -96,8 +96,8 @@ TEST(CsvFormatTest, ConvertedRepositoryIsEquivalent) {
   ASSERT_TRUE(repo.ok());
   ASSERT_TRUE(ConvertMseedRepository(mseed_dir, csv_dir).ok());
 
-  auto mseed_scan = mseed::ScanRepository(mseed_dir);
-  auto csv_scan = ScanCsvRepository(csv_dir);
+  auto mseed_scan = MseedAdapter().ScanRepository(mseed_dir);
+  auto csv_scan = CsvAdapter().ScanRepository(csv_dir);
   ASSERT_TRUE(mseed_scan.ok());
   ASSERT_TRUE(csv_scan.ok()) << csv_scan.status().ToString();
   EXPECT_EQ(csv_scan->files.size(), mseed_scan->files.size());

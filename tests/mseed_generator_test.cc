@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/time_utils.h"
+#include "core/format_adapter.h"
 #include "io/file_io.h"
 #include "mseed/scanner.h"
 
@@ -82,7 +83,7 @@ TEST_F(GeneratorTest, DifferentSeedsDiffer) {
 TEST_F(GeneratorTest, RecordsPartitionTheDay) {
   auto repo = GenerateRepository(dir_, SmallOptions());
   ASSERT_TRUE(repo.ok());
-  auto scan = ScanRepository(dir_);
+  auto scan = MseedAdapter().ScanRepository(dir_);
   ASSERT_TRUE(scan.ok());
   // Every record starts at day_start + k * (day / records_per_file).
   const int64_t span = kMillisPerDay / 3;
@@ -108,7 +109,7 @@ TEST_F(GeneratorTest, GapsReduceRecordCount) {
 TEST_F(GeneratorTest, ScannerAgreesWithGenerator) {
   auto repo = GenerateRepository(dir_, SmallOptions());
   ASSERT_TRUE(repo.ok());
-  auto scan = ScanRepository(dir_);
+  auto scan = MseedAdapter().ScanRepository(dir_);
   ASSERT_TRUE(scan.ok()) << scan.status().ToString();
   EXPECT_EQ(scan->files.size(), repo->files.size());
   EXPECT_EQ(scan->records.size(), repo->total_records);
