@@ -3,6 +3,8 @@
 //   dex_shell <repo-dir> [--eager] [--cache=none|lru|all] [--tuple-cache]
 //             [--derived] [--snapshot=<path>] [--batch=<n>] [--threads=<n>]
 //             [--refresh-threads=<n>] [--timeout=<ms>] [--memlimit=<mb>]
+//             [--max-inflight=<n>] [--queue-depth=<n>]
+//             [--priority=background|normal|interactive]
 //             [--trace=<file>] [--log-level=debug|info|warning|error]
 //
 // SQL statements execute through the two-stage kernel; dot-commands inspect
@@ -27,7 +29,18 @@
 //   .memlimit <mb|off> memory budget over mounted data + cache; on pressure
 //                      unpinned cache entries are evicted, then files are
 //                      skipped (partial result)
+//   .sessions          admission-gate state: the open sessions, in-flight /
+//                      queued counts, and the cumulative admitted / waited /
+//                      shed tallies
 //   .help / .quit
+//
+// Every statement runs through the serving layer: the shell is one session
+// (priority from --priority) on a SessionManager gating the database at
+// --max-inflight concurrent queries with a --queue-depth wait queue. A
+// single interactive shell never queues against itself; the knobs exist so
+// embedders wiring more sessions onto the same manager (see
+// src/serve/session_manager.h) get the same admission behavior the shell
+// exercises, and `.sessions` shows the gate state either way.
 //
 // With --trace=FILE every query records lifecycle spans (stage 1, rewrite,
 // per-file mounts, stage 2) and the shell writes a Chrome trace-event JSON
@@ -48,6 +61,7 @@
 #include "core/database.h"
 #include "core/export.h"
 #include "io/file_io.h"
+#include "serve/session_manager.h"
 #include "obs/chrome_trace.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -111,7 +125,8 @@ int Usage() {
                "usage: dex_shell <repo-dir> [--eager] [--cache=none|lru|all] "
                "[--tuple-cache] [--derived] [--snapshot=<path>] [--batch=<n>] "
                "[--threads=<n>] [--refresh-threads=<n>] [--timeout=<ms>] "
-               "[--memlimit=<mb>] [--trace=<file>] "
+               "[--memlimit=<mb>] [--max-inflight=<n>] [--queue-depth=<n>] "
+               "[--priority=background|normal|interactive] [--trace=<file>] "
                "[--log-level=debug|info|warning|error]\n");
   return 2;
 }
@@ -122,6 +137,8 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   dex::Logger::InitFromEnv();  // DEX_LOG_LEVEL; --log-level= overrides below
   dex::DatabaseOptions options;
+  dex::serve::ServeOptions serve_options;
+  int shell_priority = dex::ThreadPool::kPriorityInteractive;
   std::string repo;
   std::string trace_path;
   for (int i = 1; i < argc; ++i) {
@@ -156,6 +173,24 @@ int main(int argc, char** argv) {
     } else if (dex::StartsWith(arg, "--memlimit=")) {
       options.two_stage.memory_budget_bytes =
           static_cast<uint64_t>(std::atoll(arg.c_str() + 11)) << 20;
+    } else if (dex::StartsWith(arg, "--max-inflight=")) {
+      serve_options.max_inflight =
+          static_cast<size_t>(std::atoi(arg.c_str() + 15));
+    } else if (dex::StartsWith(arg, "--queue-depth=")) {
+      serve_options.queue_depth =
+          static_cast<size_t>(std::atoi(arg.c_str() + 14));
+    } else if (dex::StartsWith(arg, "--priority=")) {
+      const std::string p = dex::ToLower(arg.substr(11));
+      if (p == "background") {
+        shell_priority = dex::ThreadPool::kPriorityBackground;
+      } else if (p == "normal") {
+        shell_priority = dex::ThreadPool::kPriorityNormal;
+      } else if (p == "interactive") {
+        shell_priority = dex::ThreadPool::kPriorityInteractive;
+      } else {
+        std::fprintf(stderr, "unknown priority %s\n", p.c_str());
+        return Usage();
+      }
     } else if (dex::StartsWith(arg, "--trace=")) {
       trace_path = arg.substr(8);
       if (trace_path.empty()) return Usage();
@@ -183,6 +218,17 @@ int main(int argc, char** argv) {
     return 1;
   }
   auto& db = *db_or;
+  dex::serve::SessionManager sessions(db.get(), serve_options);
+  dex::serve::SessionOptions shell_session;
+  shell_session.name = "shell";
+  shell_session.priority = shell_priority;
+  auto session_or = sessions.OpenSession(shell_session);
+  if (!session_or.ok()) {
+    std::fprintf(stderr, "session open failed: %s\n",
+                 session_or.status().ToString().c_str());
+    return 1;
+  }
+  const dex::serve::SessionManager::SessionId session_id = *session_or;
   const dex::OpenStats& open = db->open_stats();
   std::printf("dex shell — %zu files, %zu records, %s of metadata "
               "(%s mode, format %s)\n",
@@ -210,7 +256,7 @@ int main(int argc, char** argv) {
         std::printf(
             ".tables .schema <t> .explain [analyze] <sql> .stats .metrics "
             ".open .cache .coverage .refresh .cold .timeout <ms|off> "
-            ".memlimit <mb|off> .export <path> <sql> .quit\n");
+            ".memlimit <mb|off> .sessions .export <path> <sql> .quit\n");
       } else if (cmd == ".tables") {
         for (const std::string& name : db->catalog()->TableNames()) {
           auto table = db->catalog()->GetTable(name);
@@ -234,7 +280,7 @@ int main(int argc, char** argv) {
         if (parts.size() > 1 && dex::ToLower(parts[1]) == "analyze") {
           // Database::Query understands the EXPLAIN ANALYZE prefix; the
           // result is a one-column QUERY PLAN table.
-          auto result = db->Query("EXPLAIN" + sql);
+          auto result = sessions.Submit(session_id, "EXPLAIN" + sql);
           if (!result.ok()) {
             std::printf("error: %s\n", result.status().ToString().c_str());
           } else {
@@ -316,7 +362,7 @@ int main(int argc, char** argv) {
         const std::string path = parts[1];
         const std::string sql = trimmed.substr(trimmed.find(parts[2],
                                                             8 + path.size()));
-        auto result = db->Query(sql);
+        auto result = sessions.Submit(session_id, sql);
         if (!result.ok()) {
           std::printf("error: %s\n", result.status().ToString().c_str());
         } else {
@@ -349,6 +395,30 @@ int main(int argc, char** argv) {
                       "(currently %s reserved)\n", mb,
                       dex::FormatBytes(db->memory_budget()->used()).c_str());
         }
+      } else if (cmd == ".sessions") {
+        const auto stats = sessions.stats();
+        std::printf("gate: %zu/%zu in flight, %zu/%zu queued — "
+                    "admitted %llu (waited %llu), shed %llu; epoch %llu "
+                    "(%llu retired)\n",
+                    stats.inflight, sessions.options().max_inflight,
+                    stats.queued, sessions.options().queue_depth,
+                    static_cast<unsigned long long>(stats.admitted),
+                    static_cast<unsigned long long>(stats.waited),
+                    static_cast<unsigned long long>(stats.shed),
+                    static_cast<unsigned long long>(db->current_epoch()),
+                    static_cast<unsigned long long>(db->epochs_retired()));
+        static const char* kPriorityNames[] = {"background", "normal",
+                                               "interactive"};
+        for (const auto& info : sessions.ListSessions()) {
+          std::printf("  #%llu %-12s %-11s cap=%zu inflight=%zu "
+                      "submitted=%llu shed=%llu%s\n",
+                      static_cast<unsigned long long>(info.id),
+                      info.name.c_str(), kPriorityNames[info.priority],
+                      info.max_inflight, info.inflight,
+                      static_cast<unsigned long long>(info.submitted),
+                      static_cast<unsigned long long>(info.shed),
+                      info.closed ? " (closed)" : "");
+        }
       } else {
         std::printf("unknown command %s (try .help)\n", cmd.c_str());
       }
@@ -361,9 +431,15 @@ int main(int argc, char** argv) {
     const std::string sql = pending;
     pending.clear();
 
-    auto result = db->Query(sql);
+    auto result = sessions.Submit(session_id, sql);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
+      if (result.status().IsOverloaded()) {
+        const uint64_t hint = dex::serve::BackoffHintNanos(result.status());
+        if (hint > 0) {
+          std::printf("   (retry in ~%.1fms)\n", hint / 1e6);
+        }
+      }
       continue;
     }
     std::printf("%s", result->table->ToString(40).c_str());

@@ -30,6 +30,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Deadline exceeded";
     case StatusCode::kResourceExhausted:
       return "Resource exhausted";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

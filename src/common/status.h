@@ -24,6 +24,7 @@ enum class StatusCode {
   kInternal,
   kDeadlineExceeded,   // query ran past its wall/sim deadline
   kResourceExhausted,  // memory budget (or another governed resource) ran out
+  kOverloaded,         // admission gate full; retryable after a backoff
 };
 
 /// \brief Returns a human-readable name for a status code ("Invalid argument"...).
@@ -75,6 +76,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
@@ -87,6 +91,7 @@ class Status {
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsDeadlineExceeded() const { return code() == StatusCode::kDeadlineExceeded; }
   bool IsResourceExhausted() const { return code() == StatusCode::kResourceExhausted; }
+  bool IsOverloaded() const { return code() == StatusCode::kOverloaded; }
 
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
   const std::string& message() const;

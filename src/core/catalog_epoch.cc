@@ -1,0 +1,51 @@
+#include "core/catalog_epoch.h"
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace dex {
+
+EpochManager::EpochManager(std::unique_ptr<Catalog> initial)
+    : retired_(std::make_shared<std::atomic<uint64_t>>(0)) {
+  DEX_CHECK(initial != nullptr);
+  current_ = Wrap(std::move(initial));
+}
+
+std::shared_ptr<MetadataEpoch> EpochManager::Wrap(
+    std::unique_ptr<Catalog> catalog) {
+  auto* epoch = new MetadataEpoch;
+  epoch->id = next_id_++;
+  epoch->catalog = std::move(catalog);
+  // The deleter runs when the last pin drops — possibly on a query thread
+  // long after the publishing Refresh returned. Only superseded epochs count
+  // as retirements; the final epoch dying with the database does not.
+  std::shared_ptr<std::atomic<uint64_t>> retired = retired_;
+  return std::shared_ptr<MetadataEpoch>(
+      epoch, [retired](MetadataEpoch* e) {
+        if (e->superseded.load(std::memory_order_acquire)) {
+          retired->fetch_add(1, std::memory_order_relaxed);
+          obs::MetricsRegistry::Global().AddCounter("serve.epoch_retired", 1);
+        }
+        delete e;
+      });
+}
+
+EpochPtr EpochManager::Pin() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+EpochPtr EpochManager::Publish(std::unique_ptr<Catalog> next) {
+  DEX_CHECK(next != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  current_->superseded.store(true, std::memory_order_release);
+  current_ = Wrap(std::move(next));
+  return current_;
+}
+
+uint64_t EpochManager::current_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_->id;
+}
+
+}  // namespace dex

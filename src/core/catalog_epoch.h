@@ -1,0 +1,74 @@
+#ifndef DEX_CORE_CATALOG_EPOCH_H_
+#define DEX_CORE_CATALOG_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "storage/catalog.h"
+
+namespace dex {
+
+/// \brief One immutable snapshot of the metadata catalog, identified by a
+/// monotonically increasing id.
+///
+/// Queries pin the epoch that was current when they were admitted and read
+/// only through it for their whole lifetime — snapshot isolation at metadata
+/// granularity: a Refresh() publishing a new epoch mid-query never changes
+/// what an in-flight query sees. "Immutable" is by convention, not by type:
+/// the catalog is mutated exactly once, between Clone() and Publish(), on
+/// the refreshing thread, before any other thread can observe it.
+struct MetadataEpoch {
+  uint64_t id = 0;
+  std::unique_ptr<Catalog> catalog;
+  /// Set (once, by EpochManager::Publish) when a newer epoch replaced this
+  /// one; the destructor of a superseded epoch counts as a retirement.
+  std::atomic<bool> superseded{false};
+};
+
+/// A pin on an epoch: holding it keeps the epoch's catalog alive. When the
+/// last pin on a *superseded* epoch drops, the epoch is retired (counted in
+/// `EpochManager::epochs_retired()` and the `serve.epoch_retired` metric).
+using EpochPtr = std::shared_ptr<const MetadataEpoch>;
+
+/// \brief Owner of the current catalog epoch; the publication point of
+/// Database::Refresh / quarantine-table sync under concurrent serving.
+///
+/// Thread-safe. `Pin()` is the read side (every query admission);
+/// `Publish()` the write side (copy-on-write: callers Clone() the pinned
+/// catalog, mutate the private clone, then swap it in here). Retirement of
+/// old epochs is driven entirely by shared_ptr refcounts — no epoch list,
+/// no background reclamation thread.
+class EpochManager {
+ public:
+  explicit EpochManager(std::unique_ptr<Catalog> initial);
+
+  /// The current epoch, pinned. Never null.
+  EpochPtr Pin() const;
+
+  /// Installs `next` as the new current epoch and marks the previous one
+  /// superseded. Returns the newly published epoch.
+  EpochPtr Publish(std::unique_ptr<Catalog> next);
+
+  uint64_t current_id() const;
+
+  /// Superseded epochs whose last pin has dropped.
+  uint64_t epochs_retired() const {
+    return retired_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<MetadataEpoch> Wrap(std::unique_ptr<Catalog> catalog);
+
+  mutable std::mutex mu_;
+  std::shared_ptr<MetadataEpoch> current_;  // guarded by mu_; never null
+  uint64_t next_id_ = 1;                    // guarded by mu_; 0 means "unset"
+  // Shared with the epoch deleters, which may outlive this manager's use
+  // sites (a query can hold a pin across the manager's final Publish).
+  std::shared_ptr<std::atomic<uint64_t>> retired_;
+};
+
+}  // namespace dex
+
+#endif  // DEX_CORE_CATALOG_EPOCH_H_

@@ -71,6 +71,21 @@ Result<TablePtr> PlanTextTable(const std::string& text) {
   return table;
 }
 
+/// Forces span tracing on for one query, restoring the previous state.
+class ScopedTrace {
+ public:
+  ScopedTrace() : saved_(obs::Tracer::Global().enabled()) {
+    obs::Tracer::Global().set_enabled(true);
+  }
+  ~ScopedTrace() { obs::Tracer::Global().set_enabled(saved_); }
+
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  bool saved_;
+};
+
 }  // namespace
 
 Database::Database(DatabaseOptions options) : options_(std::move(options)) {}
@@ -82,7 +97,6 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& repo_root,
   span.AddArg("repo", repo_root);
   db->repo_root_ = repo_root;
   db->disk_ = std::make_unique<SimDisk>(options.disk);
-  db->catalog_ = std::make_unique<Catalog>(db->disk_.get());
   db->registry_ = std::make_unique<FileRegistry>(db->disk_.get());
   db->cache_ = std::make_unique<CacheManager>(options.cache);
   // The global memory budget covers mounted partial tables and cache entries
@@ -90,6 +104,15 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& repo_root,
   db->memory_budget_ =
       std::make_unique<MemoryBudget>(options.two_stage.memory_budget_bytes);
   db->cache_->AttachBudget(db->memory_budget_.get());
+  // One database-wide worker pool: every query's mount tasks and every
+  // refresh's scan tasks land here, scheduled by priority class.
+  db->pool_ = std::make_unique<ThreadPool>(
+      options.pool_threads == 0 ? ThreadPool::DefaultConcurrency()
+                                : options.pool_threads);
+
+  // The catalog is built privately here and becomes epoch 0 at the end of
+  // Open; from then on it is only ever mutated copy-on-write via publishes.
+  auto catalog = std::make_unique<Catalog>(db->disk_.get());
 
   // Resolve the repository's file format.
   if (options.format != nullptr) {
@@ -104,8 +127,8 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& repo_root,
   // stage1_threads). With a metadata snapshot ("instant-on"), unchanged
   // files skip the header parse entirely — the snapshot is the baseline.
   const uint64_t t0 = NowNanos();
-  db->stage1_ =
-      std::make_unique<Stage1Scanner>(db->format_.get(), db->registry_.get());
+  db->stage1_ = std::make_unique<Stage1Scanner>(
+      db->format_.get(), db->registry_.get(), db->pool_.get());
   mseed::ScanResult baseline;
   bool have_baseline = false;
   if (!options.metadata_snapshot_path.empty() &&
@@ -141,7 +164,7 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& repo_root,
   if (options.mode == IngestionMode::kEager) {
     DEX_ASSIGN_OR_RETURN(
         EagerLoadStats load,
-        EagerLoader::LoadAll(scan, db->catalog_.get(), db->registry_.get(),
+        EagerLoader::LoadAll(scan, catalog.get(), db->registry_.get(),
                              db->format_.get(), options.build_indexes));
     db->open_stats_.load_nanos = load.load_nanos;
     db->open_stats_.index_nanos = load.index_nanos;
@@ -152,36 +175,41 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& repo_root,
     // ALi: load only metadata; D exists but stays empty.
     DEX_ASSIGN_OR_RETURN(TablePtr f_table, BuildFileTable(scan));
     DEX_ASSIGN_OR_RETURN(TablePtr r_table, BuildRecordTable(scan));
-    DEX_RETURN_NOT_OK(db->catalog_->AddTable(f_table, TableKind::kMetadata));
-    DEX_RETURN_NOT_OK(db->catalog_->AddTable(r_table, TableKind::kMetadata));
-    DEX_RETURN_NOT_OK(db->catalog_->SyncStorageSize(kFileTableName));
-    DEX_RETURN_NOT_OK(db->catalog_->SyncStorageSize(kRecordTableName));
+    DEX_RETURN_NOT_OK(catalog->AddTable(f_table, TableKind::kMetadata));
+    DEX_RETURN_NOT_OK(catalog->AddTable(r_table, TableKind::kMetadata));
+    DEX_RETURN_NOT_OK(catalog->SyncStorageSize(kFileTableName));
+    DEX_RETURN_NOT_OK(catalog->SyncStorageSize(kRecordTableName));
     auto d_table = std::make_shared<Table>(kDataTableName, MakeDataSchema());
-    DEX_RETURN_NOT_OK(db->catalog_->AddTable(d_table, TableKind::kActual));
+    DEX_RETURN_NOT_OK(catalog->AddTable(d_table, TableKind::kActual));
     // File health is queryable like GAPS/OVERLAPS: an (initially empty)
     // QUARANTINE metadata table, refreshed whenever mounting quarantines or
     // rehabilitates a file.
     DEX_ASSIGN_OR_RETURN(TablePtr q_table, db->registry_->BuildQuarantineTable());
-    DEX_RETURN_NOT_OK(db->catalog_->AddTable(q_table, TableKind::kMetadata));
-    DEX_RETURN_NOT_OK(db->catalog_->SyncStorageSize(kQuarantineTableName));
+    DEX_RETURN_NOT_OK(catalog->AddTable(q_table, TableKind::kMetadata));
+    DEX_RETURN_NOT_OK(catalog->SyncStorageSize(kQuarantineTableName));
   }
   {
-    DEX_ASSIGN_OR_RETURN(TablePtr f_table, db->catalog_->GetTable(kFileTableName));
-    DEX_ASSIGN_OR_RETURN(TablePtr r_table,
-                         db->catalog_->GetTable(kRecordTableName));
+    DEX_ASSIGN_OR_RETURN(TablePtr f_table, catalog->GetTable(kFileTableName));
+    DEX_ASSIGN_OR_RETURN(TablePtr r_table, catalog->GetTable(kRecordTableName));
     db->open_stats_.metadata_bytes = f_table->ByteSize() + r_table->ByteSize();
   }
 
   if (options.collect_derived_metadata) {
-    DEX_ASSIGN_OR_RETURN(db->derived_, DerivedMetadata::Create(db->catalog_.get()));
+    DEX_ASSIGN_OR_RETURN(db->derived_, DerivedMetadata::Create(catalog.get()));
   }
+
+  // Freeze the built catalog as epoch 0 and wire up the executors.
+  db->epochs_ = std::make_unique<EpochManager>(std::move(catalog));
+  db->pinned_latest_ = db->epochs_->Pin();
+  db->initial_epoch_ = db->pinned_latest_;
   db->mounter_ = std::make_unique<Mounter>(
-      db->catalog_.get(), db->registry_.get(), db->cache_.get(),
-      db->derived_.get(), db->format_.get(), options.two_stage.on_mount_error,
+      db->registry_.get(), db->cache_.get(), db->derived_.get(),
+      db->format_.get(), options.two_stage.on_mount_error,
       options.two_stage.retry);
   db->two_stage_ = std::make_unique<TwoStageExecutor>(
-      db->catalog_.get(), db->registry_.get(), db->cache_.get(),
-      db->mounter_.get(), db->derived_.get(), options.two_stage);
+      db->initial_epoch_->catalog.get(), db->registry_.get(), db->cache_.get(),
+      db->mounter_.get(), db->derived_.get(), options.two_stage,
+      db->pool_.get());
   db->open_stats_.sim_io_nanos = db->disk_->stats().sim_nanos;
   PublishOpenMetrics(db->open_stats_);
   PublishIoMetrics(db->disk_->stats());
@@ -189,68 +217,24 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& repo_root,
 }
 
 Status Database::SyncQuarantineTable() {
-  if (options_.mode != IngestionMode::kLazy ||
-      registry_->health_version() == quarantine_table_version_) {
+  if (options_.mode != IngestionMode::kLazy) return Status::OK();
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  if (registry_->health_version() == quarantine_table_version_) {
     return Status::OK();
   }
+  // Copy-on-write publish: clone the latest epoch, swap in the rebuilt
+  // QUARANTINE table, publish. In-flight queries keep their pinned epochs.
   DEX_ASSIGN_OR_RETURN(TablePtr q_table, registry_->BuildQuarantineTable());
-  DEX_RETURN_NOT_OK(catalog_->ReplaceTable(std::move(q_table)));
+  std::unique_ptr<Catalog> next = pinned_latest_->catalog->Clone();
+  DEX_RETURN_NOT_OK(next->ReplaceTable(std::move(q_table)));
+  pinned_latest_ = epochs_->Publish(std::move(next));
   quarantine_table_version_ = registry_->health_version();
   return Status::OK();
 }
 
-namespace {
-
-/// Applies one query's QueryOptions on top of the database-wide defaults and
-/// restores those defaults when the query finishes, success or error. The
-/// database runs one query at a time, so save/apply/restore around RunQuery
-/// is exact; EXPLAIN ANALYZE re-enters RunQuery with the same options, which
-/// re-applies the same values (idempotent).
-class ScopedQueryOptions {
- public:
-  ScopedQueryOptions(const QueryOptions& opts, TwoStageOptions* ts,
-                     MemoryBudget* budget)
-      : ts_(ts),
-        budget_(budget),
-        saved_(*ts),
-        saved_limit_(budget->limit()),
-        saved_trace_(obs::Tracer::Global().enabled()) {
-    if (opts.sim_deadline_nanos) ts->sim_deadline_nanos = *opts.sim_deadline_nanos;
-    if (opts.wall_deadline_nanos) {
-      ts->wall_deadline_nanos = *opts.wall_deadline_nanos;
-    }
-    if (opts.memory_budget_bytes) {
-      ts->memory_budget_bytes = *opts.memory_budget_bytes;
-      budget->set_limit(*opts.memory_budget_bytes);
-    }
-    if (opts.on_resource_exhausted) {
-      ts->on_resource_exhausted = *opts.on_resource_exhausted;
-    }
-    if (opts.num_threads) ts->num_threads = *opts.num_threads;
-    if (opts.trace) obs::Tracer::Global().set_enabled(true);
-  }
-
-  ~ScopedQueryOptions() {
-    *ts_ = saved_;
-    budget_->set_limit(saved_limit_);
-    obs::Tracer::Global().set_enabled(saved_trace_);
-  }
-
-  ScopedQueryOptions(const ScopedQueryOptions&) = delete;
-  ScopedQueryOptions& operator=(const ScopedQueryOptions&) = delete;
-
- private:
-  TwoStageOptions* ts_;
-  MemoryBudget* budget_;
-  TwoStageOptions saved_;
-  uint64_t saved_limit_;
-  bool saved_trace_;
-};
-
-}  // namespace
-
 Result<QueryResult> Database::RunQuery(const std::string& sql,
                                        const QueryOptions& options,
+                                       EpochPtr epoch,
                                        PlanProfiler* profiler) {
   // EXPLAIN [ANALYZE] enters through the same front door as a SELECT and
   // returns through it too, as a one-column "QUERY PLAN" table.
@@ -259,7 +243,7 @@ Result<QueryResult> Database::RunQuery(const std::string& sql,
     if (ConsumeKeyword(sql, &pos, "EXPLAIN")) {
       const bool analyze = ConsumeKeyword(sql, &pos, "ANALYZE");
       const std::string inner = sql.substr(pos);
-      if (analyze) return RunExplainAnalyze(inner, options);
+      if (analyze) return RunExplainAnalyze(inner, options, std::move(epoch));
       DEX_ASSIGN_OR_RETURN(std::string text, Explain(inner));
       QueryResult out;
       DEX_ASSIGN_OR_RETURN(out.table, PlanTextTable(text));
@@ -268,62 +252,102 @@ Result<QueryResult> Database::RunQuery(const std::string& sql,
     }
   }
 
-  ScopedQueryOptions scoped(options, two_stage_->mutable_options(),
-                            memory_budget_.get());
+  std::optional<ScopedTrace> trace_on;
+  if (options.trace) trace_on.emplace();
 
   // Fold any out-of-band health changes (quarantines from a prior query,
   // rehabilitations via Refresh/Update) into the queryable QUARANTINE table
-  // before this query plans against it.
+  // before this query pins its snapshot.
   DEX_RETURN_NOT_OK(SyncQuarantineTable());
+
+  // Snapshot isolation: the query reads the epoch that was current at
+  // submission (caller-pinned by the serving layer) or now, for its whole
+  // lifetime. Concurrent publishes never change what it sees.
+  const EpochPtr pinned = epoch != nullptr ? std::move(epoch) : epochs_->Pin();
+  Catalog* catalog = pinned->catalog.get();
+
+  // This query's effective options: a snapshot of the database-wide defaults
+  // with the per-query overrides applied. The defaults are never mutated, so
+  // concurrent queries cannot observe each other's overrides.
+  TwoStageOptions effective;
+  {
+    std::lock_guard<std::mutex> lock(options_mu_);
+    effective = two_stage_->options();
+  }
+  if (options.sim_deadline_nanos) {
+    effective.sim_deadline_nanos = *options.sim_deadline_nanos;
+  }
+  if (options.wall_deadline_nanos) {
+    effective.wall_deadline_nanos = *options.wall_deadline_nanos;
+  }
+  if (options.on_resource_exhausted) {
+    effective.on_resource_exhausted = *options.on_resource_exhausted;
+  }
+  if (options.num_threads) effective.num_threads = *options.num_threads;
+
   QueryResult out;
-  const uint64_t sim0 = disk_->stats().sim_nanos;
+  out.stats.epoch = pinned->id;
   obs::TraceSpan query_span("query", "query");
   query_span.AddArg("sql", sql);
+  query_span.AddArg("epoch", pinned->id);
 
-  const uint64_t t0 = NowNanos();
-  PlanPtr plan;
+  // Everything this query charges to the shared simulated clock is teed into
+  // its own counter: per-query sim_io_nanos (and the deadline timeline) stay
+  // independent of what concurrent queries charge.
+  uint64_t query_sim_nanos = 0;
   {
-    obs::TraceSpan span("parse_bind", "query");
-    DEX_ASSIGN_OR_RETURN(plan, sql::PlanQuery(sql, *catalog_));
-  }
-  {
-    obs::TraceSpan span("optimize", "query");
-    DEX_ASSIGN_OR_RETURN(plan, PushDownPredicates(plan, *catalog_));
-    DEX_ASSIGN_OR_RETURN(plan, FuseTopK(plan, *catalog_));
-  }
-  out.stats.plan_nanos = NowNanos() - t0;
+    SimDisk::QueryTimeScope qscope(&query_sim_nanos);
 
-  // Resource governance: deadlines come from the *current* two-stage options
-  // (the runtime setters mutate those); the memory budget is the database-wide
-  // one the cache also reserves against. Armed at the same simulated-clock
-  // anchor as sim_io_nanos accounting, so "deadline" and "reported I/O time"
-  // measure the same timeline.
-  const TwoStageOptions& ts_opts = two_stage_->options();
-  QueryContext qctx(
-      {ts_opts.sim_deadline_nanos, ts_opts.wall_deadline_nanos},
-      memory_budget_.get(), options.cancel);
-  qctx.Start(sim0);
-
-  const uint64_t t1 = NowNanos();
-  if (options_.mode == IngestionMode::kEager) {
-    ExecContext ctx;
-    ctx.catalog = catalog_.get();
-    ctx.use_index_joins = options_.use_index_joins;
-    ctx.profiler = profiler;
-    if (options.cancel != nullptr) {
-      ctx.interrupt_fn = [&qctx] { return qctx.CheckInterrupt(); };
+    const uint64_t t0 = NowNanos();
+    PlanPtr plan;
+    {
+      obs::TraceSpan span("parse_bind", "query");
+      DEX_ASSIGN_OR_RETURN(plan, sql::PlanQuery(sql, *catalog));
     }
-    DEX_ASSIGN_OR_RETURN(out.table, ExecutePlan(plan, &ctx));
-    if (profiler != nullptr) profiler->AddRoot("plan", plan);
-    out.stats.two_stage.exec = ctx.stats;
-  } else {
-    DEX_ASSIGN_OR_RETURN(
-        out.table,
-        two_stage_->Execute(plan, options.breakpoint, &out.stats.two_stage,
-                            profiler, &qctx));
+    {
+      obs::TraceSpan span("optimize", "query");
+      DEX_ASSIGN_OR_RETURN(plan, PushDownPredicates(plan, *catalog));
+      DEX_ASSIGN_OR_RETURN(plan, FuseTopK(plan, *catalog));
+    }
+    out.stats.plan_nanos = NowNanos() - t0;
+
+    // Resource governance: deadlines from the effective options, measured on
+    // the query's own timeline; the shared memory budget plus an optional
+    // per-query cap.
+    QueryContext qctx(
+        {effective.sim_deadline_nanos, effective.wall_deadline_nanos},
+        memory_budget_.get(), options.cancel);
+    qctx.Start(disk_->stats().sim_nanos);
+    qctx.AttachSimCounter(&query_sim_nanos);
+    if (options.memory_budget_bytes) {
+      qctx.set_query_memory_limit(*options.memory_budget_bytes);
+    }
+
+    const uint64_t t1 = NowNanos();
+    if (options_.mode == IngestionMode::kEager) {
+      ExecContext ctx;
+      ctx.catalog = catalog;
+      ctx.use_index_joins = options_.use_index_joins;
+      ctx.profiler = profiler;
+      if (options.cancel != nullptr) {
+        ctx.interrupt_fn = [&qctx] { return qctx.CheckInterrupt(); };
+      }
+      DEX_ASSIGN_OR_RETURN(out.table, ExecutePlan(plan, &ctx));
+      if (profiler != nullptr) profiler->AddRoot("plan", plan);
+      out.stats.two_stage.exec = ctx.stats;
+    } else {
+      TwoStageExecutor::QueryEnv env;
+      env.catalog = catalog;
+      env.options = &effective;
+      env.priority = options.priority;
+      DEX_ASSIGN_OR_RETURN(
+          out.table,
+          two_stage_->Execute(plan, options.breakpoint, &out.stats.two_stage,
+                              profiler, &qctx, &env));
+    }
+    out.stats.exec_nanos = NowNanos() - t1;
   }
-  out.stats.exec_nanos = NowNanos() - t1;
-  out.stats.sim_io_nanos = disk_->stats().sim_nanos - sim0;
+  out.stats.sim_io_nanos = query_sim_nanos;
   out.stats.result_rows = out.table->num_rows();
   query_span.AddArg("result_rows", out.stats.result_rows);
   query_span.AddArg("sim_io_nanos", out.stats.sim_io_nanos);
@@ -350,7 +374,8 @@ Result<QueryResult> Database::RunQuery(const std::string& sql,
                                  " more warnings dropped)");
   }
 
-  // Quarantines that happened while mounting become visible immediately.
+  // Quarantines that happened while mounting become visible immediately
+  // (to queries pinning after this publish; our own snapshot is unchanged).
   DEX_RETURN_NOT_OK(SyncQuarantineTable());
 
   // Publish into the unified metrics registry: per-query counters, plus the
@@ -362,9 +387,11 @@ Result<QueryResult> Database::RunQuery(const std::string& sql,
 }
 
 Result<QueryResult> Database::RunExplainAnalyze(const std::string& sql,
-                                                const QueryOptions& options) {
+                                                const QueryOptions& options,
+                                                EpochPtr epoch) {
   PlanProfiler profiler;
-  DEX_ASSIGN_OR_RETURN(QueryResult out, RunQuery(sql, options, &profiler));
+  DEX_ASSIGN_OR_RETURN(QueryResult out,
+                       RunQuery(sql, options, std::move(epoch), &profiler));
   std::string text = profiler.Render();
   text += "-- execution --\n";
   text += "result rows: " + std::to_string(out.stats.result_rows) + "\n";
@@ -396,41 +423,33 @@ Result<QueryResult> Database::RunExplainAnalyze(const std::string& sql,
 
 Result<QueryResult> Database::Query(const std::string& sql,
                                     const QueryOptions& options) {
-  return RunQuery(sql, options);
+  return RunQuery(sql, options, EpochPtr{});
 }
 
-// The deprecated shims call RunQuery directly (not Query) so building this
-// translation unit does not warn about its own compatibility surface.
-Result<QueryResult> Database::QueryInteractive(const std::string& sql,
-                                               const BreakpointCallback& callback) {
-  QueryOptions options;
-  options.breakpoint = callback;
-  return RunQuery(sql, options);
-}
-
-Result<QueryResult> Database::QueryCancellable(const std::string& sql,
-                                               CancelToken* cancel,
-                                               const BreakpointCallback& callback) {
-  QueryOptions options;
-  options.breakpoint = callback;
-  options.cancel = cancel;
-  return RunQuery(sql, options);
+Result<QueryResult> Database::Query(const std::string& sql,
+                                    const QueryOptions& options,
+                                    EpochPtr epoch) {
+  return RunQuery(sql, options, std::move(epoch));
 }
 
 void Database::set_sim_deadline_nanos(uint64_t nanos) {
+  std::lock_guard<std::mutex> lock(options_mu_);
   two_stage_->mutable_options()->sim_deadline_nanos = nanos;
 }
 
 void Database::set_wall_deadline_nanos(uint64_t nanos) {
+  std::lock_guard<std::mutex> lock(options_mu_);
   two_stage_->mutable_options()->wall_deadline_nanos = nanos;
 }
 
 void Database::set_memory_budget_bytes(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(options_mu_);
   two_stage_->mutable_options()->memory_budget_bytes = bytes;
   memory_budget_->set_limit(bytes);
 }
 
 void Database::set_on_resource_exhausted(OnResourceExhausted policy) {
+  std::lock_guard<std::mutex> lock(options_mu_);
   two_stage_->mutable_options()->on_resource_exhausted = policy;
 }
 
@@ -440,35 +459,54 @@ Result<RefreshStats> Database::Refresh() {
         "Refresh() requires lazy ingestion; an eager database must reload "
         "actual data to pick up repository changes");
   }
+  // One refresh at a time. Queries are never blocked: in-flight ones keep
+  // reading their pinned epochs while the scan and the publish proceed.
+  std::lock_guard<std::mutex> refresh_lock(refresh_mu_);
   RefreshStats stats;
   obs::TraceSpan span("refresh", "lifecycle");
   const uint64_t t0 = NowNanos();
-  const uint64_t sim0 = disk_->stats().sim_nanos;
 
-  // The current catalog is the baseline: files whose size/mtime still match
+  // The current epoch is the baseline: files whose size/mtime still match
   // keep their F/R rows without a header parse — a delta refresh, the same
   // reconciliation the instant-on snapshot gives Open().
-  DEX_ASSIGN_OR_RETURN(TablePtr f_table, catalog_->GetTable(kFileTableName));
-  DEX_ASSIGN_OR_RETURN(TablePtr r_table, catalog_->GetTable(kRecordTableName));
+  const EpochPtr base = epochs_->Pin();
+  DEX_ASSIGN_OR_RETURN(TablePtr f_table,
+                       base->catalog->GetTable(kFileTableName));
+  DEX_ASSIGN_OR_RETURN(TablePtr r_table,
+                       base->catalog->GetTable(kRecordTableName));
   const mseed::ScanResult baseline = ScanResultFromTables(*f_table, *r_table);
 
   // The scan shares the session's governance and fault policy: a deadline
   // armed via the runtime setters (`.timeout`) also bounds the refresh.
-  const TwoStageOptions& ts = two_stage_->options();
+  TwoStageOptions ts;
+  {
+    std::lock_guard<std::mutex> lock(options_mu_);
+    ts = two_stage_->options();
+  }
   Stage1Options sopts;
   sopts.num_threads = options_.stage1_threads;
   sopts.on_error = ts.on_mount_error;
   sopts.retry = ts.retry;
+  // A refresh is maintenance: its scan tasks ride the shared pool at
+  // background priority so interactive queries keep their workers.
+  sopts.priority = ThreadPool::kPriorityBackground;
   QueryContext qctx({ts.sim_deadline_nanos, ts.wall_deadline_nanos},
                     memory_budget_.get(), nullptr);
-  if (ts.sim_deadline_nanos != 0 || ts.wall_deadline_nanos != 0) {
-    qctx.Start(sim0);
-    sopts.qctx = &qctx;
-  }
-
   Stage1Stats sstats;
-  DEX_ASSIGN_OR_RETURN(mseed::ScanResult scan,
-                       stage1_->Scan(repo_root_, &baseline, sopts, &sstats));
+  mseed::ScanResult scan;
+  uint64_t refresh_sim_nanos = 0;
+  {
+    // The refresh's charges get their own tee, like a query's: reported
+    // sim_io_nanos (and a deadline, when armed) measure this refresh alone.
+    SimDisk::QueryTimeScope qscope(&refresh_sim_nanos);
+    if (ts.sim_deadline_nanos != 0 || ts.wall_deadline_nanos != 0) {
+      qctx.Start(disk_->stats().sim_nanos);
+      qctx.AttachSimCounter(&refresh_sim_nanos);
+      sopts.qctx = &qctx;
+    }
+    DEX_ASSIGN_OR_RETURN(scan,
+                         stage1_->Scan(repo_root_, &baseline, sopts, &sstats));
+  }
   stats.scan_nanos = NowNanos() - t0;
   stats.files_added = sstats.files_added;
   stats.files_changed = sstats.files_changed;
@@ -487,7 +525,7 @@ Result<RefreshStats> Database::Refresh() {
     stats.warnings.push_back("(" + std::to_string(sstats.warnings_dropped) +
                              " more warnings dropped)");
   }
-  stats.sim_io_nanos = disk_->stats().sim_nanos - sim0;
+  stats.sim_io_nanos = refresh_sim_nanos;
 
   // Adopt the merged metadata wholesale: F and R describe exactly what is on
   // disk now (modulo deadline-skipped files held at their stale rows).
@@ -495,26 +533,55 @@ Result<RefreshStats> Database::Refresh() {
   // but are unreachable through metadata.
   DEX_ASSIGN_OR_RETURN(TablePtr new_f, BuildFileTable(scan));
   DEX_ASSIGN_OR_RETURN(TablePtr new_r, BuildRecordTable(scan));
-  DEX_RETURN_NOT_OK(catalog_->ReplaceTable(std::move(new_f)));
-  DEX_RETURN_NOT_OK(catalog_->ReplaceTable(std::move(new_r)));
-  // Quarantine decisions made by the scan become queryable immediately.
-  DEX_RETURN_NOT_OK(SyncQuarantineTable());
+  {
+    // Copy-on-write publish. The clone source is the epoch current *now*
+    // (under the publish lock), not the scan's baseline pin — a quarantine
+    // publish that slipped in between is preserved.
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    std::unique_ptr<Catalog> next = pinned_latest_->catalog->Clone();
+    DEX_RETURN_NOT_OK(next->ReplaceTable(std::move(new_f)));
+    DEX_RETURN_NOT_OK(next->ReplaceTable(std::move(new_r)));
+    // Quarantine decisions made by the scan become queryable in the same
+    // epoch (folded here, under the same lock, to publish once not twice).
+    if (registry_->health_version() != quarantine_table_version_) {
+      DEX_ASSIGN_OR_RETURN(TablePtr q_table,
+                           registry_->BuildQuarantineTable());
+      DEX_RETURN_NOT_OK(next->ReplaceTable(std::move(q_table)));
+      quarantine_table_version_ = registry_->health_version();
+    }
+    pinned_latest_ = epochs_->Publish(std::move(next));
+    stats.epoch = pinned_latest_->id;
+  }
   open_stats_.num_files = scan.files.size();
   open_stats_.num_records = scan.records.size();
   span.AddArg("files_scanned", static_cast<uint64_t>(stats.files_scanned));
   span.AddArg("files_reused", static_cast<uint64_t>(stats.files_reused));
+  span.AddArg("epoch", stats.epoch);
   PublishRefreshMetrics(stats);
   PublishIoMetrics(disk_->stats());
   return stats;
 }
 
+Result<CoverageStats> Database::AnalyzeCoverage() {
+  // Copy-on-write like every metadata mutation: derive GAPS/OVERLAPS into a
+  // clone of the latest epoch and publish it. In-flight queries keep their
+  // pinned (possibly GAPS-less) snapshots.
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  std::unique_ptr<Catalog> next = pinned_latest_->catalog->Clone();
+  DEX_ASSIGN_OR_RETURN(CoverageStats stats, dex::AnalyzeCoverage(next.get()));
+  pinned_latest_ = epochs_->Publish(std::move(next));
+  return stats;
+}
+
 Result<std::string> Database::Explain(const std::string& sql) {
-  DEX_ASSIGN_OR_RETURN(PlanPtr plan, sql::PlanQuery(sql, *catalog_));
+  const EpochPtr pinned = epochs_->Pin();
+  const Catalog& catalog = *pinned->catalog;
+  DEX_ASSIGN_OR_RETURN(PlanPtr plan, sql::PlanQuery(sql, catalog));
   std::string out = "-- initial plan --\n" + plan->ToString();
-  DEX_ASSIGN_OR_RETURN(plan, PushDownPredicates(plan, *catalog_));
+  DEX_ASSIGN_OR_RETURN(plan, PushDownPredicates(plan, catalog));
   out += "-- after predicate pushdown --\n" + plan->ToString();
   if (options_.mode == IngestionMode::kLazy) {
-    DEX_ASSIGN_OR_RETURN(SplitResult split, SplitPlan(plan, *catalog_));
+    DEX_ASSIGN_OR_RETURN(SplitResult split, SplitPlan(plan, catalog));
     if (split.qf != nullptr) {
       out += "-- after two-stage decomposition (StageBreak marks Q_f) --\n" +
              split.plan->ToString();

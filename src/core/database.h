@@ -2,12 +2,14 @@
 #define DEX_CORE_DATABASE_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "core/cache_manager.h"
+#include "core/catalog_epoch.h"
 #include "core/coverage.h"
 #include "core/derived_metadata.h"
 #include "core/eager_loader.h"
@@ -16,6 +18,7 @@
 #include "core/mounter.h"
 #include "core/stage1_scan.h"
 #include "core/two_stage.h"
+#include "exec/thread_pool.h"
 #include "io/sim_disk.h"
 #include "storage/catalog.h"
 
@@ -46,6 +49,13 @@ struct DatabaseOptions {
   // simulated I/O are bit-identical at any value (DESIGN.md §8.9); only
   // wall time and the reported critical path change.
   size_t stage1_threads = 0;
+
+  // Real threads in the database-wide worker pool every query's mount tasks
+  // (and every refresh's scan tasks) run on. 0 = hardware concurrency. The
+  // pool size never affects results or charged simulated time — per-query
+  // `num_threads`/`stage1_threads` drive the deterministic lane counts; this
+  // only bounds physical parallelism across concurrent queries.
+  size_t pool_threads = 0;
 
   // Collect derived metadata as a side effect of mounting (§5).
   bool collect_derived_metadata = false;
@@ -102,10 +112,16 @@ struct OpenStats {
 struct QueryStats {
   uint64_t plan_nanos = 0;      // parse + bind + compile-time optimization
   uint64_t exec_nanos = 0;      // both stages, CPU
-  uint64_t sim_io_nanos = 0;    // simulated I/O stalls
+  /// Simulated I/O stalls charged by *this query* (its own per-query tee of
+  /// the shared clock) — independent of what concurrent queries charge.
+  uint64_t sim_io_nanos = 0;
   TwoStageStats two_stage;      // stage split details (kLazy)
   Mounter::MountCounters mount; // decode work done by ALi
   uint64_t result_rows = 0;
+
+  /// Id of the catalog epoch this query ran against (snapshot isolation: the
+  /// epoch current at admission, unaffected by concurrent Refresh).
+  uint64_t epoch = 0;
 
   // Fault tolerance (kLazy; mirrors the per-query slice of
   // Mounter::MountCounters for direct access).
@@ -150,6 +166,11 @@ struct RefreshStats {
   uint64_t serial_sim_nanos = 0;    // scan stall time, summed over tasks
   uint64_t parallel_sim_nanos = 0;  // critical path over `workers` lanes
 
+  /// Id of the catalog epoch this refresh published. Queries admitted before
+  /// the publish keep reading their pinned pre-refresh epoch; queries
+  /// admitted after see this one.
+  uint64_t epoch = 0;
+
   // -- Governance (a deadline armed during Refresh) -----------------------
   bool is_partial = false;            // the deadline stopped the scan early
   size_t files_skipped_deadline = 0;  // files left at their stale rows
@@ -160,20 +181,28 @@ struct RefreshStats {
 
 /// \brief Per-query knobs for Database::Query — the single query entry
 /// point. Each optional overrides the database-wide TwoStageOptions value
-/// for this query only (the database defaults are restored afterwards);
-/// nullopt inherits the current default. See the shell's `.timeout` /
-/// `.memlimit` / `--threads` for the session-wide equivalents.
+/// for this query only (the database defaults are never mutated); nullopt
+/// inherits the current default. See the shell's `.timeout` / `.memlimit` /
+/// `--threads` for the session-wide equivalents.
 struct QueryOptions {
-  /// Simulated-time deadline in nanoseconds (0 = off). Deterministic.
+  /// Simulated-time deadline in nanoseconds (0 = off), measured on the
+  /// query's own simulated timeline. Deterministic even under concurrency.
   std::optional<uint64_t> sim_deadline_nanos;
   /// Wall-clock deadline in nanoseconds (0 = off). Nondeterministic.
   std::optional<uint64_t> wall_deadline_nanos;
-  /// Memory budget in bytes (0 = unlimited) for this query's admissions.
+  /// Per-query memory cap in bytes (0 = unlimited), layered on top of the
+  /// database-wide budget: this query's admissions must fit under both.
+  /// Other queries are unaffected (the shared budget is never resized).
   std::optional<uint64_t> memory_budget_bytes;
   /// Deadline/budget exhaustion policy (default kPartialResults).
   std::optional<OnResourceExhausted> on_resource_exhausted;
   /// Stage-2 ingestion worker lanes (0 = hardware concurrency, 1 = serial).
   std::optional<size_t> num_threads;
+  /// Worker-pool priority class (ThreadPool::kPriorityBackground/Normal/
+  /// Interactive) for this query's mount tasks on the shared pool. Higher
+  /// classes are picked first; a deterministic anti-starvation rule keeps
+  /// lower classes draining.
+  int priority = ThreadPool::kPriorityNormal;
   /// Stage-boundary callback: sees the informativeness estimate after stage
   /// 1 and may abort; with two_stage.mount_batch_size > 0 it is also called
   /// between ingestion batches (multi-stage execution).
@@ -194,6 +223,14 @@ struct QueryOptions {
 /// auto res = (*db)->Query("SELECT AVG(D.sample_value) FROM F JOIN R ON ...");
 /// std::cout << res->table->ToString();
 /// ```
+///
+/// Concurrency: Query() is safe to call from multiple threads. Each query
+/// pins the catalog epoch current at submission and runs against that
+/// snapshot; Refresh()/AnalyzeCoverage()/quarantine sync publish *new*
+/// epochs copy-on-write, so metadata mutation never races a reader. Shared
+/// mutable collaborators (disk, registry, cache, memory budget, metrics)
+/// synchronize internally. The admission/fairness layer on top lives in
+/// serve::SessionManager.
 class Database {
  public:
   /// Opens `repo_root`: scans metadata (always), and under kEager also loads
@@ -205,29 +242,20 @@ class Database {
   Database& operator=(const Database&) = delete;
 
   /// Runs one SELECT statement — the single query entry point. `options`
-  /// carries every per-query knob (deadlines, memory budget, worker lanes,
-  /// breakpoint callback, cancel token, tracing); the defaults inherit the
-  /// database-wide settings. `EXPLAIN SELECT ...` and `EXPLAIN ANALYZE
-  /// SELECT ...` are handled here too: both return the plan as a one-column
-  /// "QUERY PLAN" table; ANALYZE actually executes the query and annotates
-  /// every operator with its measured rows/batches/wall time.
+  /// carries every per-query knob (deadlines, memory cap, worker lanes,
+  /// priority, breakpoint callback, cancel token, tracing); the defaults
+  /// inherit the database-wide settings. `EXPLAIN SELECT ...` and `EXPLAIN
+  /// ANALYZE SELECT ...` are handled here too: both return the plan as a
+  /// one-column "QUERY PLAN" table; ANALYZE actually executes the query and
+  /// annotates every operator with its measured rows/batches/wall time.
   Result<QueryResult> Query(const std::string& sql,
                             const QueryOptions& options = QueryOptions{});
 
-  /// \deprecated Shim over Query(sql, {.breakpoint = callback}).
-  [[deprecated(
-      "use Query(sql, QueryOptions) with the `breakpoint` field; QueryOptions "
-      "is the single per-query knob surface")]]
-  Result<QueryResult> QueryInteractive(const std::string& sql,
-                                       const BreakpointCallback& callback);
-
-  /// \deprecated Shim over Query(sql, {.cancel = cancel, .breakpoint = cb}).
-  [[deprecated(
-      "use Query(sql, QueryOptions) with the `cancel` field; QueryOptions is "
-      "the single per-query knob surface")]]
-  Result<QueryResult> QueryCancellable(const std::string& sql,
-                                       CancelToken* cancel,
-                                       const BreakpointCallback& callback = nullptr);
+  /// Like Query(sql, options) but against a caller-pinned epoch — the
+  /// serving layer pins at admission time, possibly long before the query
+  /// gets to run (snapshot-at-submission semantics across a wait queue).
+  Result<QueryResult> Query(const std::string& sql, const QueryOptions& options,
+                            EpochPtr epoch);
 
   /// EXPLAIN: the optimized plan and, in lazy mode, its Q_f/Q_s split.
   Result<std::string> Explain(const std::string& sql);
@@ -244,20 +272,33 @@ class Database {
   /// worker count. A sim/wall deadline set via `.timeout`/the runtime
   /// setters governs the scan too: it stops admitting header parses on
   /// expiry and returns a deterministic partial refresh (`is_partial`,
-  /// `files_skipped_deadline`). Eager mode would need a data reload and
-  /// returns NotImplemented.
+  /// `files_skipped_deadline`).
+  ///
+  /// Under concurrent serving a refresh is snapshot-isolated: it clones the
+  /// current catalog, mutates the private clone, and atomically publishes it
+  /// as a new epoch. In-flight queries keep reading their pinned pre-refresh
+  /// epoch to completion; queries admitted after the publish see the new
+  /// one. Eager mode would need a data reload and returns NotImplemented.
   Result<RefreshStats> Refresh();
 
   /// Derives GAPS/OVERLAPS tables from the record metadata (paper §5's
   /// "analyzed data" kind of derived metadata) and registers them as
-  /// queryable metadata tables. Re-run after Refresh() to update them.
-  Result<CoverageStats> AnalyzeCoverage() {
-    return dex::AnalyzeCoverage(catalog_.get());
-  }
+  /// queryable metadata tables (published as a new epoch, like Refresh).
+  /// Re-run after Refresh() to update them.
+  Result<CoverageStats> AnalyzeCoverage();
 
   /// Evicts the buffer pool — the next query runs "cold", as after a server
   /// restart with all buffers flushed.
   void FlushBuffers() { disk_->FlushAll(); }
+
+  // -- Epochs (snapshot isolation) ----------------------------------------
+  /// Pins the current catalog epoch. The serving layer calls this at
+  /// admission and passes the pin to Query(sql, options, epoch).
+  EpochPtr PinEpoch() const { return epochs_->Pin(); }
+  /// Id of the current epoch (starts at 0, +1 per publish).
+  uint64_t current_epoch() const { return epochs_->current_id(); }
+  /// Superseded epochs whose last pin has dropped.
+  uint64_t epochs_retired() const { return epochs_->epochs_retired(); }
 
   // -- Resource governance (runtime knobs; see TwoStageOptions) -----------
   /// Per-query simulated-time deadline (0 = off). Shell: `.timeout`.
@@ -274,34 +315,43 @@ class Database {
   /// The database-wide budget mounted partial tables and cache entries
   /// reserve against (tracks usage even when unlimited).
   MemoryBudget* memory_budget() { return memory_budget_.get(); }
-  Catalog* catalog() { return catalog_.get(); }
+  /// The latest published catalog — introspection between operations, not a
+  /// stable snapshot: the pointer is valid only until the next publish
+  /// (Refresh/AnalyzeCoverage/quarantine sync). Queries pin an epoch instead.
+  Catalog* catalog() {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    return pinned_latest_->catalog.get();
+  }
   SimDisk* disk() { return disk_.get(); }
   CacheManager* cache() { return cache_.get(); }
   FileRegistry* registry() { return registry_.get(); }
   DerivedMetadata* derived_metadata() { return derived_.get(); }
   FormatAdapter* format() { return format_.get(); }
+  /// The database-wide worker pool (mount tasks, refresh scan tasks).
+  ThreadPool* pool() { return pool_.get(); }
   const DatabaseOptions& options() const { return options_; }
 
  private:
   explicit Database(DatabaseOptions options);
 
   Result<QueryResult> RunQuery(const std::string& sql,
-                               const QueryOptions& options,
+                               const QueryOptions& options, EpochPtr epoch,
                                PlanProfiler* profiler = nullptr);
 
   /// EXPLAIN ANALYZE body: runs `sql` under a profiler and replaces the
   /// result table with the annotated plan rendering.
   Result<QueryResult> RunExplainAnalyze(const std::string& sql,
-                                        const QueryOptions& options);
+                                        const QueryOptions& options,
+                                        EpochPtr epoch);
 
-  /// Rebuilds the QUARANTINE metadata table if registry health changed.
+  /// Publishes a new epoch with a rebuilt QUARANTINE metadata table if
+  /// registry health changed since the last publish.
   Status SyncQuarantineTable();
 
   DatabaseOptions options_;
   std::string repo_root_;
   std::shared_ptr<FormatAdapter> format_;
   std::unique_ptr<SimDisk> disk_;
-  std::unique_ptr<Catalog> catalog_;
   std::unique_ptr<FileRegistry> registry_;
   std::unique_ptr<CacheManager> cache_;
   // Database-wide: outlives any one query because cache entries keep their
@@ -309,12 +359,34 @@ class Database {
   std::unique_ptr<MemoryBudget> memory_budget_;
   std::unique_ptr<DerivedMetadata> derived_;
   std::unique_ptr<Mounter> mounter_;
+  // The shared worker pool all queries' mount tasks (and refresh scans)
+  // run on, with per-query priority classes. Destroyed after the executors.
+  std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<TwoStageExecutor> two_stage_;
-  // Stage-1 scan driver, shared by Open() and every Refresh() (keeps its
-  // worker pool warm between refreshes).
+  // Stage-1 scan driver, shared by Open() and every Refresh().
   std::unique_ptr<Stage1Scanner> stage1_;
+
+  // -- Epochs -------------------------------------------------------------
+  std::unique_ptr<EpochManager> epochs_;
+  // Serializes copy-on-write publishes (quarantine sync, Refresh's swap,
+  // AnalyzeCoverage) and guards pinned_latest_/quarantine_table_version_.
+  std::mutex publish_mu_;
+  // Pin on the latest published epoch: backs the raw `catalog()` accessor
+  // and is the clone source for the next publish. Never null after Open.
+  EpochPtr pinned_latest_;
+  // Pin on epoch 0 for the Database's lifetime: two_stage_ holds a raw
+  // default-catalog pointer into it (unused when every Execute passes a
+  // QueryEnv, but kept valid for direct use).
+  EpochPtr initial_epoch_;
+  // Serializes whole refreshes (scan + publish) against each other.
+  std::mutex refresh_mu_;
+  // Guards the database-wide TwoStageOptions defaults (runtime setters vs
+  // concurrent queries snapshotting their effective options).
+  std::mutex options_mu_;
+
   OpenStats open_stats_;
   // Registry health version the QUARANTINE metadata table last reflected.
+  // Guarded by publish_mu_.
   uint64_t quarantine_table_version_ = 0;
 };
 

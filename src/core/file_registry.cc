@@ -14,6 +14,7 @@ SchemaPtr MakeQuarantineSchema() {
 
 Status FileRegistry::Add(const std::string& uri, uint64_t size_bytes,
                          int64_t mtime_ms) {
+  std::lock_guard<std::mutex> lock(entries_mu_);
   if (entries_.count(uri) > 0) {
     return Status::AlreadyExists("file '" + uri + "' already registered");
   }
@@ -28,21 +29,26 @@ Status FileRegistry::Add(const std::string& uri, uint64_t size_bytes,
 
 Status FileRegistry::Update(const std::string& uri, uint64_t size_bytes,
                             int64_t mtime_ms) {
-  auto it = entries_.find(uri);
-  if (it == entries_.end()) {
-    return Status::NotFound("file '" + uri + "' is not registered");
+  {
+    std::lock_guard<std::mutex> lock(entries_mu_);
+    auto it = entries_.find(uri);
+    if (it == entries_.end()) {
+      return Status::NotFound("file '" + uri + "' is not registered");
+    }
+    total_bytes_ += size_bytes - it->second.size_bytes;
+    DEX_RETURN_NOT_OK(disk_->Resize(it->second.object, size_bytes));
+    it->second.size_bytes = size_bytes;
+    it->second.mtime_ms = mtime_ms;
   }
-  total_bytes_ += size_bytes - it->second.size_bytes;
-  DEX_RETURN_NOT_OK(disk_->Resize(it->second.object, size_bytes));
-  it->second.size_bytes = size_bytes;
-  it->second.mtime_ms = mtime_ms;
   // The file changed on disk: give it a fresh chance (the operator may have
-  // replaced a broken file with a repaired copy).
+  // replaced a broken file with a repaired copy). Outside entries_mu_ —
+  // health has its own lock.
   Unquarantine(uri);
   return Status::OK();
 }
 
 Result<FileRegistry::Entry> FileRegistry::Get(const std::string& uri) const {
+  std::lock_guard<std::mutex> lock(entries_mu_);
   auto it = entries_.find(uri);
   if (it == entries_.end()) {
     return Status::NotFound("file '" + uri + "' is not in the repository");
@@ -108,6 +114,8 @@ Result<TablePtr> FileRegistry::BuildQuarantineTable() const {
 
 std::vector<std::string> FileRegistry::AllUris() const {
   std::vector<std::string> out;
+  // Lock order: entries before health (the only place both are held).
+  std::lock_guard<std::mutex> entries_lock(entries_mu_);
   out.reserve(entries_.size());
   std::lock_guard<std::mutex> lock(health_mu_);
   for (const auto& [uri, entry] : entries_) {

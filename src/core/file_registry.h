@@ -35,10 +35,12 @@ SchemaPtr MakeQuarantineSchema();
 /// bad disk sector cannot keep failing queries over the other thousand
 /// files.
 ///
-/// Thread-safety: the entry map is only mutated by Open()/Refresh() on the
-/// coordinating thread, never during query execution, so lookups are
-/// lock-free. The *health* state is mutated by mount tasks (quarantine,
-/// transient-error bookkeeping) and is guarded by its own mutex.
+/// Thread-safety: fully internally synchronized. The entry map is guarded by
+/// `entries_mu_` — under concurrent serving a Refresh() can Add/Update
+/// entries while in-flight queries look files up — and the *health* state
+/// (mutated by mount tasks: quarantine, transient-error bookkeeping) by its
+/// own `health_mu_`. Lock order where both are needed: entries before
+/// health; no method calls out while holding either.
 class FileRegistry {
  public:
   explicit FileRegistry(SimDisk* disk) : disk_(disk) {}
@@ -61,7 +63,10 @@ class FileRegistry {
   /// Refreshes size/mtime of a known file (it changed on disk).
   Status Update(const std::string& uri, uint64_t size_bytes, int64_t mtime_ms);
   Result<Entry> Get(const std::string& uri) const;
-  bool Contains(const std::string& uri) const { return entries_.count(uri) > 0; }
+  bool Contains(const std::string& uri) const {
+    std::lock_guard<std::mutex> lock(entries_mu_);
+    return entries_.count(uri) > 0;
+  }
 
   /// Charges a full sequential read of the file (what a mount costs on the
   /// simulated medium).
@@ -98,14 +103,21 @@ class FileRegistry {
   /// All registered, non-quarantined URIs in sorted order.
   std::vector<std::string> AllUris() const;
 
-  size_t size() const { return entries_.size(); }
-  uint64_t total_bytes() const { return total_bytes_; }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(entries_mu_);
+    return entries_.size();
+  }
+  uint64_t total_bytes() const {
+    std::lock_guard<std::mutex> lock(entries_mu_);
+    return total_bytes_;
+  }
   SimDisk* disk() const { return disk_; }
 
  private:
   SimDisk* disk_;
-  std::map<std::string, Entry> entries_;  // mutated only between queries
-  uint64_t total_bytes_ = 0;
+  mutable std::mutex entries_mu_;
+  std::map<std::string, Entry> entries_;  // guarded by entries_mu_
+  uint64_t total_bytes_ = 0;              // guarded by entries_mu_
   // Health state below is shared with concurrent mount tasks.
   mutable std::mutex health_mu_;
   std::map<std::string, Health> health_;

@@ -11,7 +11,6 @@
 #include "core/format_adapter.h"
 #include "engine/expr.h"
 #include "exec/query_context.h"
-#include "storage/catalog.h"
 
 namespace dex {
 
@@ -91,12 +90,11 @@ class Mounter {
     void MergeFrom(const MountOutcome& o);
   };
 
-  Mounter(Catalog* catalog, FileRegistry* registry, CacheManager* cache,
+  Mounter(FileRegistry* registry, CacheManager* cache,
           DerivedMetadata* derived, FormatAdapter* format,
           OnMountError on_error = OnMountError::kSalvage,
           MountRetryPolicy retry = MountRetryPolicy{})
-      : catalog_(catalog),
-        registry_(registry),
+      : registry_(registry),
         cache_(cache),
         derived_(derived),
         format_(format),
@@ -140,7 +138,6 @@ class Mounter {
 
   static void AddWarning(MountOutcome* outcome, std::string msg);
 
-  Catalog* catalog_;
   FileRegistry* registry_;
   CacheManager* cache_;
   DerivedMetadata* derived_;  // may be null (collection disabled)

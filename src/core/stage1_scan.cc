@@ -118,6 +118,9 @@ Status ScanOne(FormatAdapter* format, FileRegistry* registry,
 }  // namespace
 
 ThreadPool* Stage1Scanner::Pool(size_t workers) {
+  // The shared database-wide pool wins: `workers` then only drives how many
+  // lanes the deterministic schedule aggregates over, not real thread count.
+  if (shared_pool_ != nullptr) return shared_pool_;
   if (pool_ == nullptr || pool_->num_threads() != workers) {
     pool_ = std::make_unique<ThreadPool>(workers);
   }
@@ -214,7 +217,11 @@ Result<mseed::ScanResult> Stage1Scanner::Scan(const std::string& root,
     for (size_t w = 0; w < work.size(); ++w) {
       FilePlan& plan = plans[work[w]];
       DEX_RETURN_NOT_OK(options.qctx->CheckInterrupt());
-      if (options.qctx->DeadlineExpired(disk->stats().sim_nanos)) {
+      // The deadline is measured on the scan's own timeline (sim_now falls
+      // back to the global clock when no per-query counter is attached), so
+      // concurrent queries charging the shared clock cannot move the cutoff.
+      if (options.qctx->DeadlineExpired(
+              options.qctx->sim_now(disk->stats().sim_nanos))) {
         stats->is_partial = true;
         for (size_t rest = w; rest < work.size(); ++rest) {
           FilePlan& skipped = plans[work[rest]];
@@ -232,9 +239,15 @@ Result<mseed::ScanResult> Stage1Scanner::Scan(const std::string& root,
             registry_->Add(*plan.uri, plan.size_bytes, plan.mtime_ms));
       }
       plan.task = w;
-      const uint64_t sim_before = disk->stats().sim_nanos;
-      DEX_RETURN_NOT_OK(ScanOne(format_, registry_, plan, options, &slots[w]));
-      slots[w].sim_nanos = disk->stats().sim_nanos - sim_before;
+      {
+        // Bucket this admission's charges, then fold them onto the global
+        // clock as one delay: the measured per-file cost cannot be polluted
+        // by whatever concurrent queries charge to the shared clock.
+        SimDisk::TaskTimeScope scope(&slots[w].sim_nanos);
+        DEX_RETURN_NOT_OK(
+            ScanOne(format_, registry_, plan, options, &slots[w]));
+      }
+      disk->ChargeDelay(slots[w].sim_nanos);
       stats->serial_sim_nanos += slots[w].sim_nanos;
     }
     stats->parallel_sim_nanos = stats->serial_sim_nanos;
@@ -257,7 +270,7 @@ Result<mseed::ScanResult> Stage1Scanner::Scan(const std::string& root,
             registry_->Add(*plan.uri, plan.size_bytes, plan.mtime_ms));
       }
     }
-    TaskGroup group(workers > 1 ? Pool(workers) : nullptr);
+    TaskGroup group(workers > 1 ? Pool(workers) : nullptr, options.priority);
     for (size_t w = 0; w < work.size(); ++w) {
       const FilePlan* plan = &plans[work[w]];
       TaskSlot* slot = &slots[w];

@@ -37,8 +37,14 @@ struct Stage1Options {
   /// admitting header parses on expiry: files not yet scanned keep their
   /// stale baseline metadata when they have one, and are counted in
   /// `files_skipped_deadline` either way. A cancel token is honored in both
-  /// modes.
+  /// modes. The deadline is measured on the context's per-query timeline
+  /// (QueryContext::sim_now), so concurrent queries charging the shared
+  /// clock cannot shift this scan's cutoff.
   QueryContext* qctx = nullptr;
+
+  /// Worker-pool priority class for the scan's header-parse tasks (only
+  /// meaningful on a shared pool; a private pool runs one scan at a time).
+  int priority = ThreadPool::kPriorityNormal;
 };
 
 /// \brief What one stage-1 scan did. Every field is a pure function of the
@@ -85,8 +91,13 @@ struct Stage1Stats {
 /// are therefore bit-identical at any worker count.
 class Stage1Scanner {
  public:
-  Stage1Scanner(FormatAdapter* format, FileRegistry* registry)
-      : format_(format), registry_(registry) {}
+  /// `shared_pool`, when non-null, runs the scan's tasks on the database-wide
+  /// pool (with Stage1Options::priority) instead of a private one, so a
+  /// Refresh competes for workers with in-flight queries rather than
+  /// oversubscribing the machine. The deterministic time model is unaffected.
+  Stage1Scanner(FormatAdapter* format, FileRegistry* registry,
+                ThreadPool* shared_pool = nullptr)
+      : format_(format), registry_(registry), shared_pool_(shared_pool) {}
 
   /// Scans `root`. `baseline`, when non-null, lets unchanged files (same
   /// size and mtime) skip the header parse and reuse their old metadata.
@@ -97,11 +108,13 @@ class Stage1Scanner {
                                  Stage1Stats* stats);
 
  private:
-  /// The cached worker pool, (re)built to `workers` threads when needed.
+  /// The shared pool when one was injected, else a cached private pool
+  /// (re)built to `workers` threads when needed.
   ThreadPool* Pool(size_t workers);
 
   FormatAdapter* format_;
   FileRegistry* registry_;
+  ThreadPool* shared_pool_;  // not owned; may be null
   std::unique_ptr<ThreadPool> pool_;
 };
 

@@ -96,13 +96,14 @@ ExprPtr TwoStageExecutor::FindActualScanPredicate(const PlanPtr& plan,
 }
 
 Result<std::vector<FileDecision>> TwoStageExecutor::DecideFiles(
-    const std::vector<std::string>& files, const ExprPtr& d_predicate) {
+    const std::vector<std::string>& files, const ExprPtr& d_predicate,
+    const TwoStageOptions& opts) {
   const std::string pred_repr =
       d_predicate == nullptr ? "" : d_predicate->ToString();
   const CachedWindow query_window = SummarizeTimeWindow(d_predicate);
   double value_lo = 0, value_hi = 0;
   const bool value_bounded =
-      options_.use_derived_pruning && derived_ != nullptr &&
+      opts.use_derived_pruning && derived_ != nullptr &&
       ExtractBounds(d_predicate, "sample_value", &value_lo, &value_hi);
 
   std::vector<FileDecision> decisions;
@@ -130,9 +131,10 @@ Result<std::vector<FileDecision>> TwoStageExecutor::DecideFiles(
   return decisions;
 }
 
-Result<PlanPtr> TwoStageExecutor::RewriteStage2(
+Result<PlanPtr> TwoStageExecutor::RewriteStage2Impl(
     const PlanPtr& split_plan, const std::string& qf_result_id,
-    const std::vector<FileDecision>& decisions, PlanPtr* union_node_out) {
+    const std::vector<FileDecision>& decisions, PlanPtr* union_node_out,
+    Catalog* catalog, const TwoStageOptions& opts) {
   // Builds the union replacing one actual-table scan. `pred` is the
   // selection that sat on the scan (may be null).
   auto build_union = [&](const std::string& table_name,
@@ -144,7 +146,7 @@ Result<PlanPtr> TwoStageExecutor::RewriteStage2(
           break;
         case FileDecision::Action::kCacheScan: {
           PlanPtr node = MakeCacheScan(table_name, d.uri);
-          if (pred != nullptr && options_.push_selection_into_union) {
+          if (pred != nullptr && opts.push_selection_into_union) {
             node = MakeFilter(pred, std::move(node));  // σ(cache-scan(f))
           }
           branches.push_back(std::move(node));
@@ -152,7 +154,7 @@ Result<PlanPtr> TwoStageExecutor::RewriteStage2(
         }
         case FileDecision::Action::kMount: {
           PlanPtr node = MakeMount(table_name, d.uri);
-          if (pred != nullptr && options_.push_selection_into_union) {
+          if (pred != nullptr && opts.push_selection_into_union) {
             node->predicate = pred;  // combined select-mount access path
           }
           branches.push_back(std::move(node));
@@ -170,7 +172,7 @@ Result<PlanPtr> TwoStageExecutor::RewriteStage2(
       result = MakeUnion(std::move(branches));
     }
     if (union_node_out != nullptr) *union_node_out = result;
-    if (pred != nullptr && !options_.push_selection_into_union) {
+    if (pred != nullptr && !opts.push_selection_into_union) {
       result = MakeFilter(pred, std::move(result));
     }
     return result;
@@ -184,13 +186,13 @@ Result<PlanPtr> TwoStageExecutor::RewriteStage2(
     // σ_p(scan(a)) and bare scan(a) both expand via rewrite rule (1).
     if (node->kind == PlanKind::kFilter &&
         node->children[0]->kind == PlanKind::kScan) {
-      auto kind = catalog_->GetKind(node->children[0]->table_name);
+      auto kind = catalog->GetKind(node->children[0]->table_name);
       if (kind.ok() && *kind == TableKind::kActual) {
         return build_union(node->children[0]->table_name, node->predicate);
       }
     }
     if (node->kind == PlanKind::kScan) {
-      auto kind = catalog_->GetKind(node->table_name);
+      auto kind = catalog->GetKind(node->table_name);
       if (kind.ok() && *kind == TableKind::kActual) {
         return build_union(node->table_name, nullptr);
       }
@@ -206,7 +208,7 @@ Result<PlanPtr> TwoStageExecutor::RewriteStage2(
 
   DEX_ASSIGN_OR_RETURN(PlanPtr rewritten, transform(split_plan));
 
-  if (options_.distribute_join_over_union) {
+  if (opts.distribute_join_over_union) {
     // Strategy (b): Join(∪ b_i, X) → ∪ Join(b_i, X) — run the join per
     // mounted sub-table, then merge the results.
     std::function<PlanPtr(const PlanPtr&)> distribute =
@@ -232,6 +234,10 @@ Result<PlanPtr> TwoStageExecutor::RewriteStage2(
 }
 
 ThreadPool* TwoStageExecutor::Pool(size_t workers) {
+  // A shared pool serves every query at its real size; `workers` only drives
+  // the deterministic lane count in ListScheduleSimTimes, never the number
+  // of OS threads actually running tasks.
+  if (shared_pool_ != nullptr) return shared_pool_;
   if (pool_ == nullptr || pool_->num_threads() != workers) {
     pool_ = std::make_unique<ThreadPool>(workers);
   }
@@ -239,7 +245,7 @@ ThreadPool* TwoStageExecutor::Pool(size_t workers) {
 }
 
 Status TwoStageExecutor::PremountUnion(const PlanPtr& union_node, size_t workers,
-                                       TwoStageStats* stats,
+                                       int priority, TwoStageStats* stats,
                                        PremountMap* premounted,
                                        QueryContext* qctx) {
   if (qctx != nullptr && qctx->has_limits()) {
@@ -269,7 +275,7 @@ Status TwoStageExecutor::PremountUnion(const PlanPtr& union_node, size_t workers
     uint64_t sim_nanos = 0;
   };
   std::vector<TaskResult> results(mounts.size());
-  TaskGroup group(Pool(workers));
+  TaskGroup group(Pool(workers), priority);
   for (size_t i = 0; i < mounts.size(); ++i) {
     const LogicalPlan* node = mounts[i];
     TaskResult* slot = &results[i];
@@ -327,14 +333,24 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
                                            const BreakpointCallback& callback,
                                            TwoStageStats* stats,
                                            PlanProfiler* profiler,
-                                           QueryContext* qctx) {
+                                           QueryContext* qctx,
+                                           const QueryEnv* env) {
   DEX_CHECK(stats != nullptr);
-  DEX_ASSIGN_OR_RETURN(SplitResult split, SplitPlan(plan, *catalog_));
+  // The query's own view of the world: its pinned catalog epoch, effective
+  // options, and pool priority. Defaults reproduce the single-query behavior.
+  Catalog* catalog =
+      (env != nullptr && env->catalog != nullptr) ? env->catalog : catalog_;
+  const TwoStageOptions& opts =
+      (env != nullptr && env->options != nullptr) ? *env->options : options_;
+  const int priority = env != nullptr ? env->priority
+                                      : ThreadPool::kPriorityNormal;
+
+  DEX_ASSIGN_OR_RETURN(SplitResult split, SplitPlan(plan, *catalog));
 
   const bool governed = qctx != nullptr && qctx->has_limits();
-  const size_t workers = options_.num_threads == 0
+  const size_t workers = opts.num_threads == 0
                              ? ThreadPool::DefaultConcurrency()
-                             : options_.num_threads;
+                             : opts.num_threads;
   // Governed queries serialize stage-2 admission (PremountUnion is a no-op),
   // so report the effective lane count.
   stats->workers = governed ? 1 : workers;
@@ -377,29 +393,32 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
   };
 
   ExecContext ctx;
-  ctx.catalog = catalog_;
+  ctx.catalog = catalog;
   ctx.profiler = profiler;
   if (qctx != nullptr) {
     // Per-batch cooperative cancellation in the volcano operators. Under
     // kFailQuery a deadline behaves like a cancellation (the whole plan
     // aborts); under kPartialResults it only gates mount admission, so the
-    // plan runs to completion over whatever was admitted.
+    // plan runs to completion over whatever was admitted. Deadlines are
+    // measured on the query's own sim timeline (qctx->sim_now): under
+    // concurrent serving the global clock advances with everyone's I/O.
     SimDisk* disk = registry_->disk();
     const bool fail_on_deadline =
         qctx->has_deadline() &&
-        options_.on_resource_exhausted == OnResourceExhausted::kFailQuery;
+        opts.on_resource_exhausted == OnResourceExhausted::kFailQuery;
     ctx.interrupt_fn = [qctx, disk, fail_on_deadline]() -> Status {
       DEX_RETURN_NOT_OK(qctx->CheckInterrupt());
       if (fail_on_deadline) {
-        const uint64_t sim_now = disk->stats().sim_nanos;
+        const uint64_t sim_now = qctx->sim_now(disk->stats().sim_nanos);
         if (qctx->DeadlineExpired(sim_now)) return qctx->DeadlineStatus(sim_now);
       }
       return Status::OK();
     };
   }
   ctx.mount_fn = [this, stats, premounted, qctx, admission, stop_admission,
-                  governed](const std::string& table, const std::string& uri,
-                            const ExprPtr& pred) -> Result<TablePtr> {
+                  governed, &opts](const std::string& table,
+                                   const std::string& uri,
+                                   const ExprPtr& pred) -> Result<TablePtr> {
     auto it = premounted->find(uri);
     if (it != premounted->end() && it->second.predicate.get() == pred.get()) {
       TablePtr t = std::move(it->second.table);
@@ -423,17 +442,19 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
       return mounted;
     }
     // Governed admission, decided serially in union-branch order against
-    // the global simulated clock: the set of admitted files is the same at
-    // any worker count.
+    // the query's simulated timeline: the set of admitted files is the same
+    // at any worker count — and, with a per-query sim counter attached,
+    // independent of what concurrent queries charge to the global clock.
     if (!admission->stopped) {
-      const uint64_t sim_now = registry_->disk()->stats().sim_nanos;
+      const uint64_t sim_now =
+          qctx->sim_now(registry_->disk()->stats().sim_nanos);
       if (qctx->DeadlineExpired(sim_now)) {
         stop_admission(admission.get(), qctx->DeadlineStatus(sim_now),
                        /*by_memory=*/false, sim_now);
       }
     }
     if (admission->stopped) {
-      if (options_.on_resource_exhausted == OnResourceExhausted::kFailQuery) {
+      if (opts.on_resource_exhausted == OnResourceExhausted::kFailQuery) {
         return admission->reason;
       }
       stats->is_partial = true;
@@ -447,26 +468,41 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
     }
     auto mounted = mounter_->Mount(table, uri, pred, &stats->mount, qctx);
     if (!mounted.ok()) return mounted;
-    // Memory admission: the partial table must fit in the budget. Evict
-    // unpinned cache entries before declaring exhaustion.
+    // Memory admission, two layers: the partial table must fit under the
+    // query's own cap (if any) *and* in the shared budget. Eviction of
+    // unpinned cache entries is tried only for the shared budget — freeing
+    // cache space cannot help a query that exhausted its private cap.
     const uint64_t bytes = (*mounted)->ByteSize();
     MemoryBudget* budget = qctx->memory();
-    bool reserved = budget->TryReserve(bytes);
-    if (!reserved && cache_ != nullptr) {
-      stats->mem_budget_evictions += cache_->EvictUnpinned(bytes);
+    const uint64_t query_cap = qctx->query_memory_limit();
+    const bool over_query_cap =
+        query_cap != 0 && admission->reserved_bytes + bytes > query_cap;
+    bool reserved = false;
+    if (!over_query_cap) {
       reserved = budget->TryReserve(bytes);
+      if (!reserved && cache_ != nullptr) {
+        stats->mem_budget_evictions += cache_->EvictUnpinned(bytes);
+        reserved = budget->TryReserve(bytes);
+      }
     }
     if (!reserved) {
-      const uint64_t sim_now = registry_->disk()->stats().sim_nanos;
+      const uint64_t sim_now =
+          qctx->sim_now(registry_->disk()->stats().sim_nanos);
       stop_admission(
           admission.get(),
-          Status::ResourceExhausted(
-              "memory budget of " + std::to_string(budget->limit()) +
-              " bytes exhausted mounting '" + uri + "' (" +
-              std::to_string(bytes) + " bytes needed, " +
-              std::to_string(budget->used()) + " in use)"),
+          over_query_cap
+              ? Status::ResourceExhausted(
+                    "per-query memory cap of " + std::to_string(query_cap) +
+                    " bytes exhausted mounting '" + uri + "' (" +
+                    std::to_string(bytes) + " bytes needed, " +
+                    std::to_string(admission->reserved_bytes) + " reserved)")
+              : Status::ResourceExhausted(
+                    "memory budget of " + std::to_string(budget->limit()) +
+                    " bytes exhausted mounting '" + uri + "' (" +
+                    std::to_string(bytes) + " bytes needed, " +
+                    std::to_string(budget->used()) + " in use)"),
           /*by_memory=*/true, sim_now);
-      if (options_.on_resource_exhausted == OnResourceExhausted::kFailQuery) {
+      if (opts.on_resource_exhausted == OnResourceExhausted::kFailQuery) {
         return admission->reason;
       }
       // The triggering file's simulated I/O is already charged (the same
@@ -540,9 +576,9 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
   std::optional<obs::TraceSpan> rewrite_span;
   rewrite_span.emplace("rewrite", "query");
   rewrite_span->AddArg("files_of_interest", static_cast<uint64_t>(files.size()));
-  const ExprPtr d_predicate = FindActualScanPredicate(split.plan, *catalog_);
+  const ExprPtr d_predicate = FindActualScanPredicate(split.plan, *catalog);
   DEX_ASSIGN_OR_RETURN(std::vector<FileDecision> decisions,
-                       DecideFiles(files, d_predicate));
+                       DecideFiles(files, d_predicate, opts));
   for (const FileDecision& d : decisions) {
     switch (d.action) {
       case FileDecision::Action::kMount:
@@ -571,13 +607,13 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
   // Informativeness at the breakpoint. The R table backs the estimate when
   // Q_f carries no record-level columns.
   TablePtr record_metadata;
-  if (auto r_table = catalog_->GetTable(kRecordTableName); r_table.ok()) {
+  if (auto r_table = catalog->GetTable(kRecordTableName); r_table.ok()) {
     record_metadata = *r_table;
   }
   DEX_ASSIGN_OR_RETURN(
       stats->breakpoint,
       EstimateInformativeness(qf_result, files, *registry_, cache_, d_predicate,
-                              options_.model, record_metadata));
+                              opts.model, record_metadata));
   stats->breakpoint.files_pruned = stats->files_pruned;
   stats->breakpoint_evaluated = true;
   if (callback != nullptr &&
@@ -587,8 +623,8 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
 
   PlanPtr union_node;
   DEX_ASSIGN_OR_RETURN(PlanPtr stage2_plan,
-                       RewriteStage2(split.plan, kQfResultId, decisions,
-                                     &union_node));
+                       RewriteStage2Impl(split.plan, kQfResultId, decisions,
+                                         &union_node, catalog, opts));
 
   // Named results available to stage 2.
   if (qf_result != nullptr) ctx.named_results[kQfResultId] = qf_result;
@@ -599,7 +635,7 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
     if (node->kind == PlanKind::kResultScan &&
         node->result_id.rfind(kEmptyResultId, 0) == 0) {
       const std::string table = node->result_id.substr(strlen(kEmptyResultId) + 1);
-      DEX_ASSIGN_OR_RETURN(TablePtr base, catalog_->GetTable(table));
+      DEX_ASSIGN_OR_RETURN(TablePtr base, catalog->GetTable(table));
       auto empty = std::make_shared<Table>(table, base->schema());
       ctx.named_results[node->result_id] = empty;
       node->output_schema = base->schema();
@@ -610,7 +646,7 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
     return Status::OK();
   };
   DEX_RETURN_NOT_OK(fix_empties(stage2_plan));
-  DEX_RETURN_NOT_OK(AnalyzePlan(stage2_plan, *catalog_));
+  DEX_RETURN_NOT_OK(AnalyzePlan(stage2_plan, *catalog));
   if (rewrite_span.has_value()) {
     rewrite_span->AddArg("planned_mount",
                          static_cast<uint64_t>(stats->files_planned_mount));
@@ -625,14 +661,14 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
   const uint64_t t2 = NowNanos();
   std::optional<obs::TraceSpan> stage2_span;
   stage2_span.emplace("stage2", "query");
-  const bool batched = options_.mount_batch_size > 0 && union_node != nullptr &&
+  const bool batched = opts.mount_batch_size > 0 && union_node != nullptr &&
                        union_node->kind == PlanKind::kUnion &&
-                       union_node->children.size() > options_.mount_batch_size;
+                       union_node->children.size() > opts.mount_batch_size;
   if (batched) {
     // Ingest the union's branches in batches, with a breakpoint after each.
-    DEX_ASSIGN_OR_RETURN(TablePtr base, catalog_->GetTable(kDataTableName));
+    DEX_ASSIGN_OR_RETURN(TablePtr base, catalog->GetTable(kDataTableName));
     auto buffer = std::make_shared<Table>(kIngestedResultId, base->schema());
-    const size_t batch = options_.mount_batch_size;
+    const size_t batch = opts.mount_batch_size;
     const size_t num_batches =
         (union_node->children.size() + batch - 1) / batch;
     for (size_t b = 0; b < num_batches; ++b) {
@@ -646,13 +682,13 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
               static_cast<long>(std::min((b + 1) * batch,
                                          union_node->children.size())));
       PlanPtr sub = MakeUnion(std::move(group));
-      DEX_RETURN_NOT_OK(AnalyzePlan(sub, *catalog_));
+      DEX_RETURN_NOT_OK(AnalyzePlan(sub, *catalog));
       obs::TraceSpan batch_span("ingest_batch", "query");
       batch_span.AddArg("batch", static_cast<uint64_t>(b + 1));
       // Parallelism is per ingestion wave: each batch's mounts overlap, the
       // breakpoint between batches stays a clean barrier.
       DEX_RETURN_NOT_OK(
-          PremountUnion(sub, workers, stats, premounted.get(), qctx));
+          PremountUnion(sub, workers, priority, stats, premounted.get(), qctx));
       DEX_ASSIGN_OR_RETURN(TablePtr part, ExecutePlan(sub, &ctx));
       if (profiler != nullptr) {
         profiler->AddRoot("stage 2 ingestion (batch " + std::to_string(b + 1) +
@@ -683,10 +719,10 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
       return copy;
     };
     stage2_plan = splice(stage2_plan);
-    DEX_RETURN_NOT_OK(AnalyzePlan(stage2_plan, *catalog_));
+    DEX_RETURN_NOT_OK(AnalyzePlan(stage2_plan, *catalog));
   } else {
-    DEX_RETURN_NOT_OK(
-        PremountUnion(union_node, workers, stats, premounted.get(), qctx));
+    DEX_RETURN_NOT_OK(PremountUnion(union_node, workers, priority, stats,
+                                    premounted.get(), qctx));
   }
   DEX_ASSIGN_OR_RETURN(TablePtr result, ExecutePlan(stage2_plan, &ctx));
   if (profiler != nullptr) profiler->AddRoot("stage 2", stage2_plan);

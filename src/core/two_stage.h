@@ -152,15 +152,37 @@ struct TwoStageStats {
 /// TwoStageOptions::num_threads).
 class TwoStageExecutor {
  public:
+  /// Per-query execution environment, overriding the executor's defaults for
+  /// one Execute call. Under concurrent serving every query runs against its
+  /// own pinned catalog epoch with its own effective options (the session's
+  /// defaults merged with per-call overrides), so the executor's members —
+  /// shared across queries — must not carry per-query state.
+  struct QueryEnv {
+    /// The query's snapshot catalog (a pinned epoch); null = the executor's
+    /// default catalog. Must stay alive for the whole Execute call.
+    Catalog* catalog = nullptr;
+    /// Effective options for this query; null = the executor's defaults.
+    const TwoStageOptions* options = nullptr;
+    /// Worker-pool priority class for this query's mount tasks.
+    int priority = ThreadPool::kPriorityNormal;
+  };
+
+  /// `shared_pool`, when non-null, is used for stage-2 mount tasks instead
+  /// of a private per-executor pool — the serving layer passes one
+  /// database-wide pool so concurrent queries contend (and are prioritized)
+  /// on the same workers. The deterministic time model is unaffected: charged
+  /// time comes from list-scheduling task buckets onto
+  /// `TwoStageOptions::num_threads` lanes, not from the pool's real size.
   TwoStageExecutor(Catalog* catalog, FileRegistry* registry, CacheManager* cache,
                    Mounter* mounter, DerivedMetadata* derived,
-                   TwoStageOptions options)
+                   TwoStageOptions options, ThreadPool* shared_pool = nullptr)
       : catalog_(catalog),
         registry_(registry),
         cache_(cache),
         mounter_(mounter),
         derived_(derived),
-        options_(options) {}
+        options_(options),
+        shared_pool_(shared_pool) {}
 
   /// Runs `plan` (analyzed, predicates pushed down). `callback` may be null;
   /// when set it is invoked at the stage boundary (and, under multi-stage
@@ -169,10 +191,12 @@ class TwoStageExecutor {
   /// for every executed plan (stage 1, per-batch ingestion, stage 2).
   /// `qctx`, when set, governs the execution: its cancel token is polled per
   /// batch and between ingestion batches, its deadline/budget gate mount
-  /// admission (see TwoStageOptions' governance knobs).
+  /// admission (see TwoStageOptions' governance knobs). `env`, when set,
+  /// supplies the query's pinned catalog, effective options, and priority.
   Result<TablePtr> Execute(const PlanPtr& plan, const BreakpointCallback& callback,
                            TwoStageStats* stats, PlanProfiler* profiler = nullptr,
-                           QueryContext* qctx = nullptr);
+                           QueryContext* qctx = nullptr,
+                           const QueryEnv* env = nullptr);
 
   /// Distinct values of the stage-1 result's `uri` column — "the files of
   /// interest are identified, and collected as a list of file URIs".
@@ -189,7 +213,10 @@ class TwoStageExecutor {
   Result<PlanPtr> RewriteStage2(const PlanPtr& split_plan,
                                 const std::string& qf_result_id,
                                 const std::vector<FileDecision>& decisions,
-                                PlanPtr* union_node_out);
+                                PlanPtr* union_node_out) {
+    return RewriteStage2Impl(split_plan, qf_result_id, decisions,
+                             union_node_out, catalog_, options_);
+  }
 
   const TwoStageOptions& options() const { return options_; }
 
@@ -210,18 +237,28 @@ class TwoStageExecutor {
   using PremountMap = std::unordered_map<std::string, PremountEntry>;
 
   Result<std::vector<FileDecision>> DecideFiles(
-      const std::vector<std::string>& files, const ExprPtr& d_predicate);
+      const std::vector<std::string>& files, const ExprPtr& d_predicate,
+      const TwoStageOptions& opts);
+
+  /// RewriteStage2 body, parameterized on the query's catalog and effective
+  /// options (the public wrapper passes the executor defaults).
+  Result<PlanPtr> RewriteStage2Impl(const PlanPtr& split_plan,
+                                    const std::string& qf_result_id,
+                                    const std::vector<FileDecision>& decisions,
+                                    PlanPtr* union_node_out, Catalog* catalog,
+                                    const TwoStageOptions& opts);
 
   /// Mounts `union_node`'s kMount branches as parallel tasks on `workers`
   /// lanes, filling `premounted` and accumulating counters/warnings and the
   /// deterministic critical-path time into `stats`. No-op when the union has
   /// fewer than two mounts, and no-op for governed queries (`qctx` with
   /// limits): governed admission is serialized for determinism.
-  Status PremountUnion(const PlanPtr& union_node, size_t workers,
+  Status PremountUnion(const PlanPtr& union_node, size_t workers, int priority,
                        TwoStageStats* stats, PremountMap* premounted,
                        QueryContext* qctx);
 
-  /// The cached worker pool, (re)built to `workers` threads when needed.
+  /// The shared database-wide pool when one was injected, else a private
+  /// cached pool (re)built to `workers` threads when needed.
   ThreadPool* Pool(size_t workers);
 
   Catalog* catalog_;
@@ -230,6 +267,7 @@ class TwoStageExecutor {
   Mounter* mounter_;
   DerivedMetadata* derived_;
   TwoStageOptions options_;
+  ThreadPool* shared_pool_;  // not owned; may be null
   std::unique_ptr<ThreadPool> pool_;
 };
 

@@ -116,12 +116,31 @@ class QueryContext {
   /// (`SimDisk::stats().sim_nanos`); the wall clock is read internally.
   void Start(uint64_t sim_now_nanos);
 
-  /// True when any deadline or a finite memory budget is configured —
-  /// i.e. stage-2 admission must be governed (and therefore serialized,
-  /// see DESIGN.md: governed queries trade parallel mount speedup for a
-  /// deterministic admission timeline).
+  /// Attaches this query's own sim-time counter (the sink of a
+  /// `SimDisk::QueryTimeScope` installed on the coordinating thread). Once
+  /// attached, `sim_now(...)` measures the query's *own* charges instead of
+  /// the shared global clock — under concurrent queries the global clock
+  /// advances with everyone's I/O, which would make deadlines depend on what
+  /// the neighbors are doing. The counter must outlive this context.
+  void AttachSimCounter(const uint64_t* query_sim_nanos) {
+    sim_counter_ = query_sim_nanos;
+  }
+
+  /// The query's position on its deadline timeline: the attached per-query
+  /// counter when one is present (deterministic under concurrency), else the
+  /// caller-supplied global clock reading (the legacy single-query behavior,
+  /// kept for contexts constructed outside Database).
+  uint64_t sim_now(uint64_t global_sim_nanos) const {
+    return sim_counter_ != nullptr ? sim_start_ + *sim_counter_
+                                   : global_sim_nanos;
+  }
+
+  /// True when any deadline or a finite memory budget (shared or per-query)
+  /// is configured — i.e. stage-2 admission must be governed (and therefore
+  /// serialized, see DESIGN.md: governed queries trade parallel mount
+  /// speedup for a deterministic admission timeline).
   bool has_limits() const {
-    return has_deadline() || memory_->limit() != 0;
+    return has_deadline() || memory_->limit() != 0 || query_memory_limit_ != 0;
   }
   bool has_deadline() const {
     return limits_.sim_deadline_nanos != 0 || limits_.wall_deadline_nanos != 0;
@@ -130,6 +149,22 @@ class QueryContext {
   CancelToken* cancel() { return token_; }
   const CancelToken* cancel() const { return token_; }
   MemoryBudget* memory() { return memory_; }
+
+  /// Per-query memory cap (0 = none), layered *on top of* the shared budget:
+  /// an admission must fit under both. Unlike the shared budget, exhaustion
+  /// here is private to this query — cache eviction cannot help, and other
+  /// queries are unaffected. Set from QueryOptions::memory_budget_bytes.
+  void set_query_memory_limit(uint64_t bytes) { query_memory_limit_ = bytes; }
+  uint64_t query_memory_limit() const { return query_memory_limit_; }
+
+  /// The query's effective limit for diagnostics: the tighter of the
+  /// per-query cap and the shared budget's limit (0 = unlimited).
+  uint64_t effective_memory_limit() const {
+    const uint64_t shared = memory_->limit();
+    if (query_memory_limit_ == 0) return shared;
+    if (shared == 0) return query_memory_limit_;
+    return query_memory_limit_ < shared ? query_memory_limit_ : shared;
+  }
 
   /// Non-OK iff the token was cancelled (returns its reason). Deadline
   /// expiry is *not* an interrupt by itself: under kPartialResults it only
@@ -161,6 +196,8 @@ class QueryContext {
   CancelToken* token_;
   MemoryBudget own_budget_;  // unlimited; used when no shared budget given
   MemoryBudget* memory_;
+  uint64_t query_memory_limit_ = 0;       // 0 = no per-query cap
+  const uint64_t* sim_counter_ = nullptr; // per-query sim charges (tee sink)
   uint64_t sim_start_ = 0;
   uint64_t wall_start_ = 0;
 };

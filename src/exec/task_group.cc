@@ -63,7 +63,7 @@ void TaskGroup::Spawn(std::function<Status()> fn) {
   if (pool_ != nullptr) {
     // The future is intentionally discarded: completion is tracked by the
     // group's own barrier, and `run` never throws.
-    (void)pool_->Submit(std::move(run));
+    (void)pool_->Submit(std::move(run), priority_);
   } else {
     run();
   }

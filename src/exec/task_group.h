@@ -42,8 +42,12 @@ namespace dex {
 class TaskGroup {
  public:
   /// `pool` may be null: tasks then run inline during Spawn (the degenerate
-  /// sequential mode used for num_threads == 1).
-  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  /// sequential mode used for num_threads == 1). `priority` is the pool
+  /// class every spawned task is submitted under (see ThreadPool) — a
+  /// query-level attribute, so it is fixed per group rather than per task.
+  explicit TaskGroup(ThreadPool* pool,
+                     int priority = ThreadPool::kPriorityNormal)
+      : pool_(pool), priority_(priority) {}
 
   /// Waits for stragglers. Errors nobody collected via an explicit Wait()
   /// cannot be propagated from a destructor; they are logged at Warning
@@ -85,6 +89,7 @@ class TaskGroup {
               bool skipped);
 
   ThreadPool* pool_;
+  int priority_;
   std::atomic<bool> cancelled_{false};
   std::atomic<bool> user_cancelled_{false};
 

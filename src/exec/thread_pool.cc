@@ -25,11 +25,13 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() { Shutdown(); }
 
-void ThreadPool::Enqueue(std::function<void()> fn) {
+void ThreadPool::Enqueue(std::function<void()> fn, int priority) {
+  const int cls =
+      std::clamp(priority, kPriorityBackground, kPriorityInteractive);
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (!shutdown_) {
-      queue_.push_back(std::move(fn));
+      queues_[cls].push_back(std::move(fn));
       lock.unlock();
       cv_.notify_one();
       return;
@@ -40,15 +42,37 @@ void ThreadPool::Enqueue(std::function<void()> fn) {
   fn();
 }
 
+int ThreadPool::PickClassLocked() {
+  // Every fourth pick services the lowest non-empty class instead of the
+  // highest, so a steady interactive stream cannot starve background ingest
+  // (roughly a 3:1 weighting, deterministic — driven by a pick counter, not
+  // by time).
+  const bool low_turn = (picks_ % 4 == 3);
+  if (low_turn) {
+    for (int c = 0; c < kNumPriorities; ++c) {
+      if (!queues_[c].empty()) return c;
+    }
+  } else {
+    for (int c = kNumPriorities - 1; c >= 0; --c) {
+      if (!queues_[c].empty()) return c;
+    }
+  }
+  return -1;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> fn;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutdown and drained
-      fn = std::move(queue_.front());
-      queue_.pop_front();
+      cv_.wait(lock, [this] {
+        return shutdown_ || PickClassLocked() >= 0;
+      });
+      const int cls = PickClassLocked();
+      if (cls < 0) return;  // shutdown and drained
+      ++picks_;
+      fn = std::move(queues_[cls].front());
+      queues_[cls].pop_front();
     }
     fn();
   }

@@ -2,6 +2,7 @@
 #define DEX_EXEC_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -13,7 +14,8 @@
 
 namespace dex {
 
-/// \brief A fixed-size worker pool executing submitted tasks FIFO.
+/// \brief A fixed-size worker pool executing submitted tasks in priority
+/// classes, FIFO within a class.
 ///
 /// This is the substrate of the stage-2 parallel-mount subsystem: the
 /// two-stage executor turns each file of interest into one task (read →
@@ -22,11 +24,25 @@ namespace dex {
 /// tasks are plain callables, completion is future-based, and higher-level
 /// semantics (error aggregation, cancellation, barriers) live in TaskGroup.
 ///
-/// Lifetime: the destructor drains the queue (already-submitted work still
+/// Under concurrent serving (src/serve) the pool is shared across queries,
+/// and a long stage-2 ingest must not starve an interactive metadata-only
+/// query. Tasks therefore carry one of three priority classes; workers pick
+/// from the highest non-empty class, except that every fourth pick services
+/// the *lowest* non-empty class so background work always makes progress
+/// (deterministic anti-starvation, no clocks involved).
+///
+/// Lifetime: the destructor drains the queues (already-submitted work still
 /// runs) and joins every worker. Submitting to a pool that is shutting down
 /// degrades gracefully by running the task inline on the caller's thread.
 class ThreadPool {
  public:
+  /// Priority classes, lowest to highest. Kept as plain ints so callers
+  /// (QueryOptions::priority) can pass them through without a cast chain.
+  static constexpr int kPriorityBackground = 0;   // bulk ingest, maintenance
+  static constexpr int kPriorityNormal = 1;       // default queries
+  static constexpr int kPriorityInteractive = 2;  // latency-sensitive
+  static constexpr int kNumPriorities = 3;
+
   /// The hardware's concurrency, never less than 1 (the standard permits
   /// hardware_concurrency() to return 0 when unknown).
   static size_t DefaultConcurrency();
@@ -44,12 +60,13 @@ class ThreadPool {
 
   /// Enqueues `fn` and returns a future that completes with its result.
   /// Exceptions thrown by `fn` are captured in the future (std::future
-  /// semantics) — they never escape a worker thread.
+  /// semantics) — they never escape a worker thread. `priority` is clamped
+  /// to a valid class.
   template <typename Fn, typename R = std::invoke_result_t<std::decay_t<Fn>>>
-  std::future<R> Submit(Fn&& fn) {
+  std::future<R> Submit(Fn&& fn, int priority = kPriorityNormal) {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> future = task->get_future();
-    Enqueue([task] { (*task)(); });
+    Enqueue([task] { (*task)(); }, priority);
     return future;
   }
 
@@ -58,12 +75,15 @@ class ThreadPool {
   void Shutdown();
 
  private:
-  void Enqueue(std::function<void()> fn);
+  void Enqueue(std::function<void()> fn, int priority);
   void WorkerLoop();
+  // Requires mu_; -1 when all queues are empty.
+  int PickClassLocked();
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> queues_[kNumPriorities];  // guarded by mu_
+  uint64_t picks_ = 0;  // guarded by mu_; drives the anti-starvation cadence
   bool shutdown_ = false;
   std::vector<std::thread> threads_;
 };

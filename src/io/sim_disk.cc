@@ -19,6 +19,7 @@ std::string IoStats::ToString() const {
 }
 
 thread_local uint64_t* SimDisk::tls_sim_nanos_sink_ = nullptr;
+thread_local uint64_t* SimDisk::tls_query_sink_ = nullptr;
 
 SimDisk::SimDisk(const Options& options)
     : options_(options), injector_(options.faults) {
@@ -106,6 +107,10 @@ void SimDisk::ChargeTime(uint64_t nanos) {
     *tls_sim_nanos_sink_ += nanos;
   } else {
     stats_.sim_nanos += nanos;
+    // Per-query tee: mirrors exactly what this thread advanced the global
+    // clock by. Task-bucketed charges above are excluded — the coordinator
+    // folds their aggregate back in through ChargeDelay, which passes here.
+    if (tls_query_sink_ != nullptr) *tls_query_sink_ += nanos;
   }
   // Observability mirror (thread-local; never feeds back into accounting):
   // lets open trace spans attribute this stall to their sim clock.

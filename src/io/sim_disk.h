@@ -78,6 +78,31 @@ class SimDisk {
     uint64_t* prev_;
   };
 
+  /// \brief RAII per-query attribution of this thread's *global* sim charges.
+  ///
+  /// While alive, every nanosecond the current thread adds to the global
+  /// `stats().sim_nanos` is *also* added to `*sink` — a tee, not a redirect.
+  /// Charges that a TaskTimeScope routes into a task bucket are excluded (the
+  /// coordinator later folds them back in via ChargeDelay of the aggregated
+  /// schedule, at which point they do hit the query sink), so the sink ends
+  /// up equal to exactly what this query advanced the global clock by. The
+  /// serving layer installs one per query on the coordinating thread, which
+  /// makes per-query `sim_io_nanos` independent of what other concurrent
+  /// queries charge — the global start/end diff is not.
+  class QueryTimeScope {
+   public:
+    explicit QueryTimeScope(uint64_t* sink) : prev_(tls_query_sink_) {
+      tls_query_sink_ = sink;
+    }
+    ~QueryTimeScope() { tls_query_sink_ = prev_; }
+
+    QueryTimeScope(const QueryTimeScope&) = delete;
+    QueryTimeScope& operator=(const QueryTimeScope&) = delete;
+
+   private:
+    uint64_t* prev_;
+  };
+
   SimDisk() : SimDisk(Options{}) {}
   explicit SimDisk(const Options& options);
 
@@ -170,6 +195,8 @@ class SimDisk {
 
   // Where this thread's sim-time charges land (null = global stats).
   static thread_local uint64_t* tls_sim_nanos_sink_;
+  // Per-query tee for charges that land on the global clock (null = none).
+  static thread_local uint64_t* tls_query_sink_;
 
   const Options options_;
   mutable std::mutex mu_;

@@ -1,0 +1,295 @@
+#include "serve/script.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace dex::serve {
+
+namespace {
+
+void HashU64(uint64_t v, uint64_t* h) {
+  *h = Fnv1a(&v, sizeof(v), *h);
+}
+
+void HashOutcome(const ScriptQueryOutcome& o, uint64_t* h) {
+  HashU64(o.op_index, h);
+  HashU64(o.session, h);
+  HashU64(static_cast<uint64_t>(o.priority), h);
+  HashU64(o.shed ? 1 : 0, h);
+  HashU64(o.queued ? 1 : 0, h);
+  HashU64(static_cast<uint64_t>(o.status), h);
+  HashU64(o.backoff_hint_nanos, h);
+  HashU64(o.epoch, h);
+  HashU64(o.result_hash, h);
+  HashU64(o.result_rows, h);
+  HashU64(o.sim_io_nanos, h);
+  HashU64(o.virtual_start_nanos, h);
+  HashU64(o.virtual_end_nanos, h);
+}
+
+uint64_t Percentile(std::vector<uint64_t> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const size_t idx = static_cast<size_t>(
+      static_cast<double>(values.size() - 1) * p / 100.0);
+  return values[idx];
+}
+
+/// One accepted (running or queued) query awaiting its drain.
+struct Pending {
+  size_t op_index = 0;
+  size_t session = 0;
+  const std::string* sql = nullptr;
+  EpochPtr epoch;  // pinned at arrival — snapshot-at-submission
+  uint64_t ticket = 0;
+  int priority = ThreadPool::kPriorityNormal;
+  bool queued = false;
+};
+
+}  // namespace
+
+uint64_t Fnv1a(const void* data, size_t len, uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t Fnv1aString(const std::string& s, uint64_t seed) {
+  return Fnv1a(s.data(), s.size(), seed);
+}
+
+Result<ScriptResult> RunScriptDeterministic(Database* db,
+                                            const ServeScript& script) {
+  ScriptResult out;
+  const size_t max_inflight = std::max<size_t>(1, script.serve.max_inflight);
+  const size_t queue_depth = script.serve.queue_depth;
+
+  std::vector<Pending> running;   // admitted immediately, ticket order
+  std::vector<Pending> waiting;   // queued, ticket order
+  uint64_t next_ticket = 0;
+  uint64_t virtual_offset = 0;
+  std::vector<uint64_t> interactive_latencies;
+
+  // Runs every accepted query of the current burst serially, in the order a
+  // real gate would have granted them: the already-running set in admission
+  // (ticket) order, then the queue in (priority desc, ticket asc) order.
+  // Measured per-query sim times are then list-scheduled onto max_inflight
+  // virtual lanes — the latency a pool with that much overlap would show.
+  auto drain = [&]() -> Status {
+    std::vector<Pending*> order;
+    order.reserve(running.size() + waiting.size());
+    for (Pending& p : running) order.push_back(&p);
+    {
+      std::vector<Pending*> q;
+      for (Pending& p : waiting) q.push_back(&p);
+      std::stable_sort(q.begin(), q.end(), [](const Pending* a, const Pending* b) {
+        return a->priority > b->priority;
+      });
+      order.insert(order.end(), q.begin(), q.end());
+    }
+    std::vector<uint64_t> lanes(max_inflight, 0);
+    for (Pending* p : order) {
+      const SessionOptions& sess = script.sessions[p->session];
+      QueryOptions opts = sess.defaults;
+      opts.priority = sess.priority;
+      ScriptQueryOutcome o;
+      o.op_index = p->op_index;
+      o.session = p->session;
+      o.priority = p->priority;
+      o.queued = p->queued;
+      o.epoch = p->epoch->id;
+      Result<QueryResult> r = db->Query(*p->sql, opts, std::move(p->epoch));
+      if (r.ok()) {
+        o.status = StatusCode::kOk;
+        DEX_CHECK(r->stats.epoch == o.epoch);
+        o.result_hash = Fnv1aString(r->table->ToString());
+        o.result_rows = r->stats.result_rows;
+        o.sim_io_nanos = r->stats.sim_io_nanos;
+      } else {
+        o.status = r.status().code();
+      }
+      // Earliest-free virtual lane (ties → lowest index): deterministic.
+      size_t lane = 0;
+      for (size_t l = 1; l < lanes.size(); ++l) {
+        if (lanes[l] < lanes[lane]) lane = l;
+      }
+      o.virtual_start_nanos = virtual_offset + lanes[lane];
+      o.virtual_end_nanos = o.virtual_start_nanos + o.sim_io_nanos;
+      lanes[lane] = o.virtual_end_nanos - virtual_offset;
+      if (p->priority == ThreadPool::kPriorityInteractive) {
+        // Burst arrival at the group start: latency = queue + service.
+        interactive_latencies.push_back(o.virtual_end_nanos - virtual_offset);
+      }
+      out.outcomes.push_back(o);
+    }
+    virtual_offset += *std::max_element(lanes.begin(), lanes.end());
+    running.clear();
+    waiting.clear();
+    return Status::OK();
+  };
+
+  for (size_t i = 0; i < script.ops.size(); ++i) {
+    const ScriptOp& op = script.ops[i];
+    switch (op.kind) {
+      case ScriptOp::Kind::kQuery: {
+        DEX_CHECK(op.session < script.sessions.size());
+        const SessionOptions& sess = script.sessions[op.session];
+        const size_t cap = std::max<size_t>(1, sess.max_inflight);
+        size_t session_running = 0;
+        for (const Pending& p : running) {
+          if (p.session == op.session) ++session_running;
+        }
+        Pending p;
+        p.op_index = i;
+        p.session = op.session;
+        p.sql = &op.sql;
+        p.ticket = next_ticket++;
+        p.priority = sess.priority;
+        p.epoch = db->PinEpoch();
+        if (running.size() < max_inflight && session_running < cap) {
+          running.push_back(std::move(p));
+        } else if (waiting.size() < queue_depth) {
+          p.queued = true;
+          waiting.push_back(std::move(p));
+        } else {
+          // Shed — same status and hint Submit would produce.
+          ScriptQueryOutcome o;
+          o.op_index = i;
+          o.session = op.session;
+          o.priority = sess.priority;
+          o.shed = true;
+          o.status = StatusCode::kOverloaded;
+          o.backoff_hint_nanos =
+              script.serve.shed_backoff_base_nanos * (waiting.size() + 1);
+          out.outcomes.push_back(o);
+        }
+        break;
+      }
+      case ScriptOp::Kind::kRefresh: {
+        // Publishes mid-script: queries accepted above hold pre-refresh
+        // pins and will see pre-refresh rows when the next drain runs them.
+        DEX_ASSIGN_OR_RETURN(RefreshStats rs, db->Refresh());
+        (void)rs;
+        ++out.refreshes;
+        break;
+      }
+      case ScriptOp::Kind::kDrain: {
+        DEX_RETURN_NOT_OK(drain());
+        break;
+      }
+    }
+  }
+  DEX_RETURN_NOT_OK(drain());
+
+  std::sort(out.outcomes.begin(), out.outcomes.end(),
+            [](const ScriptQueryOutcome& a, const ScriptQueryOutcome& b) {
+              return a.op_index < b.op_index;
+            });
+  for (const ScriptQueryOutcome& o : out.outcomes) {
+    if (o.shed) {
+      ++out.shed;
+    } else {
+      ++out.admitted;
+      if (o.queued) ++out.queued;
+    }
+  }
+  out.final_epoch = db->current_epoch();
+  out.epochs_retired = db->epochs_retired();
+  out.p50_interactive_nanos = Percentile(interactive_latencies, 50);
+  out.p99_interactive_nanos = Percentile(interactive_latencies, 99);
+
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const ScriptQueryOutcome& o : out.outcomes) HashOutcome(o, &h);
+  HashU64(out.admitted, &h);
+  HashU64(out.queued, &h);
+  HashU64(out.shed, &h);
+  HashU64(out.refreshes, &h);
+  HashU64(out.final_epoch, &h);
+  HashU64(out.epochs_retired, &h);
+  out.fingerprint = h;
+  return out;
+}
+
+Result<ScriptResult> RunScriptThreaded(Database* db,
+                                       const ServeScript& script) {
+  ScriptResult out;
+  SessionManager manager(db, script.serve);
+  std::vector<SessionManager::SessionId> ids;
+  ids.reserve(script.sessions.size());
+  for (const SessionOptions& s : script.sessions) {
+    DEX_ASSIGN_OR_RETURN(SessionManager::SessionId id,
+                         manager.OpenSession(s));
+    ids.push_back(id);
+  }
+
+  // Each session replays its own ops in script order on its own thread —
+  // real contention on the gate, the pool, the cache, and the epochs.
+  std::vector<std::vector<size_t>> per_session(script.sessions.size());
+  for (size_t i = 0; i < script.ops.size(); ++i) {
+    const ScriptOp& op = script.ops[i];
+    if (op.kind == ScriptOp::Kind::kDrain) continue;  // no barrier here
+    DEX_CHECK(op.session < script.sessions.size());
+    per_session[op.session].push_back(i);
+  }
+
+  std::vector<ScriptQueryOutcome> outcomes(script.ops.size());
+  std::vector<char> is_query(script.ops.size(), 0);
+  std::atomic<uint64_t> refreshes{0};
+  std::vector<std::thread> threads;
+  threads.reserve(per_session.size());
+  for (size_t s = 0; s < per_session.size(); ++s) {
+    threads.emplace_back([&, s] {
+      for (size_t idx : per_session[s]) {
+        const ScriptOp& op = script.ops[idx];
+        if (op.kind == ScriptOp::Kind::kRefresh) {
+          Result<RefreshStats> r = db->Refresh();
+          if (r.ok()) refreshes.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        ScriptQueryOutcome& o = outcomes[idx];
+        o.op_index = idx;
+        o.session = s;
+        o.priority = script.sessions[s].priority;
+        is_query[idx] = 1;
+        Result<QueryResult> r = manager.Submit(ids[s], op.sql);
+        if (r.ok()) {
+          o.status = StatusCode::kOk;
+          o.epoch = r->stats.epoch;
+          o.result_hash = Fnv1aString(r->table->ToString());
+          o.result_rows = r->stats.result_rows;
+          o.sim_io_nanos = r->stats.sim_io_nanos;
+        } else {
+          o.status = r.status().code();
+          o.shed = r.status().IsOverloaded();
+          o.backoff_hint_nanos = BackoffHintNanos(r.status());
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (is_query[i]) out.outcomes.push_back(outcomes[i]);
+  }
+  const SessionManager::Stats stats = manager.stats();
+  out.admitted = stats.admitted;
+  out.queued = stats.waited;
+  out.shed = stats.shed;
+  out.refreshes = refreshes.load();
+  out.final_epoch = db->current_epoch();
+  out.epochs_retired = db->epochs_retired();
+
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const ScriptQueryOutcome& o : out.outcomes) HashOutcome(o, &h);
+  out.fingerprint = h;  // informational: depends on real interleaving
+  return out;
+}
+
+}  // namespace dex::serve

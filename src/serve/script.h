@@ -1,0 +1,102 @@
+#ifndef DEX_SERVE_SCRIPT_H_
+#define DEX_SERVE_SCRIPT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "serve/session_manager.h"
+
+namespace dex::serve {
+
+/// \brief One step of a scripted multi-session workload.
+struct ScriptOp {
+  enum class Kind {
+    kQuery,    // submit `sql` on behalf of `session`
+    kRefresh,  // publish a new catalog epoch (repository rescan)
+    kDrain,    // deterministic mode: run every admitted/queued query, then
+               // reset the gate (threaded mode: no-op)
+  };
+  Kind kind = Kind::kQuery;
+  size_t session = 0;  // index into ServeScript::sessions
+  std::string sql;
+};
+
+/// \brief A reproducible serving workload: admission knobs, the session
+/// roster, and an op sequence.
+struct ServeScript {
+  ServeOptions serve;
+  std::vector<SessionOptions> sessions;
+  std::vector<ScriptOp> ops;
+};
+
+/// \brief What happened to one kQuery op.
+struct ScriptQueryOutcome {
+  size_t op_index = 0;
+  size_t session = 0;
+  int priority = ThreadPool::kPriorityNormal;
+  bool shed = false;    // refused with kOverloaded at arrival
+  bool queued = false;  // waited in the admission queue before running
+  StatusCode status = StatusCode::kOk;
+  uint64_t backoff_hint_nanos = 0;  // shed only
+  uint64_t epoch = 0;               // catalog epoch the query ran against
+  uint64_t result_hash = 0;         // FNV-1a over the result table rendering
+  uint64_t result_rows = 0;
+  uint64_t sim_io_nanos = 0;  // the query's own charged simulated I/O
+  // Deterministic mode only: list-scheduled position on the virtual
+  // timeline (max_inflight lanes, burst arrival at the drain-group start).
+  uint64_t virtual_start_nanos = 0;
+  uint64_t virtual_end_nanos = 0;
+};
+
+/// \brief Aggregate result of one script run.
+struct ScriptResult {
+  std::vector<ScriptQueryOutcome> outcomes;  // one per kQuery op, op order
+  uint64_t admitted = 0;
+  uint64_t queued = 0;
+  uint64_t shed = 0;
+  uint64_t refreshes = 0;
+  uint64_t final_epoch = 0;
+  uint64_t epochs_retired = 0;
+  /// p50/p99 of interactive-priority virtual latency (deterministic mode).
+  uint64_t p50_interactive_nanos = 0;
+  uint64_t p99_interactive_nanos = 0;
+  /// FNV-1a over every outcome (status, shed decision, epoch, result hash,
+  /// charged sim time) plus the aggregate counters. In deterministic mode
+  /// this is bit-identical across runs, worker counts, and pool sizes; in
+  /// threaded mode it depends on real interleaving and is informational.
+  uint64_t fingerprint = 0;
+};
+
+/// \brief FNV-1a 64-bit — the script fingerprint primitive (stable across
+/// platforms, unlike std::hash).
+uint64_t Fnv1a(const void* data, size_t len, uint64_t seed = 0xcbf29ce484222325ULL);
+uint64_t Fnv1aString(const std::string& s, uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// \brief Deterministic replay: models the whole script as admission bursts.
+///
+/// Ops are processed in order against a simulated gate (max_inflight running
+/// slots, queue_depth wait slots, the rest shed with the same kOverloaded
+/// status Submit would return). Every accepted query pins the epoch current
+/// at its op position; kRefresh publishes synchronously in place, so queries
+/// submitted before it run against the pre-refresh snapshot even though they
+/// physically execute later. At each kDrain (and at end of script) the
+/// accepted queries execute serially in admission order (priority desc,
+/// ticket asc) — results, shed decisions, epochs, and charged sim I/O are
+/// bit-identical at any worker count — and their measured per-query sim
+/// times are list-scheduled onto max_inflight virtual lanes for the latency
+/// percentiles.
+Result<ScriptResult> RunScriptDeterministic(Database* db,
+                                            const ServeScript& script);
+
+/// \brief Physical replay: a real SessionManager, one thread per session,
+/// each thread submitting its session's ops in script order. Exercises the
+/// cross-query locking for TSan. Which queries shed depends on real timing;
+/// per-query outcomes (hash, epoch, sim time) are still well-defined for
+/// every admitted query.
+Result<ScriptResult> RunScriptThreaded(Database* db, const ServeScript& script);
+
+}  // namespace dex::serve
+
+#endif  // DEX_SERVE_SCRIPT_H_

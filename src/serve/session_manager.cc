@@ -1,0 +1,261 @@
+#include "serve/session_manager.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace dex::serve {
+
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+constexpr const char* kBackoffToken = "backoff_hint_nanos=";
+
+/// Session defaults overlaid with submit-time overrides, field by field.
+/// The session's priority always wins: priority is a property of who is
+/// asking, not of the individual statement.
+QueryOptions MergeOptions(const QueryOptions& defaults,
+                          const QueryOptions* overrides, int priority) {
+  QueryOptions merged = defaults;
+  if (overrides != nullptr) {
+    if (overrides->sim_deadline_nanos) {
+      merged.sim_deadline_nanos = overrides->sim_deadline_nanos;
+    }
+    if (overrides->wall_deadline_nanos) {
+      merged.wall_deadline_nanos = overrides->wall_deadline_nanos;
+    }
+    if (overrides->memory_budget_bytes) {
+      merged.memory_budget_bytes = overrides->memory_budget_bytes;
+    }
+    if (overrides->on_resource_exhausted) {
+      merged.on_resource_exhausted = overrides->on_resource_exhausted;
+    }
+    if (overrides->num_threads) merged.num_threads = overrides->num_threads;
+    if (overrides->breakpoint != nullptr) {
+      merged.breakpoint = overrides->breakpoint;
+    }
+    if (overrides->cancel != nullptr) merged.cancel = overrides->cancel;
+    if (overrides->trace) merged.trace = true;
+  }
+  merged.priority = priority;
+  return merged;
+}
+
+}  // namespace
+
+uint64_t BackoffHintNanos(const Status& status) {
+  const std::string& msg = status.message();
+  const size_t pos = msg.find(kBackoffToken);
+  if (pos == std::string::npos) return 0;
+  uint64_t hint = 0;
+  for (size_t i = pos + std::string(kBackoffToken).size();
+       i < msg.size() && msg[i] >= '0' && msg[i] <= '9'; ++i) {
+    hint = hint * 10 + static_cast<uint64_t>(msg[i] - '0');
+  }
+  return hint;
+}
+
+SessionManager::SessionManager(Database* db, ServeOptions options)
+    : db_(db), options_(options) {}
+
+SessionManager::~SessionManager() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;
+  for (Waiter* w : queue_) w->aborted = true;
+  queue_.clear();
+  cv_.notify_all();
+}
+
+Result<SessionManager::SessionId> SessionManager::OpenSession(
+    SessionOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto session = std::make_unique<Session>();
+  session->id = next_session_id_++;
+  session->options = std::move(options);
+  if (session->options.max_inflight == 0) session->options.max_inflight = 1;
+  session->options.priority =
+      std::clamp(session->options.priority, ThreadPool::kPriorityBackground,
+                 ThreadPool::kPriorityInteractive);
+  const SessionId id = session->id;
+  sessions_[id] = std::move(session);
+  ++open_sessions_;
+  PublishGaugesLocked();
+  return id;
+}
+
+Status SessionManager::CloseSession(SessionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no such session: " + std::to_string(id));
+  }
+  if (!it->second->closed) {
+    it->second->closed = true;
+    --open_sessions_;
+    PublishGaugesLocked();
+  }
+  return Status::OK();
+}
+
+bool SessionManager::CanRunNowLocked(const Session& s) const {
+  if (inflight_ >= options_.max_inflight) return false;
+  if (s.inflight >= s.options.max_inflight) return false;
+  // No queue jumping: an eligible waiter of equal or higher priority always
+  // has an earlier ticket than a new arrival and therefore goes first.
+  // (Waiters blocked only by their own session cap don't hold others back.)
+  for (const Waiter* w : queue_) {
+    if (w->priority >= s.options.priority &&
+        w->session->inflight < w->session->options.max_inflight) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void SessionManager::GrantWaitersLocked() {
+  bool granted_any = false;
+  while (inflight_ < options_.max_inflight) {
+    // Best eligible waiter: highest priority, then earliest ticket. The
+    // deque is in ticket order, so the first hit of the best priority wins.
+    Waiter* best = nullptr;
+    for (Waiter* w : queue_) {
+      if (w->session->inflight >= w->session->options.max_inflight) continue;
+      if (best == nullptr || w->priority > best->priority) best = w;
+    }
+    if (best == nullptr) break;
+    best->granted = true;
+    ++inflight_;
+    ++best->session->inflight;
+    queue_.erase(std::find(queue_.begin(), queue_.end(), best));
+    granted_any = true;
+  }
+  if (granted_any) {
+    PublishGaugesLocked();
+    cv_.notify_all();
+  }
+}
+
+void SessionManager::PublishGaugesLocked() {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.SetGauge("serve.sessions_active", static_cast<double>(open_sessions_));
+  reg.SetGauge("serve.queries_queued", static_cast<double>(queue_.size()));
+  reg.SetGauge("serve.queries_inflight", static_cast<double>(inflight_));
+}
+
+Result<QueryResult> SessionManager::Submit(SessionId session,
+                                           const std::string& sql,
+                                           const QueryOptions* overrides) {
+  // Snapshot-at-submission: the epoch is pinned before any waiting, so a
+  // Refresh publishing while this query sits in the queue does not change
+  // what it will see.
+  EpochPtr epoch = db_->PinEpoch();
+
+  QueryOptions merged;
+  Session* s = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = sessions_.find(session);
+    if (it == sessions_.end()) {
+      return Status::NotFound("no such session: " + std::to_string(session));
+    }
+    s = it->second.get();
+    if (s->closed || shutdown_) {
+      return Status::InvalidArgument("session '" + s->options.name +
+                                     "' is closed");
+    }
+    ++s->submitted;
+    merged = MergeOptions(s->options.defaults, overrides, s->options.priority);
+
+    if (CanRunNowLocked(*s)) {
+      ++inflight_;
+      ++s->inflight;
+      ++admitted_;
+      PublishGaugesLocked();
+    } else if (queue_.size() >= options_.queue_depth) {
+      // Overload: shed deterministically, never block past the bounded
+      // queue. The hint scales with the occupancy the client collided with.
+      ++shed_;
+      ++s->shed;
+      obs::MetricsRegistry::Global().AddCounter("serve.queries_shed", 1);
+      const uint64_t hint =
+          options_.shed_backoff_base_nanos * (queue_.size() + 1);
+      return Status::Overloaded(
+          "admission queue full (" + std::to_string(queue_.size()) + "/" +
+          std::to_string(options_.queue_depth) + " waiting, " +
+          std::to_string(inflight_) + " in flight); retry later; " +
+          kBackoffToken + std::to_string(hint));
+    } else {
+      Waiter waiter;
+      waiter.ticket = next_ticket_++;
+      waiter.priority = s->options.priority;
+      waiter.session = s;
+      queue_.push_back(&waiter);
+      ++waited_;
+      PublishGaugesLocked();
+      const uint64_t wait_start = NowNanos();
+      cv_.wait(lock, [&waiter] { return waiter.granted || waiter.aborted; });
+      obs::MetricsRegistry::Global().Observe(
+          "serve.queue_wait_nanos.p" + std::to_string(waiter.priority),
+          static_cast<double>(NowNanos() - wait_start));
+      if (waiter.aborted) {
+        return Status::Aborted("session manager shut down while queued");
+      }
+      // Granted: GrantWaitersLocked() already took the inflight slots.
+      ++admitted_;
+    }
+  }
+
+  obs::MetricsRegistry::Global().AddCounter("serve.queries_admitted", 1);
+  Result<QueryResult> result = db_->Query(sql, merged, std::move(epoch));
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+    --s->inflight;
+    GrantWaitersLocked();
+    PublishGaugesLocked();
+  }
+  return result;
+}
+
+SessionManager::Stats SessionManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out;
+  out.sessions_active = open_sessions_;
+  out.inflight = inflight_;
+  out.queued = queue_.size();
+  out.admitted = admitted_;
+  out.waited = waited_;
+  out.shed = shed_;
+  return out;
+}
+
+std::vector<SessionManager::SessionInfo> SessionManager::ListSessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SessionInfo> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, s] : sessions_) {
+    SessionInfo info;
+    info.id = id;
+    info.name = s->options.name;
+    info.priority = s->options.priority;
+    info.max_inflight = s->options.max_inflight;
+    info.inflight = s->inflight;
+    info.submitted = s->submitted;
+    info.shed = s->shed;
+    info.closed = s->closed;
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SessionInfo& a, const SessionInfo& b) { return a.id < b.id; });
+  return out;
+}
+
+}  // namespace dex::serve

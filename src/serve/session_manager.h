@@ -1,0 +1,175 @@
+#ifndef DEX_SERVE_SESSION_MANAGER_H_
+#define DEX_SERVE_SESSION_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/database.h"
+
+namespace dex::serve {
+
+/// \brief Database-wide admission knobs (shell: `--max-inflight`,
+/// `--queue-depth`).
+struct ServeOptions {
+  /// Queries allowed to execute concurrently across all sessions. Excess
+  /// admissions wait in the queue.
+  size_t max_inflight = 4;
+  /// Bounded wait queue. An arrival finding it full is shed immediately
+  /// with a retryable kOverloaded status carrying a backoff hint.
+  size_t queue_depth = 8;
+  /// Base of the shed backoff hint: the hint grows linearly with the queue
+  /// occupancy at shed time, so clients back off harder the deeper the
+  /// overload.
+  uint64_t shed_backoff_base_nanos = 1'000'000;
+};
+
+/// \brief One client session: a name, a scheduling priority, a private
+/// concurrency cap, and default QueryOptions merged under every Submit.
+struct SessionOptions {
+  std::string name;
+  /// ThreadPool::kPriorityBackground/Normal/Interactive. Decides both the
+  /// admission queue order and the worker-pool class of the session's mount
+  /// tasks.
+  int priority = ThreadPool::kPriorityNormal;
+  /// This session's own in-flight cap (an ingest session is typically capped
+  /// at 1 so it cannot monopolize the global window).
+  size_t max_inflight = 1;
+  /// Per-session defaults (deadline, memory cap, worker lanes, ...);
+  /// Submit-time overrides win field by field.
+  QueryOptions defaults;
+};
+
+/// \brief Parses the `backoff_hint_nanos=<n>` token a shed (kOverloaded)
+/// status carries in its message. Returns 0 when absent.
+uint64_t BackoffHintNanos(const Status& status);
+
+/// \brief Admission control and fair scheduling for N concurrent sessions
+/// over one shared Database.
+///
+/// Every Submit pins the catalog epoch current *at submission* — even while
+/// the query then waits in the admission queue — so what a query sees is
+/// decided by when it was issued, not by when a worker got to it
+/// (snapshot-at-submission). The gate holds at most `max_inflight` running
+/// queries; the next `queue_depth` wait, woken in (priority desc, ticket
+/// asc) order, each session additionally bounded by its own cap; everything
+/// beyond that is shed deterministically with Status::Overloaded and a
+/// backoff hint.
+///
+/// Thread-safe; Submit is designed to be called from one thread per session
+/// (or any number of threads — the ticket order is the arrival order under
+/// the internal lock).
+///
+/// Metrics: `serve.sessions_active`, `serve.queries_queued` (gauges),
+/// `serve.queries_shed`, `serve.queries_admitted` (counters), and
+/// per-priority queue-wait histograms `serve.queue_wait_nanos.p<priority>`.
+class SessionManager {
+ public:
+  using SessionId = uint64_t;
+
+  /// Point-in-time admission state.
+  struct Stats {
+    size_t sessions_active = 0;
+    size_t inflight = 0;
+    size_t queued = 0;
+    uint64_t admitted = 0;  // cumulative: ran (immediately or after a wait)
+    uint64_t waited = 0;    // cumulative: went through the wait queue
+    uint64_t shed = 0;      // cumulative: refused with kOverloaded
+  };
+
+  /// One row of `.sessions` introspection.
+  struct SessionInfo {
+    SessionId id = 0;
+    std::string name;
+    int priority = ThreadPool::kPriorityNormal;
+    size_t max_inflight = 1;
+    size_t inflight = 0;
+    uint64_t submitted = 0;
+    uint64_t shed = 0;
+    bool closed = false;
+  };
+
+  SessionManager(Database* db, ServeOptions options);
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Registers a session. Never fails today (the Result is for forward
+  /// compatibility with per-session quotas).
+  Result<SessionId> OpenSession(SessionOptions options);
+
+  /// Marks the session closed: further Submits are refused; an in-flight
+  /// query finishes normally.
+  Status CloseSession(SessionId id);
+
+  /// Runs `sql` on behalf of `session`: pins the current epoch, passes the
+  /// admission gate (possibly waiting), then executes on the shared
+  /// Database with the session's defaults merged under `overrides`.
+  /// Sheds with Status::Overloaded (see BackoffHintNanos) when the wait
+  /// queue is full, without blocking.
+  Result<QueryResult> Submit(SessionId session, const std::string& sql,
+                             const QueryOptions* overrides = nullptr);
+
+  Stats stats() const;
+  std::vector<SessionInfo> ListSessions() const;
+
+  const ServeOptions& options() const { return options_; }
+  Database* database() { return db_; }
+
+ private:
+  struct Session {
+    SessionId id = 0;
+    SessionOptions options;
+    size_t inflight = 0;     // guarded by mu_
+    uint64_t submitted = 0;  // guarded by mu_
+    uint64_t shed = 0;       // guarded by mu_
+    bool closed = false;     // guarded by mu_
+  };
+
+  struct Waiter {
+    uint64_t ticket = 0;
+    int priority = ThreadPool::kPriorityNormal;
+    Session* session = nullptr;
+    bool granted = false;
+    bool aborted = false;  // manager shutting down
+  };
+
+  /// True when a new arrival from `s` may start right now: global and
+  /// per-session capacity free, and no *eligible* waiter of equal or higher
+  /// priority would be bypassed (waiters always have earlier tickets).
+  bool CanRunNowLocked(const Session& s) const;
+
+  /// Grants as many waiters as capacity allows, best (priority desc, ticket
+  /// asc) eligible first. Called after every release and every grant-state
+  /// change; wakes granted waiters via cv_.
+  void GrantWaitersLocked();
+
+  void PublishGaugesLocked();
+
+  Database* db_;
+  const ServeOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<SessionId, std::unique_ptr<Session>> sessions_;
+  std::deque<Waiter*> queue_;  // waiting admissions, ticket order
+  SessionId next_session_id_ = 1;
+  uint64_t next_ticket_ = 0;
+  size_t inflight_ = 0;
+  size_t open_sessions_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t waited_ = 0;
+  uint64_t shed_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace dex::serve
+
+#endif  // DEX_SERVE_SESSION_MANAGER_H_

@@ -39,13 +39,30 @@ Status Catalog::ReplaceTable(TablePtr table) {
                                      "' changes column types");
     }
   }
-  for (ObjectId id : entry.index_storage) {
-    DEX_RETURN_NOT_OK(disk_->Unregister(id));
-  }
+  // Drop references only — do not Unregister: a snapshot clone of this
+  // catalog (an older epoch still serving a query) may share the old table's
+  // storage and index objects and still charge reads against them. The stale
+  // objects stay registered on the SimDisk until process exit; their pages
+  // age out of the buffer pool through ordinary LRU pressure.
   entry.indexes.clear();
   entry.index_storage.clear();
   entry.table = std::move(table);
+  entry.storage = disk_->Register("table:" + it->first, 0);
   return SyncStorageSize(it->first);
+}
+
+std::unique_ptr<Catalog> Catalog::Clone() const {
+  auto clone = std::make_unique<Catalog>(disk_);
+  for (const auto& [name, entry] : entries_) {
+    Entry copy;
+    copy.table = entry.table;
+    copy.kind = entry.kind;
+    copy.storage = entry.storage;
+    copy.indexes = entry.indexes;
+    copy.index_storage = entry.index_storage;
+    clone->entries_.emplace(name, std::move(copy));
+  }
+  return clone;
 }
 
 Result<TablePtr> Catalog::GetTable(const std::string& name) const {

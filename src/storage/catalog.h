@@ -25,6 +25,14 @@ enum class TableKind {
 /// Each table is backed by a storage object on the SimDisk so that cold
 /// query runs charge the cost of faulting its pages in (the paper's "foreign
 /// key indexes have to be brought into main memory to compute the joins").
+///
+/// Concurrency: a Catalog instance is *not* internally synchronized. The
+/// serving layer treats catalogs as copy-on-write snapshot epochs (see
+/// core/catalog_epoch.h): in-flight queries read a pinned, effectively
+/// immutable instance while Refresh mutates a private `Clone()` and then
+/// publishes it atomically. Tables, indexes, and storage objects are shared
+/// between clones — which is why `ReplaceTable` must never mutate a storage
+/// object a sibling clone might still be charging reads against.
 class Catalog {
  public:
   explicit Catalog(SimDisk* disk) : disk_(disk) {}
@@ -33,7 +41,9 @@ class Catalog {
     TablePtr table;
     TableKind kind;
     ObjectId storage = kInvalidObjectId;
-    std::vector<std::unique_ptr<HashIndex>> indexes;
+    // shared_ptr (not unique_ptr) so snapshot clones share built indexes;
+    // a HashIndex is immutable after Build.
+    std::vector<std::shared_ptr<HashIndex>> indexes;
     std::vector<ObjectId> index_storage;
   };
 
@@ -42,8 +52,17 @@ class Catalog {
 
   /// Swaps in a rebuilt table under an existing name (same schema width and
   /// types). Indexes over the old table are dropped — they referenced its
-  /// rows. Used by Database::Refresh() to adopt rescanned metadata.
+  /// rows. The replacement gets a *fresh* storage object (fully written, so
+  /// the swap charges the same write cost as before); the old table's
+  /// storage and index objects are intentionally left registered because a
+  /// snapshot clone may still be charging reads against them. Used by
+  /// Database::Refresh() to adopt rescanned metadata.
   Status ReplaceTable(TablePtr table);
+
+  /// A shallow snapshot copy: shares the (immutable) tables, indexes, and
+  /// storage objects of this catalog. Mutating the clone via ReplaceTable /
+  /// AddTable / BuildIndex never alters this instance.
+  std::unique_ptr<Catalog> Clone() const;
 
   Result<TablePtr> GetTable(const std::string& name) const;
   Result<TableKind> GetKind(const std::string& name) const;

@@ -31,7 +31,8 @@ mseed::RecordData Rec(const std::string& station, const std::string& channel,
 class CoverageTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = "/tmp/dex_coverage_test";
+    // Pid-unique: parallel ctest runs each test in its own process.
+    dir_ = "/tmp/dex_coverage_test_" + std::to_string(::getpid());
     ASSERT_TRUE(RemoveDirRecursive(dir_).ok());
   }
   void TearDown() override { (void)RemoveDirRecursive(dir_); }

@@ -179,28 +179,30 @@ TEST_F(DatabaseTest, QueryOptionsOverridesAreScopedToTheQuery) {
   EXPECT_EQ(full->stats.two_stage.files_skipped_deadline, 0u);
 }
 
-// The deprecated overloads must keep working until their removal.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST_F(DatabaseTest, DeprecatedQueryShimsStillWork) {
+// The old QueryInteractive/QueryCancellable shims routed through the same
+// QueryOptions fields exercised here; their callers now pass
+// options.breakpoint / options.cancel directly.
+TEST_F(DatabaseTest, BreakpointAndCancelViaQueryOptions) {
   auto db = Database::Open(repo_->root(), {});
   ASSERT_TRUE(db.ok());
   size_t breakpoints_seen = 0;
-  auto r = (*db)->QueryInteractive(
-      "SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri",
-      [&](const BreakpointInfo&) {
-        ++breakpoints_seen;
-        return BreakpointDecision::kContinue;
-      });
+  QueryOptions bp_opts;
+  bp_opts.breakpoint = [&](const BreakpointInfo&) {
+    ++breakpoints_seen;
+    return BreakpointDecision::kContinue;
+  };
+  auto r = (*db)->Query("SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri",
+                        bp_opts);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_GT(breakpoints_seen, 0u);
 
   CancelToken token;
-  auto c = (*db)->QueryCancellable("SELECT COUNT(*) FROM F", &token);
+  QueryOptions opts;
+  opts.cancel = &token;
+  auto c = (*db)->Query("SELECT COUNT(*) FROM F", opts);
   ASSERT_TRUE(c.ok()) << c.status().ToString();
   EXPECT_EQ(c->stats.result_rows, 1u);
 }
-#pragma GCC diagnostic pop
 
 TEST_F(DatabaseTest, InformativenessEstimateTracksActualIngestion) {
   auto db = Database::Open(repo_->root(), {});

@@ -4,7 +4,9 @@
 #include <fcntl.h>
 #include <sys/stat.h>
 
+#include <atomic>
 #include <ctime>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -397,6 +399,127 @@ TEST(RefreshTest, DeadlineYieldsDeterministicPartialRefresh) {
   EXPECT_EQ(fa->files_changed, ra->files_skipped_deadline);
   ExpectSameRefresh(*fa, *fb);
   EXPECT_EQ(DumpCatalog(a->get()), DumpCatalog(b->get()));
+}
+
+// --- Snapshot isolation: Refresh publishes a new catalog epoch; queries run
+// --- against the epoch pinned at their submission.
+
+TEST(RefreshTest, QueryAgainstPinnedEpochSeesPreRefreshRows) {
+  ScopedRepo repo("refresh_epoch_pin", TinyRepoOptions());
+  auto db = Database::Open(repo.root(), {});
+  ASSERT_TRUE(db.ok());
+  auto before = (*db)->Query("SELECT COUNT(*) FROM F");
+  ASSERT_TRUE(before.ok());
+  const int64_t files_before = before->table->GetValue(0, 0).int64();
+  const uint64_t epoch_before = (*db)->current_epoch();
+  EXPECT_EQ(before->stats.epoch, epoch_before);
+
+  // Pin "now", as an admission gate would, then let the repository move on.
+  EpochPtr pinned = (*db)->PinEpoch();
+  ASSERT_TRUE(mseed::WriteFile(repo.root() + "/NEW/OR.NEW.BHE.000.mseed",
+                               {NewRecord("NEWSTA", 1262304000000LL, 50)})
+                  .ok());
+  auto refreshed = (*db)->Refresh();
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status().ToString();
+  EXPECT_EQ(refreshed->files_added, 1u);
+  EXPECT_EQ(refreshed->epoch, epoch_before + 1);
+  EXPECT_EQ((*db)->current_epoch(), epoch_before + 1);
+
+  // The pinned query runs *after* the publish yet sees the pre-refresh
+  // snapshot — including its stage-2 side: the new station is invisible.
+  auto old_count = (*db)->Query("SELECT COUNT(*) FROM F", {}, pinned);
+  ASSERT_TRUE(old_count.ok()) << old_count.status().ToString();
+  EXPECT_EQ(old_count->table->GetValue(0, 0).int64(), files_before);
+  EXPECT_EQ(old_count->stats.epoch, epoch_before);
+  auto old_data = (*db)->Query(
+      "SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri "
+      "WHERE F.station = 'NEWSTA'",
+      {}, (*db)->PinEpoch());
+  // (A fresh pin sees the new epoch; the original pin still doesn't.)
+  ASSERT_TRUE(old_data.ok()) << old_data.status().ToString();
+  EXPECT_EQ(old_data->table->GetValue(0, 0).int64(), 50);
+  auto still_old = (*db)->Query(
+      "SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri "
+      "WHERE F.station = 'NEWSTA'",
+      {}, std::move(pinned));
+  ASSERT_TRUE(still_old.ok()) << still_old.status().ToString();
+  EXPECT_EQ(still_old->table->GetValue(0, 0).int64(), 0);
+
+  // An unpinned query naturally runs on the latest epoch.
+  auto new_count = (*db)->Query("SELECT COUNT(*) FROM F");
+  ASSERT_TRUE(new_count.ok());
+  EXPECT_EQ(new_count->table->GetValue(0, 0).int64(), files_before + 1);
+  EXPECT_EQ(new_count->stats.epoch, epoch_before + 1);
+}
+
+TEST(RefreshTest, SupersededEpochRetiresWhenLastPinDrops) {
+  ScopedRepo repo("refresh_epoch_retire", TinyRepoOptions());
+  auto db = Database::Open(repo.root(), {});
+  ASSERT_TRUE(db.ok());
+
+  // Publish epoch 2 so we can pin a non-initial epoch (the initial epoch is
+  // held alive by the database itself for its whole lifetime).
+  ASSERT_TRUE(mseed::WriteFile(repo.root() + "/NEW/OR.NEW.BHE.000.mseed",
+                               {NewRecord("NEWSTA", 1262304000000LL, 20)})
+                  .ok());
+  ASSERT_TRUE((*db)->Refresh().ok());
+  const uint64_t epoch2 = (*db)->current_epoch();
+  EpochPtr pin = (*db)->PinEpoch();
+  ASSERT_EQ(pin->id, epoch2);
+
+  // Supersede it. The pin keeps it alive: nothing retires yet.
+  ASSERT_TRUE(mseed::WriteFile(repo.root() + "/NEW/OR.NEW.BHE.001.mseed",
+                               {NewRecord("NEWSTA", 1262390400000LL, 20)})
+                  .ok());
+  const uint64_t retired_before = (*db)->epochs_retired();
+  ASSERT_TRUE((*db)->Refresh().ok());
+  EXPECT_EQ((*db)->current_epoch(), epoch2 + 1);
+  EXPECT_EQ((*db)->epochs_retired(), retired_before);
+
+  // Last pin drops -> the superseded epoch's catalog is freed and counted.
+  pin.reset();
+  EXPECT_EQ((*db)->epochs_retired(), retired_before + 1);
+}
+
+TEST(RefreshTest, ConcurrentRefreshAndPinnedQueriesAreIsolated) {
+  ScopedRepo repo("refresh_epoch_race", TinyRepoOptions());
+  auto db = Database::Open(repo.root(), {});
+  ASSERT_TRUE(db.ok());
+  auto before = (*db)->Query("SELECT COUNT(*) FROM F");
+  ASSERT_TRUE(before.ok());
+  const int64_t files_before = before->table->GetValue(0, 0).int64();
+
+  // Reader thread: queries pinned to the pre-refresh epoch, racing the
+  // refresh publishes below. Every result must be the pre-refresh count.
+  std::atomic<bool> stop{false};
+  std::atomic<int> reader_failures{0};
+  EpochPtr pinned = (*db)->PinEpoch();
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto r = (*db)->Query("SELECT COUNT(*) FROM F", {}, pinned);
+      if (!r.ok() || r->table->GetValue(0, 0).int64() != files_before) {
+        reader_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  // Writer (this thread): three refreshes, each adding a file, racing the
+  // reader. Unpinned queries between them track the moving latest epoch.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(mseed::WriteFile(
+                    repo.root() + "/NEW/OR.NEW.BHE.00" + std::to_string(i) +
+                        ".mseed",
+                    {NewRecord("NEWSTA", 1262304000000LL + i * 86400000LL, 10)})
+                    .ok());
+    auto r = (*db)->Refresh();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    auto latest = (*db)->Query("SELECT COUNT(*) FROM F");
+    ASSERT_TRUE(latest.ok());
+    EXPECT_EQ(latest->table->GetValue(0, 0).int64(), files_before + i + 1);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(reader_failures.load(), 0);
 }
 
 }  // namespace

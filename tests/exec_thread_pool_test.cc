@@ -41,6 +41,57 @@ TEST(ThreadPool, SubmitReturnsResultsThroughFutures) {
   EXPECT_EQ(sum, expected);
 }
 
+TEST(ThreadPool, HigherPriorityClassesArePickedFirst) {
+  ThreadPool pool(1);
+  // Park the single worker so everything below queues up behind it.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  auto blocker = pool.Submit([gate] { gate.wait(); });
+
+  std::mutex mu;
+  std::vector<int> order;
+  auto record = [&](int tag) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(tag);
+  };
+  std::vector<std::future<void>> fs;
+  // Enqueued background-first; the worker must still drain interactive
+  // first, then normal, then background.
+  fs.push_back(pool.Submit([&] { record(0); }, ThreadPool::kPriorityBackground));
+  fs.push_back(pool.Submit([&] { record(1); }, ThreadPool::kPriorityNormal));
+  fs.push_back(pool.Submit([&] { record(2); }, ThreadPool::kPriorityInteractive));
+  release.set_value();
+  for (auto& f : fs) f.get();
+  blocker.get();
+  EXPECT_EQ(order, (std::vector<int>{2, 1, 0}));
+}
+
+TEST(ThreadPool, BackgroundWorkIsNotStarvedByInteractiveFlood) {
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  auto blocker = pool.Submit([gate] { gate.wait(); });
+
+  // One background task buried under a flood of interactive ones. The
+  // every-4th-pick rule must schedule it before the flood fully drains.
+  std::atomic<int> interactive_done{0};
+  std::atomic<int> interactive_done_before_background{-1};
+  std::vector<std::future<void>> fs;
+  fs.push_back(pool.Submit(
+      [&] { interactive_done_before_background = interactive_done.load(); },
+      ThreadPool::kPriorityBackground));
+  constexpr int kFlood = 64;
+  for (int i = 0; i < kFlood; ++i) {
+    fs.push_back(pool.Submit([&] { ++interactive_done; },
+                             ThreadPool::kPriorityInteractive));
+  }
+  release.set_value();
+  for (auto& f : fs) f.get();
+  blocker.get();
+  EXPECT_GE(interactive_done_before_background.load(), 0);
+  EXPECT_LT(interactive_done_before_background.load(), kFlood);
+}
+
 TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
   ThreadPool pool(2);
   auto f = pool.Submit([]() -> int { throw std::runtime_error("boom"); });

@@ -2,6 +2,7 @@
 #define DEX_TESTS_TEST_UTIL_H_
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -61,11 +62,13 @@ inline mseed::GeneratorOptions SmallRepoOptions() {
 }
 
 /// Scoped temp repository: generates at construction, removes at destruction.
+/// The root is suffixed with the pid so suites sharing a fixture name do not
+/// collide when ctest runs their per-test processes in parallel.
 class ScopedRepo {
  public:
   explicit ScopedRepo(const std::string& name,
                       const mseed::GeneratorOptions& gen = TinyRepoOptions())
-      : root_("/tmp/dex_test_" + name) {
+      : root_("/tmp/dex_test_" + name + "_" + std::to_string(::getpid())) {
     (void)RemoveDirRecursive(root_);
     auto repo = mseed::GenerateRepository(root_, gen);
     EXPECT_TRUE(repo.ok()) << repo.status().ToString();
