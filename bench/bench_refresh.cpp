@@ -16,6 +16,7 @@
 #include <ctime>
 
 #include "bench/bench_common.h"
+#include "common/fnv.h"
 
 using namespace dex;
 using namespace dex::bench;
@@ -30,12 +31,7 @@ uint64_t CatalogHash(Database* db) {
     auto t = db->catalog()->GetTable(name);
     if (t.ok()) dump += (*t)->ToString(1u << 20);
   }
-  uint64_t h = 1469598103934665603ull;
-  for (unsigned char c : dump) {
-    h ^= c;
-    h *= 1099511628211ull;
-  }
-  return h;
+  return Fnv1aString(dump);
 }
 
 void BumpMtimes(const std::vector<std::string>& files, int64_t seconds_ahead) {

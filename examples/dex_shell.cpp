@@ -3,6 +3,7 @@
 //   dex_shell <repo-dir> [--eager] [--cache=none|lru|all] [--tuple-cache]
 //             [--derived] [--snapshot=<path>] [--batch=<n>] [--threads=<n>]
 //             [--refresh-threads=<n>] [--timeout=<ms>] [--memlimit=<mb>]
+//             [--shards=<n>] [--shard-policy=hash|station]
 //             [--max-inflight=<n>] [--queue-depth=<n>]
 //             [--priority=background|normal|interactive]
 //             [--trace=<file>] [--log-level=debug|info|warning|error]
@@ -32,6 +33,8 @@
 //   .sessions          admission-gate state: the open sessions, in-flight /
 //                      queued counts, and the cumulative admitted / waited /
 //                      shed tallies
+//   .shards            one row per virtual shard (with --shards=N): files
+//                      owned, health, and the charged interconnect traffic
 //   .help / .quit
 //
 // Every statement runs through the serving layer: the shell is one session
@@ -94,11 +97,15 @@ void PrintQueryStats(const dex::QueryStats& stats, bool verbose) {
                           static_cast<double>(ts.parallel_sim_nanos)
                     : 1.0);
   }
+  if (ts.num_shards > 1) {
+    std::printf(" [%zu shards, net %.4fs sim]", ts.num_shards,
+                ts.net_sim_nanos / 1e9);
+  }
   if (ts.is_partial) {
     std::printf(" [PARTIAL: %zu skipped by deadline, %zu by memory, "
-                "cutoff at %.4fs sim]",
+                "%zu on dead shards, cutoff at %.4fs sim]",
                 ts.files_skipped_deadline, ts.files_skipped_memory,
-                ts.cutoff_sim_nanos / 1e9);
+                ts.files_skipped_shard, ts.cutoff_sim_nanos / 1e9);
   }
   const bool any_faults = stats.read_retries > 0 || stats.records_salvaged > 0 ||
                           stats.files_failed > 0 || stats.files_skipped > 0 ||
@@ -125,7 +132,8 @@ int Usage() {
                "usage: dex_shell <repo-dir> [--eager] [--cache=none|lru|all] "
                "[--tuple-cache] [--derived] [--snapshot=<path>] [--batch=<n>] "
                "[--threads=<n>] [--refresh-threads=<n>] [--timeout=<ms>] "
-               "[--memlimit=<mb>] [--max-inflight=<n>] [--queue-depth=<n>] "
+               "[--memlimit=<mb>] [--shards=<n>] [--shard-policy=hash|station] "
+               "[--max-inflight=<n>] [--queue-depth=<n>] "
                "[--priority=background|normal|interactive] [--trace=<file>] "
                "[--log-level=debug|info|warning|error]\n");
   return 2;
@@ -173,6 +181,18 @@ int main(int argc, char** argv) {
     } else if (dex::StartsWith(arg, "--memlimit=")) {
       options.two_stage.memory_budget_bytes =
           static_cast<uint64_t>(std::atoll(arg.c_str() + 11)) << 20;
+    } else if (dex::StartsWith(arg, "--shards=")) {
+      options.shard.num_shards = std::atoi(arg.c_str() + 9);
+    } else if (dex::StartsWith(arg, "--shard-policy=")) {
+      const std::string p = dex::ToLower(arg.substr(15));
+      if (p == "hash") {
+        options.shard.policy = dex::ShardedRepository::Policy::kHash;
+      } else if (p == "station") {
+        options.shard.policy = dex::ShardedRepository::Policy::kStationRange;
+      } else {
+        std::fprintf(stderr, "unknown shard policy %s\n", p.c_str());
+        return Usage();
+      }
     } else if (dex::StartsWith(arg, "--max-inflight=")) {
       serve_options.max_inflight =
           static_cast<size_t>(std::atoi(arg.c_str() + 15));
@@ -256,7 +276,8 @@ int main(int argc, char** argv) {
         std::printf(
             ".tables .schema <t> .explain [analyze] <sql> .stats .metrics "
             ".open .cache .coverage .refresh .cold .timeout <ms|off> "
-            ".memlimit <mb|off> .sessions .export <path> <sql> .quit\n");
+            ".memlimit <mb|off> .sessions .shards .export <path> <sql> "
+            ".quit\n");
       } else if (cmd == ".tables") {
         for (const std::string& name : db->catalog()->TableNames()) {
           auto table = db->catalog()->GetTable(name);
@@ -348,8 +369,9 @@ int main(int argc, char** argv) {
                             : 1.0);
           }
           if (r->is_partial) {
-            std::printf(" [PARTIAL: %zu skipped by deadline]",
-                        r->files_skipped_deadline);
+            std::printf(" [PARTIAL: %zu skipped by deadline, %zu on dead "
+                        "shards]",
+                        r->files_skipped_deadline, r->files_skipped_shard);
           }
           std::printf("\n");
           for (const std::string& w : r->warnings) {
@@ -394,6 +416,26 @@ int main(int argc, char** argv) {
           std::printf("memory budget: %lldMB over mounted data + cache "
                       "(currently %s reserved)\n", mb,
                       dex::FormatBytes(db->memory_budget()->used()).c_str());
+        }
+      } else if (cmd == ".shards") {
+        const auto rows = db->shards()->StatusRows();
+        if (rows.size() < 2) {
+          std::printf("sharding off (run with --shards=<n>)\n");
+        } else {
+          std::printf("%zu shards (%s partitioning)\n", rows.size(),
+                      db->shards()->options().policy ==
+                              dex::ShardedRepository::Policy::kHash
+                          ? "hash"
+                          : "station-range");
+          for (const auto& row : rows) {
+            std::printf("  shard %-3d %-5s %6zu files   net: %llu msgs, %s, "
+                        "%.4fs sim, %llu resends\n",
+                        row.shard, row.alive ? "alive" : "DEAD", row.files,
+                        static_cast<unsigned long long>(row.net_messages),
+                        dex::FormatBytes(row.net_bytes).c_str(),
+                        row.net_sim_nanos / 1e9,
+                        static_cast<unsigned long long>(row.net_resends));
+          }
         }
       } else if (cmd == ".sessions") {
         const auto stats = sessions.stats();

@@ -1,0 +1,37 @@
+#ifndef DEX_COMMON_FNV_H_
+#define DEX_COMMON_FNV_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dex {
+
+/// FNV-1a 64-bit offset basis — the default seed for all fingerprints.
+inline constexpr uint64_t kFnv1aOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnv1aPrime = 0x100000001b3ULL;
+
+/// \brief FNV-1a 64-bit — the fingerprint primitive shared by the serving
+/// layer's script replay, the shard-merge determinism checks, and the
+/// benches' cross-run identity assertions. Stable across platforms (unlike
+/// std::hash), and chainable: pass a previous hash as `seed` to fold more
+/// data into one fingerprint.
+inline uint64_t Fnv1a(const void* data, size_t len,
+                      uint64_t seed = kFnv1aOffsetBasis) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1aString(const std::string& s,
+                            uint64_t seed = kFnv1aOffsetBasis) {
+  return Fnv1a(s.data(), s.size(), seed);
+}
+
+}  // namespace dex
+
+#endif  // DEX_COMMON_FNV_H_

@@ -97,6 +97,10 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& repo_root,
   span.AddArg("repo", repo_root);
   db->repo_root_ = repo_root;
   db->disk_ = std::make_unique<SimDisk>(options.disk);
+  // The sharded repository always exists — with one shard (the default) it
+  // is inert and every executor keeps its classic single-node cost model.
+  db->shards_ =
+      std::make_unique<ShardedRepository>(db->disk_.get(), options.shard);
   db->registry_ = std::make_unique<FileRegistry>(db->disk_.get());
   db->cache_ = std::make_unique<CacheManager>(options.cache);
   // The global memory budget covers mounted partial tables and cache entries
@@ -144,6 +148,7 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& repo_root,
   sopts.num_threads = options.stage1_threads;
   sopts.on_error = options.two_stage.on_mount_error;
   sopts.retry = options.two_stage.retry;
+  sopts.shards = db->shards_.get();
   Stage1Stats sstats;
   DEX_ASSIGN_OR_RETURN(
       mseed::ScanResult scan,
@@ -157,6 +162,8 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& repo_root,
   db->open_stats_.scan_workers = sstats.workers;
   db->open_stats_.scan_serial_sim_nanos = sstats.serial_sim_nanos;
   db->open_stats_.scan_parallel_sim_nanos = sstats.parallel_sim_nanos;
+  db->open_stats_.num_shards = sstats.num_shards;
+  db->open_stats_.scan_net_sim_nanos = sstats.net_sim_nanos;
   db->open_stats_.repo_bytes = scan.total_bytes;
   db->open_stats_.num_files = scan.files.size();
   db->open_stats_.num_records = scan.records.size();
@@ -340,6 +347,8 @@ Result<QueryResult> Database::RunQuery(const std::string& sql,
       env.catalog = catalog;
       env.options = &effective;
       env.priority = options.priority;
+      env.shards = shards_.get();
+      env.num_shards = options.num_shards.value_or(0);
       DEX_ASSIGN_OR_RETURN(
           out.table,
           two_stage_->Execute(plan, options.breakpoint, &out.stats.two_stage,
@@ -383,6 +392,7 @@ Result<QueryResult> Database::RunQuery(const std::string& sql,
   PublishQueryMetrics(out.stats);
   PublishIoMetrics(disk_->stats());
   if (cache_ != nullptr) PublishCacheMetrics(cache_->stats());
+  if (shards_->enabled()) PublishShardMetrics(shards_->StatusRows());
   return out;
 }
 
@@ -407,15 +417,31 @@ Result<QueryResult> Database::RunExplainAnalyze(const std::string& sql,
     std::snprintf(
         line, sizeof(line),
         "\npartial result: %llu files mounted, %zu skipped by deadline, "
-        "%zu skipped by memory",
+        "%zu skipped by memory, %zu skipped on dead shards",
         static_cast<unsigned long long>(ts.mount.counters.mounts),
-        ts.files_skipped_deadline, ts.files_skipped_memory);
+        ts.files_skipped_deadline, ts.files_skipped_memory,
+        ts.files_skipped_shard);
     text += line;
     std::snprintf(line, sizeof(line),
                   "\ncutoff at %.3fms simulated, %.3fms wall",
                   static_cast<double>(ts.cutoff_sim_nanos) / 1e6,
                   static_cast<double>(ts.cutoff_wall_nanos) / 1e6);
     text += line;
+  }
+  if (ts.num_shards > 1) {
+    std::snprintf(line, sizeof(line),
+                  "\nshards: %zu, interconnect %.3fms simulated",
+                  ts.num_shards,
+                  static_cast<double>(ts.net_sim_nanos) / 1e6);
+    text += line;
+    for (const TwoStageStats::ShardRow& row : ts.shard_rows) {
+      std::snprintf(line, sizeof(line),
+                    "\n  shard %d: %zu files, disk %.3fms, net %.3fms",
+                    row.shard, row.files,
+                    static_cast<double>(row.disk_sim_nanos) / 1e6,
+                    static_cast<double>(row.net_sim_nanos) / 1e6);
+      text += line;
+    }
   }
   DEX_ASSIGN_OR_RETURN(out.table, PlanTextTable(text));
   return out;
@@ -487,6 +513,7 @@ Result<RefreshStats> Database::Refresh() {
   sopts.num_threads = options_.stage1_threads;
   sopts.on_error = ts.on_mount_error;
   sopts.retry = ts.retry;
+  sopts.shards = shards_.get();
   // A refresh is maintenance: its scan tasks ride the shared pool at
   // background priority so interactive queries keep their workers.
   sopts.priority = ThreadPool::kPriorityBackground;
@@ -520,6 +547,9 @@ Result<RefreshStats> Database::Refresh() {
   stats.parallel_sim_nanos = sstats.parallel_sim_nanos;
   stats.is_partial = sstats.is_partial;
   stats.files_skipped_deadline = sstats.files_skipped_deadline;
+  stats.num_shards = sstats.num_shards;
+  stats.files_skipped_shard = sstats.files_skipped_shard;
+  stats.net_sim_nanos = sstats.net_sim_nanos;
   stats.warnings = std::move(sstats.warnings);
   if (sstats.warnings_dropped > 0) {
     stats.warnings.push_back("(" + std::to_string(sstats.warnings_dropped) +
@@ -559,6 +589,7 @@ Result<RefreshStats> Database::Refresh() {
   span.AddArg("epoch", stats.epoch);
   PublishRefreshMetrics(stats);
   PublishIoMetrics(disk_->stats());
+  if (shards_->enabled()) PublishShardMetrics(shards_->StatusRows());
   return stats;
 }
 

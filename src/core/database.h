@@ -20,6 +20,7 @@
 #include "core/two_stage.h"
 #include "exec/thread_pool.h"
 #include "io/sim_disk.h"
+#include "shard/sharded_repository.h"
 #include "storage/catalog.h"
 
 namespace dex {
@@ -67,6 +68,13 @@ struct DatabaseOptions {
   // The simulated storage medium.
   SimDisk::Options disk;
 
+  // Sharding: partition the file catalog across `shard.num_shards` virtual
+  // storage nodes behind a simulated interconnect (shard.net). With one
+  // shard (the default) everything behaves exactly as before. Stage-1 scans
+  // and stage-2 ingestion then run scatter/gather with per-shard charged
+  // time; a dead shard degrades queries to deterministic partial results.
+  ShardedRepository::Options shard;
+
   // Repository file format. nullptr = auto-detect from the files present
   // (mSEED first, then the text time-series format).
   std::shared_ptr<FormatAdapter> format;
@@ -99,6 +107,11 @@ struct OpenStats {
   size_t scan_workers = 1;
   uint64_t scan_serial_sim_nanos = 0;
   uint64_t scan_parallel_sim_nanos = 0;
+
+  // Sharded scan: shard count and the interconnect time Open's scan charged
+  // shipping parsed headers to the coordinator (0 when unsharded).
+  size_t num_shards = 1;
+  uint64_t scan_net_sim_nanos = 0;
 
   /// Wall-clock-equivalent seconds including simulated I/O.
   double TotalSeconds() const {
@@ -172,8 +185,13 @@ struct RefreshStats {
   uint64_t epoch = 0;
 
   // -- Governance (a deadline armed during Refresh) -----------------------
-  bool is_partial = false;            // the deadline stopped the scan early
+  bool is_partial = false;            // deadline or dead shard left work undone
   size_t files_skipped_deadline = 0;  // files left at their stale rows
+
+  // -- Sharded scan -------------------------------------------------------
+  size_t num_shards = 1;           // effective shard count (1 = unsharded)
+  size_t files_skipped_shard = 0;  // scan candidates on dead shards
+  uint64_t net_sim_nanos = 0;      // interconnect time this refresh charged
 
   /// Degradation notices (quarantines), bounded, deterministic order.
   std::vector<std::string> warnings;
@@ -198,6 +216,11 @@ struct QueryOptions {
   std::optional<OnResourceExhausted> on_resource_exhausted;
   /// Stage-2 ingestion worker lanes (0 = hardware concurrency, 1 = serial).
   std::optional<size_t> num_threads;
+  /// Shard count for this query on a sharded database (nullopt/0 = the
+  /// configured count; other values clamped into [1, configured]). The
+  /// query re-partitions on the fly: results are identical at any value,
+  /// only the charged scatter/gather critical path changes.
+  std::optional<int> num_shards;
   /// Worker-pool priority class (ThreadPool::kPriorityBackground/Normal/
   /// Interactive) for this query's mount tasks on the shared pool. Higher
   /// classes are picked first; a deterministic anti-starvation rule keeps
@@ -324,6 +347,9 @@ class Database {
   }
   SimDisk* disk() { return disk_.get(); }
   CacheManager* cache() { return cache_.get(); }
+  /// The sharded repository (never null; has one shard when unsharded).
+  /// Kill/HealShard and StatusRows back the shell's `.shards` command.
+  ShardedRepository* shards() { return shards_.get(); }
   FileRegistry* registry() { return registry_.get(); }
   DerivedMetadata* derived_metadata() { return derived_.get(); }
   FormatAdapter* format() { return format_.get(); }
@@ -352,6 +378,9 @@ class Database {
   std::string repo_root_;
   std::shared_ptr<FormatAdapter> format_;
   std::unique_ptr<SimDisk> disk_;
+  // Catalog partitioning + the simulated shard interconnect (owns the
+  // SimNetwork). One shard = the classic single-node behavior.
+  std::unique_ptr<ShardedRepository> shards_;
   std::unique_ptr<FileRegistry> registry_;
   std::unique_ptr<CacheManager> cache_;
   // Database-wide: outlives any one query because cache entries keep their

@@ -34,6 +34,13 @@ void PublishQueryMetrics(const QueryStats& stats) {
               static_cast<double>(ts.files_of_interest));
   }
 
+  // Sharded execution: per-query scatter/gather accounting.
+  if (ts.num_shards > 1) {
+    m.AddCounter("shard.sharded_queries", 1);
+    m.AddCounter("shard.net_sim_nanos", ts.net_sim_nanos);
+  }
+  m.AddCounter("shard.files_skipped_shard", ts.files_skipped_shard);
+
   // Resource governance: how often queries degrade, and why.
   if (ts.is_partial) m.AddCounter("governance.partial_queries", 1);
   m.AddCounter("governance.files_skipped_deadline", ts.files_skipped_deadline);
@@ -81,6 +88,9 @@ void PublishOpenMetrics(const OpenStats& stats) {
              static_cast<double>(stats.scan_serial_sim_nanos));
   m.SetGauge("open.scan_parallel_sim_nanos",
              static_cast<double>(stats.scan_parallel_sim_nanos));
+  m.SetGauge("open.num_shards", static_cast<double>(stats.num_shards));
+  m.SetGauge("open.scan_net_sim_nanos",
+             static_cast<double>(stats.scan_net_sim_nanos));
 }
 
 void PublishRefreshMetrics(const RefreshStats& stats) {
@@ -100,6 +110,10 @@ void PublishRefreshMetrics(const RefreshStats& stats) {
   if (stats.is_partial) m.AddCounter("governance.partial_refreshes", 1);
   m.AddCounter("governance.files_skipped_deadline",
                stats.files_skipped_deadline);
+  if (stats.num_shards > 1) {
+    m.AddCounter("refresh.net_sim_nanos", stats.net_sim_nanos);
+  }
+  m.AddCounter("shard.files_skipped_shard", stats.files_skipped_shard);
 }
 
 void PublishIoMetrics(const IoStats& io) {
@@ -121,6 +135,26 @@ void PublishCacheMetrics(const CacheStats& cache) {
   m.SetGauge("cache.invalidations", static_cast<double>(cache.invalidations));
   m.SetGauge("cache.budget_rejections",
              static_cast<double>(cache.budget_rejections));
+}
+
+void PublishShardMetrics(
+    const std::vector<ShardedRepository::SliceStats>& rows) {
+  MetricsRegistry& m = MetricsRegistry::Global();
+  size_t dead = 0;
+  uint64_t messages = 0, bytes = 0, nanos = 0, resends = 0;
+  for (const ShardedRepository::SliceStats& r : rows) {
+    if (!r.alive) ++dead;
+    messages += r.net_messages;
+    bytes += r.net_bytes;
+    nanos += r.net_sim_nanos;
+    resends += r.net_resends;
+  }
+  m.SetGauge("shard.count", static_cast<double>(rows.size()));
+  m.SetGauge("shard.dead", static_cast<double>(dead));
+  m.SetGauge("shard.net_messages_total", static_cast<double>(messages));
+  m.SetGauge("shard.net_bytes_total", static_cast<double>(bytes));
+  m.SetGauge("shard.net_sim_nanos_total", static_cast<double>(nanos));
+  m.SetGauge("shard.net_resends_total", static_cast<double>(resends));
 }
 
 }  // namespace dex

@@ -30,6 +30,11 @@ void PublishIoMetrics(const IoStats& io);
 /// Cumulative cache gauges (`cache.*`).
 void PublishCacheMetrics(const CacheStats& cache);
 
+/// Cumulative shard gauges (`shard.*`) from the repository's per-shard
+/// status rows. Called after queries/refreshes on a sharded database.
+void PublishShardMetrics(
+    const std::vector<ShardedRepository::SliceStats>& rows);
+
 }  // namespace dex
 
 #endif  // DEX_CORE_METRICS_PUBLISH_H_

@@ -18,6 +18,9 @@ namespace {
 // the stats of its own refresh (mirrors the query-warning bound).
 constexpr size_t kMaxScanWarnings = 32;
 
+// Payload of one scatter request ("scan your slice") to a shard.
+constexpr uint64_t kShardScanRequestBytes = 256;
+
 /// The coordinator's per-file decision, made in enumeration order.
 struct FilePlan {
   const std::string* uri = nullptr;
@@ -139,6 +142,15 @@ Result<mseed::ScanResult> Stage1Scanner::Scan(const std::string& root,
                        format_->EnumerateFiles(root));
   stats->files_enumerated = uris.size();
 
+  // (Re)partition the enumerated catalog across the shards *before* any
+  // assignment is read: Open, every Refresh, and the queries running against
+  // the epoch this scan publishes all agree on the file→shard map.
+  ShardedRepository* shards = options.shards;
+  const bool sharded = shards != nullptr && shards->enabled();
+  if (shards != nullptr) shards->AssignCatalog(uris);
+  stats->num_shards =
+      sharded ? static_cast<size_t>(shards->num_shards()) : 1;
+
   // Index the baseline by URI (metadata snapshot at Open, catalog at
   // Refresh).
   std::unordered_map<std::string, const mseed::FileMeta*> base_files;
@@ -181,6 +193,16 @@ Result<mseed::ScanResult> Stage1Scanner::Scan(const std::string& root,
         DEX_RETURN_NOT_OK(
             registry_->Add(uris[i], plan.size_bytes, plan.mtime_ms));
       }
+      continue;
+    }
+    // A file needing a parse but owned by a dead shard cannot be reached:
+    // fall back to its stale baseline row when one exists (like a deadline
+    // skip) and let the next refresh re-detect it. The registry is left
+    // untouched for the same reason.
+    if (sharded && !shards->IsShardAlive(shards->ShardOf(uris[i]))) {
+      ++stats->files_skipped_shard;
+      stats->is_partial = true;
+      plan.reuse = base_files.count(uris[i]) > 0;
       continue;
     }
     work.push_back(i);
@@ -296,21 +318,88 @@ Result<mseed::ScanResult> Stage1Scanner::Scan(const std::string& root,
     }
     DEX_RETURN_NOT_OK(group.Wait());
 
+    // Sharded gather: every parsed header ships its bytes back over its
+    // shard's link, on the coordinator at the barrier in shard/enumeration
+    // order — the k-th transfer on a link is the same transfer in every
+    // run, so the seeded per-link fault streams replay bit-identically. A
+    // response lost past the resend budget degrades like a permanently
+    // failing header read (quarantine, metadata kept).
+    const size_t num_shards =
+        sharded ? static_cast<size_t>(shards->num_shards()) : 1;
+    std::vector<uint64_t> shard_disk(num_shards, 0);
+    std::vector<uint64_t> shard_net(num_shards, 0);
+    uint64_t net_total = 0;
+    if (sharded && !work.empty()) {
+      std::vector<std::vector<size_t>> members(num_shards);
+      for (size_t w = 0; w < work.size(); ++w) {
+        const size_t s =
+            static_cast<size_t>(shards->ShardOf(*plans[work[w]].uri));
+        shard_disk[s] += slots[w].sim_nanos;
+        members[s].push_back(w);
+      }
+      SimNetwork* net = shards->network();
+      for (size_t s = 0; s < num_shards; ++s) {
+        if (members[s].empty()) continue;
+        // This shard's transfers land in its own bucket; the global clock
+        // gets one worker-invariant charge below.
+        SimDisk::TaskTimeScope scope(&shard_net[s]);
+        (void)net->Transfer(shards->LinkOf(static_cast<int>(s)),
+                            kShardScanRequestBytes);
+        for (size_t w : members[s]) {
+          if (slots[w].parse_failed) continue;  // nothing to ship
+          const FilePlan& plan = plans[work[w]];
+          const uint32_t num_records = slots[w].result.files.empty()
+                                           ? 0
+                                           : slots[w].result.files[0].num_records;
+          const uint64_t bytes = std::min<uint64_t>(
+              plan.size_bytes, (static_cast<uint64_t>(num_records) + 1) * 64);
+          Result<uint64_t> resp =
+              net->Transfer(shards->LinkOf(static_cast<int>(s)), bytes);
+          if (!resp.ok() && !slots[w].read_failed) {
+            slots[w].read_failed = true;
+            slots[w].error = resp.status().message();
+          }
+        }
+      }
+      for (size_t s = 0; s < num_shards; ++s) net_total += shard_net[s];
+    }
+
     std::vector<uint64_t> task_nanos;
     task_nanos.reserve(slots.size());
     for (const TaskSlot& slot : slots) task_nanos.push_back(slot.sim_nanos);
     const SimSchedule sched = ListScheduleSimTimes(task_nanos, workers);
-    // Charge the *serial sum*: the scan's charged simulated cost stays
-    // invariant in the worker count (and equal to the legacy serial scan's
-    // charge), while the critical path over `workers` lanes is reported as
-    // what a medium with that much overlap would have stalled — the
-    // speedup bench_refresh measures. Contrast with stage-2 mounts, which
-    // charge the makespan (a query's reported latency *should* drop with
-    // workers); Open/Refresh cost feeds experiments that compare ingestion
-    // strategies and must not drift with the machine's core count.
-    if (sched.serial_sum > 0) disk->ChargeDelay(sched.serial_sum);
-    stats->serial_sim_nanos = sched.serial_sum;
-    stats->parallel_sim_nanos = sched.makespan;
+    // Charge the *serial sum* (plus, sharded, the total net time): the
+    // scan's charged simulated cost stays invariant in the worker count (and
+    // equal to the legacy serial scan's charge), while the critical path is
+    // reported as what a medium with that much overlap would have stalled —
+    // the speedup bench_refresh measures. Unsharded, the critical path is
+    // the makespan over `workers` lanes; sharded, it is the slowest shard
+    // (summed parse time + link time — each shard is one serial storage
+    // node, so shard count, not worker count, sets the headroom). Contrast
+    // with stage-2 mounts, which charge the makespan (a query's reported
+    // latency *should* drop with workers); Open/Refresh cost feeds
+    // experiments that compare ingestion strategies and must not drift with
+    // the machine's core count.
+    if (sched.serial_sum + net_total > 0) {
+      disk->ChargeDelay(sched.serial_sum + net_total);
+    }
+    stats->serial_sim_nanos = sched.serial_sum + net_total;
+    stats->net_sim_nanos = net_total;
+    if (sharded) {
+      uint64_t slowest = 0;
+      for (size_t s = 0; s < num_shards; ++s) {
+        slowest = std::max(slowest, shard_disk[s] + shard_net[s]);
+        if (shard_disk[s] + shard_net[s] == 0) continue;
+        obs::Tracer::Instant(
+            "shard_scan", "shard",
+            {{"shard", std::to_string(s)},
+             {"disk_nanos", std::to_string(shard_disk[s])},
+             {"net_nanos", std::to_string(shard_net[s])}});
+      }
+      stats->parallel_sim_nanos = slowest;
+    } else {
+      stats->parallel_sim_nanos = sched.makespan;
+    }
   }
 
   // Merge in enumeration order: catalog row order, stat counters, warning

@@ -12,6 +12,7 @@
 #include "core/mounter.h"
 #include "exec/query_context.h"
 #include "exec/thread_pool.h"
+#include "shard/sharded_repository.h"
 
 namespace dex {
 
@@ -45,6 +46,18 @@ struct Stage1Options {
   /// Worker-pool priority class for the scan's header-parse tasks (only
   /// meaningful on a shared pool; a private pool runs one scan at a time).
   int priority = ThreadPool::kPriorityNormal;
+
+  /// The sharded repository, when the database is sharded. The scanner
+  /// always re-assigns the enumerated catalog (keeping the partition map in
+  /// sync with what the epoch publishes); with more than one shard the scan
+  /// additionally runs scatter/gather — every parsed header ships its bytes
+  /// back over its shard's link (charged, deterministic fault streams) and
+  /// files owned by a *dead* shard are skipped in the pre-pass: they keep
+  /// their stale baseline rows when they have one and are counted in
+  /// `files_skipped_shard` (`is_partial` set), like a deadline cutoff.
+  /// Governed (deadline-armed) scans skip the net charges: they serialize
+  /// on the simulated clock and model a coordinator-local scan.
+  ShardedRepository* shards = nullptr;
 };
 
 /// \brief What one stage-1 scan did. Every field is a pure function of the
@@ -58,15 +71,25 @@ struct Stage1Stats {
   size_t files_removed = 0;     // baseline files gone from disk
   size_t files_quarantined = 0; // corrupt header or permanent read failure
   size_t files_skipped_deadline = 0;
-  bool is_partial = false;      // a deadline stopped the scan early
+  bool is_partial = false;      // a deadline or dead shard left work undone
   size_t workers = 1;           // resolved worker-lane count
   uint64_t read_retries = 0;    // transient header-read failures absorbed
 
+  // -- Sharded scan -------------------------------------------------------
+  size_t num_shards = 1;          // effective shard count (1 = unsharded)
+  size_t files_skipped_shard = 0; // scan candidates on dead shards
+  /// Simulated interconnect time charged shipping parsed headers to the
+  /// coordinator (0 when unsharded or governed).
+  uint64_t net_sim_nanos = 0;
+
   /// Simulated stall time of the scan's header reads. The *serial sum* is
   /// what is charged to the global clock — worker-count-invariant, equal to
-  /// the legacy serial scan's charge — while the critical path over
-  /// `workers` lanes is reported here as what a medium with that much
-  /// overlap would have stalled (bench_refresh's speedup = serial/parallel).
+  /// the legacy serial scan's charge — while the critical path is reported
+  /// here as what a medium with that much overlap would have stalled
+  /// (bench_refresh's speedup = serial/parallel). Unsharded, the critical
+  /// path is the makespan over `workers` lanes; sharded, it is the slowest
+  /// shard (that shard's summed parse time + its link time): each shard is
+  /// one serial storage node.
   uint64_t serial_sim_nanos = 0;
   uint64_t parallel_sim_nanos = 0;
 

@@ -23,6 +23,22 @@ constexpr const char* kQfResultId = "__qf";
 constexpr const char* kEmptyResultId = "__empty";
 constexpr const char* kIngestedResultId = "__ingested";
 
+// Payload of one scatter request ("mount these files") to a shard. Small and
+// fixed: the request is dominated by the link latency, not its bytes.
+constexpr uint64_t kShardRequestBytes = 256;
+
+// Warnings accumulated into a query's MountOutcome are bounded the same way
+// Mounter bounds its own (the database bounds again at copy time).
+constexpr size_t kMaxShardWarnings = 32;
+
+void AddShardWarning(Mounter::MountOutcome* outcome, std::string msg) {
+  if (outcome->warnings.size() < kMaxShardWarnings) {
+    outcome->warnings.push_back(std::move(msg));
+  } else {
+    ++outcome->warnings_dropped;
+  }
+}
+
 uint64_t NowNanos() {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -247,17 +263,23 @@ ThreadPool* TwoStageExecutor::Pool(size_t workers) {
 Status TwoStageExecutor::PremountUnion(const PlanPtr& union_node, size_t workers,
                                        int priority, TwoStageStats* stats,
                                        PremountMap* premounted,
-                                       QueryContext* qctx) {
+                                       QueryContext* qctx,
+                                       ShardedRepository* shards,
+                                       int num_shards) {
   if (qctx != nullptr && qctx->has_limits()) {
     // Governed queries serialize admission: every mount opens inline in
     // union-branch order, so the deadline/budget cutoff is a function of the
     // deterministic simulated timeline instead of worker scheduling. The
     // trade (documented in DESIGN.md §8.8): no parallel mount overlap while
-    // a deadline or memory budget is armed.
+    // a deadline or memory budget is armed. (Sharded governed queries charge
+    // their gather transfers inline in the mount_fn instead.)
     return Status::OK();
   }
-  if (workers <= 1 || union_node == nullptr ||
-      union_node->kind != PlanKind::kUnion) {
+  const bool sharded = shards != nullptr && num_shards > 1;
+  if (union_node == nullptr || union_node->kind != PlanKind::kUnion) {
+    return Status::OK();
+  }
+  if (!sharded && workers <= 1) {
     return Status::OK();  // legacy path: mounts open inline, one at a time
   }
   // The union's branch order is the files-of-interest order (URIs,
@@ -267,7 +289,11 @@ Status TwoStageExecutor::PremountUnion(const PlanPtr& union_node, size_t workers
   for (const PlanPtr& child : union_node->children) {
     if (child->kind == PlanKind::kMount) mounts.push_back(child.get());
   }
-  if (mounts.size() < 2) return Status::OK();  // nothing to overlap
+  // Unsharded: overlap needs at least two mounts. Sharded: the wave runs
+  // even for a single mount at a single worker — the per-shard cost model
+  // (not the worker-lane makespan) is what gets charged, and it must be the
+  // same at every worker count.
+  if (mounts.empty() || (!sharded && mounts.size() < 2)) return Status::OK();
 
   struct TaskResult {
     TablePtr table;
@@ -275,7 +301,7 @@ Status TwoStageExecutor::PremountUnion(const PlanPtr& union_node, size_t workers
     uint64_t sim_nanos = 0;
   };
   std::vector<TaskResult> results(mounts.size());
-  TaskGroup group(Pool(workers), priority);
+  TaskGroup group(workers > 1 ? Pool(workers) : nullptr, priority);
   for (size_t i = 0; i < mounts.size(); ++i) {
     const LogicalPlan* node = mounts[i];
     TaskResult* slot = &results[i];
@@ -305,6 +331,93 @@ Status TwoStageExecutor::PremountUnion(const PlanPtr& union_node, size_t workers
     });
   }
   DEX_RETURN_NOT_OK(group.Wait());
+
+  if (sharded) {
+    // Sharded time model: each shard is one storage node with a serial disk
+    // behind its own link. The wave costs max over shards of (the shard's
+    // summed mount time + the shard's net time) — the slowest *shard*, not
+    // the slowest worker lane — so the charge is identical at every worker
+    // count and physical pool size. Worker threads only shorten wall time.
+    const size_t n = static_cast<size_t>(num_shards);
+    std::vector<int> owner(mounts.size());
+    std::vector<uint64_t> disk_nanos(n, 0);
+    std::vector<uint64_t> net_nanos(n, 0);
+    std::vector<size_t> files(n, 0);
+    for (size_t i = 0; i < mounts.size(); ++i) {
+      owner[i] = shards->ShardOf(mounts[i]->uri, num_shards);
+      disk_nanos[static_cast<size_t>(owner[i])] += results[i].sim_nanos;
+      ++files[static_cast<size_t>(owner[i])];
+    }
+    // Gather on the coordinator at the barrier, in shard then branch order:
+    // the k-th transfer on a link is the same transfer in every run, so the
+    // per-link fault streams replay bit-identically. One scatter request per
+    // shard with work, then each mounted table ships back over its link.
+    SimNetwork* net = shards->network();
+    std::vector<Status> gather_failure(mounts.size(), Status::OK());
+    for (int s = 0; s < num_shards; ++s) {
+      if (files[static_cast<size_t>(s)] == 0) continue;
+      // The shard's transfers land in its own bucket; the global clock is
+      // charged once below with the wave's critical path.
+      SimDisk::TaskTimeScope scope(&net_nanos[static_cast<size_t>(s)]);
+      (void)net->Transfer(shards->LinkOf(s), kShardRequestBytes);
+      for (size_t i = 0; i < mounts.size(); ++i) {
+        if (owner[i] != s || results[i].table == nullptr) continue;
+        Result<uint64_t> resp =
+            net->Transfer(shards->LinkOf(s), results[i].table->ByteSize());
+        if (!resp.ok()) gather_failure[i] = resp.status();
+      }
+    }
+    uint64_t wave = 0;
+    for (size_t s = 0; s < n; ++s) {
+      wave = std::max(wave, disk_nanos[s] + net_nanos[s]);
+      stats->serial_sim_nanos += disk_nanos[s] + net_nanos[s];
+      stats->net_sim_nanos += net_nanos[s];
+      if (files[s] == 0) continue;
+      // Per-shard accounting row (merged across batched waves by shard id).
+      TwoStageStats::ShardRow* row = nullptr;
+      for (TwoStageStats::ShardRow& r : stats->shard_rows) {
+        if (r.shard == static_cast<int>(s)) row = &r;
+      }
+      if (row == nullptr) {
+        stats->shard_rows.push_back(TwoStageStats::ShardRow{});
+        row = &stats->shard_rows.back();
+        row->shard = static_cast<int>(s);
+      }
+      row->files += files[s];
+      row->disk_sim_nanos += disk_nanos[s];
+      row->net_sim_nanos += net_nanos[s];
+      obs::Tracer::Instant(
+          "shard_gather", "shard",
+          {{"shard", std::to_string(s)},
+           {"files", std::to_string(files[s])},
+           {"disk_nanos", std::to_string(disk_nanos[s])},
+           {"net_nanos", std::to_string(net_nanos[s])}});
+    }
+    registry_->disk()->ChargeDelay(wave);
+    stats->parallel_sim_nanos += wave;
+    stats->mount_tasks += mounts.size();
+    for (size_t i = 0; i < mounts.size(); ++i) {
+      stats->mount.MergeFrom(results[i].outcome);
+      if (!gather_failure[i].ok()) {
+        // The response never made it across the link (loss past the resend
+        // budget, or the shard died mid-wave): quarantine the file and let
+        // its branch contribute no rows — the same degradation as a
+        // governance skip, and deterministic because the fault streams are.
+        registry_->Quarantine(mounts[i]->uri, gather_failure[i].message());
+        AddShardWarning(&stats->mount,
+                        "gather of '" + mounts[i]->uri +
+                            "' failed: " + gather_failure[i].message() +
+                            " (file quarantined)");
+        (*premounted)[mounts[i]->uri] = PremountEntry{
+            mounts[i]->predicate,
+            std::make_shared<Table>(mounts[i]->table_name, MakeDataSchema())};
+        continue;
+      }
+      (*premounted)[mounts[i]->uri] =
+          PremountEntry{mounts[i]->predicate, std::move(results[i].table)};
+    }
+    return Status::OK();
+  }
 
   // Deterministic time model: greedy list scheduling of the per-task stall
   // times onto `workers` lanes, in task order. The makespan (longest lane)
@@ -344,6 +457,12 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
       (env != nullptr && env->options != nullptr) ? *env->options : options_;
   const int priority = env != nullptr ? env->priority
                                       : ThreadPool::kPriorityNormal;
+  ShardedRepository* shards =
+      (env != nullptr && env->shards != nullptr) ? env->shards : nullptr;
+  const int num_shards =
+      shards != nullptr ? shards->ClampShardCount(env->num_shards) : 1;
+  const bool sharded = shards != nullptr && num_shards > 1;
+  stats->num_shards = static_cast<size_t>(num_shards);
 
   DEX_ASSIGN_OR_RETURN(SplitResult split, SplitPlan(plan, *catalog));
 
@@ -415,10 +534,27 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
       return Status::OK();
     };
   }
+  // Gather charge for a mount performed *outside* the sharded premount wave
+  // (governed admission serializes mounts inline; premount fallbacks): the
+  // file's table still crosses its shard's link exactly once. These run
+  // serially in union-branch order on the coordinator, so the per-link fault
+  // streams replay deterministically; with no TaskTimeScope installed the
+  // transfer charges the global clock (plus the query's tee) directly.
+  auto charge_gather = [shards, num_shards, sharded,
+                        stats](const std::string& uri, const TablePtr& t) {
+    if (!sharded || t == nullptr) return;
+    const int s = shards->ShardOf(uri, num_shards);
+    Result<uint64_t> r =
+        shards->network()->Transfer(shards->LinkOf(s), t->ByteSize());
+    // A failed transfer (shard killed mid-query) still charged its attempt;
+    // dead shards are normally filtered at planning time, so keep the
+    // already-mounted data rather than inventing a second failure path.
+    if (r.ok()) stats->net_sim_nanos += *r;
+  };
   ctx.mount_fn = [this, stats, premounted, qctx, admission, stop_admission,
-                  governed, &opts](const std::string& table,
-                                   const std::string& uri,
-                                   const ExprPtr& pred) -> Result<TablePtr> {
+                  governed, charge_gather, &opts](
+                     const std::string& table, const std::string& uri,
+                     const ExprPtr& pred) -> Result<TablePtr> {
     auto it = premounted->find(uri);
     if (it != premounted->end() && it->second.predicate.get() == pred.get()) {
       TablePtr t = std::move(it->second.table);
@@ -429,13 +565,16 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
       return Result<TablePtr>(std::move(t));
     }
     if (admission == nullptr) {
-      return mounter_->Mount(table, uri, pred, &stats->mount, qctx);
+      auto mounted = mounter_->Mount(table, uri, pred, &stats->mount, qctx);
+      if (mounted.ok()) charge_gather(uri, *mounted);
+      return mounted;
     }
     if (!governed) {
       // Tracked but not limited: reservations against the unlimited budget
       // always succeed and only maintain the high-water mark.
       auto mounted = mounter_->Mount(table, uri, pred, &stats->mount, qctx);
       if (!mounted.ok()) return mounted;
+      charge_gather(uri, *mounted);
       if (qctx->memory()->TryReserve((*mounted)->ByteSize())) {
         admission->reserved_bytes += (*mounted)->ByteSize();
       }
@@ -468,6 +607,9 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
     }
     auto mounted = mounter_->Mount(table, uri, pred, &stats->mount, qctx);
     if (!mounted.ok()) return mounted;
+    // The mounted table ships to the coordinator before memory admission is
+    // decided: a table the budget then discards still crossed the link.
+    charge_gather(uri, *mounted);
     // Memory admission, two layers: the partial table must fit under the
     // query's own cap (if any) *and* in the shared budget. Eviction of
     // unpinned cache entries is tried only for the shared budget — freeing
@@ -567,6 +709,27 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
                                }),
                 files.end());
     stats->files_quarantined = before - files.size();
+  }
+  // Files owned by a dead shard cannot be ingested at all: drop them at
+  // planning time — before the rewrite builds their branches — so the query
+  // degrades to the same deterministic partial-results path a governance
+  // cutoff uses, instead of stalling on a link that refuses every transfer.
+  if (sharded && shards->HasDeadShards()) {
+    const size_t before = files.size();
+    files.erase(std::remove_if(files.begin(), files.end(),
+                               [&](const std::string& uri) {
+                                 return !shards->IsShardAlive(
+                                     shards->ShardOf(uri, num_shards));
+                               }),
+                files.end());
+    stats->files_skipped_shard = before - files.size();
+    if (stats->files_skipped_shard > 0) {
+      stats->is_partial = true;
+      obs::Tracer::Instant(
+          "shard_skip", "shard",
+          {{"files_skipped_shard",
+            std::to_string(stats->files_skipped_shard)}});
+    }
   }
   stats->files_of_interest = files.size();
 
@@ -687,8 +850,9 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
       batch_span.AddArg("batch", static_cast<uint64_t>(b + 1));
       // Parallelism is per ingestion wave: each batch's mounts overlap, the
       // breakpoint between batches stays a clean barrier.
-      DEX_RETURN_NOT_OK(
-          PremountUnion(sub, workers, priority, stats, premounted.get(), qctx));
+      DEX_RETURN_NOT_OK(PremountUnion(sub, workers, priority, stats,
+                                      premounted.get(), qctx, shards,
+                                      num_shards));
       DEX_ASSIGN_OR_RETURN(TablePtr part, ExecutePlan(sub, &ctx));
       if (profiler != nullptr) {
         profiler->AddRoot("stage 2 ingestion (batch " + std::to_string(b + 1) +
@@ -722,7 +886,8 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
     DEX_RETURN_NOT_OK(AnalyzePlan(stage2_plan, *catalog));
   } else {
     DEX_RETURN_NOT_OK(PremountUnion(union_node, workers, priority, stats,
-                                    premounted.get(), qctx));
+                                    premounted.get(), qctx, shards,
+                                    num_shards));
   }
   DEX_ASSIGN_OR_RETURN(TablePtr result, ExecutePlan(stage2_plan, &ctx));
   if (profiler != nullptr) profiler->AddRoot("stage 2", stage2_plan);

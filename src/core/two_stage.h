@@ -16,6 +16,7 @@
 #include "engine/executor.h"
 #include "exec/query_context.h"
 #include "exec/thread_pool.h"
+#include "shard/sharded_repository.h"
 
 namespace dex {
 
@@ -132,6 +133,28 @@ struct TwoStageStats {
   uint64_t mem_reserved_peak = 0;
   uint64_t mem_budget_evictions = 0;
 
+  // -- Sharded execution --------------------------------------------------
+  /// Effective shard count this query ran with (1 = unsharded).
+  size_t num_shards = 1;
+  /// Files of interest dropped at planning time because their owning shard
+  /// was dead (they contribute to `is_partial`, like governance skips).
+  size_t files_skipped_shard = 0;
+  /// Simulated interconnect time this query charged (scatter requests plus
+  /// per-file gather responses, including deterministic resend backoff).
+  uint64_t net_sim_nanos = 0;
+  /// One row per shard that served this query's stage-2 mounts: its slice
+  /// of the ingestion and what its link cost. The sharded wave charges
+  /// max(disk_sim_nanos + net_sim_nanos) over these rows — each shard is
+  /// one serial storage node, so the critical path is the slowest shard,
+  /// not the slowest worker lane.
+  struct ShardRow {
+    int shard = 0;
+    size_t files = 0;
+    uint64_t disk_sim_nanos = 0;
+    uint64_t net_sim_nanos = 0;
+  };
+  std::vector<ShardRow> shard_rows;
+
   /// Everything the query's mounts did (counters + bounded warnings),
   /// accumulated per query — inline mounts directly, parallel tasks merged
   /// in task order at the wave barrier.
@@ -165,6 +188,14 @@ class TwoStageExecutor {
     const TwoStageOptions* options = nullptr;
     /// Worker-pool priority class for this query's mount tasks.
     int priority = ThreadPool::kPriorityNormal;
+    /// The sharded repository (null = unsharded database). With more than
+    /// one effective shard, stage-2 ingestion runs scatter/gather: mounts
+    /// route to their owning shard's node, gathers charge the interconnect,
+    /// and the wave costs max over shards instead of a worker-lane makespan.
+    ShardedRepository* shards = nullptr;
+    /// Per-query shard count (0 = the repository's configured count; other
+    /// values are clamped into [1, configured]).
+    int num_shards = 0;
   };
 
   /// `shared_pool`, when non-null, is used for stage-2 mount tasks instead
@@ -251,11 +282,19 @@ class TwoStageExecutor {
   /// Mounts `union_node`'s kMount branches as parallel tasks on `workers`
   /// lanes, filling `premounted` and accumulating counters/warnings and the
   /// deterministic critical-path time into `stats`. No-op when the union has
-  /// fewer than two mounts, and no-op for governed queries (`qctx` with
-  /// limits): governed admission is serialized for determinism.
+  /// fewer than two mounts (unsharded), and no-op for governed queries
+  /// (`qctx` with limits): governed admission is serialized for determinism.
+  ///
+  /// With `shards` non-null and `num_shards` > 1 the wave runs sharded
+  /// scatter/gather instead: it runs for *any* worker count and any number
+  /// of mounts (≥ 1), groups mounts by owning shard, performs the gather
+  /// transfers on the coordinator in shard/file order (deterministic fault
+  /// streams), and charges max over shards of (shard's serial mount time +
+  /// shard's net time) — worker-invariant by construction.
   Status PremountUnion(const PlanPtr& union_node, size_t workers, int priority,
                        TwoStageStats* stats, PremountMap* premounted,
-                       QueryContext* qctx);
+                       QueryContext* qctx, ShardedRepository* shards = nullptr,
+                       int num_shards = 1);
 
   /// The shared database-wide pool when one was injected, else a private
   /// cached pool (re)built to `workers` threads when needed.

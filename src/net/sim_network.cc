@@ -1,0 +1,131 @@
+#include "net/sim_network.h"
+
+#include <algorithm>
+
+namespace dex {
+
+namespace {
+
+/// Decorrelates per-link streams the same way FaultInjector decorrelates
+/// per-object streams: nearby (seed, link) pairs must not produce nearby
+/// stream states (Random's SplitMix seeding finishes the job).
+uint64_t LinkStreamSeed(uint64_t seed, SimNetwork::LinkId link) {
+  return seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(link) + 1));
+}
+
+}  // namespace
+
+SimNetwork::LinkId SimNetwork::AddLink(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Link link;
+  link.name = name;
+  link.stream = std::make_unique<Random>(
+      LinkStreamSeed(options_.fault_seed,
+                     static_cast<LinkId>(links_.size())));
+  links_.push_back(std::move(link));
+  return static_cast<LinkId>(links_.size() - 1);
+}
+
+size_t SimNetwork::num_links() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return links_.size();
+}
+
+uint64_t SimNetwork::MessageCost(uint64_t bytes) const {
+  const uint64_t latency =
+      static_cast<uint64_t>(options_.latency_micros * 1e3);
+  const double mb_per_sec = std::max(options_.bandwidth_mb_per_sec, 1e-9);
+  const uint64_t transfer = static_cast<uint64_t>(
+      static_cast<double>(bytes) / (mb_per_sec * 1e6) * 1e9);
+  return latency + transfer;
+}
+
+Result<uint64_t> SimNetwork::Transfer(LinkId link, uint64_t bytes) {
+  uint64_t nanos = 0;
+  Status failure = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (link >= links_.size()) {
+      return Status::InvalidArgument("unknown network link " +
+                                     std::to_string(link));
+    }
+    Link& l = links_[link];
+    ++l.stats.messages;
+    if (l.stats.failed) {
+      return Status::IOError("network link '" + l.name +
+                                 "' is down (dead shard)");
+    }
+    const uint64_t message = MessageCost(bytes);
+    nanos = message;
+    if (options_.transient_loss_rate > 0.0) {
+      // Each (re)send draws its own fate from this link's stream; the loop
+      // consumes a deterministic number of draws per transfer.
+      int resends = 0;
+      while (l.stream->NextBool(options_.transient_loss_rate)) {
+        if (resends >= options_.max_resends) {
+          failure = Status::IOError(
+              "transfer on link '" + l.name + "' lost " +
+              std::to_string(resends + 1) + " times (resend budget exhausted)");
+          break;
+        }
+        ++resends;
+        ++l.stats.resends;
+        nanos += static_cast<uint64_t>(options_.resend_backoff_micros * 1e3) +
+                 message;
+      }
+    }
+    l.stats.sim_nanos += nanos;
+    if (failure.ok()) l.stats.bytes += bytes;
+  }
+  // Charged outside the network lock, like every SimDisk charge: lands in
+  // the current TaskTimeScope bucket (sharded wave aggregation) or on the
+  // global clock with the per-query tee applied.
+  if (nanos > 0) disk_->ChargeDelay(nanos);
+  if (!failure.ok()) return failure;
+  return nanos;
+}
+
+Status SimNetwork::FailLink(LinkId link) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (link >= links_.size()) {
+    return Status::InvalidArgument("unknown network link " +
+                                   std::to_string(link));
+  }
+  links_[link].stats.failed = true;
+  return Status::OK();
+}
+
+Status SimNetwork::HealLink(LinkId link) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (link >= links_.size()) {
+    return Status::InvalidArgument("unknown network link " +
+                                   std::to_string(link));
+  }
+  links_[link].stats.failed = false;
+  return Status::OK();
+}
+
+bool SimNetwork::IsFailed(LinkId link) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return link < links_.size() && links_[link].stats.failed;
+}
+
+Result<SimNetwork::LinkStats> SimNetwork::link_stats(LinkId link) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (link >= links_.size()) {
+    return Status::InvalidArgument("unknown network link " +
+                                   std::to_string(link));
+  }
+  return links_[link].stats;
+}
+
+Result<std::string> SimNetwork::link_name(LinkId link) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (link >= links_.size()) {
+    return Status::InvalidArgument("unknown network link " +
+                                   std::to_string(link));
+  }
+  return links_[link].name;
+}
+
+}  // namespace dex

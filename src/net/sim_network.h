@@ -1,0 +1,125 @@
+#ifndef DEX_NET_SIM_NETWORK_H_
+#define DEX_NET_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "io/sim_disk.h"
+
+namespace dex {
+
+/// \brief A simulated shard-interconnect, modeled on SimDisk.
+///
+/// Every message between the coordinator and a shard travels over that
+/// shard's *link* and is charged simulated time: a fixed per-message latency
+/// plus the payload over the link's bandwidth, plus — when the seeded fault
+/// model is armed — deterministic resend backoff for transiently lost
+/// messages. Nothing physically moves; like SimDisk, the class accounts for
+/// what moving the bytes *would* cost.
+///
+/// Time is charged through `SimDisk::ChargeDelay`, so the network shares the
+/// disk's simulated clock and inherits its whole attribution machinery for
+/// free: a transfer issued under a `SimDisk::TaskTimeScope` lands in that
+/// task's bucket (this is how the sharded scatter/gather path aggregates
+/// per-shard network cost into a deterministic critical path), and a
+/// coordinator-side transfer is teed into the owning query's
+/// `QueryTimeScope` counter like any other I/O stall.
+///
+/// Fault model: each link draws from its own PRNG stream, derived from
+/// (fault_seed, link). The fate of the k-th transfer on a link depends only
+/// on the seed, the link, and k — the same per-object-stream idiom as
+/// FaultInjector — so fault schedules replay bit-identically as long as each
+/// link's transfers are issued in a deterministic order. The sharded
+/// executor guarantees that by performing all transfers on the coordinator
+/// thread at merge barriers, in shard/file order. A *failed* link (a dead
+/// shard) refuses every transfer until healed.
+///
+/// All methods are thread-safe; the simulated-time charge happens outside
+/// the network's own lock.
+class SimNetwork {
+ public:
+  using LinkId = uint32_t;
+
+  struct Options {
+    /// Per-message one-way latency (request or response alike).
+    double latency_micros = 50.0;
+    /// Link throughput for the message payload.
+    double bandwidth_mb_per_sec = 1000.0;
+    /// Seed of the per-link fault streams (shared by all links; each link's
+    /// stream is derived from (seed, link)).
+    uint64_t fault_seed = 0;
+    /// Probability that one transfer is transiently lost and must be resent.
+    /// Every resend charges `resend_backoff_micros` plus a full re-send of
+    /// the message. Deterministic per (seed, link, transfer index).
+    double transient_loss_rate = 0.0;
+    double resend_backoff_micros = 200.0;
+    /// Resends attempted before the transfer is declared failed.
+    int max_resends = 4;
+  };
+
+  struct LinkStats {
+    uint64_t messages = 0;   // transfers attempted (incl. failed ones)
+    uint64_t bytes = 0;      // payload bytes of successful transfers
+    uint64_t sim_nanos = 0;  // simulated time this link charged
+    uint64_t resends = 0;    // transient losses absorbed
+    bool failed = false;     // link is currently down (dead shard)
+  };
+
+  /// `disk` is the simulated clock the network charges into; must outlive
+  /// the network.
+  SimNetwork(SimDisk* disk, const Options& options)
+      : disk_(disk), options_(options) {}
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  /// Registers a new link (e.g. "shard-3"). Link ids are dense, in
+  /// registration order.
+  LinkId AddLink(const std::string& name);
+
+  size_t num_links() const;
+
+  /// Moves `bytes` of payload over `link` and charges the simulated cost
+  /// (latency + transfer + deterministic resends) to the shared clock.
+  /// Returns the nanoseconds charged. Fails with kIOError on a failed
+  /// link or when the loss stream exhausts `max_resends` (the latter still
+  /// charges the time the attempts took).
+  Result<uint64_t> Transfer(LinkId link, uint64_t bytes);
+
+  /// The fault-free cost of one message of `bytes` (planning helper; charges
+  /// nothing, consumes no fault stream).
+  uint64_t MessageCost(uint64_t bytes) const;
+
+  /// Marks the link down: every Transfer fails until HealLink. This is the
+  /// dead-shard scenario — the shard's files degrade to the partial-results
+  /// path with `files_skipped_shard` accounting.
+  Status FailLink(LinkId link);
+  Status HealLink(LinkId link);
+  bool IsFailed(LinkId link) const;
+
+  Result<LinkStats> link_stats(LinkId link) const;
+  Result<std::string> link_name(LinkId link) const;
+  const Options& options() const { return options_; }
+
+ private:
+  struct Link {
+    std::string name;
+    LinkStats stats;
+    std::unique_ptr<Random> stream;  // per-link fault stream
+  };
+
+  SimDisk* disk_;
+  const Options options_;
+  mutable std::mutex mu_;
+  std::vector<Link> links_;
+};
+
+}  // namespace dex
+
+#endif  // DEX_NET_SIM_NETWORK_H_

@@ -51,20 +51,6 @@ struct Pending {
 
 }  // namespace
 
-uint64_t Fnv1a(const void* data, size_t len, uint64_t seed) {
-  const unsigned char* p = static_cast<const unsigned char*>(data);
-  uint64_t h = seed;
-  for (size_t i = 0; i < len; ++i) {
-    h ^= p[i];
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
-uint64_t Fnv1aString(const std::string& s, uint64_t seed) {
-  return Fnv1a(s.data(), s.size(), seed);
-}
-
 Result<ScriptResult> RunScriptDeterministic(Database* db,
                                             const ServeScript& script) {
   ScriptResult out;
@@ -205,7 +191,7 @@ Result<ScriptResult> RunScriptDeterministic(Database* db,
   out.p50_interactive_nanos = Percentile(interactive_latencies, 50);
   out.p99_interactive_nanos = Percentile(interactive_latencies, 99);
 
-  uint64_t h = 0xcbf29ce484222325ULL;
+  uint64_t h = kFnv1aOffsetBasis;
   for (const ScriptQueryOutcome& o : out.outcomes) HashOutcome(o, &h);
   HashU64(out.admitted, &h);
   HashU64(out.queued, &h);
@@ -286,7 +272,7 @@ Result<ScriptResult> RunScriptThreaded(Database* db,
   out.final_epoch = db->current_epoch();
   out.epochs_retired = db->epochs_retired();
 
-  uint64_t h = 0xcbf29ce484222325ULL;
+  uint64_t h = kFnv1aOffsetBasis;
   for (const ScriptQueryOutcome& o : out.outcomes) HashOutcome(o, &h);
   out.fingerprint = h;  // informational: depends on real interleaving
   return out;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fnv.h"
 #include "common/result.h"
 #include "serve/session_manager.h"
 
@@ -69,10 +70,10 @@ struct ScriptResult {
   uint64_t fingerprint = 0;
 };
 
-/// \brief FNV-1a 64-bit — the script fingerprint primitive (stable across
-/// platforms, unlike std::hash).
-uint64_t Fnv1a(const void* data, size_t len, uint64_t seed = 0xcbf29ce484222325ULL);
-uint64_t Fnv1aString(const std::string& s, uint64_t seed = 0xcbf29ce484222325ULL);
+/// The script fingerprint primitive is the shared FNV-1a from common/fnv.h
+/// (also used for the shard-merge determinism checks — one copy, one hash).
+using ::dex::Fnv1a;
+using ::dex::Fnv1aString;
 
 /// \brief Deterministic replay: models the whole script as admission bursts.
 ///

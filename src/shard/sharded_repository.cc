@@ -1,0 +1,140 @@
+#include "shard/sharded_repository.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/fnv.h"
+
+namespace dex {
+
+ShardedRepository::ShardedRepository(SimDisk* disk, const Options& options)
+    : options_([&] {
+        Options o = options;
+        o.num_shards = std::max(1, o.num_shards);
+        return o;
+      }()) {
+  network_ = std::make_unique<SimNetwork>(disk, options_.net);
+  for (int s = 0; s < options_.num_shards; ++s) {
+    network_->AddLink("shard-" + std::to_string(s));
+  }
+  file_counts_.assign(static_cast<size_t>(options_.num_shards), 0);
+}
+
+int ShardedRepository::ClampShardCount(int requested) const {
+  if (requested <= 0) return options_.num_shards;
+  return std::min(requested, options_.num_shards);
+}
+
+std::string ShardedRepository::StationKeyOf(const std::string& uri) {
+  const size_t file_sep = uri.find_last_of('/');
+  if (file_sep == std::string::npos || file_sep == 0) return "";
+  const size_t dir_sep = uri.find_last_of('/', file_sep - 1);
+  const size_t begin = (dir_sep == std::string::npos) ? 0 : dir_sep + 1;
+  return uri.substr(begin, file_sep - begin);
+}
+
+void ShardedRepository::AssignCatalog(const std::vector<std::string>& uris) {
+  // Sorted-set rebuild keeps the station→range map a pure function of the
+  // catalog contents, independent of enumeration order.
+  std::set<std::string> stations;
+  for (const std::string& uri : uris) {
+    std::string key = StationKeyOf(uri);
+    if (!key.empty()) stations.insert(std::move(key));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  stations_.assign(stations.begin(), stations.end());
+  file_counts_.assign(static_cast<size_t>(options_.num_shards), 0);
+  for (const std::string& uri : uris) {
+    ++file_counts_[static_cast<size_t>(
+        ShardOfLocked(uri, options_.num_shards))];
+  }
+}
+
+int ShardedRepository::ShardOf(const std::string& uri) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ShardOfLocked(uri, options_.num_shards);
+}
+
+int ShardedRepository::ShardOf(const std::string& uri, int n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ShardOfLocked(uri, n);
+}
+
+int ShardedRepository::ShardOfLocked(const std::string& uri, int n) const {
+  if (n <= 1) return 0;
+  const uint64_t un = static_cast<uint64_t>(n);
+  if (options_.policy == Policy::kStationRange && !stations_.empty()) {
+    const std::string key = StationKeyOf(uri);
+    if (!key.empty()) {
+      auto it = std::lower_bound(stations_.begin(), stations_.end(), key);
+      if (it != stations_.end() && *it == key) {
+        const uint64_t idx =
+            static_cast<uint64_t>(it - stations_.begin());
+        // Contiguous chunks of the sorted station list: station idx of S
+        // stations lands on shard floor(idx * n / S).
+        return static_cast<int>(idx * un / stations_.size());
+      }
+    }
+    // No station directory (or a station unseen by AssignCatalog): fall
+    // through to the stateless hash so the file still has a stable owner.
+  }
+  return static_cast<int>(Fnv1aString(uri) % un);
+}
+
+SimNetwork::LinkId ShardedRepository::LinkOf(int shard) const {
+  return static_cast<SimNetwork::LinkId>(shard);
+}
+
+Status ShardedRepository::KillShard(int shard) {
+  if (shard < 0 || shard >= options_.num_shards) {
+    return Status::InvalidArgument("no such shard " + std::to_string(shard));
+  }
+  return network_->FailLink(LinkOf(shard));
+}
+
+Status ShardedRepository::HealShard(int shard) {
+  if (shard < 0 || shard >= options_.num_shards) {
+    return Status::InvalidArgument("no such shard " + std::to_string(shard));
+  }
+  return network_->HealLink(LinkOf(shard));
+}
+
+bool ShardedRepository::IsShardAlive(int shard) const {
+  if (shard < 0 || shard >= options_.num_shards) return false;
+  return !network_->IsFailed(LinkOf(shard));
+}
+
+bool ShardedRepository::HasDeadShards() const {
+  for (int s = 0; s < options_.num_shards; ++s) {
+    if (!IsShardAlive(s)) return true;
+  }
+  return false;
+}
+
+std::vector<ShardedRepository::SliceStats> ShardedRepository::StatusRows()
+    const {
+  std::vector<SliceStats> rows;
+  rows.reserve(static_cast<size_t>(options_.num_shards));
+  std::vector<size_t> counts;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counts = file_counts_;
+  }
+  for (int s = 0; s < options_.num_shards; ++s) {
+    SliceStats row;
+    row.shard = s;
+    row.files = counts[static_cast<size_t>(s)];
+    Result<SimNetwork::LinkStats> link = network_->link_stats(LinkOf(s));
+    if (link.ok()) {
+      row.alive = !link->failed;
+      row.net_messages = link->messages;
+      row.net_bytes = link->bytes;
+      row.net_sim_nanos = link->sim_nanos;
+      row.net_resends = link->resends;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace dex

@@ -481,6 +481,81 @@ TEST(RefreshTest, SupersededEpochRetiresWhenLastPinDrops) {
   EXPECT_EQ((*db)->epochs_retired(), retired_before + 1);
 }
 
+TEST(RefreshTest, RetirementRacesPublishWhileQueuedQueryPinsOldEpoch) {
+  // The serving layer's admission gate pins an epoch when a query is
+  // *queued*, possibly long before it runs. Meanwhile refreshes keep
+  // publishing new epochs and other queries' short-lived pins keep dropping
+  // — so EpochManager's retire path (pin-drop side) races its Publish path
+  // (refresh side) continuously. Run under TSan, this is the regression
+  // net for that handoff; the assertions below pin down the semantics.
+  ScopedRepo repo("refresh_retire_vs_publish", TinyRepoOptions());
+  auto db = Database::Open(repo.root(), {});
+  ASSERT_TRUE(db.ok());
+
+  // Publish epoch 2 first: the initial epoch is held by the database itself
+  // and would never retire, which would muddy the final retirement check.
+  ASSERT_TRUE(mseed::WriteFile(repo.root() + "/NEW/OR.NEW.BHE.base.mseed",
+                               {NewRecord("NEWSTA", 1262217600000LL, 10)})
+                  .ok());
+  ASSERT_TRUE((*db)->Refresh().ok());
+  auto before = (*db)->Query("SELECT COUNT(*) FROM F");
+  ASSERT_TRUE(before.ok());
+  const int64_t files_before = before->table->GetValue(0, 0).int64();
+
+  // The queued query's pin: taken now, used only after every publish below.
+  EpochPtr queued_pin = (*db)->PinEpoch();
+  const uint64_t queued_epoch = queued_pin->id;
+
+  // Publisher: refreshes adding one file each, every one superseding the
+  // current epoch.
+  constexpr int kPublishes = 4;
+  std::atomic<int> publish_failures{0};
+  std::thread publisher([&] {
+    for (int i = 0; i < kPublishes; ++i) {
+      const std::string path = repo.root() + "/NEW/OR.NEW.BHE.00" +
+                               std::to_string(i) + ".mseed";
+      if (!mseed::WriteFile(path, {NewRecord("NEWSTA",
+                                             1262304000000LL + i * 86400000LL,
+                                             10)})
+               .ok() ||
+          !(*db)->Refresh().ok()) {
+        publish_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  // Churn: short-lived pins whose drops retire superseded epochs while the
+  // publisher is mid-Publish.
+  std::atomic<int> reader_failures{0};
+  std::thread reader([&] {
+    for (int i = 0; i < 100; ++i) {
+      EpochPtr pin = (*db)->PinEpoch();
+      auto r = (*db)->Query("SELECT COUNT(*) FROM F", {}, std::move(pin));
+      if (!r.ok()) reader_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  publisher.join();
+  reader.join();
+  EXPECT_EQ(publish_failures.load(), 0);
+  EXPECT_EQ(reader_failures.load(), 0);
+
+  // The queued query finally runs: its snapshot survived every publish.
+  auto queued = (*db)->Query("SELECT COUNT(*) FROM F", {}, queued_pin);
+  ASSERT_TRUE(queued.ok()) << queued.status().ToString();
+  EXPECT_EQ(queued->stats.epoch, queued_epoch);
+  EXPECT_EQ(queued->table->GetValue(0, 0).int64(), files_before);
+
+  // Dropping the last pin retires the (long superseded) queued epoch.
+  const uint64_t retired_before = (*db)->epochs_retired();
+  queued_pin.reset();
+  EXPECT_EQ((*db)->epochs_retired(), retired_before + 1);
+  auto latest = (*db)->Query("SELECT COUNT(*) FROM F");
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->table->GetValue(0, 0).int64(),
+            files_before + kPublishes);
+}
+
 TEST(RefreshTest, ConcurrentRefreshAndPinnedQueriesAreIsolated) {
   ScopedRepo repo("refresh_epoch_race", TinyRepoOptions());
   auto db = Database::Open(repo.root(), {});
