@@ -1,0 +1,183 @@
+// A12 — telemetry overhead: what the dimensional metrics pipeline and the
+// always-on flight recorder cost on the hot path.
+//
+// Three legs, each emitting one JSON row (CI consolidates them into
+// BENCH_obs.json):
+//
+//   flight_record    — ns per FlightRecorder::Record() with the recorder
+//                      enabled vs disabled (a local ring with a trivial
+//                      clock, so the number is the ring + stamp cost, not
+//                      the workload's).
+//   labeled_metrics  — ns per labeled vs unlabeled counter update and per
+//                      labeled histogram observation on a local registry.
+//   query_overhead   — end-to-end: the same cached labeled query timed in
+//                      interleaved batches with the global recorder enabled
+//                      and disabled; min-of-batches on both sides so a CI
+//                      scheduling hiccup cannot fake a regression.
+//
+// Self-gating: exits non-zero if the recorder-enabled end-to-end time is
+// more than 5% above the disabled time (the acceptance bound for always-on
+// telemetry), or if a single Record() costs more than 2µs.
+
+#include <algorithm>
+#include <chrono>
+
+#include "bench/bench_common.h"
+#include "obs/flight_recorder.h"
+
+using namespace dex;
+using namespace dex::bench;
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// ns per Record() call against a local ring with a counter clock.
+double TimeFlightRecord(bool enabled, int events) {
+  obs::FlightRecorder recorder;
+  recorder.set_enabled(enabled);
+  uint64_t ticks = 0;
+  recorder.InstallClock(&recorder, [&ticks] { return ++ticks; });
+  const double t0 = NowSeconds();
+  for (int i = 0; i < events; ++i) {
+    obs::FlightEvent ev;
+    ev.kind = "bench_event";
+    ev.detail = "synthetic";
+    ev.session = "bench";
+    ev.priority = 1;
+    ev.shard = i & 3;
+    recorder.Record(std::move(ev));
+  }
+  const double t1 = NowSeconds();
+  recorder.UninstallClock(&recorder);
+  return (t1 - t0) * 1e9 / events;
+}
+
+/// Min-of-batches wall seconds for `iters` runs of a cached labeled query.
+double TimeQueryBatches(Database* db, const std::string& sql,
+                        const QueryOptions& options, int iters, int batches) {
+  double best = 1e30;
+  for (int b = 0; b < batches; ++b) {
+    const double t0 = NowSeconds();
+    for (int i = 0; i < iters; ++i) {
+      auto r = db->Query(sql, options);
+      if (!r.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     r.status().ToString().c_str());
+        std::exit(1);
+      }
+    }
+    best = std::min(best, NowSeconds() - t0);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  ObservabilityScope obs_scope;  // DEX_TRACE_OUT / DEX_METRICS_OUT
+  BenchConfig config = BenchConfig::FromEnv();
+  const std::string dir = EnsureRepo(config);
+  int failures = 0;
+
+  PrintHeader("A12 — Telemetry overhead (dimensional metrics + flight recorder)");
+
+  // Leg 1: the recorder's own per-event cost.
+  constexpr int kEvents = 200000;
+  const double rec_on_ns = TimeFlightRecord(true, kEvents);
+  const double rec_off_ns = TimeFlightRecord(false, kEvents);
+  std::printf("FlightRecorder::Record   enabled %8.1f ns/event   disabled %6.1f ns/event\n",
+              rec_on_ns, rec_off_ns);
+  std::printf(
+      "{\"bench\":\"obs\",\"row\":\"flight_record\",\"enabled_ns\":%.1f,"
+      "\"disabled_ns\":%.1f,\"events\":%d}\n",
+      rec_on_ns, rec_off_ns, kEvents);
+  if (rec_on_ns > 2000.0) {
+    std::fprintf(stderr, "FAIL: Record() costs %.1f ns/event (gate: 2000)\n",
+                 rec_on_ns);
+    ++failures;
+  }
+
+  // Leg 2: labeled vs unlabeled registry updates.
+  constexpr int kOps = 200000;
+  obs::MetricsRegistry registry;
+  obs::MetricLabels labels;
+  labels.session = "bench";
+  labels.priority = 1;
+  labels.query = "hot";
+  double t0 = NowSeconds();
+  for (int i = 0; i < kOps; ++i) registry.AddCounter("bench.plain", 1);
+  const double plain_ns = (NowSeconds() - t0) * 1e9 / kOps;
+  t0 = NowSeconds();
+  for (int i = 0; i < kOps; ++i) registry.AddCounter("bench.labeled", labels, 1);
+  const double labeled_ns = (NowSeconds() - t0) * 1e9 / kOps;
+  t0 = NowSeconds();
+  for (int i = 0; i < kOps; ++i) {
+    registry.Observe("bench.hist", labels, static_cast<double>(i & 1023));
+  }
+  const double observe_ns = (NowSeconds() - t0) * 1e9 / kOps;
+  std::printf("MetricsRegistry update   plain %10.1f ns/op      labeled %7.1f ns/op   labeled observe %.1f ns/op\n",
+              plain_ns, labeled_ns, observe_ns);
+  std::printf(
+      "{\"bench\":\"obs\",\"row\":\"labeled_metrics\",\"unlabeled_counter_ns\":%.1f,"
+      "\"labeled_counter_ns\":%.1f,\"labeled_observe_ns\":%.1f,\"ops\":%d}\n",
+      plain_ns, labeled_ns, observe_ns, kOps);
+
+  // Leg 3: end-to-end — the recorder's presence on a cached labeled query.
+  auto db = MustOpen(dir, DatabaseOptions{});
+  QueryOptions options;
+  options.session = "bench";
+  options.query_label = "hot";
+  const std::string sql = Query1();
+  {  // Warm: mount everything the query touches so batches hit the cache.
+    auto r = db->Query(sql, options);
+    if (!r.ok()) {
+      std::fprintf(stderr, "warmup failed: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+  }
+  constexpr int kIters = 40;
+  constexpr int kBatches = 6;
+  auto& recorder = obs::FlightRecorder::Global();
+  double on_s = 1e30, off_s = 1e30;
+  // Interleave the legs so clock drift and cache warmth hit both equally.
+  for (int b = 0; b < kBatches; ++b) {
+    recorder.set_enabled(true);
+    on_s = std::min(on_s, TimeQueryBatches(db.get(), sql, options, kIters, 1));
+    recorder.set_enabled(false);
+    off_s = std::min(off_s, TimeQueryBatches(db.get(), sql, options, kIters, 1));
+  }
+  recorder.set_enabled(true);
+  const double overhead_pct = (on_s - off_s) / off_s * 100.0;
+  std::printf("cached query (x%d)       recorder on %8.3f ms     off %8.3f ms   overhead %+.2f%%\n",
+              kIters, on_s * 1e3, off_s * 1e3, overhead_pct);
+  std::printf(
+      "{\"bench\":\"obs\",\"row\":\"query_overhead\",\"recorder_on_ms\":%.4f,"
+      "\"recorder_off_ms\":%.4f,\"overhead_pct\":%.3f,\"iters\":%d,"
+      "\"batches\":%d}\n",
+      on_s * 1e3, off_s * 1e3, overhead_pct, kIters, kBatches);
+  if (overhead_pct > 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: recorder-enabled queries %.2f%% slower (gate: 5%%)\n",
+                 overhead_pct);
+    ++failures;
+  }
+
+  std::printf(
+      "\nreading the table: Record() is one short mutex section plus a clock\n"
+      "read; the hot query path emits *zero* events when nothing goes wrong,\n"
+      "so the end-to-end delta is mutex-free noise — the always-on recorder\n"
+      "is paid for only at control-plane decision points (admission, faults,\n"
+      "epoch flips), never per row.\n");
+
+  if (failures > 0) {
+    std::fprintf(stderr, "\n%d telemetry gate(s) failed\n", failures);
+    return 1;
+  }
+  std::printf("\nall telemetry overhead gates held\n");
+  return 0;
+}

@@ -6,7 +6,8 @@
 //             [--shards=<n>] [--shard-policy=hash|station]
 //             [--max-inflight=<n>] [--queue-depth=<n>]
 //             [--priority=background|normal|interactive]
-//             [--trace=<file>] [--log-level=debug|info|warning|error]
+//             [--trace=<file>] [--events-dump=<file>]
+//             [--log-level=debug|info|warning|error]
 //
 // SQL statements execute through the two-stage kernel; dot-commands inspect
 // the system:
@@ -35,6 +36,9 @@
 //                      shed tallies
 //   .shards            one row per virtual shard (with --shards=N): files
 //                      owned, health, and the charged interconnect traffic
+//   .events            the flight recorder's ring of structured events
+//                      (admission grants/sheds, epoch publishes, quarantines,
+//                      cutoffs, shard kills), sim-clock ordered
 //   .help / .quit
 //
 // Every statement runs through the serving layer: the shell is one session
@@ -48,8 +52,10 @@
 // With --trace=FILE every query records lifecycle spans (stage 1, rewrite,
 // per-file mounts, stage 2) and the shell writes a Chrome trace-event JSON
 // on exit — load it in Perfetto (https://ui.perfetto.dev) or
-// chrome://tracing. `DEX_LOG_LEVEL` sets the log threshold from the
-// environment; --log-level= overrides it.
+// chrome://tracing. With --events-dump=FILE (or DEX_FLIGHT_OUT) the flight
+// recorder auto-dumps its event ring as JSON whenever a query fails, an
+// admission is shed, or a file is quarantined. `DEX_LOG_LEVEL` sets the log
+// threshold from the environment; --log-level= overrides it.
 //
 // Reads from stdin, so it scripts cleanly:
 //   echo "SELECT COUNT(*) FROM F;" | dex_shell /repo
@@ -66,6 +72,7 @@
 #include "io/file_io.h"
 #include "serve/session_manager.h"
 #include "obs/chrome_trace.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -135,6 +142,7 @@ int Usage() {
                "[--memlimit=<mb>] [--shards=<n>] [--shard-policy=hash|station] "
                "[--max-inflight=<n>] [--queue-depth=<n>] "
                "[--priority=background|normal|interactive] [--trace=<file>] "
+               "[--events-dump=<file>] "
                "[--log-level=debug|info|warning|error]\n");
   return 2;
 }
@@ -214,6 +222,10 @@ int main(int argc, char** argv) {
     } else if (dex::StartsWith(arg, "--trace=")) {
       trace_path = arg.substr(8);
       if (trace_path.empty()) return Usage();
+    } else if (dex::StartsWith(arg, "--events-dump=")) {
+      const std::string path = arg.substr(14);
+      if (path.empty()) return Usage();
+      dex::obs::FlightRecorder::Global().set_dump_path(path);
     } else if (dex::StartsWith(arg, "--log-level=")) {
       dex::LogLevel level;
       if (!dex::ParseLogLevel(arg.substr(12), &level)) {
@@ -276,8 +288,8 @@ int main(int argc, char** argv) {
         std::printf(
             ".tables .schema <t> .explain [analyze] <sql> .stats .metrics "
             ".open .cache .coverage .refresh .cold .timeout <ms|off> "
-            ".memlimit <mb|off> .sessions .shards .export <path> <sql> "
-            ".quit\n");
+            ".memlimit <mb|off> .sessions .shards .events "
+            ".export <path> <sql> .quit\n");
       } else if (cmd == ".tables") {
         for (const std::string& name : db->catalog()->TableNames()) {
           auto table = db->catalog()->GetTable(name);
@@ -435,6 +447,27 @@ int main(int argc, char** argv) {
                         dex::FormatBytes(row.net_bytes).c_str(),
                         row.net_sim_nanos / 1e9,
                         static_cast<unsigned long long>(row.net_resends));
+          }
+        }
+      } else if (cmd == ".events") {
+        auto& recorder = dex::obs::FlightRecorder::Global();
+        const auto events = recorder.Snapshot();
+        if (events.empty()) {
+          std::printf("no flight events recorded\n");
+        } else {
+          std::printf("%zu flight event(s)%s\n", events.size(),
+                      recorder.dropped() > 0
+                          ? (" (" + std::to_string(recorder.dropped()) +
+                             " older dropped)")
+                                .c_str()
+                          : "");
+          for (const auto& e : events) {
+            std::printf("  [%10.4fs] %-16s", e.sim_nanos / 1e9, e.kind.c_str());
+            if (!e.session.empty()) std::printf(" session=%s", e.session.c_str());
+            if (e.priority >= 0) std::printf(" prio=%d", e.priority);
+            if (e.shard >= 0) std::printf(" shard=%d", e.shard);
+            if (!e.detail.empty()) std::printf(" %s", e.detail.c_str());
+            std::printf("\n");
           }
         }
       } else if (cmd == ".sessions") {

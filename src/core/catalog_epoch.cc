@@ -1,6 +1,7 @@
 #include "core/catalog_epoch.h"
 
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace dex {
@@ -37,10 +38,18 @@ EpochPtr EpochManager::Pin() const {
 
 EpochPtr EpochManager::Publish(std::unique_ptr<Catalog> next) {
   DEX_CHECK(next != nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
-  current_->superseded.store(true, std::memory_order_release);
-  current_ = Wrap(std::move(next));
-  return current_;
+  EpochPtr published;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_->superseded.store(true, std::memory_order_release);
+    current_ = Wrap(std::move(next));
+    published = current_;
+  }
+  obs::FlightEvent e;
+  e.kind = "epoch_publish";
+  e.detail = "epoch " + std::to_string(published->id);
+  obs::FlightRecorder::Global().Record(std::move(e));
+  return published;
 }
 
 uint64_t EpochManager::current_id() const {

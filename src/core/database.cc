@@ -13,6 +13,7 @@
 #include "core/seismic_schema.h"
 #include "engine/optimizer.h"
 #include "engine/plan_profile.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "sql/binder.h"
 
@@ -90,6 +91,10 @@ class ScopedTrace {
 
 Database::Database(DatabaseOptions options) : options_(std::move(options)) {}
 
+Database::~Database() {
+  obs::FlightRecorder::Global().UninstallClock(this);
+}
+
 Result<std::unique_ptr<Database>> Database::Open(const std::string& repo_root,
                                                  const DatabaseOptions& options) {
   std::unique_ptr<Database> db(new Database(options));
@@ -97,6 +102,11 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& repo_root,
   span.AddArg("repo", repo_root);
   db->repo_root_ = repo_root;
   db->disk_ = std::make_unique<SimDisk>(options.disk);
+  // Flight-recorder events are stamped with this database's charged
+  // simulated time — the deterministic clock every dump sorts on. The last
+  // database opened owns the clock; the destructor uninstalls only its own.
+  obs::FlightRecorder::Global().InstallClock(
+      db.get(), [disk = db->disk_.get()] { return disk->stats().sim_nanos; });
   // The sharded repository always exists — with one shard (the default) it
   // is inert and every executor keeps its classic single-node cost model.
   db->shards_ =
@@ -294,9 +304,16 @@ Result<QueryResult> Database::RunQuery(const std::string& sql,
 
   QueryResult out;
   out.stats.epoch = pinned->id;
-  obs::TraceSpan query_span("query", "query");
+  // The query's root span parents under the serving layer's submit span
+  // when one was handed down — the whole admission-to-result path renders
+  // as one tree in the Chrome trace.
+  const uint64_t query_parent = options.trace_parent_span != 0
+                                    ? options.trace_parent_span
+                                    : obs::Tracer::CurrentSpanId();
+  obs::TraceSpan query_span("query", "query", query_parent);
   query_span.AddArg("sql", sql);
   query_span.AddArg("epoch", pinned->id);
+  if (!options.session.empty()) query_span.AddArg("session", options.session);
 
   // Everything this query charges to the shared simulated clock is teed into
   // its own counter: per-query sim_io_nanos (and the deadline timeline) stay
@@ -387,9 +404,14 @@ Result<QueryResult> Database::RunQuery(const std::string& sql,
   // (to queries pinning after this publish; our own snapshot is unchanged).
   DEX_RETURN_NOT_OK(SyncQuarantineTable());
 
-  // Publish into the unified metrics registry: per-query counters, plus the
+  // Publish into the unified metrics registry: per-query counters (labeled
+  // with the query's telemetry context when one was supplied), plus the
   // disk's and cache's cumulative totals as gauges.
-  PublishQueryMetrics(out.stats);
+  obs::MetricLabels labels;
+  labels.session = options.session;
+  labels.query = options.query_label;
+  if (!labels.empty()) labels.priority = options.priority;
+  PublishQueryMetrics(out.stats, labels);
   PublishIoMetrics(disk_->stats());
   if (cache_ != nullptr) PublishCacheMetrics(cache_->stats());
   if (shards_->enabled()) PublishShardMetrics(shards_->StatusRows());
@@ -436,10 +458,12 @@ Result<QueryResult> Database::RunExplainAnalyze(const std::string& sql,
     text += line;
     for (const TwoStageStats::ShardRow& row : ts.shard_rows) {
       std::snprintf(line, sizeof(line),
-                    "\n  shard %d: %zu files, disk %.3fms, net %.3fms",
+                    "\n  shard %d: %zu files, disk %.3fms, net %.3fms, "
+                    "%llu messages",
                     row.shard, row.files,
                     static_cast<double>(row.disk_sim_nanos) / 1e6,
-                    static_cast<double>(row.net_sim_nanos) / 1e6);
+                    static_cast<double>(row.net_sim_nanos) / 1e6,
+                    static_cast<unsigned long long>(row.net_messages));
       text += line;
     }
   }
@@ -447,15 +471,36 @@ Result<QueryResult> Database::RunExplainAnalyze(const std::string& sql,
   return out;
 }
 
+namespace {
+
+// Failed queries flush the flight recorder: the ring's recent grants,
+// publishes, cutoffs, and quarantines are exactly the context a post-mortem
+// needs, and by the next query they may have been overwritten.
+void RecordQueryFailure(const QueryOptions& options, const Status& status) {
+  obs::FlightEvent e;
+  e.kind = "query_failure";
+  e.session = options.session;
+  e.priority = options.priority;
+  e.detail = status.ToString();
+  obs::FlightRecorder::Global().Record(std::move(e));
+  obs::FlightRecorder::Global().AutoDump("query_failure: " + status.ToString());
+}
+
+}  // namespace
+
 Result<QueryResult> Database::Query(const std::string& sql,
                                     const QueryOptions& options) {
-  return RunQuery(sql, options, EpochPtr{});
+  Result<QueryResult> result = RunQuery(sql, options, EpochPtr{});
+  if (!result.ok()) RecordQueryFailure(options, result.status());
+  return result;
 }
 
 Result<QueryResult> Database::Query(const std::string& sql,
                                     const QueryOptions& options,
                                     EpochPtr epoch) {
-  return RunQuery(sql, options, std::move(epoch));
+  Result<QueryResult> result = RunQuery(sql, options, std::move(epoch));
+  if (!result.ok()) RecordQueryFailure(options, result.status());
+  return result;
 }
 
 void Database::set_sim_deadline_nanos(uint64_t nanos) {

@@ -237,6 +237,20 @@ struct QueryOptions {
   CancelToken* cancel = nullptr;
   /// Force span tracing on for this query (restored afterwards).
   bool trace = false;
+
+  // -- Telemetry context (see DESIGN.md §8.12) -----------------------------
+  /// Serving-session name this query runs under; becomes the `session`
+  /// label on the query's dimensional metrics and flight-recorder events.
+  /// "" = unlabeled (direct Database::Query callers).
+  std::string session;
+  /// Short caller-supplied tag becoming the `query` label on dimensional
+  /// metrics (e.g. a workload step name). "" = unlabeled. Cardinality is
+  /// bounded registry-side; prefer a handful of stable tags over raw SQL.
+  std::string query_label;
+  /// Span id the query's root span should parent under (0 = root). The
+  /// serving layer sets this to its submit span so admission wait and
+  /// execution render as one tree in the Chrome trace.
+  uint64_t trace_parent_span = 0;
 };
 
 /// \brief The public facade: a scientific file repository, queryable in SQL.
@@ -263,6 +277,11 @@ class Database {
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
+
+  /// Uninstalls this database's simulated clock from the global flight
+  /// recorder (installed by Open so events are stamped with charged sim
+  /// time; a newer database's clock is left untouched).
+  ~Database();
 
   /// Runs one SELECT statement — the single query entry point. `options`
   /// carries every per-query knob (deadlines, memory cap, worker lanes,

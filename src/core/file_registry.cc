@@ -1,5 +1,7 @@
 #include "core/file_registry.h"
 
+#include "obs/flight_recorder.h"
+
 namespace dex {
 
 SchemaPtr MakeQuarantineSchema() {
@@ -71,15 +73,29 @@ void FileRegistry::RecordTransientError(const std::string& uri,
 }
 
 void FileRegistry::Quarantine(const std::string& uri, const std::string& reason) {
-  std::lock_guard<std::mutex> lock(health_mu_);
-  Health& h = health_[uri];
-  ++h.failed_reads;
-  h.last_error = reason;
-  if (!h.quarantined) {
-    h.quarantined = true;
-    ++num_quarantined_;
+  bool newly_quarantined = false;
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    Health& h = health_[uri];
+    ++h.failed_reads;
+    h.last_error = reason;
+    if (!h.quarantined) {
+      h.quarantined = true;
+      ++num_quarantined_;
+      newly_quarantined = true;
+    }
+    ++health_version_;
   }
-  ++health_version_;
+  // Recorded (and auto-dumped) outside health_mu_: the recorder's clock
+  // callback reads SimDisk stats, and nesting that under the health lock
+  // would create a cross-module lock order for every quarantine caller.
+  if (newly_quarantined) {
+    obs::FlightEvent e;
+    e.kind = "quarantine";
+    e.detail = uri + ": " + reason;
+    obs::FlightRecorder::Global().Record(std::move(e));
+    obs::FlightRecorder::Global().AutoDump("quarantine: " + uri);
+  }
 }
 
 void FileRegistry::Unquarantine(const std::string& uri) {

@@ -6,14 +6,23 @@ namespace dex {
 
 using obs::MetricsRegistry;
 
-void PublishQueryMetrics(const QueryStats& stats) {
+void PublishQueryMetrics(const QueryStats& stats,
+                         const obs::MetricLabels& labels) {
   MetricsRegistry& m = MetricsRegistry::Global();
-  m.AddCounter("query.count", 1);
-  m.AddCounter("query.result_rows", stats.result_rows);
+  if (labels.empty()) {
+    m.AddCounter("query.count", 1);
+    m.AddCounter("query.result_rows", stats.result_rows);
+    m.Observe("query.total_seconds", stats.TotalSeconds());
+  } else {
+    // Labeled updates land in both the labeled series and the base series,
+    // so the base names above stay the grand totals either way.
+    m.AddCounter("query.count", labels, 1);
+    m.AddCounter("query.result_rows", labels, stats.result_rows);
+    m.Observe("query.total_seconds", labels, stats.TotalSeconds());
+  }
   m.AddCounter("query.plan_nanos", stats.plan_nanos);
   m.AddCounter("query.exec_nanos", stats.exec_nanos);
   m.AddCounter("query.sim_io_nanos", stats.sim_io_nanos);
-  m.Observe("query.total_seconds", stats.TotalSeconds());
 
   const TwoStageStats& ts = stats.two_stage;
   if (ts.split) m.AddCounter("stage.split_queries", 1);
@@ -148,6 +157,14 @@ void PublishShardMetrics(
     bytes += r.net_bytes;
     nanos += r.net_sim_nanos;
     resends += r.net_resends;
+    obs::MetricLabels labels;
+    labels.shard = r.shard;
+    m.SetGauge("shard.net_messages", labels, static_cast<double>(r.net_messages));
+    m.SetGauge("shard.net_bytes", labels, static_cast<double>(r.net_bytes));
+    m.SetGauge("shard.net_sim_nanos", labels,
+               static_cast<double>(r.net_sim_nanos));
+    m.SetGauge("shard.net_resends", labels, static_cast<double>(r.net_resends));
+    m.SetGauge("shard.alive", labels, r.alive ? 1.0 : 0.0);
   }
   m.SetGauge("shard.count", static_cast<double>(rows.size()));
   m.SetGauge("shard.dead", static_cast<double>(dead));

@@ -4,6 +4,7 @@
 #include "core/cache_manager.h"
 #include "core/database.h"
 #include "io/io_stats.h"
+#include "obs/metrics.h"
 
 namespace dex {
 
@@ -12,8 +13,13 @@ namespace dex {
 /// are observability output only and never feed back into execution.
 
 /// Per-query counters/histograms (`query.*`, `stage.*`, `mount.*`,
-/// `fault.*`, `exec.*`). Called once per completed query.
-void PublishQueryMetrics(const QueryStats& stats);
+/// `fault.*`, `exec.*`). Called once per completed query. When `labels` is
+/// non-empty the headline series (`query.count`, `query.result_rows`,
+/// `query.total_seconds`) are additionally published per label-set —
+/// {session, priority, query} from QueryOptions — with the base series
+/// still carrying the totals.
+void PublishQueryMetrics(const QueryStats& stats,
+                         const obs::MetricLabels& labels = {});
 
 /// Open()-time gauges (`open.*`). Called once after Database::Open.
 void PublishOpenMetrics(const OpenStats& stats);
@@ -31,7 +37,9 @@ void PublishIoMetrics(const IoStats& io);
 void PublishCacheMetrics(const CacheStats& cache);
 
 /// Cumulative shard gauges (`shard.*`) from the repository's per-shard
-/// status rows. Called after queries/refreshes on a sharded database.
+/// status rows: totals under `shard.net_*_total` plus per-shard labeled
+/// gauges (`shard.net_messages{shard=N}`, ...). Called after
+/// queries/refreshes on a sharded database.
 void PublishShardMetrics(
     const std::vector<ShardedRepository::SliceStats>& rows);
 

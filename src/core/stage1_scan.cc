@@ -296,17 +296,14 @@ Result<mseed::ScanResult> Stage1Scanner::Scan(const std::string& root,
     for (size_t w = 0; w < work.size(); ++w) {
       const FilePlan* plan = &plans[work[w]];
       TaskSlot* slot = &slots[w];
-      // Trace bookkeeping happens at *spawn* time on the coordinator, so the
-      // drained span stream reproduces spawn order at any worker count.
-      const uint64_t trace_parent = obs::Tracer::CurrentSpanId();
-      const uint64_t trace_order = obs::Tracer::AllocOrder();
-      group.Spawn([this, plan, slot, &options, trace_parent,
-                   trace_order]() -> Status {
+      // Trace context (order key + parent span) is captured at spawn time by
+      // TaskGroup::Spawn, so the drained span stream reproduces spawn order
+      // at any worker count without per-call-site plumbing.
+      group.Spawn([this, plan, slot, &options]() -> Status {
         if (options.qctx != nullptr) {
           DEX_RETURN_NOT_OK(options.qctx->CheckInterrupt());
         }
-        obs::TaskTraceScope order_scope(trace_order);
-        obs::TraceSpan task_span("scan_task", "stage1.scan", trace_parent);
+        obs::TraceSpan task_span("scan_task", "stage1.scan");
         task_span.AddArg("uri", *plan->uri);
         task_span.AddArg("lane",
                          static_cast<uint64_t>(obs::CurrentThreadLane()));

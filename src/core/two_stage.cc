@@ -13,6 +13,7 @@
 #include "exec/sim_schedule.h"
 #include "exec/task_group.h"
 #include "io/file_io.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
 namespace dex {
@@ -305,18 +306,14 @@ Status TwoStageExecutor::PremountUnion(const PlanPtr& union_node, size_t workers
   for (size_t i = 0; i < mounts.size(); ++i) {
     const LogicalPlan* node = mounts[i];
     TaskResult* slot = &results[i];
-    // Trace bookkeeping happens at *spawn* time on the coordinator: the
-    // order key fixes the task's position in the drained span stream (spawn
-    // order, not completion order) and the current span becomes the parent
-    // of everything the task records on its worker thread.
-    const uint64_t trace_parent = obs::Tracer::CurrentSpanId();
-    const uint64_t trace_order = obs::Tracer::AllocOrder();
-    group.Spawn([this, node, slot, trace_parent, trace_order, qctx]() -> Status {
+    // Trace context (order key + parent span) is captured at spawn time and
+    // installed on the worker thread by TaskGroup::Spawn itself, so the span
+    // below parents under the coordinator's current span automatically.
+    group.Spawn([this, node, slot, qctx]() -> Status {
       // A cancelled query skips tasks that have not started yet; the cancel
       // reason propagates through the group's lowest-index error rule.
       if (qctx != nullptr) DEX_RETURN_NOT_OK(qctx->CheckInterrupt());
-      obs::TaskTraceScope order_scope(trace_order);
-      obs::TraceSpan span("mount_task", "mount", trace_parent);
+      obs::TraceSpan span("mount_task", "mount");
       span.AddArg("uri", node->uri);
       span.AddArg("lane", static_cast<uint64_t>(obs::CurrentThreadLane()));
       // Route this task's simulated stall time into its own bucket so the
@@ -353,6 +350,7 @@ Status TwoStageExecutor::PremountUnion(const PlanPtr& union_node, size_t workers
     // per-link fault streams replay bit-identically. One scatter request per
     // shard with work, then each mounted table ships back over its link.
     SimNetwork* net = shards->network();
+    std::vector<uint64_t> messages(n, 0);
     std::vector<Status> gather_failure(mounts.size(), Status::OK());
     for (int s = 0; s < num_shards; ++s) {
       if (files[static_cast<size_t>(s)] == 0) continue;
@@ -360,10 +358,12 @@ Status TwoStageExecutor::PremountUnion(const PlanPtr& union_node, size_t workers
       // charged once below with the wave's critical path.
       SimDisk::TaskTimeScope scope(&net_nanos[static_cast<size_t>(s)]);
       (void)net->Transfer(shards->LinkOf(s), kShardRequestBytes);
+      ++messages[static_cast<size_t>(s)];
       for (size_t i = 0; i < mounts.size(); ++i) {
         if (owner[i] != s || results[i].table == nullptr) continue;
         Result<uint64_t> resp =
             net->Transfer(shards->LinkOf(s), results[i].table->ByteSize());
+        ++messages[static_cast<size_t>(s)];
         if (!resp.ok()) gather_failure[i] = resp.status();
       }
     }
@@ -386,6 +386,7 @@ Status TwoStageExecutor::PremountUnion(const PlanPtr& union_node, size_t workers
       row->files += files[s];
       row->disk_sim_nanos += disk_nanos[s];
       row->net_sim_nanos += net_nanos[s];
+      row->net_messages += messages[s];
       obs::Tracer::Instant(
           "shard_gather", "shard",
           {{"shard", std::to_string(s)},
@@ -509,6 +510,12 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
     obs::Tracer::Instant(
         by_memory ? "memory_cutoff" : "deadline_cutoff", "governance",
         {{"cutoff_sim_nanos", std::to_string(stats->cutoff_sim_nanos)}});
+    // Governed admission runs serially on the coordinator, so the cutoff
+    // event is deterministic: the same file triggers it at any worker count.
+    obs::FlightEvent ev;
+    ev.kind = by_memory ? "memory_cutoff" : "deadline_cutoff";
+    ev.detail = adm->reason.message();
+    obs::FlightRecorder::Global().Record(std::move(ev));
   };
 
   ExecContext ctx;
@@ -623,7 +630,14 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
     if (!over_query_cap) {
       reserved = budget->TryReserve(bytes);
       if (!reserved && cache_ != nullptr) {
-        stats->mem_budget_evictions += cache_->EvictUnpinned(bytes);
+        const size_t evicted = cache_->EvictUnpinned(bytes);
+        stats->mem_budget_evictions += evicted;
+        if (evicted > 0) {
+          obs::FlightEvent ev;
+          ev.kind = "budget_eviction";
+          ev.detail = std::to_string(evicted) + " cache entries for '" + uri + "'";
+          obs::FlightRecorder::Global().Record(std::move(ev));
+        }
         reserved = budget->TryReserve(bytes);
       }
     }

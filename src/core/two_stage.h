@@ -152,6 +152,7 @@ struct TwoStageStats {
     size_t files = 0;
     uint64_t disk_sim_nanos = 0;
     uint64_t net_sim_nanos = 0;
+    uint64_t net_messages = 0;  // gather/scatter transfers on this link
   };
   std::vector<ShardRow> shard_rows;
 

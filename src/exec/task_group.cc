@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dex {
 
@@ -42,7 +43,15 @@ void TaskGroup::Cancel(Status reason) {
 
 void TaskGroup::Spawn(std::function<Status()> fn) {
   const size_t index = spawned_++;
-  auto run = [this, index, fn = std::move(fn)] {
+  // Trace context is captured here, on the spawning thread: the order key
+  // (allocated in spawn order, the determinism anchor for span/event
+  // streams) and the spawner's open span, which becomes the task's parent.
+  // Every task body therefore inherits distributed parentage without the
+  // call site threading ids through its lambda.
+  const uint64_t trace_order = obs::Tracer::AllocOrder();
+  const uint64_t trace_parent = obs::Tracer::CurrentSpanId();
+  auto run = [this, index, trace_order, trace_parent, fn = std::move(fn)] {
+    obs::TaskTraceScope trace_scope(trace_order, trace_parent);
     if (cancelled_.load(std::memory_order_relaxed)) {
       Finish(index, Status::OK(), nullptr, /*skipped=*/true);
       return;

@@ -59,6 +59,10 @@ class TaskGroup {
   TaskGroup& operator=(const TaskGroup&) = delete;
 
   /// Schedules `fn`. If the group is already cancelled the task is skipped.
+  /// Trace context propagates automatically: Spawn captures a deterministic
+  /// order key and the spawning thread's open span, and runs `fn` under an
+  /// `obs::TaskTraceScope` so every span/flight-event the task emits sorts
+  /// in spawn order and parents under the spawning span.
   void Spawn(std::function<Status()> fn);
 
   /// Barrier: blocks until all tasks finished/skipped. Rethrows the first

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace dex {
@@ -63,17 +64,25 @@ int ThreadPool::PickClassLocked() {
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> fn;
+    int cls = -1;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] {
         return shutdown_ || PickClassLocked() >= 0;
       });
-      const int cls = PickClassLocked();
+      cls = PickClassLocked();
       if (cls < 0) return;  // shutdown and drained
       ++picks_;
       fn = std::move(queues_[cls].front());
       queues_[cls].pop_front();
     }
+    // Per-priority-class execution counter, published outside the pool
+    // lock. The total per class equals the tasks submitted under it —
+    // independent of pool size or pick interleaving — so the labeled
+    // totals stay deterministic.
+    obs::MetricLabels labels;
+    labels.priority = cls;
+    obs::MetricsRegistry::Global().AddCounter("pool.tasks_executed", labels, 1);
     fn();
   }
 }

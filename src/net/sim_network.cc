@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace dex {
 
 namespace {
@@ -42,6 +44,8 @@ uint64_t SimNetwork::MessageCost(uint64_t bytes) const {
 
 Result<uint64_t> SimNetwork::Transfer(LinkId link, uint64_t bytes) {
   uint64_t nanos = 0;
+  uint64_t resends_this_transfer = 0;
+  std::string link_name;
   Status failure = Status::OK();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -50,6 +54,7 @@ Result<uint64_t> SimNetwork::Transfer(LinkId link, uint64_t bytes) {
                                      std::to_string(link));
     }
     Link& l = links_[link];
+    link_name = l.name;
     ++l.stats.messages;
     if (l.stats.failed) {
       return Status::IOError("network link '" + l.name +
@@ -73,14 +78,30 @@ Result<uint64_t> SimNetwork::Transfer(LinkId link, uint64_t bytes) {
         nanos += static_cast<uint64_t>(options_.resend_backoff_micros * 1e3) +
                  message;
       }
+      resends_this_transfer = static_cast<uint64_t>(resends);
     }
     l.stats.sim_nanos += nanos;
     if (failure.ok()) l.stats.bytes += bytes;
   }
-  // Charged outside the network lock, like every SimDisk charge: lands in
-  // the current TaskTimeScope bucket (sharded wave aggregation) or on the
-  // global clock with the per-query tee applied.
-  if (nanos > 0) disk_->ChargeDelay(nanos);
+  // The transfer appears as a link-span in the distributed trace, parented
+  // under whatever span (gather barrier, scan wave, task) issued it —
+  // inherited through TaskTraceScope, so cross-shard hops show up as
+  // children of the query's span tree. The span wraps the charge so its
+  // sim duration is exactly this hop's cost.
+  {
+    obs::TraceSpan span("net_transfer", "net");
+    if (span.active()) {
+      span.AddArg("link", link_name);
+      span.AddArg("bytes", bytes);
+      span.AddArg("nanos", nanos);
+      if (resends_this_transfer > 0) span.AddArg("resends", resends_this_transfer);
+      if (!failure.ok()) span.AddArg("error", failure.ToString());
+    }
+    // Charged outside the network lock, like every SimDisk charge: lands in
+    // the current TaskTimeScope bucket (sharded wave aggregation) or on the
+    // global clock with the per-query tee applied.
+    if (nanos > 0) disk_->ChargeDelay(nanos);
+  }
   if (!failure.ok()) return failure;
   return nanos;
 }

@@ -1,0 +1,186 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dex::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendEventJson(std::string* out, const FlightEvent& e, bool include_sim) {
+  *out += "{\"kind\": \"" + JsonEscape(e.kind) + "\"";
+  if (include_sim) *out += ", \"sim_nanos\": " + std::to_string(e.sim_nanos);
+  *out += ", \"order\": " + std::to_string(e.order) +
+          ", \"seq\": " + std::to_string(e.seq);
+  if (!e.session.empty()) {
+    *out += ", \"session\": \"" + JsonEscape(e.session) + "\"";
+  }
+  if (e.priority >= 0) *out += ", \"priority\": " + std::to_string(e.priority);
+  if (e.shard >= 0) *out += ", \"shard\": " + std::to_string(e.shard);
+  if (!e.detail.empty()) {
+    *out += ", \"detail\": \"" + JsonEscape(e.detail) + "\"";
+  }
+  *out += "}";
+}
+
+bool EventBefore(const FlightEvent& a, const FlightEvent& b) {
+  if (a.sim_nanos != b.sim_nanos) return a.sim_nanos < b.sim_nanos;
+  if (a.order != b.order) return a.order < b.order;
+  if (a.seq != b.seq) return a.seq < b.seq;
+  return a.lane < b.lane;
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = [] {
+    auto* r = new FlightRecorder();
+    // Env hookup mirrors DEX_TRACE_OUT / DEX_METRICS_OUT: benches and CI set
+    // a dump path without touching the embedding program's flags.
+    if (const char* path = std::getenv("DEX_FLIGHT_OUT")) {
+      r->set_dump_path(path);
+    }
+    return r;
+  }();
+  return *recorder;
+}
+
+void FlightRecorder::InstallClock(const void* owner,
+                                  std::function<uint64_t()> sim_clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = std::move(sim_clock);
+  clock_owner_ = owner;
+}
+
+void FlightRecorder::UninstallClock(const void* owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (clock_owner_ == owner) {
+    clock_ = nullptr;
+    clock_owner_ = nullptr;
+  }
+}
+
+void FlightRecorder::set_dump_path(std::string path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dump_path_ = std::move(path);
+}
+
+std::string FlightRecorder::dump_path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dump_path_;
+}
+
+void FlightRecorder::Record(FlightEvent event) {
+  if (!enabled()) return;
+  // Stamp the deterministic (order, seq) key from the tracer's task-scope
+  // thread-locals before touching any lock.
+  event.order = Tracer::CurrentTaskOrder();
+  event.seq = Tracer::NextTaskEventSeq();
+  event.lane = CurrentThreadLane();
+  // Read the clock outside mu_: the clock closure typically takes the
+  // SimDisk stats mutex, and nesting it under the recorder's would impose a
+  // lock order on every caller.
+  std::function<uint64_t()> clock;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    clock = clock_;
+  }
+  event.sim_nanos = clock ? clock() : 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < kDefaultCapacity) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[next_] = std::move(event);
+    next_ = (next_ + 1) % kDefaultCapacity;
+    dropped_ += 1;
+  }
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  std::vector<FlightEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events = ring_;
+  }
+  std::stable_sort(events.begin(), events.end(), EventBefore);
+  return events;
+}
+
+std::string FlightRecorder::ToJson(bool include_sim) const {
+  const std::vector<FlightEvent> events = Snapshot();
+  std::string out = "[";
+  bool first = true;
+  for (const FlightEvent& e : events) {
+    out += first ? "\n  " : ",\n  ";
+    AppendEventJson(&out, e, include_sim);
+    first = false;
+  }
+  out += first ? "]\n" : "\n]\n";
+  return out;
+}
+
+bool FlightRecorder::AutoDump(const std::string& trigger) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    path = dump_path_;
+  }
+  if (path.empty()) return false;
+  std::string body = "{\n\"trigger\": \"" + JsonEscape(trigger) +
+                     "\",\n\"dropped\": " + std::to_string(dropped()) +
+                     ",\n\"events\": " + ToJson(/*include_sim=*/true) + "}\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    MetricsRegistry::Global().AddCounter("obs.flight_dump_failures", 1);
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  if (!ok) {
+    MetricsRegistry::Global().AddCounter("obs.flight_dump_failures", 1);
+    return false;
+  }
+  MetricsRegistry::Global().AddCounter("obs.flight_autodumps", 1);
+  return true;
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  dropped_ = 0;
+}
+
+uint64_t FlightRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+}  // namespace dex::obs

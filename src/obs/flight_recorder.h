@@ -1,0 +1,119 @@
+#ifndef DEX_OBS_FLIGHT_RECORDER_H_
+#define DEX_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dex::obs {
+
+/// \brief One structured control-plane event in the flight recorder.
+///
+/// Events capture the *decisions* the engine made — a query admitted or
+/// shed, an epoch published, a file quarantined, a shard killed, a deadline
+/// cutoff — not the data-plane work itself (that is what spans are for).
+/// Each carries the simulated-clock position at emission plus the same
+/// deterministic (order, seq) key the span tracer uses, so a dump sorts
+/// into an order that is bit-identical at any worker or pool size.
+struct FlightEvent {
+  std::string kind;    // "admission_grant", "shed", "quarantine", ...
+  std::string detail;  // free-form human line (uri, reason, sql prefix, ...)
+  std::string session; // serving session name ("" = none)
+  int priority = -1;   // ThreadPool priority class (-1 = none)
+  int shard = -1;      // virtual shard id (-1 = none)
+  // Filled by Record():
+  uint64_t sim_nanos = 0;  // simulated clock at emission (0 without a clock)
+  uint64_t order = 0;      // task order (0 = coordinator thread)
+  uint64_t seq = 0;        // per-task-scope emission sequence
+  int lane = 0;            // thread lane (coordinator 0, workers 1..N)
+};
+
+/// \brief Always-on bounded ring buffer of control-plane events.
+///
+/// The recorder is meant to answer "what was the system doing just before
+/// this went wrong?" without anyone having asked for a trace in advance:
+/// recording is on by default, costs one short mutex section per event
+/// (events are rare — admission decisions, faults, epoch flips — never
+/// per-row), and the ring overwrites its oldest entries so memory is fixed.
+///
+/// Determinism: events are stamped with (sim_nanos, order, seq, lane) —
+/// sim_nanos from the clock a Database installs (its SimDisk's charged
+/// simulated time), order/seq from the tracer's task-scope machinery.
+/// Snapshot() sorts by that key, so for a deterministic workload the dump
+/// is byte-identical at any worker/pool count. The `seq` stream is separate
+/// from the span `sub` counter, so dumps do not change when span tracing is
+/// toggled.
+///
+/// Auto-dump: failures call `AutoDump(trigger)`; when a dump path is
+/// configured (shell `--events-dump=`, env `DEX_FLIGHT_OUT`) the current
+/// ring is written there as JSON with the triggering condition recorded.
+/// Without a path, AutoDump is a no-op — recording itself is unaffected.
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  static FlightRecorder& Global();
+
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Recording is on by default; the overhead bench flips it off to measure
+  /// the recorder's own cost.
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Installs the simulated clock events are stamped with. `owner` scopes
+  /// the installation: UninstallClock(owner) clears the clock only if that
+  /// owner still holds it, so a Database being destroyed never yanks a
+  /// clock a newer Database installed. The function must be callable from
+  /// any thread and must not re-enter the recorder.
+  void InstallClock(const void* owner, std::function<uint64_t()> sim_clock);
+  void UninstallClock(const void* owner);
+
+  /// Where AutoDump writes ("" = auto-dump disabled).
+  void set_dump_path(std::string path);
+  std::string dump_path() const;
+
+  /// Records one event (fills sim_nanos/order/seq/lane). Cheap no-op when
+  /// disabled.
+  void Record(FlightEvent event);
+
+  /// The current ring contents, sorted by (sim_nanos, order, seq, lane).
+  std::vector<FlightEvent> Snapshot() const;
+
+  /// Snapshot rendered as a JSON array of event objects. With
+  /// `include_sim=false` the sim_nanos field is omitted — the
+  /// shard-invariant canonical form (charged network time varies with the
+  /// shard count; the event *sequence* does not).
+  std::string ToJson(bool include_sim = true) const;
+
+  /// Writes ToJson() wrapped with the triggering condition to the
+  /// configured dump path; no-op when no path is set. Failures are counted,
+  /// never thrown — the recorder must not turn an error path into a second
+  /// error. Returns true when a dump was written.
+  bool AutoDump(const std::string& trigger);
+
+  void Clear();
+
+  /// Events overwritten because the ring was full (monotone since Clear).
+  uint64_t dropped() const;
+
+ private:
+  std::atomic<bool> enabled_{true};
+
+  mutable std::mutex mu_;
+  std::function<uint64_t()> clock_;      // guarded by mu_
+  const void* clock_owner_ = nullptr;    // guarded by mu_
+  std::string dump_path_;                // guarded by mu_
+  std::vector<FlightEvent> ring_;        // guarded by mu_
+  size_t next_ = 0;                      // guarded by mu_
+  uint64_t dropped_ = 0;                 // guarded by mu_
+};
+
+}  // namespace dex::obs
+
+#endif  // DEX_OBS_FLIGHT_RECORDER_H_

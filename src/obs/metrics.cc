@@ -44,11 +44,107 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+// Label values land inside `{k=v,...}` keys; strip the delimiters so a
+// hostile session name cannot forge another series' key.
+std::string SanitizeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '{' || c == '}' || c == ',' || c == '=' || c == '\n') {
+      out += '_';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string HistogramLine(const std::string& name,
+                          const HistogramSnapshot& snap) {
+  return name + " count=" + std::to_string(snap.count) +
+         " sum=" + FormatDouble(snap.sum) + " min=" + FormatDouble(snap.min) +
+         " max=" + FormatDouble(snap.max) + " avg=" + FormatDouble(snap.avg()) +
+         " p50=" + FormatDouble(snap.p50()) +
+         " p95=" + FormatDouble(snap.p95()) +
+         " p99=" + FormatDouble(snap.p99()) + "\n";
+}
+
 }  // namespace
+
+std::string MetricLabels::Render() const {
+  if (empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  auto append = [&](const char* k, const std::string& v) {
+    if (!first) out += ",";
+    out += k;
+    out += "=";
+    out += v;
+    first = false;
+  };
+  if (priority >= 0) append("priority", std::to_string(priority));
+  if (!query.empty()) append("query", SanitizeLabelValue(query));
+  if (!session.empty()) append("session", SanitizeLabelValue(session));
+  if (shard >= 0) append("shard", std::to_string(shard));
+  out += "}";
+  return out;
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0;
+  if (q <= 0) return min;
+  if (q >= 1) return max;
+  // Rank of the target observation (1-based), then walk the cumulative
+  // bucket counts to the bucket containing it.
+  const double rank = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t before = cumulative;
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    // Interpolate inside [2^i, 2^(i+1)); bucket 0 also absorbs v < 1, so its
+    // lower edge is the observed min.
+    const double lo = i == 0 ? (min < 1.0 ? min : 1.0) : std::ldexp(1.0, i);
+    const double hi = std::ldexp(1.0, i + 1);
+    const double frac =
+        (rank - static_cast<double>(before)) / static_cast<double>(buckets[i]);
+    double v = lo + (hi - lo) * frac;
+    if (v < min) v = min;
+    if (v > max) v = max;
+    return v;
+  }
+  return max;
+}
 
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
+}
+
+std::string MetricsRegistry::LabeledKeyLocked(const std::string& name,
+                                              const MetricLabels& labels,
+                                              char kind) {
+  const std::string rendered = labels.Render();
+  if (rendered.empty()) return name;
+  const std::string key = name + rendered;
+  // Bound the distinct label sets per (kind, base name). An existing series
+  // may always be updated; only *new* series count against the bound.
+  const std::string budget_key = std::string(1, kind) + name;
+  bool exists = false;
+  switch (kind) {
+    case 'c': exists = counters_.count(key) != 0; break;
+    case 'g': exists = gauges_.count(key) != 0; break;
+    case 'h': exists = histograms_.count(key) != 0; break;
+  }
+  if (exists) return key;
+  size_t& used = label_sets_[budget_key];
+  if (used >= kMaxLabelSetsPerName) {
+    counters_["obs.labels_dropped"] += 1;
+    return name;  // fold into the base series; the total stays correct
+  }
+  used += 1;
+  return key;
 }
 
 void MetricsRegistry::AddCounter(const std::string& name, uint64_t delta) {
@@ -56,14 +152,27 @@ void MetricsRegistry::AddCounter(const std::string& name, uint64_t delta) {
   counters_[name] += delta;
 }
 
+void MetricsRegistry::AddCounter(const std::string& name,
+                                 const MetricLabels& labels, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+  const std::string key = LabeledKeyLocked(name, labels, 'c');
+  if (key != name) counters_[key] += delta;
+}
+
 void MetricsRegistry::SetGauge(const std::string& name, double value) {
   std::lock_guard<std::mutex> lock(mu_);
   gauges_[name] = value;
 }
 
-void MetricsRegistry::Observe(const std::string& name, double value) {
+void MetricsRegistry::SetGauge(const std::string& name,
+                               const MetricLabels& labels, double value) {
   std::lock_guard<std::mutex> lock(mu_);
-  Histogram& h = histograms_[name];
+  gauges_[LabeledKeyLocked(name, labels, 'g')] = value;
+}
+
+void MetricsRegistry::ObserveLocked(const std::string& key, double value) {
+  Histogram& h = histograms_[key];
   if (h.count == 0 || value < h.min) h.min = value;
   if (h.count == 0 || value > h.max) h.max = value;
   h.count += 1;
@@ -71,9 +180,29 @@ void MetricsRegistry::Observe(const std::string& name, double value) {
   h.buckets[BucketIndex(value)] += 1;
 }
 
+void MetricsRegistry::Observe(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ObserveLocked(name, value);
+}
+
+void MetricsRegistry::Observe(const std::string& name,
+                              const MetricLabels& labels, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ObserveLocked(name, value);
+  const std::string key = LabeledKeyLocked(name, labels, 'h');
+  if (key != name) ObserveLocked(key, value);
+}
+
 uint64_t MetricsRegistry::counter(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+uint64_t MetricsRegistry::counter(const std::string& name,
+                                  const MetricLabels& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name + labels.Render());
   return it == counters_.end() ? 0 : it->second;
 }
 
@@ -83,15 +212,28 @@ double MetricsRegistry::gauge(const std::string& name) const {
   return it == gauges_.end() ? 0 : it->second;
 }
 
+double MetricsRegistry::gauge(const std::string& name,
+                              const MetricLabels& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name + labels.Render());
+  return it == gauges_.end() ? 0 : it->second;
+}
+
 HistogramSnapshot MetricsRegistry::histogram(const std::string& name) const {
+  return histogram(name, MetricLabels{});
+}
+
+HistogramSnapshot MetricsRegistry::histogram(const std::string& name,
+                                             const MetricLabels& labels) const {
   std::lock_guard<std::mutex> lock(mu_);
   HistogramSnapshot snap;
-  auto it = histograms_.find(name);
+  auto it = histograms_.find(name + labels.Render());
   if (it != histograms_.end()) {
     snap.count = it->second.count;
     snap.sum = it->second.sum;
     snap.min = it->second.min;
     snap.max = it->second.max;
+    for (int i = 0; i < 64; ++i) snap.buckets[i] = it->second.buckets[i];
   }
   return snap;
 }
@@ -106,12 +248,13 @@ std::string MetricsRegistry::ToText() const {
     out += name + " " + FormatDouble(value) + "\n";
   }
   for (const auto& [name, h] : histograms_) {
-    out += name + " count=" + std::to_string(h.count) +
-           " sum=" + FormatDouble(h.sum) + " min=" + FormatDouble(h.min) +
-           " max=" + FormatDouble(h.max) + " avg=" +
-           FormatDouble(h.count == 0 ? 0
-                                     : h.sum / static_cast<double>(h.count)) +
-           "\n";
+    HistogramSnapshot snap;
+    snap.count = h.count;
+    snap.sum = h.sum;
+    snap.min = h.min;
+    snap.max = h.max;
+    for (int i = 0; i < 64; ++i) snap.buckets[i] = h.buckets[i];
+    out += HistogramLine(name, snap);
   }
   return out;
 }
@@ -135,11 +278,20 @@ std::string MetricsRegistry::ToJson() const {
   out += "\n  },\n  \"histograms\": {";
   first = true;
   for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot snap;
+    snap.count = h.count;
+    snap.sum = h.sum;
+    snap.min = h.min;
+    snap.max = h.max;
+    for (int i = 0; i < 64; ++i) snap.buckets[i] = h.buckets[i];
     out += first ? "\n" : ",\n";
     out += "    \"" + JsonEscape(name) + "\": {\"count\": " +
-           std::to_string(h.count) + ", \"sum\": " + FormatDouble(h.sum) +
-           ", \"min\": " + FormatDouble(h.min) +
-           ", \"max\": " + FormatDouble(h.max) + "}";
+           std::to_string(snap.count) + ", \"sum\": " + FormatDouble(snap.sum) +
+           ", \"min\": " + FormatDouble(snap.min) +
+           ", \"max\": " + FormatDouble(snap.max) +
+           ", \"p50\": " + FormatDouble(snap.p50()) +
+           ", \"p95\": " + FormatDouble(snap.p95()) +
+           ", \"p99\": " + FormatDouble(snap.p99()) + "}";
     first = false;
   }
   out += "\n  }\n}\n";
@@ -151,6 +303,7 @@ void MetricsRegistry::Clear() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  label_sets_.clear();
 }
 
 }  // namespace dex::obs

@@ -9,13 +9,54 @@
 
 namespace dex::obs {
 
+/// \brief The fixed label dimensions a metric series may carry.
+///
+/// The set is closed on purpose: `session` (serving session name),
+/// `priority` (ThreadPool priority class), `shard` (virtual shard id) and
+/// `query` (a caller-supplied short tag). A closed label vocabulary keeps
+/// rendered keys canonical — labels always serialize in the same field
+/// order, so the same logical series maps to the same string key no matter
+/// who publishes it — and makes the cardinality bound enforceable.
+///
+/// Unset fields (empty string / -1) are omitted from the rendered key. A
+/// fully-unset label set renders as "" and addresses the plain base series.
+struct MetricLabels {
+  std::string session;  // serving session name ("" = unset)
+  int priority = -1;    // ThreadPool priority class (-1 = unset)
+  int shard = -1;       // virtual shard id (-1 = unset)
+  std::string query;    // short query tag ("" = unset)
+
+  bool empty() const {
+    return session.empty() && priority < 0 && shard < 0 && query.empty();
+  }
+
+  /// Canonical rendering, e.g. `{priority=2,session=shell,shard=3}`.
+  /// Field order is fixed (priority, query, session, shard — alphabetical)
+  /// so equal label sets always produce byte-equal keys.
+  std::string Render() const;
+};
+
 /// \brief Aggregated distribution of observed values (log2 buckets).
+///
+/// Percentiles are estimated from the power-of-two buckets: the bucket
+/// holding the q-th observation is located by cumulative count, then the
+/// value is linearly interpolated inside the bucket's [2^i, 2^(i+1)) range
+/// and clamped to the exact observed min/max. Good to a factor-of-two
+/// resolution — plenty for latency attribution — and, unlike a reservoir,
+/// deterministic: the same observations produce the same percentiles in
+/// any order.
 struct HistogramSnapshot {
   uint64_t count = 0;
   double sum = 0;
   double min = 0;
   double max = 0;
+  uint64_t buckets[64] = {};  // buckets[i]: observations with floor(log2(v))==i
   double avg() const { return count == 0 ? 0 : sum / static_cast<double>(count); }
+  /// Estimated value at quantile `q` in [0,1] (0 when the histogram is empty).
+  double Percentile(double q) const;
+  double p50() const { return Percentile(0.50); }
+  double p95() const { return Percentile(0.95); }
+  double p99() const { return Percentile(0.99); }
 };
 
 /// \brief A process-wide registry of named counters, gauges and histograms.
@@ -26,11 +67,27 @@ struct HistogramSnapshot {
 /// dot-separated (`query.count`, `mount.records_decoded`, `io.sim_nanos`);
 /// output is sorted by name so dumps are diffable.
 ///
+/// Dimensional series: every update may carry a `MetricLabels` set. A
+/// labeled counter/histogram update lands in *two* series — the labeled one
+/// (`serve.queries_admitted{priority=2,session=shell}`) and the unlabeled
+/// base series, so totals never have to be hand-merged again and existing
+/// consumers of the flat names keep working. Labeled gauges update only the
+/// labeled series (gauges are not summable; publishers set the base total
+/// explicitly when one is meaningful).
+///
+/// Cardinality is bounded: at most `kMaxLabelSetsPerName` distinct label
+/// sets per base name per metric kind. Past the bound the update folds into
+/// the base series only and `obs.labels_dropped` counts the fold — the
+/// registry can never be grown without bound by unsanitized label values.
+///
 /// Thread-safe; all operations take one internal mutex. Metric updates are
 /// observability only — they never feed back into execution decisions, so
-/// they cannot perturb determinism.
+/// they cannot perturb determinism; counter/histogram merges commute, so
+/// totals are identical at any worker interleaving.
 class MetricsRegistry {
  public:
+  static constexpr size_t kMaxLabelSetsPerName = 64;
+
   static MetricsRegistry& Global();
 
   MetricsRegistry() = default;
@@ -39,22 +96,38 @@ class MetricsRegistry {
 
   /// Adds `delta` to a monotonically increasing counter.
   void AddCounter(const std::string& name, uint64_t delta);
+  /// Labeled variant: adds to both `name{labels}` and the base `name`.
+  void AddCounter(const std::string& name, const MetricLabels& labels,
+                  uint64_t delta);
 
   /// Sets a point-in-time value (last write wins).
   void SetGauge(const std::string& name, double value);
+  /// Labeled variant: sets only `name{labels}` (gauges are not summable).
+  void SetGauge(const std::string& name, const MetricLabels& labels,
+                double value);
 
   /// Records one observation into a histogram.
   void Observe(const std::string& name, double value);
+  /// Labeled variant: observes into both `name{labels}` and the base `name`.
+  void Observe(const std::string& name, const MetricLabels& labels,
+               double value);
 
   uint64_t counter(const std::string& name) const;
+  uint64_t counter(const std::string& name, const MetricLabels& labels) const;
   double gauge(const std::string& name) const;
+  double gauge(const std::string& name, const MetricLabels& labels) const;
   HistogramSnapshot histogram(const std::string& name) const;
+  HistogramSnapshot histogram(const std::string& name,
+                              const MetricLabels& labels) const;
 
   /// Flat `name value` lines, sorted by name (histograms render their
-  /// count/sum/min/max/avg).
+  /// count/sum/min/max/avg plus estimated p50/p95/p99). Labeled series sort
+  /// right after their base series (`name` < `name{...}`).
   std::string ToText() const;
 
   /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Labeled series appear under their rendered `name{...}` key; histogram
+  /// objects carry count/sum/min/max and estimated p50/p95/p99.
   std::string ToJson() const;
 
   void Clear();
@@ -69,10 +142,38 @@ class MetricsRegistry {
     uint64_t buckets[64] = {};
   };
 
+  // Returns the rendered series key for (name, labels), enforcing the
+  // per-base-name cardinality bound for the given kind ("" = fold to base).
+  // Caller holds mu_.
+  std::string LabeledKeyLocked(const std::string& name,
+                               const MetricLabels& labels, char kind);
+  void ObserveLocked(const std::string& key, double value);
+
   mutable std::mutex mu_;
   std::map<std::string, uint64_t> counters_;
   std::map<std::string, double> gauges_;
   std::map<std::string, Histogram> histograms_;
+  // Distinct labeled series per (kind, base name); enforces the bound.
+  std::map<std::string, size_t> label_sets_;
+};
+
+/// \brief RAII guard that clears the global metrics registry on entry and
+/// exit. Tests reading `MetricsRegistry::Global()` declare one first, so a
+/// test asserts only counters *it* produced — PRs 3–7 accumulated tests
+/// whose Global() reads silently included every prior test's traffic.
+class ScopedMetricsReset {
+ public:
+  explicit ScopedMetricsReset(MetricsRegistry& registry = MetricsRegistry::Global())
+      : registry_(&registry) {
+    registry_->Clear();
+  }
+  ~ScopedMetricsReset() { registry_->Clear(); }
+
+  ScopedMetricsReset(const ScopedMetricsReset&) = delete;
+  ScopedMetricsReset& operator=(const ScopedMetricsReset&) = delete;
+
+ private:
+  MetricsRegistry* registry_;
 };
 
 }  // namespace dex::obs

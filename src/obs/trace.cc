@@ -31,6 +31,8 @@ thread_local uint64_t tls_sim_charged = 0;
 thread_local int tls_lane = 0;
 thread_local uint64_t tls_task_order = 0;  // 0 = not inside a task scope
 thread_local uint64_t tls_task_sub = 0;
+thread_local uint64_t tls_event_seq = 0;   // flight-recorder event stream
+thread_local uint64_t tls_task_parent = 0; // inherited spawning-span id
 thread_local std::vector<uint64_t> tls_span_stack;
 
 }  // namespace
@@ -109,9 +111,19 @@ uint64_t Tracer::AllocOrder() {
   return g_next_order.fetch_add(1, std::memory_order_relaxed);
 }
 
-uint64_t Tracer::CurrentSpanId() {
-  return tls_span_stack.empty() ? 0 : tls_span_stack.back();
+void Tracer::ResetIdsForTesting() {
+  g_next_span_id.store(1, std::memory_order_relaxed);
+  g_next_order.store(1, std::memory_order_relaxed);
+  g_sim_position.store(0, std::memory_order_relaxed);
 }
+
+uint64_t Tracer::CurrentSpanId() {
+  return tls_span_stack.empty() ? tls_task_parent : tls_span_stack.back();
+}
+
+uint64_t Tracer::CurrentTaskOrder() { return tls_task_order; }
+
+uint64_t Tracer::NextTaskEventSeq() { return ++tls_event_seq; }
 
 void Tracer::Instant(const char* name, const char* category,
                      std::vector<SpanArg> args) {
@@ -187,14 +199,24 @@ void TraceSpan::AddArg(const char* key, uint64_t value) {
 }
 
 TaskTraceScope::TaskTraceScope(uint64_t order)
-    : prev_order_(tls_task_order), prev_sub_(tls_task_sub) {
+    : TaskTraceScope(order, tls_task_parent) {}
+
+TaskTraceScope::TaskTraceScope(uint64_t order, uint64_t parent_span_id)
+    : prev_order_(tls_task_order),
+      prev_sub_(tls_task_sub),
+      prev_event_seq_(tls_event_seq),
+      prev_parent_(tls_task_parent) {
   tls_task_order = order;
   tls_task_sub = 0;
+  tls_event_seq = 0;
+  tls_task_parent = parent_span_id;
 }
 
 TaskTraceScope::~TaskTraceScope() {
   tls_task_order = prev_order_;
   tls_task_sub = prev_sub_;
+  tls_event_seq = prev_event_seq_;
+  tls_task_parent = prev_parent_;
 }
 
 void AddSimCharge(uint64_t nanos) {

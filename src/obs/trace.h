@@ -80,9 +80,28 @@ class Tracer {
   /// spawn order, not the completion order.
   static uint64_t AllocOrder();
 
-  /// The span id currently open on this thread (0 = none). Capture before
-  /// spawning a task to parent the task's spans across threads.
+  /// The span id currently open on this thread (0 = none). Falls back to the
+  /// inherited task parent (see TaskTraceScope) when no span is open, so a
+  /// task that opens no span of its own still hands its spawner's span to
+  /// anything *it* spawns. Capture before spawning a task to parent the
+  /// task's spans across threads.
   static uint64_t CurrentSpanId();
+
+  /// The deterministic order key of the task scope this thread is inside
+  /// (0 = coordinator, outside any task).
+  static uint64_t CurrentTaskOrder();
+
+  /// Advances and returns this thread's task-local event sequence — a
+  /// second (order, seq) stream alongside the span `sub` counter, consumed
+  /// by the flight recorder. Keeping it separate means the recorded event
+  /// stream is byte-identical whether span tracing was enabled or not.
+  static uint64_t NextTaskEventSeq();
+
+  /// Resets the process-global span-id and order counters to their initial
+  /// values. For determinism tests that compare traces/flight dumps across
+  /// repeated runs of the same workload in one process; NOT safe while any
+  /// span is open or task in flight.
+  static void ResetIdsForTesting();
 
   /// Records a zero-duration annotation (cache hit, retry, quarantine, ...)
   /// parented to the current span. No-op when disabled.
@@ -137,9 +156,16 @@ class TraceSpan {
 /// task body installs this scope so every span it opens carries that order
 /// key (with a task-local sub-sequence). This is what makes the drained
 /// span stream identical whether the pool had 1 worker or 8.
+///
+/// The two-argument form additionally installs the spawning span's id as
+/// the thread's *task parent*: spans the task opens without an explicit
+/// parent link under it automatically. `TaskGroup::Spawn` captures both
+/// values on the coordinator and installs this scope around every task, so
+/// distributed parentage needs no per-call-site plumbing.
 class TaskTraceScope {
  public:
   explicit TaskTraceScope(uint64_t order);
+  TaskTraceScope(uint64_t order, uint64_t parent_span_id);
   ~TaskTraceScope();
 
   TaskTraceScope(const TaskTraceScope&) = delete;
@@ -148,6 +174,8 @@ class TaskTraceScope {
  private:
   uint64_t prev_order_;
   uint64_t prev_sub_;
+  uint64_t prev_event_seq_;
+  uint64_t prev_parent_;
 };
 
 /// \brief Called by the simulated storage medium for every sim-time charge.

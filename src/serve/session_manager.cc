@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dex::serve {
 
@@ -43,6 +45,9 @@ QueryOptions MergeOptions(const QueryOptions& defaults,
     }
     if (overrides->cancel != nullptr) merged.cancel = overrides->cancel;
     if (overrides->trace) merged.trace = true;
+    if (!overrides->query_label.empty()) {
+      merged.query_label = overrides->query_label;
+    }
   }
   merged.priority = priority;
   return merged;
@@ -157,8 +162,14 @@ Result<QueryResult> SessionManager::Submit(SessionId session,
   // what it will see.
   EpochPtr epoch = db_->PinEpoch();
 
+  // The submit span covers admission (including queue wait) plus execution;
+  // the query's root span parents under it via `trace_parent_span`, so the
+  // whole admission-to-result path renders as one tree in the Chrome trace.
+  obs::TraceSpan submit_span("submit", "serve");
+
   QueryOptions merged;
   Session* s = nullptr;
+  Status shed_status = Status::OK();
   {
     std::unique_lock<std::mutex> lock(mu_);
     auto it = sessions_.find(session);
@@ -172,6 +183,15 @@ Result<QueryResult> SessionManager::Submit(SessionId session,
     }
     ++s->submitted;
     merged = MergeOptions(s->options.defaults, overrides, s->options.priority);
+    merged.session = s->options.name.empty()
+                         ? "session-" + std::to_string(session)
+                         : s->options.name;
+    merged.trace_parent_span = submit_span.id();
+    if (submit_span.active()) {
+      submit_span.AddArg("session", merged.session);
+      submit_span.AddArg("priority",
+                         static_cast<uint64_t>(s->options.priority));
+    }
 
     if (CanRunNowLocked(*s)) {
       ++inflight_;
@@ -183,10 +203,9 @@ Result<QueryResult> SessionManager::Submit(SessionId session,
       // queue. The hint scales with the occupancy the client collided with.
       ++shed_;
       ++s->shed;
-      obs::MetricsRegistry::Global().AddCounter("serve.queries_shed", 1);
       const uint64_t hint =
           options_.shed_backoff_base_nanos * (queue_.size() + 1);
-      return Status::Overloaded(
+      shed_status = Status::Overloaded(
           "admission queue full (" + std::to_string(queue_.size()) + "/" +
           std::to_string(options_.queue_depth) + " waiting, " +
           std::to_string(inflight_) + " in flight); retry later; " +
@@ -201,8 +220,10 @@ Result<QueryResult> SessionManager::Submit(SessionId session,
       PublishGaugesLocked();
       const uint64_t wait_start = NowNanos();
       cv_.wait(lock, [&waiter] { return waiter.granted || waiter.aborted; });
+      obs::MetricLabels wait_labels;
+      wait_labels.priority = waiter.priority;
       obs::MetricsRegistry::Global().Observe(
-          "serve.queue_wait_nanos.p" + std::to_string(waiter.priority),
+          "serve.queue_wait_nanos", wait_labels,
           static_cast<double>(NowNanos() - wait_start));
       if (waiter.aborted) {
         return Status::Aborted("session manager shut down while queued");
@@ -212,7 +233,31 @@ Result<QueryResult> SessionManager::Submit(SessionId session,
     }
   }
 
-  obs::MetricsRegistry::Global().AddCounter("serve.queries_admitted", 1);
+  // Admission telemetry outside mu_: the flight recorder's clock callback
+  // reads SimDisk stats, and labeled-counter publication does not need the
+  // admission lock.
+  obs::MetricLabels labels;
+  labels.session = merged.session;
+  labels.priority = merged.priority;
+  if (!shed_status.ok()) {
+    obs::MetricsRegistry::Global().AddCounter("serve.queries_shed", labels, 1);
+    obs::FlightEvent ev;
+    ev.kind = "shed";
+    ev.session = merged.session;
+    ev.priority = merged.priority;
+    ev.detail = shed_status.message();
+    obs::FlightRecorder::Global().Record(std::move(ev));
+    obs::FlightRecorder::Global().AutoDump("shed: " + merged.session);
+    return shed_status;
+  }
+  obs::MetricsRegistry::Global().AddCounter("serve.queries_admitted", labels, 1);
+  {
+    obs::FlightEvent ev;
+    ev.kind = "admission_grant";
+    ev.session = merged.session;
+    ev.priority = merged.priority;
+    obs::FlightRecorder::Global().Record(std::move(ev));
+  }
   Result<QueryResult> result = db_->Query(sql, merged, std::move(epoch));
 
   {

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/fnv.h"
+#include "obs/flight_recorder.h"
 
 namespace dex {
 
@@ -89,14 +90,30 @@ Status ShardedRepository::KillShard(int shard) {
   if (shard < 0 || shard >= options_.num_shards) {
     return Status::InvalidArgument("no such shard " + std::to_string(shard));
   }
-  return network_->FailLink(LinkOf(shard));
+  const Status st = network_->FailLink(LinkOf(shard));
+  if (st.ok()) {
+    obs::FlightEvent e;
+    e.kind = "shard_kill";
+    e.shard = shard;
+    e.detail = "link shard-" + std::to_string(shard) + " failed";
+    obs::FlightRecorder::Global().Record(std::move(e));
+  }
+  return st;
 }
 
 Status ShardedRepository::HealShard(int shard) {
   if (shard < 0 || shard >= options_.num_shards) {
     return Status::InvalidArgument("no such shard " + std::to_string(shard));
   }
-  return network_->HealLink(LinkOf(shard));
+  const Status st = network_->HealLink(LinkOf(shard));
+  if (st.ok()) {
+    obs::FlightEvent e;
+    e.kind = "shard_heal";
+    e.shard = shard;
+    e.detail = "link shard-" + std::to_string(shard) + " healed";
+    obs::FlightRecorder::Global().Record(std::move(e));
+  }
+  return st;
 }
 
 bool ShardedRepository::IsShardAlive(int shard) const {

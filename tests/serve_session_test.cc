@@ -101,6 +101,9 @@ TEST(SessionManager, UnknownAndClosedSessionsAreRefused) {
 // the next arrival waits; the one after that finds the queue full and is
 // shed immediately with a kOverloaded status carrying the backoff hint.
 TEST(SessionManager, QueueFullShedsWithBackoffHint) {
+  // This test asserts on registry contents, so it must not read counters a
+  // prior test in this process published.
+  obs::ScopedMetricsReset metrics_reset;
   ScopedRepo repo("serve_shed", TinyRepoOptions());
   auto db = Database::Open(repo.root(), {});
   ASSERT_TRUE(db.ok());
