@@ -1,7 +1,8 @@
 // dex_shell — an interactive SQL shell over a scientific file repository.
 //
 //   dex_shell <repo-dir> [--eager] [--cache=none|lru|all] [--tuple-cache]
-//             [--derived] [--snapshot=<path>] [--batch=<n>] [--threads=<n>]
+//             [--cache-dir=<path>] [--derived] [--snapshot=<path>]
+//             [--batch=<n>] [--threads=<n>]
 //             [--refresh-threads=<n>] [--timeout=<ms>] [--memlimit=<mb>]
 //             [--shards=<n>] [--shard-policy=hash|station]
 //             [--max-inflight=<n>] [--queue-depth=<n>]
@@ -19,7 +20,8 @@
 //   .stats             statistics of the last query (incl. fault counters)
 //   .metrics           dump the process-wide metrics registry
 //   .open              open/ingestion statistics
-//   .cache             cache contents summary
+//   .cache             cache contents summary (+ durable-tier persist/
+//                      recovery counters when --cache-dir is set)
 //   .coverage          derive GAPS/OVERLAPS from record metadata
 //   .refresh           rescan the repository for new/changed/removed files;
 //                      only changed/new headers are parsed (parallel on
@@ -137,7 +139,8 @@ void PrintQueryStats(const dex::QueryStats& stats, bool verbose) {
 int Usage() {
   std::fprintf(stderr,
                "usage: dex_shell <repo-dir> [--eager] [--cache=none|lru|all] "
-               "[--tuple-cache] [--derived] [--snapshot=<path>] [--batch=<n>] "
+               "[--tuple-cache] [--cache-dir=<path>] [--derived] "
+               "[--snapshot=<path>] [--batch=<n>] "
                "[--threads=<n>] [--refresh-threads=<n>] [--timeout=<ms>] "
                "[--memlimit=<mb>] [--shards=<n>] [--shard-policy=hash|station] "
                "[--max-inflight=<n>] [--queue-depth=<n>] "
@@ -169,6 +172,14 @@ int main(int argc, char** argv) {
       options.cache.policy = dex::CachePolicy::kAll;
     } else if (arg == "--tuple-cache") {
       options.cache.granularity = dex::CacheGranularity::kTuple;
+    } else if (dex::StartsWith(arg, "--cache-dir=")) {
+      options.cache_dir = arg.substr(12);
+      // The durable tier needs a retaining policy to have anything to
+      // persist; lift the paper-default discard-always unless the user chose
+      // a policy explicitly.
+      if (options.cache.policy == dex::CachePolicy::kNone) {
+        options.cache.policy = dex::CachePolicy::kLru;
+      }
     } else if (arg == "--derived") {
       options.collect_derived_metadata = true;
       options.two_stage.use_derived_pruning = true;
@@ -348,6 +359,21 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(cs.misses),
                     static_cast<unsigned long long>(cs.evictions),
                     static_cast<unsigned long long>(cs.invalidations));
+        if (db->persistent_cache() != nullptr) {
+          const auto ps = db->persistent_cache()->stats();
+          std::printf("disk tier: dir=%s entries=%zu persisted=%llu (%s) "
+                      "spills=%llu reloads=%llu recovered=%llu "
+                      "quarantined=%llu stale=%llu\n",
+                      db->persistent_cache()->options().dir.c_str(),
+                      db->persistent_cache()->num_entries(),
+                      static_cast<unsigned long long>(ps.persisted),
+                      dex::FormatBytes(ps.persisted_bytes).c_str(),
+                      static_cast<unsigned long long>(cs.spills),
+                      static_cast<unsigned long long>(cs.reloads),
+                      static_cast<unsigned long long>(ps.recovered),
+                      static_cast<unsigned long long>(ps.quarantined),
+                      static_cast<unsigned long long>(ps.stale_dropped));
+        }
       } else if (cmd == ".coverage") {
         auto stats = db->AnalyzeCoverage();
         if (stats.ok()) {

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "common/result.h"
+#include "core/persistent_cache.h"
 #include "exec/query_context.h"
 #include "storage/table.h"
 
@@ -52,6 +53,13 @@ struct CacheStats {
   uint64_t evictions = 0;
   uint64_t invalidations = 0;      // dropped because the file changed on disk
   uint64_t budget_rejections = 0;  // insertions refused by the memory budget
+  // Tiered (persistent) operation; all zero without an attached
+  // PersistentCache.
+  uint64_t spills = 0;           // resident entries demoted to on-disk stubs
+  uint64_t reloads = 0;          // stubs promoted back to resident on touch
+  uint64_t reload_failures = 0;  // stub reload refused (corrupt or no budget)
+  uint64_t persisted = 0;        // entries written through to the durable tier
+  uint64_t persist_failures = 0;
 };
 
 /// \brief Keeps ingested file data between queries, keyed by URI.
@@ -75,6 +83,22 @@ class CacheManager {
   /// insertion (best-effort cache — never fails the query). Call once,
   /// before any query runs; `budget` is not owned and must outlive this.
   void AttachBudget(MemoryBudget* budget) { budget_ = budget; }
+
+  /// Attaches the durable tier: insertions write through to `persistent`,
+  /// budget/capacity eviction demotes persisted entries to on-disk *stubs*
+  /// (metadata retained, bytes dropped) instead of discarding them, and a
+  /// probed stub is reloaded — revalidated checksums and all — on touch.
+  /// Call once, before any query runs; not owned, must outlive this.
+  void AttachPersistent(PersistentCache* persistent) {
+    persistent_ = persistent;
+  }
+
+  /// Seeds the cache with one entry recovered from the durable tier at open
+  /// (already fully validated by PersistentCache::Recover). Adopted resident
+  /// when `table` is non-null and the budget admits it, otherwise as a stub
+  /// that reloads on first touch.
+  void AdoptRecovered(const std::string& uri, const ColumnarFileMeta& meta,
+                      TablePtr table);
 
   /// True if a later query with pushed-down selection `predicate_repr`
   /// (empty = unrestricted) can be served for `uri`, given the file's
@@ -135,14 +159,19 @@ class CacheManager {
 
  private:
   struct Entry {
+    // Residency marker: non-null = resident (listed in lru_); null = spilled
+    // stub whose bytes live only in the durable tier (never in lru_).
     TablePtr data;
     std::string predicate_repr;
     CachedWindow window;
     int64_t mtime_ms = 0;
-    uint64_t bytes = 0;
+    uint64_t bytes = 0;  // in-memory footprint (kept while spilled, for reload)
     uint32_t pins = 0;
-    std::list<std::string>::iterator lru_it;
+    bool persisted = false;  // a validated copy exists in the durable tier
+    std::list<std::string>::iterator lru_it;  // valid only while resident
   };
+
+  enum class ReloadResult { kOk, kNoBudget, kCorrupt };
 
   // Helpers below require mu_ to be held.
   bool TupleEntryServes(const Entry& entry, const std::string& predicate_repr,
@@ -151,9 +180,20 @@ class CacheManager {
   void EvictIfNeeded();
   size_t EvictUnpinnedLocked(uint64_t min_bytes);
   void Erase(const std::string& uri);
+  /// Demotes a resident persisted entry to a stub (frees budget + memory).
+  void SpillLocked(const std::string& uri, Entry* entry);
+  /// Promotes a stub back to resident via the durable tier's full validation
+  /// ladder. kCorrupt means the entry was quarantined on disk — the caller
+  /// must erase the stub and treat the probe/lookup as a miss.
+  ReloadResult ReloadLocked(const std::string& uri, Entry* entry);
+  /// Writes `table` through to the durable tier; returns success.
+  bool PersistLocked(const std::string& uri, const Table& table,
+                     const std::string& predicate_repr,
+                     const CachedWindow& window, int64_t mtime_ms);
 
   const Options options_;
   MemoryBudget* budget_ = nullptr;  // set once before use; not owned
+  PersistentCache* persistent_ = nullptr;  // durable tier; may stay null
   mutable std::mutex mu_;
   std::unordered_map<std::string, Entry> entries_;
   std::list<std::string> lru_;  // front = most recent

@@ -118,6 +118,28 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& repo_root,
   db->memory_budget_ =
       std::make_unique<MemoryBudget>(options.two_stage.memory_budget_bytes);
   db->cache_->AttachBudget(db->memory_budget_.get());
+  // The cache's durable tier: recover whatever the last process persisted,
+  // running every entry through the validation ladder (stale sources dropped,
+  // corrupt files quarantined-and-deleted), and seed the in-memory cache with
+  // the survivors — the actual-data counterpart of the metadata snapshot's
+  // instant-on.
+  if (options.mode == IngestionMode::kLazy && !options.cache_dir.empty() &&
+      options.cache.policy != CachePolicy::kNone) {
+    PersistentCache::Options popts;
+    popts.dir = options.cache_dir;
+    db->persistent_cache_ =
+        std::make_unique<PersistentCache>(db->disk_.get(), popts);
+    db->cache_->AttachPersistent(db->persistent_cache_.get());
+    std::vector<PersistentCache::RecoveredEntry> recovered =
+        db->persistent_cache_->Recover();
+    for (PersistentCache::RecoveredEntry& r : recovered) {
+      db->cache_->AdoptRecovered(r.uri, r.meta, std::move(r.table));
+    }
+    const PersistentCache::Stats pstats = db->persistent_cache_->stats();
+    db->open_stats_.cache_entries_recovered = pstats.recovered;
+    db->open_stats_.cache_entries_quarantined = pstats.quarantined;
+    db->open_stats_.cache_entries_stale = pstats.stale_dropped;
+  }
   // One database-wide worker pool: every query's mount tasks and every
   // refresh's scan tasks land here, scheduled by priority class.
   db->pool_ = std::make_unique<ThreadPool>(
@@ -414,6 +436,9 @@ Result<QueryResult> Database::RunQuery(const std::string& sql,
   PublishQueryMetrics(out.stats, labels);
   PublishIoMetrics(disk_->stats());
   if (cache_ != nullptr) PublishCacheMetrics(cache_->stats());
+  if (persistent_cache_ != nullptr) {
+    PublishPersistentCacheMetrics(persistent_cache_->stats());
+  }
   if (shards_->enabled()) PublishShardMetrics(shards_->StatusRows());
   return out;
 }

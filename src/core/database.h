@@ -41,6 +41,14 @@ struct DatabaseOptions {
   // preliminary design is kNone: discard after every query.
   CacheManager::Options cache;
 
+  // Durable tier of the cache (kLazy, policy != kNone only). When non-empty,
+  // cached partial tables are written through to checksummed columnar files
+  // in this directory and recovered — validated, with corrupt entries
+  // quarantined — on the next Open(), so a restarted database answers
+  // repeated queries without re-mounting ("instant-on" for actual data,
+  // complementing metadata_snapshot_path). Empty = in-memory cache only.
+  std::string cache_dir;
+
   // Run-time optimization knobs (kLazy only).
   TwoStageOptions two_stage;
 
@@ -99,6 +107,13 @@ struct OpenStats {
   size_t num_records = 0;
   uint64_t num_data_rows = 0;        // Ei: rows materialized in D
   size_t snapshot_files_reused = 0;  // instant-on: files not re-scanned
+
+  // Persistent-cache recovery (cache_dir set): entries that survived the
+  // validation ladder, were deleted as corrupt, or were dropped because the
+  // source file changed since they were persisted.
+  uint64_t cache_entries_recovered = 0;
+  uint64_t cache_entries_quarantined = 0;
+  uint64_t cache_entries_stale = 0;
 
   // Parallel stage-1 scan: resolved worker-lane count, the scan's charged
   // (serial-sum, worker-invariant) simulated stall time, and its critical
@@ -366,6 +381,8 @@ class Database {
   }
   SimDisk* disk() { return disk_.get(); }
   CacheManager* cache() { return cache_.get(); }
+  /// The cache's durable tier (null unless options.cache_dir was set).
+  PersistentCache* persistent_cache() { return persistent_cache_.get(); }
   /// The sharded repository (never null; has one shard when unsharded).
   /// Kill/HealShard and StatusRows back the shell's `.shards` command.
   ShardedRepository* shards() { return shards_.get(); }
@@ -402,6 +419,10 @@ class Database {
   std::unique_ptr<ShardedRepository> shards_;
   std::unique_ptr<FileRegistry> registry_;
   std::unique_ptr<CacheManager> cache_;
+  // Durable tier behind cache_; created (and recovered from) in Open when
+  // options_.cache_dir is set. Destroyed after cache_ would be fine either
+  // way: cache_ only calls into it while queries run.
+  std::unique_ptr<PersistentCache> persistent_cache_;
   // Database-wide: outlives any one query because cache entries keep their
   // reservations between queries. Created before cache_ is used.
   std::unique_ptr<MemoryBudget> memory_budget_;

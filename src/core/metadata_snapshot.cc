@@ -3,13 +3,19 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "common/fnv.h"
 #include "io/file_io.h"
 
 namespace dex {
 
 namespace {
 
-constexpr char kMagic[8] = {'D', 'X', 'S', 'N', 'A', 'P', '0', '1'};
+// v2 appends a whole-payload FNV-1a checksum, so a truncated or bit-flipped
+// snapshot is rejected outright instead of trusting the per-field length
+// checks to notice. v1 files ("DXSNAP01") are rejected as stale, which
+// Database::Open treats like any corrupt snapshot: full rescan, then the
+// snapshot is rewritten in the current format.
+constexpr char kMagic[8] = {'D', 'X', 'S', 'N', 'A', 'P', '0', '2'};
 
 void PutU64(std::string* out, uint64_t v) {
   char buf[8];
@@ -108,15 +114,29 @@ Status SaveSnapshot(const mseed::ScanResult& scan, const std::string& path) {
     PutU64(&out, r.data_offset);
     PutU64(&out, r.data_bytes);
   }
-  return WriteStringToFile(path, out);
+  PutU64(&out, Fnv1a(out.data(), out.size()));  // seal the whole payload
+  return WriteFileAtomic(path, out);
 }
 
 Result<mseed::ScanResult> LoadSnapshot(const std::string& path) {
   std::string data;
   DEX_RETURN_NOT_OK(ReadFileToString(path, &data));
-  if (data.size() < sizeof(kMagic) ||
+  if (data.size() < sizeof(kMagic) + 8 ||
       std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::Corruption("bad snapshot magic in '" + path + "'");
+  }
+  // Verify the trailing whole-payload checksum before believing any field:
+  // length-prefixed strings catch gross truncation, but a flipped bit inside
+  // a fixed-width field would otherwise parse "successfully" into wrong
+  // metadata.
+  {
+    const uint64_t want = Fnv1a(data.data(), data.size() - 8);
+    uint64_t got;
+    std::memcpy(&got, data.data() + data.size() - 8, 8);
+    if (want != got) {
+      return Status::Corruption("snapshot checksum mismatch in '" + path + "'");
+    }
+    data.resize(data.size() - 8);
   }
   Cursor cur(data);
   DEX_RETURN_NOT_OK(cur.Skip(sizeof(kMagic)));

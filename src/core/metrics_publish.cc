@@ -144,6 +144,29 @@ void PublishCacheMetrics(const CacheStats& cache) {
   m.SetGauge("cache.invalidations", static_cast<double>(cache.invalidations));
   m.SetGauge("cache.budget_rejections",
              static_cast<double>(cache.budget_rejections));
+  m.SetGauge("cache.spills", static_cast<double>(cache.spills));
+  m.SetGauge("cache.reloads", static_cast<double>(cache.reloads));
+  m.SetGauge("cache.reload_failures",
+             static_cast<double>(cache.reload_failures));
+  m.SetGauge("cache.persisted", static_cast<double>(cache.persisted));
+  m.SetGauge("cache.persist_failures",
+             static_cast<double>(cache.persist_failures));
+}
+
+void PublishPersistentCacheMetrics(const PersistentCache::Stats& stats) {
+  MetricsRegistry& m = MetricsRegistry::Global();
+  m.SetGauge("cache.disk.persisted", static_cast<double>(stats.persisted));
+  m.SetGauge("cache.disk.persisted_bytes",
+             static_cast<double>(stats.persisted_bytes));
+  m.SetGauge("cache.disk.persist_failures",
+             static_cast<double>(stats.persist_failures));
+  m.SetGauge("cache.disk.loads", static_cast<double>(stats.loads));
+  m.SetGauge("cache.disk.load_failures",
+             static_cast<double>(stats.load_failures));
+  m.SetGauge("cache.disk.recovered", static_cast<double>(stats.recovered));
+  m.SetGauge("cache.disk.quarantined", static_cast<double>(stats.quarantined));
+  m.SetGauge("cache.disk.stale_dropped",
+             static_cast<double>(stats.stale_dropped));
 }
 
 void PublishShardMetrics(

@@ -36,6 +36,10 @@ void PublishIoMetrics(const IoStats& io);
 /// Cumulative cache gauges (`cache.*`).
 void PublishCacheMetrics(const CacheStats& cache);
 
+/// Cumulative durable-tier gauges (`cache.disk.*`): persist/load traffic and
+/// the recovery ladder's verdicts (recovered / quarantined / stale).
+void PublishPersistentCacheMetrics(const PersistentCache::Stats& stats);
+
 /// Cumulative shard gauges (`shard.*`) from the repository's per-shard
 /// status rows: totals under `shard.net_*_total` plus per-shard labeled
 /// gauges (`shard.net_messages{shard=N}`, ...). Called after

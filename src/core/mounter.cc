@@ -222,7 +222,15 @@ Result<TablePtr> Mounter::CacheLookup(const std::string& table_name,
   if (cache_ == nullptr) {
     return Status::Internal("cache-scan without a cache manager");
   }
-  return cache_->Lookup(uri);
+  auto cached = cache_->Lookup(uri);
+  if (cached.ok()) return cached;
+  // The entry vanished between planning and execution: spilled to the
+  // durable tier under concurrent budget pressure and then refused reload
+  // (quarantined as corrupt, or no budget headroom). The selection above
+  // this union branch re-applies the query's predicate, so mounting the
+  // whole file is a correct — just slower — substitute. The query degrades;
+  // it never fails and never sees unvalidated bytes.
+  return Mount(table_name, uri, nullptr);
 }
 
 }  // namespace dex

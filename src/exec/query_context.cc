@@ -54,7 +54,17 @@ bool MemoryBudget::TryReserve(uint64_t bytes) {
 }
 
 void MemoryBudget::Release(uint64_t bytes) {
-  used_.fetch_sub(bytes, std::memory_order_relaxed);
+  // Saturating: releasing more than is reserved clamps to zero instead of
+  // wrapping `used_` to ~2^64, which would make every subsequent TryReserve
+  // under a non-zero limit fail forever. A caller double-release is still a
+  // bug, but an accounting hiccup must not poison the whole budget.
+  uint64_t used = used_.load(std::memory_order_relaxed);
+  for (;;) {
+    const uint64_t next = used >= bytes ? used - bytes : 0;
+    if (used_.compare_exchange_weak(used, next, std::memory_order_relaxed)) {
+      return;
+    }
+  }
 }
 
 QueryContext::QueryContext(Limits limits, MemoryBudget* budget,

@@ -13,6 +13,20 @@ uint64_t StreamSeed(uint64_t seed, uint32_t object) {
   return seed ^ (0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(object) + 1));
 }
 
+// Distinct stream families (repository reads / cache writes / cache reads)
+// decorrelate via fixed salts folded into the injector seed.
+constexpr uint64_t kCacheWriteSalt = 0xA5A5A5A5A5A5A5A5ull;
+constexpr uint64_t kCacheReadSalt = 0x5A5A5A5A5A5A5A5Aull;
+
+Random& StreamFor(std::unordered_map<uint32_t, Random>* streams, uint64_t seed,
+                  uint32_t key) {
+  auto it = streams->find(key);
+  if (it == streams->end()) {
+    it = streams->emplace(key, Random(StreamSeed(seed, key))).first;
+  }
+  return it->second;
+}
+
 }  // namespace
 
 FaultInjector::ReadFault FaultInjector::OnDiskRead(uint32_t object) {
@@ -45,6 +59,50 @@ FaultInjector::ReadFault FaultInjector::OnDiskRead(uint32_t object) {
     out.extra_latency_nanos = static_cast<uint64_t>(spike_ms * 1e6);
     ++stats_.latency_spikes;
     stats_.spike_nanos += out.extra_latency_nanos;
+  }
+  return out;
+}
+
+FaultInjector::CacheWriteFault FaultInjector::OnCacheWrite(
+    uint32_t stream, uint64_t total_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheWriteFault out;
+  ++stats_.cache_writes_seen;
+  if (!options_.cache_faults_active() || total_bytes == 0) return out;
+  Random& rng = StreamFor(&cache_write_streams_,
+                          options_.seed ^ kCacheWriteSalt, stream);
+  if (options_.torn_write_rate > 0.0 &&
+      rng.NextBool(options_.torn_write_rate)) {
+    out.torn = true;
+    // A torn write keeps a strict prefix: at least the first byte (so the
+    // file exists and recovery must actually look at it), never the whole.
+    out.keep_bytes = total_bytes > 1 ? 1 + rng.Uniform(total_bytes - 1) : 0;
+    ++stats_.torn_writes;
+  }
+  const uint64_t kept = out.torn ? out.keep_bytes : total_bytes;
+  if (kept > 0 && options_.bit_flip_rate > 0.0 &&
+      rng.NextBool(options_.bit_flip_rate)) {
+    out.bit_flip = true;
+    out.flip_offset = rng.Uniform(kept);
+    out.flip_mask = static_cast<uint8_t>(1u << rng.Uniform(8));
+    ++stats_.bit_flips;
+  }
+  return out;
+}
+
+FaultInjector::CacheReadFault FaultInjector::OnCacheRead(uint32_t stream,
+                                                         uint64_t total_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheReadFault out;
+  ++stats_.cache_reads_seen;
+  if (!options_.cache_faults_active() || total_bytes == 0) return out;
+  Random& rng = StreamFor(&cache_read_streams_,
+                          options_.seed ^ kCacheReadSalt, stream);
+  if (options_.short_read_rate > 0.0 &&
+      rng.NextBool(options_.short_read_rate)) {
+    out.short_read = true;
+    out.keep_bytes = rng.Uniform(total_bytes);  // strict prefix, may be empty
+    ++stats_.short_reads;
   }
   return out;
 }

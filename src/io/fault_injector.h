@@ -47,8 +47,27 @@ class FaultInjector {
     /// Mean of the exponentially distributed spike duration.
     double latency_spike_millis = 50.0;
 
+    // -- Persistence (cache-file) fault modes -----------------------------
+    // These target the persistent cache's own durable writes/reads, not
+    // repository reads. Draws come from per-file streams keyed by an
+    // FNV-derived stream id, so the fate of the k-th write of a given cache
+    // file depends only on (seed, file, k) — order-independent across
+    // thread interleavings, exactly like the per-object read streams.
+    /// Probability a cache-file write persists only a prefix (crash between
+    /// write and fsync on a metadata-reordering filesystem).
+    double torn_write_rate = 0.0;
+    /// Probability a cache-file write lands with one seeded bit flipped
+    /// (silent media corruption surfacing on the next read).
+    double bit_flip_rate = 0.0;
+    /// Probability a cache-file read observes only a prefix of the file.
+    double short_read_rate = 0.0;
+
     bool active() const {
       return transient_error_rate > 0.0 || latency_spike_rate > 0.0;
+    }
+    bool cache_faults_active() const {
+      return torn_write_rate > 0.0 || bit_flip_rate > 0.0 ||
+             short_read_rate > 0.0;
     }
   };
 
@@ -58,6 +77,11 @@ class FaultInjector {
     uint64_t permanent_faults = 0;  // reads failed against the failure set
     uint64_t latency_spikes = 0;
     uint64_t spike_nanos = 0;       // total injected delay
+    uint64_t cache_writes_seen = 0; // cache-file writes evaluated
+    uint64_t torn_writes = 0;       // writes persisted as a prefix
+    uint64_t bit_flips = 0;         // writes persisted with a flipped bit
+    uint64_t cache_reads_seen = 0;  // cache-file reads evaluated
+    uint64_t short_reads = 0;       // reads returned a prefix
   };
 
   /// Outcome of one read attempt. `extra_latency_nanos` is charged by the
@@ -66,6 +90,24 @@ class FaultInjector {
     bool fail = false;
     bool permanent = false;
     uint64_t extra_latency_nanos = 0;
+  };
+
+  /// Outcome of one cache-file write of `total_bytes`. When `torn`, only
+  /// `keep_bytes` land on disk; when `bit_flip`, bit `flip_mask` of byte
+  /// `flip_offset` (of whatever was kept) is inverted before it lands.
+  struct CacheWriteFault {
+    bool torn = false;
+    uint64_t keep_bytes = 0;
+    bool bit_flip = false;
+    uint64_t flip_offset = 0;
+    uint8_t flip_mask = 0;
+  };
+
+  /// Outcome of one cache-file read of `total_bytes`: when `short_read`,
+  /// only `keep_bytes` are returned to the reader.
+  struct CacheReadFault {
+    bool short_read = false;
+    uint64_t keep_bytes = 0;
   };
 
   FaultInjector() : FaultInjector(Options{}) {}
@@ -98,6 +140,15 @@ class FaultInjector {
   /// (seed, object, number of prior OnDiskRead calls for `object`).
   ReadFault OnDiskRead(uint32_t object);
 
+  /// Draws the fate of one cache-file write of `total_bytes` under `stream`
+  /// (an FNV-derived per-file id; see PersistentCache). Deterministic in
+  /// (seed, stream, number of prior OnCacheWrite calls for `stream`).
+  CacheWriteFault OnCacheWrite(uint32_t stream, uint64_t total_bytes);
+
+  /// Draws the fate of one cache-file read of `total_bytes` under `stream`.
+  /// Deterministic in (seed, stream, prior OnCacheRead calls for `stream`).
+  CacheReadFault OnCacheRead(uint32_t stream, uint64_t total_bytes);
+
   const Options& options() const { return options_; }
   Stats stats() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -109,6 +160,11 @@ class FaultInjector {
   mutable std::mutex mu_;
   // Lazily created per-object PRNG streams; guarded by mu_.
   std::unordered_map<uint32_t, Random> streams_;
+  // Separate stream families for cache-file writes and reads: the same
+  // stream id must not share draws with repository-read streams (or with
+  // each other), or adding a fault mode would perturb the other's schedule.
+  std::unordered_map<uint32_t, Random> cache_write_streams_;
+  std::unordered_map<uint32_t, Random> cache_read_streams_;
   std::unordered_set<uint32_t> permanent_;
   Stats stats_;
 };

@@ -1,6 +1,8 @@
 #include "io/file_io.h"
 
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -49,6 +51,56 @@ Status WriteStringToFile(const std::string& path, const std::string& data) {
   if (!outf) return Status::IOError("cannot open '" + path + "' for writing");
   outf.write(data.data(), static_cast<std::streamoff>(data.size()));
   if (!outf) return Status::IOError("short write on '" + path + "'");
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& data) {
+  std::error_code ec;
+  const fs::path p(path);
+  if (p.has_parent_path()) {
+    fs::create_directories(p.parent_path(), ec);
+    if (ec) {
+      return Status::IOError("mkdir failed for '" + path + "': " + ec.message());
+    }
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+      return Status::IOError("cannot open '" + tmp + "' for writing");
+    }
+    size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+      if (n < 0) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return Status::IOError("short write on '" + tmp + "'");
+      }
+      off += static_cast<size_t>(n);
+    }
+    // Seal the bytes before the rename makes them reachable: rename is
+    // atomic, but only an fsynced temp file guarantees the *contents* are
+    // durable when the new name appears.
+    if (::fsync(fd) != 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::IOError("fsync failed on '" + tmp + "'");
+    }
+    ::close(fd);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IOError("rename '" + tmp + "' -> '" + path + "' failed");
+  }
+  // Persist the directory entry too (best-effort: some filesystems refuse
+  // O_RDONLY fsync on directories; the rename itself is still atomic).
+  const std::string dir = p.has_parent_path() ? p.parent_path().string() : ".";
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);
+    ::close(dfd);
+  }
   return Status::OK();
 }
 

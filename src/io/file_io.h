@@ -23,6 +23,12 @@ Status ReadFileRange(const std::string& path, uint64_t offset, uint64_t length,
 /// \brief Creates/overwrites `path` with `data`, creating parent directories.
 Status WriteStringToFile(const std::string& path, const std::string& data);
 
+/// \brief Crash-safe replace: writes `data` to `path + ".tmp"`, fsyncs the
+/// file (and its directory), then renames over `path`. A crash at any point
+/// leaves either the old complete file or the new complete file — never a
+/// torn mix. Used for the persistent cache's manifest and entry files.
+Status WriteFileAtomic(const std::string& path, const std::string& data);
+
 /// \brief Size of a regular file in bytes.
 Result<uint64_t> FileSize(const std::string& path);
 

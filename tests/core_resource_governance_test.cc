@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/database.h"
@@ -251,6 +252,64 @@ TEST(ResourceGovernance, UngovernedQueriesKeepParallelPremount) {
   EXPECT_EQ(r->stats.two_stage.workers, 4u);
   EXPECT_GT(r->stats.two_stage.mount_tasks, 0u);
   EXPECT_FALSE(r->stats.two_stage.is_partial);
+}
+
+// -- MemoryBudget edge cases ------------------------------------------------
+
+TEST(MemoryBudget, ReserveAtExactLimitSucceedsAndNextByteFails) {
+  MemoryBudget budget(100);
+  EXPECT_TRUE(budget.TryReserve(100));  // == limit: allowed
+  EXPECT_EQ(budget.used(), 100u);
+  EXPECT_FALSE(budget.TryReserve(1));  // one byte over: refused
+  EXPECT_EQ(budget.rejections(), 1u);
+  EXPECT_EQ(budget.used(), 100u);  // refused reservation was not applied
+  budget.Release(100);
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_TRUE(budget.TryReserve(1));
+}
+
+TEST(MemoryBudget, ReleaseMoreThanReservedClampsToZero) {
+  MemoryBudget budget(100);
+  ASSERT_TRUE(budget.TryReserve(40));
+  budget.Release(100);  // buggy caller over-releases
+  EXPECT_EQ(budget.used(), 0u);  // clamped, not wrapped to ~2^64
+  // The budget is not poisoned: the full limit is still reservable.
+  EXPECT_TRUE(budget.TryReserve(100));
+  EXPECT_EQ(budget.used(), 100u);
+}
+
+TEST(MemoryBudget, ZeroLimitIsUnlimitedButStillTracksUsage) {
+  MemoryBudget budget(0);
+  EXPECT_TRUE(budget.TryReserve(1ull << 60));
+  EXPECT_EQ(budget.used(), 1ull << 60);
+  EXPECT_EQ(budget.rejections(), 0u);
+  budget.Release(1ull << 60);
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(MemoryBudget, ConcurrentReserveReleaseStaysConsistent) {
+  // Hammer TryReserve/Release from many threads (TSan-meaningful): the
+  // budget must never admit more than the limit, and once every successful
+  // reservation is released, usage must return to exactly zero.
+  MemoryBudget budget(1000);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&budget, t] {
+      const uint64_t bytes = 1 + static_cast<uint64_t>(t) * 13 % 97;
+      for (int i = 0; i < kIters; ++i) {
+        if (budget.TryReserve(bytes)) {
+          EXPECT_LE(budget.used(), 1000u);
+          budget.Release(bytes);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_LE(budget.peak(), 1000u);  // reservations never exceeded the limit
 }
 
 }  // namespace

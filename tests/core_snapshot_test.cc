@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/database.h"
 #include "mseed/writer.h"
 #include "test_util.h"
@@ -73,6 +75,63 @@ TEST(SnapshotTest, CorruptionDetected) {
   // Trailing garbage.
   ASSERT_TRUE(WriteStringToFile(path, data + "zzz").ok());
   EXPECT_TRUE(LoadSnapshot(path).status().IsCorruption());
+}
+
+TEST(SnapshotTest, BitFlipAnywhereIsDetected) {
+  ScopedRepo repo("snapshot_bitflip", TinyRepoOptions());
+  const std::string path = repo.root() + "/meta.snap";
+  ASSERT_TRUE(SaveSnapshot(ScanOf(repo.root()), path).ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(path, &data).ok());
+  ASSERT_TRUE(LoadSnapshot(path).ok());
+  // Flip one bit at a sweep of offsets covering the whole payload including
+  // the trailing checksum itself. Every single flip must be rejected — this
+  // is exactly what the per-field length checks alone could NOT guarantee.
+  const size_t step = std::max<size_t>(1, data.size() / 97);
+  for (size_t off = 0; off < data.size(); off += step) {
+    std::string bad = data;
+    bad[off] = static_cast<char>(bad[off] ^ 0x10);
+    ASSERT_TRUE(WriteStringToFile(path, bad).ok());
+    EXPECT_TRUE(LoadSnapshot(path).status().IsCorruption())
+        << "bit flip at offset " << off << " was not detected";
+  }
+}
+
+TEST(SnapshotTest, TruncationAtEveryLengthIsDetected) {
+  ScopedRepo repo("snapshot_trunc", TinyRepoOptions());
+  const std::string path = repo.root() + "/meta.snap";
+  ASSERT_TRUE(SaveSnapshot(ScanOf(repo.root()), path).ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(path, &data).ok());
+  const size_t step = std::max<size_t>(1, data.size() / 97);
+  for (size_t len = 0; len < data.size(); len += step) {
+    ASSERT_TRUE(WriteStringToFile(path, data.substr(0, len)).ok());
+    EXPECT_FALSE(LoadSnapshot(path).ok())
+        << "truncation to " << len << " bytes was not detected";
+  }
+}
+
+TEST(SnapshotTest, V1SnapshotRejectedAsStale) {
+  // A previous-format snapshot (magic DXSNAP01, no trailing checksum) must
+  // be rejected — Database::Open then falls back to a clean full rescan and
+  // rewrites the snapshot in the current format.
+  ScopedRepo repo("snapshot_v1", TinyRepoOptions());
+  const std::string path = repo.root() + "/meta.snap";
+  ASSERT_TRUE(SaveSnapshot(ScanOf(repo.root()), path).ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(path, &data).ok());
+  data[7] = '1';  // "DXSNAP02" -> "DXSNAP01"
+  ASSERT_TRUE(WriteStringToFile(path, data).ok());
+  EXPECT_TRUE(LoadSnapshot(path).status().IsCorruption());
+
+  DatabaseOptions opts;
+  opts.metadata_snapshot_path = path;
+  auto db = Database::Open(repo.root(), opts);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ((*db)->open_stats().snapshot_files_reused, 0u);  // full rescan
+  auto reloaded = LoadSnapshot(path);  // rewritten in the v2 format
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->files.size(), (*db)->open_stats().num_files);
 }
 
 TEST(SnapshotTest, ReconcileReusesUnchangedFiles) {
