@@ -40,7 +40,7 @@ int main() {
 
   DatabaseOptions derived;
   derived.collect_derived_metadata = true;
-  derived.two_stage.use_derived_pruning = true;
+  derived.two_stage.pruning.file_level = true;
   auto db_derived = MustOpen(dir, derived);
 
   // First pass on both systems: same work, but the derived system records

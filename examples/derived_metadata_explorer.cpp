@@ -31,7 +31,7 @@ int main() {
 
   dex::DatabaseOptions options;
   options.collect_derived_metadata = true;
-  options.two_stage.use_derived_pruning = true;
+  options.two_stage.pruning.file_level = true;
   auto db_or = dex::Database::Open(kRepoDir, options);
   if (!db_or.ok()) return 1;
   auto& db = *db_or;

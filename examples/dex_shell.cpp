@@ -98,6 +98,13 @@ void PrintQueryStats(const dex::QueryStats& stats, bool verbose) {
   if (stats.sim_io_nanos > 0) {
     std::printf(" [sim-I/O %.4fs]", stats.sim_io_nanos / 1e9);
   }
+  if (stats.records_skipped_zonemap > 0 || stats.frames_skipped_zonemap > 0 ||
+      stats.zonemap_fallbacks > 0) {
+    std::printf(" [zonemap: %llu records, %llu frames skipped, %llu fallbacks]",
+                static_cast<unsigned long long>(stats.records_skipped_zonemap),
+                static_cast<unsigned long long>(stats.frames_skipped_zonemap),
+                static_cast<unsigned long long>(stats.zonemap_fallbacks));
+  }
   if (ts.workers > 1 && ts.mount_tasks > 0) {
     std::printf(" [%zu mount tasks on %zu workers, sim speedup %.2fx]",
                 ts.mount_tasks, ts.workers,
@@ -130,6 +137,17 @@ void PrintQueryStats(const dex::QueryStats& stats, bool verbose) {
   }
   std::printf("\n");
   if (verbose) {
+    const auto& ex = ts.exec;
+    if (ex.kernel_filter_batches > 0 || ex.kernel_agg_batches > 0 ||
+        ex.scalar_filter_batches > 0 || ex.scalar_agg_batches > 0) {
+      std::printf("   kernels: filter %llu vec / %llu scalar, "
+                  "agg %llu vec / %llu scalar, %llu compactions\n",
+                  static_cast<unsigned long long>(ex.kernel_filter_batches),
+                  static_cast<unsigned long long>(ex.scalar_filter_batches),
+                  static_cast<unsigned long long>(ex.kernel_agg_batches),
+                  static_cast<unsigned long long>(ex.scalar_agg_batches),
+                  static_cast<unsigned long long>(ex.selection_compactions));
+    }
     for (const std::string& w : stats.warnings) {
       std::printf("   warning: %s\n", w.c_str());
     }
@@ -140,6 +158,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: dex_shell <repo-dir> [--eager] [--cache=none|lru|all] "
                "[--tuple-cache] [--cache-dir=<path>] [--derived] "
+               "[--no-zonemap] [--no-simd-kernels] "
                "[--snapshot=<path>] [--batch=<n>] "
                "[--threads=<n>] [--refresh-threads=<n>] [--timeout=<ms>] "
                "[--memlimit=<mb>] [--shards=<n>] [--shard-policy=hash|station] "
@@ -182,7 +201,13 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--derived") {
       options.collect_derived_metadata = true;
-      options.two_stage.use_derived_pruning = true;
+      options.two_stage.pruning.file_level = true;
+    } else if (arg == "--no-zonemap") {
+      options.two_stage.pruning.record_level = false;
+      options.two_stage.pruning.frame_level = false;
+      options.collect_zone_maps = false;
+    } else if (arg == "--no-simd-kernels") {
+      options.two_stage.pruning.use_simd_kernels = false;
     } else if (dex::StartsWith(arg, "--snapshot=")) {
       options.metadata_snapshot_path = arg.substr(11);
     } else if (dex::StartsWith(arg, "--batch=")) {

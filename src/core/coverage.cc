@@ -1,9 +1,6 @@
 #include "core/coverage.h"
 
 #include <algorithm>
-#include <map>
-#include <unordered_map>
-#include <vector>
 
 #include "core/seismic_schema.h"
 
@@ -23,12 +20,6 @@ SchemaPtr MakeCoverageSchema(const char* table, const char* start_name,
   return s;
 }
 
-struct RecordWindow {
-  int64_t start_ms;
-  int64_t end_ms;
-  double sample_rate_hz;
-};
-
 }  // namespace
 
 SchemaPtr MakeGapsSchema() {
@@ -39,35 +30,31 @@ SchemaPtr MakeOverlapsSchema() {
   return MakeCoverageSchema(kOverlapsTableName, "overlap_start", "overlap_end");
 }
 
-Result<CoverageStats> AnalyzeCoverage(Catalog* catalog) {
-  DEX_ASSIGN_OR_RETURN(TablePtr f_table, catalog->GetTable(kFileTableName));
-  DEX_ASSIGN_OR_RETURN(TablePtr r_table, catalog->GetTable(kRecordTableName));
+void CoverageCollector::ScanStarted(const std::string& root) {
+  (void)root;
+  // Each scan pass redelivers the whole repository (reused files included),
+  // so the previous pass's picture is simply replaced.
+  std::lock_guard<std::mutex> lock(mu_);
+  streams_.clear();
+}
 
-  // uri -> (station, channel) from F.
-  const Schema& fs = *f_table->schema();
-  DEX_ASSIGN_OR_RETURN(size_t f_uri, fs.FieldIndex("F.uri"));
-  DEX_ASSIGN_OR_RETURN(size_t f_station, fs.FieldIndex("F.station"));
-  DEX_ASSIGN_OR_RETURN(size_t f_channel, fs.FieldIndex("F.channel"));
-  std::unordered_map<std::string, std::pair<std::string, std::string>> stream_of;
-  for (size_t r = 0; r < f_table->num_rows(); ++r) {
-    stream_of.emplace(f_table->column(f_uri)->GetString(r),
-                      std::make_pair(f_table->column(f_station)->GetString(r),
-                                     f_table->column(f_channel)->GetString(r)));
+void CoverageCollector::FileScanned(
+    const mseed::FileMeta& file,
+    const std::vector<mseed::RecordMeta>& records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& windows = streams_[{file.station, file.channel}];
+  for (const mseed::RecordMeta& r : records) {
+    windows.push_back({r.start_time_ms, r.end_time_ms, r.sample_rate_hz});
   }
+}
 
-  // (station, channel) -> record windows from R.
-  const Schema& rs = *r_table->schema();
-  DEX_ASSIGN_OR_RETURN(size_t r_uri, rs.FieldIndex("R.uri"));
-  DEX_ASSIGN_OR_RETURN(size_t r_start, rs.FieldIndex("R.start_time"));
-  DEX_ASSIGN_OR_RETURN(size_t r_end, rs.FieldIndex("R.end_time"));
-  DEX_ASSIGN_OR_RETURN(size_t r_rate, rs.FieldIndex("R.sample_rate"));
-  std::map<std::pair<std::string, std::string>, std::vector<RecordWindow>> streams;
-  for (size_t r = 0; r < r_table->num_rows(); ++r) {
-    auto it = stream_of.find(r_table->column(r_uri)->GetString(r));
-    if (it == stream_of.end()) continue;  // orphan record; skip
-    streams[it->second].push_back({r_table->column(r_start)->GetInt64(r),
-                                   r_table->column(r_end)->GetInt64(r),
-                                   r_table->column(r_rate)->GetDouble(r)});
+Result<CoverageStats> CoverageCollector::Publish(Catalog* catalog) const {
+  // Snapshot under the lock; sort and derive outside it.
+  std::map<std::pair<std::string, std::string>, std::vector<RecordWindow>>
+      streams;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    streams = streams_;
   }
 
   auto gaps = std::make_shared<Table>(kGapsTableName, MakeGapsSchema());
@@ -76,6 +63,7 @@ Result<CoverageStats> AnalyzeCoverage(Catalog* catalog) {
   CoverageStats stats;
   stats.streams = streams.size();
   for (auto& [stream, windows] : streams) {
+    if (windows.empty()) continue;
     std::sort(windows.begin(), windows.end(),
               [](const RecordWindow& a, const RecordWindow& b) {
                 return a.start_ms < b.start_ms;

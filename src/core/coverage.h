@@ -1,9 +1,14 @@
 #ifndef DEX_CORE_COVERAGE_H_
 #define DEX_CORE_COVERAGE_H_
 
+#include <map>
+#include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/result.h"
+#include "core/stats_collector.h"
 #include "storage/catalog.h"
 
 namespace dex {
@@ -11,16 +16,6 @@ namespace dex {
 /// Coverage analysis — the paper's other kind of derived metadata (§5):
 /// "derived metadata can be anything ranging from summary data (e.g. sum,
 /// average, max, etc.) to analyzed data (e.g. gaps, overlaps, etc.)".
-///
-/// Unlike the DM value statistics (which require mounting), gaps and
-/// overlaps derive purely from the *given* metadata: R's record windows.
-/// AnalyzeCoverage computes, per (station, channel) stream,
-///  - GAPS(station, channel, gap_start, gap_end, duration_ms): intervals
-///    with no recorded data between consecutive records,
-///  - OVERLAPS(station, channel, overlap_start, overlap_end, duration_ms):
-///    intervals covered by more than one record (duplicate acquisition).
-/// and registers/replaces both as metadata tables in the catalog, so the
-/// explorer can query them in SQL without touching a single file.
 inline constexpr const char* kGapsTableName = "GAPS";
 inline constexpr const char* kOverlapsTableName = "OVERLAPS";
 
@@ -32,10 +27,51 @@ struct CoverageStats {
   int64_t total_overlap_ms = 0;
 };
 
-/// \brief Derives GAPS/OVERLAPS from the metadata tables F and R in
-/// `catalog` and registers them (replacing earlier versions). Tolerance: a
-/// break shorter than one sample interval is not a gap.
-Result<CoverageStats> AnalyzeCoverage(Catalog* catalog);
+/// \brief Accumulates per-stream record windows from stage-1 scan events
+/// and, on demand, derives GAPS/OVERLAPS tables into a catalog.
+///
+/// Unlike the DM value statistics (which require mounting), gaps and
+/// overlaps derive purely from the *given* metadata: the record windows the
+/// stage-1 scan delivers. The collector rebuilds its picture on every scan
+/// pass (ScanStarted clears; every file — including baseline-reused ones —
+/// is redelivered), so after Open() or Refresh() it always reflects the
+/// whole repository. Publish() then computes, per (station, channel) stream,
+///  - GAPS(station, channel, gap_start, gap_end, duration_ms): intervals
+///    with no recorded data between consecutive records,
+///  - OVERLAPS(station, channel, overlap_start, overlap_end, duration_ms):
+///    intervals covered by more than one record (duplicate acquisition),
+/// and registers/replaces both as metadata tables, so the explorer can
+/// query them in SQL without touching a single file. Tolerance: a break
+/// shorter than one sample interval is not a gap.
+///
+/// Thread-safe: scan passes (single-threaded per the collector contract)
+/// may run concurrently with Publish() from another session's
+/// AnalyzeCoverage call.
+class CoverageCollector : public StatsCollector {
+ public:
+  std::string name() const override { return "coverage"; }
+
+  void ScanStarted(const std::string& root) override;
+  void FileScanned(const mseed::FileMeta& file,
+                   const std::vector<mseed::RecordMeta>& records) override;
+
+  /// Derives GAPS/OVERLAPS from the accumulated windows and registers them
+  /// in `catalog` (replacing earlier versions).
+  Result<CoverageStats> Publish(Catalog* catalog) const;
+
+ private:
+  struct RecordWindow {
+    int64_t start_ms;
+    int64_t end_ms;
+    double sample_rate_hz;
+  };
+
+  mutable std::mutex mu_;
+  // (station, channel) -> record windows; ordered so Publish's stream
+  // iteration (and therefore GAPS/OVERLAPS row order) is deterministic.
+  std::map<std::pair<std::string, std::string>, std::vector<RecordWindow>>
+      streams_;
+};
 
 SchemaPtr MakeGapsSchema();
 SchemaPtr MakeOverlapsSchema();

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "common/logging.h"
 #include "io/file_io.h"
 
 #include "core/metadata_snapshot.h"
@@ -92,7 +93,17 @@ class ScopedTrace {
 Database::Database(DatabaseOptions options) : options_(std::move(options)) {}
 
 Database::~Database() {
+  SaveZoneMaps();
   obs::FlightRecorder::Global().UninstallClock(this);
+}
+
+void Database::SaveZoneMaps() {
+  if (zone_maps_ == nullptr || options_.zone_map_path.empty()) return;
+  Status s = zone_maps_->SaveIfDirty(options_.zone_map_path);
+  if (!s.ok()) {
+    DEX_LOG(Warning) << "zone-map save to '" << options_.zone_map_path
+                     << "' failed: " << s.ToString();
+  }
 }
 
 Result<std::unique_ptr<Database>> Database::Open(const std::string& repo_root,
@@ -163,8 +174,26 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& repo_root,
   // stage1_threads). With a metadata snapshot ("instant-on"), unchanged
   // files skip the header parse entirely — the snapshot is the baseline.
   const uint64_t t0 = NowNanos();
+  // Stats collectors (core/stats_collector.h). Coverage and the
+  // informativeness index are always on — metadata-only, cheap. Zone maps
+  // per options; persisted zone maps are restored *before* the scan so
+  // FileScanned can drop entries whose file identity changed (safety-ladder
+  // step 1). They must all exist before the Open scan to see its events.
+  db->coverage_ = std::make_unique<CoverageCollector>();
+  db->info_index_ = std::make_unique<InformativenessIndex>();
+  if (options.collect_zone_maps) {
+    db->zone_maps_ = std::make_unique<ZoneMapStore>();
+    if (!options.zone_map_path.empty()) {
+      DEX_RETURN_NOT_OK(db->zone_maps_->Load(options.zone_map_path));
+    }
+  }
+  StatsCollectorSet scan_collectors;
+  scan_collectors.Register(db->coverage_.get());
+  scan_collectors.Register(db->info_index_.get());
+  scan_collectors.Register(db->zone_maps_.get());
   db->stage1_ = std::make_unique<Stage1Scanner>(
-      db->format_.get(), db->registry_.get(), db->pool_.get());
+      db->format_.get(), db->registry_.get(), db->pool_.get(),
+      scan_collectors);
   mseed::ScanResult baseline;
   bool have_baseline = false;
   if (!options.metadata_snapshot_path.empty() &&
@@ -241,14 +270,17 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& repo_root,
   db->epochs_ = std::make_unique<EpochManager>(std::move(catalog));
   db->pinned_latest_ = db->epochs_->Pin();
   db->initial_epoch_ = db->pinned_latest_;
+  StatsCollectorSet mount_collectors;
+  mount_collectors.Register(db->derived_.get());
+  mount_collectors.Register(db->zone_maps_.get());
   db->mounter_ = std::make_unique<Mounter>(
-      db->registry_.get(), db->cache_.get(), db->derived_.get(),
-      db->format_.get(), options.two_stage.on_mount_error,
-      options.two_stage.retry);
+      db->registry_.get(), db->cache_.get(), mount_collectors,
+      db->zone_maps_.get(), db->format_.get(),
+      options.two_stage.on_mount_error, options.two_stage.retry);
   db->two_stage_ = std::make_unique<TwoStageExecutor>(
       db->initial_epoch_->catalog.get(), db->registry_.get(), db->cache_.get(),
       db->mounter_.get(), db->derived_.get(), options.two_stage,
-      db->pool_.get());
+      db->pool_.get(), db->info_index_.get());
   db->open_stats_.sim_io_nanos = db->disk_->stats().sim_nanos;
   PublishOpenMetrics(db->open_stats_);
   PublishIoMetrics(db->disk_->stats());
@@ -323,6 +355,7 @@ Result<QueryResult> Database::RunQuery(const std::string& sql,
     effective.on_resource_exhausted = *options.on_resource_exhausted;
   }
   if (options.num_threads) effective.num_threads = *options.num_threads;
+  if (options.pruning) effective.pruning = *options.pruning;
 
   QueryResult out;
   out.stats.epoch = pinned->id;
@@ -410,6 +443,9 @@ Result<QueryResult> Database::RunQuery(const std::string& sql,
   out.stats.files_skipped = out.stats.mount.files_skipped;
   out.stats.records_salvaged = out.stats.mount.records_salvaged;
   out.stats.records_skipped = out.stats.mount.records_skipped;
+  out.stats.records_skipped_zonemap = out.stats.mount.records_skipped_zonemap;
+  out.stats.frames_skipped_zonemap = out.stats.mount.frames_skipped_zonemap;
+  out.stats.zonemap_fallbacks = out.stats.mount.zonemap_fallbacks;
 
   // This query's warnings, bounded.
   const size_t copied = std::min(outcome.warnings.size(), kMaxQueryWarnings);
@@ -425,6 +461,10 @@ Result<QueryResult> Database::RunQuery(const std::string& sql,
   // Quarantines that happened while mounting become visible immediately
   // (to queries pinning after this publish; our own snapshot is unchanged).
   DEX_RETURN_NOT_OK(SyncQuarantineTable());
+
+  // Zone maps harvested by this query's mounts persist (when configured) so
+  // a restarted database prunes immediately. No-op when nothing changed.
+  SaveZoneMaps();
 
   // Publish into the unified metrics registry: per-query counters (labeled
   // with the query's telemetry context when one was supplied), plus the
@@ -460,6 +500,31 @@ Result<QueryResult> Database::RunExplainAnalyze(const std::string& sql,
                 static_cast<double>(out.stats.sim_io_nanos) / 1e6);
   text += line;
   const TwoStageStats& ts = out.stats.two_stage;
+  const Mounter::MountCounters& mc = ts.mount.counters;
+  if (mc.records_skipped_zonemap > 0 || mc.frames_skipped_zonemap > 0 ||
+      mc.zonemap_fallbacks > 0) {
+    std::snprintf(line, sizeof(line),
+                  "\nzone maps: %llu records skipped, %llu frames skipped "
+                  "(%llu decoded), %llu fallbacks",
+                  static_cast<unsigned long long>(mc.records_skipped_zonemap),
+                  static_cast<unsigned long long>(mc.frames_skipped_zonemap),
+                  static_cast<unsigned long long>(mc.frames_decoded_zonemap),
+                  static_cast<unsigned long long>(mc.zonemap_fallbacks));
+    text += line;
+  }
+  const ExecStats& ex = ts.exec;
+  if (ex.kernel_filter_batches > 0 || ex.kernel_agg_batches > 0 ||
+      ex.scalar_filter_batches > 0 || ex.scalar_agg_batches > 0) {
+    std::snprintf(line, sizeof(line),
+                  "\nkernels: filter %llu vectorized / %llu scalar, "
+                  "agg %llu vectorized / %llu scalar, %llu compactions",
+                  static_cast<unsigned long long>(ex.kernel_filter_batches),
+                  static_cast<unsigned long long>(ex.scalar_filter_batches),
+                  static_cast<unsigned long long>(ex.kernel_agg_batches),
+                  static_cast<unsigned long long>(ex.scalar_agg_batches),
+                  static_cast<unsigned long long>(ex.selection_compactions));
+    text += line;
+  }
   if (ts.is_partial) {
     std::snprintf(
         line, sizeof(line),
@@ -657,6 +722,9 @@ Result<RefreshStats> Database::Refresh() {
   span.AddArg("files_scanned", static_cast<uint64_t>(stats.files_scanned));
   span.AddArg("files_reused", static_cast<uint64_t>(stats.files_reused));
   span.AddArg("epoch", stats.epoch);
+  // The scan's FileScanned events may have dropped stale zone maps (changed
+  // file identities); persist the trimmed set when configured.
+  SaveZoneMaps();
   PublishRefreshMetrics(stats);
   PublishIoMetrics(disk_->stats());
   if (shards_->enabled()) PublishShardMetrics(shards_->StatusRows());
@@ -669,7 +737,7 @@ Result<CoverageStats> Database::AnalyzeCoverage() {
   // pinned (possibly GAPS-less) snapshots.
   std::lock_guard<std::mutex> lock(publish_mu_);
   std::unique_ptr<Catalog> next = pinned_latest_->catalog->Clone();
-  DEX_ASSIGN_OR_RETURN(CoverageStats stats, dex::AnalyzeCoverage(next.get()));
+  DEX_ASSIGN_OR_RETURN(CoverageStats stats, coverage_->Publish(next.get()));
   pinned_latest_ = epochs_->Publish(std::move(next));
   return stats;
 }

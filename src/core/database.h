@@ -15,8 +15,10 @@
 #include "core/eager_loader.h"
 #include "core/file_registry.h"
 #include "core/format_adapter.h"
+#include "core/informativeness.h"
 #include "core/mounter.h"
 #include "core/stage1_scan.h"
+#include "core/zone_map.h"
 #include "core/two_stage.h"
 #include "exec/thread_pool.h"
 #include "io/sim_disk.h"
@@ -68,6 +70,19 @@ struct DatabaseOptions {
 
   // Collect derived metadata as a side effect of mounting (§5).
   bool collect_derived_metadata = false;
+
+  // Harvest per-record / per-Steim-frame min/max zone maps as a side effect
+  // of mounting, and use them to skip decode work in later mounts (see
+  // PruningOptions). Cheap (one struct per record + 20 bytes per frame);
+  // defaults on.
+  bool collect_zone_maps = true;
+
+  // When non-empty, zone maps persist to this file (checksummed, atomic
+  // rename) after queries/refreshes that changed them, and are recovered on
+  // the next Open() — so a restarted database prunes immediately. A corrupt
+  // or stale file is discarded wholesale (zone maps are hints; recovery
+  // never blocks Open). Empty = in-memory only.
+  std::string zone_map_path;
 
   // Ei knobs.
   bool build_indexes = true;      // PK/FK indexes after the eager load
@@ -159,6 +174,12 @@ struct QueryStats {
   uint64_t records_salvaged = 0;  // records recovered past corruption
   uint64_t records_skipped = 0;   // corrupt records dropped (kSalvage)
 
+  // Zone-map pruning (kLazy; mirrors Mounter::MountCounters): decode work
+  // skipped because a zone map proved it could not match the predicate.
+  uint64_t records_skipped_zonemap = 0;
+  uint64_t frames_skipped_zonemap = 0;
+  uint64_t zonemap_fallbacks = 0;  // selective decode failed verification
+
   /// Human-readable degradation notices for this query: retries exhausted,
   /// files quarantined or skipped, records dropped. Bounded; a final entry
   /// notes how many were dropped when the bound is hit.
@@ -231,6 +252,10 @@ struct QueryOptions {
   std::optional<OnResourceExhausted> on_resource_exhausted;
   /// Stage-2 ingestion worker lanes (0 = hardware concurrency, 1 = serial).
   std::optional<size_t> num_threads;
+  /// The pruning decision ladder for this query (file/record/frame level +
+  /// SIMD kernels), overriding the database-wide TwoStageOptions::pruning.
+  /// Shell: `--no-zonemap` / `--no-simd-kernels`.
+  std::optional<PruningOptions> pruning;
   /// Shard count for this query on a sharded database (nullopt/0 = the
   /// configured count; other values clamped into [1, configured]). The
   /// query re-partitions on the fly: results are identical at any value,
@@ -388,6 +413,8 @@ class Database {
   ShardedRepository* shards() { return shards_.get(); }
   FileRegistry* registry() { return registry_.get(); }
   DerivedMetadata* derived_metadata() { return derived_.get(); }
+  /// The zone-map store (null when options.collect_zone_maps is false).
+  ZoneMapStore* zone_maps() { return zone_maps_.get(); }
   FormatAdapter* format() { return format_.get(); }
   /// The database-wide worker pool (mount tasks, refresh scan tasks).
   ThreadPool* pool() { return pool_.get(); }
@@ -410,6 +437,10 @@ class Database {
   /// registry health changed since the last publish.
   Status SyncQuarantineTable();
 
+  /// Persists the zone maps when a path is configured and they changed.
+  /// Best-effort: a failed save is logged, never propagated.
+  void SaveZoneMaps();
+
   DatabaseOptions options_;
   std::string repo_root_;
   std::shared_ptr<FormatAdapter> format_;
@@ -427,6 +458,11 @@ class Database {
   // reservations between queries. Created before cache_ is used.
   std::unique_ptr<MemoryBudget> memory_budget_;
   std::unique_ptr<DerivedMetadata> derived_;
+  // Stats collectors fed by the stage-1 scanner and the mounter (see
+  // core/stats_collector.h). derived_ above is one of them when enabled.
+  std::unique_ptr<CoverageCollector> coverage_;
+  std::unique_ptr<InformativenessIndex> info_index_;
+  std::unique_ptr<ZoneMapStore> zone_maps_;
   std::unique_ptr<Mounter> mounter_;
   // The shared worker pool all queries' mount tasks (and refresh scans)
   // run on, with per-query priority classes. Destroyed after the executors.

@@ -13,37 +13,31 @@ Result<std::unique_ptr<DerivedMetadata>> DerivedMetadata::Create(Catalog* catalo
   return dm;
 }
 
-Status DerivedMetadata::RecordMounted(const std::string& uri, int64_t record_id,
-                                      const mseed::DecodedRecord& record,
-                                      uint32_t expected_records) {
+Status DerivedMetadata::RecordMounted(
+    const std::string& uri, int64_t record_id,
+    const mseed::RecordHeader& header, const RecordValueStats& values,
+    const std::vector<mseed::Steim1::FrameStat>* frames,
+    uint32_t expected_records) {
+  (void)header;
+  (void)frames;
   std::lock_guard<std::mutex> lock(mu_);
   const std::string key = uri + '\0' + std::to_string(record_id);
   if (record_stats_.count(key) > 0) return Status::OK();
   record_stats_.emplace(key, true);
 
-  double min_v = 0, max_v = 0, sum_v = 0;
-  if (!record.samples.empty()) {
-    min_v = max_v = static_cast<double>(record.samples[0]);
-    for (int32_t s : record.samples) {
-      const double v = static_cast<double>(s);
-      min_v = std::min(min_v, v);
-      max_v = std::max(max_v, v);
-      sum_v += v;
-    }
-  }
-  const double n = static_cast<double>(record.samples.size());
+  const double n = static_cast<double>(values.count);
   DEX_RETURN_NOT_OK(table_->AppendRow(
-      {Value::String(uri), Value::Int64(record_id), Value::Double(min_v),
-       Value::Double(max_v), Value::Double(n > 0 ? sum_v / n : 0.0),
-       Value::Double(sum_v), Value::Int64(static_cast<int64_t>(n))}));
+      {Value::String(uri), Value::Int64(record_id), Value::Double(values.min),
+       Value::Double(values.max), Value::Double(n > 0 ? values.sum / n : 0.0),
+       Value::Double(values.sum), Value::Int64(static_cast<int64_t>(n))}));
 
   FileStats& fs = file_stats_[uri];
   if (fs.records_seen == 0) {
-    fs.min_value = min_v;
-    fs.max_value = max_v;
+    fs.min_value = values.min;
+    fs.max_value = values.max;
   } else {
-    fs.min_value = std::min(fs.min_value, min_v);
-    fs.max_value = std::max(fs.max_value, max_v);
+    fs.min_value = std::min(fs.min_value, values.min);
+    fs.max_value = std::max(fs.max_value, values.max);
   }
   fs.records_seen += 1;
   fs.expected_records = expected_records;

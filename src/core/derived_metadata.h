@@ -7,13 +7,14 @@
 #include <unordered_map>
 
 #include "common/result.h"
-#include "mseed/reader.h"
+#include "core/stats_collector.h"
 #include "storage/catalog.h"
 #include "storage/table.h"
 
 namespace dex {
 
-/// \brief Derived metadata collected "as a side-effect of ALi" (paper §5).
+/// \brief Derived metadata collected "as a side-effect of ALi" (paper §5) —
+/// a StatsCollector fed by the mounter through the unified harvesting seam.
 ///
 /// Every mounted record contributes per-record summary statistics
 /// (min/max/mean/sum/count of sample values) to the DM metadata table —
@@ -21,26 +22,35 @@ namespace dex {
 /// Two uses are implemented:
 ///  - DM is a regular metadata table in the catalog, so later explorative
 ///    queries can SELECT from it (and it can even join into Q_f);
-///  - value-range pruning: when a query's pushed-down selection bounds
-///    D.sample_value, files whose complete per-record stats exclude the
-///    range are skipped before mounting.
+///  - value-range pruning (PruningOptions::file_level): when a query's
+///    pushed-down selection bounds D.sample_value, files whose complete
+///    per-record stats exclude the range are skipped before mounting.
+///
+/// The mounter computes each record's RecordValueStats once (from decoded
+/// samples, or synthesized from the record's zone map when pruning skipped
+/// the decode) and broadcasts them, so DM's *content* is invariant under
+/// zone-map pruning.
 ///
 /// Thread-safe: concurrent mount tasks may RecordMounted simultaneously.
 /// Under parallel mounting the *row order* of the DM table depends on task
 /// interleaving; the per-file min/max aggregates (what pruning reads) and
 /// the row *set* do not. Queries over DM never run concurrently with mount
 /// tasks — the parallel premount completes before the plan executes.
-class DerivedMetadata {
+class DerivedMetadata : public StatsCollector {
  public:
   /// Registers the DM table in `catalog` (kind kMetadata).
   static Result<std::unique_ptr<DerivedMetadata>> Create(Catalog* catalog);
+
+  std::string name() const override { return "derived"; }
 
   /// Records stats for one mounted record. Idempotent per (uri, record_id).
   /// `expected_records` is the file's record count from the repository scan
   /// (pruning activates only once all records of a file have been seen).
   Status RecordMounted(const std::string& uri, int64_t record_id,
-                       const mseed::DecodedRecord& record,
-                       uint32_t expected_records);
+                       const mseed::RecordHeader& header,
+                       const RecordValueStats& values,
+                       const std::vector<mseed::Steim1::FrameStat>* frames,
+                       uint32_t expected_records) override;
 
   /// True when summary stats cover every record of `uri`.
   bool HasCompleteFile(const std::string& uri) const;

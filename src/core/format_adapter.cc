@@ -37,6 +37,12 @@ Result<std::vector<mseed::DecodedRecord>> MseedAdapter::ReadAllRecordsSalvage(
   return mseed::Reader::ReadAllRecordsSalvage(uri, report);
 }
 
+Result<std::vector<mseed::DecodedRecord>> MseedAdapter::ReadAllRecordsPruned(
+    const std::string& uri, mseed::SalvageReport* report,
+    mseed::RecordPruner* pruner, mseed::PruneStats* prune_stats) {
+  return mseed::Reader::ReadAllRecordsSalvage(uri, report, pruner, prune_stats);
+}
+
 std::string CsvAdapter::file_extension() const { return csvf::kCsvExtension; }
 
 Result<mseed::ScanResult> CsvAdapter::ScanFile(const std::string& uri) {

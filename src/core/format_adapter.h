@@ -71,6 +71,19 @@ class FormatAdapter {
     if (report != nullptr) *report = mseed::SalvageReport{};
     return ReadAllRecords(uri);
   }
+
+  /// Zone-map-pruned extraction: like ReadAllRecordsSalvage, but consults
+  /// `pruner` per record so decode work can be skipped for records/frames a
+  /// zone map excludes, and harvests per-frame stats when asked. The default
+  /// ignores the pruner (formats without sub-record structure decode fully —
+  /// correct, just unpruned); mSEED overrides with the frame-aware reader.
+  virtual Result<std::vector<mseed::DecodedRecord>> ReadAllRecordsPruned(
+      const std::string& uri, mseed::SalvageReport* report,
+      mseed::RecordPruner* pruner, mseed::PruneStats* prune_stats) {
+    (void)pruner;
+    (void)prune_stats;
+    return ReadAllRecordsSalvage(uri, report);
+  }
 };
 
 /// \brief Adapter for the binary mSEED-style format (Steim1-compressed).
@@ -83,6 +96,9 @@ class MseedAdapter : public FormatAdapter {
       const std::string& uri) override;
   Result<std::vector<mseed::DecodedRecord>> ReadAllRecordsSalvage(
       const std::string& uri, mseed::SalvageReport* report) override;
+  Result<std::vector<mseed::DecodedRecord>> ReadAllRecordsPruned(
+      const std::string& uri, mseed::SalvageReport* report,
+      mseed::RecordPruner* pruner, mseed::PruneStats* prune_stats) override;
 };
 
 /// \brief Adapter for the plain-text time-series CSV format (src/csvf).

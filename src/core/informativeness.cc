@@ -127,7 +127,7 @@ Result<BreakpointInfo> EstimateInformativeness(
     const TablePtr& qf_result, const std::vector<std::string>& files_of_interest,
     const FileRegistry& registry, const CacheManager* cache,
     const ExprPtr& d_predicate, const InformativenessModel& model,
-    const TablePtr& record_metadata) {
+    const InformativenessIndex* index) {
   BreakpointInfo info;
   info.files_of_interest = files_of_interest;
 
@@ -190,40 +190,26 @@ Result<BreakpointInfo> EstimateInformativeness(
       }
     }
   }
-  if (info.est_rows_to_ingest == 0 && record_metadata != nullptr &&
+  if (info.est_rows_to_ingest == 0 && index != nullptr &&
       !files_of_interest.empty()) {
     // Q_f carried no record-level columns (the query joined F with D
-    // directly, or skipped metadata altogether). The R table is loaded
-    // anyway — estimate from its records for the files of interest.
-    const Schema& rs = *record_metadata->schema();
-    const int uri_idx = rs.FindFieldIndex("uri");
-    const int n_idx = rs.FindFieldIndex("n_samples");
-    const int start_idx = rs.FindFieldIndex("start_time");
-    const int end_idx = rs.FindFieldIndex("end_time");
-    if (uri_idx >= 0 && n_idx >= 0) {
-      const std::unordered_set<std::string> wanted(files_of_interest.begin(),
-                                                   files_of_interest.end());
-      for (size_t r = 0; r < record_metadata->num_rows(); ++r) {
-        const std::string& uri =
-            record_metadata->column(static_cast<size_t>(uri_idx))->GetString(r);
-        if (wanted.count(uri) == 0) continue;
-        const int64_t n =
-            record_metadata->column(static_cast<size_t>(n_idx))->GetInt64(r);
-        info.est_rows_to_ingest += static_cast<uint64_t>(n);
+    // directly, or skipped metadata altogether). The stage-1 scan indexed
+    // every record's window anyway — one lookup per file of interest.
+    for (const std::string& uri : files_of_interest) {
+      for (const InformativenessIndex::RecordWindow& w :
+           index->WindowsFor(uri)) {
+        info.est_rows_to_ingest += w.num_samples;
         double frac = 1.0;
-        if (has_window && start_idx >= 0 && end_idx >= 0) {
-          const double start = static_cast<double>(
-              record_metadata->column(static_cast<size_t>(start_idx))
-                  ->GetInt64(r));
-          const double end = static_cast<double>(
-              record_metadata->column(static_cast<size_t>(end_idx))->GetInt64(r));
+        if (has_window) {
+          const double start = static_cast<double>(w.start_ms);
+          const double end = static_cast<double>(w.end_ms);
           const double span = std::max(1.0, end - start);
           const double overlap =
               std::max(0.0, std::min(t_hi, end) - std::max(t_lo, start));
           frac = std::min(1.0, overlap / span);
         }
         info.est_result_rows +=
-            static_cast<uint64_t>(frac * static_cast<double>(n));
+            static_cast<uint64_t>(frac * static_cast<double>(w.num_samples));
       }
     }
   }

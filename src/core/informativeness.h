@@ -3,12 +3,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "core/cache_manager.h"
 #include "core/file_registry.h"
+#include "core/stats_collector.h"
 #include "engine/expr.h"
 #include "storage/table.h"
 
@@ -59,20 +62,70 @@ struct InformativenessModel {
   double ingest_rows_per_sec = 2e7;  // decode+transform throughput
 };
 
+/// \brief Per-file record windows harvested from stage-1 scan events — the
+/// breakpoint estimator's fallback when Q_f carries no record-level columns.
+///
+/// Before the StatsCollector unification the estimator re-scanned the whole
+/// R table per query to find the records of the files of interest; now the
+/// stage-1 scan (which walks every record's metadata anyway) indexes them
+/// per uri as a side effect, and the estimator does one hash lookup per
+/// file. Rebuilt on every scan pass (ScanStarted clears). The estimate is a
+/// cost model, not a result: a query pinned to an older epoch reading a
+/// newer index is acceptable by design.
+class InformativenessIndex : public StatsCollector {
+ public:
+  struct RecordWindow {
+    int64_t start_ms = 0;
+    int64_t end_ms = 0;
+    uint32_t num_samples = 0;
+  };
+
+  std::string name() const override { return "informativeness"; }
+
+  void ScanStarted(const std::string& root) override {
+    (void)root;
+    std::lock_guard<std::mutex> lock(mu_);
+    windows_.clear();
+  }
+
+  void FileScanned(const mseed::FileMeta& file,
+                   const std::vector<mseed::RecordMeta>& records) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& w = windows_[file.uri];
+    w.clear();
+    w.reserve(records.size());
+    for (const mseed::RecordMeta& r : records) {
+      w.push_back({r.start_time_ms, r.end_time_ms, r.num_samples});
+    }
+  }
+
+  /// The record windows of `uri` (empty when unknown). Copy: the index may
+  /// be rebuilt by a concurrent refresh while the caller iterates.
+  std::vector<RecordWindow> WindowsFor(const std::string& uri) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = windows_.find(uri);
+    return it == windows_.end() ? std::vector<RecordWindow>{} : it->second;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::vector<RecordWindow>> windows_;
+};
+
 /// \brief Estimates stage-2 cost and result size from the stage-1 output.
 ///
 /// Record-level estimates come from R-level columns (start_time, end_time,
 /// n_samples) in `qf_result` when present — the precise record set the query
 /// restricted to. When Q_f does not carry them (e.g. the query joins F
-/// directly with D), the estimator falls back to `record_metadata` (the
-/// always-loaded R table, nullable) restricted to the files of interest.
+/// directly with D), the estimator falls back to `index` (the stage-1
+/// harvested per-file record windows, nullable) for the files of interest.
 /// `d_predicate` is the selection that will be pushed into the mounts
 /// (nullable).
 Result<BreakpointInfo> EstimateInformativeness(
     const TablePtr& qf_result, const std::vector<std::string>& files_of_interest,
     const FileRegistry& registry, const CacheManager* cache,
     const ExprPtr& d_predicate, const InformativenessModel& model,
-    const TablePtr& record_metadata = nullptr);
+    const InformativenessIndex* index = nullptr);
 
 }  // namespace dex
 

@@ -70,6 +70,13 @@ void PublishQueryMetrics(const QueryStats& stats,
   m.AddCounter("fault.records_skipped", mc.records_skipped);
   m.AddCounter("fault.warnings", stats.warnings.size());
 
+  // Zone-map pruning: decode work avoided (CPU only — the mount still
+  // charges the whole-file simulated read) and safety-net fallbacks.
+  m.AddCounter("zonemap.records_skipped", mc.records_skipped_zonemap);
+  m.AddCounter("zonemap.frames_skipped", mc.frames_skipped_zonemap);
+  m.AddCounter("zonemap.frames_decoded", mc.frames_decoded_zonemap);
+  m.AddCounter("zonemap.fallbacks", mc.zonemap_fallbacks);
+
   const ExecStats& ex = ts.exec;
   m.AddCounter("exec.rows_scanned", ex.rows_scanned);
   m.AddCounter("exec.rows_output", ex.rows_output);
@@ -77,6 +84,14 @@ void PublishQueryMetrics(const QueryStats& stats,
   m.AddCounter("exec.mounted_rows", ex.mounted_rows);
   m.AddCounter("exec.cache_scans", ex.cache_scans);
   m.AddCounter("exec.index_probes", ex.index_probes);
+
+  // Vectorized-kernel coverage: batches on the branchless SIMD path vs.
+  // scalar-interpreter fallbacks, and boundary compactions.
+  m.AddCounter("kernel.filter_batches", ex.kernel_filter_batches);
+  m.AddCounter("kernel.filter_scalar_batches", ex.scalar_filter_batches);
+  m.AddCounter("kernel.agg_batches", ex.kernel_agg_batches);
+  m.AddCounter("kernel.agg_scalar_batches", ex.scalar_agg_batches);
+  m.AddCounter("kernel.selection_compactions", ex.selection_compactions);
 }
 
 void PublishOpenMetrics(const OpenStats& stats) {

@@ -1,10 +1,12 @@
 #include "core/mounter.h"
 
 #include <cmath>
+#include <limits>
 
 #include "core/informativeness.h"
 #include "core/seismic_schema.h"
 #include "engine/batch.h"
+#include "engine/kernel.h"
 #include "io/file_io.h"
 #include "mseed/reader.h"
 #include "obs/trace.h"
@@ -69,7 +71,8 @@ Result<TablePtr> Mounter::Mount(const std::string& table_name,
                                 const std::string& uri,
                                 const ExprPtr& fused_predicate,
                                 MountOutcome* outcome,
-                                const QueryContext* qctx) {
+                                const QueryContext* qctx,
+                                const PruningOptions* pruning) {
   if (table_name != kDataTableName) {
     return Status::NotImplemented("no extraction mapping for actual table '" +
                                   table_name + "'");
@@ -105,8 +108,31 @@ Result<TablePtr> Mounter::Mount(const std::string& table_name,
   // the repository's format adapter.
   std::vector<mseed::DecodedRecord> decoded;
   mseed::SalvageReport salvage;
+  mseed::PruneStats prune_stats;
   if (on_error_ == OnMountError::kSalvage) {
-    auto records = format_->ReadAllRecordsSalvage(uri, &salvage);
+    // Zone-map pruning rides the salvage path only: the strict and
+    // skip-file policies promise whole-file semantics (all-or-nothing), and
+    // sparse decode is a record-granular degradation by construction.
+    std::unique_ptr<mseed::RecordPruner> pruner;
+    if (zone_maps_ != nullptr) {
+      double lo = -std::numeric_limits<double>::infinity();
+      double hi = std::numeric_limits<double>::infinity();
+      const bool bounded =
+          ExtractBounds(fused_predicate, "sample_value", &lo, &hi);
+      const bool record_level =
+          bounded && pruning != nullptr && pruning->record_level;
+      const bool frame_level =
+          bounded && pruning != nullptr && pruning->frame_level;
+      // Even without usable bounds the pruner harvests frame stats during
+      // the full decode (same pass, free) so the next query can prune.
+      pruner = zone_maps_->MakePruner(uri, lo, hi, record_level, frame_level,
+                                      /*harvest=*/true);
+    }
+    auto records =
+        pruner != nullptr
+            ? format_->ReadAllRecordsPruned(uri, &salvage, pruner.get(),
+                                            &prune_stats)
+            : format_->ReadAllRecordsSalvage(uri, &salvage);
     if (!records.ok()) {
       // Even the salvaging reader could not deliver the file's bytes.
       if (outcome != nullptr) ++outcome->counters.files_failed;
@@ -122,6 +148,18 @@ Result<TablePtr> Mounter::Mount(const std::string& table_name,
     if (outcome != nullptr) {
       outcome->counters.records_salvaged += salvage.records_salvaged;
       outcome->counters.records_skipped += salvage.records_skipped;
+      outcome->counters.records_skipped_zonemap += prune_stats.records_skipped;
+      outcome->counters.frames_skipped_zonemap += prune_stats.frames_skipped;
+      outcome->counters.frames_decoded_zonemap += prune_stats.frames_decoded;
+      outcome->counters.zonemap_fallbacks += prune_stats.fallbacks;
+    }
+    if (prune_stats.records_skipped > 0 || prune_stats.frames_skipped > 0) {
+      obs::Tracer::Instant(
+          "zonemap_prune", "prune",
+          {{"uri", uri},
+           {"records_skipped", std::to_string(prune_stats.records_skipped)},
+           {"frames_skipped", std::to_string(prune_stats.frames_skipped)},
+           {"fallbacks", std::to_string(prune_stats.fallbacks)}});
     }
     if (salvage.records_salvaged > 0 || salvage.records_skipped > 0) {
       obs::Tracer::Instant(
@@ -150,18 +188,49 @@ Result<TablePtr> Mounter::Mount(const std::string& table_name,
 
   // Transform: comply with the D schema.
   auto table = std::make_shared<Table>(table_name, MakeDataSchema());
+  // Intern the uri up front: a fully zone-skipped mount appends no rows, but
+  // its table must weigh exactly what an unpruned mount's filtered table
+  // weighs (the shared uri dictionary included) — ByteSize feeds the memory
+  // budget and the sharded gather's network charge, both under the
+  // pruning-cannot-move-the-ledger contract.
+  table->mutable_column(0)->dict()->Intern(uri);
   for (size_t i = 0; i < decoded.size(); ++i) {
     const mseed::DecodedRecord& rec = decoded[i];
     DEX_RETURN_NOT_OK(AppendSamplesToDataTable(uri, static_cast<int64_t>(i), rec,
                                                table.get()));
     if (outcome != nullptr) {
-      outcome->counters.records_decoded += 1;
+      if (!rec.sparse || !rec.samples.empty()) {
+        outcome->counters.records_decoded += 1;  // zone-skipped don't count
+      }
       outcome->counters.samples_decoded += rec.samples.size();
     }
-    if (derived_ != nullptr) {
-      DEX_RETURN_NOT_OK(derived_->RecordMounted(
-          uri, static_cast<int64_t>(i), rec,
-          static_cast<uint32_t>(decoded.size())));
+    if (!collectors_.empty()) {
+      // One pass computes the record's value stats for every collector. A
+      // sparsely decoded record's samples are partial, so its stats come
+      // from its zone map instead — that zone was written by a *full*
+      // decode, so DM content is invariant under pruning. No zone (cannot
+      // happen for a skip, possible after a fallback) → skip delivery; the
+      // next unpruned mount will deliver authoritative stats.
+      RecordValueStats values;
+      bool have_values = false;
+      if (!rec.sparse) {
+        const kernel::NumericAgg agg =
+            kernel::AggI32(rec.samples.data(), rec.samples.size());
+        values.min = agg.min;
+        values.max = agg.max;
+        values.sum = agg.sum;
+        values.count = agg.count;
+        have_values = true;
+      } else if (zone_maps_ != nullptr) {
+        have_values = zone_maps_->GetRecordStats(uri, static_cast<int64_t>(i),
+                                                 &values);
+      }
+      if (have_values) {
+        DEX_RETURN_NOT_OK(collectors_.RecordMounted(
+            uri, static_cast<int64_t>(i), rec.header, values,
+            rec.frame_stats.empty() ? nullptr : &rec.frame_stats,
+            static_cast<uint32_t>(decoded.size())));
+      }
     }
   }
   if (outcome != nullptr) {
@@ -200,8 +269,13 @@ Result<TablePtr> Mounter::Mount(const std::string& table_name,
   // Offer the mounted data to the cache. File-granular caches want the whole
   // file; tuple-granular caches store exactly what the selection kept. A
   // salvaged file with losses is never cached: its mounted content is not
-  // the file's full content, and the file may yet be repaired.
-  if (cache_ != nullptr && salvage.records_skipped == 0) {
+  // the file's full content, and the file may yet be repaired. Likewise a
+  // zone-pruned mount: its table deliberately misses non-matching tuples, so
+  // caching it (even predicate-tagged) would let window subsumption serve a
+  // subset where the full set was promised. Conservative — pruned mounts
+  // simply don't feed the cache.
+  if (cache_ != nullptr && salvage.records_skipped == 0 &&
+      prune_stats.records_skipped == 0 && prune_stats.frames_skipped == 0) {
     const int64_t mtime = FileMtimeMillis(uri).ValueOr(entry.mtime_ms);
     if (cache_->options().granularity == CacheGranularity::kFile) {
       cache_->Insert(uri, "", mtime, table);

@@ -2,17 +2,49 @@
 #define DEX_CORE_MOUNTER_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "core/cache_manager.h"
-#include "core/derived_metadata.h"
 #include "core/file_registry.h"
 #include "core/format_adapter.h"
+#include "core/stats_collector.h"
+#include "core/zone_map.h"
 #include "engine/expr.h"
 #include "exec/query_context.h"
 
 namespace dex {
+
+/// \brief Every pruning decision the execution pipeline can make, in one
+/// struct — replacing the per-knob sprawl (`use_derived_pruning` et al.)
+/// that grew one boolean per optimization. The decision ladder, coarse to
+/// fine (each level only sees work the previous level let through):
+///
+///   1. `file_level`  — skip mounting files whose complete derived metadata
+///      (DM) proves no sample lies in the predicate's value range (§5
+///      "Extending metadata"). Changes charged simulated I/O: skipped files
+///      are never read.
+///   2. `record_level` — per-record zone maps: a record whose value zone is
+///      disjoint from the range keeps its positional slot but its payload is
+///      never decoded. CPU only; the whole file was already charged.
+///   3. `frame_level` — per-Steim1-frame zone maps: decode only frames that
+///      may contain matching samples. CPU only.
+///   4. `use_simd_kernels` — vectorize the residual filter/aggregate work on
+///      whatever survived pruning (engine/kernel.h).
+///
+/// `file_level` defaults off because it needs opt-in DM collection and
+/// changes the I/O accounting experiments compare; the CPU-only levels
+/// default on (results and charged I/O are bit-identical either way).
+struct PruningOptions {
+  bool file_level = false;
+  bool record_level = true;
+  bool frame_level = true;
+  bool use_simd_kernels = true;
+
+  /// Record/frame zone-map pruning enabled at all?
+  bool zonemap_enabled() const { return record_level || frame_level; }
+};
 
 /// \brief What to do when a file of interest cannot be mounted cleanly.
 ///
@@ -47,8 +79,8 @@ struct MountRetryPolicy {
 /// did through a caller-supplied MountOutcome, so concurrent mount tasks (and
 /// interleaved queries) each account their own work without races. Thread
 /// safety of a concurrent Mount reduces to that of the shared collaborators
-/// (registry health, cache, derived metadata, simulated disk), which all
-/// synchronize internally.
+/// (registry health, cache, stats collectors, zone maps, simulated disk),
+/// which all synchronize internally.
 class Mounter {
  public:
   struct MountCounters {
@@ -62,6 +94,11 @@ class Mounter {
     uint64_t files_skipped = 0;     // corrupt files dropped whole (kSkipFile)
     uint64_t records_salvaged = 0;  // records recovered past corruption
     uint64_t records_skipped = 0;   // corrupt records dropped (kSalvage)
+    // Zone-map pruning (CPU saved; the file's bytes were still charged).
+    uint64_t records_skipped_zonemap = 0;  // records proven non-matching
+    uint64_t frames_skipped_zonemap = 0;   // Steim frames skipped selectively
+    uint64_t frames_decoded_zonemap = 0;   // frames decoded in selective mode
+    uint64_t zonemap_fallbacks = 0;        // failed verification → full decode
 
     MountCounters& operator+=(const MountCounters& o) {
       mounts += o.mounts;
@@ -73,6 +110,10 @@ class Mounter {
       files_skipped += o.files_skipped;
       records_salvaged += o.records_salvaged;
       records_skipped += o.records_skipped;
+      records_skipped_zonemap += o.records_skipped_zonemap;
+      frames_skipped_zonemap += o.frames_skipped_zonemap;
+      frames_decoded_zonemap += o.frames_decoded_zonemap;
+      zonemap_fallbacks += o.zonemap_fallbacks;
       return *this;
     }
   };
@@ -90,13 +131,19 @@ class Mounter {
     void MergeFrom(const MountOutcome& o);
   };
 
+  /// `collectors` receive one RecordMounted event per record of every
+  /// mounted file (possibly concurrently across mounts); `zone_maps`, when
+  /// non-null, additionally powers record/frame pruning (it is normally also
+  /// one of the collectors, registered by the database).
   Mounter(FileRegistry* registry, CacheManager* cache,
-          DerivedMetadata* derived, FormatAdapter* format,
+          StatsCollectorSet collectors, ZoneMapStore* zone_maps,
+          FormatAdapter* format,
           OnMountError on_error = OnMountError::kSalvage,
           MountRetryPolicy retry = MountRetryPolicy{})
       : registry_(registry),
         cache_(cache),
-        derived_(derived),
+        collectors_(std::move(collectors)),
+        zone_maps_(zone_maps),
         format_(format),
         on_error_(on_error),
         retry_(retry) {}
@@ -117,10 +164,20 @@ class Mounter {
   /// When `qctx` is non-null, its cancel token is checked between retry
   /// attempts in the read path, so a cancelled query stops backing off
   /// instead of riding out the full retry schedule.
+  ///
+  /// `pruning`, when non-null with record/frame levels enabled and a zone-map
+  /// store attached, lets the kSalvage decode path skip records and Steim
+  /// frames the zone maps prove non-matching for the value bounds that
+  /// `fused_predicate` imposes on sample_value. Pruning never changes the
+  /// returned tuples (the fused selection still runs on whatever was
+  /// decoded, and zone-skipped data could not have satisfied it) — only the
+  /// CPU spent decoding. Charged simulated I/O is unchanged: the whole file
+  /// is read either way.
   Result<TablePtr> Mount(const std::string& table_name, const std::string& uri,
                          const ExprPtr& fused_predicate,
                          MountOutcome* outcome = nullptr,
-                         const QueryContext* qctx = nullptr);
+                         const QueryContext* qctx = nullptr,
+                         const PruningOptions* pruning = nullptr);
 
   /// The cache-scan access path: returns previously ingested data.
   Result<TablePtr> CacheLookup(const std::string& table_name,
@@ -140,7 +197,8 @@ class Mounter {
 
   FileRegistry* registry_;
   CacheManager* cache_;
-  DerivedMetadata* derived_;  // may be null (collection disabled)
+  StatsCollectorSet collectors_;
+  ZoneMapStore* zone_maps_;  // may be null (zone maps disabled)
   FormatAdapter* format_;
   const OnMountError on_error_;
   const MountRetryPolicy retry_;

@@ -122,10 +122,13 @@ Status AppendSamplesToDataTable(const std::string& uri, int64_t record_id,
   const double rate = record.header.sample_rate_hz;
   const int64_t t0 = record.header.start_time_ms;
   for (size_t i = 0; i < n; ++i) {
+    // A sparsely decoded record (zone-map frame skip) carries the original
+    // sample index alongside each value, so sample_time stays exact.
+    const size_t idx = record.sparse ? record.sample_index[i] : i;
     uri_col->AppendString(uri);
     rec_col->AppendInt64(record_id);
     time_col->AppendInt64(
-        t0 + static_cast<int64_t>(static_cast<double>(i) * 1000.0 / rate));
+        t0 + static_cast<int64_t>(static_cast<double>(idx) * 1000.0 / rate));
     value_col->AppendDouble(static_cast<double>(record.samples[i]));
   }
   return data_table->CommitAppendedRows(n);

@@ -120,7 +120,7 @@ Result<std::vector<FileDecision>> TwoStageExecutor::DecideFiles(
   const CachedWindow query_window = SummarizeTimeWindow(d_predicate);
   double value_lo = 0, value_hi = 0;
   const bool value_bounded =
-      opts.use_derived_pruning && derived_ != nullptr &&
+      opts.pruning.file_level && derived_ != nullptr &&
       ExtractBounds(d_predicate, "sample_value", &value_lo, &value_hi);
 
   std::vector<FileDecision> decisions;
@@ -265,6 +265,7 @@ Status TwoStageExecutor::PremountUnion(const PlanPtr& union_node, size_t workers
                                        int priority, TwoStageStats* stats,
                                        PremountMap* premounted,
                                        QueryContext* qctx,
+                                       const PruningOptions* pruning,
                                        ShardedRepository* shards,
                                        int num_shards) {
   if (qctx != nullptr && qctx->has_limits()) {
@@ -309,7 +310,7 @@ Status TwoStageExecutor::PremountUnion(const PlanPtr& union_node, size_t workers
     // Trace context (order key + parent span) is captured at spawn time and
     // installed on the worker thread by TaskGroup::Spawn itself, so the span
     // below parents under the coordinator's current span automatically.
-    group.Spawn([this, node, slot, qctx]() -> Status {
+    group.Spawn([this, node, slot, qctx, pruning]() -> Status {
       // A cancelled query skips tasks that have not started yet; the cancel
       // reason propagates through the group's lowest-index error rule.
       if (qctx != nullptr) DEX_RETURN_NOT_OK(qctx->CheckInterrupt());
@@ -323,7 +324,7 @@ Status TwoStageExecutor::PremountUnion(const PlanPtr& union_node, size_t workers
       DEX_ASSIGN_OR_RETURN(slot->table,
                            mounter_->Mount(node->table_name, node->uri,
                                            node->predicate, &slot->outcome,
-                                           qctx));
+                                           qctx, pruning));
       return Status::OK();
     });
   }
@@ -521,6 +522,7 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
   ExecContext ctx;
   ctx.catalog = catalog;
   ctx.profiler = profiler;
+  ctx.use_simd_kernels = opts.pruning.use_simd_kernels;
   if (qctx != nullptr) {
     // Per-batch cooperative cancellation in the volcano operators. Under
     // kFailQuery a deadline behaves like a cancellation (the whole plan
@@ -572,14 +574,16 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
       return Result<TablePtr>(std::move(t));
     }
     if (admission == nullptr) {
-      auto mounted = mounter_->Mount(table, uri, pred, &stats->mount, qctx);
+      auto mounted = mounter_->Mount(table, uri, pred, &stats->mount, qctx,
+                                     &opts.pruning);
       if (mounted.ok()) charge_gather(uri, *mounted);
       return mounted;
     }
     if (!governed) {
       // Tracked but not limited: reservations against the unlimited budget
       // always succeed and only maintain the high-water mark.
-      auto mounted = mounter_->Mount(table, uri, pred, &stats->mount, qctx);
+      auto mounted = mounter_->Mount(table, uri, pred, &stats->mount, qctx,
+                                     &opts.pruning);
       if (!mounted.ok()) return mounted;
       charge_gather(uri, *mounted);
       if (qctx->memory()->TryReserve((*mounted)->ByteSize())) {
@@ -612,7 +616,8 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
       // Degrade like a quarantined file: the branch contributes no rows.
       return Result<TablePtr>(std::make_shared<Table>(table, MakeDataSchema()));
     }
-    auto mounted = mounter_->Mount(table, uri, pred, &stats->mount, qctx);
+    auto mounted = mounter_->Mount(table, uri, pred, &stats->mount, qctx,
+                                   &opts.pruning);
     if (!mounted.ok()) return mounted;
     // The mounted table ships to the coordinator before memory admission is
     // decided: a table the budget then discards still crossed the link.
@@ -781,16 +786,12 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
     }
   }
 
-  // Informativeness at the breakpoint. The R table backs the estimate when
-  // Q_f carries no record-level columns.
-  TablePtr record_metadata;
-  if (auto r_table = catalog->GetTable(kRecordTableName); r_table.ok()) {
-    record_metadata = *r_table;
-  }
+  // Informativeness at the breakpoint. The stage-1-harvested record-window
+  // index backs the estimate when Q_f carries no record-level columns.
   DEX_ASSIGN_OR_RETURN(
       stats->breakpoint,
       EstimateInformativeness(qf_result, files, *registry_, cache_, d_predicate,
-                              opts.model, record_metadata));
+                              opts.model, info_index_));
   stats->breakpoint.files_pruned = stats->files_pruned;
   stats->breakpoint_evaluated = true;
   if (callback != nullptr &&
@@ -865,8 +866,8 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
       // Parallelism is per ingestion wave: each batch's mounts overlap, the
       // breakpoint between batches stays a clean barrier.
       DEX_RETURN_NOT_OK(PremountUnion(sub, workers, priority, stats,
-                                      premounted.get(), qctx, shards,
-                                      num_shards));
+                                      premounted.get(), qctx, &opts.pruning,
+                                      shards, num_shards));
       DEX_ASSIGN_OR_RETURN(TablePtr part, ExecutePlan(sub, &ctx));
       if (profiler != nullptr) {
         profiler->AddRoot("stage 2 ingestion (batch " + std::to_string(b + 1) +
@@ -900,8 +901,8 @@ Result<TablePtr> TwoStageExecutor::Execute(const PlanPtr& plan,
     DEX_RETURN_NOT_OK(AnalyzePlan(stage2_plan, *catalog));
   } else {
     DEX_RETURN_NOT_OK(PremountUnion(union_node, workers, priority, stats,
-                                    premounted.get(), qctx, shards,
-                                    num_shards));
+                                    premounted.get(), qctx, &opts.pruning,
+                                    shards, num_shards));
   }
   DEX_ASSIGN_OR_RETURN(TablePtr result, ExecutePlan(stage2_plan, &ctx));
   if (profiler != nullptr) profiler->AddRoot("stage 2", stage2_plan);

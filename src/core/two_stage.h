@@ -20,6 +20,8 @@
 
 namespace dex {
 
+class InformativenessIndex;
+
 /// \brief Knobs for the run-time optimization phase between the two stages.
 struct TwoStageOptions {
   /// Apply σ_p(∪ ...) → ∪ σ_p(...) and fuse the selection into mounts
@@ -36,9 +38,9 @@ struct TwoStageOptions {
   /// in batches of this size, with a breakpoint callback between batches.
   size_t mount_batch_size = 0;
 
-  /// Skip mounting files whose derived metadata proves they cannot satisfy
-  /// the query's bounds on sample_value (§5 "Extending metadata").
-  bool use_derived_pruning = false;
+  /// The pruning decision ladder (file/record/frame level + kernels). Per
+  /// query overridable via QueryOptions::pruning.
+  PruningOptions pruning;
 
   /// Worker threads for stage-2 ingestion: the files of interest planned as
   /// mounts are read/salvaged/decoded as parallel tasks before the union
@@ -207,12 +209,14 @@ class TwoStageExecutor {
   /// `TwoStageOptions::num_threads` lanes, not from the pool's real size.
   TwoStageExecutor(Catalog* catalog, FileRegistry* registry, CacheManager* cache,
                    Mounter* mounter, DerivedMetadata* derived,
-                   TwoStageOptions options, ThreadPool* shared_pool = nullptr)
+                   TwoStageOptions options, ThreadPool* shared_pool = nullptr,
+                   const InformativenessIndex* info_index = nullptr)
       : catalog_(catalog),
         registry_(registry),
         cache_(cache),
         mounter_(mounter),
         derived_(derived),
+        info_index_(info_index),
         options_(options),
         shared_pool_(shared_pool) {}
 
@@ -294,8 +298,8 @@ class TwoStageExecutor {
   /// shard's net time) — worker-invariant by construction.
   Status PremountUnion(const PlanPtr& union_node, size_t workers, int priority,
                        TwoStageStats* stats, PremountMap* premounted,
-                       QueryContext* qctx, ShardedRepository* shards = nullptr,
-                       int num_shards = 1);
+                       QueryContext* qctx, const PruningOptions* pruning,
+                       ShardedRepository* shards = nullptr, int num_shards = 1);
 
   /// The shared database-wide pool when one was injected, else a private
   /// cached pool (re)built to `workers` threads when needed.
@@ -306,6 +310,9 @@ class TwoStageExecutor {
   CacheManager* cache_;
   Mounter* mounter_;
   DerivedMetadata* derived_;
+  // Stage-1-harvested record windows backing the breakpoint estimate when
+  // Q_f carries no record-level columns (may be null: estimate degrades).
+  const InformativenessIndex* info_index_;
   TwoStageOptions options_;
   ThreadPool* shared_pool_;  // not owned; may be null
   std::unique_ptr<ThreadPool> pool_;

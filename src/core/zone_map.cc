@@ -1,0 +1,411 @@
+#include "core/zone_map.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/fnv.h"
+#include "common/logging.h"
+#include "io/file_io.h"
+#include "obs/flight_recorder.h"
+
+namespace dex {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'X', 'Z', 'M', '0', '0', '0', '1'};
+constexpr uint64_t kMaxFiles = 1ull << 24;
+constexpr uint64_t kMaxRecordsPerFile = 1ull << 24;
+constexpr uint64_t kMaxFramesPerRecord = 1ull << 20;
+constexpr uint64_t kMaxStringBytes = 1ull << 20;
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  PutU64(out, bits);
+}
+
+void PutStr(std::string* out, const std::string& s) {
+  PutU64(out, s.size());
+  out->append(s);
+}
+
+/// Bounds-checked sequential reader over the persisted bytes. Every getter
+/// fails with Corruption on overrun; the loader discards everything on the
+/// first non-OK.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& bytes) : bytes_(bytes) {}
+
+  size_t pos() const { return pos_; }
+
+  Result<uint64_t> U64() {
+    if (pos_ + 8 > bytes_.size()) {
+      return Status::Corruption("zone map truncated");
+    }
+    uint64_t v;
+    std::memcpy(&v, bytes_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+
+  Result<int64_t> I64() {
+    DEX_ASSIGN_OR_RETURN(uint64_t v, U64());
+    return static_cast<int64_t>(v);
+  }
+
+  Result<double> F64() {
+    DEX_ASSIGN_OR_RETURN(uint64_t bits, U64());
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+
+  Result<std::string> Str() {
+    DEX_ASSIGN_OR_RETURN(uint64_t len, U64());
+    if (len > kMaxStringBytes || pos_ + len > bytes_.size()) {
+      return Status::Corruption("zone map string overruns file");
+    }
+    std::string s = bytes_.substr(pos_, len);
+    pos_ += len;
+    return s;
+  }
+
+ private:
+  const std::string& bytes_;
+  size_t pos_ = 0;
+};
+
+/// The pruner handed to the reader: a snapshot of one file's zones taken
+/// under the store mutex, so concurrent zone updates (other sessions
+/// mounting the same uri) never race the decode loop.
+class SnapshotPruner : public mseed::RecordPruner {
+ public:
+  SnapshotPruner(std::map<int64_t, ZoneMapStore::RecordZone> zones, double lo,
+                 double hi, bool record_level, bool frame_level, bool harvest)
+      : zones_(std::move(zones)),
+        lo_(lo),
+        hi_(hi),
+        record_level_(record_level),
+        frame_level_(frame_level),
+        harvest_(harvest) {}
+
+  mseed::RecordDecodePlan Plan(size_t index,
+                               const mseed::RecordHeader& header) override {
+    mseed::RecordDecodePlan plan;
+    auto it = zones_.find(static_cast<int64_t>(index));
+    if (it == zones_.end()) {
+      // Unknown record: decode fully, harvesting frame stats so the next
+      // query over this file can prune.
+      plan.harvest = harvest_;
+      return plan;
+    }
+    const ZoneMapStore::RecordZone& zone = it->second;
+    if (record_level_ && zone.values.count > 0 &&
+        (zone.values.max < lo_ || zone.values.min > hi_)) {
+      plan.skip_record = true;
+      return plan;
+    }
+    if (frame_level_ && !zone.frames.empty() && header.encoding == 1) {
+      plan.frames = &zone.frames;  // outlives the read: we own the snapshot
+      plan.keep.resize(zone.frames.size());
+      bool all = true;
+      for (size_t f = 0; f < zone.frames.size(); ++f) {
+        const mseed::Steim1::FrameStat& fs = zone.frames[f];
+        const bool keep = fs.count > 0 && static_cast<double>(fs.max) >= lo_ &&
+                          static_cast<double>(fs.min) <= hi_;
+        plan.keep[f] = keep;
+        all = all && keep;
+      }
+      if (all) {
+        // Every frame may match: a plain full decode is cheaper than the
+        // selective path (no chain verification bookkeeping).
+        plan.frames = nullptr;
+        plan.keep.clear();
+      }
+    }
+    return plan;
+  }
+
+ private:
+  const std::map<int64_t, ZoneMapStore::RecordZone> zones_;
+  const double lo_, hi_;
+  const bool record_level_, frame_level_, harvest_;
+};
+
+}  // namespace
+
+void ZoneMapStore::FileScanned(const mseed::FileMeta& file,
+                               const std::vector<mseed::RecordMeta>& records) {
+  (void)records;
+  size_t dropped_records = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(file.uri);
+    if (it == files_.end()) {
+      FileZones& fz = files_[file.uri];
+      fz.size_bytes = file.size_bytes;
+      fz.mtime_ms = file.mtime_ms;
+      fz.expected_records = file.num_records;
+      return;
+    }
+    FileZones& fz = it->second;
+    if (fz.size_bytes != file.size_bytes || fz.mtime_ms != file.mtime_ms) {
+      // The file was rewritten since the zones were harvested: they describe
+      // bytes that no longer exist. Drop them (safety ladder step 1).
+      if (!fz.records.empty()) {
+        dropped_records = fz.records.size();
+        ++stale_dropped_;
+        dirty_ = true;
+      }
+      fz.records.clear();
+      fz.size_bytes = file.size_bytes;
+      fz.mtime_ms = file.mtime_ms;
+    }
+    fz.expected_records = file.num_records;
+  }
+  if (dropped_records > 0) {
+    // Flight-record the drop outside mu_: scan delivery is single-threaded
+    // and in enumeration order, so the event stream stays deterministic.
+    obs::FlightEvent e;
+    e.kind = "zonemap_stale";
+    e.detail = "'" + file.uri + "' rewritten; dropped " +
+               std::to_string(dropped_records) + " record zones";
+    obs::FlightRecorder::Global().Record(std::move(e));
+  }
+}
+
+Status ZoneMapStore::RecordMounted(
+    const std::string& uri, int64_t record_id,
+    const mseed::RecordHeader& header, const RecordValueStats& values,
+    const std::vector<mseed::Steim1::FrameStat>* frames,
+    uint32_t expected_records) {
+  (void)header;
+  std::lock_guard<std::mutex> lock(mu_);
+  FileZones& fz = files_[uri];
+  if (fz.expected_records == 0) fz.expected_records = expected_records;
+  auto it = fz.records.find(record_id);
+  if (it != fz.records.end()) {
+    // Re-mount of a known record: only upgrade (add frames a previous
+    // harvest-free mount did not collect). Values are re-derived from the
+    // same bytes, so first write wins.
+    if (it->second.frames.empty() && frames != nullptr && !frames->empty()) {
+      it->second.frames = *frames;
+      dirty_ = true;
+    }
+    return Status::OK();
+  }
+  RecordZone zone;
+  zone.values = values;
+  if (frames != nullptr) zone.frames = *frames;
+  fz.records.emplace(record_id, std::move(zone));
+  dirty_ = true;
+  return Status::OK();
+}
+
+std::unique_ptr<mseed::RecordPruner> ZoneMapStore::MakePruner(
+    const std::string& uri, double lo, double hi, bool record_level,
+    bool frame_level, bool harvest) const {
+  std::map<int64_t, RecordZone> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(uri);
+    if (it != files_.end()) snapshot = it->second.records;
+  }
+  if (snapshot.empty() && !harvest) return nullptr;
+  return std::make_unique<SnapshotPruner>(std::move(snapshot), lo, hi,
+                                          record_level, frame_level, harvest);
+}
+
+bool ZoneMapStore::GetRecordStats(const std::string& uri, int64_t record_id,
+                                  RecordValueStats* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(uri);
+  if (it == files_.end()) return false;
+  auto rit = it->second.records.find(record_id);
+  if (rit == it->second.records.end()) return false;
+  *out = rit->second.values;
+  return true;
+}
+
+bool ZoneMapStore::HasCompleteFile(const std::string& uri) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(uri);
+  if (it == files_.end()) return false;
+  const FileZones& fz = it->second;
+  return fz.expected_records > 0 && fz.records.size() == fz.expected_records;
+}
+
+Status ZoneMapStore::SaveIfDirty(const std::string& path) {
+  std::string out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!dirty_) return Status::OK();
+    out.append(kMagic, sizeof(kMagic));
+    // Deterministic bytes: uris sorted, records already ordered by id.
+    std::vector<const std::pair<const std::string, FileZones>*> entries;
+    entries.reserve(files_.size());
+    for (const auto& kv : files_) {
+      if (!kv.second.records.empty()) entries.push_back(&kv);
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const auto* a, const auto* b) { return a->first < b->first; });
+    PutU64(&out, entries.size());
+    for (const auto* kv : entries) {
+      const FileZones& fz = kv->second;
+      PutStr(&out, kv->first);
+      PutU64(&out, fz.size_bytes);
+      PutI64(&out, fz.mtime_ms);
+      PutU64(&out, fz.expected_records);
+      PutU64(&out, fz.records.size());
+      for (const auto& rz : fz.records) {
+        PutI64(&out, rz.first);
+        PutF64(&out, rz.second.values.min);
+        PutF64(&out, rz.second.values.max);
+        PutF64(&out, rz.second.values.sum);
+        PutU64(&out, rz.second.values.count);
+        PutU64(&out, rz.second.frames.size());
+        for (const mseed::Steim1::FrameStat& fs : rz.second.frames) {
+          PutU64(&out, fs.first_sample);
+          PutU64(&out, fs.count);
+          PutI64(&out, fs.min);
+          PutI64(&out, fs.max);
+          PutI64(&out, fs.entry);
+        }
+      }
+    }
+    PutU64(&out, Fnv1a(out.data(), out.size()));
+    dirty_ = false;
+  }
+  Status s = WriteFileAtomic(path, out);
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    dirty_ = true;  // retry on the next save
+  }
+  return s;
+}
+
+Status ZoneMapStore::Load(const std::string& path) {
+  std::string bytes;
+  Status read = ReadFileToString(path, &bytes);
+  if (!read.ok()) return Status::OK();  // cold start: nothing persisted yet
+
+  // Parse into a staging map first; only commit when the whole file —
+  // including the checksum footer — validated. Any violation discards
+  // everything (safety ladder step 2): zones are hints, a partial restore
+  // is not worth reasoning about.
+  std::unordered_map<std::string, FileZones> staged;
+  uint64_t records_loaded = 0;
+  Status s = [&]() -> Status {
+    if (bytes.size() < sizeof(kMagic) + 8 ||
+        std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+      return Status::Corruption("zone map magic mismatch");
+    }
+    const uint64_t want = Fnv1a(bytes.data(), bytes.size() - 8);
+    uint64_t got;
+    std::memcpy(&got, bytes.data() + bytes.size() - 8, 8);
+    if (want != got) return Status::Corruption("zone map checksum mismatch");
+
+    const std::string payload =
+        bytes.substr(sizeof(kMagic), bytes.size() - sizeof(kMagic) - 8);
+    Cursor body(payload);
+    DEX_ASSIGN_OR_RETURN(uint64_t num_files, body.U64());
+    if (num_files > kMaxFiles) {
+      return Status::Corruption("implausible zone map file count");
+    }
+    for (uint64_t i = 0; i < num_files; ++i) {
+      DEX_ASSIGN_OR_RETURN(std::string uri, body.Str());
+      FileZones fz;
+      DEX_ASSIGN_OR_RETURN(fz.size_bytes, body.U64());
+      DEX_ASSIGN_OR_RETURN(fz.mtime_ms, body.I64());
+      DEX_ASSIGN_OR_RETURN(uint64_t expected, body.U64());
+      fz.expected_records = static_cast<uint32_t>(expected);
+      DEX_ASSIGN_OR_RETURN(uint64_t num_records, body.U64());
+      if (num_records > kMaxRecordsPerFile) {
+        return Status::Corruption("implausible zone map record count");
+      }
+      for (uint64_t r = 0; r < num_records; ++r) {
+        DEX_ASSIGN_OR_RETURN(int64_t record_id, body.I64());
+        RecordZone zone;
+        DEX_ASSIGN_OR_RETURN(zone.values.min, body.F64());
+        DEX_ASSIGN_OR_RETURN(zone.values.max, body.F64());
+        DEX_ASSIGN_OR_RETURN(zone.values.sum, body.F64());
+        DEX_ASSIGN_OR_RETURN(zone.values.count, body.U64());
+        DEX_ASSIGN_OR_RETURN(uint64_t num_frames, body.U64());
+        if (num_frames > kMaxFramesPerRecord) {
+          return Status::Corruption("implausible zone map frame count");
+        }
+        zone.frames.resize(num_frames);
+        for (uint64_t f = 0; f < num_frames; ++f) {
+          mseed::Steim1::FrameStat& fs = zone.frames[f];
+          DEX_ASSIGN_OR_RETURN(uint64_t first, body.U64());
+          DEX_ASSIGN_OR_RETURN(uint64_t count, body.U64());
+          DEX_ASSIGN_OR_RETURN(int64_t mn, body.I64());
+          DEX_ASSIGN_OR_RETURN(int64_t mx, body.I64());
+          DEX_ASSIGN_OR_RETURN(int64_t entry, body.I64());
+          fs.first_sample = static_cast<uint32_t>(first);
+          fs.count = static_cast<uint32_t>(count);
+          fs.min = static_cast<int32_t>(mn);
+          fs.max = static_cast<int32_t>(mx);
+          fs.entry = static_cast<int32_t>(entry);
+        }
+        fz.records.emplace(record_id, std::move(zone));
+        ++records_loaded;
+      }
+      staged.emplace(std::move(uri), std::move(fz));
+    }
+    return Status::OK();
+  }();
+
+  if (!s.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++corrupt_discarded_;
+    }
+    DEX_LOG(Warning) << "discarding persisted zone maps (" << path
+                     << "): " << s.ToString();
+    // A corrupt persisted set is a control-plane decision worth replaying:
+    // the next queries silently run unpruned, and "why was this cold run
+    // slow?" should be answerable from the flight ring.
+    obs::FlightEvent e;
+    e.kind = "zonemap_discard";
+    e.detail = "'" + path + "' discarded: " + s.ToString();
+    obs::FlightRecorder::Global().Record(std::move(e));
+    return Status::OK();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  files_ = std::move(staged);
+  persisted_loads_ = files_.size();
+  dirty_ = false;
+  (void)records_loaded;
+  return Status::OK();
+}
+
+ZoneMapStore::Stats ZoneMapStore::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats st;
+  for (const auto& kv : files_) {
+    if (kv.second.records.empty()) continue;
+    ++st.files;
+    st.records += kv.second.records.size();
+    for (const auto& rz : kv.second.records) {
+      st.frames += rz.second.frames.size();
+    }
+  }
+  st.persisted_loads = persisted_loads_;
+  st.stale_dropped = stale_dropped_;
+  st.corrupt_discarded = corrupt_discarded_;
+  return st;
+}
+
+}  // namespace dex

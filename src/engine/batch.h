@@ -1,6 +1,7 @@
 #ifndef DEX_ENGINE_BATCH_H_
 #define DEX_ENGINE_BATCH_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -10,17 +11,75 @@
 namespace dex {
 
 /// \brief The unit of data flowing between physical operators: a horizontal
-/// chunk of rows, stored column-wise.
+/// chunk of rows, stored column-wise, with an optional selection vector.
 ///
 /// Columns are shared pointers so operators that do not touch a column can
 /// pass it through without copying (MonetDB-style column-at-a-time execution,
 /// chunked to bound memory).
+///
+/// ## Selection-vector contract
+///
+/// A batch may carry a *selection vector*: a strictly ascending list of row
+/// indices into the underlying columns. When `selection` is non-empty the
+/// batch logically contains only those rows, in that order, even though the
+/// columns still physically hold every row. This lets FilterOp express a
+/// predicate as an index list (built by the branchless kernels in
+/// engine/kernel.h) without materializing a gathered copy of every column.
+///
+/// Rules:
+///  - `selection` indices are < physical_rows(), strictly ascending, no
+///    duplicates. An *empty* vector means "all rows selected" only when
+///    `has_selection` is false; `has_selection == true` with an empty vector
+///    means zero logical rows.
+///  - Ownership: the selection belongs to the batch and dies with it. Columns
+///    remain shared and immutable while selected — an operator must never
+///    mutate a column of a batch that carries a selection (downstream holders
+///    of the same ColumnPtr would observe the change).
+///  - Consumers that understand selections (HashAggOp's kernel path) read
+///    through `selection` directly. Everything else calls `Compact()` first,
+///    which gathers the selected rows into fresh columns and drops the
+///    vector. Producers that hand a batch to a selection-unaware operator
+///    (joins, sorts, sinks, projections) MUST compact at that boundary;
+///    FilterOp does this automatically unless its consumer opts in.
+///  - num_rows() is always the *logical* row count. Code indexing columns
+///    positionally must use physical row indices (via `selection[i]` when
+///    has_selection).
 struct Batch {
   SchemaPtr schema;
   std::vector<ColumnPtr> columns;
+  /// Physical row indices logically present; see contract above.
+  std::vector<uint32_t> selection;
+  bool has_selection = false;
 
-  size_t num_rows() const { return columns.empty() ? 0 : columns[0]->size(); }
+  /// Logical rows: selection size when filtered, physical size otherwise.
+  size_t num_rows() const {
+    if (has_selection) return selection.size();
+    return columns.empty() ? 0 : columns[0]->size();
+  }
+  /// Rows physically present in the columns, ignoring any selection.
+  size_t physical_rows() const {
+    return columns.empty() ? 0 : columns[0]->size();
+  }
   size_t num_columns() const { return columns.size(); }
+
+  /// Materializes the selection: gathers selected rows into fresh columns and
+  /// clears the vector. No-op (and no copy) for unselected batches. Called at
+  /// every boundary into a selection-unaware operator. Returns true when a
+  /// gather actually happened (ExecStats::selection_compactions).
+  bool Compact() {
+    if (!has_selection) return false;
+    std::vector<ColumnPtr> gathered;
+    gathered.reserve(columns.size());
+    for (const ColumnPtr& col : columns) {
+      auto out = std::make_shared<Column>(col->type());
+      out->AppendGather(*col, selection);
+      gathered.push_back(std::move(out));
+    }
+    columns = std::move(gathered);
+    selection.clear();
+    has_selection = false;
+    return true;
+  }
 
   /// An empty batch with fresh, appendable columns matching `schema`.
   static Batch Empty(const SchemaPtr& schema) {

@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "engine/batch.h"
+#include "engine/kernel.h"
 #include "engine/plan_profile.h"
 
 namespace dex {
@@ -70,12 +71,107 @@ uint64_t HashKeyRow(const std::vector<ColumnPtr>& keys, size_t row) {
   return h;
 }
 
+// ---------------------------------------------------------------------------
+// Kernel lowering: which predicates/aggregations the branchless kernels in
+// engine/kernel.h can run. Decided once per operator (at Open), never per row.
+// ---------------------------------------------------------------------------
+
+/// One kernel-runnable conjunct: physical column `col` `op` typed literal.
+struct KernelConjunct {
+  int col = -1;
+  CompareOp op = CompareOp::kEq;
+  bool is_f64 = false;
+  double f64 = 0;
+  int64_t i64 = 0;
+};
+
+CompareOp FlipCompare(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt: return CompareOp::kGt;
+    case CompareOp::kLe: return CompareOp::kGe;
+    case CompareOp::kGt: return CompareOp::kLt;
+    case CompareOp::kGe: return CompareOp::kLe;
+    default: return op;
+  }
+}
+
+/// Lowers one bound conjunct to a KernelConjunct against `schema`, or
+/// returns false when only the scalar interpreter can run it.
+bool LowerConjunct(const ExprPtr& e, const Schema& schema,
+                   KernelConjunct* out) {
+  if (e == nullptr || e->kind() != ExprKind::kComparison) return false;
+  const ExprPtr& a = e->children()[0];
+  const ExprPtr& b = e->children()[1];
+  const Expr* col = nullptr;
+  const Expr* lit = nullptr;
+  CompareOp op = e->compare_op();
+  if (a->kind() == ExprKind::kColumnRef && b->kind() == ExprKind::kLiteral) {
+    col = a.get();
+    lit = b.get();
+  } else if (a->kind() == ExprKind::kLiteral &&
+             b->kind() == ExprKind::kColumnRef) {
+    col = b.get();
+    lit = a.get();
+    op = FlipCompare(op);
+  } else {
+    return false;
+  }
+  if (col->column_index() < 0 ||
+      static_cast<size_t>(col->column_index()) >= schema.num_fields()) {
+    return false;
+  }
+  const DataType ct = schema.field(col->column_index()).type;
+  const Value& v = lit->literal();
+  if (v.is_null()) return false;
+  out->col = col->column_index();
+  out->op = op;
+  if (ct == DataType::kDouble) {
+    auto d = v.AsDouble();
+    if (!d.ok()) return false;
+    out->is_f64 = true;
+    out->f64 = *d;
+    return true;
+  }
+  if (ct == DataType::kInt64 || ct == DataType::kTimestamp) {
+    if (v.type() == DataType::kInt64 || v.type() == DataType::kTimestamp) {
+      out->i64 = v.int64();
+    } else if (v.type() == DataType::kDouble) {
+      // Only exactly-representable literals lower; `v < 3.5` over ints keeps
+      // the scalar path rather than silently rounding the bound.
+      const double d = v.dbl();
+      if (d != static_cast<double>(static_cast<int64_t>(d))) return false;
+      out->i64 = static_cast<int64_t>(d);
+    } else {
+      return false;
+    }
+    out->is_f64 = false;
+    return true;
+  }
+  return false;
+}
+
+/// Lowers a full bound predicate into kernel conjuncts (AND of comparisons).
+bool LowerPredicate(const ExprPtr& pred, const Schema& schema,
+                    std::vector<KernelConjunct>* out) {
+  std::vector<ExprPtr> conjuncts;
+  Expr::SplitConjuncts(pred, &conjuncts);
+  if (conjuncts.empty()) return false;
+  out->clear();
+  for (const ExprPtr& c : conjuncts) {
+    KernelConjunct kc;
+    if (!LowerConjunct(c, schema, &kc)) return false;
+    out->push_back(kc);
+  }
+  return true;
+}
+
 /// Materializes everything an operator produces into a Table.
 Result<TablePtr> Drain(PhysOp* op, const std::string& name) {
   auto table = std::make_shared<Table>(name, op->schema());
   Batch batch;
   DEX_ASSIGN_OR_RETURN(bool more, op->Next(&batch));
   while (more) {
+    batch.Compact();  // materialization boundary of the selection contract
     const size_t n = batch.num_rows();
     for (size_t c = 0; c < batch.columns.size(); ++c) {
       table->mutable_column(c)->AppendRange(*batch.columns[c], 0, n);
@@ -215,54 +311,110 @@ class CacheScanOp : public TableSourceOp {
 // Filter / Project
 // ---------------------------------------------------------------------------
 
+/// Filter emits *selection vectors*, not gathered copies: the output batch
+/// shares the child's columns and carries the surviving row indices (see the
+/// contract in engine/batch.h). Kernel-eligible predicates (conjunctions of
+/// column-vs-literal comparisons over numeric columns) run through the
+/// branchless kernels; everything else evaluates via the expression
+/// interpreter and converts its mask to a selection.
 class FilterOp : public PhysOp {
  public:
-  FilterOp(SchemaPtr schema, ExprPtr bound_pred, PhysOpPtr child)
+  FilterOp(SchemaPtr schema, ExprPtr bound_pred, PhysOpPtr child,
+           ExecContext* ctx)
       : PhysOp(std::move(schema)),
         predicate_(std::move(bound_pred)),
-        child_(std::move(child)) {}
+        child_(std::move(child)),
+        ctx_(ctx) {}
 
-  Status Open() override { return child_->Open(); }
+  Status Open() override {
+    kernel_mode_ = ctx_->use_simd_kernels &&
+                   LowerPredicate(predicate_, *child_->schema(), &conjuncts_);
+    return child_->Open();
+  }
 
   Result<bool> Next(Batch* out) override {
     while (true) {
       Batch in;
       DEX_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
       if (!more) return false;
-      DEX_ASSIGN_OR_RETURN(ColumnPtr mask, predicate_->Evaluate(in));
       std::vector<uint32_t> selected;
-      selected.reserve(in.num_rows());
-      const int64_t* bits = mask->data_i64();
-      for (size_t i = 0; i < in.num_rows(); ++i) {
-        if (bits[i] != 0) selected.push_back(static_cast<uint32_t>(i));
+      if (kernel_mode_) {
+        RunKernels(in, &selected);
+        ctx_->stats.kernel_filter_batches += 1;
+      } else {
+        // Scalar fallback: the interpreter wants dense physical rows.
+        if (in.Compact()) ctx_->stats.selection_compactions += 1;
+        DEX_ASSIGN_OR_RETURN(ColumnPtr mask, predicate_->Evaluate(in));
+        selected.reserve(in.num_rows());
+        const int64_t* bits = mask->data_i64();
+        for (size_t i = 0; i < in.num_rows(); ++i) {
+          if (bits[i] != 0) selected.push_back(static_cast<uint32_t>(i));
+        }
+        ctx_->stats.scalar_filter_batches += 1;
       }
       if (selected.empty()) continue;
       out->schema = schema_;
-      out->columns.clear();
-      if (selected.size() == in.num_rows()) {
-        out->columns = in.columns;  // all pass: zero-copy
+      out->columns = in.columns;  // shared per the selection contract
+      if (selected.size() == in.physical_rows()) {
+        // All physical rows pass: dense zero-copy pass-through.
+        out->selection.clear();
+        out->has_selection = false;
         return true;
       }
-      for (const ColumnPtr& c : in.columns) {
-        auto col = std::make_shared<Column>(c->type());
-        col->AppendGather(*c, selected);
-        out->columns.push_back(std::move(col));
-      }
+      out->selection = std::move(selected);
+      out->has_selection = true;
       return true;
     }
   }
 
  private:
+  /// Applies the lowered conjuncts: the first builds the selection (or the
+  /// child's incoming selection seeds it), the rest refine it in place.
+  void RunKernels(Batch& in, std::vector<uint32_t>* selected) {
+    const size_t n = in.physical_rows();
+    size_t k;
+    size_t first = 0;
+    if (in.has_selection) {
+      *selected = std::move(in.selection);
+      in.has_selection = false;
+      k = selected->size();
+    } else {
+      selected->resize(n);
+      const KernelConjunct& c = conjuncts_[0];
+      const Column& col = *in.columns[c.col];
+      k = c.is_f64
+              ? kernel::FilterF64(col.data_f64(), n, c.op, c.f64,
+                                  selected->data())
+              : kernel::FilterI64(col.data_i64(), n, c.op, c.i64,
+                                  selected->data());
+      first = 1;
+    }
+    for (size_t ci = first; ci < conjuncts_.size() && k > 0; ++ci) {
+      const KernelConjunct& c = conjuncts_[ci];
+      const Column& col = *in.columns[c.col];
+      k = c.is_f64 ? kernel::RefineF64(col.data_f64(), c.op, c.f64,
+                                       selected->data(), k)
+                   : kernel::RefineI64(col.data_i64(), c.op, c.i64,
+                                       selected->data(), k);
+    }
+    selected->resize(k);
+  }
+
   ExprPtr predicate_;
   PhysOpPtr child_;
+  ExecContext* ctx_;
+  bool kernel_mode_ = false;
+  std::vector<KernelConjunct> conjuncts_;
 };
 
 class ProjectOp : public PhysOp {
  public:
-  ProjectOp(SchemaPtr schema, std::vector<ExprPtr> bound_exprs, PhysOpPtr child)
+  ProjectOp(SchemaPtr schema, std::vector<ExprPtr> bound_exprs, PhysOpPtr child,
+            ExecContext* ctx)
       : PhysOp(std::move(schema)),
         exprs_(std::move(bound_exprs)),
-        child_(std::move(child)) {}
+        child_(std::move(child)),
+        ctx_(ctx) {}
 
   Status Open() override { return child_->Open(); }
 
@@ -270,6 +422,7 @@ class ProjectOp : public PhysOp {
     Batch in;
     DEX_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
     if (!more) return false;
+    if (in.Compact()) ctx_->stats.selection_compactions += 1;
     out->schema = schema_;
     out->columns.clear();
     for (const ExprPtr& e : exprs_) {
@@ -282,6 +435,7 @@ class ProjectOp : public PhysOp {
  private:
   std::vector<ExprPtr> exprs_;
   PhysOpPtr child_;
+  ExecContext* ctx_;
 };
 
 // ---------------------------------------------------------------------------
@@ -335,11 +489,13 @@ Result<JoinKeys> ExtractJoinKeys(const ExprPtr& condition, const Schema& left,
 /// equality pairs (the paper's "Q_f might contain cartesian products").
 class HashJoinOp : public PhysOp {
  public:
-  HashJoinOp(SchemaPtr schema, JoinKeys keys, PhysOpPtr left, PhysOpPtr right)
+  HashJoinOp(SchemaPtr schema, JoinKeys keys, PhysOpPtr left, PhysOpPtr right,
+             ExecContext* ctx)
       : PhysOp(std::move(schema)),
         keys_(std::move(keys)),
         left_(std::move(left)),
-        right_(std::move(right)) {}
+        right_(std::move(right)),
+        ctx_(ctx) {}
 
   Status Open() override {
     DEX_RETURN_NOT_OK(left_->Open());
@@ -386,6 +542,7 @@ class HashJoinOp : public PhysOp {
       Batch in;
       DEX_ASSIGN_OR_RETURN(bool more, left_->Next(&in));
       if (!more) return false;
+      if (in.Compact()) ctx_->stats.selection_compactions += 1;
       std::vector<ColumnPtr> probe_keys;
       for (const ExprPtr& e : keys_.left_exprs) {
         DEX_ASSIGN_OR_RETURN(ColumnPtr col, e->Evaluate(in));
@@ -461,6 +618,7 @@ class HashJoinOp : public PhysOp {
   JoinKeys keys_;
   PhysOpPtr left_;
   PhysOpPtr right_;
+  ExecContext* ctx_;
   TablePtr build_;
   std::vector<ColumnPtr> build_keys_;
   // Parallel arrays sorted by hash.
@@ -499,6 +657,7 @@ class IndexJoinOp : public PhysOp {
       Batch in;
       DEX_ASSIGN_OR_RETURN(bool more, left_->Next(&in));
       if (!more) return false;
+      if (in.Compact()) ctx_->stats.selection_compactions += 1;
       std::vector<ColumnPtr> probe_keys;
       for (const ExprPtr& e : keys_.left_exprs) {
         DEX_ASSIGN_OR_RETURN(ColumnPtr col, e->Evaluate(in));
@@ -592,27 +751,209 @@ class HashAggOp : public PhysOp {
  public:
   HashAggOp(SchemaPtr schema, std::vector<ExprPtr> bound_groups,
             std::vector<AggSpec> aggs, std::vector<ExprPtr> bound_args,
-            PhysOpPtr child)
+            PhysOpPtr child, ExecContext* ctx)
       : PhysOp(std::move(schema)),
         groups_(std::move(bound_groups)),
         aggs_(std::move(aggs)),
         args_(std::move(bound_args)),
-        child_(std::move(child)) {}
+        child_(std::move(child)),
+        ctx_(ctx) {}
 
-  Status Open() override { return child_->Open(); }
+  Status Open() override {
+    kernel_mode_ = ctx_->use_simd_kernels && KernelEligible();
+    return child_->Open();
+  }
 
   Result<bool> Next(Batch* out) override {
     if (done_) return false;
     done_ = true;
+    if (kernel_mode_) {
+      DEX_RETURN_NOT_OK(AccumulateKernel());
+      return EmitKernel(out);
+    }
     DEX_RETURN_NOT_OK(Accumulate());
     return Emit(out);
   }
 
  private:
+  /// The kernel path covers the dominant shapes: GROUP BY nothing or one
+  /// dictionary-encoded string column, aggregating plain numeric columns
+  /// (or COUNT(*)). Anything else — computed keys, multi-column groups,
+  /// string aggregates — keeps the Value-based interpreter.
+  bool KernelEligible() const {
+    if (groups_.size() > 1) return false;
+    if (groups_.size() == 1) {
+      const ExprPtr& g = groups_[0];
+      if (g->kind() != ExprKind::kColumnRef || g->column_index() < 0 ||
+          g->output_type() != DataType::kString) {
+        return false;
+      }
+    }
+    for (const ExprPtr& a : args_) {
+      if (a == nullptr) continue;  // COUNT(*)
+      if (a->kind() != ExprKind::kColumnRef || a->column_index() < 0) {
+        return false;
+      }
+      const DataType t = a->output_type();
+      if (t != DataType::kDouble && t != DataType::kInt64 &&
+          t != DataType::kTimestamp) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Per-agg accumulator arrays, parallel over global group slots.
+  struct KernelAgg {
+    std::vector<double> min, max, sum;
+    std::vector<int64_t> imin, imax, isum;
+    std::vector<uint64_t> count;
+    std::vector<uint8_t> seen;
+    void Grow(size_t n) {
+      min.resize(n, 0);
+      max.resize(n, 0);
+      sum.resize(n, 0);
+      imin.resize(n, 0);
+      imax.resize(n, 0);
+      isum.resize(n, 0);
+      count.resize(n, 0);
+      seen.resize(n, 0);
+    }
+  };
+
+  Status AccumulateKernel() {
+    kernel_aggs_.resize(aggs_.size());
+    Batch in;
+    DEX_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+    while (more) {
+      const size_t rows = in.num_rows();
+      if (rows == 0) {
+        DEX_ASSIGN_OR_RETURN(more, child_->Next(&in));
+        continue;
+      }
+      const uint32_t* sel = in.has_selection ? in.selection.data() : nullptr;
+      gid_.resize(rows);
+      if (!groups_.empty()) {
+        // Dictionaries are batch-local (different mounts intern
+        // independently), so codes are grouped per batch and each distinct
+        // code resolves its string to a global slot once — not once per row.
+        const Column& gcol = *in.columns[groups_[0]->column_index()];
+        local_code_to_slot_.clear();
+        local_codes_.clear();
+        kernel::GroupByCodes(gcol.codes(), sel, rows, in.physical_rows(),
+                             &local_code_to_slot_, &local_codes_, gid_.data());
+        local_to_global_.resize(local_codes_.size());
+        for (size_t ls = 0; ls < local_codes_.size(); ++ls) {
+          const std::string& s = gcol.dict()->At(local_codes_[ls]);
+          auto [it, inserted] =
+              group_index_.try_emplace(s, kernel_keys_.size());
+          if (inserted) {
+            kernel_keys_.push_back(Value::String(s));
+            GrowKernelGroups();
+          }
+          local_to_global_[ls] = static_cast<uint32_t>(it->second);
+        }
+        for (size_t r = 0; r < rows; ++r) gid_[r] = local_to_global_[gid_[r]];
+      } else {
+        if (kernel_keys_.empty()) {
+          kernel_keys_.emplace_back();  // the single global group
+          GrowKernelGroups();
+        }
+        std::fill(gid_.begin(), gid_.end(), 0u);
+      }
+      for (size_t r = 0; r < rows; ++r) ++group_rows_[gid_[r]];
+      for (size_t a = 0; a < aggs_.size(); ++a) {
+        if (args_[a] == nullptr) continue;
+        const Column& col = *in.columns[args_[a]->column_index()];
+        KernelAgg& k = kernel_aggs_[a];
+        if (col.type() == DataType::kDouble) {
+          kernel::GroupAccumF64(col.data_f64(), sel, rows, gid_.data(),
+                                k.min.data(), k.max.data(), k.sum.data(),
+                                k.count.data(), k.seen.data());
+        } else {
+          kernel::GroupAccumI64(col.data_i64(), sel, rows, gid_.data(),
+                                k.imin.data(), k.imax.data(), k.sum.data(),
+                                k.isum.data(), k.count.data(), k.seen.data());
+        }
+      }
+      ctx_->stats.kernel_agg_batches += 1;
+      DEX_ASSIGN_OR_RETURN(more, child_->Next(&in));
+    }
+    return Status::OK();
+  }
+
+  void GrowKernelGroups() {
+    group_rows_.resize(kernel_keys_.size(), 0);
+    for (KernelAgg& k : kernel_aggs_) k.Grow(kernel_keys_.size());
+  }
+
+  Result<bool> EmitKernel(Batch* out) {
+    if (kernel_keys_.empty() && !groups_.empty()) return false;
+    bool empty_input = false;
+    if (kernel_keys_.empty()) {
+      kernel_keys_.emplace_back();
+      GrowKernelGroups();
+      empty_input = true;
+    }
+    *out = Batch::Empty(schema_);
+    for (size_t g = 0; g < kernel_keys_.size(); ++g) {
+      size_t c = 0;
+      if (!groups_.empty()) {
+        DEX_RETURN_NOT_OK(out->columns[c++]->AppendValue(kernel_keys_[g]));
+      }
+      for (size_t a = 0; a < aggs_.size(); ++a, ++c) {
+        const KernelAgg& k = kernel_aggs_[a];
+        const DataType out_type = schema_->field(c).type;
+        const bool is_f64 =
+            args_[a] != nullptr && args_[a]->output_type() == DataType::kDouble;
+        const uint64_t rows = group_rows_[g];
+        Value v;
+        switch (aggs_[a].fn) {
+          case AggFunc::kCount:
+            v = Value::Int64(empty_input ? 0 : static_cast<int64_t>(rows));
+            break;
+          case AggFunc::kSum:
+            v = out_type == DataType::kInt64
+                    ? Value::Int64(k.isum[g])
+                    : Value::Double(is_f64 ? k.sum[g]
+                                           : static_cast<double>(k.isum[g]));
+            break;
+          case AggFunc::kAvg:
+            v = Value::Double(rows == 0 ? 0.0
+                                        : k.sum[g] / static_cast<double>(rows));
+            break;
+          case AggFunc::kMin:
+          case AggFunc::kMax: {
+            const bool want_min = aggs_[a].fn == AggFunc::kMin;
+            if (!k.seen[g]) {
+              // Empty group: the scalar path emits a zero of the output type.
+              v = out_type == DataType::kDouble ? Value::Double(0.0)
+                                                : Value::Int64(0);
+              if (out_type == DataType::kTimestamp) v = Value::Timestamp(0);
+              break;
+            }
+            if (is_f64) {
+              v = Value::Double(want_min ? k.min[g] : k.max[g]);
+            } else {
+              const int64_t iv = want_min ? k.imin[g] : k.imax[g];
+              v = out_type == DataType::kTimestamp ? Value::Timestamp(iv)
+                                                   : Value::Int64(iv);
+            }
+            break;
+          }
+        }
+        DEX_RETURN_NOT_OK(out->columns[c]->AppendValue(v));
+      }
+    }
+    return true;
+  }
+
   Status Accumulate() {
     Batch in;
     DEX_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
     while (more) {
+      if (in.Compact()) ctx_->stats.selection_compactions += 1;
+      ctx_->stats.scalar_agg_batches += 1;
       std::vector<ColumnPtr> group_cols;
       for (const ExprPtr& g : groups_) {
         DEX_ASSIGN_OR_RETURN(ColumnPtr col, g->Evaluate(in));
@@ -754,10 +1095,21 @@ class HashAggOp : public PhysOp {
   std::vector<AggSpec> aggs_;
   std::vector<ExprPtr> args_;
   PhysOpPtr child_;
+  ExecContext* ctx_;
   std::unordered_map<std::string, size_t> group_index_;
   std::vector<GroupState> groups_state_;
   bool done_ = false;
   bool empty_input_ = false;
+
+  // Kernel-path state (see AccumulateKernel).
+  bool kernel_mode_ = false;
+  std::vector<Value> kernel_keys_;       // group key per global slot
+  std::vector<uint64_t> group_rows_;     // rows per global slot
+  std::vector<KernelAgg> kernel_aggs_;   // parallel accumulators per agg
+  std::vector<uint32_t> gid_;            // per-row group ids (batch scratch)
+  std::vector<int32_t> local_code_to_slot_;
+  std::vector<int32_t> local_codes_;
+  std::vector<uint32_t> local_to_global_;
 };
 
 // ---------------------------------------------------------------------------
@@ -848,6 +1200,8 @@ class LimitOp : public PhysOp {
     Batch in;
     DEX_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
     if (!more) return false;
+    // LIMIT slices by physical position; materialize the selection first.
+    in.Compact();
     if (static_cast<int64_t>(in.num_rows()) <= remaining_) {
       remaining_ -= static_cast<int64_t>(in.num_rows());
       *out = std::move(in);
@@ -1045,8 +1399,8 @@ Result<PhysOpPtr> BuildOpInner(const PlanPtr& plan, ExecContext* ctx) {
       DEX_ASSIGN_OR_RETURN(PhysOpPtr child, BuildOp(plan->children[0], ctx));
       DEX_ASSIGN_OR_RETURN(
           ExprPtr bound, plan->predicate->Bind(*plan->children[0]->output_schema));
-      return PhysOpPtr(
-          new FilterOp(plan->output_schema, std::move(bound), std::move(child)));
+      return PhysOpPtr(new FilterOp(plan->output_schema, std::move(bound),
+                                    std::move(child), ctx));
     }
     case PlanKind::kProject: {
       DEX_ASSIGN_OR_RETURN(PhysOpPtr child, BuildOp(plan->children[0], ctx));
@@ -1056,8 +1410,8 @@ Result<PhysOpPtr> BuildOpInner(const PlanPtr& plan, ExecContext* ctx) {
                              e->Bind(*plan->children[0]->output_schema));
         bound.push_back(std::move(b));
       }
-      return PhysOpPtr(
-          new ProjectOp(plan->output_schema, std::move(bound), std::move(child)));
+      return PhysOpPtr(new ProjectOp(plan->output_schema, std::move(bound),
+                                     std::move(child), ctx));
     }
     case PlanKind::kJoin: {
       const Schema& left_schema = *plan->children[0]->output_schema;
@@ -1071,7 +1425,7 @@ Result<PhysOpPtr> BuildOpInner(const PlanPtr& plan, ExecContext* ctx) {
       DEX_ASSIGN_OR_RETURN(PhysOpPtr left, BuildOp(plan->children[0], ctx));
       DEX_ASSIGN_OR_RETURN(PhysOpPtr right, BuildOp(plan->children[1], ctx));
       return PhysOpPtr(new HashJoinOp(plan->output_schema, std::move(keys),
-                                      std::move(left), std::move(right)));
+                                      std::move(left), std::move(right), ctx));
     }
     case PlanKind::kAggregate: {
       DEX_ASSIGN_OR_RETURN(PhysOpPtr child, BuildOp(plan->children[0], ctx));
@@ -1092,7 +1446,7 @@ Result<PhysOpPtr> BuildOpInner(const PlanPtr& plan, ExecContext* ctx) {
       }
       return PhysOpPtr(new HashAggOp(plan->output_schema, std::move(groups),
                                      plan->aggregates, std::move(args),
-                                     std::move(child)));
+                                     std::move(child), ctx));
     }
     case PlanKind::kSort: {
       DEX_ASSIGN_OR_RETURN(PhysOpPtr child, BuildOp(plan->children[0], ctx));

@@ -22,6 +22,16 @@ struct ExecStats {
   uint64_t cache_scans = 0;     // cache-scan access paths taken
   uint64_t index_probes = 0;    // index-join probe rows
 
+  // Vectorized-kernel coverage (engine/kernel.h): batches that ran on the
+  // branchless SIMD path vs. batches that fell back to the scalar
+  // expression interpreter, and selection vectors materialized at
+  // kernel-unaware operator boundaries.
+  uint64_t kernel_filter_batches = 0;
+  uint64_t scalar_filter_batches = 0;
+  uint64_t kernel_agg_batches = 0;
+  uint64_t scalar_agg_batches = 0;
+  uint64_t selection_compactions = 0;
+
   ExecStats& operator+=(const ExecStats& o) {
     rows_scanned += o.rows_scanned;
     rows_output += o.rows_output;
@@ -29,6 +39,11 @@ struct ExecStats {
     mounted_rows += o.mounted_rows;
     cache_scans += o.cache_scans;
     index_probes += o.index_probes;
+    kernel_filter_batches += o.kernel_filter_batches;
+    scalar_filter_batches += o.scalar_filter_batches;
+    kernel_agg_batches += o.kernel_agg_batches;
+    scalar_agg_batches += o.scalar_agg_batches;
+    selection_compactions += o.selection_compactions;
     return *this;
   }
 };
@@ -59,6 +74,11 @@ struct ExecContext {
   /// Ei option: use prebuilt hash indexes for joins against indexed base
   /// tables instead of building a hash table on the fly.
   bool use_index_joins = false;
+
+  /// Route eligible filters/aggregations through the branchless kernels in
+  /// engine/kernel.h (selection vectors, compact group-by). Off = always use
+  /// the scalar expression interpreter (PruningOptions::use_simd_kernels).
+  bool use_simd_kernels = true;
 
   /// Charge SimDisk I/O for base-table scans / index reads (disabled in
   /// pure-logic tests).

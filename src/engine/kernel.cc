@@ -1,0 +1,251 @@
+#include "engine/kernel.h"
+
+#include <algorithm>
+
+namespace dex::kernel {
+
+namespace {
+
+// The branchless selection idiom: unconditionally store the candidate index,
+// then advance the cursor by the comparison result. The loop body has no
+// data-dependent branch, so the autovectorizer can turn it into compressed
+// stores / masked adds.
+template <typename T, typename Cmp>
+size_t FilterDense(const T* v, size_t n, T lit, uint32_t* sel, Cmp cmp) {
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sel[k] = static_cast<uint32_t>(i);
+    k += cmp(v[i], lit) ? 1 : 0;
+  }
+  return k;
+}
+
+template <typename T, typename Cmp>
+size_t RefineSel(const T* v, T lit, uint32_t* sel, size_t k, Cmp cmp) {
+  size_t out = 0;
+  for (size_t i = 0; i < k; ++i) {
+    const uint32_t row = sel[i];
+    sel[out] = row;
+    out += cmp(v[row], lit) ? 1 : 0;
+  }
+  return out;
+}
+
+// One switch per batch, not per row: dispatch to a monomorphized loop.
+template <typename T>
+size_t FilterDispatch(const T* v, size_t n, CompareOp op, T lit,
+                      uint32_t* sel) {
+  switch (op) {
+    case CompareOp::kEq:
+      return FilterDense(v, n, lit, sel, [](T a, T b) { return a == b; });
+    case CompareOp::kNe:
+      return FilterDense(v, n, lit, sel, [](T a, T b) { return a != b; });
+    case CompareOp::kLt:
+      return FilterDense(v, n, lit, sel, [](T a, T b) { return a < b; });
+    case CompareOp::kLe:
+      return FilterDense(v, n, lit, sel, [](T a, T b) { return a <= b; });
+    case CompareOp::kGt:
+      return FilterDense(v, n, lit, sel, [](T a, T b) { return a > b; });
+    case CompareOp::kGe:
+      return FilterDense(v, n, lit, sel, [](T a, T b) { return a >= b; });
+  }
+  return 0;
+}
+
+template <typename T>
+size_t RefineDispatch(const T* v, CompareOp op, T lit, uint32_t* sel,
+                      size_t k) {
+  switch (op) {
+    case CompareOp::kEq:
+      return RefineSel(v, lit, sel, k, [](T a, T b) { return a == b; });
+    case CompareOp::kNe:
+      return RefineSel(v, lit, sel, k, [](T a, T b) { return a != b; });
+    case CompareOp::kLt:
+      return RefineSel(v, lit, sel, k, [](T a, T b) { return a < b; });
+    case CompareOp::kLe:
+      return RefineSel(v, lit, sel, k, [](T a, T b) { return a <= b; });
+    case CompareOp::kGt:
+      return RefineSel(v, lit, sel, k, [](T a, T b) { return a > b; });
+    case CompareOp::kGe:
+      return RefineSel(v, lit, sel, k, [](T a, T b) { return a >= b; });
+  }
+  return 0;
+}
+
+}  // namespace
+
+size_t FilterF64(const double* v, size_t n, CompareOp op, double lit,
+                 uint32_t* sel) {
+  return FilterDispatch(v, n, op, lit, sel);
+}
+
+size_t FilterI64(const int64_t* v, size_t n, CompareOp op, int64_t lit,
+                 uint32_t* sel) {
+  return FilterDispatch(v, n, op, lit, sel);
+}
+
+size_t RefineF64(const double* v, CompareOp op, double lit, uint32_t* sel,
+                 size_t k) {
+  return RefineDispatch(v, op, lit, sel, k);
+}
+
+size_t RefineI64(const int64_t* v, CompareOp op, int64_t lit, uint32_t* sel,
+                 size_t k) {
+  return RefineDispatch(v, op, lit, sel, k);
+}
+
+NumericAgg AggF64(const double* v, size_t n) {
+  NumericAgg out;
+  if (n == 0) return out;
+  double mn = v[0], mx = v[0], sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    mn = std::min(mn, v[i]);
+    mx = std::max(mx, v[i]);
+    sum += v[i];
+  }
+  out.min = mn;
+  out.max = mx;
+  out.sum = sum;
+  out.count = n;
+  return out;
+}
+
+NumericAgg AggI64(const int64_t* v, size_t n) {
+  NumericAgg out;
+  if (n == 0) return out;
+  int64_t mn = v[0], mx = v[0], isum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    mn = std::min(mn, v[i]);
+    mx = std::max(mx, v[i]);
+    isum += v[i];
+  }
+  out.min = static_cast<double>(mn);
+  out.max = static_cast<double>(mx);
+  out.imin = mn;
+  out.imax = mx;
+  out.isum = isum;
+  out.sum = static_cast<double>(isum);
+  out.count = n;
+  return out;
+}
+
+NumericAgg AggI32(const int32_t* v, size_t n) {
+  NumericAgg out;
+  if (n == 0) return out;
+  int32_t mn = v[0], mx = v[0];
+  int64_t isum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    mn = std::min(mn, v[i]);
+    mx = std::max(mx, v[i]);
+    isum += v[i];
+  }
+  out.min = static_cast<double>(mn);
+  out.max = static_cast<double>(mx);
+  out.imin = mn;
+  out.imax = mx;
+  out.isum = isum;
+  out.sum = static_cast<double>(isum);
+  out.count = n;
+  return out;
+}
+
+NumericAgg AggF64Selected(const double* v, const uint32_t* sel, size_t k) {
+  NumericAgg out;
+  if (k == 0) return out;
+  double mn = v[sel[0]], mx = v[sel[0]], sum = 0;
+  for (size_t i = 0; i < k; ++i) {
+    const double x = v[sel[i]];
+    mn = std::min(mn, x);
+    mx = std::max(mx, x);
+    sum += x;
+  }
+  out.min = mn;
+  out.max = mx;
+  out.sum = sum;
+  out.count = k;
+  return out;
+}
+
+NumericAgg AggI64Selected(const int64_t* v, const uint32_t* sel, size_t k) {
+  NumericAgg out;
+  if (k == 0) return out;
+  int64_t mn = v[sel[0]], mx = v[sel[0]], isum = 0;
+  for (size_t i = 0; i < k; ++i) {
+    const int64_t x = v[sel[i]];
+    mn = std::min(mn, x);
+    mx = std::max(mx, x);
+    isum += x;
+  }
+  out.min = static_cast<double>(mn);
+  out.max = static_cast<double>(mx);
+  out.imin = mn;
+  out.imax = mx;
+  out.isum = isum;
+  out.sum = static_cast<double>(isum);
+  out.count = k;
+  return out;
+}
+
+void GroupByCodes(const int32_t* codes, const uint32_t* sel, size_t k,
+                  size_t n, std::vector<int32_t>* code_to_group,
+                  std::vector<int32_t>* group_codes, uint32_t* out_gid) {
+  const size_t rows = sel != nullptr ? k : n;
+  for (size_t i = 0; i < rows; ++i) {
+    const uint32_t row = sel != nullptr ? sel[i] : static_cast<uint32_t>(i);
+    const int32_t code = codes[row];
+    if (static_cast<size_t>(code) >= code_to_group->size()) {
+      code_to_group->resize(static_cast<size_t>(code) + 1, -1);
+    }
+    int32_t slot = (*code_to_group)[static_cast<size_t>(code)];
+    if (slot < 0) {
+      slot = static_cast<int32_t>(group_codes->size());
+      (*code_to_group)[static_cast<size_t>(code)] = slot;
+      group_codes->push_back(code);
+    }
+    out_gid[i] = static_cast<uint32_t>(slot);
+  }
+}
+
+void GroupAccumF64(const double* v, const uint32_t* sel, size_t k,
+                   const uint32_t* gid, double* min, double* max, double* sum,
+                   uint64_t* count, uint8_t* seen) {
+  for (size_t i = 0; i < k; ++i) {
+    const uint32_t row = sel != nullptr ? sel[i] : static_cast<uint32_t>(i);
+    const double x = v[row];
+    const uint32_t g = gid[i];
+    if (!seen[g]) {
+      seen[g] = 1;
+      min[g] = x;
+      max[g] = x;
+    } else {
+      min[g] = std::min(min[g], x);
+      max[g] = std::max(max[g], x);
+    }
+    sum[g] += x;
+    ++count[g];
+  }
+}
+
+void GroupAccumI64(const int64_t* v, const uint32_t* sel, size_t k,
+                   const uint32_t* gid, int64_t* imin, int64_t* imax,
+                   double* sum, int64_t* isum, uint64_t* count,
+                   uint8_t* seen) {
+  for (size_t i = 0; i < k; ++i) {
+    const uint32_t row = sel != nullptr ? sel[i] : static_cast<uint32_t>(i);
+    const int64_t x = v[row];
+    const uint32_t g = gid[i];
+    if (!seen[g]) {
+      seen[g] = 1;
+      imin[g] = x;
+      imax[g] = x;
+    } else {
+      imin[g] = std::min(imin[g], x);
+      imax[g] = std::max(imax[g], x);
+    }
+    sum[g] += static_cast<double>(x);
+    isum[g] += x;
+    ++count[g];
+  }
+}
+
+}  // namespace dex::kernel

@@ -25,6 +25,58 @@ Result<std::vector<int32_t>> DecodePayload(const RecordHeader& header,
   return Steim1::Decode(payload, header.num_samples);
 }
 
+/// Decodes one record under the pruner's plan (plan = full decode when
+/// `pruner` is null). A selective decode that fails its zone-map
+/// verification degrades to a full decode; only a failing *full* decode
+/// propagates as an error (the caller's corruption policy applies).
+Result<DecodedRecord> DecodePlanned(const RecordHeader& header,
+                                    const std::string& payload, size_t index,
+                                    RecordPruner* pruner,
+                                    PruneStats* prune_stats) {
+  DecodedRecord rec;
+  rec.header = header;
+  RecordDecodePlan plan;
+  if (pruner != nullptr) plan = pruner->Plan(index, header);
+  if (plan.skip_record) {
+    rec.sparse = true;
+    if (prune_stats != nullptr) ++prune_stats->records_skipped;
+    return rec;
+  }
+  if (plan.frames != nullptr && header.encoding == 1) {
+    rec.sparse = true;
+    Status st = Steim1::DecodeSelected(payload, header.num_samples,
+                                       *plan.frames, plan.keep,
+                                       &rec.sample_index, &rec.samples);
+    if (st.ok()) {
+      if (prune_stats != nullptr) {
+        for (bool k : plan.keep) {
+          if (k) {
+            ++prune_stats->frames_decoded;
+          } else {
+            ++prune_stats->frames_skipped;
+          }
+        }
+      }
+      return rec;
+    }
+    // The zone map disagreed with the bytes (stale or damaged): degrade to a
+    // full decode and re-harvest authoritative stats. Cost, never wrong rows.
+    rec.sparse = false;
+    rec.sample_index.clear();
+    rec.samples.clear();
+    if (prune_stats != nullptr) ++prune_stats->fallbacks;
+    plan.harvest = true;
+  }
+  Result<std::vector<int32_t>> samples =
+      (header.encoding != 2 && plan.harvest)
+          ? Steim1::DecodeWithStats(payload, header.num_samples,
+                                    &rec.frame_stats)
+          : DecodePayload(header, payload);
+  DEX_RETURN_NOT_OK(samples.status());
+  rec.samples = std::move(*samples);
+  return rec;
+}
+
 // Corruption messages must be actionable from a quarantine warning: qualify
 // the codec's payload-relative message with the source URI and the record's
 // byte offset in that file.
@@ -69,7 +121,8 @@ Result<std::vector<RecordInfo>> Reader::ScanHeaders(const std::string& path) {
   return infos;
 }
 
-Result<std::vector<DecodedRecord>> Reader::ReadAllRecords(const std::string& path) {
+Result<std::vector<DecodedRecord>> Reader::ReadAllRecords(
+    const std::string& path, RecordPruner* pruner, PruneStats* prune_stats) {
   std::string image;
   DEX_RETURN_NOT_OK(ReadFileToString(path, &image));
   auto scan = ScanHeadersInMemory(image);
@@ -79,23 +132,22 @@ Result<std::vector<DecodedRecord>> Reader::ReadAllRecords(const std::string& pat
   out.reserve(infos.size());
   for (size_t i = 0; i < infos.size(); ++i) {
     const RecordInfo& info = infos[i];
-    DecodedRecord rec;
-    rec.header = info.header;
     const std::string payload =
         image.substr(info.data_offset, info.header.data_bytes);
-    auto samples = DecodePayload(info.header, payload);
-    if (!samples.ok()) {
-      return WithRecordContext(samples.status(), path, i, info.header_offset);
+    auto rec = DecodePlanned(info.header, payload, i, pruner, prune_stats);
+    if (!rec.ok()) {
+      return WithRecordContext(rec.status(), path, i, info.header_offset);
     }
-    rec.samples = std::move(*samples);
-    out.push_back(std::move(rec));
+    out.push_back(std::move(*rec));
   }
   return out;
 }
 
 std::vector<DecodedRecord> Reader::SalvageInMemory(const std::string& file_image,
                                                    const std::string& uri,
-                                                   SalvageReport* report) {
+                                                   SalvageReport* report,
+                                                   RecordPruner* pruner,
+                                                   PruneStats* prune_stats) {
   SalvageReport scratch;
   SalvageReport& rep = report != nullptr ? *report : scratch;
   rep = SalvageReport{};
@@ -136,12 +188,10 @@ std::vector<DecodedRecord> Reader::SalvageInMemory(const std::string& file_image
     if (payload_fits) {
       const std::string payload = file_image.substr(
           offset + RecordHeader::kSerializedBytes, header->data_bytes);
-      auto samples = DecodePayload(*header, payload);
-      if (samples.ok()) {
-        DecodedRecord rec;
-        rec.header = *header;
-        rec.samples = std::move(*samples);
-        out.push_back(std::move(rec));
+      auto rec = DecodePlanned(*header, payload, out.size(), pruner,
+                               prune_stats);
+      if (rec.ok()) {
+        out.push_back(std::move(*rec));
         if (corruption_seen) {
           ++rep.records_salvaged;
         } else {
@@ -155,7 +205,7 @@ std::vector<DecodedRecord> Reader::SalvageInMemory(const std::string& file_image
       corruption_seen = true;
       ++rep.records_skipped;
       rep.bytes_skipped += RecordHeader::kSerializedBytes + header->data_bytes;
-      warn(WithRecordContext(samples.status(), uri, out.size(), offset)
+      warn(WithRecordContext(rec.status(), uri, out.size(), offset)
                .ToString());
       offset += RecordHeader::kSerializedBytes + header->data_bytes;
       continue;
@@ -192,10 +242,11 @@ std::vector<DecodedRecord> Reader::SalvageInMemory(const std::string& file_image
 }
 
 Result<std::vector<DecodedRecord>> Reader::ReadAllRecordsSalvage(
-    const std::string& path, SalvageReport* report) {
+    const std::string& path, SalvageReport* report, RecordPruner* pruner,
+    PruneStats* prune_stats) {
   std::string image;
   DEX_RETURN_NOT_OK(ReadFileToString(path, &image));
-  return SalvageInMemory(image, path, report);
+  return SalvageInMemory(image, path, report, pruner, prune_stats);
 }
 
 Result<DecodedRecord> Reader::ReadRecord(const std::string& path,

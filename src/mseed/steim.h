@@ -26,6 +26,23 @@ class Steim1 {
  public:
   static constexpr size_t kFrameBytes = 64;
 
+  /// \brief Per-frame zone-map statistics, harvested for free during a full
+  /// decode (the decoder touches every sample anyway — the paper's
+  /// derived-metadata argument applied one level down).
+  ///
+  /// `entry` is the accumulated sample value *entering* the frame: the value
+  /// of the last sample produced before it (for frame 0, X0 — which is also
+  /// sample 0 itself). Because Steim1 is differential, `entry` is exactly
+  /// what a later selective decode needs to resume at this frame without
+  /// unpacking any frame before it.
+  struct FrameStat {
+    uint32_t first_sample = 0;  // index of the first sample this frame yields
+    uint32_t count = 0;         // samples produced by this frame
+    int32_t min = 0;            // min sample value produced by this frame
+    int32_t max = 0;            // max sample value produced by this frame
+    int32_t entry = 0;          // accumulated value entering this frame
+  };
+
   /// Compresses `samples` into a sequence of 64-byte frames.
   static std::string Encode(const std::vector<int32_t>& samples);
 
@@ -34,6 +51,28 @@ class Steim1 {
   /// constant does not match.
   static Result<std::vector<int32_t>> Decode(const std::string& data,
                                              size_t num_samples);
+
+  /// Like Decode, but additionally fills one FrameStat per 64-byte frame —
+  /// the same pass, no extra traversal. `stats` is cleared first.
+  static Result<std::vector<int32_t>> DecodeWithStats(
+      const std::string& data, size_t num_samples,
+      std::vector<FrameStat>* stats);
+
+  /// Selective decode: unpacks only the frames with `keep[f]` set, resuming
+  /// each from `stats[f].entry`, and appends (sample index, value) pairs to
+  /// `indices`/`values` in sample order. Skipped frames cost nothing — not
+  /// even a word fetch beyond their nibble header.
+  ///
+  /// Self-verifying against stale zone maps: every decoded frame's exit
+  /// value must equal the next frame's recorded `entry` (the last frame's
+  /// must equal XN), and every frame must yield exactly `stats[f].count`
+  /// samples. Any mismatch returns Corruption so the caller degrades to a
+  /// full decode — a wrong persisted zone map can cost time, never rows.
+  static Status DecodeSelected(const std::string& data, size_t num_samples,
+                               const std::vector<FrameStat>& stats,
+                               const std::vector<bool>& keep,
+                               std::vector<uint32_t>* indices,
+                               std::vector<int32_t>* values);
 
   /// Upper bound on the encoded size for `n` samples (for sizing buffers).
   static size_t MaxEncodedBytes(size_t n);

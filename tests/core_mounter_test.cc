@@ -57,7 +57,7 @@ class MounterTest : public ::testing::Test {
 };
 
 TEST_F(MounterTest, MountExtractsAllSamples) {
-  Mounter mounter(&registry_, &cache_, nullptr, &format_);
+  Mounter mounter(&registry_, &cache_, StatsCollectorSet{}, nullptr, &format_);
   Mounter::MountOutcome outcome;
   auto t = mounter.Mount(kDataTableName, uri_, nullptr, &outcome);
   ASSERT_TRUE(t.ok()) << t.status().ToString();
@@ -77,14 +77,14 @@ TEST_F(MounterTest, MountExtractsAllSamples) {
 }
 
 TEST_F(MounterTest, MountChargesSimulatedRead) {
-  Mounter mounter(&registry_, &cache_, nullptr, &format_);
+  Mounter mounter(&registry_, &cache_, StatsCollectorSet{}, nullptr, &format_);
   const uint64_t t0 = disk_.stats().sim_nanos;
   ASSERT_TRUE(mounter.Mount(kDataTableName, uri_, nullptr).ok());
   EXPECT_GT(disk_.stats().sim_nanos, t0);
 }
 
 TEST_F(MounterTest, FusedPredicateFilters) {
-  Mounter mounter(&registry_, &cache_, nullptr, &format_);
+  Mounter mounter(&registry_, &cache_, StatsCollectorSet{}, nullptr, &format_);
   const ExprPtr pred = Expr::Compare(
       CompareOp::kGt, Expr::ColumnRef("sample_value"),
       Expr::Lit(Value::Int64(5)));
@@ -94,7 +94,7 @@ TEST_F(MounterTest, FusedPredicateFilters) {
 }
 
 TEST_F(MounterTest, FileGranularCacheStoresWholeFileDespiteFusedPredicate) {
-  Mounter mounter(&registry_, &cache_, nullptr, &format_);
+  Mounter mounter(&registry_, &cache_, StatsCollectorSet{}, nullptr, &format_);
   const ExprPtr pred = Expr::Compare(
       CompareOp::kGt, Expr::ColumnRef("sample_value"),
       Expr::Lit(Value::Int64(5)));
@@ -110,7 +110,7 @@ TEST_F(MounterTest, FileGranularCacheStoresWholeFileDespiteFusedPredicate) {
 TEST_F(MounterTest, TupleGranularCacheStoresFilteredTuples) {
   CacheManager tuple_cache(CacheManager::Options{
       CachePolicy::kAll, CacheGranularity::kTuple, 1 << 30});
-  Mounter mounter(&registry_, &tuple_cache, nullptr, &format_);
+  Mounter mounter(&registry_, &tuple_cache, StatsCollectorSet{}, nullptr, &format_);
   const ExprPtr pred = Expr::Compare(
       CompareOp::kGt, Expr::ColumnRef("sample_value"),
       Expr::Lit(Value::Int64(5)));
@@ -124,14 +124,14 @@ TEST_F(MounterTest, TupleGranularCacheStoresFilteredTuples) {
 }
 
 TEST_F(MounterTest, UnknownUriFails) {
-  Mounter mounter(&registry_, &cache_, nullptr, &format_);
+  Mounter mounter(&registry_, &cache_, StatsCollectorSet{}, nullptr, &format_);
   EXPECT_TRUE(mounter.Mount(kDataTableName, "/nope.mseed", nullptr)
                   .status()
                   .IsNotFound());
 }
 
 TEST_F(MounterTest, UnknownTableFails) {
-  Mounter mounter(&registry_, &cache_, nullptr, &format_);
+  Mounter mounter(&registry_, &cache_, StatsCollectorSet{}, nullptr, &format_);
   EXPECT_TRUE(
       mounter.Mount("X", uri_, nullptr).status().IsNotImplemented());
   EXPECT_TRUE(mounter.CacheLookup("X", uri_).status().IsNotImplemented());
@@ -139,7 +139,7 @@ TEST_F(MounterTest, UnknownTableFails) {
 
 TEST_F(MounterTest, VanishedFileSurfacesAsError) {
   // Under the strict policy errors propagate instead of degrading.
-  Mounter mounter(&registry_, &cache_, nullptr, &format_,
+  Mounter mounter(&registry_, &cache_, StatsCollectorSet{}, nullptr, &format_,
                   OnMountError::kFail);
   // Registered (stage 1 saw it) but deleted before stage 2 mounts it.
   ASSERT_TRUE(RemoveDirRecursive(dir_).ok());
@@ -149,7 +149,7 @@ TEST_F(MounterTest, VanishedFileSurfacesAsError) {
 }
 
 TEST_F(MounterTest, CorruptFileSurfacesAsCorruption) {
-  Mounter mounter(&registry_, &cache_, nullptr, &format_,
+  Mounter mounter(&registry_, &cache_, StatsCollectorSet{}, nullptr, &format_,
                   OnMountError::kFail);
   std::string image;
   ASSERT_TRUE(ReadFileToString(uri_, &image).ok());
@@ -163,7 +163,9 @@ TEST_F(MounterTest, CorruptFileSurfacesAsCorruption) {
 TEST_F(MounterTest, DerivedMetadataCollectedAsSideEffect) {
   auto derived = DerivedMetadata::Create(&catalog_);
   ASSERT_TRUE(derived.ok());
-  Mounter mounter(&registry_, &cache_, derived->get(), &format_);
+  StatsCollectorSet collectors;
+  collectors.Register(derived->get());
+  Mounter mounter(&registry_, &cache_, collectors, nullptr, &format_);
   ASSERT_TRUE(mounter.Mount(kDataTableName, uri_, nullptr).ok());
   EXPECT_EQ((*derived)->num_records_covered(), 2u);
   EXPECT_TRUE((*derived)->HasCompleteFile(uri_));
@@ -182,7 +184,9 @@ TEST_F(MounterTest, DerivedMetadataCollectedAsSideEffect) {
 TEST_F(MounterTest, DerivedMetadataIdempotentPerRecord) {
   auto derived = DerivedMetadata::Create(&catalog_);
   ASSERT_TRUE(derived.ok());
-  Mounter mounter(&registry_, &cache_, derived->get(), &format_);
+  StatsCollectorSet collectors;
+  collectors.Register(derived->get());
+  Mounter mounter(&registry_, &cache_, collectors, nullptr, &format_);
   ASSERT_TRUE(mounter.Mount(kDataTableName, uri_, nullptr).ok());
   ASSERT_TRUE(mounter.Mount(kDataTableName, uri_, nullptr).ok());
   EXPECT_EQ((*derived)->num_records_covered(), 2u);

@@ -295,7 +295,7 @@ TEST_F(TwoStageBehavior, DefaultPolicyRemountsEveryQuery) {
 TEST_F(TwoStageBehavior, DerivedPruningSkipsImpossibleFiles) {
   DatabaseOptions opts;
   opts.collect_derived_metadata = true;
-  opts.two_stage.use_derived_pruning = true;
+  opts.two_stage.pruning.file_level = true;
   auto db = Database::Open(repo_->root(), opts);
   ASSERT_TRUE(db.ok());
   // Pass 1: mount everything, collecting derived metadata.

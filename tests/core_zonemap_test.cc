@@ -1,0 +1,273 @@
+// Zone-map pruning property tests.
+//
+// The load-bearing invariant: zone maps are a performance hint, never a
+// correctness dependency. For every (predicate, corpus) pair, a query with
+// pruning fully on must return byte-identical rows AND charge identical
+// simulated I/O as the same query with pruning fully off — at any worker
+// count and shard count. Record/frame pruning saves *decode CPU* only; the
+// mount still charges the whole-file simulated read, so the sim-I/O ledger
+// cannot legally move.
+//
+// The fuzz half: stale or corrupt *persisted* zone maps must degrade to a
+// full decode (discarded wholesale on checksum/format violations, dropped
+// per-file on identity change) — never wrong rows.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "io/file_io.h"
+#include "test_util.h"
+
+namespace dex {
+namespace {
+
+using ::dex::testing::CanonicalRows;
+using ::dex::testing::ScopedRepo;
+using ::dex::testing::SmallRepoOptions;
+
+// Predicates spanning the selectivity spectrum of the synthetic waveforms
+// (noise is roughly +-60, seismic events reach thousands): everything,
+// event-only, nothing, and a two-sided band.
+const char* kPredicates[] = {
+    "SELECT COUNT(*), MIN(D.sample_value), MAX(D.sample_value) "
+    "FROM F JOIN D ON F.uri = D.uri WHERE D.sample_value > 500",
+    "SELECT COUNT(*), AVG(D.sample_value) "
+    "FROM F JOIN D ON F.uri = D.uri WHERE D.sample_value > 1000000",
+    "SELECT COUNT(*), AVG(D.sample_value) "
+    "FROM F JOIN D ON F.uri = D.uri "
+    "WHERE D.sample_value > -40 AND D.sample_value < 40",
+    "SELECT COUNT(*) FROM F JOIN D ON F.uri = D.uri "
+    "WHERE D.sample_value > -1000000",
+};
+
+PruningOptions PruningOff() {
+  PruningOptions off;
+  off.file_level = false;
+  off.record_level = false;
+  off.frame_level = false;
+  off.use_simd_kernels = false;
+  return off;
+}
+
+struct RunOutcome {
+  std::vector<std::string> rows;
+  uint64_t sim_io_nanos = 0;
+  uint64_t records_skipped = 0;
+  uint64_t frames_skipped = 0;
+};
+
+// Opens the repo fresh and runs `sql` twice (the first run harvests zone
+// maps as a decode side effect; the second is the one that can prune).
+// Returns the second run's outcome. With `prune` false the database is
+// opened with zone maps disabled entirely.
+RunOutcome RunTwice(const std::string& root, const std::string& sql,
+                    size_t workers, int shards, bool prune) {
+  DatabaseOptions options;
+  options.two_stage.num_threads = workers;
+  if (shards > 1) options.shard.num_shards = shards;
+  if (!prune) {
+    options.collect_zone_maps = false;
+    options.two_stage.pruning = PruningOff();
+  }
+  auto db = Database::Open(root, options);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  RunOutcome out;
+  if (!db.ok()) return out;
+  for (int pass = 0; pass < 2; ++pass) {
+    auto result = (*db)->Query(sql);
+    EXPECT_TRUE(result.ok()) << result.status().ToString() << "\n" << sql;
+    if (!result.ok()) return out;
+    out.rows = CanonicalRows(*result->table);
+    out.sim_io_nanos = result->stats.sim_io_nanos;
+    out.records_skipped = result->stats.records_skipped_zonemap;
+    out.frames_skipped = result->stats.frames_skipped_zonemap;
+  }
+  return out;
+}
+
+TEST(ZoneMapProperty, PrunedEqualsUnprunedAtEveryWorkerAndShardCount) {
+  for (uint64_t seed : {7u, 1234u}) {
+    mseed::GeneratorOptions gen = SmallRepoOptions();
+    gen.seed = seed;
+    gen.event_probability = 0.3;  // ensure some records carry events
+    ScopedRepo repo("zonemap_prop_" + std::to_string(seed), gen);
+    for (const char* sql : kPredicates) {
+      // The unpruned ledger is worker/shard-dependent (makespan vs serial
+      // sum), so compare like against like at every configuration.
+      for (size_t workers : {size_t{1}, size_t{4}, size_t{8}}) {
+        for (int shards : {1, 4}) {
+          const RunOutcome off =
+              RunTwice(repo.root(), sql, workers, shards, /*prune=*/false);
+          const RunOutcome on =
+              RunTwice(repo.root(), sql, workers, shards, /*prune=*/true);
+          const std::string ctx = std::string(sql) +
+                                  " workers=" + std::to_string(workers) +
+                                  " shards=" + std::to_string(shards) +
+                                  " seed=" + std::to_string(seed);
+          EXPECT_EQ(off.rows, on.rows) << ctx;
+          EXPECT_EQ(off.sim_io_nanos, on.sim_io_nanos)
+              << "record/frame pruning saves CPU only; the sim-I/O ledger "
+                 "must not move: " << ctx;
+          EXPECT_EQ(off.records_skipped, 0u) << ctx;
+        }
+      }
+    }
+  }
+}
+
+TEST(ZoneMapProperty, SelectivePredicateActuallyPrunes) {
+  ScopedRepo repo("zonemap_prunes", SmallRepoOptions());
+  // Impossible predicate: every record's zone excludes it, so the second
+  // run must skip every known record.
+  const RunOutcome on = RunTwice(repo.root(), kPredicates[1], 1, 1, true);
+  EXPECT_GT(on.records_skipped, 0u)
+      << "second run over harvested zone maps should skip records";
+  for (const std::string& row : on.rows) {
+    EXPECT_EQ(row.substr(0, 2), "0|") << "impossible predicate matched rows";
+  }
+}
+
+class ZoneMapPersistenceTest : public ::testing::Test {
+ protected:
+  ZoneMapPersistenceTest()
+      : repo_("zonemap_persist", SmallRepoOptions()),
+        map_path_(repo_.root() + "/.zonemaps") {}
+
+  DatabaseOptions WithPath() const {
+    DatabaseOptions options;
+    options.zone_map_path = map_path_;
+    return options;
+  }
+
+  // Ground truth: fresh open with zone maps disabled entirely.
+  std::vector<std::string> Baseline(const std::string& sql) {
+    DatabaseOptions options;
+    options.collect_zone_maps = false;
+    options.two_stage.pruning = PruningOff();
+    auto db = Database::Open(repo_.root(), options);
+    EXPECT_TRUE(db.ok()) << db.status().ToString();
+    auto result = (*db)->Query(sql);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? CanonicalRows(*result->table)
+                       : std::vector<std::string>{};
+  }
+
+  // Populates and persists zone maps by opening, querying, and closing.
+  void Persist(const std::string& sql) {
+    auto db = Database::Open(repo_.root(), WithPath());
+    DEX_ASSERT_OK(db);
+    DEX_ASSERT_OK((*db)->Query(sql));
+  }
+
+  ScopedRepo repo_;
+  std::string map_path_;
+};
+
+TEST_F(ZoneMapPersistenceTest, PersistedZoneMapsPruneOnColdOpen) {
+  const std::string sql = kPredicates[0];
+  const auto baseline = Baseline(sql);
+  Persist(sql);
+
+  auto db = Database::Open(repo_.root(), WithPath());
+  DEX_ASSERT_OK(db);
+  EXPECT_GT((*db)->zone_maps()->GetStats().persisted_loads, 0u)
+      << "reopen should restore the persisted zones";
+  auto result = (*db)->Query(sql);
+  DEX_ASSERT_OK(result);
+  EXPECT_EQ(CanonicalRows(*result->table), baseline);
+  EXPECT_GT(result->stats.records_skipped_zonemap +
+                result->stats.frames_skipped_zonemap,
+            0u)
+      << "the very first query after reload should prune from cold zones";
+}
+
+TEST_F(ZoneMapPersistenceTest, CorruptPersistedZoneMapsNeverYieldWrongRows) {
+  const std::string sql = kPredicates[0];
+  const auto baseline = Baseline(sql);
+  Persist(sql);
+
+  std::string image;
+  DEX_ASSERT_STATUS_OK(ReadFileToString(map_path_, &image));
+  ASSERT_GT(image.size(), 16u);
+
+  // Fuzz sweep: damage the magic, the body at several depths, the checksum
+  // footer; truncate at several points; append trailing garbage. Every
+  // mutant must be discarded wholesale (checksum/format violation) and the
+  // query must fall back to full decode with identical rows.
+  std::vector<std::string> mutants;
+  for (size_t off : {size_t{0}, size_t{4}, image.size() / 3, image.size() / 2,
+                     image.size() - 1}) {
+    std::string m = image;
+    m[off] = static_cast<char>(m[off] ^ 0x5a);
+    mutants.push_back(std::move(m));
+  }
+  mutants.push_back(image.substr(0, 3));
+  mutants.push_back(image.substr(0, image.size() / 2));
+  mutants.push_back(image + "trailing-garbage");
+  mutants.push_back("");
+
+  for (size_t i = 0; i < mutants.size(); ++i) {
+    DEX_ASSERT_STATUS_OK(WriteStringToFile(map_path_, mutants[i]));
+    auto db = Database::Open(repo_.root(), WithPath());
+    ASSERT_TRUE(db.ok()) << "corrupt zone maps must never block Open: mutant "
+                         << i << ": " << db.status().ToString();
+    EXPECT_GT((*db)->zone_maps()->GetStats().corrupt_discarded, 0u)
+        << "mutant " << i << " should be detected and discarded";
+    EXPECT_EQ((*db)->zone_maps()->GetStats().persisted_loads, 0u)
+        << "mutant " << i << " must not restore any file";
+    auto result = (*db)->Query(sql);
+    DEX_ASSERT_OK(result);
+    EXPECT_EQ(CanonicalRows(*result->table), baseline) << "mutant " << i;
+    // Close without re-persisting over the next mutant's input.
+  }
+}
+
+TEST_F(ZoneMapPersistenceTest, StaleZoneMapsDroppedWhenFilesChange) {
+  const std::string sql = kPredicates[0];
+  Persist(sql);
+
+  // Rewrite the repository in place with a different seed: same file names,
+  // different waveforms. The persisted zones now describe dead content.
+  mseed::GeneratorOptions gen = SmallRepoOptions();
+  gen.seed = 9999;
+  gen.event_probability = 0.4;
+  DEX_ASSERT_OK(mseed::GenerateRepository(repo_.root(), gen));
+  const auto baseline = Baseline(sql);
+
+  auto db = Database::Open(repo_.root(), WithPath());
+  DEX_ASSERT_OK(db);
+  EXPECT_GT((*db)->zone_maps()->GetStats().stale_dropped, 0u)
+      << "identity change (size/mtime) should drop the stale zones";
+  for (int pass = 0; pass < 2; ++pass) {
+    auto result = (*db)->Query(sql);
+    DEX_ASSERT_OK(result);
+    EXPECT_EQ(CanonicalRows(*result->table), baseline) << "pass " << pass;
+  }
+}
+
+TEST(ZoneMapOptions, PerQueryOverrideDisablesPruning) {
+  ScopedRepo repo("zonemap_override", SmallRepoOptions());
+  auto db = Database::Open(repo.root(), DatabaseOptions{});
+  DEX_ASSERT_OK(db);
+  const std::string sql = kPredicates[1];
+  DEX_ASSERT_OK((*db)->Query(sql));  // harvest
+
+  QueryOptions off;
+  off.pruning = PruningOff();
+  auto unpruned = (*db)->Query(sql, off);
+  DEX_ASSERT_OK(unpruned);
+  EXPECT_EQ(unpruned->stats.records_skipped_zonemap, 0u);
+  EXPECT_EQ(unpruned->stats.frames_skipped_zonemap, 0u);
+
+  auto pruned = (*db)->Query(sql);
+  DEX_ASSERT_OK(pruned);
+  EXPECT_GT(pruned->stats.records_skipped_zonemap, 0u);
+  EXPECT_EQ(CanonicalRows(*pruned->table), CanonicalRows(*unpruned->table));
+}
+
+}  // namespace
+}  // namespace dex

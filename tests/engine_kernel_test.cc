@@ -1,0 +1,214 @@
+#include "engine/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/batch.h"
+
+namespace dex {
+namespace {
+
+using kernel::NumericAgg;
+
+bool ScalarCompare(double a, CompareOp op, double b) {
+  switch (op) {
+    case CompareOp::kEq: return a == b;
+    case CompareOp::kNe: return a != b;
+    case CompareOp::kLt: return a < b;
+    case CompareOp::kLe: return a <= b;
+    case CompareOp::kGt: return a > b;
+    case CompareOp::kGe: return a >= b;
+  }
+  return false;
+}
+
+const CompareOp kAllOps[] = {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                             CompareOp::kLe, CompareOp::kGt, CompareOp::kGe};
+
+TEST(KernelFilter, F64MatchesScalarReferenceForEveryOp) {
+  Random rng(7);
+  std::vector<double> v(1000);
+  for (double& x : v) x = static_cast<double>(rng.Uniform(100));
+  for (CompareOp op : kAllOps) {
+    std::vector<uint32_t> sel(v.size());
+    const size_t k = kernel::FilterF64(v.data(), v.size(), op, 50.0, sel.data());
+    std::vector<uint32_t> expect;
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (ScalarCompare(v[i], op, 50.0)) expect.push_back(i);
+    }
+    ASSERT_EQ(k, expect.size());
+    for (size_t i = 0; i < k; ++i) EXPECT_EQ(sel[i], expect[i]);
+  }
+}
+
+TEST(KernelFilter, I64MatchesScalarReferenceForEveryOp) {
+  Random rng(11);
+  std::vector<int64_t> v(1000);
+  for (int64_t& x : v) x = static_cast<int64_t>(rng.Uniform(100)) - 50;
+  for (CompareOp op : kAllOps) {
+    std::vector<uint32_t> sel(v.size());
+    const size_t k = kernel::FilterI64(v.data(), v.size(), op, 0, sel.data());
+    std::vector<uint32_t> expect;
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (ScalarCompare(static_cast<double>(v[i]), op, 0.0)) {
+        expect.push_back(i);
+      }
+    }
+    ASSERT_EQ(k, expect.size());
+    for (size_t i = 0; i < k; ++i) EXPECT_EQ(sel[i], expect[i]);
+  }
+}
+
+TEST(KernelFilter, RefineIsConjunction) {
+  std::vector<int64_t> v(100);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<int64_t>(i);
+  std::vector<uint32_t> sel(v.size());
+  size_t k = kernel::FilterI64(v.data(), v.size(), CompareOp::kGe, 10,
+                               sel.data());
+  k = kernel::RefineI64(v.data(), CompareOp::kLt, 20, sel.data(), k);
+  ASSERT_EQ(k, 10u);
+  for (size_t i = 0; i < k; ++i) EXPECT_EQ(sel[i], 10u + i);
+}
+
+TEST(KernelFilter, EmptyInputYieldsEmptySelection) {
+  std::vector<uint32_t> sel(1);
+  EXPECT_EQ(kernel::FilterF64(nullptr, 0, CompareOp::kEq, 0.0, sel.data()), 0u);
+  EXPECT_EQ(kernel::RefineF64(nullptr, CompareOp::kEq, 0.0, sel.data(), 0), 0u);
+}
+
+TEST(KernelAgg, DenseAndSelectedAgree) {
+  Random rng(23);
+  std::vector<double> v(777);
+  for (double& x : v) x = static_cast<double>(rng.Uniform(1000)) / 3.0;
+  const NumericAgg dense = kernel::AggF64(v.data(), v.size());
+  std::vector<uint32_t> all(v.size());
+  for (size_t i = 0; i < v.size(); ++i) all[i] = static_cast<uint32_t>(i);
+  const NumericAgg selected =
+      kernel::AggF64Selected(v.data(), all.data(), all.size());
+  EXPECT_EQ(dense.min, selected.min);
+  EXPECT_EQ(dense.max, selected.max);
+  EXPECT_EQ(dense.sum, selected.sum);
+  EXPECT_EQ(dense.count, selected.count);
+
+  double mn = v[0], mx = v[0], sum = 0;
+  for (double x : v) {
+    mn = std::min(mn, x);
+    mx = std::max(mx, x);
+    sum += x;
+  }
+  EXPECT_EQ(dense.min, mn);
+  EXPECT_EQ(dense.max, mx);
+  EXPECT_EQ(dense.sum, sum);
+}
+
+TEST(KernelAgg, I64KeepsExactIntegerResults) {
+  // Values near 2^53 where double accumulation would lose exactness.
+  std::vector<int64_t> v = {(1LL << 53) + 1, 1, -2, 5};
+  const NumericAgg a = kernel::AggI64(v.data(), v.size());
+  EXPECT_EQ(a.isum, (1LL << 53) + 5);
+  EXPECT_EQ(a.imin, -2);
+  EXPECT_EQ(a.imax, (1LL << 53) + 1);
+  EXPECT_EQ(a.count, 4u);
+}
+
+TEST(KernelAgg, EmptySpanIsZeroed) {
+  const NumericAgg a = kernel::AggF64(nullptr, 0);
+  EXPECT_EQ(a.count, 0u);
+  EXPECT_EQ(a.sum, 0.0);
+}
+
+TEST(KernelGroupBy, AssignsDenseSlotsInFirstSeenOrder) {
+  const std::vector<int32_t> codes = {4, 2, 4, 7, 2, 2, 0};
+  std::vector<int32_t> code_to_group, group_codes;
+  std::vector<uint32_t> gid(codes.size());
+  kernel::GroupByCodes(codes.data(), nullptr, 0, codes.size(), &code_to_group,
+                       &group_codes, gid.data());
+  ASSERT_EQ(group_codes.size(), 4u);  // 4, 2, 7, 0 in first-seen order
+  EXPECT_EQ(group_codes[0], 4);
+  EXPECT_EQ(group_codes[1], 2);
+  EXPECT_EQ(group_codes[2], 7);
+  EXPECT_EQ(group_codes[3], 0);
+  const std::vector<uint32_t> expect_gid = {0, 1, 0, 2, 1, 1, 3};
+  for (size_t i = 0; i < codes.size(); ++i) EXPECT_EQ(gid[i], expect_gid[i]);
+}
+
+TEST(KernelGroupBy, SelectionRestrictsRows) {
+  const std::vector<int32_t> codes = {1, 2, 3, 2, 1};
+  const std::vector<uint32_t> sel = {1, 3};  // only the two code-2 rows
+  std::vector<int32_t> code_to_group, group_codes;
+  std::vector<uint32_t> gid(sel.size());
+  kernel::GroupByCodes(codes.data(), sel.data(), sel.size(), codes.size(),
+                       &code_to_group, &group_codes, gid.data());
+  ASSERT_EQ(group_codes.size(), 1u);
+  EXPECT_EQ(group_codes[0], 2);
+  EXPECT_EQ(gid[0], 0u);
+  EXPECT_EQ(gid[1], 0u);
+}
+
+TEST(KernelGroupBy, GroupedAccumulationMatchesScalar) {
+  Random rng(41);
+  const size_t n = 500;
+  std::vector<int32_t> codes(n);
+  std::vector<double> vals(n);
+  for (size_t i = 0; i < n; ++i) {
+    codes[i] = static_cast<int32_t>(rng.Uniform(8));
+    vals[i] = static_cast<double>(rng.Uniform(1000));
+  }
+  std::vector<int32_t> code_to_group, group_codes;
+  std::vector<uint32_t> gid(n);
+  kernel::GroupByCodes(codes.data(), nullptr, 0, n, &code_to_group,
+                       &group_codes, gid.data());
+  const size_t groups = group_codes.size();
+  std::vector<double> mn(groups, 0), mx(groups, 0), sum(groups, 0);
+  std::vector<uint64_t> count(groups, 0);
+  std::vector<uint8_t> seen(groups, 0);
+  kernel::GroupAccumF64(vals.data(), nullptr, n, gid.data(), mn.data(),
+                        mx.data(), sum.data(), count.data(), seen.data());
+  for (size_t g = 0; g < groups; ++g) {
+    double emn = 0, emx = 0, esum = 0;
+    uint64_t ecount = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (codes[i] != group_codes[g]) continue;
+      if (ecount == 0) {
+        emn = emx = vals[i];
+      } else {
+        emn = std::min(emn, vals[i]);
+        emx = std::max(emx, vals[i]);
+      }
+      esum += vals[i];
+      ++ecount;
+    }
+    ASSERT_TRUE(seen[g]);
+    EXPECT_EQ(mn[g], emn);
+    EXPECT_EQ(mx[g], emx);
+    EXPECT_EQ(sum[g], esum);
+    EXPECT_EQ(count[g], ecount);
+  }
+}
+
+TEST(BatchSelection, CompactGathersSelectedRowsAndDropsVector) {
+  auto schema = std::make_shared<Schema>(
+      Schema({{"s", DataType::kString, "t"}, {"x", DataType::kInt64, "t"}}));
+  Batch b = Batch::Empty(schema);
+  for (int i = 0; i < 6; ++i) {
+    b.columns[0]->AppendString(i % 2 == 0 ? "even" : "odd");
+    b.columns[1]->AppendInt64(i);
+  }
+  b.selection = {1, 3, 5};
+  b.has_selection = true;
+  EXPECT_EQ(b.num_rows(), 3u);
+  EXPECT_EQ(b.physical_rows(), 6u);
+  EXPECT_TRUE(b.Compact());
+  EXPECT_FALSE(b.has_selection);
+  ASSERT_EQ(b.num_rows(), 3u);
+  EXPECT_EQ(b.columns[1]->GetInt64(0), 1);
+  EXPECT_EQ(b.columns[1]->GetInt64(2), 5);
+  EXPECT_EQ(b.columns[0]->GetString(1), "odd");
+  EXPECT_FALSE(b.Compact());  // already dense: no-op
+}
+
+}  // namespace
+}  // namespace dex
